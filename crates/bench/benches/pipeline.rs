@@ -1,0 +1,53 @@
+//! Criterion benches over the full-pipeline simulation (Fig. 12/13
+//! machinery): multi-batch timeline construction with and without task
+//! graphs, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::engine::{HeroSigner, OptConfig};
+use hero_sphincs::params::Params;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let device = rtx_4090();
+    let p = Params::sphincs_128f();
+    let mut group = c.benchmark_group("fig12_pipeline_simulation");
+
+    let hero = HeroSigner::hero(device.clone(), p);
+    let mut stream_cfg = OptConfig::hero();
+    stream_cfg.graph = false;
+    let hero_stream = HeroSigner::new(device.clone(), p, stream_cfg);
+    let baseline = HeroSigner::baseline(device.clone(), p);
+
+    group.bench_function("hero_graph_512", |b| {
+        b.iter(|| hero.simulate_pipeline(1024, 512, 4))
+    });
+    group.bench_function("hero_stream_512", |b| {
+        b.iter(|| hero_stream.simulate_pipeline(1024, 512, 4))
+    });
+    group.bench_function("baseline_per_message", |b| {
+        b.iter(|| baseline.simulate_pipeline(1024, 1, 128))
+    });
+    group.finish();
+
+    let mut sweep = c.benchmark_group("fig13_batch_sweep");
+    for bs in [16u32, 64, 256, 1024] {
+        sweep.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| hero.simulate_pipeline(1024, bs, 8))
+        });
+    }
+    sweep.finish();
+}
+
+fn bench_engine_construction(c: &mut Criterion) {
+    let device = rtx_4090();
+    c.bench_function("hero_engine_new_with_tuning_and_selection", |b| {
+        b.iter(|| HeroSigner::hero(device.clone(), Params::sphincs_128f()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_engine_construction
+);
+criterion_main!(benches);

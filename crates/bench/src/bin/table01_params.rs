@@ -1,0 +1,45 @@
+//! Regenerates **Table I**: the SPHINCS+ `-f` parameter sets, plus the
+//! derived quantities the paper quotes in the text (signature sizes,
+//! leaf counts, per-leaf hash work).
+
+use hero_bench::{header, rule};
+use hero_sign::workload;
+use hero_sphincs::params::Params;
+
+fn main() {
+    header("Table I", "SPHINCS+ -f parameter sets and derived quantities");
+    println!(
+        "{:<16} {:>3} {:>3} {:>3} {:>7} {:>3} {:>3} | {:>9} {:>10} {:>10} {:>10}",
+        "Scheme", "n", "h", "d", "log(t)", "k", "w", "sig bytes", "FORS lvs", "HT leaves", "hash/leaf"
+    );
+    rule(104);
+    for p in Params::fast_sets() {
+        println!(
+            "{:<16} {:>3} {:>3} {:>3} {:>7} {:>3} {:>3} | {:>9} {:>10} {:>10} {:>10}",
+            p.name(),
+            p.n,
+            p.h,
+            p.d,
+            p.log_t,
+            p.k,
+            p.w,
+            p.sig_bytes(),
+            p.fors_total_leaves(),
+            p.hypertree_total_leaves(),
+            workload::wots_gen_leaf_chain_hashes(&p),
+        );
+    }
+    println!();
+    println!("Checks against the paper's text:");
+    println!("  128f signature bytes = {} (paper: 17,088)", Params::sphincs_128f().sig_bytes());
+    println!(
+        "  wots_gen_leaf chain hashes = {}/{}/{} (paper: 560/816/1072)",
+        workload::wots_gen_leaf_chain_hashes(&Params::sphincs_128f()),
+        workload::wots_gen_leaf_chain_hashes(&Params::sphincs_192f()),
+        workload::wots_gen_leaf_chain_hashes(&Params::sphincs_256f()),
+    );
+    println!(
+        "  total compressions per signature (128f) = {} (paper: >100,000 hashes)",
+        workload::total_sign_compressions(&Params::sphincs_128f())
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table IV**: the Auto Tree Tuning search results on the
+//! RTX 4090 (shared-memory utilization, thread utilization, fused-set
+//! count `F`), plus the full ranked candidate list the paper's
+//! profiling-driven final selection consults.
+
+use hero_bench::{header, primary_device, rule};
+use hero_sign::tuning::{tune, tune_relax, TuningOptions};
+use hero_sphincs::params::Params;
+
+fn main() {
+    let device = primary_device();
+    let opts = TuningOptions::default();
+
+    header("Table IV", "Auto Tree Tuning search results (RTX 4090, static 48 KiB SEME)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>4} {:>8} {:>8} {:>7}   paper (S_util, T_util, F)",
+        "Parameter set", "SmemUtil", "ThrUtil", "F", "T_set", "N_tree", "syncs"
+    );
+    rule(100);
+    for (i, p) in [Params::sphincs_128f(), Params::sphincs_192f()].iter().enumerate() {
+        let r = tune(&device, p, &opts).expect("search");
+        let b = r.best;
+        let (ps, pt, pf) = hero_bench::paper::TABLE4[i];
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>4} {:>8} {:>8} {:>7.0}   ({ps}, {pt}, {pf})",
+            p.name(),
+            b.smem_utilization,
+            b.thread_utilization,
+            b.fused_sets,
+            b.threads_per_set,
+            b.trees_per_set,
+            b.sync_points,
+        );
+    }
+
+    println!();
+    println!("SPHINCS+-256f (Relax-FORS search, §III-B4):");
+    let p256 = Params::sphincs_256f();
+    let plain = tune(&device, &p256, &opts).expect("plain search");
+    let relax = tune_relax(&device, &p256, &opts).expect("relax search");
+    println!(
+        "  plain fusion:  {} trees concurrent (degenerate, paper: at most two subtrees)",
+        plain.best.concurrent_trees()
+    );
+    println!(
+        "  Relax-FORS:    {} trees concurrent, {} threads/block, {} KiB smem",
+        relax.best.concurrent_trees(),
+        relax.best.block_threads(),
+        relax.best.smem_bytes / 1024,
+    );
+
+    println!();
+    println!("Top candidates per set (argmin over (sync, -U_T, -U_S)):");
+    for p in Params::fast_sets() {
+        let r = if p.n == 32 { tune_relax(&device, &p, &opts) } else { tune(&device, &p, &opts) };
+        let r = r.expect("search");
+        println!("  {}:", p.name());
+        for c in r.candidates.iter().take(4) {
+            println!(
+                "    T_set={:<5} N_tree={:<3} F={:<2} U_T={:.4} U_S={:.4} sync={:.1}",
+                c.threads_per_set, c.trees_per_set, c.fused_sets,
+                c.thread_utilization, c.smem_utilization, c.sync_points
+            );
+        }
+    }
+}

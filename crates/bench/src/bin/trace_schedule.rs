@@ -1,0 +1,35 @@
+//! Dumps the simulated Fig. 12 schedules as Chrome Trace Event JSON
+//! (load in `chrome://tracing` or <https://ui.perfetto.dev>) — the
+//! repository's stand-in for an Nsight Systems timeline view.
+//!
+//! ```sh
+//! cargo run --release -p hero-bench --bin trace_schedule
+//! # writes hero_baseline_trace.json and hero_graph_trace.json
+//! ```
+
+use hero_bench::primary_device;
+use hero_gpu_sim::trace::chrome_trace;
+use hero_sign::engine::HeroSigner;
+use hero_sphincs::params::Params;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = primary_device();
+    let params = Params::sphincs_128f();
+
+    let baseline = HeroSigner::baseline(device.clone(), params);
+    // 64 messages keep the trace readable; per-message kernels on many
+    // streams, the baseline's submission pattern.
+    let (base_report, base_tl) = baseline.simulate_pipeline_traced(64, 1, 16);
+    std::fs::write("hero_baseline_trace.json", chrome_trace(&base_tl))?;
+
+    let hero = HeroSigner::hero(device, params);
+    let (hero_report, hero_tl) = hero.simulate_pipeline_traced(1024, 256, 4);
+    std::fs::write("hero_graph_trace.json", chrome_trace(&hero_tl))?;
+
+    println!("wrote hero_baseline_trace.json ({} kernels, makespan {:.1} us)",
+        base_tl.executed().len(), base_report.makespan_us);
+    println!("wrote hero_graph_trace.json ({} kernels, makespan {:.1} us)",
+        hero_tl.executed().len(), hero_report.makespan_us);
+    println!("open either file in chrome://tracing or https://ui.perfetto.dev");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Published comparator data for Tables IX and X.
+//!
+//! The paper compares against *published* FPGA/ASIC/AVX2 numbers rather
+//! than re-running those systems; we encode the same constants. Sources:
+//! Berthet et al. (IPDPSW'21, Xilinx XZU3EG), Amiet et al. (DSD'20,
+//! Artix-7, SHAKE256), SPHINCSLET (TECS'25 ASIC), and the AVX2 rows of
+//! Table X.
+
+/// One cross-platform comparator entry (Table IX).
+#[derive(Clone, Copy, Debug)]
+pub struct PlatformEntry {
+    /// System name.
+    pub name: &'static str,
+    /// Hash function used.
+    pub hash: &'static str,
+    /// Throughput in KOPS per parameter set (`None` = not supported).
+    pub kops: [Option<f64>; 3],
+    /// Power per signature in Watts (`None` = not reported).
+    pub pps_watt: [Option<f64>; 3],
+}
+
+/// HERO-Sign's own Table IX row (RTX 4090).
+pub const HERO_TABLE9: PlatformEntry = PlatformEntry {
+    name: "HERO-Sign (RTX 4090)",
+    hash: "SHA256",
+    kops: [Some(119.47), Some(65.43), Some(33.88)],
+    pps_watt: [Some(0.003), Some(0.002), Some(0.003)],
+};
+
+/// FPGA and ASIC comparators of Table IX.
+pub const COMPARATORS: [PlatformEntry; 3] = [
+    PlatformEntry {
+        name: "Berthet et al. (FPGA XZU3EG)",
+        hash: "SHA256",
+        kops: [Some(0.016), None, Some(0.000_57)],
+        pps_watt: [Some(0.4), None, Some(0.474)],
+    },
+    PlatformEntry {
+        name: "Amiet et al. (FPGA Artix-7)",
+        hash: "SHAKE256",
+        kops: [Some(0.99), Some(0.85), Some(0.40)],
+        pps_watt: [Some(9.76), Some(9.69), Some(9.80)],
+    },
+    PlatformEntry {
+        name: "SPHINCSLET (ASIC)",
+        hash: "SHA256",
+        kops: [Some(0.52), Some(0.20), Some(0.10)],
+        pps_watt: [None, None, None],
+    },
+];
+
+/// Table X — published AVX2 CPU KOPS (single thread, 16 threads).
+pub const AVX2_TABLE10: [(f64, f64); 3] =
+    [(0.143, 0.828), (0.087, 0.560), (0.044, 0.356)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_ratios_reproduce() {
+        // §IV-D: vs Amiet et al.: 120.68×, 76.98×, 84.70×.
+        let amiet = &COMPARATORS[1];
+        for (i, expect) in [120.68, 76.98, 84.70].iter().enumerate() {
+            let ratio = HERO_TABLE9.kops[i].unwrap() / amiet.kops[i].unwrap();
+            assert!((ratio - expect).abs() / expect < 0.01, "set {i}: {ratio}");
+        }
+        // vs SPHINCSLET: 229.75×, 327.15×, 338.8×.
+        let asic = &COMPARATORS[2];
+        for (i, expect) in [229.75, 327.15, 338.8].iter().enumerate() {
+            let ratio = HERO_TABLE9.kops[i].unwrap() / asic.kops[i].unwrap();
+            assert!((ratio - expect).abs() / expect < 0.01, "set {i}: {ratio}");
+        }
+        // vs AVX2 16-thread: 144.29×, 116.84×, 95.17×.
+        for (i, expect) in [144.29, 116.84, 95.17].iter().enumerate() {
+            let ratio = HERO_TABLE9.kops[i].unwrap() / AVX2_TABLE10[i].1;
+            assert!((ratio - expect).abs() / expect < 0.01, "set {i}: {ratio}");
+        }
+    }
+}

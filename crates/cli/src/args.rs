@@ -1,0 +1,134 @@
+//! Minimal `--flag value` argument parser (no third-party dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, `--key value` options, bare flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a token stream (excluding `argv[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects options missing values and unexpected positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        match iter.next() {
+            Some(cmd) if !cmd.starts_with('-') => out.command = cmd,
+            Some(other) => return Err(format!("expected a subcommand, got '{other}'")),
+            None => return Err("missing subcommand".to_string()),
+        }
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                // A flag if the next token is absent or another option.
+                let takes_value =
+                    iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false);
+                if takes_value {
+                    let value = iter.next().expect("peeked");
+                    out.options.insert(name.to_string(), value);
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else {
+                return Err(format!("unexpected positional argument '{token}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Value of `--name` or an error mentioning the flag.
+    ///
+    /// # Errors
+    ///
+    /// When the option is absent.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// Whether bare flag `--name` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--name` as an integer with a default.
+    ///
+    /// # Errors
+    ///
+    /// When the value does not parse.
+    pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+        }
+    }
+
+    /// Parses `--name` as a u64 with a default.
+    ///
+    /// # Errors
+    ///
+    /// When the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["sign", "--key", "sk.hex", "--out", "sig.bin", "--verbose"]).unwrap();
+        assert_eq!(a.command, "sign");
+        assert_eq!(a.get("key"), Some("sk.hex"));
+        assert_eq!(a.require("out").unwrap(), "sig.bin");
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_subcommand_rejected() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--key", "x"]).is_err());
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(parse(&["sign", "stray"]).is_err());
+    }
+
+    #[test]
+    fn numeric_options() {
+        let a = parse(&["simulate", "--messages", "2048"]).unwrap();
+        assert_eq!(a.get_u32("messages", 0).unwrap(), 2048);
+        assert_eq!(a.get_u32("batch", 512).unwrap(), 512);
+        let bad = parse(&["simulate", "--messages", "many"]).unwrap();
+        assert!(bad.get_u32("messages", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&["keygen"]).unwrap();
+        let err = a.require("out").unwrap_err();
+        assert!(err.contains("--out"));
+    }
+}

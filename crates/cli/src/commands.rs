@@ -1,0 +1,339 @@
+//! The five subcommands. Each takes parsed [`crate::args::Args`] and
+//! returns printable output, performing file I/O at the edges only.
+
+use crate::args::Args;
+use crate::{keyfile, parse_alg, parse_device, parse_params, CmdResult};
+
+use hero_sign::engine::HeroSigner;
+use hero_sign::tuning::{tune_auto, TuningOptions};
+use hero_sphincs::hash::HashAlg;
+use hero_sphincs::Signature;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fs;
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Human-readable message on any failure (bad args, I/O, verification).
+pub fn run(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "keygen" => keygen(args),
+        "sign" => sign(args),
+        "verify" => verify(args),
+        "export-pubkey" => export_pubkey(args),
+        "tune" => tune(args),
+        "simulate" => simulate(args),
+        "devices" => devices(),
+        "help" | "--help" => Ok(crate::USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{}", crate::USAGE)),
+    }
+}
+
+fn keygen(args: &Args) -> CmdResult {
+    let params = parse_params(args.get("params").unwrap_or("128f"))?;
+    let alg = parse_alg(args.get("alg").unwrap_or("sha256"))?;
+    let out = args.require("out")?;
+
+    let mut rng = match args.get("seed") {
+        Some(_) => StdRng::seed_from_u64(args.get_u64("seed", 0)?),
+        None => StdRng::from_entropy(),
+    };
+    let mut sk_seed = vec![0u8; params.n];
+    let mut sk_prf = vec![0u8; params.n];
+    let mut pk_seed = vec![0u8; params.n];
+    rng.fill_bytes(&mut sk_seed);
+    rng.fill_bytes(&mut sk_prf);
+    rng.fill_bytes(&mut pk_seed);
+
+    let text = keyfile::encode(&params, alg, &sk_seed, &sk_prf, &pk_seed);
+    // Validate by reconstructing (also computes the public root).
+    let (_, vk) = keyfile::decode(&text)?;
+    fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} key to {out}\npublic root: {}",
+        params.name(),
+        keyfile::to_hex(vk.pk_root())
+    ))
+}
+
+fn sign(args: &Args) -> CmdResult {
+    let key_path = args.require("key")?;
+    let msg_path = args.require("message")?;
+    let out = args.require("out")?;
+
+    let key_text = fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let (sk, _) = keyfile::decode(&key_text)?;
+    let message = fs::read(msg_path).map_err(|e| format!("reading {msg_path}: {e}"))?;
+
+    let params = *sk.params();
+    let device = parse_device(args.get("device"))?;
+    let engine = HeroSigner::hero(device, params);
+    let signature = engine.sign(&sk, &message);
+    let bytes = signature.to_bytes(&params);
+    fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!("signed {} bytes -> {} byte {} signature at {out}", message.len(), bytes.len(), params.name()))
+}
+
+fn export_pubkey(args: &Args) -> CmdResult {
+    let key_path = args.require("key")?;
+    let out = args.require("out")?;
+    let key_text = fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let (_, vk) = keyfile::decode(&key_text)?;
+    fs::write(out, keyfile::encode_public(&vk)).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!("wrote public key ({} bytes) to {out}", vk.to_bytes().len()))
+}
+
+fn verify(args: &Args) -> CmdResult {
+    let msg_path = args.require("message")?;
+    let sig_path = args.require("sig")?;
+
+    // Accept either a secret key file (--key) or a public-only file
+    // (--pubkey) — verifiers should not need secrets on disk.
+    let vk = match (args.get("pubkey"), args.get("key")) {
+        (Some(pk_path), _) => {
+            let text =
+                fs::read_to_string(pk_path).map_err(|e| format!("reading {pk_path}: {e}"))?;
+            keyfile::decode_public(&text)?
+        }
+        (None, Some(key_path)) => {
+            let text =
+                fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+            keyfile::decode(&text)?.1
+        }
+        (None, None) => return Err("verify needs --pubkey or --key".to_string()),
+    };
+    let message = fs::read(msg_path).map_err(|e| format!("reading {msg_path}: {e}"))?;
+    let sig_bytes = fs::read(sig_path).map_err(|e| format!("reading {sig_path}: {e}"))?;
+
+    let signature = Signature::from_bytes(vk.params(), &sig_bytes).map_err(|e| e.to_string())?;
+    match vk.verify(&message, &signature) {
+        Ok(()) => Ok("signature OK".to_string()),
+        Err(e) => Err(format!("signature INVALID: {e}")),
+    }
+}
+
+fn tune(args: &Args) -> CmdResult {
+    let device = parse_device(args.get("device"))?;
+    let opts = TuningOptions {
+        smem_policy: if args.flag("dynamic-smem") {
+            hero_gpu_sim::SmemPolicy::DynamicMax
+        } else {
+            hero_gpu_sim::SmemPolicy::Static
+        },
+        ..TuningOptions::default()
+    };
+
+    let sets = match args.get("params") {
+        Some(label) => vec![parse_params(label)?],
+        None => hero_sphincs::Params::fast_sets().to_vec(),
+    };
+
+    let mut out = format!("Auto Tree Tuning on {} (Algorithm 1)\n", device.name);
+    for p in sets {
+        let r = tune_auto(&device, &p, &opts).map_err(|e| format!("{}: {e}", p.name()))?;
+        let b = r.best;
+        out.push_str(&format!(
+            "{}: T_set={} N_tree={} F={} U_T={:.3} U_S={:.3} smem={}B relax_depth={} ({} candidates)\n",
+            p.name(),
+            b.threads_per_set,
+            b.trees_per_set,
+            b.fused_sets,
+            b.thread_utilization,
+            b.smem_utilization,
+            b.smem_bytes,
+            b.relax_depth,
+            r.candidates.len(),
+        ));
+    }
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> CmdResult {
+    let device = parse_device(args.get("device"))?;
+    let params = parse_params(args.get("params").unwrap_or("128f"))?;
+    let messages = args.get_u32("messages", 1024)?;
+    let batch = args.get_u32("batch", 512)?;
+    if messages == 0 {
+        return Err("--messages must be positive".to_string());
+    }
+
+    let hero = HeroSigner::hero(device.clone(), params);
+    let baseline = HeroSigner::baseline(device.clone(), params);
+    let h = hero.simulate_pipeline(messages, batch, 4);
+    let b = baseline.simulate_pipeline(messages, 1, device.sm_count as usize);
+    let sel = hero.selection();
+
+    Ok(format!(
+        "device: {}\nparams: {}\nmessages: {messages} (batch {batch})\n\
+         baseline: {:.2} KOPS ({:.0} us, launch overhead {:.1} us)\n\
+         HERO:     {:.2} KOPS ({:.0} us, launch overhead {:.1} us)\n\
+         speedup:  {:.2}x   launch-latency reduction: {:.1}x\n\
+         SHA-2 paths: FORS={:?} TREE={:?} WOTS+={:?}\n",
+        device.name,
+        params.name(),
+        b.kops,
+        b.makespan_us,
+        b.launch_overhead_us,
+        h.kops,
+        h.makespan_us,
+        h.launch_overhead_us,
+        h.kops / b.kops,
+        b.launch_overhead_us / h.launch_overhead_us,
+        sel.fors,
+        sel.tree,
+        sel.wots,
+    ))
+}
+
+fn devices() -> CmdResult {
+    let mut out = String::from("device           arch     SMs  cores  MHz   smem/block(dyn)\n");
+    for d in hero_gpu_sim::device::catalog() {
+        out.push_str(&format!(
+            "{:<16} {:<8} {:>4} {:>6} {:>5} {:>8} KiB\n",
+            d.name,
+            d.arch.to_string(),
+            d.sm_count,
+            d.total_cores(),
+            d.base_clock_mhz,
+            d.smem_dynamic_max_per_block / 1024,
+        ));
+    }
+    Ok(out)
+}
+
+/// Re-exported for tests: signs with an explicit alg through the keyfile
+/// path end to end in memory.
+#[doc(hidden)]
+pub fn roundtrip_in_memory(params_label: &str, alg: HashAlg, msg: &[u8]) -> Result<bool, String> {
+    let params = parse_params(params_label)?;
+    let text = keyfile::encode(
+        &params,
+        alg,
+        &vec![7u8; params.n],
+        &vec![8u8; params.n],
+        &vec![9u8; params.n],
+    );
+    let (sk, vk) = keyfile::decode(&text)?;
+    let sig = sk.sign(msg);
+    Ok(vk.verify(msg, &sig).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let err = run(&parse(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&parse(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn devices_lists_catalog() {
+        let out = devices().unwrap();
+        assert!(out.contains("RTX 4090") && out.contains("H100"));
+    }
+
+    #[test]
+    fn tune_runs_for_default_sets() {
+        let out = tune(&parse(&["tune"])).unwrap();
+        assert!(out.contains("SPHINCS+-128f") && out.contains("F=3"));
+    }
+
+    #[test]
+    fn tune_s_set_reports_relax_depth() {
+        let out = tune(&parse(&["tune", "--params", "128s"])).unwrap();
+        assert!(out.contains("relax_depth=2"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_speedup() {
+        let out = simulate(&parse(&["simulate", "--messages", "256", "--batch", "128"])).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("HERO"));
+    }
+
+    #[test]
+    fn simulate_rejects_zero_messages() {
+        assert!(simulate(&parse(&["simulate", "--messages", "0"])).is_err());
+    }
+
+    #[test]
+    fn file_workflow_keygen_sign_verify() {
+        let dir = std::env::temp_dir().join(format!("hero-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = dir.join("key.txt");
+        let msg = dir.join("msg.bin");
+        let sig = dir.join("sig.bin");
+        std::fs::write(&msg, b"cli end to end").unwrap();
+
+        // 128s keygen would take minutes on one CPU; 128f's top subtree is
+        // 8 wots leaves — fast enough for a test.
+        let out = keygen(&parse(&[
+            "keygen", "--params", "128f", "--seed", "42", "--out", key.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("public root"));
+
+        let out = sign(&parse(&[
+            "sign", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
+            "--out", sig.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("17088 byte"), "{out}");
+
+        let out = verify(&parse(&[
+            "verify", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
+            "--sig", sig.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out, "signature OK");
+
+        // Public-key-only verification path (no secrets on the verifier).
+        let pubkey = dir.join("pub.txt");
+        let out = export_pubkey(&parse(&[
+            "export-pubkey", "--key", key.to_str().unwrap(), "--out", pubkey.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("public key"));
+        let pub_text = std::fs::read_to_string(&pubkey).unwrap();
+        assert!(!pub_text.contains("sk_seed"), "pubkey file must hold no secrets");
+        let out = verify(&parse(&[
+            "verify", "--pubkey", pubkey.to_str().unwrap(), "--message", msg.to_str().unwrap(),
+            "--sig", sig.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out, "signature OK");
+
+        // Tamper and re-verify.
+        let mut bytes = std::fs::read(&sig).unwrap();
+        bytes[100] ^= 1;
+        std::fs::write(&sig, &bytes).unwrap();
+        let err = verify(&parse(&[
+            "verify", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
+            "--sig", sig.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("INVALID"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_without_any_key_rejected() {
+        let err = verify(&parse(&["verify", "--message", "m", "--sig", "s"])).unwrap_err();
+        assert!(err.contains("--pubkey"));
+    }
+}

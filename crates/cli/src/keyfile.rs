@@ -1,0 +1,180 @@
+//! Hex key-file format.
+//!
+//! A signing key is stored as a small self-describing text file:
+//!
+//! ```text
+//! hero-sign-key v1
+//! params: SPHINCS+-128f
+//! alg: sha256
+//! sk_seed: <hex>
+//! sk_prf: <hex>
+//! pk_seed: <hex>
+//! ```
+//!
+//! The public root is recomputed on load (top-subtree keygen only, a few
+//! thousand hashes), which doubles as an integrity check.
+
+use hero_sphincs::hash::HashAlg;
+use hero_sphincs::{keygen_from_seeds_with_alg, Params, SigningKey, VerifyingKey};
+
+/// Serializes bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Parses lowercase/uppercase hex.
+///
+/// # Errors
+///
+/// On odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err("hex string has odd length".to_string());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}")))
+        .collect()
+}
+
+/// Renders a key file from its seed material.
+pub fn encode(params: &Params, alg: HashAlg, sk_seed: &[u8], sk_prf: &[u8], pk_seed: &[u8]) -> String {
+    let alg_name = match alg {
+        HashAlg::Sha256 => "sha256",
+        HashAlg::Sha512 => "sha512",
+    };
+    format!(
+        "hero-sign-key v1\nparams: {}\nalg: {}\nsk_seed: {}\nsk_prf: {}\npk_seed: {}\n",
+        params.name(),
+        alg_name,
+        to_hex(sk_seed),
+        to_hex(sk_prf),
+        to_hex(pk_seed),
+    )
+}
+
+/// Parses a key file and reconstructs the key pair.
+///
+/// # Errors
+///
+/// On malformed structure, unknown labels, or wrong seed lengths.
+pub fn decode(text: &str) -> Result<(SigningKey, VerifyingKey), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("hero-sign-key v1") => {}
+        _ => return Err("not a hero-sign-key v1 file".to_string()),
+    }
+    let mut field = |label: &str| -> Result<String, String> {
+        let line = lines.next().ok_or_else(|| format!("missing field '{label}'"))?;
+        line.strip_prefix(&format!("{label}: "))
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected '{label}: …', got '{line}'"))
+    };
+    let params = crate::parse_params(&field("params")?)?;
+    let alg = crate::parse_alg(&field("alg")?)?;
+    let sk_seed = from_hex(&field("sk_seed")?)?;
+    let sk_prf = from_hex(&field("sk_prf")?)?;
+    let pk_seed = from_hex(&field("pk_seed")?)?;
+    for (name, v) in [("sk_seed", &sk_seed), ("sk_prf", &sk_prf), ("pk_seed", &pk_seed)] {
+        if v.len() != params.n {
+            return Err(format!("{name} must be {} bytes, got {}", params.n, v.len()));
+        }
+    }
+    Ok(keygen_from_seeds_with_alg(params, alg, sk_seed, sk_prf, pk_seed))
+}
+
+/// Renders a public-key file (`pk_seed || pk_root` in hex, no secrets).
+pub fn encode_public(vk: &VerifyingKey) -> String {
+    let alg_name = match vk.alg() {
+        HashAlg::Sha256 => "sha256",
+        HashAlg::Sha512 => "sha512",
+    };
+    format!(
+        "hero-sign-pubkey v1\nparams: {}\nalg: {}\npk: {}\n",
+        vk.params().name(),
+        alg_name,
+        to_hex(&vk.to_bytes()),
+    )
+}
+
+/// Parses a public-key file written by [`encode_public`].
+///
+/// # Errors
+///
+/// On malformed structure or a wrong-length key.
+pub fn decode_public(text: &str) -> Result<VerifyingKey, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("hero-sign-pubkey v1") => {}
+        _ => return Err("not a hero-sign-pubkey v1 file".to_string()),
+    }
+    let mut field = |label: &str| -> Result<String, String> {
+        let line = lines.next().ok_or_else(|| format!("missing field '{label}'"))?;
+        line.strip_prefix(&format!("{label}: "))
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected '{label}: …', got '{line}'"))
+    };
+    let params = crate::parse_params(&field("params")?)?;
+    let alg = crate::parse_alg(&field("alg")?)?;
+    let pk = from_hex(&field("pk")?)?;
+    VerifyingKey::from_bytes(params, alg, &pk).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 4;
+        p.d = 2;
+        p.log_t = 3;
+        p.k = 4;
+        p
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = vec![0u8, 1, 0xab, 0xff];
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn keyfile_roundtrip_preserves_keys() {
+        // Use a full parameter-set name but tiny keygen via direct encode:
+        // encode/decode only sees the standard sets, so use 128f seeds and
+        // check the decode path with a real (small-root) 128f keygen.
+        let p = Params::sphincs_128f();
+        let sk_seed = vec![1u8; 16];
+        let sk_prf = vec![2u8; 16];
+        let pk_seed = vec![3u8; 16];
+        let text = encode(&p, HashAlg::Sha256, &sk_seed, &sk_prf, &pk_seed);
+        let (sk, vk) = decode(&text).expect("decode");
+        assert_eq!(sk.params().name(), "SPHINCS+-128f");
+        assert_eq!(sk.sk_seed(), &sk_seed[..]);
+        assert_eq!(vk.pk_seed(), &pk_seed[..]);
+        let _ = tiny(); // documented reduced shape for other tests
+    }
+
+    #[test]
+    fn malformed_files_rejected() {
+        assert!(decode("garbage").is_err());
+        let p = Params::sphincs_128f();
+        let good = encode(&p, HashAlg::Sha256, &[1; 16], &[2; 16], &[3; 16]);
+        let truncated: String = good.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(decode(&truncated).is_err());
+        let wrong_len = good.replace(&to_hex(&[1u8; 16]), &to_hex(&[1u8; 8]));
+        assert!(decode(&wrong_len).is_err());
+    }
+
+    #[test]
+    fn sha512_keyfiles_roundtrip() {
+        let p = Params::sphincs_128f();
+        let text = encode(&p, HashAlg::Sha512, &[4; 16], &[5; 16], &[6; 16]);
+        let (sk, _) = decode(&text).expect("decode");
+        assert_eq!(sk.alg(), HashAlg::Sha512);
+    }
+}

@@ -1,0 +1,92 @@
+//! Library backing the `hero-sign` command-line tool: argument parsing,
+//! hex key serialization, and the five subcommands (keygen, sign, verify,
+//! tune, simulate).
+//!
+//! Kept as a library so every code path is unit-testable without spawning
+//! processes.
+
+pub mod args;
+pub mod commands;
+pub mod keyfile;
+
+/// Exit-status style result for command execution.
+pub type CmdResult = Result<String, String>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hero-sign — SPHINCS+ signing with HERO-Sign GPU tuning (simulated substrate)
+
+USAGE:
+    hero-sign <COMMAND> [OPTIONS]
+
+COMMANDS:
+    keygen    --params <set> [--alg sha256|sha512] [--seed <u64>] --out <path>
+    sign      --key <path> --message <file> --out <sig-file>
+    verify    --key <path> --message <file> --sig <sig-file>
+    tune      [--device <name>] [--params <set>] [--dynamic-smem]
+    simulate  [--device <name>] [--params <set>] [--messages <n>] [--batch <n>]
+    devices   list the GPU catalog
+
+Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>)
+Devices:        \"GTX 1070\" \"V100\" \"RTX 2080 Ti\" \"A100\" \"RTX 4090\" \"H100\"
+";
+
+/// Parses a parameter-set label like `128f` or `SPHINCS+-192s`.
+pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, String> {
+    use hero_sphincs::Params;
+    let norm = label.trim().to_ascii_lowercase();
+    let norm = norm.strip_prefix("sphincs+-").unwrap_or(&norm);
+    match norm {
+        "128f" => Ok(Params::sphincs_128f()),
+        "192f" => Ok(Params::sphincs_192f()),
+        "256f" => Ok(Params::sphincs_256f()),
+        "128s" => Ok(Params::sphincs_128s()),
+        "192s" => Ok(Params::sphincs_192s()),
+        "256s" => Ok(Params::sphincs_256s()),
+        other => Err(format!("unknown parameter set '{other}' (try 128f/192f/256f/128s/192s/256s)")),
+    }
+}
+
+/// Parses a hash-algorithm label.
+pub fn parse_alg(label: &str) -> Result<hero_sphincs::HashAlg, String> {
+    match label.trim().to_ascii_lowercase().as_str() {
+        "sha256" | "sha-256" => Ok(hero_sphincs::HashAlg::Sha256),
+        "sha512" | "sha-512" => Ok(hero_sphincs::HashAlg::Sha512),
+        other => Err(format!("unknown hash algorithm '{other}' (sha256 or sha512)")),
+    }
+}
+
+/// Looks a device up by name, defaulting to the RTX 4090.
+pub fn parse_device(name: Option<&str>) -> Result<hero_gpu_sim::DeviceProps, String> {
+    match name {
+        None => Ok(hero_gpu_sim::device::rtx_4090()),
+        Some(n) => hero_gpu_sim::device::by_name(n)
+            .ok_or_else(|| format!("unknown device '{n}' (run `hero-sign devices`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_param_labels() {
+        assert_eq!(parse_params("128f").unwrap().name(), "SPHINCS+-128f");
+        assert_eq!(parse_params("SPHINCS+-256s").unwrap().name(), "SPHINCS+-256s");
+        assert!(parse_params("512f").is_err());
+    }
+
+    #[test]
+    fn parses_alg_labels() {
+        assert_eq!(parse_alg("sha256").unwrap(), hero_sphincs::HashAlg::Sha256);
+        assert_eq!(parse_alg("SHA-512").unwrap(), hero_sphincs::HashAlg::Sha512);
+        assert!(parse_alg("sha3").is_err());
+    }
+
+    #[test]
+    fn parses_devices() {
+        assert_eq!(parse_device(None).unwrap().name, "RTX 4090");
+        assert_eq!(parse_device(Some("h100")).unwrap().name, "H100");
+        assert!(parse_device(Some("TPU")).is_err());
+    }
+}

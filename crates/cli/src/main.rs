@@ -1,0 +1,19 @@
+//! `hero-sign` command-line entry point.
+
+use hero_sign_cli::args::Args;
+use hero_sign_cli::commands;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if tokens.is_empty() {
+        eprintln!("{}", hero_sign_cli::USAGE);
+        std::process::exit(2);
+    }
+    match Args::parse(tokens).and_then(|args| commands::run(&args)) {
+        Ok(output) => println!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

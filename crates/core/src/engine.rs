@@ -1,0 +1,683 @@
+//! The HERO-Sign engine: configuration, tuning, adaptive branch
+//! selection, functional batch signing, and full-pipeline simulation.
+//!
+//! This is the integration point of everything the paper proposes:
+//! [`OptConfig`] switches each optimization on independently (the Fig. 11
+//! ablation ladder), [`HeroSigner::new`] runs the offline Tree Tuning
+//! search and the profiling-driven PTX/native selection, and
+//! [`HeroSigner::simulate_pipeline`] replays multi-batch signing over
+//! streams or CUDA-Graph-style task graphs (Fig. 12).
+
+use crate::kernels::{fors_sign, tree_sign, wots_sign, KernelConfig};
+use crate::ptx::{BranchSelection, KernelKind};
+use crate::tuning::{self, TuningOptions, TuningResult};
+
+use hero_gpu_sim::device::DeviceProps;
+use hero_gpu_sim::engine::{simulate_kernel, KernelReport};
+use hero_gpu_sim::isa::Sha2Path;
+use hero_gpu_sim::kernel::{KernelDesc, RoDataPlacement};
+use hero_gpu_sim::stream::{LaunchMode, Timeline};
+use hero_task_graph::GraphBuilder;
+
+use hero_sphincs::address::{Address, AddressType};
+use hero_sphincs::hash::{self, HashCtx};
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::{Signature, SigningKey};
+
+/// PTX branch policy (§III-C2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PtxPolicy {
+    /// Native code everywhere (baseline).
+    #[default]
+    Off,
+    /// Profile both paths per kernel and keep the winner (HERO-Sign).
+    Adaptive,
+    /// Force the PTX path everywhere (for ablation).
+    ForceAll,
+}
+
+/// Independent switches for every optimization in the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptConfig {
+    /// §III-A multiple-Merkle-tree parallelization.
+    pub mmtp: bool,
+    /// §III-B FORS fusion via the Auto Tree Tuning search.
+    pub fusion: bool,
+    /// §III-C PTX branch policy.
+    pub ptx: PtxPolicy,
+    /// §III-D hybrid memory allocation.
+    pub hybrid_memory: bool,
+    /// §III-E bank-conflict padding.
+    pub free_bank: bool,
+    /// `__launch_bounds__` register capping on `TREE_Sign`.
+    pub launch_bounds: bool,
+    /// §III-F task-graph batch execution.
+    pub graph: bool,
+}
+
+impl OptConfig {
+    /// The TCAS-SPHINCSp baseline: hypertree parallelism only.
+    pub const fn baseline() -> Self {
+        Self {
+            mmtp: false,
+            fusion: false,
+            ptx: PtxPolicy::Off,
+            hybrid_memory: false,
+            free_bank: false,
+            launch_bounds: false,
+            graph: false,
+        }
+    }
+
+    /// Fully optimized HERO-Sign.
+    pub const fn hero() -> Self {
+        Self {
+            mmtp: true,
+            fusion: true,
+            ptx: PtxPolicy::Adaptive,
+            hybrid_memory: true,
+            free_bank: true,
+            launch_bounds: true,
+            graph: true,
+        }
+    }
+
+    /// The Fig. 11 ablation ladder: each step adds one optimization.
+    /// Returns `(label, config)` pairs in the paper's order.
+    pub fn ablation_ladder() -> Vec<(&'static str, OptConfig)> {
+        let mut cfg = OptConfig::baseline();
+        let mut steps = vec![("Baseline", cfg)];
+        cfg.mmtp = true;
+        steps.push(("MMTP", cfg));
+        cfg.fusion = true;
+        steps.push(("+FS", cfg));
+        cfg.ptx = PtxPolicy::Adaptive;
+        steps.push(("+PTX", cfg));
+        cfg.hybrid_memory = true;
+        steps.push(("+HybridME", cfg));
+        cfg.free_bank = true;
+        steps.push(("+FreeBank", cfg));
+        steps
+    }
+}
+
+/// Full-pipeline simulation result (the Fig. 12 quantities).
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// End-to-end time for all batches (µs).
+    pub makespan_us: f64,
+    /// Signatures per second / 1000.
+    pub kops: f64,
+    /// Cumulative host launch overhead (µs) — Fig. 12's latency panel.
+    pub launch_overhead_us: f64,
+    /// Host launches performed.
+    pub launch_count: u64,
+    /// Device idle time between kernel executions (µs) — Table II's
+    /// "Idle Time" column.
+    pub idle_us: f64,
+    /// Per-kernel device time for one batch (µs): FORS, TREE, WOTS+.
+    pub kernel_batch_us: [f64; 3],
+}
+
+/// The HERO-Sign engine for one (device, parameter set, configuration).
+#[derive(Clone, Debug)]
+pub struct HeroSigner {
+    device: DeviceProps,
+    params: Params,
+    config: OptConfig,
+    tuning: Option<TuningResult>,
+    selection: BranchSelection,
+    workers: usize,
+}
+
+impl HeroSigner {
+    /// Builds an engine: runs the offline Tree Tuning search (if fusion is
+    /// enabled) and the profiling-driven branch selection (if adaptive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn new(device: DeviceProps, params: Params, config: OptConfig) -> Self {
+        params.validate().expect("valid parameter set");
+        let tuning = if config.fusion {
+            tuning::tune_auto(&device, &params, &TuningOptions::default()).ok()
+        } else {
+            None
+        };
+        let mut engine = Self {
+            device,
+            params,
+            config,
+            tuning,
+            selection: BranchSelection::all_native(),
+            workers: crate::par::default_workers(),
+        };
+        engine.selection = match config.ptx {
+            PtxPolicy::Off => BranchSelection::all_native(),
+            PtxPolicy::ForceAll => BranchSelection {
+                fors: Sha2Path::Ptx,
+                tree: Sha2Path::Ptx,
+                wots: Sha2Path::Ptx,
+            },
+            PtxPolicy::Adaptive => engine.profile_branch_selection(),
+        };
+        engine
+    }
+
+    /// Convenience: fully optimized engine.
+    pub fn hero(device: DeviceProps, params: Params) -> Self {
+        Self::new(device, params, OptConfig::hero())
+    }
+
+    /// Convenience: baseline engine.
+    pub fn baseline(device: DeviceProps, params: Params) -> Self {
+        Self::new(device, params, OptConfig::baseline())
+    }
+
+    /// The device this engine targets.
+    pub fn device(&self) -> &DeviceProps {
+        &self.device
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OptConfig {
+        &self.config
+    }
+
+    /// The tuning result, if fusion is enabled.
+    pub fn tuning(&self) -> Option<&TuningResult> {
+        self.tuning.as_ref()
+    }
+
+    /// The resolved PTX/native selection (Table V's row for this set).
+    pub fn selection(&self) -> BranchSelection {
+        self.selection
+    }
+
+    /// Overrides the worker-thread count for functional signing.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The FORS block layout implied by the configuration.
+    pub fn fors_layout(&self) -> fors_sign::ForsLayout {
+        match (&self.tuning, self.config.mmtp, self.config.fusion) {
+            (Some(t), _, true) => {
+                if t.best.relax_depth > 0 {
+                    fors_sign::ForsLayout::Relax(t.best)
+                } else {
+                    fors_sign::ForsLayout::Fused(t.best)
+                }
+            }
+            (_, true, _) => fors_sign::ForsLayout::Mmtp,
+            _ => fors_sign::ForsLayout::Baseline,
+        }
+    }
+
+    /// Per-kernel code-generation config implied by the optimization set.
+    pub fn kernel_config(&self, kind: KernelKind) -> KernelConfig {
+        let path = self.selection.path(kind);
+        let placement = if self.config.hybrid_memory {
+            match (kind, self.params.n) {
+                // §III-D: TREE_Sign's read-only data stays in global
+                // memory with vectorized loads for 192f.
+                (KernelKind::TreeSign, 24) => RoDataPlacement::GlobalVectorized,
+                _ => RoDataPlacement::Constant,
+            }
+        } else {
+            RoDataPlacement::Global
+        };
+        KernelConfig {
+            path,
+            placement,
+            padding: self.config.free_bank,
+            launch_bounds: self.config.launch_bounds,
+            // The shift rewrite ships with MMTP's kernel rewrite.
+            index_shift_rewrite: self.config.mmtp,
+        }
+    }
+
+    /// Analytic descriptors for the three kernels over `messages` messages.
+    pub fn kernel_descs(&self, messages: u32) -> [KernelDesc; 3] {
+        let layout = self.fors_layout();
+        [
+            fors_sign::describe(
+                &self.device,
+                &self.params,
+                messages,
+                &layout,
+                &self.kernel_config(KernelKind::ForsSign),
+            ),
+            tree_sign::describe(
+                &self.device,
+                &self.params,
+                messages,
+                &self.kernel_config(KernelKind::TreeSign),
+            ),
+            wots_sign::describe(
+                &self.device,
+                &self.params,
+                messages,
+                &self.kernel_config(KernelKind::WotsSign),
+            ),
+        ]
+    }
+
+    /// Simulated timing reports for the three kernels.
+    pub fn kernel_reports(&self, messages: u32) -> [KernelReport; 3] {
+        self.kernel_descs(messages).map(|d| simulate_kernel(&self.device, &d))
+    }
+
+    /// Profiling-driven branch selection: simulate each kernel under both
+    /// paths, keep the winner (§III-C2's "more intuitive approach").
+    fn profile_branch_selection(&self) -> BranchSelection {
+        let pick = |kind: KernelKind| {
+            let mut best = (f64::INFINITY, Sha2Path::Native);
+            for path in [Sha2Path::Native, Sha2Path::Ptx] {
+                let mut cfg = self.kernel_config_with_path(kind, path);
+                cfg.padding = self.config.free_bank;
+                let desc = match kind {
+                    KernelKind::ForsSign => fors_sign::describe(
+                        &self.device,
+                        &self.params,
+                        1024,
+                        &self.fors_layout(),
+                        &cfg,
+                    ),
+                    KernelKind::TreeSign => {
+                        tree_sign::describe(&self.device, &self.params, 1024, &cfg)
+                    }
+                    KernelKind::WotsSign => {
+                        wots_sign::describe(&self.device, &self.params, 1024, &cfg)
+                    }
+                };
+                let t = simulate_kernel(&self.device, &desc).time_us;
+                if t < best.0 {
+                    best = (t, path);
+                }
+            }
+            best.1
+        };
+        BranchSelection {
+            fors: pick(KernelKind::ForsSign),
+            tree: pick(KernelKind::TreeSign),
+            wots: pick(KernelKind::WotsSign),
+        }
+    }
+
+    fn kernel_config_with_path(&self, kind: KernelKind, path: Sha2Path) -> KernelConfig {
+        let mut cfg = self.kernel_config(kind);
+        cfg.path = path;
+        cfg
+    }
+
+    /// Functional signing of one message via the three-kernel
+    /// decomposition. Bit-identical to [`SigningKey::sign`].
+    pub fn sign(&self, sk: &SigningKey, msg: &[u8]) -> Signature {
+        let params = self.params;
+        assert_eq!(
+            *sk.params(),
+            params,
+            "signing key parameter set must match the engine"
+        );
+        let ctx = HashCtx::with_alg(params, sk.pk_seed(), sk.alg());
+
+        // Host-side preamble (Fig. 2): randomizer, digest, indices.
+        let randomizer = ctx.prf_msg(sk.sk_prf(), sk.pk_seed(), msg);
+        let digest = ctx.h_msg(&randomizer, sk.pk_root(), msg);
+        let (md, tree_idx, leaf_idx) = hash::split_digest(&params, &digest);
+
+        let mut keypair_adrs = Address::new();
+        keypair_adrs.set_layer(0);
+        keypair_adrs.set_tree(tree_idx);
+        keypair_adrs.set_type(AddressType::ForsTree);
+        keypair_adrs.set_keypair(leaf_idx);
+
+        // FORS_Sign ∥ TREE_Sign, then WOTS+_Sign (the task-graph DAG).
+        let (fors_sig, fors_pk) =
+            fors_sign::run(&ctx, sk.sk_seed(), &md, &keypair_adrs, self.workers);
+        let layers = tree_sign::run(&ctx, sk.sk_seed(), tree_idx, leaf_idx, self.workers);
+        let roots: Vec<Vec<u8>> = layers.iter().map(|l| l.root.clone()).collect();
+        let coords: Vec<(u64, u32)> = layers.iter().map(|l| (l.tree_idx, l.leaf_idx)).collect();
+        let wots_sigs =
+            wots_sign::run(&ctx, sk.sk_seed(), &fors_pk, &roots, &coords, self.workers);
+
+        let ht_layers = layers
+            .into_iter()
+            .zip(wots_sigs)
+            .map(|(lt, wots_sig)| hero_sphincs::hypertree::XmssSig {
+                wots_sig,
+                auth_path: lt.auth_path,
+            })
+            .collect();
+
+        Signature {
+            randomizer,
+            fors: fors_sig,
+            ht: hero_sphincs::hypertree::HtSignature { layers: ht_layers },
+        }
+    }
+
+    /// Functional batch signing: messages distributed across workers.
+    pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Vec<Signature> {
+        // Parallelism lives inside each signature's kernels; batches just
+        // iterate (matching the GPU, where one batch fills the device).
+        msgs.iter().map(|m| self.sign(sk, m)).collect()
+    }
+
+    /// Functional batch verification on the worker pool (extension: the
+    /// paper accelerates generation only). Returns one result per
+    /// message; never short-circuits, like a GPU batch.
+    pub fn verify_batch(
+        &self,
+        vk: &hero_sphincs::VerifyingKey,
+        msgs: &[&[u8]],
+        sigs: &[Signature],
+    ) -> Vec<Result<(), hero_sphincs::sign::SignError>> {
+        crate::kernels::verify::run_batch(vk, msgs, sigs, self.workers)
+    }
+
+    /// Simulates the pipeline *including PCIe transfers* (§IV-E1): each
+    /// batch uploads `msg_bytes`-byte messages, computes, and downloads
+    /// its signatures, with copies overlapping compute on dedicated copy
+    /// engines. Returns `(report, transfers)` — `report.kops` includes
+    /// transfer time.
+    ///
+    /// This is where the paper's two-sided batch guidance emerges:
+    /// compute hides transfers at moderate batches, but the pipeline
+    /// fill/drain grows with batch size, so latency-sensitive deployments
+    /// prefer smaller batches (§IV-E1's "near 64").
+    pub fn simulate_pipeline_pcie(
+        &self,
+        messages: u32,
+        batch_size: u32,
+        streams: usize,
+        msg_bytes: u32,
+    ) -> (PipelineReport, hero_gpu_sim::pcie::PipelinedTransfers) {
+        let batch_size = batch_size.clamp(1, messages);
+        let batches = messages.div_ceil(batch_size);
+        let compute = self.simulate_pipeline(messages, batch_size, streams);
+        let per_batch_compute_us = compute.makespan_us / batches as f64;
+        let h2d = batch_size as u64 * (msg_bytes as u64 + 2 * self.params.n as u64);
+        let d2h = batch_size as u64 * self.params.sig_bytes() as u64;
+        let transfers = hero_gpu_sim::pcie::pipeline_with_transfers(
+            &self.device,
+            batches,
+            per_batch_compute_us,
+            h2d,
+            d2h,
+        );
+        let mut report = compute;
+        report.makespan_us = transfers.makespan_us;
+        report.kops = messages as f64 / transfers.makespan_us * 1.0e3;
+        (report, transfers)
+    }
+
+    /// Simulated batch-verification throughput (KOPS) for `messages`
+    /// signatures on this device.
+    pub fn simulate_verify_kops(&self, messages: u32) -> f64 {
+        let cfg = self.kernel_config(KernelKind::WotsSign);
+        let desc =
+            crate::kernels::verify::describe(&self.device, &self.params, messages, &cfg);
+        let report = simulate_kernel(&self.device, &desc);
+        messages as f64 / report.time_us * 1.0e3
+    }
+
+    /// Simulates end-to-end pipeline execution of `messages` messages
+    /// split into `batch_size`-message batches over `streams` concurrent
+    /// streams (Fig. 12 / Fig. 13).
+    pub fn simulate_pipeline(&self, messages: u32, batch_size: u32, streams: usize) -> PipelineReport {
+        self.simulate_pipeline_traced(messages, batch_size, streams).0
+    }
+
+    /// [`HeroSigner::simulate_pipeline`], also returning the populated
+    /// [`Timeline`] — e.g. for [`hero_gpu_sim::trace::chrome_trace`]
+    /// schedule visualization.
+    pub fn simulate_pipeline_traced(
+        &self,
+        messages: u32,
+        batch_size: u32,
+        streams: usize,
+    ) -> (PipelineReport, Timeline) {
+        let batch_size = batch_size.clamp(1, messages);
+        let batches = messages.div_ceil(batch_size);
+        let reports = self.kernel_reports(batch_size);
+        let [fors_us, tree_us, wots_us] =
+            [reports[0].time_us, reports[1].time_us, reports[2].time_us];
+        let descs = self.kernel_descs(batch_size);
+        let sms = |d: &KernelDesc| d.grid_blocks.min(self.device.sm_count);
+
+        let mut tl = Timeline::new(self.device.clone());
+
+        if self.config.graph {
+            let mut g = GraphBuilder::new();
+            let f = g.kernel("FORS_Sign", fors_us, sms(&descs[0]));
+            let t = g.kernel("TREE_Sign", tree_us, sms(&descs[1]));
+            let w = g.kernel("WOTS+_Sign", wots_us, sms(&descs[2]));
+            g.depends_on(w, f);
+            g.depends_on(w, t);
+            let exe = g.instantiate(&self.device);
+            for b in 0..batches {
+                exe.launch(&mut tl, b as usize % streams.max(1));
+            }
+        } else {
+            for b in 0..batches {
+                let s = tl.stream(b as usize % streams.max(1));
+                let f = tl.launch("FORS_Sign", s, fors_us, sms(&descs[0]), LaunchMode::Stream, &[]);
+                let t = tl.launch("TREE_Sign", s, tree_us, sms(&descs[1]), LaunchMode::Stream, &[]);
+                tl.launch("WOTS+_Sign", s, wots_us, sms(&descs[2]), LaunchMode::Stream, &[f, t]);
+            }
+        }
+
+        let makespan = tl.makespan_us();
+        let report = PipelineReport {
+            makespan_us: makespan,
+            kops: messages as f64 / makespan * 1.0e3,
+            launch_overhead_us: tl.launch_overhead_total_us(),
+            launch_count: tl.launch_count(),
+            idle_us: tl.idle_us() + tl.dispatch_idle_total_us(),
+            kernel_batch_us: [fors_us, tree_us, wots_us],
+        };
+        (report, tl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_gpu_sim::device::rtx_4090;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 4;
+        p.k = 8;
+        p
+    }
+
+    #[test]
+    fn hero_sign_matches_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let engine = HeroSigner::hero(rtx_4090(), params);
+        let msg = b"hero-sign functional equivalence";
+        let hero_sig = engine.sign(&sk, msg);
+        let reference = sk.sign(msg);
+        assert_eq!(hero_sig, reference);
+        vk.verify(msg, &hero_sig).unwrap();
+    }
+
+    #[test]
+    fn batch_signing_verifies() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let engine = HeroSigner::hero(rtx_4090(), params);
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 20]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let sigs = engine.sign_batch(&sk, &refs);
+        for (m, s) in refs.iter().zip(&sigs) {
+            vk.verify(m, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_selection_reproduces_table_v() {
+        // Table V on RTX 4090: FORS → PTX everywhere; TREE/WOTS native at
+        // 128f/192f, PTX at 256f.
+        let d = rtx_4090();
+        for p in Params::fast_sets() {
+            let engine = HeroSigner::hero(d.clone(), p);
+            let sel = engine.selection();
+            assert_eq!(sel.fors, Sha2Path::Ptx, "{} FORS", p.name());
+            let expect = if p.n == 32 { Sha2Path::Ptx } else { Sha2Path::Native };
+            assert_eq!(sel.tree, expect, "{} TREE", p.name());
+            assert_eq!(sel.wots, expect, "{} WOTS", p.name());
+        }
+    }
+
+    #[test]
+    fn hero_outperforms_baseline_per_kernel() {
+        let d = rtx_4090();
+        for p in Params::fast_sets() {
+            let base = HeroSigner::baseline(d.clone(), p).kernel_reports(1024);
+            let hero = HeroSigner::hero(d.clone(), p).kernel_reports(1024);
+            for (b, h) in base.iter().zip(hero.iter()) {
+                assert!(
+                    h.time_us < b.time_us,
+                    "{} {}: {} !< {}",
+                    p.name(),
+                    b.name,
+                    h.time_us,
+                    b.time_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_ladder_is_monotone_enough() {
+        // Each Fig. 11 step may be small but the cumulative trend must be
+        // strictly downward in FORS time.
+        let d = rtx_4090();
+        let p = Params::sphincs_128f();
+        let mut last = f64::INFINITY;
+        for (label, cfg) in OptConfig::ablation_ladder() {
+            let engine = HeroSigner::new(d.clone(), p, cfg);
+            let fors = &engine.kernel_reports(1024)[0];
+            assert!(
+                fors.time_us <= last * 1.005,
+                "{label}: {} vs previous {last}",
+                fors.time_us
+            );
+            last = fors.time_us;
+        }
+    }
+
+    #[test]
+    fn graph_pipeline_slashes_launch_overhead() {
+        let d = rtx_4090();
+        let p = Params::sphincs_128f();
+        let hero_graph = HeroSigner::hero(d.clone(), p).simulate_pipeline(1024, 64, 4);
+        let mut no_graph_cfg = OptConfig::hero();
+        no_graph_cfg.graph = false;
+        let hero_stream =
+            HeroSigner::new(d.clone(), p, no_graph_cfg).simulate_pipeline(1024, 64, 4);
+        // Two orders of magnitude vs per-message baseline launches.
+        let baseline = HeroSigner::baseline(d.clone(), p).simulate_pipeline(1024, 1, 4);
+        assert!(
+            baseline.launch_overhead_us / hero_graph.launch_overhead_us > 50.0,
+            "{} vs {}",
+            baseline.launch_overhead_us,
+            hero_graph.launch_overhead_us
+        );
+        assert!(hero_graph.launch_overhead_us < hero_stream.launch_overhead_us);
+        assert!(hero_graph.kops >= hero_stream.kops * 0.99);
+    }
+
+    #[test]
+    fn pipeline_kops_in_paper_decade() {
+        // Fig. 12: 128f full pipeline ≈ 93 (baseline) → 119 (HERO+graph).
+        // The baseline launches per-message kernels over many streams
+        // (CUSPX-style streams ≈ tasks/cores); HERO signs ≥512-message
+        // batches (§IV-E1's throughput guidance).
+        let d = rtx_4090();
+        let p = Params::sphincs_128f();
+        let base = HeroSigner::baseline(d.clone(), p).simulate_pipeline(1024, 1, 128);
+        let hero = HeroSigner::hero(d.clone(), p).simulate_pipeline(1024, 512, 4);
+        assert!(base.kops > 40.0 && base.kops < 200.0, "baseline {}", base.kops);
+        assert!(hero.kops > base.kops, "{} vs {}", hero.kops, base.kops);
+        let speedup = hero.kops / base.kops;
+        assert!(speedup > 1.1 && speedup < 2.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn s_variants_supported_via_deep_relax() {
+        // The -s sets run end to end on the engine thanks to the
+        // generalized Relax Buffer (extension beyond the paper's -f scope).
+        let d = rtx_4090();
+        for p in [Params::sphincs_128s(), Params::sphincs_192s(), Params::sphincs_256s()] {
+            let engine = HeroSigner::hero(d.clone(), p);
+            assert!(matches!(engine.fors_layout(), fors_sign::ForsLayout::Relax(_)));
+            let reports = engine.kernel_reports(256);
+            for r in &reports {
+                assert!(r.time_us.is_finite() && r.time_us > 0.0, "{} {}", p.name(), r.name);
+            }
+            // -s trades throughput for signature size: slower than -f.
+            let f_equiv = match p.n {
+                16 => Params::sphincs_128f(),
+                24 => Params::sphincs_192f(),
+                _ => Params::sphincs_256f(),
+            };
+            let s_pipe = engine.simulate_pipeline(512, 256, 4);
+            let f_pipe = HeroSigner::hero(d.clone(), f_equiv).simulate_pipeline(512, 256, 4);
+            assert!(s_pipe.kops < f_pipe.kops, "{}: -s must be slower", p.name());
+        }
+    }
+
+    #[test]
+    fn engine_signs_with_sha512_keys() {
+        use hero_sphincs::hash::HashAlg;
+        let mut rng = StdRng::seed_from_u64(64);
+        let params = tiny_params();
+        let (sk, vk) =
+            hero_sphincs::keygen_with_alg(params, HashAlg::Sha512, &mut rng).unwrap();
+        let engine = HeroSigner::hero(rtx_4090(), params);
+        let sig = engine.sign(&sk, b"sha512 through the kernels");
+        assert_eq!(sig, sk.sign(b"sha512 through the kernels"));
+        vk.verify(b"sha512 through the kernels", &sig).unwrap();
+    }
+
+    #[test]
+    fn fors_layout_tracks_config() {
+        let d = rtx_4090();
+        let p = Params::sphincs_128f();
+        assert!(matches!(
+            HeroSigner::baseline(d.clone(), p).fors_layout(),
+            fors_sign::ForsLayout::Baseline
+        ));
+        let mut cfg = OptConfig::baseline();
+        cfg.mmtp = true;
+        assert!(matches!(
+            HeroSigner::new(d.clone(), p, cfg).fors_layout(),
+            fors_sign::ForsLayout::Mmtp
+        ));
+        assert!(matches!(
+            HeroSigner::hero(d.clone(), p).fors_layout(),
+            fors_sign::ForsLayout::Fused(_)
+        ));
+        assert!(matches!(
+            HeroSigner::hero(d, Params::sphincs_256f()).fors_layout(),
+            fors_sign::ForsLayout::Relax(_)
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! Batch signature **verification** on the GPU model (extension beyond
+//! the paper, which accelerates generation only).
+//!
+//! Verification is far lighter than signing — one FORS leaf + path per
+//! tree and one WOTS+ `pk_from_sig` chain completion per layer, no tree
+//! builds — but high-throughput consumers (block validators, update
+//! servers) batch-verify too. The kernel decomposition mirrors signing:
+//! chains and trees are independent, one block per message.
+
+use crate::kernels::{calib, KernelConfig};
+use crate::ptx::{self, KernelKind};
+use crate::workload;
+
+use hero_gpu_sim::device::DeviceProps;
+use hero_gpu_sim::kernel::KernelDesc;
+use hero_gpu_sim::occupancy::BlockResources;
+
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::SignError;
+use hero_sphincs::{Signature, VerifyingKey};
+
+/// Expected compressions to verify one signature: FORS (k × (1 leaf-F +
+/// log t path-H) + T_k) plus hypertree (d × (len chain completions
+/// averaging (w-1)/2 steps + T_len + h' path-H)).
+pub fn verify_expected_compressions(params: &Params) -> u64 {
+    let f = workload::f_compressions(params);
+    let h = workload::h_compressions(params);
+    let fors = params.k as u64 * (f + params.log_t as u64 * h)
+        + workload::t_l_compressions(params, params.k);
+    let len = params.wots_len() as u64;
+    let avg_chain_remainder = len * (params.w as u64 - 1) / 2;
+    let ht = params.d as u64
+        * (avg_chain_remainder * f
+            + workload::t_l_compressions(params, params.wots_len())
+            + params.tree_height() as u64 * h);
+    fors + ht
+}
+
+/// Analytic descriptor for a batch-verification kernel over `messages`
+/// signatures: one thread per WOTS+ chain / FORS tree, one block per
+/// message (chains dominate, so geometry follows `WOTS+_Sign`).
+pub fn describe(
+    device: &DeviceProps,
+    params: &Params,
+    messages: u32,
+    config: &KernelConfig,
+) -> KernelDesc {
+    let threads = ((params.d * params.wots_len() + params.k) as u32).min(1024);
+    let mut regs = ptx::regs_per_thread(KernelKind::WotsSign, params, config.path);
+    regs = regs.min(device.registers_per_sm / threads);
+    let block = BlockResources { threads, regs_per_thread: regs, smem_bytes: 0 };
+
+    let mut desc = KernelDesc::empty("Verify", messages, block);
+    desc.ipc_factor = calib::WOTS_IPC;
+    desc.active_thread_fraction = calib::WOTS_ACTIVE;
+
+    let compressions = verify_expected_compressions(params) * messages as u64;
+    desc.instr_total =
+        ptx::compression_mix(KernelKind::WotsSign, params, config.path).scaled(compressions);
+    desc.critical_path = ptx::compression_mix(KernelKind::WotsSign, params, config.path)
+        .scaled(params.w as u64 + params.log_t as u64);
+
+    desc.ro_placement = config.placement;
+    // Verification streams the whole signature in from global memory.
+    desc.gmem_bytes = params.sig_bytes() as u64 * messages as u64;
+    desc
+}
+
+/// Functional batch verification: verifies `sigs[i]` over `msgs[i]`,
+/// parallelized across messages on the worker pool.
+///
+/// Returns per-message results (all `Ok` for a valid batch); does not
+/// short-circuit, matching a GPU batch that always runs to completion.
+pub fn run_batch(
+    vk: &VerifyingKey,
+    msgs: &[&[u8]],
+    sigs: &[Signature],
+    workers: usize,
+) -> Vec<Result<(), SignError>> {
+    assert_eq!(msgs.len(), sigs.len(), "one signature per message");
+    crate::par::par_map_indexed(msgs.len(), workers, |i| vk.verify(msgs[i], &sigs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_gpu_sim::device::rtx_4090;
+    use hero_gpu_sim::engine::simulate_kernel;
+    use hero_gpu_sim::isa::Sha2Path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 4;
+        p.k = 8;
+        p
+    }
+
+    #[test]
+    fn verification_is_much_cheaper_than_signing() {
+        for p in Params::fast_sets() {
+            let sign = workload::total_sign_compressions(&p);
+            let verify = verify_expected_compressions(&p);
+            assert!(
+                verify * 10 < sign,
+                "{}: verify {verify} vs sign {sign}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_verify_functional() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 16]).collect();
+        let slices: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut sigs: Vec<Signature> = slices.iter().map(|m| sk.sign(m)).collect();
+
+        let results = run_batch(&vk, &slices, &sigs, 4);
+        assert!(results.iter().all(Result::is_ok));
+
+        // Corrupt one signature: exactly that slot fails, others still pass.
+        sigs[2].fors.trees[0].sk[0] ^= 1;
+        let results = run_batch(&vk, &slices, &sigs, 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.is_err(), i == 2, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn verify_kernel_simulates_fast() {
+        let d = rtx_4090();
+        for p in Params::fast_sets() {
+            let cfg = KernelConfig::hero(Sha2Path::Native);
+            let verify = simulate_kernel(&d, &describe(&d, &p, 1024, &cfg));
+            assert!(verify.time_us.is_finite() && verify.time_us > 0.0);
+            // Verification throughput dwarfs signing throughput.
+            let kops = 1024.0 / verify.time_us * 1.0e3;
+            assert!(kops > 100.0, "{}: verify at {kops} KOPS", p.name());
+        }
+    }
+
+    #[test]
+    fn mismatched_batch_lengths_panic() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let sig = sk.sign(b"one");
+        let result = std::panic::catch_unwind(|| {
+            run_batch(&vk, &[b"one".as_slice(), b"two".as_slice()], &[sig.clone()], 1)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # hero-sign
+//!
+//! A Rust reproduction of **HERO-Sign** (Zhou & Wang, HPCA 2026):
+//! hierarchical tuning and compile-time GPU optimizations for SPHINCS+
+//! signature generation, running on the `hero-gpu-sim` execution model
+//! with functionally real signatures from `hero-sphincs`.
+//!
+//! ## What's here
+//!
+//! * [`tuning`] — the offline **Auto Tree Tuning** search (Algorithm 1)
+//!   and the Relax-FORS variant; reproduces Table IV.
+//! * [`kernels`] — the three component kernels (`FORS_Sign`, `TREE_Sign`,
+//!   `WOTS+_Sign`), each with a functional face (real parallel signing on
+//!   CPU workers) and an analytic face (simulator descriptors with
+//!   *measured* bank-conflict counts).
+//! * [`ptx`] — native/PTX SHA-2 code-path models and the per-kernel
+//!   register tables; the raw material of Table V.
+//! * [`engine`] — [`engine::HeroSigner`]: tune → select branches → sign
+//!   batches → simulate pipelines (Figs. 11–14).
+//! * [`workload`] — exact hash-work censuses per kernel.
+//! * [`par`] — the scoped worker pool the functional kernels run on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hero_gpu_sim::device::rtx_4090;
+//! use hero_sign::engine::HeroSigner;
+//! use hero_sphincs::params::Params;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Reduced parameters keep the doc test fast.
+//! let mut params = Params::sphincs_128f();
+//! params.h = 6; params.d = 3; params.log_t = 4; params.k = 8;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (sk, vk) = hero_sphincs::keygen(params, &mut rng)?;
+//! let engine = HeroSigner::hero(rtx_4090(), params);
+//! let sig = engine.sign(&sk, b"hello");
+//! vk.verify(b"hello", &sig)?;
+//!
+//! // Simulated RTX 4090 throughput for a 1024-message batch:
+//! let report = engine.simulate_pipeline(1024, 64, 4);
+//! assert!(report.kops > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod kernels;
+pub mod par;
+pub mod ptx;
+pub mod tuning;
+pub mod workload;
+
+pub use engine::{HeroSigner, OptConfig, PipelineReport, PtxPolicy};
+pub use ptx::{BranchSelection, KernelKind};
+pub use tuning::{tune, tune_auto, tune_relax, FusionCandidate, TuningOptions, TuningResult};

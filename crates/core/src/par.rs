@@ -1,0 +1,148 @@
+//! Minimal scoped-thread parallel map.
+//!
+//! The functional side of HERO-Sign's kernels executes on CPU threads
+//! (crossbeam scoped workers play the role of CUDA thread blocks); this
+//! helper distributes independent work items — messages, FORS trees,
+//! hypertree layers — across a worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers to use by default: the machine's available
+/// parallelism, capped to keep test runs snappy.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(32)
+}
+
+/// Applies `f` to every index in `0..len` on `workers` threads, returning
+/// results in index order.
+///
+/// Work-steals via an atomic cursor, so uneven item costs (e.g. WOTS+
+/// chain lengths) balance automatically — the same reason the GPU kernels
+/// interleave chains across warps.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map_indexed<R, F>(len: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    if workers == 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            let slots_ptr = slots_ptr;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let value = f(i);
+                // SAFETY: each index is claimed by exactly one worker via
+                // the atomic cursor, so writes are disjoint; the scope
+                // guarantees the buffer outlives all workers.
+                unsafe { slots_ptr.write(i, Some(value)) }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// Applies `f` to every element of `items` in parallel, preserving order.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), workers, |i| f(&items[i]))
+}
+
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and no other thread may access index `i`.
+    unsafe fn write(&self, i: usize, value: T) {
+        *self.0.add(i) = value;
+    }
+}
+
+// SAFETY: workers write disjoint indices only (enforced by the atomic
+// cursor protocol above).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map_indexed(100, 8, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map_indexed(0, 8, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_path() {
+        let out = par_map_indexed(10, 1, |i| i + 1);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = par_map(&items, 4, |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still all complete correctly.
+        let out = par_map_indexed(64, 8, |i| {
+            let mut acc = 0u64;
+            for _ in 0..(i % 7) * 10_000 {
+                acc = acc.wrapping_mul(31).wrapping_add(i as u64);
+            }
+            (i, acc)
+        });
+        for (i, entry) in out.iter().enumerate() {
+            assert_eq!(entry.0, i);
+        }
+    }
+
+    #[test]
+    fn workers_capped_to_len() {
+        let out = par_map_indexed(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

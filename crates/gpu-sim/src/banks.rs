@@ -1,0 +1,328 @@
+//! Shared-memory bank model and the paper's generalized padding strategy
+//! (§III-E, Equations 2 and 3).
+//!
+//! Shared memory is organized as 32 banks of 4 bytes. A warp's access
+//! serializes when two threads touch *different* 4-byte words in the same
+//! bank within one transaction. SPHINCS+ reductions access 16-, 24- and
+//! 32-byte nodes per thread; the padding strategy inserts one spare bank
+//! (4 bytes) after every `128·R`-byte transaction region, where
+//! `128·R = B_n · 4 · T_h` — `B_n` banks per thread, a pad every `T_h`
+//! threads.
+
+/// Number of banks (4-byte wide) per SM shared memory.
+pub const NUM_BANKS: usize = 32;
+
+/// Bytes per bank word.
+pub const BANK_WIDTH: usize = 4;
+
+/// Bytes per shared-memory transaction (one warp phase).
+pub const TRANSACTION_BYTES: usize = 128;
+
+/// Padding layout derived from the paper's Equations 2–3.
+///
+/// A [`PaddingScheme`] rewrites logical byte offsets into padded physical
+/// offsets; [`PaddingScheme::none`] is the identity (the baseline layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaddingScheme {
+    /// Insert one 4-byte pad after every `region_bytes` of logical data;
+    /// `None` disables padding.
+    region_bytes: Option<usize>,
+}
+
+impl PaddingScheme {
+    /// No padding: logical = physical (baseline layout).
+    pub const fn none() -> Self {
+        Self { region_bytes: None }
+    }
+
+    /// Padding for a per-thread access `width` in bytes, per Equations 2–3.
+    ///
+    /// For widths dividing 128 (16 B, 32 B), `R = 1`: one pad per 128-byte
+    /// transaction (Eq. 2). For 24 B, the minimal region is `R = 3`
+    /// (`lcm(24, 128)/128 = 3`): one pad after every 384 bytes = every 16
+    /// threads (Eq. 3, Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or not a multiple of 4.
+    pub fn for_width(width: usize) -> Self {
+        assert!(width > 0 && width % BANK_WIDTH == 0, "width must be a positive multiple of 4");
+        // Smallest R such that 128·R is a multiple of the access width:
+        // then T_h = 128R/width threads fit exactly and the pad shifts the
+        // next group by one bank.
+        let mut r = 1;
+        while (TRANSACTION_BYTES * r) % width != 0 {
+            r += 1;
+        }
+        Self { region_bytes: Some(TRANSACTION_BYTES * r) }
+    }
+
+    /// The `R` of Equation 3 (`None` if unpadded).
+    pub fn region_rows(&self) -> Option<usize> {
+        self.region_bytes.map(|b| b / TRANSACTION_BYTES)
+    }
+
+    /// The thread interval `T_h` after which a pad bank is inserted, for a
+    /// given access `width`.
+    pub fn thread_interval(&self, width: usize) -> Option<usize> {
+        self.region_bytes.map(|b| b / width)
+    }
+
+    /// Maps a logical byte offset to its physical offset.
+    pub fn physical(&self, logical: usize) -> usize {
+        match self.region_bytes {
+            None => logical,
+            Some(region) => logical + (logical / region) * BANK_WIDTH,
+        }
+    }
+
+    /// Physical bytes needed to store `logical_len` logical bytes.
+    pub fn padded_len(&self, logical_len: usize) -> usize {
+        match self.region_bytes {
+            None => logical_len,
+            Some(region) => logical_len + logical_len.div_ceil(region) * BANK_WIDTH,
+        }
+    }
+}
+
+/// Statistics of one warp-wide access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Transaction phases issued (each covers up to 128 bytes of distinct
+    /// words).
+    pub transactions: u64,
+    /// Extra serialized phases caused by bank conflicts (0 = conflict-free).
+    pub conflicts: u64,
+}
+
+impl AccessStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: AccessStats) {
+        self.transactions += other.transactions;
+        self.conflicts += other.conflicts;
+    }
+}
+
+/// Counts bank conflicts for one warp access where thread `i` touches
+/// `width` bytes starting at physical byte offset `offsets[i]`.
+///
+/// The model mirrors hardware: each thread's span splits into 4-byte
+/// words; words are served in phases of one word per thread; within a
+/// phase, threads hitting different words in the same bank serialize
+/// (multicast of the *same* word is free). Following the paper's §III-E2
+/// observation, phases coalesce across a `128·R`-byte region, i.e. a
+/// phase's conflict degree is evaluated over the whole warp at once.
+pub fn warp_access_conflicts(offsets: &[usize], width: usize) -> AccessStats {
+    assert!(width % BANK_WIDTH == 0, "width must be whole words");
+    let words_per_thread = width / BANK_WIDTH;
+    let mut stats = AccessStats::default();
+
+    for phase in 0..words_per_thread {
+        // Word index accessed by each active thread in this phase.
+        let mut bank_words: Vec<Vec<usize>> = vec![Vec::new(); NUM_BANKS];
+        for &off in offsets {
+            let word = off / BANK_WIDTH + phase;
+            let bank = word % NUM_BANKS;
+            if !bank_words[bank].contains(&word) {
+                bank_words[bank].push(word);
+            }
+        }
+        // Serialized phases = max distinct words in any one bank.
+        let ways = bank_words.iter().map(Vec::len).max().unwrap_or(0).max(1) as u64;
+        stats.transactions += 1;
+        stats.conflicts += ways - 1;
+    }
+    stats
+}
+
+/// A simulated shared-memory array that records conflict statistics for
+/// every warp-shaped access through a [`PaddingScheme`].
+///
+/// Kernels store `n`-byte nodes at logical slots; loads and stores during
+/// tree reduction go through [`SharedMem::warp_load`] /
+/// [`SharedMem::warp_store`], which is how Table VI's conflict counts are
+/// *measured* rather than estimated.
+#[derive(Clone, Debug)]
+pub struct SharedMem {
+    scheme: PaddingScheme,
+    node_bytes: usize,
+    load_stats: AccessStats,
+    store_stats: AccessStats,
+}
+
+impl SharedMem {
+    /// Creates a recorder for `node_bytes`-wide elements under `scheme`.
+    pub fn new(scheme: PaddingScheme, node_bytes: usize) -> Self {
+        Self { scheme, node_bytes, load_stats: AccessStats::default(), store_stats: AccessStats::default() }
+    }
+
+    /// The padding scheme in force.
+    pub fn scheme(&self) -> PaddingScheme {
+        self.scheme
+    }
+
+    /// Records a warp load where each listed thread reads the node at the
+    /// given logical slot index.
+    pub fn warp_load(&mut self, slots: &[usize]) {
+        let stats = self.access(slots);
+        self.load_stats.merge(stats);
+    }
+
+    /// Records a warp store of one node per listed slot.
+    pub fn warp_store(&mut self, slots: &[usize]) {
+        let stats = self.access(slots);
+        self.store_stats.merge(stats);
+    }
+
+    fn access(&self, slots: &[usize]) -> AccessStats {
+        let offsets: Vec<usize> =
+            slots.iter().map(|&s| self.scheme.physical(s * self.node_bytes)).collect();
+        warp_access_conflicts(&offsets, self.node_bytes)
+    }
+
+    /// Cumulative load statistics.
+    pub fn load_stats(&self) -> AccessStats {
+        self.load_stats
+    }
+
+    /// Cumulative store statistics.
+    pub fn store_stats(&self) -> AccessStats {
+        self.store_stats
+    }
+
+    /// Total conflicts (loads + stores).
+    pub fn total_conflicts(&self) -> u64 {
+        self.load_stats.conflicts + self.store_stats.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_parameters_for_16_and_32_bytes() {
+        // Eq. 2: 128 = B_n·4·T_h. 16 B → B_n=4, T_h=8; 32 B → B_n=8, T_h=4.
+        let p16 = PaddingScheme::for_width(16);
+        assert_eq!(p16.region_rows(), Some(1));
+        assert_eq!(p16.thread_interval(16), Some(8));
+        let p32 = PaddingScheme::for_width(32);
+        assert_eq!(p32.region_rows(), Some(1));
+        assert_eq!(p32.thread_interval(32), Some(4));
+    }
+
+    #[test]
+    fn eq3_parameters_for_24_bytes() {
+        // Eq. 3: 128·R = B_n·4·T_h with R=3 → pad after thread 16 (Fig. 9).
+        let p24 = PaddingScheme::for_width(24);
+        assert_eq!(p24.region_rows(), Some(3));
+        assert_eq!(p24.thread_interval(24), Some(16));
+    }
+
+    #[test]
+    fn physical_mapping_injective_and_monotone() {
+        let p = PaddingScheme::for_width(16);
+        let mut last = None;
+        for logical in 0..4096 {
+            let phys = p.physical(logical);
+            if let Some(prev) = last {
+                assert!(phys > prev);
+            }
+            last = Some(phys);
+        }
+    }
+
+    #[test]
+    fn unpadded_contiguous_16b_has_conflicts() {
+        // 32 threads × 16 B contiguous: words 0..128. Phase 0 touches word
+        // 0,4,8,… → bank 0,4,8,… each bank hit by 4 distinct words → 3
+        // extra phases per phase → 4 phases × 3 = 12 conflicts.
+        let offsets: Vec<usize> = (0..32).map(|i| i * 16).collect();
+        let stats = warp_access_conflicts(&offsets, 16);
+        assert_eq!(stats.transactions, 4);
+        assert_eq!(stats.conflicts, 12);
+    }
+
+    #[test]
+    fn padded_contiguous_16b_conflict_free() {
+        let p = PaddingScheme::for_width(16);
+        let offsets: Vec<usize> = (0..32).map(|i| p.physical(i * 16)).collect();
+        let stats = warp_access_conflicts(&offsets, 16);
+        assert_eq!(stats.conflicts, 0, "padding must eliminate 16B conflicts");
+    }
+
+    #[test]
+    fn padded_contiguous_32b_conflict_free() {
+        let p = PaddingScheme::for_width(32);
+        let offsets: Vec<usize> = (0..32).map(|i| p.physical(i * 32)).collect();
+        let stats = warp_access_conflicts(&offsets, 32);
+        assert_eq!(stats.conflicts, 0, "padding must eliminate 32B conflicts");
+    }
+
+    #[test]
+    fn unpadded_32b_is_heavily_conflicted() {
+        let offsets: Vec<usize> = (0..32).map(|i| i * 32).collect();
+        let stats = warp_access_conflicts(&offsets, 32);
+        assert!(stats.conflicts >= 7 * 8, "expected ≥7-way conflicts, got {:?}", stats);
+    }
+
+    #[test]
+    fn padded_24b_at_most_2way() {
+        // §III-E2: with Eq. 3 padding, 24-byte accesses induce at most a
+        // 2-way conflict per phase.
+        let p = PaddingScheme::for_width(24);
+        let offsets: Vec<usize> = (0..32).map(|i| p.physical(i * 24)).collect();
+        let stats = warp_access_conflicts(&offsets, 24);
+        let phases = stats.transactions;
+        assert!(stats.conflicts <= phases, "≤1 extra phase per phase: {stats:?}");
+        // And strictly better than unpadded.
+        let raw: Vec<usize> = (0..32).map(|i| i * 24).collect();
+        let unpadded = warp_access_conflicts(&raw, 24);
+        assert!(stats.conflicts < unpadded.conflicts);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        // All threads reading the same node: multicast, no conflicts.
+        let offsets = vec![64usize; 32];
+        let stats = warp_access_conflicts(&offsets, 16);
+        assert_eq!(stats.conflicts, 0);
+    }
+
+    #[test]
+    fn strided_reduction_load_pattern() {
+        // Reduction level: thread i loads nodes 2i and 2i+1 (measured as
+        // two warp accesses). Unpadded 16B: stride-32B pattern conflicts.
+        let even: Vec<usize> = (0..32).map(|i| (2 * i) * 16).collect();
+        let unpadded = warp_access_conflicts(&even, 16);
+        assert!(unpadded.conflicts > 0);
+        let p = PaddingScheme::for_width(16);
+        let padded: Vec<usize> = (0..32).map(|i| p.physical((2 * i) * 16)).collect();
+        let padded_stats = warp_access_conflicts(&padded, 16);
+        assert!(padded_stats.conflicts < unpadded.conflicts);
+    }
+
+    #[test]
+    fn shared_mem_recorder_accumulates() {
+        let mut sm = SharedMem::new(PaddingScheme::none(), 16);
+        sm.warp_load(&(0..32).map(|i| 2 * i).collect::<Vec<_>>());
+        sm.warp_store(&(0..32).collect::<Vec<_>>());
+        assert!(sm.load_stats().transactions > 0);
+        assert!(sm.store_stats().transactions > 0);
+        assert_eq!(sm.total_conflicts(), sm.load_stats().conflicts + sm.store_stats().conflicts);
+    }
+
+    #[test]
+    fn padded_len_accounts_for_pads() {
+        let p = PaddingScheme::for_width(16);
+        assert_eq!(p.padded_len(128), 128 + 4);
+        assert_eq!(p.padded_len(256), 256 + 8);
+        assert_eq!(PaddingScheme::none().padded_len(256), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be a positive multiple of 4")]
+    fn rejects_unaligned_width() {
+        let _ = PaddingScheme::for_width(10);
+    }
+}

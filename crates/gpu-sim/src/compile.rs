@@ -1,0 +1,172 @@
+//! Compile-time cost model (§III-C3, Table XI).
+//!
+//! The paper observes that compile-time (`if constexpr`) branch selection
+//! is *cheaper to compile* than the baseline: PTX inline-asm blocks shrink
+//! the optimizer's search space more than template instantiation costs.
+//! This module reproduces that trade-off with an explicit pass model:
+//!
+//! * a kernel body is a number of IR statements;
+//! * optimization passes cost super-linearly in optimizable statements;
+//! * `asm volatile` blocks are opaque: their statements are excluded from
+//!   optimization (only register allocation sees them);
+//! * a runtime branch compiles *both* paths into one kernel (bigger body);
+//! * a compile-time branch instantiates a template per selected path but
+//!   each instance contains a single path.
+
+/// How SHA-2 path selection is expressed in source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchStrategy {
+    /// Baseline: native code only, no branch machinery.
+    NativeOnly,
+    /// Both paths compiled into each kernel, selected at runtime
+    /// (the approach §III-C3 rejects).
+    RuntimeBranch,
+    /// `if constexpr` specialization: one path per kernel instance,
+    /// small template-instantiation overhead (HERO-Sign).
+    CompileTimeBranch,
+}
+
+/// One kernel's compilation workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelSource {
+    /// IR statements of the native SHA-2 path (fully inlined, unrolled).
+    pub native_stmts: u32,
+    /// IR statements of the PTX path that remain optimizer-visible
+    /// (glue code around the asm blocks).
+    pub ptx_visible_stmts: u32,
+    /// IR statements hidden inside `asm volatile` blocks.
+    pub ptx_opaque_stmts: u32,
+    /// Whether the compile-time selection resolves this kernel to the PTX
+    /// path (per Table V).
+    pub selects_ptx: bool,
+}
+
+/// Compilation-time model constants (arbitrary "pass units" mapped to
+/// seconds with [`UNIT_SECONDS`]).
+mod cost {
+    /// Super-linear optimization exponent (inliner + scheduler).
+    pub const OPT_EXPONENT: f64 = 1.18;
+    /// Cost per optimizable statement (units).
+    pub const OPT_UNIT: f64 = 1.0;
+    /// Cost per opaque (asm) statement: only regalloc touches it.
+    pub const OPAQUE_UNIT: f64 = 0.22;
+    /// Fixed front-end cost per kernel instance.
+    pub const INSTANCE_FIXED: f64 = 260.0;
+    /// Extra fixed cost per template instantiation.
+    pub const TEMPLATE_FIXED: f64 = 95.0;
+}
+
+/// Seconds per pass unit; calibrated so the baseline 128f build lands near
+/// Table XI's 18.68 s.
+pub const UNIT_SECONDS: f64 = 0.000_23;
+
+fn opt_cost(stmts: f64) -> f64 {
+    cost::OPT_UNIT * stmts.powf(cost::OPT_EXPONENT)
+}
+
+/// Compilation cost of one kernel under `strategy`, in pass units.
+pub fn kernel_compile_units(src: &KernelSource, strategy: BranchStrategy) -> f64 {
+    match strategy {
+        BranchStrategy::NativeOnly => cost::INSTANCE_FIXED + opt_cost(src.native_stmts as f64),
+        BranchStrategy::RuntimeBranch => {
+            // One kernel containing both paths: the optimizer sees the
+            // union, and cross-path analysis compounds the exponent.
+            let visible = src.native_stmts as f64 + src.ptx_visible_stmts as f64;
+            cost::INSTANCE_FIXED
+                + opt_cost(visible)
+                + cost::OPAQUE_UNIT * src.ptx_opaque_stmts as f64
+        }
+        BranchStrategy::CompileTimeBranch => {
+            // One instantiated specialization, containing only the chosen
+            // path (dead branch discarded before optimization).
+            let (visible, opaque) = if src.selects_ptx {
+                (src.ptx_visible_stmts as f64, src.ptx_opaque_stmts as f64)
+            } else {
+                (src.native_stmts as f64, 0.0)
+            };
+            cost::INSTANCE_FIXED
+                + cost::TEMPLATE_FIXED
+                + opt_cost(visible)
+                + cost::OPAQUE_UNIT * opaque
+        }
+    }
+}
+
+/// Compilation time in seconds for a full build of `kernels`.
+pub fn build_seconds(kernels: &[KernelSource], strategy: BranchStrategy) -> f64 {
+    kernels.iter().map(|k| kernel_compile_units(k, strategy)).sum::<f64>() * UNIT_SECONDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<KernelSource> {
+        vec![
+            KernelSource { native_stmts: 5200, ptx_visible_stmts: 3400, ptx_opaque_stmts: 1400, selects_ptx: true },
+            KernelSource { native_stmts: 7400, ptx_visible_stmts: 4800, ptx_opaque_stmts: 1900, selects_ptx: false },
+            KernelSource { native_stmts: 3100, ptx_visible_stmts: 2100, ptx_opaque_stmts: 900, selects_ptx: false },
+        ]
+    }
+
+    #[test]
+    fn compile_time_branch_cheaper_than_runtime() {
+        let ks = sample();
+        let rt = build_seconds(&ks, BranchStrategy::RuntimeBranch);
+        let ct = build_seconds(&ks, BranchStrategy::CompileTimeBranch);
+        assert!(ct < rt, "constexpr specialization must beat runtime branching");
+    }
+
+    #[test]
+    fn compile_time_branch_cheaper_than_native_when_ptx_selected() {
+        // Table XI: HERO-Sign compiles *faster* than the baseline — the
+        // PTX asm blocks shrink the optimizer's search space by more than
+        // template instantiation adds.
+        let ks = vec![KernelSource {
+            native_stmts: 6000,
+            ptx_visible_stmts: 3600,
+            ptx_opaque_stmts: 1600,
+            selects_ptx: true,
+        }];
+        let native = build_seconds(&ks, BranchStrategy::NativeOnly);
+        let hero = build_seconds(&ks, BranchStrategy::CompileTimeBranch);
+        assert!(hero < native, "hero={hero} native={native}");
+        let speedup = native / hero;
+        assert!(speedup > 1.0 && speedup < 2.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn native_selection_costs_template_overhead_only() {
+        // When a kernel keeps the native path, the compile-time strategy
+        // pays only the small template fixed cost over baseline.
+        let ks = vec![KernelSource {
+            native_stmts: 6000,
+            ptx_visible_stmts: 3600,
+            ptx_opaque_stmts: 1600,
+            selects_ptx: false,
+        }];
+        let native = build_seconds(&ks, BranchStrategy::NativeOnly);
+        let hero = build_seconds(&ks, BranchStrategy::CompileTimeBranch);
+        let overhead = hero - native;
+        assert!(overhead > 0.0);
+        assert!(overhead < native * 0.05, "template overhead must be small: {overhead}");
+    }
+
+    #[test]
+    fn opaque_statements_cheap() {
+        let a = KernelSource { native_stmts: 0, ptx_visible_stmts: 1000, ptx_opaque_stmts: 0, selects_ptx: true };
+        let b = KernelSource { native_stmts: 0, ptx_visible_stmts: 0, ptx_opaque_stmts: 1000, selects_ptx: true };
+        let ca = kernel_compile_units(&a, BranchStrategy::CompileTimeBranch);
+        let cb = kernel_compile_units(&b, BranchStrategy::CompileTimeBranch);
+        assert!(cb < ca, "asm-opaque code must compile faster than visible code");
+    }
+
+    #[test]
+    fn build_time_positive_and_additive() {
+        let ks = sample();
+        let one = build_seconds(&ks[..1], BranchStrategy::NativeOnly);
+        let all = build_seconds(&ks, BranchStrategy::NativeOnly);
+        assert!(one > 0.0);
+        assert!(all > one);
+    }
+}

@@ -1,0 +1,333 @@
+//! GPU device catalog (Table VII of the paper).
+//!
+//! Every quantity the model consumes is a published hardware parameter:
+//! SM count, CUDA cores per SM, base clock, register file, shared-memory
+//! capacities, warp limits. The paper's optimizations are wins against
+//! exactly these budgets, so carrying them faithfully is what makes the
+//! simulated speedups meaningful.
+
+use std::fmt;
+
+/// NVIDIA GPU microarchitecture generations used in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// GTX 10-series (SM 6.x).
+    Pascal,
+    /// V100 (SM 7.0).
+    Volta,
+    /// RTX 20-series (SM 7.5).
+    Turing,
+    /// A100 (SM 8.0).
+    Ampere,
+    /// RTX 40-series (SM 8.9).
+    Ada,
+    /// H100 (SM 9.0).
+    Hopper,
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Arch::Pascal => "Pascal",
+            Arch::Volta => "Volta",
+            Arch::Turing => "Turing",
+            Arch::Ampere => "Ampere",
+            Arch::Ada => "Ada",
+            Arch::Hopper => "Hopper",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static properties of a GPU, the `cudaGetDeviceProperties` surface the
+/// Tree Tuning algorithm queries (Fig. 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProps {
+    /// Marketing name, e.g. `"RTX 4090"`.
+    pub name: &'static str,
+    /// Microarchitecture.
+    pub arch: Arch,
+    /// SM version, e.g. 89 for `sm_89`.
+    pub sm_version: u32,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Base clock in MHz (Table VII).
+    pub base_clock_mhz: u32,
+    /// Maximum resident warps per SM (`W_max` in Eq. 1).
+    pub max_warps_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum thread blocks resident per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM (`R_total` in Eq. 1).
+    pub registers_per_sm: u32,
+    /// Maximum registers addressable per thread.
+    pub max_registers_per_thread: u32,
+    /// Static shared memory limit per block (bytes) — 48 KiB everywhere.
+    pub smem_static_per_block: u32,
+    /// Maximum dynamic (opt-in) shared memory per block (bytes).
+    pub smem_dynamic_max_per_block: u32,
+    /// Shared memory per SM (bytes).
+    pub smem_per_sm: u32,
+    /// Shared-memory banks (4-byte wide).
+    pub smem_banks: u32,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gb_s: f64,
+    /// Host↔device PCIe bandwidth in GB/s (effective, one direction).
+    pub pcie_bandwidth_gb_s: f64,
+    /// Host-side latency of one stream kernel launch (µs).
+    pub kernel_launch_overhead_us: f64,
+    /// Host-side latency of launching one instantiated task graph (µs).
+    pub graph_launch_overhead_us: f64,
+}
+
+impl DeviceProps {
+    /// Total CUDA cores (`sm_count · cores_per_sm`).
+    pub fn total_cores(&self) -> u64 {
+        self.sm_count as u64 * self.cores_per_sm as u64
+    }
+
+    /// Peak ALU issue rate in cycles per second × lanes.
+    pub fn peak_lane_cycles_per_sec(&self) -> f64 {
+        self.total_cores() as f64 * self.base_clock_mhz as f64 * 1.0e6
+    }
+
+    /// The shared-memory budget the Tree Tuning algorithm's
+    /// `SEMEPerBlock()` query returns (§III-B, Algorithm 1).
+    pub fn seme_per_block(&self, policy: SmemPolicy) -> u32 {
+        match policy {
+            SmemPolicy::Static => self.smem_static_per_block,
+            SmemPolicy::DynamicMax => self.smem_dynamic_max_per_block,
+        }
+    }
+}
+
+/// Which shared-memory limit `SEMEPerBlock()` reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SmemPolicy {
+    /// 48 KiB static limit (used for the RTX 4090 results of Table IV).
+    #[default]
+    Static,
+    /// Architecture's opt-in dynamic maximum (used for Fig. 14 retuning).
+    DynamicMax,
+}
+
+/// The six GPUs of Table VII.
+///
+/// Clock rates are the paper's; resource limits are the published CUDA
+/// occupancy-calculator values for each architecture.
+pub fn catalog() -> Vec<DeviceProps> {
+    vec![gtx_1070(), v100(), rtx_2080_ti(), a100(), rtx_4090(), h100()]
+}
+
+/// GTX 1070 (Pascal, SM 6.1).
+pub fn gtx_1070() -> DeviceProps {
+    DeviceProps {
+        name: "GTX 1070",
+        arch: Arch::Pascal,
+        sm_version: 61,
+        sm_count: 15,
+        cores_per_sm: 128,
+        base_clock_mhz: 1506,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 48 * 1024, // Pascal has no opt-in beyond 48K
+        smem_per_sm: 96 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 256.0,
+        pcie_bandwidth_gb_s: 12.0,
+        kernel_launch_overhead_us: 2.2,
+        graph_launch_overhead_us: 4.5,
+    }
+}
+
+/// Tesla V100 (Volta, SM 7.0).
+pub fn v100() -> DeviceProps {
+    DeviceProps {
+        name: "V100",
+        arch: Arch::Volta,
+        sm_version: 70,
+        sm_count: 80,
+        cores_per_sm: 64,
+        base_clock_mhz: 1230,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 96 * 1024,
+        smem_per_sm: 96 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 900.0,
+        pcie_bandwidth_gb_s: 12.5,
+        kernel_launch_overhead_us: 1.8,
+        graph_launch_overhead_us: 4.0,
+    }
+}
+
+/// RTX 2080 Ti (Turing, SM 7.5).
+pub fn rtx_2080_ti() -> DeviceProps {
+    DeviceProps {
+        name: "RTX 2080 Ti",
+        arch: Arch::Turing,
+        sm_version: 75,
+        sm_count: 68,
+        cores_per_sm: 64,
+        base_clock_mhz: 1350,
+        max_warps_per_sm: 32,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 16,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 64 * 1024,
+        smem_per_sm: 64 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 616.0,
+        pcie_bandwidth_gb_s: 12.5,
+        kernel_launch_overhead_us: 1.7,
+        graph_launch_overhead_us: 3.8,
+    }
+}
+
+/// A100 (Ampere, SM 8.0).
+pub fn a100() -> DeviceProps {
+    DeviceProps {
+        name: "A100",
+        arch: Arch::Ampere,
+        sm_version: 80,
+        sm_count: 108,
+        cores_per_sm: 64,
+        base_clock_mhz: 1095,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 163 * 1024,
+        smem_per_sm: 164 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 1555.0,
+        pcie_bandwidth_gb_s: 24.0,
+        kernel_launch_overhead_us: 1.5,
+        graph_launch_overhead_us: 3.3,
+    }
+}
+
+/// RTX 4090 (Ada Lovelace, SM 8.9) — the paper's primary platform.
+pub fn rtx_4090() -> DeviceProps {
+    DeviceProps {
+        name: "RTX 4090",
+        arch: Arch::Ada,
+        sm_version: 89,
+        sm_count: 128,
+        cores_per_sm: 128,
+        base_clock_mhz: 2235,
+        max_warps_per_sm: 48,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 24,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 99 * 1024,
+        smem_per_sm: 100 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 1008.0,
+        pcie_bandwidth_gb_s: 22.0,
+        kernel_launch_overhead_us: 1.39,
+        graph_launch_overhead_us: 3.0,
+    }
+}
+
+/// H100 (Hopper, SM 9.0).
+pub fn h100() -> DeviceProps {
+    DeviceProps {
+        name: "H100",
+        arch: Arch::Hopper,
+        sm_version: 90,
+        sm_count: 132,
+        cores_per_sm: 128,
+        base_clock_mhz: 1035,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        registers_per_sm: 65_536,
+        max_registers_per_thread: 255,
+        smem_static_per_block: 48 * 1024,
+        smem_dynamic_max_per_block: 227 * 1024,
+        smem_per_sm: 228 * 1024,
+        smem_banks: 32,
+        mem_bandwidth_gb_s: 3350.0,
+        pcie_bandwidth_gb_s: 50.0,
+        kernel_launch_overhead_us: 1.45,
+        graph_launch_overhead_us: 3.2,
+    }
+}
+
+/// Looks a device up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<DeviceProps> {
+    catalog().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_vii() {
+        let devices = catalog();
+        assert_eq!(devices.len(), 6);
+        let clocks: Vec<(String, u32)> =
+            devices.iter().map(|d| (d.name.to_string(), d.base_clock_mhz)).collect();
+        assert!(clocks.contains(&("GTX 1070".into(), 1506)));
+        assert!(clocks.contains(&("V100".into(), 1230)));
+        assert!(clocks.contains(&("RTX 2080 Ti".into(), 1350)));
+        assert!(clocks.contains(&("A100".into(), 1095)));
+        assert!(clocks.contains(&("RTX 4090".into(), 2235)));
+        assert!(clocks.contains(&("H100".into(), 1035)));
+    }
+
+    #[test]
+    fn rtx_4090_core_counts_match_paper() {
+        // §IV-F: 16,384 cores on 4090 vs 16,896 on H100.
+        assert_eq!(rtx_4090().total_cores(), 16_384);
+        assert_eq!(h100().total_cores(), 16_896);
+        assert_eq!(gtx_1070().total_cores(), 1_920); // "limited 1920 cores"
+    }
+
+    #[test]
+    fn clock_ratio_matches_paper() {
+        // §IV-F: 4090 has a 2.16x frequency advantage over H100.
+        let ratio = rtx_4090().base_clock_mhz as f64 / h100().base_clock_mhz as f64;
+        assert!((ratio - 2.16).abs() < 0.01, "ratio={ratio}");
+    }
+
+    #[test]
+    fn instruction_throughput_ordering() {
+        // Throughput ∝ cores × frequency: 4090 must beat H100 (§IV-F).
+        assert!(rtx_4090().peak_lane_cycles_per_sec() > h100().peak_lane_cycles_per_sec());
+    }
+
+    #[test]
+    fn seme_policies() {
+        let d = rtx_4090();
+        assert_eq!(d.seme_per_block(SmemPolicy::Static), 48 * 1024);
+        assert_eq!(d.seme_per_block(SmemPolicy::DynamicMax), 99 * 1024);
+        // Hopper's 228 KB/SM headline (§IV-F).
+        assert_eq!(h100().smem_per_sm, 228 * 1024);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("rtx 4090").unwrap().arch, Arch::Ada);
+        assert!(by_name("RTX 5090").is_none());
+    }
+}

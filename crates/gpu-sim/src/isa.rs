@@ -1,0 +1,261 @@
+//! Instruction classes and per-class issue costs.
+//!
+//! The paper's PTX tuning swaps specific instruction choices: `prmt`
+//! byte-permutes replace multi-`shl` big-endian loads, and `mad` (with a
+//! decoy operand) replaces `IADD3` chains (§III-C1, Fig. 5). The model
+//! carries those classes explicitly so a kernel's cost is a function of
+//! its instruction mix, exactly the lever the compile-time branch flips.
+
+use std::ops::{Add, AddAssign};
+
+/// Number of instruction classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// Classes of SASS-level instructions the cost model distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum InstrClass {
+    /// Generic single-issue ALU op (XOR, AND, LOP3, ADD).
+    Alu = 0,
+    /// Shift (`shl`/`shr`) — the native big-endian load building block.
+    Shl = 1,
+    /// Byte permute (`prmt`) — one instruction replacing several shifts.
+    Prmt = 2,
+    /// Multiply-add (`mad.lo.u32`) kept alive by the decoy operand.
+    Mad = 3,
+    /// Three-input add (`IADD3`) — what the compiler fuses adds into.
+    Iadd3 = 4,
+    /// Shared-memory load (`LDS`).
+    Lds = 5,
+    /// Shared-memory store (`STS`).
+    Sts = 6,
+    /// Global-memory load (`LDG`), cost amortized over coalescing.
+    Ldg = 7,
+    /// Constant-memory load (`LDC`), broadcast-friendly.
+    Ldc = 8,
+    /// Block-wide barrier (`BAR.SYNC` / `__syncthreads`).
+    Sync = 9,
+}
+
+impl InstrClass {
+    /// All classes, in discriminant order.
+    pub const ALL: [InstrClass; NUM_CLASSES] = [
+        InstrClass::Alu,
+        InstrClass::Shl,
+        InstrClass::Prmt,
+        InstrClass::Mad,
+        InstrClass::Iadd3,
+        InstrClass::Lds,
+        InstrClass::Sts,
+        InstrClass::Ldg,
+        InstrClass::Ldc,
+        InstrClass::Sync,
+    ];
+
+    /// Issue cost in cycles per instruction per thread lane.
+    ///
+    /// Values reflect relative CUDA-core throughputs: shifts and simple
+    /// ALU are full-rate; `prmt`/`mad` are half-rate on consumer parts
+    /// (the paper notes `prmt` has *higher latency* than one `shl` but
+    /// replaces several); memory ops carry their pipeline occupancy.
+    pub const fn issue_cycles(self) -> f64 {
+        match self {
+            InstrClass::Alu => 1.0,
+            InstrClass::Shl => 1.0,
+            InstrClass::Prmt => 2.0,
+            InstrClass::Mad => 2.0,
+            InstrClass::Iadd3 => 1.0,
+            InstrClass::Lds => 2.0,
+            InstrClass::Sts => 2.0,
+            InstrClass::Ldg => 8.0,
+            InstrClass::Ldc => 1.5,
+            InstrClass::Sync => 4.0,
+        }
+    }
+
+    /// Dependent-issue latency in cycles (for critical-path accounting).
+    pub const fn dep_latency_cycles(self) -> f64 {
+        match self {
+            InstrClass::Alu | InstrClass::Shl | InstrClass::Iadd3 => 4.0,
+            InstrClass::Prmt | InstrClass::Mad => 6.0,
+            InstrClass::Lds | InstrClass::Sts => 22.0,
+            InstrClass::Ldg => 250.0,
+            InstrClass::Ldc => 8.0,
+            InstrClass::Sync => 30.0,
+        }
+    }
+}
+
+/// A histogram of instruction counts by class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    counts: [u64; NUM_CLASSES],
+}
+
+impl InstrMix {
+    /// Empty mix.
+    pub const fn new() -> Self {
+        Self { counts: [0; NUM_CLASSES] }
+    }
+
+    /// Adds `count` instructions of `class`.
+    pub fn add_count(&mut self, class: InstrClass, count: u64) {
+        self.counts[class as usize] += count;
+    }
+
+    /// Returns the mix with `count` instructions of `class` added
+    /// (builder style).
+    pub fn with(mut self, class: InstrClass, count: u64) -> Self {
+        self.add_count(class, count);
+        self
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// Total instructions across classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Issue cost of the whole mix in lane-cycles.
+    pub fn issue_cycles(&self) -> f64 {
+        InstrClass::ALL
+            .iter()
+            .map(|&c| self.counts[c as usize] as f64 * c.issue_cycles())
+            .sum()
+    }
+
+    /// Dependent-chain latency of the mix in cycles (treats the mix as one
+    /// serial chain — callers pass per-thread critical paths).
+    pub fn dep_latency_cycles(&self) -> f64 {
+        InstrClass::ALL
+            .iter()
+            .map(|&c| self.counts[c as usize] as f64 * c.dep_latency_cycles())
+            .sum()
+    }
+
+    /// Scales every count by `factor` (e.g. per-leaf mix × leaf count).
+    pub fn scaled(&self, factor: u64) -> Self {
+        let mut out = *self;
+        for c in &mut out.counts {
+            *c *= factor;
+        }
+        out
+    }
+}
+
+impl Add for InstrMix {
+    type Output = InstrMix;
+    fn add(self, rhs: InstrMix) -> InstrMix {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for InstrMix {
+    fn add_assign(&mut self, rhs: InstrMix) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Instruction mix of **one SHA-256 compression** under a given code path.
+///
+/// The counts are calibrated against typical SASS for a fully unrolled
+/// SHA-256 round function: 48 schedule expansions (~10 ops each), 64
+/// rounds (~16 ops each), plus the 16 big-endian word loads that the
+/// native path lowers to shift/or sequences and the PTX path lowers to
+/// one `prmt` per word (§III-C1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sha2Path {
+    /// Compiler-scheduled C++ path.
+    Native,
+    /// Hand-tuned PTX path (`prmt` + decoyed `mad`).
+    Ptx,
+}
+
+impl Sha2Path {
+    /// Per-compression instruction mix.
+    pub fn compression_mix(self) -> InstrMix {
+        match self {
+            Sha2Path::Native => InstrMix::new()
+                // 16 big-endian loads × (3 shl + 3 or-ish ALU)
+                .with(InstrClass::Shl, 16 * 3)
+                .with(InstrClass::Alu, 16 * 3)
+                // 48 schedule words × ~10 ops
+                .with(InstrClass::Alu, 48 * 10)
+                // 64 rounds × ~13 logic ops + 3-input adds
+                .with(InstrClass::Alu, 64 * 13)
+                .with(InstrClass::Iadd3, 64 * 3),
+            Sha2Path::Ptx => InstrMix::new()
+                // 16 big-endian loads × 1 prmt
+                .with(InstrClass::Prmt, 16)
+                // schedule + rounds logic unchanged
+                .with(InstrClass::Alu, 48 * 10)
+                .with(InstrClass::Alu, 64 * 13)
+                // one decoyed mad per round folds two adds (Fig. 5)
+                .with(InstrClass::Mad, 64),
+        }
+    }
+
+    /// Issue cycles of one compression on this path.
+    pub fn compression_cycles(self) -> f64 {
+        self.compression_mix().issue_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_accumulates_and_totals() {
+        let mut mix = InstrMix::new();
+        mix.add_count(InstrClass::Alu, 10);
+        mix.add_count(InstrClass::Shl, 5);
+        mix.add_count(InstrClass::Alu, 2);
+        assert_eq!(mix.count(InstrClass::Alu), 12);
+        assert_eq!(mix.total(), 17);
+    }
+
+    #[test]
+    fn issue_cycles_weighted() {
+        let mix = InstrMix::new().with(InstrClass::Prmt, 4).with(InstrClass::Alu, 4);
+        assert!((mix.issue_cycles() - (4.0 * 2.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = InstrMix::new().with(InstrClass::Lds, 3);
+        let b = InstrMix::new().with(InstrClass::Lds, 2).with(InstrClass::Sts, 1);
+        let sum = a + b;
+        assert_eq!(sum.count(InstrClass::Lds), 5);
+        assert_eq!(sum.scaled(10).count(InstrClass::Sts), 10);
+    }
+
+    #[test]
+    fn ptx_compression_fewer_instructions() {
+        // prmt replaces 6-op sequences: the PTX mix must have fewer total
+        // instructions, and fewer issue cycles, than native.
+        let native = Sha2Path::Native.compression_mix();
+        let ptx = Sha2Path::Ptx.compression_mix();
+        assert!(ptx.total() < native.total());
+        assert!(Sha2Path::Ptx.compression_cycles() < Sha2Path::Native.compression_cycles());
+        // …but not dramatically: the paper's per-kernel PTX step gains are
+        // single-digit percent absent occupancy effects (Fig. 11: +PTX is
+        // 1.04x on 128f).
+        let ratio = Sha2Path::Native.compression_cycles() / Sha2Path::Ptx.compression_cycles();
+        assert!(ratio > 1.0 && ratio < 1.15, "ratio={ratio}");
+    }
+
+    #[test]
+    fn sync_is_costly_per_issue() {
+        assert!(InstrClass::Sync.issue_cycles() > InstrClass::Alu.issue_cycles());
+        assert!(InstrClass::Ldg.dep_latency_cycles() > InstrClass::Ldc.dep_latency_cycles());
+    }
+}

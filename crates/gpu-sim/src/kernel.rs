@@ -1,0 +1,107 @@
+//! Kernel descriptors: everything the timing engine needs to know about
+//! one kernel launch.
+//!
+//! HERO-Sign's kernels are described analytically — grid/block geometry,
+//! register footprint, per-kernel instruction totals, shared/global memory
+//! traffic and barrier counts — while their *functional* work runs as real
+//! multi-threaded Rust in `hero-sign`. The descriptor is the simulator's
+//! contract.
+
+use crate::isa::InstrMix;
+use crate::occupancy::BlockResources;
+
+/// Memory-placement class for a kernel's read-only working set (§III-D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RoDataPlacement {
+    /// Seeds and initial state in global memory (baseline).
+    #[default]
+    Global,
+    /// Seeds in `__constant__` memory: broadcast reads, near-SRAM latency.
+    Constant,
+    /// Vectorized global loads (`ldg.64` / `ldg.128`) for infrequent access.
+    GlobalVectorized,
+}
+
+/// Full analytic description of one kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel name, e.g. `"FORS_Sign"`.
+    pub name: String,
+    /// Thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Per-block resources (threads, registers, shared memory).
+    pub block: BlockResources,
+    /// Fraction of threads in a block doing useful work, in (0, 1]. The
+    /// baseline single-tree FORS kernel leaves most of a 1024-thread block
+    /// idle; MMTP raises this toward 1 (§III-A).
+    pub active_thread_fraction: f64,
+    /// Total instruction mix across **all** threads of the launch.
+    pub instr_total: InstrMix,
+    /// Longest serial dependence chain of any single thread.
+    pub critical_path: InstrMix,
+    /// Shared-memory warp transactions issued (conflict-free count).
+    pub smem_transactions: u64,
+    /// Extra serialized transaction phases due to bank conflicts.
+    pub smem_conflicts: u64,
+    /// Global-memory traffic in bytes.
+    pub gmem_bytes: u64,
+    /// Constant-memory reads (broadcast; near-free but tracked).
+    pub cmem_reads: u64,
+    /// Block-wide barriers executed per block.
+    pub syncs_per_block: u64,
+    /// Placement of the read-only working set.
+    pub ro_placement: RoDataPlacement,
+    /// Relative pipeline efficiency of this kernel's dataflow, multiplying
+    /// the engine's base IPC calibration (1.0 = the smem-coupled tree
+    /// reduction regime; independent hash chains dual-issue far better —
+    /// the per-kernel issue-slot-utilization differences Nsight shows).
+    pub ipc_factor: f64,
+}
+
+impl KernelDesc {
+    /// A descriptor with empty work, for incremental construction.
+    pub fn empty(name: impl Into<String>, grid_blocks: u32, block: BlockResources) -> Self {
+        Self {
+            name: name.into(),
+            grid_blocks,
+            block,
+            active_thread_fraction: 1.0,
+            instr_total: InstrMix::new(),
+            critical_path: InstrMix::new(),
+            smem_transactions: 0,
+            smem_conflicts: 0,
+            gmem_bytes: 0,
+            cmem_reads: 0,
+            syncs_per_block: 0,
+            ro_placement: RoDataPlacement::Global,
+            ipc_factor: 1.0,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block.threads as u64
+    }
+
+    /// Useful (active) threads in the grid.
+    pub fn active_threads(&self) -> f64 {
+        self.total_threads() as f64 * self.active_thread_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstrClass;
+
+    #[test]
+    fn empty_then_fill() {
+        let block = BlockResources { threads: 256, regs_per_thread: 64, smem_bytes: 1024 };
+        let mut desc = KernelDesc::empty("FORS_Sign", 33, block);
+        desc.instr_total.add_count(InstrClass::Alu, 1000);
+        desc.active_thread_fraction = 0.5;
+        assert_eq!(desc.total_threads(), 33 * 256);
+        assert!((desc.active_threads() - 33.0 * 128.0).abs() < 1e-9);
+        assert_eq!(desc.instr_total.total(), 1000);
+    }
+}

@@ -1,0 +1,51 @@
+//! # hero-gpu-sim
+//!
+//! An analytical + discrete-event model of NVIDIA GPU execution, built as
+//! the hardware substrate for the HERO-Sign reproduction. This environment
+//! has no CUDA device, so the paper's performance behaviour is reproduced
+//! from the same published resource budgets the real optimizations fight
+//! over:
+//!
+//! * [`device`] — the Table VII GPU catalog (SMs, cores, clocks, register
+//!   files, shared-memory capacities, launch overheads).
+//! * [`mod@occupancy`] — Equation 1 and the full CUDA occupancy calculation.
+//! * [`banks`] — the 32-bank shared-memory conflict model and the
+//!   generalized padding strategy of Equations 2–3.
+//! * [`isa`] — instruction classes (`prmt`, `mad`, `IADD3`, `shl`, …) with
+//!   issue/latency costs; native vs PTX SHA-256 instruction mixes.
+//! * [`kernel`] — analytic kernel descriptors.
+//! * [`engine`] — the roofline timing model and Nsight-style metrics.
+//! * [`stream`] — streams, launch overheads and a device timeline
+//!   (the substrate for CUDA-Graph batching in `hero-task-graph`).
+//! * [`compile`] — the compile-time cost model behind Table XI.
+//! * [`profiler`] — aggregated Nsight-like reports.
+//!
+//! ## Example: occupancy of a register-hungry kernel
+//!
+//! ```
+//! use hero_gpu_sim::device::rtx_4090;
+//! use hero_gpu_sim::occupancy::{occupancy, BlockResources};
+//!
+//! let block = BlockResources { threads: 512, regs_per_thread: 128, smem_bytes: 0 };
+//! let occ = occupancy(&rtx_4090(), &block);
+//! assert!(occ.ratio < 0.5); // register-bound, like TREE_Sign in Table III
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod banks;
+pub mod compile;
+pub mod device;
+pub mod engine;
+pub mod isa;
+pub mod kernel;
+pub mod occupancy;
+pub mod pcie;
+pub mod profiler;
+pub mod stream;
+pub mod trace;
+
+pub use device::{DeviceProps, SmemPolicy};
+pub use engine::{simulate_kernel, KernelReport};
+pub use kernel::KernelDesc;
+pub use occupancy::{occupancy, BlockResources, Occupancy};

@@ -1,0 +1,113 @@
+//! Host↔device PCIe transfer model (§IV-E1 of the paper).
+//!
+//! The paper's batch-size guidance is two-sided: "larger batch sizes
+//! (≥512) are preferred [for throughput] *unless PCIe transfer becomes
+//! the bottleneck*; to enable better overlap between host-device data
+//! transfers and computation, a smaller batch size near 64 is optimal."
+//! This module supplies the missing side: per-batch transfer costs and
+//! the classic software-pipeline composition of H2D → compute → D2H with
+//! dual copy engines.
+
+use crate::device::DeviceProps;
+
+/// Fixed per-transfer initiation latency (driver + DMA setup), µs.
+pub const TRANSFER_LATENCY_US: f64 = 8.0;
+
+/// One direction's transfer time for `bytes` on `device` (µs).
+pub fn transfer_us(device: &DeviceProps, bytes: u64) -> f64 {
+    TRANSFER_LATENCY_US + bytes as f64 / (device.pcie_bandwidth_gb_s * 1.0e9) * 1.0e6
+}
+
+/// Result of composing a batched pipeline with transfers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelinedTransfers {
+    /// End-to-end makespan including transfers (µs).
+    pub makespan_us: f64,
+    /// Upload time of one batch (µs).
+    pub h2d_batch_us: f64,
+    /// Download time of one batch (µs).
+    pub d2h_batch_us: f64,
+    /// Whether transfers (not compute) bound the steady state.
+    pub transfer_bound: bool,
+}
+
+/// Composes `batches` pipeline stages where each batch uploads
+/// `h2d_bytes`, computes for `compute_us`, and downloads `d2h_bytes`,
+/// with copies overlapping compute on dedicated copy engines:
+///
+/// ```text
+/// makespan = h2d₁ + (batches−1)·max(compute, h2d, d2h) + compute_last + d2h_last
+/// ```
+pub fn pipeline_with_transfers(
+    device: &DeviceProps,
+    batches: u32,
+    compute_us: f64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+) -> PipelinedTransfers {
+    let h2d = transfer_us(device, h2d_bytes);
+    let d2h = transfer_us(device, d2h_bytes);
+    let steady = compute_us.max(h2d).max(d2h);
+    let batches = batches.max(1) as f64;
+    PipelinedTransfers {
+        makespan_us: h2d + (batches - 1.0) * steady + compute_us + d2h,
+        h2d_batch_us: h2d,
+        d2h_batch_us: d2h,
+        transfer_bound: steady > compute_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::rtx_4090;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let d = rtx_4090();
+        let small = transfer_us(&d, 1 << 10);
+        let large = transfer_us(&d, 1 << 30);
+        assert!(large > small);
+        // 1 GiB at 22 GB/s ≈ 48.8 ms.
+        assert!((large - 48_806.0).abs() < 200.0, "{large}");
+    }
+
+    #[test]
+    fn latency_floor_applies_to_tiny_transfers() {
+        let d = rtx_4090();
+        assert!(transfer_us(&d, 1) >= TRANSFER_LATENCY_US);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_hides_transfers() {
+        // Compute dominates: makespan ≈ fill + N·compute + drain.
+        let d = rtx_4090();
+        let p = pipeline_with_transfers(&d, 16, 1_000.0, 1 << 20, 1 << 20);
+        assert!(!p.transfer_bound);
+        let expected = p.h2d_batch_us + 15.0 * 1_000.0 + 1_000.0 + p.d2h_batch_us;
+        assert!((p.makespan_us - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_detected() {
+        // 64 MiB per batch vs 100 µs of compute: PCIe binds.
+        let d = rtx_4090();
+        let p = pipeline_with_transfers(&d, 8, 100.0, 64 << 20, 64 << 20);
+        assert!(p.transfer_bound);
+        assert!(p.makespan_us > 8.0 * p.h2d_batch_us);
+    }
+
+    #[test]
+    fn single_batch_has_no_overlap() {
+        let d = rtx_4090();
+        let p = pipeline_with_transfers(&d, 1, 500.0, 1 << 20, 1 << 20);
+        assert!((p.makespan_us - (p.h2d_batch_us + 500.0 + p.d2h_batch_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_links_shrink_transfer_time() {
+        let slow = crate::device::gtx_1070(); // 12 GB/s
+        let fast = crate::device::h100(); // 50 GB/s
+        assert!(transfer_us(&fast, 1 << 24) < transfer_us(&slow, 1 << 24));
+    }
+}

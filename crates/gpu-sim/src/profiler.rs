@@ -1,0 +1,141 @@
+//! Nsight-style profiling reports.
+//!
+//! Collects per-kernel [`KernelReport`]s and renders the metric tables the
+//! paper quotes (warp occupancy, compute/memory throughput, bank
+//! conflicts) — the simulator's stand-in for Nsight Systems / Nsight
+//! Compute (§IV-B2).
+
+use crate::banks::AccessStats;
+use crate::engine::KernelReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One profiled kernel entry: timing report plus memory access statistics.
+#[derive(Clone, Debug)]
+pub struct ProfiledKernel {
+    /// Engine timing/metrics report.
+    pub report: KernelReport,
+    /// Shared-memory load statistics (transactions + conflicts).
+    pub smem_loads: AccessStats,
+    /// Shared-memory store statistics.
+    pub smem_stores: AccessStats,
+    /// Invocation count folded into this entry.
+    pub invocations: u64,
+}
+
+/// A profiling session accumulating kernels by name.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    entries: BTreeMap<String, ProfiledKernel>,
+}
+
+impl Profiler {
+    /// Empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one kernel execution.
+    pub fn record(&mut self, report: KernelReport, loads: AccessStats, stores: AccessStats) {
+        let name = report.name.clone();
+        match self.entries.get_mut(&name) {
+            Some(entry) => {
+                entry.report.time_us += report.time_us;
+                entry.smem_loads.merge(loads);
+                entry.smem_stores.merge(stores);
+                entry.invocations += 1;
+                // Occupancy/throughput: keep the most recent sample (the
+                // kernels are homogeneous per session).
+                entry.report.achieved_occupancy = report.achieved_occupancy;
+                entry.report.compute_throughput_pct = report.compute_throughput_pct;
+                entry.report.memory_throughput_pct = report.memory_throughput_pct;
+            }
+            None => {
+                self.entries.insert(
+                    name,
+                    ProfiledKernel { report, smem_loads: loads, smem_stores: stores, invocations: 1 },
+                );
+            }
+        }
+    }
+
+    /// Entry for `name`, if profiled.
+    pub fn entry(&self, name: &str) -> Option<&ProfiledKernel> {
+        self.entries.get(name)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &ProfiledKernel)> {
+        self.entries.iter()
+    }
+
+    /// Total device time across kernels (µs).
+    pub fn total_time_us(&self) -> f64 {
+        self.entries.values().map(|e| e.report.time_us).sum()
+    }
+}
+
+impl fmt::Display for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>10} {:>8} {:>9} {:>9} {:>12} {:>12}",
+            "Kernel", "Time(us)", "Occ(%)", "Cmp(%)", "Mem(%)", "LdConf", "StConf"
+        )?;
+        for (name, e) in &self.entries {
+            writeln!(
+                f,
+                "{:<14} {:>10.1} {:>8.2} {:>9.2} {:>9.2} {:>12} {:>12}",
+                name,
+                e.report.time_us,
+                e.report.achieved_occupancy * 100.0,
+                e.report.compute_throughput_pct,
+                e.report.memory_throughput_pct,
+                e.smem_loads.conflicts,
+                e.smem_stores.conflicts,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::rtx_4090;
+    use crate::engine::simulate_kernel;
+    use crate::kernel::KernelDesc;
+    use crate::occupancy::BlockResources;
+
+    fn report(name: &str) -> KernelReport {
+        let block = BlockResources { threads: 256, regs_per_thread: 32, smem_bytes: 0 };
+        let mut desc = KernelDesc::empty(name, 16, block);
+        desc.instr_total = crate::isa::Sha2Path::Native.compression_mix().scaled(1000);
+        simulate_kernel(&rtx_4090(), &desc)
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut p = Profiler::new();
+        let loads = AccessStats { transactions: 10, conflicts: 3 };
+        let stores = AccessStats { transactions: 5, conflicts: 1 };
+        p.record(report("FORS_Sign"), loads, stores);
+        p.record(report("FORS_Sign"), loads, stores);
+        p.record(report("TREE_Sign"), loads, stores);
+        let fors = p.entry("FORS_Sign").unwrap();
+        assert_eq!(fors.invocations, 2);
+        assert_eq!(fors.smem_loads.conflicts, 6);
+        assert!(p.entry("WOTS+_Sign").is_none());
+        assert!(p.total_time_us() > 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_entries() {
+        let mut p = Profiler::new();
+        p.record(report("A"), AccessStats::default(), AccessStats::default());
+        p.record(report("B"), AccessStats::default(), AccessStats::default());
+        let text = p.to_string();
+        assert!(text.contains('A') && text.contains('B'));
+        assert!(text.contains("Occ(%)"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Streams, events and a discrete-event execution timeline.
+//!
+//! Models the host-side submission behaviour the paper's Task-Graph work
+//! targets (§III-F): every stream launch pays
+//! [`DeviceProps::kernel_launch_overhead_us`] on the host; kernels on the
+//! same stream serialize; kernels on different streams overlap subject to
+//! device-wide SM capacity; idle gaps appear whenever a stream waits on a
+//! dependency or the host is still launching.
+
+use crate::device::DeviceProps;
+
+/// Identifier of a stream within a [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+/// One scheduled kernel execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduledKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Stream it ran on.
+    pub stream: StreamId,
+    /// Host submission time (µs).
+    pub submit_us: f64,
+    /// Device start time (µs).
+    pub start_us: f64,
+    /// Device end time (µs).
+    pub end_us: f64,
+}
+
+/// How a kernel launch is paid for on the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Individual stream launches: host overhead per kernel.
+    Stream,
+    /// Replay of a pre-instantiated task graph: one host overhead for the
+    /// whole batch, near-zero per node.
+    Graph,
+}
+
+/// Discrete-event device timeline.
+///
+/// Capacity model: the device executes kernels concurrently as long as the
+/// sum of their SM demands fits `sm_count`; a kernel's SM demand is
+/// supplied by the caller (grid blocks capped by device SMs).
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    device: DeviceProps,
+    host_cursor_us: f64,
+    stream_ready_us: Vec<f64>,
+    executed: Vec<ScheduledKernel>,
+    /// SM-usage step function: (time, ±sms) events sorted by (time, delta)
+    /// so releases apply before acquisitions at equal instants.
+    events: Vec<(f64, i64)>,
+    launch_count: u64,
+    launch_overhead_total_us: f64,
+    dispatch_idle_total_us: f64,
+}
+
+impl Timeline {
+    /// New empty timeline on `device`.
+    pub fn new(device: DeviceProps) -> Self {
+        Self {
+            device,
+            host_cursor_us: 0.0,
+            stream_ready_us: Vec::new(),
+            executed: Vec::new(),
+            events: Vec::new(),
+            launch_count: 0,
+            launch_overhead_total_us: 0.0,
+            dispatch_idle_total_us: 0.0,
+        }
+    }
+
+    /// Creates (or returns) stream `i`.
+    pub fn stream(&mut self, i: usize) -> StreamId {
+        while self.stream_ready_us.len() <= i {
+            self.stream_ready_us.push(0.0);
+        }
+        StreamId(i)
+    }
+
+    /// Earliest start `t ≥ ready` such that `sms` SMs are free throughout
+    /// `[t, t + dur)`, against every reservation placed so far (including
+    /// ones that start in the future — launches are placed in submission
+    /// order but their ready times are not monotone across streams).
+    fn find_start(&self, ready: f64, dur: f64, sms: u32) -> f64 {
+        let cap = self.device.sm_count as i64;
+        let need = sms as i64;
+
+        let mut usage: i64 = 0;
+        for &(t, delta) in &self.events {
+            if t <= ready {
+                usage += delta;
+            } else {
+                break;
+            }
+        }
+
+        let mut candidate = if usage + need <= cap { Some(ready) } else { None };
+        for &(t, delta) in self.events.iter().filter(|&&(t, _)| t > ready) {
+            if let Some(c) = candidate {
+                if t >= c + dur {
+                    return c;
+                }
+            }
+            usage += delta;
+            if usage + need > cap {
+                candidate = None;
+            } else if candidate.is_none() {
+                candidate = Some(t);
+            }
+        }
+        candidate.unwrap_or_else(|| {
+            self.events.last().map(|&(t, _)| t).unwrap_or(ready).max(ready)
+        })
+    }
+
+    fn reserve(&mut self, start: f64, end: f64, sms: u32) {
+        let insert = |events: &mut Vec<(f64, i64)>, ev: (f64, i64)| {
+            let pos = events.partition_point(|&(t, d)| (t, d) < (ev.0, ev.1));
+            events.insert(pos, ev);
+        };
+        insert(&mut self.events, (start, sms as i64));
+        insert(&mut self.events, (end, -(sms as i64)));
+    }
+
+    /// Submits a kernel of `duration_us` occupying `sms_demand` SMs on
+    /// `stream`, optionally waiting for `deps` (end times of earlier
+    /// submissions).
+    ///
+    /// Returns the completion time.
+    pub fn launch(
+        &mut self,
+        name: impl Into<String>,
+        stream: StreamId,
+        duration_us: f64,
+        sms_demand: u32,
+        mode: LaunchMode,
+        deps: &[f64],
+    ) -> f64 {
+        let (overhead, dispatch_gap) = match mode {
+            // Stream launches pay host overhead plus a device-side
+            // dispatch gap before the kernel starts (the per-kernel idle
+            // the paper's Table II reports and CUDA Graph eliminates).
+            LaunchMode::Stream => (self.device.kernel_launch_overhead_us, 1.0),
+            LaunchMode::Graph => (0.02, 0.05),
+        };
+        let sms = sms_demand.clamp(1, self.device.sm_count);
+
+        // Host submits sequentially.
+        let submit = self.host_cursor_us;
+        self.host_cursor_us += overhead;
+        self.launch_count += 1;
+        self.launch_overhead_total_us += overhead;
+
+        // Device-side readiness: stream order + explicit deps + submission.
+        let dep_ready = deps.iter().copied().fold(0.0f64, f64::max);
+        let ready = self.stream_ready_us[stream.0]
+            .max(dep_ready)
+            .max(submit + overhead);
+
+        let start = self.find_start(ready + dispatch_gap, duration_us, sms);
+        self.dispatch_idle_total_us += dispatch_gap;
+        let end = start + duration_us;
+        self.reserve(start, end, sms);
+        self.stream_ready_us[stream.0] = end;
+
+        self.executed.push(ScheduledKernel {
+            name: name.into(),
+            stream,
+            submit_us: submit,
+            start_us: start,
+            end_us: end,
+        });
+        end
+    }
+
+    /// Advances the host cursor (e.g. for a one-off graph launch fee).
+    pub fn host_pay(&mut self, us: f64) {
+        self.host_cursor_us += us;
+        self.launch_overhead_total_us += us;
+    }
+
+    /// Time when everything submitted has finished.
+    pub fn makespan_us(&self) -> f64 {
+        self.executed
+            .iter()
+            .map(|k| k.end_us)
+            .fold(self.host_cursor_us, f64::max)
+    }
+
+    /// Total device idle time summed over gaps where *nothing* executed
+    /// between the first start and the makespan.
+    pub fn idle_us(&self) -> f64 {
+        if self.executed.is_empty() {
+            return 0.0;
+        }
+        let mut spans: Vec<(f64, f64)> =
+            self.executed.iter().map(|k| (k.start_us, k.end_us)).collect();
+        spans.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let mut idle = 0.0;
+        let mut cover_end = spans[0].0;
+        for (s, e) in spans {
+            if s > cover_end {
+                idle += s - cover_end;
+            }
+            cover_end = cover_end.max(e);
+        }
+        idle
+    }
+
+    /// Kernels executed, in submission order.
+    pub fn executed(&self) -> &[ScheduledKernel] {
+        &self.executed
+    }
+
+    /// Number of host launches performed.
+    pub fn launch_count(&self) -> u64 {
+        self.launch_count
+    }
+
+    /// Cumulative host launch overhead (µs) — the quantity Fig. 12's
+    /// latency panel reports.
+    pub fn launch_overhead_total_us(&self) -> f64 {
+        self.launch_overhead_total_us
+    }
+
+    /// Aggregate device-side dispatch idle across all launches (µs) —
+    /// summed per kernel, the Table II "Idle Time" analogue.
+    pub fn dispatch_idle_total_us(&self) -> f64 {
+        self.dispatch_idle_total_us
+    }
+
+    /// The device this timeline models.
+    pub fn device(&self) -> &DeviceProps {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::rtx_4090;
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s = tl.stream(0);
+        let e1 = tl.launch("a", s, 100.0, 32, LaunchMode::Stream, &[]);
+        let e2 = tl.launch("b", s, 100.0, 32, LaunchMode::Stream, &[]);
+        assert!(e2 >= e1 + 100.0);
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s0 = tl.stream(0);
+        let s1 = tl.stream(1);
+        let e1 = tl.launch("a", s0, 100.0, 32, LaunchMode::Stream, &[]);
+        let e2 = tl.launch("b", s1, 100.0, 32, LaunchMode::Stream, &[]);
+        // b starts before a ends (plus launch overheads).
+        assert!(e2 < e1 + 100.0);
+    }
+
+    #[test]
+    fn capacity_limits_overlap() {
+        let mut tl = Timeline::new(rtx_4090()); // 128 SMs
+        let s0 = tl.stream(0);
+        let s1 = tl.stream(1);
+        let e1 = tl.launch("big", s0, 100.0, 128, LaunchMode::Stream, &[]);
+        let e2 = tl.launch("second", s1, 100.0, 128, LaunchMode::Stream, &[]);
+        assert!(e2 >= e1 + 100.0, "full-device kernels cannot overlap");
+    }
+
+    #[test]
+    fn partial_capacity_overlaps() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s0 = tl.stream(0);
+        let s1 = tl.stream(1);
+        let e1 = tl.launch("half", s0, 100.0, 64, LaunchMode::Stream, &[]);
+        let e2 = tl.launch("other-half", s1, 100.0, 64, LaunchMode::Stream, &[]);
+        assert!(e2 < e1 + 50.0);
+    }
+
+    #[test]
+    fn deps_enforced_across_streams() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s0 = tl.stream(0);
+        let s1 = tl.stream(1);
+        let e1 = tl.launch("producer", s0, 100.0, 16, LaunchMode::Stream, &[]);
+        let sched_before = tl.executed().len();
+        let e2 = tl.launch("consumer", s1, 10.0, 16, LaunchMode::Stream, &[e1]);
+        assert_eq!(tl.executed().len(), sched_before + 1);
+        assert!(tl.executed().last().unwrap().start_us >= e1);
+        assert!(e2 >= e1 + 10.0);
+    }
+
+    #[test]
+    fn graph_mode_slashes_launch_overhead() {
+        let d = rtx_4090();
+        let mut stream_tl = Timeline::new(d.clone());
+        let mut graph_tl = Timeline::new(d);
+        let s = stream_tl.stream(0);
+        let g = graph_tl.stream(0);
+        for i in 0..100 {
+            stream_tl.launch(format!("k{i}"), s, 10.0, 64, LaunchMode::Stream, &[]);
+            graph_tl.launch(format!("k{i}"), g, 10.0, 64, LaunchMode::Graph, &[]);
+        }
+        // Two orders of magnitude on host overhead (paper: up to 221x).
+        let ratio = stream_tl.launch_overhead_total_us() / graph_tl.launch_overhead_total_us();
+        assert!(ratio > 50.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn idle_time_detected() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s = tl.stream(0);
+        let e1 = tl.launch("a", s, 10.0, 16, LaunchMode::Stream, &[]);
+        // Force a gap via an artificial dependency far in the future.
+        tl.launch("b", s, 10.0, 16, LaunchMode::Stream, &[e1 + 500.0]);
+        assert!(tl.idle_us() >= 499.0);
+    }
+
+    #[test]
+    fn makespan_monotone() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s = tl.stream(0);
+        let mut last = 0.0;
+        for i in 0..10 {
+            tl.launch(format!("k{i}"), s, 5.0, 8, LaunchMode::Stream, &[]);
+            let m = tl.makespan_us();
+            assert!(m >= last);
+            last = m;
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Chrome-tracing export of simulated timelines.
+//!
+//! [`chrome_trace`] renders a [`Timeline`]'s schedule as the Chrome Trace
+//! Event Format (the `chrome://tracing` / Perfetto JSON), with one track
+//! per stream — the simulator's stand-in for an Nsight Systems timeline
+//! view. No serialization dependency: the format is simple enough to emit
+//! by hand.
+
+use crate::stream::Timeline;
+
+/// Escapes a string for inclusion in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `timeline` as Chrome Trace Event Format JSON.
+///
+/// Each kernel becomes a complete event (`ph: "X"`) on a track per
+/// stream (`tid`), with timestamps in microseconds as the format expects.
+/// Load the output in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(timeline: &Timeline) -> String {
+    let mut events = Vec::new();
+    // Process metadata: name the "process" after the device.
+    events.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":1,"args":{{"name":"{}"}}}}"#,
+        json_escape(timeline.device().name)
+    ));
+    for kernel in timeline.executed() {
+        events.push(format!(
+            r#"{{"name":"{}","ph":"X","pid":1,"tid":{},"ts":{:.3},"dur":{:.3},"args":{{"submit_us":{:.3}}}}}"#,
+            json_escape(&kernel.name),
+            kernel.stream.0,
+            kernel.start_us,
+            kernel.end_us - kernel.start_us,
+            kernel.submit_us,
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::rtx_4090;
+    use crate::stream::{LaunchMode, Timeline};
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new(rtx_4090());
+        let s0 = tl.stream(0);
+        let s1 = tl.stream(1);
+        let f = tl.launch("FORS_Sign", s0, 80.0, 64, LaunchMode::Stream, &[]);
+        let t = tl.launch("TREE_Sign", s1, 120.0, 64, LaunchMode::Stream, &[]);
+        tl.launch("WOTS+_Sign", s0, 20.0, 64, LaunchMode::Stream, &[f, t]);
+        tl
+    }
+
+    #[test]
+    fn emits_one_event_per_kernel_plus_metadata() {
+        let tl = sample_timeline();
+        let json = chrome_trace(&tl);
+        assert_eq!(json.matches(r#""ph":"X""#).count(), 3);
+        assert_eq!(json.matches(r#""ph":"M""#).count(), 1);
+        assert!(json.contains("FORS_Sign"));
+        assert!(json.contains("RTX 4090"));
+    }
+
+    #[test]
+    fn events_carry_stream_tracks_and_durations() {
+        let tl = sample_timeline();
+        let json = chrome_trace(&tl);
+        assert!(json.contains(r#""tid":0"#));
+        assert!(json.contains(r#""tid":1"#));
+        assert!(json.contains(r#""dur":120.000"#));
+    }
+
+    #[test]
+    fn output_is_structurally_valid_json() {
+        // No serde in this crate: check bracket/quote balance manually.
+        let json = chrome_trace(&sample_timeline());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut tl = Timeline::new(rtx_4090());
+        let s = tl.stream(0);
+        tl.launch("ker\"nel\\x", s, 1.0, 1, LaunchMode::Stream, &[]);
+        let json = chrome_trace(&tl);
+        assert!(json.contains(r#"ker\"nel\\x"#));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let tl = Timeline::new(rtx_4090());
+        let json = chrome_trace(&tl);
+        assert!(json.contains("traceEvents"));
+    }
+}

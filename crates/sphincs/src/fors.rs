@@ -1,0 +1,282 @@
+//! FORS (Forest Of Random Subsets) few-time signature scheme.
+//!
+//! `k` Merkle trees of height `log t`; the message digest selects one leaf
+//! per tree, and the signature reveals that leaf's secret preimage plus its
+//! authentication path (§II-A2 of the paper). Tree independence is the
+//! parallelism HERO-Sign's FORS Fusion exploits.
+
+use crate::address::{Address, AddressType};
+use crate::hash::HashCtx;
+use crate::merkle::{self, TreeHashOutput};
+use crate::params::Params;
+
+/// One tree's share of a FORS signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForsTreeSig {
+    /// Revealed secret element (`n` bytes).
+    pub sk: Vec<u8>,
+    /// Authentication path, `log t` nodes.
+    pub auth_path: Vec<Vec<u8>>,
+}
+
+/// A complete FORS signature: one [`ForsTreeSig`] per tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForsSignature {
+    /// Per-tree signatures, length `k`.
+    pub trees: Vec<ForsTreeSig>,
+}
+
+impl ForsSignature {
+    /// Serialized length in bytes for `params`.
+    pub fn byte_len(params: &Params) -> usize {
+        params.fors_sig_bytes()
+    }
+}
+
+/// Maps the message digest `md` to `k` leaf indices, one per FORS tree
+/// (spec Algorithm 14 `message_to_indices`): consumes `log_t` bits per
+/// index, MSB first.
+pub fn message_to_indices(params: &Params, md: &[u8]) -> Vec<u32> {
+    let mut indices = Vec::with_capacity(params.k);
+    let mut offset = 0usize;
+    for _ in 0..params.k {
+        let mut idx: u32 = 0;
+        for _ in 0..params.log_t {
+            let byte = md[offset >> 3];
+            let bit = (byte >> (7 - (offset & 7))) & 1;
+            idx = (idx << 1) | bit as u32;
+            offset += 1;
+        }
+        indices.push(idx);
+    }
+    indices
+}
+
+/// Derives the secret element for leaf `leaf_idx` of FORS tree `tree_idx`.
+///
+/// The global leaf offset `tree_idx · t + leaf_idx` is the tree-index
+/// field, matching the reference implementation's addressing.
+pub fn sk_element(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    keypair_adrs: &Address,
+    tree_idx: u32,
+    leaf_idx: u32,
+) -> Vec<u8> {
+    let params = ctx.params();
+    let mut adrs = Address::new();
+    adrs.copy_subtree_from(keypair_adrs);
+    adrs.set_type(AddressType::ForsPrf);
+    adrs.set_keypair(keypair_adrs.keypair());
+    adrs.set_tree_height(0);
+    adrs.set_tree_index(tree_idx * params.t() as u32 + leaf_idx);
+    ctx.prf(&adrs, sk_seed)
+}
+
+/// Computes leaf `leaf_idx` of tree `tree_idx`: `F(PRF(..))`.
+pub fn leaf(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    keypair_adrs: &Address,
+    tree_idx: u32,
+    leaf_idx: u32,
+) -> Vec<u8> {
+    let params = ctx.params();
+    let sk = sk_element(ctx, sk_seed, keypair_adrs, tree_idx, leaf_idx);
+    let mut adrs = Address::new();
+    adrs.copy_subtree_from(keypair_adrs);
+    adrs.set_type(AddressType::ForsTree);
+    adrs.set_keypair(keypair_adrs.keypair());
+    adrs.set_tree_height(0);
+    adrs.set_tree_index(tree_idx * params.t() as u32 + leaf_idx);
+    ctx.f(&adrs, &sk)
+}
+
+/// Tree-hashes FORS tree `tree_idx`, returning root and auth path for
+/// `leaf_idx`.
+pub fn tree_hash(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    keypair_adrs: &Address,
+    tree_idx: u32,
+    leaf_idx: u32,
+) -> TreeHashOutput {
+    let params = *ctx.params();
+    let mut node_adrs = Address::new();
+    node_adrs.copy_subtree_from(keypair_adrs);
+    node_adrs.set_type(AddressType::ForsTree);
+    node_adrs.set_keypair(keypair_adrs.keypair());
+    // Node addresses are forest-global: tree `j` occupies leaf slots
+    // [j·t, (j+1)·t).
+    let leaf_offset = tree_idx * params.t() as u32;
+    merkle::treehash_with_offset(ctx, params.log_t, leaf_idx, &node_adrs, leaf_offset, |i| {
+        leaf(ctx, sk_seed, keypair_adrs, tree_idx, i)
+    })
+}
+
+/// Signs message digest `md`, producing one revealed leaf per tree.
+pub fn sign(ctx: &HashCtx, md: &[u8], sk_seed: &[u8], keypair_adrs: &Address) -> ForsSignature {
+    let params = *ctx.params();
+    let indices = message_to_indices(&params, md);
+    let trees = indices
+        .iter()
+        .enumerate()
+        .map(|(tree_idx, &leaf_idx)| {
+            let sk = sk_element(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
+            let out = tree_hash(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
+            ForsTreeSig { sk, auth_path: out.auth_path }
+        })
+        .collect();
+    ForsSignature { trees }
+}
+
+/// Recomputes the FORS public key from a signature and digest.
+pub fn pk_from_sig(
+    ctx: &HashCtx,
+    sig: &ForsSignature,
+    md: &[u8],
+    keypair_adrs: &Address,
+) -> Vec<u8> {
+    let params = *ctx.params();
+    let indices = message_to_indices(&params, md);
+    assert_eq!(sig.trees.len(), params.k, "FORS signature tree count");
+
+    let mut node_adrs = Address::new();
+    node_adrs.copy_subtree_from(keypair_adrs);
+    node_adrs.set_type(AddressType::ForsTree);
+    node_adrs.set_keypair(keypair_adrs.keypair());
+
+    let roots: Vec<Vec<u8>> = sig
+        .trees
+        .iter()
+        .zip(indices.iter())
+        .enumerate()
+        .map(|(tree_idx, (tree_sig, &leaf_idx))| {
+            // Leaf = F(sk) at the forest-global index.
+            let mut leaf_adrs = node_adrs;
+            leaf_adrs.set_tree_height(0);
+            leaf_adrs.set_tree_index(tree_idx as u32 * params.t() as u32 + leaf_idx);
+            let leaf = ctx.f(&leaf_adrs, &tree_sig.sk);
+            merkle::root_from_auth_path_with_offset(
+                ctx,
+                &leaf,
+                leaf_idx,
+                &tree_sig.auth_path,
+                &node_adrs,
+                tree_idx as u32 * params.t() as u32,
+            )
+        })
+        .collect();
+
+    let mut roots_adrs = Address::new();
+    roots_adrs.copy_subtree_from(keypair_adrs);
+    roots_adrs.set_type(AddressType::ForsRoots);
+    roots_adrs.set_keypair(keypair_adrs.keypair());
+    let parts: Vec<&[u8]> = roots.iter().map(Vec::as_slice).collect();
+    ctx.t_l(&roots_adrs, &parts)
+}
+
+/// Hash-call census for one FORS signature generation (used by the GPU
+/// cost model): per tree `t` PRF + `t` F leaves and `t-1` H nodes, plus the
+/// final `T_k` roots compression.
+pub fn sign_hash_count(params: &Params) -> usize {
+    params.k * (2 * params.t() + params.t() - 1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Params, HashCtx, Vec<u8>, Address) {
+        let params = Params::sphincs_128f();
+        let ctx = HashCtx::new(params, &[13u8; 16]);
+        let sk_seed = vec![4u8; 16];
+        let mut adrs = Address::new();
+        adrs.set_tree(9);
+        adrs.set_keypair(1);
+        (params, ctx, sk_seed, adrs)
+    }
+
+    fn digest_for(params: &Params, fill: u8) -> Vec<u8> {
+        vec![fill; (params.k * params.log_t).div_ceil(8)]
+    }
+
+    #[test]
+    fn indices_extract_bits_msb_first() {
+        let params = Params::sphincs_128f(); // log_t = 6
+        let md = [0b1010_1011, 0b1100_0000];
+        let idx = message_to_indices(&params, &vec![md[0], md[1], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(idx[0], 0b101010);
+        assert_eq!(idx[1], 0b111100);
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let (params, ctx, _, _) = setup();
+        let md = ctx.h_msg(&[1; 16], &[2; 16], b"x");
+        for idx in message_to_indices(&params, &md) {
+            assert!((idx as usize) < params.t());
+        }
+    }
+
+    #[test]
+    fn sign_pk_roundtrip() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let md = digest_for(&params, 0xA7);
+        let sig = sign(&ctx, &md, &sk_seed, &adrs);
+        assert_eq!(sig.trees.len(), params.k);
+        let pk1 = pk_from_sig(&ctx, &sig, &md, &adrs);
+        let pk2 = pk_from_sig(&ctx, &sig, &md, &adrs);
+        assert_eq!(pk1, pk2);
+        assert_eq!(pk1.len(), params.n);
+    }
+
+    #[test]
+    fn wrong_digest_changes_pk() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let md = digest_for(&params, 0xA7);
+        let md2 = digest_for(&params, 0xA6);
+        let sig = sign(&ctx, &md, &sk_seed, &adrs);
+        assert_ne!(pk_from_sig(&ctx, &sig, &md, &adrs), pk_from_sig(&ctx, &sig, &md2, &adrs));
+    }
+
+    #[test]
+    fn tampered_sk_changes_pk() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let md = digest_for(&params, 0x33);
+        let sig = sign(&ctx, &md, &sk_seed, &adrs);
+        let pk = pk_from_sig(&ctx, &sig, &md, &adrs);
+        let mut bad = sig.clone();
+        bad.trees[0].sk[0] ^= 1;
+        assert_ne!(pk_from_sig(&ctx, &bad, &md, &adrs), pk);
+    }
+
+    #[test]
+    fn consistency_sign_derives_same_roots_as_treehash() {
+        // The pk from a signature must equal the pk from recomputing all
+        // trees directly.
+        let (params, ctx, sk_seed, adrs) = setup();
+        let md = digest_for(&params, 0x55);
+        let indices = message_to_indices(&params, &md);
+        let sig = sign(&ctx, &md, &sk_seed, &adrs);
+        let pk = pk_from_sig(&ctx, &sig, &md, &adrs);
+
+        // Direct computation.
+        let roots: Vec<Vec<u8>> = (0..params.k as u32)
+            .map(|t| tree_hash(&ctx, &sk_seed, &adrs, t, indices[t as usize]).root)
+            .collect();
+        let mut roots_adrs = Address::new();
+        roots_adrs.copy_subtree_from(&adrs);
+        roots_adrs.set_type(AddressType::ForsRoots);
+        roots_adrs.set_keypair(adrs.keypair());
+        let parts: Vec<&[u8]> = roots.iter().map(Vec::as_slice).collect();
+        assert_eq!(ctx.t_l(&roots_adrs, &parts), pk);
+    }
+
+    #[test]
+    fn hash_count_census() {
+        let p = Params::sphincs_128f();
+        // 33 trees * (64 PRF + 64 F + 63 H) + 1 = 33*191+1 = 6304.
+        assert_eq!(sign_hash_count(&p), 6_304);
+    }
+}

@@ -1,0 +1,427 @@
+//! Tweakable hash functions for the SHA-256 *simple* instantiation.
+//!
+//! All of SPHINCS+ is built from six functions (spec §7.2):
+//!
+//! * `F(pk_seed, adrs, m)` — one-block tweakable hash (WOTS+ chains, FORS leaves)
+//! * `H(pk_seed, adrs, m1 || m2)` — two-to-one node hash
+//! * `T_l(pk_seed, adrs, m1..ml)` — l-to-one compression (WOTS+ pk, FORS roots)
+//! * `PRF(pk_seed, sk_seed, adrs)` — secret-key element derivation
+//! * `PRF_msg(sk_prf, opt_rand, m)` — message randomizer
+//! * `H_msg(r, pk_seed, pk_root, m)` — message digest + index derivation
+//!
+//! The `pk_seed` is absorbed once into a precomputed SHA-256 chaining state
+//! ([`SeededHasher`]); every subsequent call costs exactly
+//! `compressions_for_tail(len)` compressions. HERO-Sign's GPU kernels keep
+//! this state in constant memory (§III-D of the paper).
+
+use crate::address::Address;
+use crate::params::Params;
+use crate::sha256::{self, Sha256, BLOCK_LEN};
+use crate::sha512::Sha512;
+
+/// The underlying hash primitive for the tweakable-hash layer.
+///
+/// The paper selects SHA-256 "due to its widespread adoption" but states
+/// the optimizations "do not depend on \[a\] specific hash function" (§I);
+/// every component layer (WOTS+, FORS, Merkle, hypertree) is generic over
+/// this choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// SHA-256 (the paper's baseline).
+    #[default]
+    Sha256,
+    /// SHA-512 (the first alternative the paper names).
+    Sha512,
+}
+
+/// A hasher with the `pk_seed || pad` block pre-absorbed.
+///
+/// Cloning this and continuing is how every `F`/`H`/`T_l`/`PRF` call starts;
+/// it mirrors the constant-memory seed state of the CUDA kernels.
+#[derive(Clone, Debug)]
+pub struct SeededHasher {
+    state: [u32; 8],
+}
+
+impl SeededHasher {
+    /// Absorbs `pk_seed` padded with zeros to one 64-byte block.
+    pub fn new(pk_seed: &[u8]) -> Self {
+        assert!(pk_seed.len() <= BLOCK_LEN, "seed longer than one block");
+        let mut block = [0u8; BLOCK_LEN];
+        block[..pk_seed.len()].copy_from_slice(pk_seed);
+        let mut hasher = Sha256::new();
+        hasher.update(&block);
+        debug_assert_eq!(hasher.buffered_len(), 0);
+        Self { state: hasher.state() }
+    }
+
+    /// Starts a hash that has already absorbed the seed block.
+    pub fn start(&self) -> Sha256 {
+        Sha256::from_state(self.state, BLOCK_LEN as u64)
+    }
+
+    /// Number of compressions a call with `tail_len` further bytes costs
+    /// (excluding the amortized seed block).
+    pub fn compressions_for_tail(tail_len: usize) -> usize {
+        sha256::compressions_for_len(BLOCK_LEN + tail_len) - 1
+    }
+}
+
+/// The tweakable hash context: parameters plus the seeded state.
+///
+/// ```
+/// use hero_sphincs::{hash::HashCtx, params::Params, address::Address};
+/// let params = Params::sphincs_128f();
+/// let ctx = HashCtx::new(params, &[0u8; 16]);
+/// let out = ctx.f(&Address::new(), &[0u8; 16]);
+/// assert_eq!(out.len(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HashCtx {
+    params: Params,
+    pk_seed: Vec<u8>,
+    alg: HashAlg,
+    seeded: SeededHasher,
+    seeded512: [u64; 8],
+}
+
+impl HashCtx {
+    /// Creates a SHA-256 context for `params` with the given `pk_seed`
+    /// (`pk_seed.len()` must equal `params.n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pk_seed.len() != params.n`.
+    pub fn new(params: Params, pk_seed: &[u8]) -> Self {
+        Self::with_alg(params, pk_seed, HashAlg::Sha256)
+    }
+
+    /// Creates a context over an explicit hash primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pk_seed.len() != params.n`.
+    pub fn with_alg(params: Params, pk_seed: &[u8], alg: HashAlg) -> Self {
+        assert_eq!(pk_seed.len(), params.n, "pk_seed must be n bytes");
+        let seeded512 = {
+            let mut block = [0u8; crate::sha512::BLOCK_LEN];
+            block[..pk_seed.len()].copy_from_slice(pk_seed);
+            let mut h = Sha512::new();
+            h.update(&block);
+            debug_assert_eq!(h.buffered_len(), 0);
+            h.state()
+        };
+        Self {
+            params,
+            pk_seed: pk_seed.to_vec(),
+            alg,
+            seeded: SeededHasher::new(pk_seed),
+            seeded512,
+        }
+    }
+
+    /// The parameter set this context hashes for.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The hash primitive in use.
+    pub fn alg(&self) -> HashAlg {
+        self.alg
+    }
+
+    /// Seeded tweakable hash over `adrs || parts…`, truncated to `n`.
+    fn tweak(&self, adrs: &Address, parts: &[&[u8]]) -> Vec<u8> {
+        match self.alg {
+            HashAlg::Sha256 => {
+                let mut h = self.seeded.start();
+                h.update(&adrs.to_compressed_bytes());
+                for part in parts {
+                    h.update(part);
+                }
+                h.finalize()[..self.params.n].to_vec()
+            }
+            HashAlg::Sha512 => {
+                let mut h = Sha512::from_state(self.seeded512, crate::sha512::BLOCK_LEN as u128);
+                h.update(&adrs.to_compressed_bytes());
+                for part in parts {
+                    h.update(part);
+                }
+                h.finalize()[..self.params.n].to_vec()
+            }
+        }
+    }
+
+    fn truncated(&self, digest: [u8; 32]) -> Vec<u8> {
+        digest[..self.params.n].to_vec()
+    }
+
+    /// `F`: one-block tweakable hash of a single `n`-byte value.
+    pub fn f(&self, adrs: &Address, m: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(m.len(), self.params.n);
+        self.tweak(adrs, &[m])
+    }
+
+    /// `H`: two-to-one hash of sibling nodes.
+    pub fn h(&self, adrs: &Address, left: &[u8], right: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(left.len(), self.params.n);
+        debug_assert_eq!(right.len(), self.params.n);
+        self.tweak(adrs, &[left, right])
+    }
+
+    /// `T_l`: compresses `l` concatenated `n`-byte values (WOTS+ public key,
+    /// FORS roots).
+    pub fn t_l(&self, adrs: &Address, parts: &[&[u8]]) -> Vec<u8> {
+        #[cfg(debug_assertions)]
+        for part in parts {
+            debug_assert_eq!(part.len(), self.params.n);
+        }
+        self.tweak(adrs, parts)
+    }
+
+    /// `PRF`: derives a secret element from `sk_seed` at `adrs`.
+    ///
+    /// Computes `Hash(pk_seed || pad || adrs_c || sk_seed)`; keeping
+    /// `sk_seed` last means the seeded state is reused here too.
+    pub fn prf(&self, adrs: &Address, sk_seed: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(sk_seed.len(), self.params.n);
+        self.tweak(adrs, &[sk_seed])
+    }
+
+    /// `PRF_msg`: message randomizer `r = PRF(sk_prf, opt_rand, m)`.
+    pub fn prf_msg(&self, sk_prf: &[u8], opt_rand: &[u8], m: &[u8]) -> Vec<u8> {
+        match self.alg {
+            HashAlg::Sha256 => {
+                let mut h = Sha256::new();
+                h.update(sk_prf);
+                h.update(opt_rand);
+                h.update(m);
+                self.truncated(h.finalize())
+            }
+            HashAlg::Sha512 => {
+                let mut h = Sha512::new();
+                h.update(sk_prf);
+                h.update(opt_rand);
+                h.update(m);
+                h.finalize()[..self.params.n].to_vec()
+            }
+        }
+    }
+
+    /// `H_msg`: `MGF1(r || Hash(r || pk_seed || pk_root || m))`, expanded
+    /// to the digest length needed for index derivation (spec §7.2.1).
+    pub fn h_msg(&self, r: &[u8], pk_root: &[u8], m: &[u8]) -> Vec<u8> {
+        let digest: Vec<u8> = match self.alg {
+            HashAlg::Sha256 => {
+                let mut h = Sha256::new();
+                h.update(r);
+                h.update(&self.pk_seed);
+                h.update(pk_root);
+                h.update(m);
+                h.finalize().to_vec()
+            }
+            HashAlg::Sha512 => {
+                let mut h = Sha512::new();
+                h.update(r);
+                h.update(&self.pk_seed);
+                h.update(pk_root);
+                h.update(m);
+                h.finalize().to_vec()
+            }
+        };
+        let mut seed = Vec::with_capacity(r.len() + digest.len());
+        seed.extend_from_slice(r);
+        seed.extend_from_slice(&digest);
+        sha256::mgf1(&seed, self.params.digest_bytes())
+    }
+}
+
+impl SeededHasher {
+    /// The precomputed chaining state (the GPU kernels' constant-memory
+    /// image of `pk_seed || pad`).
+    pub fn state(&self) -> [u32; 8] {
+        self.state
+    }
+}
+
+/// Splits an `H_msg` digest into FORS indices material, hypertree index and
+/// leaf index (spec Algorithm 20 lines 5-9).
+///
+/// Returns `(md, tree_idx, leaf_idx)` where `md` is the first
+/// `ceil(k·log_t/8)` bytes used by [`crate::fors::message_to_indices`].
+pub fn split_digest(params: &Params, digest: &[u8]) -> (Vec<u8>, u64, u32) {
+    let md_len = (params.k * params.log_t).div_ceil(8);
+    let tree_bits = params.h - params.tree_height();
+    let tree_len = tree_bits.div_ceil(8);
+    let leaf_bits = params.tree_height();
+    let leaf_len = leaf_bits.div_ceil(8);
+    assert!(digest.len() >= md_len + tree_len + leaf_len, "digest too short");
+
+    let md = digest[..md_len].to_vec();
+
+    let mut tree_idx: u64 = 0;
+    for &b in &digest[md_len..md_len + tree_len] {
+        tree_idx = (tree_idx << 8) | b as u64;
+    }
+    if tree_bits < 64 {
+        tree_idx &= (1u64 << tree_bits) - 1;
+    }
+
+    let mut leaf_idx: u32 = 0;
+    for &b in &digest[md_len + tree_len..md_len + tree_len + leaf_len] {
+        leaf_idx = (leaf_idx << 8) | b as u32;
+    }
+    leaf_idx &= (1u32 << leaf_bits) - 1;
+
+    (md, tree_idx, leaf_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressType;
+
+    fn ctx128() -> HashCtx {
+        HashCtx::new(Params::sphincs_128f(), &[7u8; 16])
+    }
+
+    #[test]
+    fn f_output_is_n_bytes_and_deterministic() {
+        let ctx = ctx128();
+        let mut a = Address::new();
+        a.set_type(AddressType::WotsHash);
+        let m = [1u8; 16];
+        let out1 = ctx.f(&a, &m);
+        let out2 = ctx.f(&a, &m);
+        assert_eq!(out1.len(), 16);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn f_separates_addresses_and_seeds() {
+        let ctx = ctx128();
+        let ctx2 = HashCtx::new(Params::sphincs_128f(), &[8u8; 16]);
+        let mut a = Address::new();
+        a.set_type(AddressType::WotsHash);
+        let mut b = a;
+        b.set_hash(1);
+        let m = [1u8; 16];
+        assert_ne!(ctx.f(&a, &m), ctx.f(&b, &m));
+        assert_ne!(ctx.f(&a, &m), ctx2.f(&a, &m));
+    }
+
+    #[test]
+    fn h_differs_from_f_on_same_material() {
+        let ctx = ctx128();
+        let a = Address::new();
+        let m = [3u8; 16];
+        let hh = ctx.h(&a, &m, &m);
+        let ff = ctx.f(&a, &m);
+        assert_ne!(hh, ff[..].to_vec());
+    }
+
+    #[test]
+    fn t_l_matches_h_for_two_parts() {
+        // T_2 and H absorb identical bytes, so they must agree: this pins
+        // the encoding.
+        let ctx = ctx128();
+        let a = Address::new();
+        let l = [1u8; 16];
+        let r = [2u8; 16];
+        assert_eq!(ctx.h(&a, &l, &r), ctx.t_l(&a, &[&l, &r]));
+    }
+
+    #[test]
+    fn single_compression_for_f_all_sets() {
+        // The cost-model assumption: F costs exactly one compression after
+        // the seed block, for every parameter set.
+        for p in Params::fast_sets() {
+            let tail = 22 + p.n; // compressed adrs + message
+            assert_eq!(
+                SeededHasher::compressions_for_tail(tail),
+                1,
+                "{}: F must be single-compression",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn h_compression_counts() {
+        // H absorbs 22 + 2n bytes: 1 compression for n=16, 2 for n=24/32.
+        assert_eq!(SeededHasher::compressions_for_tail(22 + 32), 1);
+        assert_eq!(SeededHasher::compressions_for_tail(22 + 48), 2);
+        assert_eq!(SeededHasher::compressions_for_tail(22 + 64), 2);
+    }
+
+    #[test]
+    fn h_msg_length_and_determinism() {
+        for p in Params::fast_sets() {
+            let ctx = HashCtx::new(p, &vec![5u8; p.n]);
+            let d = ctx.h_msg(&vec![1u8; p.n], &vec![2u8; p.n], b"message");
+            assert_eq!(d.len(), p.digest_bytes());
+            assert_eq!(d, ctx.h_msg(&vec![1u8; p.n], &vec![2u8; p.n], b"message"));
+            assert_ne!(d, ctx.h_msg(&vec![1u8; p.n], &vec![2u8; p.n], b"messagf"));
+        }
+    }
+
+    #[test]
+    fn split_digest_ranges() {
+        for p in Params::fast_sets() {
+            let ctx = HashCtx::new(p, &vec![5u8; p.n]);
+            let d = ctx.h_msg(&vec![1u8; p.n], &vec![2u8; p.n], b"m");
+            let (md, tree, leaf) = split_digest(&p, &d);
+            assert_eq!(md.len(), (p.k * p.log_t).div_ceil(8));
+            let tree_bits = p.h - p.tree_height();
+            if tree_bits < 64 {
+                assert!(tree < (1u64 << tree_bits));
+            }
+            assert!((leaf as usize) < p.subtree_leaves());
+        }
+    }
+
+    #[test]
+    fn sha512_context_works_end_to_end_per_primitive() {
+        // Every tweakable hash works under SHA-512 with the same n-byte
+        // interface, and outputs differ from SHA-256's.
+        for p in Params::fast_sets() {
+            let seed = vec![5u8; p.n];
+            let c256 = HashCtx::with_alg(p, &seed, HashAlg::Sha256);
+            let c512 = HashCtx::with_alg(p, &seed, HashAlg::Sha512);
+            assert_eq!(c512.alg(), HashAlg::Sha512);
+            let a = Address::new();
+            let m = vec![9u8; p.n];
+            let f256 = c256.f(&a, &m);
+            let f512 = c512.f(&a, &m);
+            assert_eq!(f512.len(), p.n);
+            assert_ne!(f256, f512, "{}", p.name());
+            assert_ne!(c256.h(&a, &m, &m), c512.h(&a, &m, &m));
+            assert_ne!(
+                c256.prf_msg(&seed, &m, b"x"),
+                c512.prf_msg(&seed, &m, b"x")
+            );
+            let d512 = c512.h_msg(&m, &seed, b"msg");
+            assert_eq!(d512.len(), p.digest_bytes());
+        }
+    }
+
+    #[test]
+    fn sha512_t2_matches_h() {
+        let p = Params::sphincs_128f();
+        let ctx = HashCtx::with_alg(p, &[7u8; 16], HashAlg::Sha512);
+        let a = Address::new();
+        let l = [1u8; 16];
+        let r = [2u8; 16];
+        assert_eq!(ctx.h(&a, &l, &r), ctx.t_l(&a, &[&l, &r]));
+    }
+
+    #[test]
+    fn prf_msg_depends_on_all_inputs() {
+        let ctx = ctx128();
+        let base = ctx.prf_msg(&[1; 16], &[2; 16], b"m");
+        assert_ne!(base, ctx.prf_msg(&[3; 16], &[2; 16], b"m"));
+        assert_ne!(base, ctx.prf_msg(&[1; 16], &[3; 16], b"m"));
+        assert_ne!(base, ctx.prf_msg(&[1; 16], &[2; 16], b"n"));
+        assert_eq!(base.len(), 16);
+    }
+}

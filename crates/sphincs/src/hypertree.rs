@@ -1,0 +1,256 @@
+//! Hypertree (HT): `d` layers of XMSS (MSS + WOTS+) trees (§II-A3/A4).
+//!
+//! Layer 0 signs the FORS public key; each layer above signs the Merkle
+//! root of the layer below; the top root is the SPHINCS+ public key root.
+//! Every layer's Merkle tree is independent once its leaf index is known —
+//! the tree-level parallelism behind HERO-Sign's `TREE_Sign` kernel.
+
+use crate::address::{Address, AddressType};
+use crate::hash::HashCtx;
+use crate::merkle;
+use crate::params::Params;
+use crate::wots;
+
+/// One layer of a hypertree signature: a WOTS+ signature over the layer
+/// below's root plus the authentication path of the signing leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmssSig {
+    /// WOTS+ signature (`len` nodes of `n` bytes).
+    pub wots_sig: Vec<Vec<u8>>,
+    /// Authentication path, `h/d` nodes.
+    pub auth_path: Vec<Vec<u8>>,
+}
+
+/// A full hypertree signature: `d` [`XmssSig`] layers, bottom to top.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HtSignature {
+    /// Per-layer signatures (layer 0 first).
+    pub layers: Vec<XmssSig>,
+}
+
+/// Computes the WOTS+ leaf `leaf_idx` of the subtree at (`layer`, `tree`):
+/// the compressed public key of that leaf's WOTS+ key pair.
+///
+/// This is `wots_gen_leaf` in the reference code — the register-hungry
+/// routine Table III profiles.
+pub fn wots_leaf(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    layer: u32,
+    tree: u64,
+    leaf_idx: u32,
+) -> Vec<u8> {
+    let mut adrs = Address::new();
+    adrs.set_layer(layer);
+    adrs.set_tree(tree);
+    adrs.set_type(AddressType::WotsHash);
+    adrs.set_keypair(leaf_idx);
+    wots::pk_gen(ctx, sk_seed, &adrs)
+}
+
+/// Signs `msg` (an `n`-byte root or FORS pk) with the XMSS tree at
+/// (`layer`, `tree`), using leaf `leaf_idx`. Returns the signature and the
+/// tree's root.
+pub fn xmss_sign(
+    ctx: &HashCtx,
+    msg: &[u8],
+    sk_seed: &[u8],
+    layer: u32,
+    tree: u64,
+    leaf_idx: u32,
+) -> (XmssSig, Vec<u8>) {
+    let params = *ctx.params();
+
+    let mut wots_adrs = Address::new();
+    wots_adrs.set_layer(layer);
+    wots_adrs.set_tree(tree);
+    wots_adrs.set_type(AddressType::WotsHash);
+    wots_adrs.set_keypair(leaf_idx);
+    let wots_sig = wots::sign(ctx, msg, sk_seed, &wots_adrs);
+
+    let mut node_adrs = Address::new();
+    node_adrs.set_layer(layer);
+    node_adrs.set_tree(tree);
+    node_adrs.set_type(AddressType::Tree);
+    let out = merkle::treehash(ctx, params.tree_height(), leaf_idx, &node_adrs, |i| {
+        wots_leaf(ctx, sk_seed, layer, tree, i)
+    });
+
+    (XmssSig { wots_sig, auth_path: out.auth_path }, out.root)
+}
+
+/// Recomputes the root of the XMSS tree at (`layer`, `tree`) from a
+/// signature over `msg` at `leaf_idx`.
+pub fn xmss_pk_from_sig(
+    ctx: &HashCtx,
+    sig: &XmssSig,
+    msg: &[u8],
+    layer: u32,
+    tree: u64,
+    leaf_idx: u32,
+) -> Vec<u8> {
+    let mut wots_adrs = Address::new();
+    wots_adrs.set_layer(layer);
+    wots_adrs.set_tree(tree);
+    wots_adrs.set_type(AddressType::WotsHash);
+    wots_adrs.set_keypair(leaf_idx);
+    let leaf = wots::pk_from_sig(ctx, &sig.wots_sig, msg, &wots_adrs);
+
+    let mut node_adrs = Address::new();
+    node_adrs.set_layer(layer);
+    node_adrs.set_tree(tree);
+    node_adrs.set_type(AddressType::Tree);
+    merkle::root_from_auth_path(ctx, &leaf, leaf_idx, &sig.auth_path, &node_adrs)
+}
+
+/// Signs `msg` under the full hypertree, walking from (`tree_idx`,
+/// `leaf_idx`) at layer 0 up to the top (the loop of Fig. 2 in the paper).
+pub fn sign(
+    ctx: &HashCtx,
+    msg: &[u8],
+    sk_seed: &[u8],
+    mut tree_idx: u64,
+    mut leaf_idx: u32,
+) -> HtSignature {
+    let params = *ctx.params();
+    let mut layers = Vec::with_capacity(params.d);
+    let mut root = msg.to_vec();
+    for layer in 0..params.d as u32 {
+        let (sig, new_root) = xmss_sign(ctx, &root, sk_seed, layer, tree_idx, leaf_idx);
+        layers.push(sig);
+        root = new_root;
+        // Next layer: this tree's position within its parent.
+        leaf_idx = (tree_idx & ((1 << params.tree_height()) - 1)) as u32;
+        tree_idx >>= params.tree_height();
+    }
+    HtSignature { layers }
+}
+
+/// Verifies a hypertree signature over `msg`, returning the reconstructed
+/// top root (compare against `pk_root`).
+pub fn root_from_sig(
+    ctx: &HashCtx,
+    sig: &HtSignature,
+    msg: &[u8],
+    mut tree_idx: u64,
+    mut leaf_idx: u32,
+) -> Vec<u8> {
+    let params = *ctx.params();
+    assert_eq!(sig.layers.len(), params.d, "hypertree layer count");
+    let mut node = msg.to_vec();
+    for (layer, layer_sig) in sig.layers.iter().enumerate() {
+        node = xmss_pk_from_sig(ctx, layer_sig, &node, layer as u32, tree_idx, leaf_idx);
+        leaf_idx = (tree_idx & ((1 << params.tree_height()) - 1)) as u32;
+        tree_idx >>= params.tree_height();
+    }
+    node
+}
+
+/// The hypertree public root: the root of the single top-layer tree.
+pub fn public_root(ctx: &HashCtx, sk_seed: &[u8]) -> Vec<u8> {
+    let params = *ctx.params();
+    let layer = params.d as u32 - 1;
+    let mut node_adrs = Address::new();
+    node_adrs.set_layer(layer);
+    node_adrs.set_tree(0);
+    node_adrs.set_type(AddressType::Tree);
+    merkle::treehash(ctx, params.tree_height(), 0, &node_adrs, |i| {
+        wots_leaf(ctx, sk_seed, layer, 0, i)
+    })
+    .root
+}
+
+/// `F`-call census for one hypertree signature: `d` subtrees, each with
+/// `2^h'` WOTS+ leaf generations plus the internal `H` nodes, plus the
+/// WOTS+ signing chains (bounded by leaf generation, already counted via
+/// pk_gen during treehash).
+pub fn sign_hash_count(params: &Params) -> usize {
+    let per_tree = params.subtree_leaves() * wots::pk_gen_hash_count(params)
+        + merkle::internal_node_count(params.tree_height());
+    params.d * per_tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced parameters keep hypertree tests fast: h=6, d=3 (h'=2).
+    fn tiny_params() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p
+    }
+
+    fn setup() -> (Params, HashCtx, Vec<u8>) {
+        let params = tiny_params();
+        let ctx = HashCtx::new(params, &[21u8; 16]);
+        (params, ctx, vec![6u8; 16])
+    }
+
+    #[test]
+    fn xmss_roundtrip_all_leaves() {
+        let (params, ctx, sk_seed) = setup();
+        let msg = vec![0xC3u8; params.n];
+        for leaf_idx in 0..params.subtree_leaves() as u32 {
+            let (sig, root) = xmss_sign(&ctx, &msg, &sk_seed, 0, 3, leaf_idx);
+            assert_eq!(xmss_pk_from_sig(&ctx, &sig, &msg, 0, 3, leaf_idx), root);
+        }
+    }
+
+    #[test]
+    fn ht_roundtrip() {
+        let (params, ctx, sk_seed) = setup();
+        let msg = vec![0x77u8; params.n];
+        let pk_root = public_root(&ctx, &sk_seed);
+        let idx_bits = params.h - params.tree_height();
+        for tree_idx in [0u64, 1, (1 << idx_bits) - 1] {
+            for leaf_idx in [0u32, params.subtree_leaves() as u32 - 1] {
+                let sig = sign(&ctx, &msg, &sk_seed, tree_idx, leaf_idx);
+                assert_eq!(
+                    root_from_sig(&ctx, &sig, &msg, tree_idx, leaf_idx),
+                    pk_root,
+                    "tree={tree_idx} leaf={leaf_idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ht_rejects_wrong_message() {
+        let (params, ctx, sk_seed) = setup();
+        let msg = vec![0x77u8; params.n];
+        let bad = vec![0x78u8; params.n];
+        let pk_root = public_root(&ctx, &sk_seed);
+        let sig = sign(&ctx, &msg, &sk_seed, 2, 1);
+        assert_ne!(root_from_sig(&ctx, &sig, &bad, 2, 1), pk_root);
+    }
+
+    #[test]
+    fn ht_rejects_wrong_indices() {
+        let (params, ctx, sk_seed) = setup();
+        let msg = vec![0x77u8; params.n];
+        let pk_root = public_root(&ctx, &sk_seed);
+        let sig = sign(&ctx, &msg, &sk_seed, 2, 1);
+        assert_ne!(root_from_sig(&ctx, &sig, &msg, 2, 2), pk_root);
+        assert_ne!(root_from_sig(&ctx, &sig, &msg, 3, 1), pk_root);
+    }
+
+    #[test]
+    fn wots_leaf_deterministic_and_positional() {
+        let (_, ctx, sk_seed) = setup();
+        let a = wots_leaf(&ctx, &sk_seed, 0, 0, 0);
+        assert_eq!(a, wots_leaf(&ctx, &sk_seed, 0, 0, 0));
+        assert_ne!(a, wots_leaf(&ctx, &sk_seed, 0, 0, 1));
+        assert_ne!(a, wots_leaf(&ctx, &sk_seed, 0, 1, 0));
+        assert_ne!(a, wots_leaf(&ctx, &sk_seed, 1, 0, 0));
+    }
+
+    #[test]
+    fn hash_census_scales_with_d() {
+        let p = Params::sphincs_128f();
+        // 22 layers * (8 leaves * 560 + 7) = 22 * 4487 = 98,714 — the
+        // "more than 100,000 hash computations" of the paper's intro.
+        assert_eq!(sign_hash_count(&p), 22 * (8 * 560 + 7));
+    }
+}

@@ -1,0 +1,65 @@
+//! # hero-sphincs
+//!
+//! A from-scratch implementation of the SPHINCS+ stateless hash-based
+//! signature scheme (SHA-256 *simple* instantiation), serving as the
+//! reference substrate and correctness oracle for the
+//! [HERO-Sign](https://arxiv.org/abs/2512.23969) GPU reproduction.
+//!
+//! The crate exposes every layer the paper parallelizes:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 with an exposed compression function
+//!   and resumable chaining state (the kernels' constant-memory seed state).
+//! * [`params`] — Table I parameter sets.
+//! * [`address`] — the ADRS hash-addressing scheme.
+//! * [`hash`] — the tweakable hashes `F`, `H`, `T_l`, `PRF`, `PRF_msg`,
+//!   `H_msg`.
+//! * [`wots`] — WOTS+ chains (chain-level parallelism).
+//! * [`fors`] — the forest of random subsets (tree-level parallelism,
+//!   the target of HERO-Sign's FORS Fusion).
+//! * [`merkle`] — tree hashing with authentication paths (the reduction
+//!   of Fig. 7).
+//! * [`hypertree`] — the `d`-layer hypertree (`TREE_Sign`'s workload).
+//! * [`sign`] — keygen / sign / verify.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hero_sphincs::{params::Params, sign};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), hero_sphincs::sign::SignError> {
+//! // A reduced parameter set keeps doc tests fast; production use would
+//! // pick Params::sphincs_128f() etc.
+//! let mut params = Params::sphincs_128f();
+//! params.h = 6;
+//! params.d = 3;
+//! params.log_t = 4;
+//! params.k = 8;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let (sk, vk) = sign::keygen(params, &mut rng)?;
+//! let sig = sk.sign(b"attack at dawn");
+//! vk.verify(b"attack at dawn", &sig)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod fors;
+pub mod hash;
+pub mod hypertree;
+pub mod merkle;
+pub mod params;
+pub mod sha256;
+pub mod sha512;
+pub mod sign;
+pub mod wots;
+
+pub use hash::HashAlg;
+pub use params::Params;
+pub use sign::{
+    keygen, keygen_from_seeds, keygen_from_seeds_with_alg, keygen_with_alg, Signature,
+    SigningKey, VerifyingKey,
+};

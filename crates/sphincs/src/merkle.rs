@@ -1,0 +1,224 @@
+//! Generic Merkle tree-hash with authentication-path extraction.
+//!
+//! Used by both FORS trees and the hypertree's XMSS subtrees. The
+//! level-by-level formulation here is deliberately the same shape as the
+//! GPU kernels' tree-based reduction (Fig. 7 of the paper): compute all
+//! leaves, then halve level by level.
+
+use crate::address::Address;
+use crate::hash::HashCtx;
+
+/// Result of a treehash: the root plus the authentication path for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeHashOutput {
+    /// Merkle root (`n` bytes).
+    pub root: Vec<u8>,
+    /// Sibling nodes from the leaf's level up (each `n` bytes).
+    pub auth_path: Vec<Vec<u8>>,
+}
+
+/// Computes the Merkle root and the authentication path of `leaf_idx` for a
+/// tree of `height` levels whose leaves are produced by `leaf_fn(i)`.
+///
+/// `node_adrs` carries the layer/tree coordinates; tree-height and
+/// tree-index fields are set here for every internal `H` call.
+///
+/// # Panics
+///
+/// Panics if `leaf_idx >= 2^height`.
+pub fn treehash<F>(
+    ctx: &HashCtx,
+    height: usize,
+    leaf_idx: u32,
+    node_adrs: &Address,
+    leaf_fn: F,
+) -> TreeHashOutput
+where
+    F: FnMut(u32) -> Vec<u8>,
+{
+    treehash_with_offset(ctx, height, leaf_idx, node_adrs, 0, leaf_fn)
+}
+
+/// [`treehash`] for a tree embedded in a forest: node addresses at level
+/// `z` use index `(leaf_offset >> z) + i`, so each of the `k` FORS trees
+/// hashes under forest-global coordinates (as the reference implementation
+/// does).
+///
+/// # Panics
+///
+/// Panics if `leaf_idx >= 2^height` or `leaf_offset` is not a multiple of
+/// `2^height`.
+pub fn treehash_with_offset<F>(
+    ctx: &HashCtx,
+    height: usize,
+    leaf_idx: u32,
+    node_adrs: &Address,
+    leaf_offset: u32,
+    mut leaf_fn: F,
+) -> TreeHashOutput
+where
+    F: FnMut(u32) -> Vec<u8>,
+{
+    let num_leaves = 1usize << height;
+    assert!((leaf_idx as usize) < num_leaves, "leaf index out of range");
+    assert!(
+        leaf_offset as usize % num_leaves == 0,
+        "leaf offset must be a multiple of the tree size"
+    );
+
+    let mut level: Vec<Vec<u8>> = (0..num_leaves as u32).map(&mut leaf_fn).collect();
+    let mut auth_path = Vec::with_capacity(height);
+    let mut idx = leaf_idx;
+    let mut adrs = *node_adrs;
+
+    for level_height in 1..=height {
+        auth_path.push(level[(idx ^ 1) as usize].clone());
+        adrs.set_tree_height(level_height as u32);
+        let level_offset = leaf_offset >> level_height;
+        let next: Vec<Vec<u8>> = (0..level.len() / 2)
+            .map(|i| {
+                adrs.set_tree_index(level_offset + i as u32);
+                ctx.h(&adrs, &level[2 * i], &level[2 * i + 1])
+            })
+            .collect();
+        level = next;
+        idx >>= 1;
+    }
+
+    debug_assert_eq!(level.len(), 1);
+    TreeHashOutput { root: level.pop().expect("root"), auth_path }
+}
+
+/// Recomputes a Merkle root from a leaf and its authentication path
+/// (verification side of [`treehash`]).
+pub fn root_from_auth_path(
+    ctx: &HashCtx,
+    leaf: &[u8],
+    leaf_idx: u32,
+    auth_path: &[Vec<u8>],
+    node_adrs: &Address,
+) -> Vec<u8> {
+    root_from_auth_path_with_offset(ctx, leaf, leaf_idx, auth_path, node_adrs, 0)
+}
+
+/// Verification counterpart of [`treehash_with_offset`].
+pub fn root_from_auth_path_with_offset(
+    ctx: &HashCtx,
+    leaf: &[u8],
+    leaf_idx: u32,
+    auth_path: &[Vec<u8>],
+    node_adrs: &Address,
+    leaf_offset: u32,
+) -> Vec<u8> {
+    let mut node = leaf.to_vec();
+    let mut idx = leaf_idx;
+    let mut adrs = *node_adrs;
+    for (level, sibling) in auth_path.iter().enumerate() {
+        let height = level as u32 + 1;
+        adrs.set_tree_height(height);
+        adrs.set_tree_index((leaf_offset >> height) + (idx >> 1));
+        node = if idx & 1 == 0 {
+            ctx.h(&adrs, &node, sibling)
+        } else {
+            ctx.h(&adrs, sibling, &node)
+        };
+        idx >>= 1;
+    }
+    node
+}
+
+/// Number of `H` calls a treehash of `height` performs: `2^height - 1`.
+pub fn internal_node_count(height: usize) -> usize {
+    (1 << height) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn ctx() -> HashCtx {
+        HashCtx::new(Params::sphincs_128f(), &[11u8; 16])
+    }
+
+    fn leaf(i: u32) -> Vec<u8> {
+        let mut v = vec![0u8; 16];
+        v[..4].copy_from_slice(&i.to_be_bytes());
+        v
+    }
+
+    #[test]
+    fn auth_path_reconstructs_root_every_leaf() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let height = 4;
+        for leaf_idx in 0..(1u32 << height) {
+            let out = treehash(&ctx, height, leaf_idx, &adrs, leaf);
+            assert_eq!(out.auth_path.len(), height);
+            let rebuilt =
+                root_from_auth_path(&ctx, &leaf(leaf_idx), leaf_idx, &out.auth_path, &adrs);
+            assert_eq!(rebuilt, out.root, "leaf {leaf_idx}");
+        }
+    }
+
+    #[test]
+    fn root_independent_of_chosen_leaf() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let r0 = treehash(&ctx, 3, 0, &adrs, leaf).root;
+        let r7 = treehash(&ctx, 3, 7, &adrs, leaf).root;
+        assert_eq!(r0, r7);
+    }
+
+    #[test]
+    fn wrong_leaf_fails_reconstruction() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let out = treehash(&ctx, 3, 2, &adrs, leaf);
+        let rebuilt = root_from_auth_path(&ctx, &leaf(3), 2, &out.auth_path, &adrs);
+        assert_ne!(rebuilt, out.root);
+    }
+
+    #[test]
+    fn tampered_path_fails_reconstruction() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let mut out = treehash(&ctx, 3, 5, &adrs, leaf);
+        out.auth_path[1][0] ^= 0x80;
+        let rebuilt = root_from_auth_path(&ctx, &leaf(5), 5, &out.auth_path, &adrs);
+        assert_ne!(rebuilt, out.root);
+    }
+
+    #[test]
+    fn height_zero_tree() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let out = treehash(&ctx, 0, 0, &adrs, leaf);
+        assert_eq!(out.root, leaf(0));
+        assert!(out.auth_path.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn leaf_index_bounds_checked() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let _ = treehash(&ctx, 2, 4, &adrs, leaf);
+    }
+
+    #[test]
+    fn internal_counts() {
+        assert_eq!(internal_node_count(0), 0);
+        assert_eq!(internal_node_count(6), 63);
+        assert_eq!(internal_node_count(9), 511);
+    }
+
+    #[test]
+    fn different_tree_addresses_different_roots() {
+        let ctx = ctx();
+        let a = Address::new();
+        let mut b = Address::new();
+        b.set_tree(1);
+        assert_ne!(treehash(&ctx, 2, 0, &a, leaf).root, treehash(&ctx, 2, 0, &b, leaf).root);
+    }
+}

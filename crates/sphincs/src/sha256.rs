@@ -1,0 +1,407 @@
+//! From-scratch FIPS 180-4 SHA-256.
+//!
+//! The compression function is exposed ([`compress`]) because the GPU cost
+//! model in `hero-gpu-sim` charges kernels per compression invocation, and
+//! HERO-Sign's PTX-tuned SHA-2 path is modelled at compression granularity.
+//!
+//! ```
+//! use hero_sphincs::sha256::Sha256;
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest[0], 0xba);
+//! ```
+
+/// Number of bytes in a SHA-256 digest.
+pub const DIGEST_LEN: usize = 32;
+
+/// Number of bytes in a SHA-256 message block.
+pub const BLOCK_LEN: usize = 64;
+
+/// SHA-256 initial hash value (FIPS 180-4 §5.3.3).
+pub const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+#[inline(always)]
+fn big_sigma0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+
+#[inline(always)]
+fn big_sigma1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+#[inline(always)]
+fn ch(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) ^ (!x & z)
+}
+
+#[inline(always)]
+fn maj(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) ^ (x & z) ^ (y & z)
+}
+
+/// Applies the SHA-256 compression function to `state` with one 64-byte
+/// `block`.
+///
+/// This is the unit of work the GPU model charges for: one call = one
+/// "compression" (64 rounds). The big-endian loads of the message schedule
+/// correspond to the `prmt`-vs-`shl` choice the paper tunes in PTX.
+pub fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        w[i] = small_sigma1(w[i - 2])
+            .wrapping_add(w[i - 7])
+            .wrapping_add(small_sigma0(w[i - 15]))
+            .wrapping_add(w[i - 16]);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for i in 0..64 {
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add(ch(e, f, g))
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let t2 = big_sigma0(a).wrapping_add(maj(a, b, c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use hero_sphincs::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"he");
+/// h.update(b"llo");
+/// assert_eq!(h.finalize(), Sha256::digest(b"hello"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+    compressions: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher initialized with the standard IV.
+    pub fn new() -> Self {
+        Self::from_state(H0, 0)
+    }
+
+    /// Creates a hasher from a precomputed chaining `state` that already
+    /// absorbed `absorbed_bytes` bytes (must be a multiple of 64).
+    ///
+    /// SPHINCS+ SHA-256 implementations precompute the state after hashing
+    /// `pk_seed || padding` once, then reuse it for every `F`/`H`/`PRF`
+    /// call; the GPU kernels rely on this to keep per-node cost at a single
+    /// compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absorbed_bytes` is not a multiple of 64.
+    pub fn from_state(state: [u32; 8], absorbed_bytes: u64) -> Self {
+        assert!(
+            absorbed_bytes % BLOCK_LEN as u64 == 0,
+            "absorbed byte count must be block aligned"
+        );
+        Self {
+            state,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: absorbed_bytes,
+            compressions: 0,
+        }
+    }
+
+    /// Returns the current chaining state.
+    ///
+    /// Only meaningful at a block boundary (`buffered_len() == 0`).
+    pub fn state(&self) -> [u32; 8] {
+        self.state
+    }
+
+    /// Number of bytes currently buffered (not yet compressed).
+    pub fn buffered_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// Number of compression-function invocations performed so far by this
+    /// hasher instance (used by the cost model in tests).
+    pub fn compressions(&self) -> u64 {
+        self.compressions
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+
+        if self.buf_len > 0 {
+            let need = BLOCK_LEN - self.buf_len;
+            let take = need.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.compressions += 1;
+                self.buf_len = 0;
+            }
+        }
+
+        while input.len() >= BLOCK_LEN {
+            let block: &[u8; BLOCK_LEN] = input[..BLOCK_LEN].try_into().expect("exact block");
+            compress(&mut self.state, block);
+            self.compressions += 1;
+            input = &input[BLOCK_LEN..];
+        }
+
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding_only(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_padding_only(&[0]);
+        }
+        self.update_padding_only(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// `update` that does not advance `total_len` (padding bytes are not
+    /// part of the message length).
+    fn update_padding_only(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buf[self.buf_len] = byte;
+            self.buf_len += 1;
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.compressions += 1;
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+}
+
+/// MGF1 mask generation function over SHA-256 (RFC 8017 §B.2.1), used by
+/// `H_msg` to expand a digest to arbitrary length.
+pub fn mgf1(seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len);
+    let mut counter: u32 = 0;
+    while out.len() < out_len {
+        let mut hasher = Sha256::new();
+        hasher.update(seed);
+        hasher.update(&counter.to_be_bytes());
+        out.extend_from_slice(&hasher.finalize());
+        counter += 1;
+    }
+    out.truncate(out_len);
+    out
+}
+
+/// Returns the number of compression calls SHA-256 performs for a message
+/// of `message_len` bytes (including padding), starting from the IV.
+///
+/// The analytic kernel descriptors use this to count work without hashing.
+pub fn compressions_for_len(message_len: usize) -> usize {
+    // Padding adds 1 byte of 0x80 plus an 8-byte length, rounded up to 64.
+    (message_len + 1 + 8).div_ceil(BLOCK_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha256::digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 128, 996] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn state_resume_matches_full_hash() {
+        // Precompute the state over one full block, resume, and compare.
+        let prefix = [7u8; BLOCK_LEN];
+        let suffix = b"tail bytes";
+        let mut full = Sha256::new();
+        full.update(&prefix);
+        full.update(suffix);
+
+        let mut pre = Sha256::new();
+        pre.update(&prefix);
+        assert_eq!(pre.buffered_len(), 0);
+        let mut resumed = Sha256::from_state(pre.state(), BLOCK_LEN as u64);
+        resumed.update(suffix);
+
+        assert_eq!(full.finalize(), resumed.finalize());
+    }
+
+    #[test]
+    fn compression_count_matches_formula() {
+        for len in [0usize, 1, 55, 56, 63, 64, 119, 120, 128, 1000] {
+            let mut h = Sha256::new();
+            h.update(&vec![0u8; len]);
+            let total = {
+                let before = h.compressions();
+                let _ = h.clone().finalize();
+                before
+            };
+            // compressions() counts only update-phase work here; check the
+            // full count via a fresh digest-like run.
+            let mut h2 = Sha256::new();
+            h2.update(&vec![0u8; len]);
+            let mut h2c = h2.clone();
+            let _ = h2c.finalize_count();
+            assert_eq!(h2c.compressions() as usize, compressions_for_len(len), "len={len}");
+            let _ = total;
+        }
+    }
+
+    impl Sha256 {
+        /// Test helper: finalize in place so compression count is observable.
+        fn finalize_count(&mut self) -> [u8; DIGEST_LEN] {
+            let clone = self.clone();
+            let digest = clone.finalize();
+            // Re-run padding on self to update counters.
+            let bit_len = self.total_len.wrapping_mul(8);
+            self.update_padding_only(&[0x80]);
+            while self.buf_len != 56 {
+                self.update_padding_only(&[0]);
+            }
+            self.update_padding_only(&bit_len.to_be_bytes());
+            digest
+        }
+    }
+
+    #[test]
+    fn mgf1_is_deterministic_prefix_consistent() {
+        let a = mgf1(b"seed", 100);
+        let b = mgf1(b"seed", 40);
+        assert_eq!(&a[..40], &b[..]);
+        assert_ne!(mgf1(b"seed2", 40), b);
+    }
+}

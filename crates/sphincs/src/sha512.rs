@@ -1,0 +1,305 @@
+//! From-scratch FIPS 180-4 SHA-512.
+//!
+//! The paper's optimizations are "algorithm-agnostic and do not depend on
+//! \[a\] specific hash function" (§I); SHA-512 is the first alternative it
+//! names. This module provides the primitive; [`crate::hash::HashAlg`]
+//! lets every tweakable-hash layer run on it.
+
+/// Bytes in a SHA-512 digest.
+pub const DIGEST_LEN: usize = 64;
+
+/// Bytes in a SHA-512 message block.
+pub const BLOCK_LEN: usize = 128;
+
+/// SHA-512 initial hash value (FIPS 180-4 §5.3.5).
+pub const H0: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// SHA-512 round constants (FIPS 180-4 §4.2.3).
+const K: [u64; 80] = [
+    0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
+    0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
+    0xd807aa98a3030242, 0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235, 0xc19bf174cf692694,
+    0xe49b69c19ef14ad2, 0xefbe4786384f25e3, 0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275, 0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
+    0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f, 0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2, 0xd5a79147930aa725, 0x06ca6351e003826f, 0x142929670a0e6e70,
+    0x27b70a8546d22ffc, 0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
+    0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6, 0x92722c851482353b,
+    0xa2bfe8a14cf10364, 0xa81a664bbc423001, 0xc24b8b70d0f89791, 0xc76c51a30654be30,
+    0xd192e819d6ef5218, 0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99, 0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb, 0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc, 0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
+    0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915, 0xc67178f2e372532b,
+    0xca273eceea26619c, 0xd186b8c721c0c207, 0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178,
+    0x06f067aa72176fba, 0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
+    0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc, 0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+];
+
+#[inline(always)]
+fn big_sigma0(x: u64) -> u64 {
+    x.rotate_right(28) ^ x.rotate_right(34) ^ x.rotate_right(39)
+}
+
+#[inline(always)]
+fn big_sigma1(x: u64) -> u64 {
+    x.rotate_right(14) ^ x.rotate_right(18) ^ x.rotate_right(41)
+}
+
+#[inline(always)]
+fn small_sigma0(x: u64) -> u64 {
+    x.rotate_right(1) ^ x.rotate_right(8) ^ (x >> 7)
+}
+
+#[inline(always)]
+fn small_sigma1(x: u64) -> u64 {
+    x.rotate_right(19) ^ x.rotate_right(61) ^ (x >> 6)
+}
+
+/// Applies the SHA-512 compression function to `state` with one 128-byte
+/// block (80 rounds; the 64-bit `prmt` variant of Fig. 5 services these
+/// big-endian loads on the GPU path).
+pub fn compress(state: &mut [u64; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u64; 80];
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        w[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    for i in 16..80 {
+        w[i] = small_sigma1(w[i - 2])
+            .wrapping_add(w[i - 7])
+            .wrapping_add(small_sigma0(w[i - 15]))
+            .wrapping_add(w[i - 16]);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..80 {
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add((e & f) ^ (!e & g))
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let t2 = big_sigma0(a).wrapping_add((a & b) ^ (a & c) ^ (b & c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Incremental SHA-512 hasher (same surface as
+/// [`crate::sha256::Sha256`]).
+#[derive(Clone, Debug)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a hasher initialized with the standard IV.
+    pub fn new() -> Self {
+        Self::from_state(H0, 0)
+    }
+
+    /// Creates a hasher from a precomputed chaining state that already
+    /// absorbed `absorbed_bytes` (must be a multiple of 128) — the
+    /// seed-state reuse trick, same as SHA-256's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absorbed_bytes` is not a multiple of 128.
+    pub fn from_state(state: [u64; 8], absorbed_bytes: u128) -> Self {
+        assert!(absorbed_bytes % BLOCK_LEN as u128 == 0, "state must be block aligned");
+        Self { state, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: absorbed_bytes }
+    }
+
+    /// Current chaining state (meaningful at block boundaries).
+    pub fn state(&self) -> [u64; 8] {
+        self.state
+    }
+
+    /// Bytes buffered and not yet compressed.
+    pub fn buffered_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        while input.len() >= BLOCK_LEN {
+            let block: &[u8; BLOCK_LEN] = input[..BLOCK_LEN].try_into().expect("exact block");
+            compress(&mut self.state, block);
+            input = &input[BLOCK_LEN..];
+        }
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    /// Finalizes and returns the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.pad_byte(0x80);
+        while self.buf_len != 112 {
+            self.pad_byte(0);
+        }
+        for &byte in bit_len.to_be_bytes().iter() {
+            self.pad_byte(byte);
+        }
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn pad_byte(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == BLOCK_LEN {
+            let block = self.buf;
+            compress(&mut self.state, &block);
+            self.buf_len = 0;
+        }
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Compression calls for a `message_len`-byte message from the IV
+/// (17-byte padding footprint: 0x80 + 16-byte length).
+pub fn compressions_for_len(message_len: usize) -> usize {
+    (message_len + 1 + 16).div_ceil(BLOCK_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&Sha512::digest(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&Sha512::digest(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // NIST CAVS vector for the 896-bit message.
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                    hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        let clean: Vec<u8> = msg.iter().copied().filter(|b| !b.is_ascii_whitespace()).collect();
+        assert_eq!(
+            hex(&Sha512::digest(&clean)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+             501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 127, 128, 129, 500, 999] {
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha512::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn state_resume() {
+        let prefix = [9u8; BLOCK_LEN];
+        let mut pre = Sha512::new();
+        pre.update(&prefix);
+        let mut resumed = Sha512::from_state(pre.state(), BLOCK_LEN as u128);
+        resumed.update(b"suffix");
+        let mut full = Sha512::new();
+        full.update(&prefix);
+        full.update(b"suffix");
+        assert_eq!(resumed.finalize(), full.finalize());
+    }
+
+    #[test]
+    fn compression_census() {
+        assert_eq!(compressions_for_len(0), 1);
+        assert_eq!(compressions_for_len(111), 1);
+        assert_eq!(compressions_for_len(112), 2);
+        assert_eq!(compressions_for_len(128), 2);
+        assert_eq!(compressions_for_len(239), 2);
+        assert_eq!(compressions_for_len(240), 3);
+    }
+}

@@ -1,0 +1,555 @@
+//! Top-level SPHINCS+ key generation, signing and verification
+//! (the flow of Fig. 2 in the paper).
+
+use crate::address::{Address, AddressType};
+use crate::fors::{self, ForsSignature};
+use crate::hash::{self, HashAlg, HashCtx};
+use crate::hypertree::{self, HtSignature};
+use crate::params::Params;
+
+use rand::RngCore;
+use std::fmt;
+
+/// Errors returned by signing/verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignError {
+    /// Signature fields do not match the parameter set's dimensions.
+    MalformedSignature(String),
+    /// The signature did not verify.
+    VerificationFailed,
+    /// Parameter set failed validation.
+    InvalidParams(String),
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::MalformedSignature(what) => write!(f, "malformed signature: {what}"),
+            SignError::VerificationFailed => f.write_str("signature verification failed"),
+            SignError::InvalidParams(what) => write!(f, "invalid parameters: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// A SPHINCS+ secret key: `(sk_seed, sk_prf, pk_seed, pk_root)`.
+#[derive(Clone)]
+pub struct SigningKey {
+    params: Params,
+    alg: HashAlg,
+    sk_seed: Vec<u8>,
+    sk_prf: Vec<u8>,
+    pk_seed: Vec<u8>,
+    pk_root: Vec<u8>,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        f.debug_struct("SigningKey").field("params", &self.params).finish_non_exhaustive()
+    }
+}
+
+/// A SPHINCS+ public key: `(pk_seed, pk_root)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyingKey {
+    params: Params,
+    alg: HashAlg,
+    pk_seed: Vec<u8>,
+    pk_root: Vec<u8>,
+}
+
+/// A SPHINCS+ signature: randomizer, FORS signature, hypertree signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Message randomizer `r` (`n` bytes).
+    pub randomizer: Vec<u8>,
+    /// FORS component.
+    pub fors: ForsSignature,
+    /// Hypertree component.
+    pub ht: HtSignature,
+}
+
+impl Signature {
+    /// Serialized byte length for `params` (matches [`Params::sig_bytes`]).
+    pub fn byte_len(&self, params: &Params) -> usize {
+        params.sig_bytes()
+    }
+
+    /// Flattens the signature to bytes (`r || FORS || HT`).
+    pub fn to_bytes(&self, params: &Params) -> Vec<u8> {
+        let mut out = Vec::with_capacity(params.sig_bytes());
+        out.extend_from_slice(&self.randomizer);
+        for tree in &self.fors.trees {
+            out.extend_from_slice(&tree.sk);
+            for node in &tree.auth_path {
+                out.extend_from_slice(node);
+            }
+        }
+        for layer in &self.ht.layers {
+            for node in &layer.wots_sig {
+                out.extend_from_slice(node);
+            }
+            for node in &layer.auth_path {
+                out.extend_from_slice(node);
+            }
+        }
+        out
+    }
+
+    /// Parses a signature from bytes produced by [`Signature::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError::MalformedSignature`] if `bytes` has the wrong
+    /// length.
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, SignError> {
+        if bytes.len() != params.sig_bytes() {
+            return Err(SignError::MalformedSignature(format!(
+                "expected {} bytes, got {}",
+                params.sig_bytes(),
+                bytes.len()
+            )));
+        }
+        let n = params.n;
+        let mut pos = 0usize;
+        let mut take = |len: usize| {
+            let slice = bytes[pos..pos + len].to_vec();
+            pos += len;
+            slice
+        };
+        let randomizer = take(n);
+        let mut trees = Vec::with_capacity(params.k);
+        for _ in 0..params.k {
+            let sk = take(n);
+            let auth_path = (0..params.log_t).map(|_| take(n)).collect();
+            trees.push(crate::fors::ForsTreeSig { sk, auth_path });
+        }
+        let mut layers = Vec::with_capacity(params.d);
+        for _ in 0..params.d {
+            let wots_sig = (0..params.wots_len()).map(|_| take(n)).collect();
+            let auth_path = (0..params.tree_height()).map(|_| take(n)).collect();
+            layers.push(crate::hypertree::XmssSig { wots_sig, auth_path });
+        }
+        debug_assert_eq!(pos, bytes.len());
+        Ok(Self { randomizer, fors: ForsSignature { trees }, ht: HtSignature { layers } })
+    }
+}
+
+/// Generates a key pair for `params` using `rng`.
+///
+/// # Errors
+///
+/// Returns [`SignError::InvalidParams`] if the parameter set is
+/// inconsistent.
+pub fn keygen<R: RngCore>(
+    params: Params,
+    rng: &mut R,
+) -> Result<(SigningKey, VerifyingKey), SignError> {
+    params.validate().map_err(SignError::InvalidParams)?;
+    let mut sk_seed = vec![0u8; params.n];
+    let mut sk_prf = vec![0u8; params.n];
+    let mut pk_seed = vec![0u8; params.n];
+    rng.fill_bytes(&mut sk_seed);
+    rng.fill_bytes(&mut sk_prf);
+    rng.fill_bytes(&mut pk_seed);
+    Ok(keygen_from_seeds(params, sk_seed, sk_prf, pk_seed))
+}
+
+/// [`keygen`] over an explicit hash primitive (the paper's
+/// hash-agnosticism claim: SHA-512 works wherever SHA-256 does).
+///
+/// # Errors
+///
+/// Returns [`SignError::InvalidParams`] if the parameter set is
+/// inconsistent.
+pub fn keygen_with_alg<R: RngCore>(
+    params: Params,
+    alg: HashAlg,
+    rng: &mut R,
+) -> Result<(SigningKey, VerifyingKey), SignError> {
+    params.validate().map_err(SignError::InvalidParams)?;
+    let mut sk_seed = vec![0u8; params.n];
+    let mut sk_prf = vec![0u8; params.n];
+    let mut pk_seed = vec![0u8; params.n];
+    rng.fill_bytes(&mut sk_seed);
+    rng.fill_bytes(&mut sk_prf);
+    rng.fill_bytes(&mut pk_seed);
+    Ok(keygen_from_seeds_with_alg(params, alg, sk_seed, sk_prf, pk_seed))
+}
+
+/// Deterministic key generation from explicit seeds (each `n` bytes).
+///
+/// # Panics
+///
+/// Panics if any seed has the wrong length.
+pub fn keygen_from_seeds(
+    params: Params,
+    sk_seed: Vec<u8>,
+    sk_prf: Vec<u8>,
+    pk_seed: Vec<u8>,
+) -> (SigningKey, VerifyingKey) {
+    keygen_from_seeds_with_alg(params, HashAlg::Sha256, sk_seed, sk_prf, pk_seed)
+}
+
+/// [`keygen_from_seeds`] over an explicit hash primitive.
+///
+/// # Panics
+///
+/// Panics if any seed has the wrong length.
+pub fn keygen_from_seeds_with_alg(
+    params: Params,
+    alg: HashAlg,
+    sk_seed: Vec<u8>,
+    sk_prf: Vec<u8>,
+    pk_seed: Vec<u8>,
+) -> (SigningKey, VerifyingKey) {
+    assert_eq!(sk_seed.len(), params.n);
+    assert_eq!(sk_prf.len(), params.n);
+    assert_eq!(pk_seed.len(), params.n);
+    let ctx = HashCtx::with_alg(params, &pk_seed, alg);
+    let pk_root = hypertree::public_root(&ctx, &sk_seed);
+    let sk = SigningKey {
+        params,
+        alg,
+        sk_seed,
+        sk_prf,
+        pk_seed: pk_seed.clone(),
+        pk_root: pk_root.clone(),
+    };
+    let vk = VerifyingKey { params, alg, pk_seed, pk_root };
+    (sk, vk)
+}
+
+impl SigningKey {
+    /// The parameter set of this key.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The hash primitive this key signs with.
+    pub fn alg(&self) -> HashAlg {
+        self.alg
+    }
+
+    /// Secret FORS/WOTS+ seed (exposed for the GPU engine, which re-derives
+    /// leaves inside kernels).
+    pub fn sk_seed(&self) -> &[u8] {
+        &self.sk_seed
+    }
+
+    /// PRF key for message randomization.
+    pub fn sk_prf(&self) -> &[u8] {
+        &self.sk_prf
+    }
+
+    /// Public seed.
+    pub fn pk_seed(&self) -> &[u8] {
+        &self.pk_seed
+    }
+
+    /// Public hypertree root.
+    pub fn pk_root(&self) -> &[u8] {
+        &self.pk_root
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey {
+            params: self.params,
+            alg: self.alg,
+            pk_seed: self.pk_seed.clone(),
+            pk_root: self.pk_root.clone(),
+        }
+    }
+
+    /// Signs `msg`. `opt_rand` (`n` bytes) randomizes the signature;
+    /// deterministic signing passes the public seed (the spec default).
+    pub fn sign_with_rand(&self, msg: &[u8], opt_rand: &[u8]) -> Signature {
+        let ctx = HashCtx::with_alg(self.params, &self.pk_seed, self.alg);
+        let randomizer = ctx.prf_msg(&self.sk_prf, opt_rand, msg);
+        let digest = ctx.h_msg(&randomizer, &self.pk_root, msg);
+        let (md, tree_idx, leaf_idx) = hash::split_digest(&self.params, &digest);
+
+        let mut keypair_adrs = Address::new();
+        keypair_adrs.set_layer(0);
+        keypair_adrs.set_tree(tree_idx);
+        keypair_adrs.set_type(AddressType::ForsTree);
+        keypair_adrs.set_keypair(leaf_idx);
+
+        let fors_sig = fors::sign(&ctx, &md, &self.sk_seed, &keypair_adrs);
+        let fors_pk = fors::pk_from_sig(&ctx, &fors_sig, &md, &keypair_adrs);
+        let ht_sig = hypertree::sign(&ctx, &fors_pk, &self.sk_seed, tree_idx, leaf_idx);
+        Signature { randomizer, fors: fors_sig, ht: ht_sig }
+    }
+
+    /// Signs `msg` deterministically (opt_rand = pk_seed).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let pk_seed = self.pk_seed.clone();
+        self.sign_with_rand(msg, &pk_seed)
+    }
+}
+
+impl VerifyingKey {
+    /// The parameter set of this key.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The hash primitive this key verifies with.
+    pub fn alg(&self) -> HashAlg {
+        self.alg
+    }
+
+    /// Serializes to the spec's `pk_seed || pk_root` (`2n` bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * self.params.n);
+        out.extend_from_slice(&self.pk_seed);
+        out.extend_from_slice(&self.pk_root);
+        out
+    }
+
+    /// Parses a public key serialized by [`VerifyingKey::to_bytes`].
+    /// The parameter set and hash primitive are carried out of band (as
+    /// the spec does).
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::MalformedSignature`] on a wrong length.
+    pub fn from_bytes(params: Params, alg: HashAlg, bytes: &[u8]) -> Result<Self, SignError> {
+        if bytes.len() != params.pk_bytes() {
+            return Err(SignError::MalformedSignature(format!(
+                "public key must be {} bytes, got {}",
+                params.pk_bytes(),
+                bytes.len()
+            )));
+        }
+        let n = params.n;
+        Ok(Self {
+            params,
+            alg,
+            pk_seed: bytes[..n].to_vec(),
+            pk_root: bytes[n..].to_vec(),
+        })
+    }
+
+    /// Public seed.
+    pub fn pk_seed(&self) -> &[u8] {
+        &self.pk_seed
+    }
+
+    /// Public hypertree root.
+    pub fn pk_root(&self) -> &[u8] {
+        &self.pk_root
+    }
+
+    /// Verifies `sig` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::MalformedSignature`] if dimensions are wrong,
+    /// [`SignError::VerificationFailed`] if the root does not match.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SignError> {
+        let params = &self.params;
+        if sig.randomizer.len() != params.n {
+            return Err(SignError::MalformedSignature("randomizer length".into()));
+        }
+        if sig.fors.trees.len() != params.k {
+            return Err(SignError::MalformedSignature("FORS tree count".into()));
+        }
+        if sig.ht.layers.len() != params.d {
+            return Err(SignError::MalformedSignature("hypertree layer count".into()));
+        }
+        for tree in &sig.fors.trees {
+            if tree.sk.len() != params.n || tree.auth_path.len() != params.log_t {
+                return Err(SignError::MalformedSignature("FORS tree shape".into()));
+            }
+        }
+        for layer in &sig.ht.layers {
+            if layer.wots_sig.len() != params.wots_len()
+                || layer.auth_path.len() != params.tree_height()
+            {
+                return Err(SignError::MalformedSignature("XMSS layer shape".into()));
+            }
+        }
+
+        let ctx = HashCtx::with_alg(*params, &self.pk_seed, self.alg);
+        let digest = ctx.h_msg(&sig.randomizer, &self.pk_root, msg);
+        let (md, tree_idx, leaf_idx) = hash::split_digest(params, &digest);
+
+        let mut keypair_adrs = Address::new();
+        keypair_adrs.set_layer(0);
+        keypair_adrs.set_tree(tree_idx);
+        keypair_adrs.set_type(AddressType::ForsTree);
+        keypair_adrs.set_keypair(leaf_idx);
+
+        let fors_pk = fors::pk_from_sig(&ctx, &sig.fors, &md, &keypair_adrs);
+        let root = hypertree::root_from_sig(&ctx, &sig.ht, &fors_pk, tree_idx, leaf_idx);
+        if root == self.pk_root {
+            Ok(())
+        } else {
+            Err(SignError::VerificationFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Tiny parameters so full sign/verify is test-speed: h=6, d=3,
+    /// log_t=4, k=8.
+    pub(crate) fn tiny_params() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 4;
+        p.k = 8;
+        p
+    }
+
+    #[test]
+    fn keygen_sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).expect("keygen");
+        let sig = sk.sign(b"hello post-quantum world");
+        vk.verify(b"hello post-quantum world", &sig).expect("verify");
+    }
+
+    #[test]
+    fn verify_rejects_other_message() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
+        let sig = sk.sign(b"msg A");
+        assert_eq!(vk.verify(b"msg B", &sig), Err(SignError::VerificationFailed));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_components() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
+        let msg = b"tamper test";
+        let sig = sk.sign(msg);
+
+        let mut bad = sig.clone();
+        bad.randomizer[0] ^= 1;
+        assert!(vk.verify(msg, &bad).is_err());
+
+        let mut bad = sig.clone();
+        bad.fors.trees[0].sk[0] ^= 1;
+        assert!(vk.verify(msg, &bad).is_err());
+
+        let mut bad = sig.clone();
+        bad.ht.layers[0].wots_sig[0][0] ^= 1;
+        assert!(vk.verify(msg, &bad).is_err());
+
+        let mut bad = sig.clone();
+        let last = bad.ht.layers.len() - 1;
+        bad.ht.layers[last].auth_path[0][0] ^= 1;
+        assert!(vk.verify(msg, &bad).is_err());
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let params = tiny_params();
+        let (sk, vk) = keygen(params, &mut rng).unwrap();
+        let sig = sk.sign(b"serialize me");
+        let bytes = sig.to_bytes(&params);
+        assert_eq!(bytes.len(), params.sig_bytes());
+        let parsed = Signature::from_bytes(&params, &bytes).expect("parse");
+        assert_eq!(parsed, sig);
+        vk.verify(b"serialize me", &parsed).expect("verify parsed");
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_length() {
+        let params = tiny_params();
+        assert!(matches!(
+            Signature::from_bytes(&params, &[0u8; 10]),
+            Err(SignError::MalformedSignature(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_signing_is_reproducible() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let (sk, _) = keygen(tiny_params(), &mut rng).unwrap();
+        assert_eq!(sk.sign(b"same"), sk.sign(b"same"));
+    }
+
+    #[test]
+    fn randomized_signing_differs_but_verifies() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
+        let s1 = sk.sign_with_rand(b"m", &[1u8; 16]);
+        let s2 = sk.sign_with_rand(b"m", &[2u8; 16]);
+        assert_ne!(s1, s2);
+        vk.verify(b"m", &s1).unwrap();
+        vk.verify(b"m", &s2).unwrap();
+    }
+
+    #[test]
+    fn public_key_bytes_roundtrip() {
+        use crate::hash::HashAlg;
+        let mut rng = StdRng::seed_from_u64(51);
+        let params = tiny_params();
+        let (sk, vk) = keygen(params, &mut rng).unwrap();
+        let bytes = vk.to_bytes();
+        assert_eq!(bytes.len(), params.pk_bytes());
+        let parsed = VerifyingKey::from_bytes(params, HashAlg::Sha256, &bytes).unwrap();
+        assert_eq!(parsed, vk);
+        let sig = sk.sign(b"pk wire");
+        parsed.verify(b"pk wire", &sig).unwrap();
+        assert!(VerifyingKey::from_bytes(params, HashAlg::Sha256, &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn sha512_keygen_sign_verify_roundtrip() {
+        // The paper's hash-agnosticism claim end to end: the whole scheme
+        // runs unchanged on SHA-512.
+        use crate::hash::HashAlg;
+        let mut rng = StdRng::seed_from_u64(52);
+        let (sk, vk) = keygen_with_alg(tiny_params(), HashAlg::Sha512, &mut rng).unwrap();
+        assert_eq!(sk.alg(), HashAlg::Sha512);
+        let sig = sk.sign(b"sha-512 instantiation");
+        vk.verify(b"sha-512 instantiation", &sig).expect("verify");
+        assert!(vk.verify(b"sha-512 instantiation!", &sig).is_err());
+    }
+
+    #[test]
+    fn sha256_and_sha512_keys_are_incompatible() {
+        use crate::hash::HashAlg;
+        let mut rng = StdRng::seed_from_u64(53);
+        let seeds = (vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]);
+        let (sk256, vk256) = keygen_from_seeds_with_alg(
+            tiny_params(), HashAlg::Sha256, seeds.0.clone(), seeds.1.clone(), seeds.2.clone());
+        let (sk512, vk512) = keygen_from_seeds_with_alg(
+            tiny_params(), HashAlg::Sha512, seeds.0, seeds.1, seeds.2);
+        assert_ne!(vk256.pk_root(), vk512.pk_root(), "same seeds, different primitive");
+        let sig256 = sk256.sign(b"cross");
+        let sig512 = sk512.sign(b"cross");
+        assert!(vk512.verify(b"cross", &sig256).is_err());
+        assert!(vk256.verify(b"cross", &sig512).is_err());
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn keygen_rejects_invalid_params() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut p = tiny_params();
+        p.d = 4; // 4 does not divide 6
+        assert!(matches!(keygen(p, &mut rng), Err(SignError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn debug_does_not_leak_secrets() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let (sk, _) = keygen(tiny_params(), &mut rng).unwrap();
+        let dbg = format!("{sk:?}");
+        assert!(!dbg.contains("sk_seed"));
+    }
+}

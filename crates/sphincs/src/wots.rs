@@ -1,0 +1,275 @@
+//! WOTS+ (Winternitz One-Time Signature Plus).
+//!
+//! A WOTS+ key is `len` hash chains of length `w`; a signature reveals one
+//! intermediate node per chain, positioned by the base-`w` digits of the
+//! message plus a checksum (§II-A1 of the paper). Chains are mutually
+//! independent — the property HERO-Sign's `WOTS+_Sign` kernel exploits with
+//! chain-level thread parallelism.
+
+use crate::address::{Address, AddressType};
+use crate::hash::HashCtx;
+use crate::params::Params;
+
+/// Converts `msg` into `out_len` base-`w` digits (spec Algorithm 1).
+///
+/// # Panics
+///
+/// Panics if `msg` has fewer bits than `out_len` digits require.
+pub fn base_w(params: &Params, msg: &[u8], out_len: usize) -> Vec<u32> {
+    let log_w = params.log_w();
+    assert!(
+        msg.len() * 8 >= out_len * log_w,
+        "message too short: {} bits for {} digits of {} bits",
+        msg.len() * 8,
+        out_len,
+        log_w
+    );
+    let mut out = Vec::with_capacity(out_len);
+    let mut bits: u32 = 0;
+    let mut acc: u32 = 0;
+    let mut idx = 0usize;
+    for _ in 0..out_len {
+        if bits < log_w as u32 {
+            acc = (acc << 8) | msg[idx] as u32;
+            idx += 1;
+            bits += 8;
+        }
+        bits -= log_w as u32;
+        out.push((acc >> bits) & (params.w as u32 - 1));
+    }
+    out
+}
+
+/// Computes the WOTS+ checksum digits for message digits `msg_w`
+/// (spec Algorithm 5 lines 2-6).
+pub fn checksum(params: &Params, msg_w: &[u32]) -> Vec<u32> {
+    let mut csum: u32 = msg_w.iter().map(|&d| params.w as u32 - 1 - d).sum();
+    // Left-shift so the checksum occupies whole bytes before base-w.
+    let len2 = params.wots_len2();
+    let log_w = params.log_w();
+    let shift = (8 - (len2 * log_w) % 8) % 8;
+    csum <<= shift;
+    let csum_bytes_len = (len2 * log_w).div_ceil(8);
+    let bytes = csum.to_be_bytes();
+    let csum_bytes = &bytes[4 - csum_bytes_len..];
+    base_w(params, csum_bytes, len2)
+}
+
+/// Message digits followed by checksum digits: the chain lengths a WOTS+
+/// signature reveals.
+pub fn chain_lengths(params: &Params, msg: &[u8]) -> Vec<u32> {
+    let mut lengths = base_w(params, msg, params.wots_len1());
+    lengths.extend(checksum(params, &lengths));
+    debug_assert_eq!(lengths.len(), params.wots_len());
+    lengths
+}
+
+/// Applies the chaining function: `steps` iterations of `F` starting from
+/// position `start` (spec Algorithm 2).
+///
+/// `adrs` must have its chain index set; the hash index is written here.
+pub fn chain(ctx: &HashCtx, x: &[u8], start: u32, steps: u32, adrs: &mut Address) -> Vec<u8> {
+    let mut value = x.to_vec();
+    for i in start..start + steps {
+        adrs.set_hash(i);
+        value = ctx.f(adrs, &value);
+    }
+    value
+}
+
+/// Derives the secret element for chain `chain_idx` of the key pair at
+/// `adrs` (which carries layer/tree/keypair coordinates).
+pub fn sk_element(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address, chain_idx: u32) -> Vec<u8> {
+    let mut sk_adrs = Address::new();
+    sk_adrs.copy_subtree_from(adrs);
+    sk_adrs.set_type(AddressType::WotsPrf);
+    sk_adrs.set_keypair(adrs.keypair());
+    sk_adrs.set_chain(chain_idx);
+    ctx.prf(&sk_adrs, sk_seed)
+}
+
+/// Computes the WOTS+ public key (the `T_len` compression of all chain
+/// ends) for the key pair at `adrs`.
+pub fn pk_gen(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address) -> Vec<u8> {
+    let params = *ctx.params();
+    let mut chain_ends = Vec::with_capacity(params.wots_len());
+    let mut hash_adrs = *adrs;
+    hash_adrs.set_type(AddressType::WotsHash);
+    hash_adrs.set_keypair(adrs.keypair());
+    for i in 0..params.wots_len() as u32 {
+        let sk = sk_element(ctx, sk_seed, adrs, i);
+        hash_adrs.set_chain(i);
+        chain_ends.push(chain(ctx, &sk, 0, params.w as u32 - 1, &mut hash_adrs));
+    }
+    let mut pk_adrs = *adrs;
+    pk_adrs.set_type(AddressType::WotsPk);
+    pk_adrs.set_keypair(adrs.keypair());
+    let parts: Vec<&[u8]> = chain_ends.iter().map(Vec::as_slice).collect();
+    ctx.t_l(&pk_adrs, &parts)
+}
+
+/// Signs an `n`-byte message, revealing one chain node per digit.
+pub fn sign(ctx: &HashCtx, msg: &[u8], sk_seed: &[u8], adrs: &Address) -> Vec<Vec<u8>> {
+    let params = *ctx.params();
+    debug_assert_eq!(msg.len(), params.n);
+    let lengths = chain_lengths(&params, msg);
+    let mut hash_adrs = *adrs;
+    hash_adrs.set_type(AddressType::WotsHash);
+    hash_adrs.set_keypair(adrs.keypair());
+    lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &steps)| {
+            let sk = sk_element(ctx, sk_seed, adrs, i as u32);
+            hash_adrs.set_chain(i as u32);
+            chain(ctx, &sk, 0, steps, &mut hash_adrs)
+        })
+        .collect()
+}
+
+/// Recomputes the public key from a signature (verification primitive).
+pub fn pk_from_sig(ctx: &HashCtx, sig: &[Vec<u8>], msg: &[u8], adrs: &Address) -> Vec<u8> {
+    let params = *ctx.params();
+    debug_assert_eq!(sig.len(), params.wots_len());
+    let lengths = chain_lengths(&params, msg);
+    let mut hash_adrs = *adrs;
+    hash_adrs.set_type(AddressType::WotsHash);
+    hash_adrs.set_keypair(adrs.keypair());
+    let chain_ends: Vec<Vec<u8>> = sig
+        .iter()
+        .zip(lengths.iter())
+        .enumerate()
+        .map(|(i, (node, &steps))| {
+            hash_adrs.set_chain(i as u32);
+            chain(ctx, node, steps, params.w as u32 - 1 - steps, &mut hash_adrs)
+        })
+        .collect();
+    let mut pk_adrs = *adrs;
+    pk_adrs.set_type(AddressType::WotsPk);
+    pk_adrs.set_keypair(adrs.keypair());
+    let parts: Vec<&[u8]> = chain_ends.iter().map(Vec::as_slice).collect();
+    ctx.t_l(&pk_adrs, &parts)
+}
+
+/// Total `F` invocations of one `wots_gen_leaf` (pk_gen): `len · (w-1)`
+/// chain hashes plus `len` PRF calls — the per-leaf workload the paper
+/// quotes as ~560 hashes for 128f (§III).
+pub fn pk_gen_hash_count(params: &Params) -> usize {
+    params.wots_len() * (params.w - 1) + params.wots_len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Params, HashCtx, Vec<u8>, Address) {
+        let params = Params::sphincs_128f();
+        let ctx = HashCtx::new(params, &[9u8; 16]);
+        let sk_seed = vec![3u8; 16];
+        let mut adrs = Address::new();
+        adrs.set_layer(1);
+        adrs.set_tree(5);
+        adrs.set_keypair(2);
+        (params, ctx, sk_seed, adrs)
+    }
+
+    #[test]
+    fn base_w_extracts_nibbles() {
+        let params = Params::sphincs_128f();
+        let digits = base_w(&params, &[0x12, 0xAB], 4);
+        assert_eq!(digits, vec![1, 2, 0xA, 0xB]);
+    }
+
+    #[test]
+    #[should_panic(expected = "message too short")]
+    fn base_w_rejects_short_input() {
+        let params = Params::sphincs_128f();
+        let _ = base_w(&params, &[0x12], 4);
+    }
+
+    #[test]
+    fn checksum_zero_message_is_max() {
+        // All digits 0 => csum = len1*(w-1) = 480 = 0x1E0.
+        let params = Params::sphincs_128f();
+        let msg_w = vec![0u32; params.wots_len1()];
+        let digits = checksum(&params, &msg_w);
+        assert_eq!(digits.len(), params.wots_len2());
+        // 480 << 4 = 0x1E00 in 2 bytes -> digits 1, 14, 0.
+        assert_eq!(digits, vec![1, 14, 0]);
+    }
+
+    #[test]
+    fn chain_composes() {
+        let (_, ctx, _, adrs) = setup();
+        let x = vec![1u8; 16];
+        let mut a1 = adrs;
+        let full = chain(&ctx, &x, 0, 10, &mut a1);
+        let mut a2 = adrs;
+        let half = chain(&ctx, &x, 0, 4, &mut a2);
+        let mut a3 = adrs;
+        let rest = chain(&ctx, &half, 4, 6, &mut a3);
+        assert_eq!(full, rest);
+    }
+
+    #[test]
+    fn chain_zero_steps_is_identity() {
+        let (_, ctx, _, adrs) = setup();
+        let x = vec![1u8; 16];
+        let mut a = adrs;
+        assert_eq!(chain(&ctx, &x, 3, 0, &mut a), x);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let msg = vec![0x5Au8; params.n];
+        let pk = pk_gen(&ctx, &sk_seed, &adrs);
+        let sig = sign(&ctx, &msg, &sk_seed, &adrs);
+        assert_eq!(sig.len(), params.wots_len());
+        assert_eq!(pk_from_sig(&ctx, &sig, &msg, &adrs), pk);
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let msg = vec![0x5Au8; params.n];
+        let other = vec![0x5Bu8; params.n];
+        let pk = pk_gen(&ctx, &sk_seed, &adrs);
+        let sig = sign(&ctx, &msg, &sk_seed, &adrs);
+        assert_ne!(pk_from_sig(&ctx, &sig, &other, &adrs), pk);
+    }
+
+    #[test]
+    fn verify_rejects_tampered_sig() {
+        let (params, ctx, sk_seed, adrs) = setup();
+        let msg = vec![0x5Au8; params.n];
+        let pk = pk_gen(&ctx, &sk_seed, &adrs);
+        let mut sig = sign(&ctx, &msg, &sk_seed, &adrs);
+        sig[0][0] ^= 1;
+        assert_ne!(pk_from_sig(&ctx, &sig, &msg, &adrs), pk);
+    }
+
+    #[test]
+    fn different_keypairs_different_pks() {
+        let (_, ctx, sk_seed, adrs) = setup();
+        let mut adrs2 = adrs;
+        adrs2.set_keypair(3);
+        assert_ne!(pk_gen(&ctx, &sk_seed, &adrs), pk_gen(&ctx, &sk_seed, &adrs2));
+    }
+
+    #[test]
+    fn hash_count_matches_paper_order() {
+        // §III: "approximately 560 iterations ... in one wots_gen_leaf"
+        // for 128f. len·(w-1) = 35·15 = 525, plus 35 PRF calls = 560.
+        assert_eq!(pk_gen_hash_count(&Params::sphincs_128f()), 560);
+        assert_eq!(pk_gen_hash_count(&Params::sphincs_192f()), 816);
+        assert_eq!(pk_gen_hash_count(&Params::sphincs_256f()), 1072);
+    }
+
+    #[test]
+    fn chain_lengths_sum_bounded() {
+        let params = Params::sphincs_128f();
+        let lengths = chain_lengths(&params, &[0xFFu8; 16]);
+        assert!(lengths.iter().all(|&l| l < params.w as u32));
+    }
+}
