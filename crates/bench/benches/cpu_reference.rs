@@ -63,7 +63,9 @@ fn bench_full_sign_verify(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let (sk, vk) = hero_sphincs::keygen(tiny_params(), &mut rng).expect("keygen");
     let sig = sk.sign(b"bench message");
-    c.bench_function("sign_reduced_params", |b| b.iter(|| sk.sign(b"bench message")));
+    c.bench_function("sign_reduced_params", |b| {
+        b.iter(|| sk.sign(b"bench message"))
+    });
     c.bench_function("verify_reduced_params", |b| {
         b.iter(|| vk.verify(b"bench message", &sig).expect("valid"))
     });

@@ -11,8 +11,8 @@ fn bench_kernel_simulation(c: &mut Criterion) {
     let device = rtx_4090();
     let mut group = c.benchmark_group("table8_kernel_reports");
     for p in Params::fast_sets() {
-        let baseline = HeroSigner::baseline(device.clone(), p);
-        let hero = HeroSigner::hero(device.clone(), p);
+        let baseline = HeroSigner::baseline(device.clone(), p).unwrap();
+        let hero = HeroSigner::hero(device.clone(), p).unwrap();
         group.bench_with_input(BenchmarkId::new("baseline", p.name()), &baseline, |b, e| {
             b.iter(|| e.kernel_reports(1024))
         });
@@ -38,7 +38,7 @@ fn bench_bank_measurement(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_bank_measurement");
     let device = rtx_4090();
     for p in Params::fast_sets() {
-        let engine = HeroSigner::hero(device.clone(), p);
+        let engine = HeroSigner::hero(device.clone(), p).unwrap();
         let geometry = engine.fors_layout().geometry(&p);
         group.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, p| {
             b.iter(|| {

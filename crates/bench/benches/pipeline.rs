@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hero_gpu_sim::device::rtx_4090;
-use hero_sign::engine::{HeroSigner, OptConfig};
+use hero_sign::engine::{HeroSigner, OptConfig, PipelineOptions};
 use hero_sphincs::params::Params;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -12,27 +12,44 @@ fn bench_pipeline(c: &mut Criterion) {
     let p = Params::sphincs_128f();
     let mut group = c.benchmark_group("fig12_pipeline_simulation");
 
-    let hero = HeroSigner::hero(device.clone(), p);
+    let hero = HeroSigner::hero(device.clone(), p).unwrap();
     let mut stream_cfg = OptConfig::hero();
     stream_cfg.graph = false;
-    let hero_stream = HeroSigner::new(device.clone(), p, stream_cfg);
-    let baseline = HeroSigner::baseline(device.clone(), p);
+    let hero_stream = HeroSigner::builder(device.clone(), p)
+        .config(stream_cfg)
+        .build()
+        .unwrap();
+    let baseline = HeroSigner::baseline(device.clone(), p).unwrap();
 
     group.bench_function("hero_graph_512", |b| {
-        b.iter(|| hero.simulate_pipeline(1024, 512, 4))
+        b.iter(|| {
+            hero.simulate(PipelineOptions::new(1024).batch_size(512).streams(4))
+                .unwrap()
+        })
     });
     group.bench_function("hero_stream_512", |b| {
-        b.iter(|| hero_stream.simulate_pipeline(1024, 512, 4))
+        b.iter(|| {
+            hero_stream
+                .simulate(PipelineOptions::new(1024).batch_size(512).streams(4))
+                .unwrap()
+        })
     });
     group.bench_function("baseline_per_message", |b| {
-        b.iter(|| baseline.simulate_pipeline(1024, 1, 128))
+        b.iter(|| {
+            baseline
+                .simulate(PipelineOptions::new(1024).batch_size(1).streams(128))
+                .unwrap()
+        })
     });
     group.finish();
 
     let mut sweep = c.benchmark_group("fig13_batch_sweep");
     for bs in [16u32, 64, 256, 1024] {
         sweep.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
-            b.iter(|| hero.simulate_pipeline(1024, bs, 8))
+            b.iter(|| {
+                hero.simulate(PipelineOptions::new(1024).batch_size(bs).streams(8))
+                    .unwrap()
+            })
         });
     }
     sweep.finish();
@@ -41,7 +58,7 @@ fn bench_pipeline(c: &mut Criterion) {
 fn bench_engine_construction(c: &mut Criterion) {
     let device = rtx_4090();
     c.bench_function("hero_engine_new_with_tuning_and_selection", |b| {
-        b.iter(|| HeroSigner::hero(device.clone(), Params::sphincs_128f()))
+        b.iter(|| HeroSigner::hero(device.clone(), Params::sphincs_128f()).unwrap())
     });
 }
 

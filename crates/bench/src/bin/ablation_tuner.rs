@@ -19,7 +19,13 @@ fn simulated_kops(params: &Params, candidate: FusionCandidate) -> f64 {
     } else {
         ForsLayout::Fused(candidate)
     };
-    let desc = describe(&device, params, 1024, &layout, &KernelConfig::hero(Sha2Path::Ptx));
+    let desc = describe(
+        &device,
+        params,
+        1024,
+        &layout,
+        &KernelConfig::hero(Sha2Path::Ptx),
+    );
     let report = simulate_kernel(&device, &desc);
     1024.0 / report.time_us * 1.0e3
 }
@@ -38,7 +44,10 @@ fn main() {
     rule(76);
     for p in [Params::sphincs_128f(), Params::sphincs_192f()] {
         for alpha in [0.3, 0.5, 0.6, 0.75, 0.9] {
-            let opts = TuningOptions { alpha, ..TuningOptions::default() };
+            let opts = TuningOptions {
+                alpha,
+                ..TuningOptions::default()
+            };
             match tune(&device, &p, &opts) {
                 Ok(r) => {
                     let b = r.best;
@@ -87,7 +96,10 @@ fn main() {
                     .then(b.sync_points.partial_cmp(&a.sync_points).unwrap())
             })
             .expect("candidates");
-        for (label, c) in [("sync-first (paper)", paper_pick), ("utilization-first", util_pick)] {
+        for (label, c) in [
+            ("sync-first (paper)", paper_pick),
+            ("utilization-first", util_pick),
+        ] {
             println!(
                 "{:<16} {:<22} {:>8} {:>4} {:>8.1} {:>10.1}",
                 p.name(),

@@ -24,16 +24,27 @@ fn main() {
         let mut prev = f64::NAN;
         let paper_row = paper::FIG11[set_idx];
         for (i, (label, cfg)) in OptConfig::ablation_ladder().into_iter().enumerate() {
-            let engine = HeroSigner::new(device.clone(), *p, cfg);
+            let engine = HeroSigner::builder(device.clone(), *p)
+                .config(cfg)
+                .build()
+                .unwrap();
             let fors = &engine.kernel_reports(EVAL_MESSAGES)[0];
             let kops = EVAL_MESSAGES as f64 / fors.time_us * 1.0e3;
             if i == 0 {
                 first = kops;
                 prev = kops;
             }
-            let label = if i == 2 && p.n == 32 { "+FS(Relax)" } else { label };
+            let label = if i == 2 && p.n == 32 {
+                "+FS(Relax)"
+            } else {
+                label
+            };
             let paper_first = paper_row[0];
-            let paper_prev = if i == 0 { paper_row[0] } else { paper_row[i - 1] };
+            let paper_prev = if i == 0 {
+                paper_row[0]
+            } else {
+                paper_row[i - 1]
+            };
             println!(
                 "  {:<12} {:>10.1} {:>8} {:>8}   paper: {:>8.1} {:>8} {:>8}",
                 label,

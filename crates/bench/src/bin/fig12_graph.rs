@@ -8,19 +8,31 @@
 //! ≥512-message batches (§IV-E1) bound to a few non-blocking streams.
 
 use hero_bench::{fmt_x, header, paper, primary_device, rule};
-use hero_sign::engine::{HeroSigner, OptConfig, PipelineReport};
+use hero_sign::engine::{HeroSigner, OptConfig, PipelineOptions, PipelineReport};
 use hero_sphincs::params::Params;
 
 const MESSAGES: u32 = 1024;
 
-fn run(device: &hero_gpu_sim::DeviceProps, p: Params, mut cfg: OptConfig, graph: bool) -> PipelineReport {
+fn run(
+    device: &hero_gpu_sim::DeviceProps,
+    p: Params,
+    mut cfg: OptConfig,
+    graph: bool,
+) -> PipelineReport {
     cfg.graph = graph;
-    let engine = HeroSigner::new(device.clone(), p, cfg);
+    let engine = HeroSigner::builder(device.clone(), p)
+        .config(cfg)
+        .build()
+        .unwrap();
     if cfg.mmtp {
-        engine.simulate_pipeline(MESSAGES, 512, 4)
+        engine
+            .simulate(PipelineOptions::new(MESSAGES).batch_size(512).streams(4))
+            .unwrap()
     } else {
         // Baseline: per-message kernels, streams ≈ tasks/cores (CUSPX).
-        engine.simulate_pipeline(MESSAGES, 1, 128)
+        engine
+            .simulate(PipelineOptions::new(MESSAGES).batch_size(1).streams(128))
+            .unwrap()
     }
 }
 
@@ -61,9 +73,21 @@ fn main() {
 
         println!("  launch latency (cumulative host overhead):");
         let lat = [
-            ("Baseline", base_ng.launch_overhead_us, paper::FIG12_LATENCY_US[i][0]),
-            ("HERO-Sign (no Graph)", hero_ng.launch_overhead_us, paper::FIG12_LATENCY_US[i][1]),
-            ("HERO-Sign (with Graph)", hero_g.launch_overhead_us, paper::FIG12_LATENCY_US[i][2]),
+            (
+                "Baseline",
+                base_ng.launch_overhead_us,
+                paper::FIG12_LATENCY_US[i][0],
+            ),
+            (
+                "HERO-Sign (no Graph)",
+                hero_ng.launch_overhead_us,
+                paper::FIG12_LATENCY_US[i][1],
+            ),
+            (
+                "HERO-Sign (with Graph)",
+                hero_g.launch_overhead_us,
+                paper::FIG12_LATENCY_US[i][2],
+            ),
         ];
         for (label, us, paper_us) in lat {
             println!(

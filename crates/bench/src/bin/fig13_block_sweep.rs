@@ -6,7 +6,7 @@
 //! dominate tiny launches), and ≥512 maximizes absolute throughput.
 
 use hero_bench::{fmt_x, header, paper, primary_device, rule};
-use hero_sign::engine::{HeroSigner, OptConfig};
+use hero_sign::engine::{HeroSigner, OptConfig, PipelineOptions};
 use hero_sphincs::params::Params;
 
 const MESSAGES: u32 = 1024;
@@ -19,13 +19,19 @@ fn main() {
     );
 
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let baseline = HeroSigner::baseline(device.clone(), *p);
+        let baseline = HeroSigner::baseline(device.clone(), *p).unwrap();
         let mut hero_cfg = OptConfig::hero();
         hero_cfg.graph = true;
-        let hero = HeroSigner::new(device.clone(), *p, hero_cfg);
+        let hero = HeroSigner::builder(device.clone(), *p)
+            .config(hero_cfg)
+            .build()
+            .unwrap();
 
         println!("\n{}:", p.name());
-        println!("  {:<10} {:>12} {:>12} {:>9}", "BlockSize", "Base KOPS", "HERO KOPS", "Speedup");
+        println!(
+            "  {:<10} {:>12} {:>12} {:>9}",
+            "BlockSize", "Base KOPS", "HERO KOPS", "Speedup"
+        );
         rule(50);
         let mut small_block_max = 0.0f64;
         let mut at_64 = 0.0f64;
@@ -33,8 +39,20 @@ fn main() {
             // Small batches need many concurrent streams/graphs to keep
             // the device fed (§III-F's block-based multi-graph strategy).
             let streams = (MESSAGES / bs).clamp(4, 64) as usize;
-            let b = baseline.simulate_pipeline(MESSAGES, bs, streams);
-            let h = hero.simulate_pipeline(MESSAGES, bs, streams);
+            let b = baseline
+                .simulate(
+                    PipelineOptions::new(MESSAGES)
+                        .batch_size(bs)
+                        .streams(streams),
+                )
+                .unwrap();
+            let h = hero
+                .simulate(
+                    PipelineOptions::new(MESSAGES)
+                        .batch_size(bs)
+                        .streams(streams),
+                )
+                .unwrap();
             let speedup = h.kops / b.kops;
             if bs <= 64 {
                 small_block_max = small_block_max.max(speedup);
@@ -42,7 +60,13 @@ fn main() {
             if bs == 64 {
                 at_64 = speedup;
             }
-            println!("  {:<10} {:>12.2} {:>12.2} {:>9}", bs, b.kops, h.kops, fmt_x(speedup));
+            println!(
+                "  {:<10} {:>12.2} {:>12.2} {:>9}",
+                bs,
+                b.kops,
+                h.kops,
+                fmt_x(speedup)
+            );
         }
         let (paper_max, paper_64) = paper::FIG13_SMALL_BLOCK_SPEEDUP[i];
         println!(

@@ -4,7 +4,7 @@
 
 use hero_bench::{fmt_x, header, paper, rule};
 use hero_gpu_sim::device;
-use hero_sign::engine::HeroSigner;
+use hero_sign::engine::{HeroSigner, PipelineOptions};
 use hero_sphincs::params::Params;
 
 const MESSAGES: u32 = 1024;
@@ -32,12 +32,26 @@ fn main() {
     let mut pascal_mean = 0.0;
     for (di, d) in devices.iter().enumerate() {
         for (pi, p) in Params::fast_sets().iter().enumerate() {
-            let base = HeroSigner::baseline(d.clone(), *p).simulate_pipeline(MESSAGES, 1, d.sm_count as usize);
-            let hero = HeroSigner::hero(d.clone(), *p).simulate_pipeline(MESSAGES, 512, 4);
+            let base = HeroSigner::baseline(d.clone(), *p)
+                .unwrap()
+                .simulate(
+                    PipelineOptions::new(MESSAGES)
+                        .batch_size(1)
+                        .streams(d.sm_count as usize),
+                )
+                .unwrap();
+            let hero = HeroSigner::hero(d.clone(), *p)
+                .unwrap()
+                .simulate(PipelineOptions::new(MESSAGES).batch_size(512).streams(4))
+                .unwrap();
             let speedup = hero.kops / base.kops;
             println!(
                 "{:<14} {:<16} {:>11.2} {:>11.2} {:>9}   {:.2}x",
-                if pi == 0 { format!("{}", d.arch) } else { String::new() },
+                if pi == 0 {
+                    format!("{}", d.arch)
+                } else {
+                    String::new()
+                },
                 p.name(),
                 base.kops,
                 hero.kops,
@@ -56,8 +70,14 @@ fn main() {
     println!();
     // RTX 4090 absolute-performance cross-check (§IV-F).
     let p256 = Params::sphincs_256f();
-    let ada = HeroSigner::hero(device::rtx_4090(), p256).simulate_pipeline(MESSAGES, 512, 4);
-    let hopper = HeroSigner::hero(device::h100(), p256).simulate_pipeline(MESSAGES, 512, 4);
+    let ada = HeroSigner::hero(device::rtx_4090(), p256)
+        .unwrap()
+        .simulate(PipelineOptions::new(MESSAGES).batch_size(512).streams(4))
+        .unwrap();
+    let hopper = HeroSigner::hero(device::h100(), p256)
+        .unwrap()
+        .simulate(PipelineOptions::new(MESSAGES).batch_size(512).streams(4))
+        .unwrap();
     println!(
         "256f absolute: RTX 4090 {:.2} KOPS vs H100 {:.2} KOPS (paper measured 33.88 vs \
          26.63; the paper's own throughput ∝ cores x base-clock law predicts \

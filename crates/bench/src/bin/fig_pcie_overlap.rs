@@ -5,7 +5,7 @@
 //! two-sided recommendation.
 
 use hero_bench::{header, primary_device, rule};
-use hero_sign::engine::HeroSigner;
+use hero_sign::engine::{HeroSigner, PipelineOptions};
 use hero_sphincs::params::Params;
 
 const MESSAGES: u32 = 1024;
@@ -18,7 +18,7 @@ fn main() {
         "Batch-size trade-off with host-device transfers (1 KiB messages)",
     );
     for p in Params::fast_sets() {
-        let hero = HeroSigner::hero(device.clone(), p);
+        let hero = HeroSigner::hero(device.clone(), p).unwrap();
         println!("\n{} (signature {} B):", p.name(), p.sig_bytes());
         println!(
             "  {:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
@@ -27,9 +27,12 @@ fn main() {
         rule(70);
         for bs in [16u32, 64, 128, 256, 512, 1024] {
             let streams = (MESSAGES / bs).clamp(4, 64) as usize;
-            let pure = hero.simulate_pipeline(MESSAGES, bs, streams);
-            let (with_pcie, transfers) =
-                hero.simulate_pipeline_pcie(MESSAGES, bs, streams, MSG_BYTES);
+            let opts = PipelineOptions::new(MESSAGES)
+                .batch_size(bs)
+                .streams(streams);
+            let pure = hero.simulate(opts).unwrap();
+            let with_pcie = hero.simulate(opts.pcie_overlap(MSG_BYTES)).unwrap();
+            let transfers = with_pcie.transfers.expect("pcie modeling requested");
             println!(
                 "  {:<8} {:>10.2} {:>10.2} {:>10.1} {:>12.1} {:>12}",
                 bs,
@@ -37,7 +40,11 @@ fn main() {
                 with_pcie.kops,
                 transfers.h2d_batch_us,
                 transfers.d2h_batch_us,
-                if transfers.transfer_bound { "PCIe" } else { "compute" },
+                if transfers.transfer_bound {
+                    "PCIe"
+                } else {
+                    "compute"
+                },
             );
         }
     }

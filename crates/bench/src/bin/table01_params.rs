@@ -7,10 +7,23 @@ use hero_sign::workload;
 use hero_sphincs::params::Params;
 
 fn main() {
-    header("Table I", "SPHINCS+ -f parameter sets and derived quantities");
+    header(
+        "Table I",
+        "SPHINCS+ -f parameter sets and derived quantities",
+    );
     println!(
         "{:<16} {:>3} {:>3} {:>3} {:>7} {:>3} {:>3} | {:>9} {:>10} {:>10} {:>10}",
-        "Scheme", "n", "h", "d", "log(t)", "k", "w", "sig bytes", "FORS lvs", "HT leaves", "hash/leaf"
+        "Scheme",
+        "n",
+        "h",
+        "d",
+        "log(t)",
+        "k",
+        "w",
+        "sig bytes",
+        "FORS lvs",
+        "HT leaves",
+        "hash/leaf"
     );
     rule(104);
     for p in Params::fast_sets() {
@@ -31,7 +44,10 @@ fn main() {
     }
     println!();
     println!("Checks against the paper's text:");
-    println!("  128f signature bytes = {} (paper: 17,088)", Params::sphincs_128f().sig_bytes());
+    println!(
+        "  128f signature bytes = {} (paper: 17,088)",
+        Params::sphincs_128f().sig_bytes()
+    );
     println!(
         "  wots_gen_leaf chain hashes = {}/{}/{} (paper: 560/816/1072)",
         workload::wots_gen_leaf_chain_hashes(&Params::sphincs_128f()),

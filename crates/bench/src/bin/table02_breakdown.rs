@@ -3,22 +3,31 @@
 //! RTX 4090.
 
 use hero_bench::{header, paper, primary_device, rule, EVAL_MESSAGES};
-use hero_sign::engine::HeroSigner;
+use hero_sign::engine::{HeroSigner, PipelineOptions};
 use hero_sphincs::params::Params;
 
 fn main() {
     let device = primary_device();
-    header("Table II", "Baseline time breakdown (ms) for 1024 messages, RTX 4090");
+    header(
+        "Table II",
+        "Baseline time breakdown (ms) for 1024 messages, RTX 4090",
+    );
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8}   paper: {:>7} {:>7} {:>7} {:>7}",
         "Set", "FORS", "Idle", "MSS", "WOTS+", "FORS", "Idle", "MSS", "WOTS+"
     );
     rule(100);
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let engine = HeroSigner::baseline(device.clone(), *p);
+        let engine = HeroSigner::baseline(device.clone(), *p).unwrap();
         let reports = engine.kernel_reports(EVAL_MESSAGES);
         // Idle: measured from the baseline per-message stream schedule.
-        let pipeline = engine.simulate_pipeline(EVAL_MESSAGES, 1, 128);
+        let pipeline = engine
+            .simulate(
+                PipelineOptions::new(EVAL_MESSAGES)
+                    .batch_size(1)
+                    .streams(128),
+            )
+            .unwrap();
         let row = &paper::TABLE2[i];
         println!(
             "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   paper: {:>7.2} {:>7.2} {:>7.2} {:>7.2}",

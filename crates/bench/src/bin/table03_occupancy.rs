@@ -9,11 +9,14 @@ use hero_sphincs::params::Params;
 fn main() {
     let device = primary_device();
     let p = Params::sphincs_128f();
-    let engine = HeroSigner::baseline(device, p);
+    let engine = HeroSigner::baseline(device, p).unwrap();
     let reports = engine.kernel_reports(EVAL_MESSAGES);
     let descs = engine.kernel_descs(EVAL_MESSAGES);
 
-    header("Table III", "Baseline (TCAS-SPHINCSp) kernel profile, SPHINCS+-128f, RTX 4090");
+    header(
+        "Table III",
+        "Baseline (TCAS-SPHINCSp) kernel profile, SPHINCS+-128f, RTX 4090",
+    );
     println!(
         "{:<14} {:>10} {:>13} {:>10} | paper: {:>7} {:>9} {:>6}",
         "Kernel", "WarpOcc%", "TheoryOcc%", "Regs/Thr", "Warp%", "Theory%", "Regs"

@@ -11,13 +11,19 @@ fn main() {
     let device = primary_device();
     let opts = TuningOptions::default();
 
-    header("Table IV", "Auto Tree Tuning search results (RTX 4090, static 48 KiB SEME)");
+    header(
+        "Table IV",
+        "Auto Tree Tuning search results (RTX 4090, static 48 KiB SEME)",
+    );
     println!(
         "{:<16} {:>10} {:>10} {:>4} {:>8} {:>8} {:>7}   paper (S_util, T_util, F)",
         "Parameter set", "SmemUtil", "ThrUtil", "F", "T_set", "N_tree", "syncs"
     );
     rule(100);
-    for (i, p) in [Params::sphincs_128f(), Params::sphincs_192f()].iter().enumerate() {
+    for (i, p) in [Params::sphincs_128f(), Params::sphincs_192f()]
+        .iter()
+        .enumerate()
+    {
         let r = tune(&device, p, &opts).expect("search");
         let b = r.best;
         let (ps, pt, pf) = hero_bench::paper::TABLE4[i];
@@ -52,14 +58,22 @@ fn main() {
     println!();
     println!("Top candidates per set (argmin over (sync, -U_T, -U_S)):");
     for p in Params::fast_sets() {
-        let r = if p.n == 32 { tune_relax(&device, &p, &opts) } else { tune(&device, &p, &opts) };
+        let r = if p.n == 32 {
+            tune_relax(&device, &p, &opts)
+        } else {
+            tune(&device, &p, &opts)
+        };
         let r = r.expect("search");
         println!("  {}:", p.name());
         for c in r.candidates.iter().take(4) {
             println!(
                 "    T_set={:<5} N_tree={:<3} F={:<2} U_T={:.4} U_S={:.4} sync={:.1}",
-                c.threads_per_set, c.trees_per_set, c.fused_sets,
-                c.thread_utilization, c.smem_utilization, c.sync_points
+                c.threads_per_set,
+                c.trees_per_set,
+                c.fused_sets,
+                c.thread_utilization,
+                c.smem_utilization,
+                c.sync_points
             );
         }
     }

@@ -16,14 +16,17 @@ fn mark(path: Sha2Path) -> &'static str {
 
 fn main() {
     let device = primary_device();
-    header("Table V", "PTX branch selection across signature kernels (RTX 4090, Block=1024)");
+    header(
+        "Table V",
+        "PTX branch selection across signature kernels (RTX 4090, Block=1024)",
+    );
     println!(
         "{:<16} {:>12} {:>12} {:>12}   paper row",
         "Parameter set", "FORS_Sign", "TREE_Sign", "WOTS+_Sign"
     );
     rule(80);
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let engine = HeroSigner::hero(device.clone(), *p);
+        let engine = HeroSigner::hero(device.clone(), *p).unwrap();
         let sel = engine.selection();
         let (pf, pt, pw) = hero_bench::paper::TABLE5[i];
         let fmt_paper = |b: bool| if b { "PTX" } else { "native" };

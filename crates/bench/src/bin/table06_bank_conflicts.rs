@@ -27,7 +27,7 @@ fn main() {
     rule(110);
 
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let engine = HeroSigner::hero(device.clone(), *p);
+        let engine = HeroSigner::hero(device.clone(), *p).unwrap();
         let geometry = engine.fors_layout().geometry(&p.clone());
         let none = PaddingScheme::none();
         let padded = PaddingScheme::for_width(p.n);
@@ -51,12 +51,7 @@ fn main() {
         let (pl, ps) = paper::TABLE6_TREE_BASELINE[i];
         println!(
             "{:<16} {:<11} {:>12} {:>12} {:>10} {:>10}   ({pl}, {ps})",
-            "",
-            "TREE_Sign",
-            tl0.conflicts,
-            ts0.conflicts,
-            tl1.conflicts,
-            ts1.conflicts,
+            "", "TREE_Sign", tl0.conflicts, ts0.conflicts, tl1.conflicts, ts1.conflicts,
         );
     }
     println!();

@@ -18,13 +18,27 @@ fn main() {
     );
     println!(
         "{:<14} {:<11} {:>8} {:>8} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}",
-        "Set", "Kernel", "BaseKOPS", "HeroKOPS", "Speedup", "OccB%", "OccH%", "CmpB%", "CmpH%", "MemB%", "MemH%"
+        "Set",
+        "Kernel",
+        "BaseKOPS",
+        "HeroKOPS",
+        "Speedup",
+        "OccB%",
+        "OccH%",
+        "CmpB%",
+        "CmpH%",
+        "MemB%",
+        "MemH%"
     );
     rule(118);
 
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let base = HeroSigner::baseline(device.clone(), *p).kernel_reports(EVAL_MESSAGES);
-        let hero = HeroSigner::hero(device.clone(), *p).kernel_reports(EVAL_MESSAGES);
+        let base = HeroSigner::baseline(device.clone(), *p)
+            .unwrap()
+            .kernel_reports(EVAL_MESSAGES);
+        let hero = HeroSigner::hero(device.clone(), *p)
+            .unwrap()
+            .kernel_reports(EVAL_MESSAGES);
         let paper_row = &paper::TABLE8[i];
         let paper_pairs = [paper_row.fors, paper_row.tree, paper_row.wots];
 

@@ -8,19 +8,25 @@
 //! simulated signing rate, as the paper's PPS metric does.
 
 use hero_bench::{header, reference, rule};
-use hero_sign::engine::HeroSigner;
+use hero_sign::engine::{HeroSigner, PipelineOptions};
 use hero_sphincs::params::Params;
 
 const RTX_4090_BOARD_WATTS: f64 = 450.0;
 
 fn main() {
-    header("Table IX", "Cross-platform comparison (throughput KOPS, power-per-signature W)");
+    header(
+        "Table IX",
+        "Cross-platform comparison (throughput KOPS, power-per-signature W)",
+    );
 
     // Our simulated HERO row.
     let device = hero_bench::primary_device();
     let mut ours = [0.0f64; 3];
     for (i, p) in Params::fast_sets().iter().enumerate() {
-        let report = HeroSigner::hero(device.clone(), *p).simulate_pipeline(1024, 512, 4);
+        let report = HeroSigner::hero(device.clone(), *p)
+            .unwrap()
+            .simulate(PipelineOptions::new(1024).batch_size(512).streams(4))
+            .unwrap();
         ours[i] = report.kops;
     }
 
@@ -70,7 +76,10 @@ fn main() {
                 None => "n/a".to_string(),
             })
             .collect();
-        println!("  vs {:<28} {} / {} / {}", c.name, ratios[0], ratios[1], ratios[2]);
+        println!(
+            "  vs {:<28} {} / {} / {}",
+            c.name, ratios[0], ratios[1], ratios[2]
+        );
     }
 
     println!();

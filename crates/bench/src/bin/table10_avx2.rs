@@ -27,12 +27,19 @@ fn measure_kops(params: Params, signatures: usize, threads: usize) -> f64 {
 }
 
 fn main() {
-    header("Table X", "CPU SPHINCS+ signing (measured on this machine, scalar Rust)");
+    header(
+        "Table X",
+        "CPU SPHINCS+ signing (measured on this machine, scalar Rust)",
+    );
     let threads = par::default_workers().min(16);
     println!("(machine parallelism available to this run: {threads} core(s))");
     println!(
         "{:<16} {:>16} {:>16}   paper AVX2: {:>9} {:>11}",
-        "Set", "1 thread KOPS", &format!("{threads} thr KOPS"), "1 thr", "16 thr"
+        "Set",
+        "1 thread KOPS",
+        &format!("{threads} thr KOPS"),
+        "1 thr",
+        "16 thr"
     );
     rule(90);
     for (i, p) in Params::fast_sets().iter().enumerate() {

@@ -26,11 +26,18 @@ fn kernel_sources(params: &Params, selections: (bool, bool, bool)) -> Vec<Kernel
         ptx_opaque_stmts: body(native * 0.30),
         selects_ptx,
     };
-    vec![kernel(8_000.0, sel_fors), kernel(6_000.0, sel_tree), kernel(3_000.0, sel_wots)]
+    vec![
+        kernel(8_000.0, sel_fors),
+        kernel(6_000.0, sel_tree),
+        kernel(3_000.0, sel_wots),
+    ]
 }
 
 fn main() {
-    header("Table XI", "Average compilation time (s), baseline vs HERO compile-time branching");
+    header(
+        "Table XI",
+        "Average compilation time (s), baseline vs HERO compile-time branching",
+    );
     println!(
         "{:<16} {:>10} {:>10} {:>9}   paper: {:>8} {:>8} {:>8}",
         "Set", "Baseline", "HERO", "Speedup", "Base", "HERO", "Speedup"
@@ -56,8 +63,7 @@ fn main() {
         let runtime = build_seconds(&sources, BranchStrategy::RuntimeBranch);
         println!(
             "{:<16} {:>10.2} (runtime-branch alternative: slower than both)",
-            "",
-            runtime
+            "", runtime
         );
     }
     println!();

@@ -40,7 +40,11 @@ pub fn header(id: &str, caption: &str) {
 
 /// A paper-vs-measured comparison line.
 pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!(
         "  {label:<34} paper {paper:>10.2} {unit:<6} ours {measured:>10.2} {unit:<6} (x{ratio:.2} of paper)"
     );

@@ -17,29 +17,49 @@ pub struct Table2Row {
 
 /// Table II rows for 128f/192f/256f.
 pub const TABLE2: [Table2Row; 3] = [
-    Table2Row { fors_ms: 1.89, idle_ms: 2.27, mss_ms: 6.57, wots_ms: 0.93 },
-    Table2Row { fors_ms: 7.75, idle_ms: 2.31, mss_ms: 10.06, wots_ms: 1.33 },
-    Table2Row { fors_ms: 13.25, idle_ms: 2.29, mss_ms: 26.55, wots_ms: 1.47 },
+    Table2Row {
+        fors_ms: 1.89,
+        idle_ms: 2.27,
+        mss_ms: 6.57,
+        wots_ms: 0.93,
+    },
+    Table2Row {
+        fors_ms: 7.75,
+        idle_ms: 2.31,
+        mss_ms: 10.06,
+        wots_ms: 1.33,
+    },
+    Table2Row {
+        fors_ms: 13.25,
+        idle_ms: 2.29,
+        mss_ms: 26.55,
+        wots_ms: 1.47,
+    },
 ];
 
 /// Table III — baseline 128f per-kernel profile on RTX 4090:
 /// (warp occupancy %, theoretical occupancy %, registers/thread)
 /// for FORS / TREE / WOTS+.
-pub const TABLE3: [(f64, f64, u32); 3] =
-    [(17.0, 66.67, 64), (25.0, 25.0, 128), (46.0, 52.08, 72)];
+pub const TABLE3: [(f64, f64, u32); 3] = [(17.0, 66.67, 64), (25.0, 25.0, 128), (46.0, 52.08, 72)];
 
 /// Table IV — tuning-search winners on RTX 4090:
 /// (smem utilization, thread utilization, F) for 128f and 192f.
 pub const TABLE4: [(f64, f64, u32); 2] = [(0.6875, 0.6875, 3), (0.75, 0.75, 2)];
 
 /// Table V — PTX selected? (FORS, TREE, WOTS+) per parameter set.
-pub const TABLE5: [(bool, bool, bool); 3] =
-    [(true, false, false), (true, false, false), (true, true, true)];
+pub const TABLE5: [(bool, bool, bool); 3] = [
+    (true, false, false),
+    (true, false, false),
+    (true, true, true),
+];
 
 /// Table VI — reduction bank conflicts, baseline (load, store) per set,
 /// FORS_Sign with Block = 1; padded counts are (0|1, 0).
-pub const TABLE6_FORS_BASELINE: [(u64, u64); 3] =
-    [(22_099_968, 12_435_456), (64_152, 30_096), (400_960, 192_640)];
+pub const TABLE6_FORS_BASELINE: [(u64, u64); 3] = [
+    (22_099_968, 12_435_456),
+    (64_152, 30_096),
+    (400_960, 192_640),
+];
 
 /// Table VI — TREE_Sign baseline (load, store) conflicts.
 pub const TABLE6_TREE_BASELINE: [(u64, u64); 3] = [(1_568, 704), (1_203, 408), (11_905, 5_377)];
@@ -57,9 +77,21 @@ pub struct Table8Row {
 
 /// Table VIII rows for 128f/192f/256f.
 pub const TABLE8: [Table8Row; 3] = [
-    Table8Row { fors: (442.9, 946.3), tree: (125.2, 157.7), wots: (2493.1, 4915.7) },
-    Table8Row { fors: (128.9, 222.0), tree: (88.2, 93.6), wots: (1457.6, 2464.9) },
-    Table8Row { fors: (66.6, 116.4), tree: (36.4, 44.9), wots: (776.8, 1570.9) },
+    Table8Row {
+        fors: (442.9, 946.3),
+        tree: (125.2, 157.7),
+        wots: (2493.1, 4915.7),
+    },
+    Table8Row {
+        fors: (128.9, 222.0),
+        tree: (88.2, 93.6),
+        wots: (1457.6, 2464.9),
+    },
+    Table8Row {
+        fors: (66.6, 116.4),
+        tree: (36.4, 44.9),
+        wots: (776.8, 1570.9),
+    },
 ];
 
 /// Fig. 11 — FORS_Sign ablation KOPS per step
@@ -88,8 +120,7 @@ pub const FIG12_LATENCY_US: [[f64; 3]; 3] = [
 
 /// Fig. 13 — end-to-end speedup ranges over block sizes 2–64:
 /// (max speedup at small blocks, speedup at 64).
-pub const FIG13_SMALL_BLOCK_SPEEDUP: [(f64, f64); 3] =
-    [(3.10, 3.10), (2.92, 2.48), (2.60, 2.48)];
+pub const FIG13_SMALL_BLOCK_SPEEDUP: [(f64, f64); 3] = [(3.10, 3.10), (2.92, 2.48), (2.60, 2.48)];
 
 /// Fig. 14 — cross-architecture HERO-vs-baseline speedups
 /// (Pascal, Volta, Turing, Ampere, Hopper) × (128f, 192f, 256f).
@@ -115,9 +146,18 @@ mod tests {
     fn table8_speedups_match_headline() {
         // §IV-D: "up to 2.14×, 1.26× and 2.02× speedups in FORS_Sign,
         // TREE_Sign and WOTS+_Sign".
-        let fors_max = TABLE8.iter().map(|r| r.fors.1 / r.fors.0).fold(0.0f64, f64::max);
-        let tree_max = TABLE8.iter().map(|r| r.tree.1 / r.tree.0).fold(0.0f64, f64::max);
-        let wots_max = TABLE8.iter().map(|r| r.wots.1 / r.wots.0).fold(0.0f64, f64::max);
+        let fors_max = TABLE8
+            .iter()
+            .map(|r| r.fors.1 / r.fors.0)
+            .fold(0.0f64, f64::max);
+        let tree_max = TABLE8
+            .iter()
+            .map(|r| r.tree.1 / r.tree.0)
+            .fold(0.0f64, f64::max);
+        let wots_max = TABLE8
+            .iter()
+            .map(|r| r.wots.1 / r.wots.0)
+            .fold(0.0f64, f64::max);
         assert!((fors_max - 2.14).abs() < 0.01);
         assert!((tree_max - 1.26).abs() < 0.01);
         assert!((wots_max - 2.02).abs() < 0.01);

@@ -50,8 +50,7 @@ pub const COMPARATORS: [PlatformEntry; 3] = [
 ];
 
 /// Table X — published AVX2 CPU KOPS (single thread, 16 threads).
-pub const AVX2_TABLE10: [(f64, f64); 3] =
-    [(0.143, 0.828), (0.087, 0.560), (0.044, 0.356)];
+pub const AVX2_TABLE10: [(f64, f64); 3] = [(0.143, 0.828), (0.087, 0.560), (0.044, 0.356)];
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! Minimal `--flag value` argument parser (no third-party dependency).
 
+use crate::CliError;
 use std::collections::BTreeMap;
 
 /// Parsed command line: subcommand, `--key value` options, bare flags.
@@ -17,19 +18,25 @@ impl Args {
     /// # Errors
     ///
     /// Rejects options missing values and unexpected positionals.
-    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, CliError> {
         let mut out = Args::default();
         let mut iter = tokens.into_iter().peekable();
         match iter.next() {
             Some(cmd) if !cmd.starts_with('-') => out.command = cmd,
-            Some(other) => return Err(format!("expected a subcommand, got '{other}'")),
-            None => return Err("missing subcommand".to_string()),
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "expected a subcommand, got '{other}'"
+                )))
+            }
+            None => return Err(CliError::Usage("missing subcommand".to_string())),
         }
         while let Some(token) = iter.next() {
             if let Some(name) = token.strip_prefix("--") {
                 // A flag if the next token is absent or another option.
-                let takes_value =
-                    iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false);
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
                 if takes_value {
                     let value = iter.next().expect("peeked");
                     out.options.insert(name.to_string(), value);
@@ -37,7 +44,9 @@ impl Args {
                     out.flags.push(name.to_string());
                 }
             } else {
-                return Err(format!("unexpected positional argument '{token}'"));
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{token}'"
+                )));
             }
         }
         Ok(out)
@@ -53,8 +62,9 @@ impl Args {
     /// # Errors
     ///
     /// When the option is absent.
-    pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{name}")))
     }
 
     /// Whether bare flag `--name` was passed.
@@ -67,10 +77,12 @@ impl Args {
     /// # Errors
     ///
     /// When the value does not parse.
-    pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, String> {
+    pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: '{v}' is not a number"))),
         }
     }
 
@@ -79,10 +91,12 @@ impl Args {
     /// # Errors
     ///
     /// When the value does not parse.
-    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: '{v}' is not a number"))),
         }
     }
 }
@@ -91,7 +105,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(tokens: &[&str]) -> Result<Args, String> {
+    fn parse(tokens: &[&str]) -> Result<Args, crate::CliError> {
         Args::parse(tokens.iter().map(|s| s.to_string()))
     }
 
@@ -129,6 +143,7 @@ mod tests {
     fn require_reports_flag_name() {
         let a = parse(&["keygen"]).unwrap();
         let err = a.require("out").unwrap_err();
-        assert!(err.contains("--out"));
+        assert!(matches!(err, crate::CliError::Usage(_)));
+        assert!(err.to_string().contains("--out"));
     }
 }

@@ -1,11 +1,10 @@
-//! The five subcommands. Each takes parsed [`crate::args::Args`] and
-//! returns printable output, performing file I/O at the edges only.
+//! The subcommands. Each takes parsed [`crate::args::Args`] and returns
+//! printable output, performing file I/O at the edges only.
 
 use crate::args::Args;
-use crate::{keyfile, parse_alg, parse_device, parse_params, CmdResult};
+use crate::{keyfile, parse_alg, parse_device, parse_params, CliError, CmdResult};
 
-use hero_sign::engine::HeroSigner;
-use hero_sign::tuning::{tune_auto, TuningOptions};
+use hero_sign::{HeroSigner, PipelineOptions, ReferenceSigner, Signer};
 use hero_sphincs::hash::HashAlg;
 use hero_sphincs::Signature;
 
@@ -17,7 +16,7 @@ use std::fs;
 ///
 /// # Errors
 ///
-/// Human-readable message on any failure (bad args, I/O, verification).
+/// A typed [`CliError`] on any failure (bad args, I/O, verification).
 pub fn run(args: &Args) -> CmdResult {
     match args.command.as_str() {
         "keygen" => keygen(args),
@@ -28,7 +27,10 @@ pub fn run(args: &Args) -> CmdResult {
         "simulate" => simulate(args),
         "devices" => devices(),
         "help" | "--help" => Ok(crate::USAGE.to_string()),
-        other => Err(format!("unknown command '{other}'\n\n{}", crate::USAGE)),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            crate::USAGE
+        ))),
     }
 }
 
@@ -51,7 +53,7 @@ fn keygen(args: &Args) -> CmdResult {
     let text = keyfile::encode(&params, alg, &sk_seed, &sk_prf, &pk_seed);
     // Validate by reconstructing (also computes the public root).
     let (_, vk) = keyfile::decode(&text)?;
-    fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    fs::write(out, &text).map_err(|e| CliError::io(out, e))?;
     Ok(format!(
         "wrote {} key to {out}\npublic root: {}",
         params.name(),
@@ -59,31 +61,69 @@ fn keygen(args: &Args) -> CmdResult {
     ))
 }
 
+/// Builds the backend selected by `--backend` (default: the HERO engine
+/// on the `--device` GPU model).
+fn select_backend(args: &Args, params: hero_sphincs::Params) -> Result<Box<dyn Signer>, CliError> {
+    match args.get("backend").unwrap_or("hero") {
+        "hero" => {
+            let device = parse_device(args.get("device"))?;
+            let mut builder = HeroSigner::builder(device, params);
+            match args.get("workers") {
+                Some(v) => {
+                    let workers: usize = v.parse().map_err(|_| {
+                        CliError::Usage(format!("--workers: '{v}' is not a number"))
+                    })?;
+                    builder = builder.workers(workers);
+                }
+                // A value-less `--workers` parses as a bare flag; reject
+                // it instead of silently using the default count.
+                None if args.flag("workers") => {
+                    return Err(CliError::Usage("--workers requires a value".to_string()))
+                }
+                None => {}
+            }
+            Ok(Box::new(builder.build()?))
+        }
+        "reference" => Ok(Box::new(ReferenceSigner::new(params)?)),
+        other => Err(CliError::Usage(format!(
+            "unknown backend '{other}' (hero or reference)"
+        ))),
+    }
+}
+
 fn sign(args: &Args) -> CmdResult {
     let key_path = args.require("key")?;
     let msg_path = args.require("message")?;
     let out = args.require("out")?;
 
-    let key_text = fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let key_text = fs::read_to_string(key_path).map_err(|e| CliError::io(key_path, e))?;
     let (sk, _) = keyfile::decode(&key_text)?;
-    let message = fs::read(msg_path).map_err(|e| format!("reading {msg_path}: {e}"))?;
+    let message = fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?;
 
     let params = *sk.params();
-    let device = parse_device(args.get("device"))?;
-    let engine = HeroSigner::hero(device, params);
-    let signature = engine.sign(&sk, &message);
+    let signer = select_backend(args, params)?;
+    let signature = signer.sign(&sk, &message)?;
     let bytes = signature.to_bytes(&params);
-    fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
-    Ok(format!("signed {} bytes -> {} byte {} signature at {out}", message.len(), bytes.len(), params.name()))
+    fs::write(out, &bytes).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "signed {} bytes -> {} byte {} signature at {out} ({} backend)",
+        message.len(),
+        bytes.len(),
+        params.name(),
+        signer.backend(),
+    ))
 }
 
 fn export_pubkey(args: &Args) -> CmdResult {
     let key_path = args.require("key")?;
     let out = args.require("out")?;
-    let key_text = fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let key_text = fs::read_to_string(key_path).map_err(|e| CliError::io(key_path, e))?;
     let (_, vk) = keyfile::decode(&key_text)?;
-    fs::write(out, keyfile::encode_public(&vk)).map_err(|e| format!("writing {out}: {e}"))?;
-    Ok(format!("wrote public key ({} bytes) to {out}", vk.to_bytes().len()))
+    fs::write(out, keyfile::encode_public(&vk)).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "wrote public key ({} bytes) to {out}",
+        vk.to_bytes().len()
+    ))
 }
 
 fn verify(args: &Args) -> CmdResult {
@@ -94,36 +134,36 @@ fn verify(args: &Args) -> CmdResult {
     // (--pubkey) — verifiers should not need secrets on disk.
     let vk = match (args.get("pubkey"), args.get("key")) {
         (Some(pk_path), _) => {
-            let text =
-                fs::read_to_string(pk_path).map_err(|e| format!("reading {pk_path}: {e}"))?;
+            let text = fs::read_to_string(pk_path).map_err(|e| CliError::io(pk_path, e))?;
             keyfile::decode_public(&text)?
         }
         (None, Some(key_path)) => {
-            let text =
-                fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+            let text = fs::read_to_string(key_path).map_err(|e| CliError::io(key_path, e))?;
             keyfile::decode(&text)?.1
         }
-        (None, None) => return Err("verify needs --pubkey or --key".to_string()),
+        (None, None) => {
+            return Err(CliError::Usage(
+                "verify needs --pubkey or --key".to_string(),
+            ))
+        }
     };
-    let message = fs::read(msg_path).map_err(|e| format!("reading {msg_path}: {e}"))?;
-    let sig_bytes = fs::read(sig_path).map_err(|e| format!("reading {sig_path}: {e}"))?;
+    let message = fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?;
+    let sig_bytes = fs::read(sig_path).map_err(|e| CliError::io(sig_path, e))?;
 
-    let signature = Signature::from_bytes(vk.params(), &sig_bytes).map_err(|e| e.to_string())?;
-    match vk.verify(&message, &signature) {
-        Ok(()) => Ok("signature OK".to_string()),
-        Err(e) => Err(format!("signature INVALID: {e}")),
-    }
+    let signature = Signature::from_bytes(vk.params(), &sig_bytes)?;
+    vk.verify(&message, &signature)?;
+    Ok("signature OK".to_string())
 }
 
 fn tune(args: &Args) -> CmdResult {
     let device = parse_device(args.get("device"))?;
-    let opts = TuningOptions {
+    let opts = hero_sign::TuningOptions {
         smem_policy: if args.flag("dynamic-smem") {
             hero_gpu_sim::SmemPolicy::DynamicMax
         } else {
             hero_gpu_sim::SmemPolicy::Static
         },
-        ..TuningOptions::default()
+        ..hero_sign::TuningOptions::default()
     };
 
     let sets = match args.get("params") {
@@ -133,7 +173,10 @@ fn tune(args: &Args) -> CmdResult {
 
     let mut out = format!("Auto Tree Tuning on {} (Algorithm 1)\n", device.name);
     for p in sets {
-        let r = tune_auto(&device, &p, &opts).map_err(|e| format!("{}: {e}", p.name()))?;
+        // The cached entry point: repeated CLI invocations in one process
+        // (and the simulate command below) share the search result.
+        let r =
+            hero_sign::tune_auto_cached(&device, &p, &opts).map_err(hero_sign::HeroError::from)?;
         let b = r.best;
         out.push_str(&format!(
             "{}: T_set={} N_tree={} F={} U_T={:.3} U_S={:.3} smem={}B relax_depth={} ({} candidates)\n",
@@ -154,26 +197,30 @@ fn tune(args: &Args) -> CmdResult {
 fn simulate(args: &Args) -> CmdResult {
     let device = parse_device(args.get("device"))?;
     let params = parse_params(args.get("params").unwrap_or("128f"))?;
-    let messages = args.get_u32("messages", 1024)?;
-    let batch = args.get_u32("batch", 512)?;
-    if messages == 0 {
-        return Err("--messages must be positive".to_string());
-    }
+    let opts = PipelineOptions::new(args.get_u32("messages", 1024)?)
+        .batch_size(args.get_u32("batch", 512)?)
+        .streams(args.get_u32("streams", 4)? as usize);
 
-    let hero = HeroSigner::hero(device.clone(), params);
-    let baseline = HeroSigner::baseline(device.clone(), params);
-    let h = hero.simulate_pipeline(messages, batch, 4);
-    let b = baseline.simulate_pipeline(messages, 1, device.sm_count as usize);
+    let hero = HeroSigner::hero(device.clone(), params)?;
+    let baseline = HeroSigner::baseline(device.clone(), params)?;
+    let h = hero.simulate(opts)?;
+    let b = baseline.simulate(
+        PipelineOptions::new(opts.messages)
+            .batch_size(1)
+            .streams(device.sm_count as usize),
+    )?;
     let sel = hero.selection();
 
     Ok(format!(
-        "device: {}\nparams: {}\nmessages: {messages} (batch {batch})\n\
+        "device: {}\nparams: {}\nmessages: {} (batch {})\n\
          baseline: {:.2} KOPS ({:.0} us, launch overhead {:.1} us)\n\
          HERO:     {:.2} KOPS ({:.0} us, launch overhead {:.1} us)\n\
          speedup:  {:.2}x   launch-latency reduction: {:.1}x\n\
          SHA-2 paths: FORS={:?} TREE={:?} WOTS+={:?}\n",
         device.name,
         params.name(),
+        opts.messages,
+        opts.batch_size,
         b.kops,
         b.makespan_us,
         b.launch_overhead_us,
@@ -207,7 +254,7 @@ fn devices() -> CmdResult {
 /// Re-exported for tests: signs with an explicit alg through the keyfile
 /// path end to end in memory.
 #[doc(hidden)]
-pub fn roundtrip_in_memory(params_label: &str, alg: HashAlg, msg: &[u8]) -> Result<bool, String> {
+pub fn roundtrip_in_memory(params_label: &str, alg: HashAlg, msg: &[u8]) -> Result<bool, CliError> {
     let params = parse_params(params_label)?;
     let text = keyfile::encode(
         &params,
@@ -233,7 +280,8 @@ mod tests {
     #[test]
     fn unknown_command_mentions_usage() {
         let err = run(&parse(&["frobnicate"])).unwrap_err();
-        assert!(err.contains("USAGE"));
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("USAGE"));
     }
 
     #[test]
@@ -268,7 +316,23 @@ mod tests {
 
     #[test]
     fn simulate_rejects_zero_messages() {
-        assert!(simulate(&parse(&["simulate", "--messages", "0"])).is_err());
+        let err = simulate(&parse(&["simulate", "--messages", "0"])).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Engine(hero_sign::HeroError::InvalidOptions(_))
+        ));
+        assert!(err.to_string().contains("messages"));
+    }
+
+    #[test]
+    fn unknown_backend_rejected() {
+        let err = select_backend(
+            &parse(&["sign", "--backend", "fpga"]),
+            hero_sphincs::Params::sphincs_128f(),
+        )
+        .err()
+        .expect("unknown backend must fail");
+        assert!(err.to_string().contains("fpga"));
     }
 
     #[test]
@@ -283,37 +347,85 @@ mod tests {
         // 128s keygen would take minutes on one CPU; 128f's top subtree is
         // 8 wots leaves — fast enough for a test.
         let out = keygen(&parse(&[
-            "keygen", "--params", "128f", "--seed", "42", "--out", key.to_str().unwrap(),
+            "keygen",
+            "--params",
+            "128f",
+            "--seed",
+            "42",
+            "--out",
+            key.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("public root"));
 
         let out = sign(&parse(&[
-            "sign", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
-            "--out", sig.to_str().unwrap(),
+            "sign",
+            "--key",
+            key.to_str().unwrap(),
+            "--message",
+            msg.to_str().unwrap(),
+            "--out",
+            sig.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("17088 byte"), "{out}");
 
         let out = verify(&parse(&[
-            "verify", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
-            "--sig", sig.to_str().unwrap(),
+            "verify",
+            "--key",
+            key.to_str().unwrap(),
+            "--message",
+            msg.to_str().unwrap(),
+            "--sig",
+            sig.to_str().unwrap(),
         ]))
         .unwrap();
         assert_eq!(out, "signature OK");
 
+        // The reference backend must produce an equally valid signature.
+        let ref_sig = dir.join("ref-sig.bin");
+        let out = sign(&parse(&[
+            "sign",
+            "--backend",
+            "reference",
+            "--key",
+            key.to_str().unwrap(),
+            "--message",
+            msg.to_str().unwrap(),
+            "--out",
+            ref_sig.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("reference-cpu"), "{out}");
+        assert_eq!(
+            std::fs::read(&sig).unwrap(),
+            std::fs::read(&ref_sig).unwrap()
+        );
+
         // Public-key-only verification path (no secrets on the verifier).
         let pubkey = dir.join("pub.txt");
         let out = export_pubkey(&parse(&[
-            "export-pubkey", "--key", key.to_str().unwrap(), "--out", pubkey.to_str().unwrap(),
+            "export-pubkey",
+            "--key",
+            key.to_str().unwrap(),
+            "--out",
+            pubkey.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("public key"));
         let pub_text = std::fs::read_to_string(&pubkey).unwrap();
-        assert!(!pub_text.contains("sk_seed"), "pubkey file must hold no secrets");
+        assert!(
+            !pub_text.contains("sk_seed"),
+            "pubkey file must hold no secrets"
+        );
         let out = verify(&parse(&[
-            "verify", "--pubkey", pubkey.to_str().unwrap(), "--message", msg.to_str().unwrap(),
-            "--sig", sig.to_str().unwrap(),
+            "verify",
+            "--pubkey",
+            pubkey.to_str().unwrap(),
+            "--message",
+            msg.to_str().unwrap(),
+            "--sig",
+            sig.to_str().unwrap(),
         ]))
         .unwrap();
         assert_eq!(out, "signature OK");
@@ -323,17 +435,23 @@ mod tests {
         bytes[100] ^= 1;
         std::fs::write(&sig, &bytes).unwrap();
         let err = verify(&parse(&[
-            "verify", "--key", key.to_str().unwrap(), "--message", msg.to_str().unwrap(),
-            "--sig", sig.to_str().unwrap(),
+            "verify",
+            "--key",
+            key.to_str().unwrap(),
+            "--message",
+            msg.to_str().unwrap(),
+            "--sig",
+            sig.to_str().unwrap(),
         ]))
         .unwrap_err();
-        assert!(err.contains("INVALID"));
+        assert!(matches!(err, CliError::Signature(_)));
+        assert!(err.to_string().contains("INVALID"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn verify_without_any_key_rejected() {
         let err = verify(&parse(&["verify", "--message", "m", "--sig", "s"])).unwrap_err();
-        assert!(err.contains("--pubkey"));
+        assert!(err.to_string().contains("--pubkey"));
     }
 }

@@ -14,6 +14,7 @@
 //! The public root is recomputed on load (top-subtree keygen only, a few
 //! thousand hashes), which doubles as an integrity check.
 
+use crate::CliError;
 use hero_sphincs::hash::HashAlg;
 use hero_sphincs::{keygen_from_seeds_with_alg, Params, SigningKey, VerifyingKey};
 
@@ -27,19 +28,28 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// # Errors
 ///
 /// On odd length or non-hex characters.
-pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+pub fn from_hex(s: &str) -> Result<Vec<u8>, CliError> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
-        return Err("hex string has odd length".to_string());
+    if !s.len().is_multiple_of(2) {
+        return Err(CliError::Keyfile("hex string has odd length".to_string()));
     }
     (0..s.len())
         .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}")))
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| CliError::Keyfile(format!("bad hex at {i}")))
+        })
         .collect()
 }
 
 /// Renders a key file from its seed material.
-pub fn encode(params: &Params, alg: HashAlg, sk_seed: &[u8], sk_prf: &[u8], pk_seed: &[u8]) -> String {
+pub fn encode(
+    params: &Params,
+    alg: HashAlg,
+    sk_seed: &[u8],
+    sk_prf: &[u8],
+    pk_seed: &[u8],
+) -> String {
     let alg_name = match alg {
         HashAlg::Sha256 => "sha256",
         HashAlg::Sha512 => "sha512",
@@ -59,29 +69,41 @@ pub fn encode(params: &Params, alg: HashAlg, sk_seed: &[u8], sk_prf: &[u8], pk_s
 /// # Errors
 ///
 /// On malformed structure, unknown labels, or wrong seed lengths.
-pub fn decode(text: &str) -> Result<(SigningKey, VerifyingKey), String> {
+pub fn decode(text: &str) -> Result<(SigningKey, VerifyingKey), CliError> {
     let mut lines = text.lines();
     match lines.next() {
         Some("hero-sign-key v1") => {}
-        _ => return Err("not a hero-sign-key v1 file".to_string()),
+        _ => return Err(CliError::Keyfile("not a hero-sign-key v1 file".to_string())),
     }
-    let mut field = |label: &str| -> Result<String, String> {
-        let line = lines.next().ok_or_else(|| format!("missing field '{label}'"))?;
+    let mut field = |label: &str| -> Result<String, CliError> {
+        let line = lines
+            .next()
+            .ok_or_else(|| CliError::Keyfile(format!("missing field '{label}'")))?;
         line.strip_prefix(&format!("{label}: "))
             .map(str::to_string)
-            .ok_or_else(|| format!("expected '{label}: …', got '{line}'"))
+            .ok_or_else(|| CliError::Keyfile(format!("expected '{label}: …', got '{line}'")))
     };
     let params = crate::parse_params(&field("params")?)?;
     let alg = crate::parse_alg(&field("alg")?)?;
     let sk_seed = from_hex(&field("sk_seed")?)?;
     let sk_prf = from_hex(&field("sk_prf")?)?;
     let pk_seed = from_hex(&field("pk_seed")?)?;
-    for (name, v) in [("sk_seed", &sk_seed), ("sk_prf", &sk_prf), ("pk_seed", &pk_seed)] {
+    for (name, v) in [
+        ("sk_seed", &sk_seed),
+        ("sk_prf", &sk_prf),
+        ("pk_seed", &pk_seed),
+    ] {
         if v.len() != params.n {
-            return Err(format!("{name} must be {} bytes, got {}", params.n, v.len()));
+            return Err(CliError::Keyfile(format!(
+                "{name} must be {} bytes, got {}",
+                params.n,
+                v.len()
+            )));
         }
     }
-    Ok(keygen_from_seeds_with_alg(params, alg, sk_seed, sk_prf, pk_seed))
+    Ok(keygen_from_seeds_with_alg(
+        params, alg, sk_seed, sk_prf, pk_seed,
+    ))
 }
 
 /// Renders a public-key file (`pk_seed || pk_root` in hex, no secrets).
@@ -103,22 +125,28 @@ pub fn encode_public(vk: &VerifyingKey) -> String {
 /// # Errors
 ///
 /// On malformed structure or a wrong-length key.
-pub fn decode_public(text: &str) -> Result<VerifyingKey, String> {
+pub fn decode_public(text: &str) -> Result<VerifyingKey, CliError> {
     let mut lines = text.lines();
     match lines.next() {
         Some("hero-sign-pubkey v1") => {}
-        _ => return Err("not a hero-sign-pubkey v1 file".to_string()),
+        _ => {
+            return Err(CliError::Keyfile(
+                "not a hero-sign-pubkey v1 file".to_string(),
+            ))
+        }
     }
-    let mut field = |label: &str| -> Result<String, String> {
-        let line = lines.next().ok_or_else(|| format!("missing field '{label}'"))?;
+    let mut field = |label: &str| -> Result<String, CliError> {
+        let line = lines
+            .next()
+            .ok_or_else(|| CliError::Keyfile(format!("missing field '{label}'")))?;
         line.strip_prefix(&format!("{label}: "))
             .map(str::to_string)
-            .ok_or_else(|| format!("expected '{label}: …', got '{line}'"))
+            .ok_or_else(|| CliError::Keyfile(format!("expected '{label}: …', got '{line}'")))
     };
     let params = crate::parse_params(&field("params")?)?;
     let alg = crate::parse_alg(&field("alg")?)?;
     let pk = from_hex(&field("pk")?)?;
-    VerifyingKey::from_bytes(params, alg, &pk).map_err(|e| e.to_string())
+    VerifyingKey::from_bytes(params, alg, &pk).map_err(CliError::from)
 }
 
 #[cfg(test)]

@@ -1,16 +1,99 @@
 //! Library backing the `hero-sign` command-line tool: argument parsing,
-//! hex key serialization, and the five subcommands (keygen, sign, verify,
-//! tune, simulate).
+//! hex key serialization, and the subcommands (keygen, sign, verify,
+//! export-pubkey, tune, simulate, devices).
 //!
-//! Kept as a library so every code path is unit-testable without spawning
-//! processes.
+//! Kept as a library so every code path is unit-testable without
+//! spawning processes. All failures flow through the typed [`CliError`];
+//! nothing in the command layer matches on strings.
 
 pub mod args;
 pub mod commands;
 pub mod keyfile;
 
+use hero_sign::HeroError;
+use hero_sphincs::sign::SignError;
+use std::fmt;
+
+/// Errors surfaced by the CLI.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line: unknown command/label, missing or malformed
+    /// option. Exits with status 2.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A key or public-key file was structurally invalid.
+    Keyfile(String),
+    /// The HERO-Sign engine rejected the request.
+    Engine(HeroError),
+    /// A signature failed to parse or verify.
+    Signature(SignError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(what) => f.write_str(what),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Keyfile(what) => write!(f, "key file: {what}"),
+            CliError::Engine(e) => write!(f, "engine: {e}"),
+            CliError::Signature(SignError::VerificationFailed) => {
+                f.write_str("signature INVALID: verification failed")
+            }
+            CliError::Signature(e) => write!(f, "signature: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Engine(e) => Some(e),
+            CliError::Signature(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl CliError {
+    /// Wraps an I/O failure with the path it concerned.
+    pub fn io(path: &str, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.to_string(),
+            source,
+        }
+    }
+
+    /// The process exit status this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl From<HeroError> for CliError {
+    fn from(e: HeroError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+impl From<SignError> for CliError {
+    fn from(e: SignError) -> Self {
+        CliError::Signature(e)
+    }
+}
+
 /// Exit-status style result for command execution.
-pub type CmdResult = Result<String, String>;
+pub type CmdResult = Result<String, CliError>;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -22,9 +105,12 @@ USAGE:
 COMMANDS:
     keygen    --params <set> [--alg sha256|sha512] [--seed <u64>] --out <path>
     sign      --key <path> --message <file> --out <sig-file>
-    verify    --key <path> --message <file> --sig <sig-file>
+              [--backend hero|reference] [--workers <n>]
+    verify    --key <path> | --pubkey <path>  --message <file> --sig <sig-file>
+    export-pubkey --key <path> --out <path>
     tune      [--device <name>] [--params <set>] [--dynamic-smem]
     simulate  [--device <name>] [--params <set>] [--messages <n>] [--batch <n>]
+              [--streams <n>]
     devices   list the GPU catalog
 
 Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>)
@@ -32,7 +118,11 @@ Devices:        \"GTX 1070\" \"V100\" \"RTX 2080 Ti\" \"A100\" \"RTX 4090\" \"H1
 ";
 
 /// Parses a parameter-set label like `128f` or `SPHINCS+-192s`.
-pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, String> {
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown labels.
+pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, CliError> {
     use hero_sphincs::Params;
     let norm = label.trim().to_ascii_lowercase();
     let norm = norm.strip_prefix("sphincs+-").unwrap_or(&norm);
@@ -43,25 +133,38 @@ pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, String> {
         "128s" => Ok(Params::sphincs_128s()),
         "192s" => Ok(Params::sphincs_192s()),
         "256s" => Ok(Params::sphincs_256s()),
-        other => Err(format!("unknown parameter set '{other}' (try 128f/192f/256f/128s/192s/256s)")),
+        other => Err(CliError::Usage(format!(
+            "unknown parameter set '{other}' (try 128f/192f/256f/128s/192s/256s)"
+        ))),
     }
 }
 
 /// Parses a hash-algorithm label.
-pub fn parse_alg(label: &str) -> Result<hero_sphincs::HashAlg, String> {
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown labels.
+pub fn parse_alg(label: &str) -> Result<hero_sphincs::HashAlg, CliError> {
     match label.trim().to_ascii_lowercase().as_str() {
         "sha256" | "sha-256" => Ok(hero_sphincs::HashAlg::Sha256),
         "sha512" | "sha-512" => Ok(hero_sphincs::HashAlg::Sha512),
-        other => Err(format!("unknown hash algorithm '{other}' (sha256 or sha512)")),
+        other => Err(CliError::Usage(format!(
+            "unknown hash algorithm '{other}' (sha256 or sha512)"
+        ))),
     }
 }
 
 /// Looks a device up by name, defaulting to the RTX 4090.
-pub fn parse_device(name: Option<&str>) -> Result<hero_gpu_sim::DeviceProps, String> {
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown devices.
+pub fn parse_device(name: Option<&str>) -> Result<hero_gpu_sim::DeviceProps, CliError> {
     match name {
         None => Ok(hero_gpu_sim::device::rtx_4090()),
-        Some(n) => hero_gpu_sim::device::by_name(n)
-            .ok_or_else(|| format!("unknown device '{n}' (run `hero-sign devices`)")),
+        Some(n) => hero_gpu_sim::device::by_name(n).ok_or_else(|| {
+            CliError::Usage(format!("unknown device '{n}' (run `hero-sign devices`)"))
+        }),
     }
 }
 
@@ -72,7 +175,10 @@ mod tests {
     #[test]
     fn parses_param_labels() {
         assert_eq!(parse_params("128f").unwrap().name(), "SPHINCS+-128f");
-        assert_eq!(parse_params("SPHINCS+-256s").unwrap().name(), "SPHINCS+-256s");
+        assert_eq!(
+            parse_params("SPHINCS+-256s").unwrap().name(),
+            "SPHINCS+-256s"
+        );
         assert!(parse_params("512f").is_err());
     }
 
@@ -88,5 +194,22 @@ mod tests {
         assert_eq!(parse_device(None).unwrap().name, "RTX 4090");
         assert_eq!(parse_device(Some("h100")).unwrap().name, "H100");
         assert!(parse_device(Some("TPU")).is_err());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_errors() {
+        assert_eq!(CliError::Usage("bad".into()).exit_code(), 2);
+        assert_eq!(CliError::from(SignError::VerificationFailed).exit_code(), 1);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = CliError::io(
+            "sig.bin",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("sig.bin"));
+        let v = CliError::from(SignError::VerificationFailed);
+        assert!(v.to_string().contains("INVALID"));
     }
 }

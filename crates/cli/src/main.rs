@@ -10,10 +10,15 @@ fn main() {
         std::process::exit(2);
     }
     match Args::parse(tokens).and_then(|args| commands::run(&args)) {
-        Ok(output) => println!("{output}"),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(1);
+        Ok(output) => {
+            // Ignore EPIPE so `hero-sign ... | head` exits quietly
+            // instead of panicking on a closed stdout.
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(error.exit_code());
         }
     }
 }

@@ -1,0 +1,194 @@
+//! Fallible construction of [`HeroSigner`] engines.
+//!
+//! [`HeroSignerBuilder`] replaces the old panicking
+//! `HeroSigner::new(device, params, config)` constructor: every
+//! precondition — parameter validation, worker counts, tuning outcomes —
+//! surfaces as a [`HeroError`] instead of a panic, and the expensive
+//! Auto Tree Tuning search is answered from the process-wide cache
+//! ([`crate::tuning::tune_auto_cached`]) so building the same engine
+//! twice runs the search once.
+
+use crate::engine::{HeroSigner, OptConfig};
+use crate::error::HeroError;
+use crate::tuning::{self, TuningOptions, TuningResult};
+
+use hero_gpu_sim::device::DeviceProps;
+use hero_sphincs::params::Params;
+
+/// Step-by-step configuration for a [`HeroSigner`].
+///
+/// Obtained from [`HeroSigner::builder`]; defaults to the fully
+/// optimized HERO configuration with the paper's tuning options and the
+/// machine's available parallelism.
+///
+/// ```
+/// use hero_gpu_sim::device::rtx_4090;
+/// use hero_sign::{HeroSigner, OptConfig};
+/// use hero_sphincs::Params;
+///
+/// # fn main() -> Result<(), hero_sign::HeroError> {
+/// let engine = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+///     .config(OptConfig::hero())
+///     .workers(8)
+///     .build()?;
+/// assert_eq!(engine.params().name(), "SPHINCS+-128f");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct HeroSignerBuilder {
+    device: DeviceProps,
+    params: Params,
+    config: OptConfig,
+    tuning: TuningOptions,
+    workers: Option<usize>,
+    strict_tuning: bool,
+    use_cache: bool,
+}
+
+impl HeroSignerBuilder {
+    pub(crate) fn new(device: DeviceProps, params: Params) -> Self {
+        Self {
+            device,
+            params,
+            config: OptConfig::hero(),
+            tuning: TuningOptions::default(),
+            workers: None,
+            strict_tuning: false,
+            use_cache: true,
+        }
+    }
+
+    /// Selects the optimization set (defaults to [`OptConfig::hero`]).
+    pub fn config(mut self, config: OptConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the Auto Tree Tuning search knobs.
+    pub fn tuning_options(mut self, tuning: TuningOptions) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Sets the functional-signing worker-thread count (defaults to the
+    /// machine's available parallelism). Zero is rejected by
+    /// [`HeroSignerBuilder::build`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Makes a failed tuning search fatal.
+    ///
+    /// By default a failed search degrades gracefully: the engine falls
+    /// back to the unfused MMTP (or baseline) FORS layout, matching the
+    /// paper's treatment of shapes plain fusion cannot serve. Strict
+    /// mode instead surfaces [`HeroError::Tuning`], for callers that
+    /// must know fusion is active (e.g. the ablation harness).
+    pub fn strict_tuning(mut self) -> Self {
+        self.strict_tuning = true;
+        self
+    }
+
+    /// Bypasses the process-wide tuning cache (the search re-runs even
+    /// for a cached key). Intended for tuning-ablation rigs that mutate
+    /// search internals between runs.
+    pub fn no_tuning_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+
+    /// Validates the configuration, resolves the tuning search (through
+    /// the process-wide cache) and the adaptive PTX selection, and
+    /// constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeroError::InvalidParams`] — `params` failed validation.
+    /// * [`HeroError::InvalidOptions`] — `workers(0)`.
+    /// * [`HeroError::Tuning`] — the search failed under
+    ///   [`HeroSignerBuilder::strict_tuning`].
+    pub fn build(self) -> Result<HeroSigner, HeroError> {
+        self.params.validate().map_err(HeroError::InvalidParams)?;
+        if self.workers == Some(0) {
+            return Err(HeroError::InvalidOptions(
+                "workers must be >= 1".to_string(),
+            ));
+        }
+        let workers = self.workers.unwrap_or_else(crate::par::default_workers);
+
+        let tuning: Option<TuningResult> = if self.config.fusion {
+            let searched = if self.use_cache {
+                tuning::tune_auto_cached(&self.device, &self.params, &self.tuning)
+            } else {
+                tuning::tune_auto(&self.device, &self.params, &self.tuning)
+            };
+            match searched {
+                Ok(result) => Some(result),
+                Err(e) if self.strict_tuning => return Err(HeroError::Tuning(e)),
+                Err(_) => None,
+            }
+        } else {
+            None
+        };
+
+        Ok(HeroSigner::construct(
+            self.device,
+            self.params,
+            self.config,
+            tuning,
+            workers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::TuneError;
+    use hero_gpu_sim::device::rtx_4090;
+
+    #[test]
+    fn build_rejects_invalid_params() {
+        let mut p = Params::sphincs_128f();
+        p.log_t = 0;
+        let err = HeroSigner::builder(rtx_4090(), p).build().unwrap_err();
+        assert!(matches!(err, HeroError::InvalidParams(_)), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_zero_workers() {
+        let err = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+            .workers(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HeroError::InvalidOptions(_)), "{err}");
+    }
+
+    #[test]
+    fn strict_tuning_surfaces_search_failures() {
+        // k = 1 with a tiny tree leaves nothing worth fusing: the search
+        // legitimately returns NoCandidate, which strict mode raises.
+        let mut p = Params::sphincs_128f();
+        p.log_t = 1;
+        p.k = 1;
+        let strict = HeroSigner::builder(rtx_4090(), p).strict_tuning().build();
+        assert_eq!(
+            strict.unwrap_err(),
+            HeroError::Tuning(TuneError::NoCandidate)
+        );
+        // Default mode degrades to an unfused layout instead.
+        let lenient = HeroSigner::builder(rtx_4090(), p).build().unwrap();
+        assert!(lenient.tuning().is_none());
+    }
+
+    #[test]
+    fn builder_defaults_to_hero_config() {
+        let engine = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+            .build()
+            .unwrap();
+        assert_eq!(*engine.config(), OptConfig::hero());
+        assert!(engine.tuning().is_some());
+    }
+}

@@ -3,19 +3,24 @@
 //!
 //! This is the integration point of everything the paper proposes:
 //! [`OptConfig`] switches each optimization on independently (the Fig. 11
-//! ablation ladder), [`HeroSigner::new`] runs the offline Tree Tuning
-//! search and the profiling-driven PTX/native selection, and
-//! [`HeroSigner::simulate_pipeline`] replays multi-batch signing over
-//! streams or CUDA-Graph-style task graphs (Fig. 12).
+//! ablation ladder), [`HeroSigner::builder`] runs the offline Tree Tuning
+//! search (through the process-wide cache) and the profiling-driven
+//! PTX/native selection, and [`HeroSigner::simulate`] replays multi-batch
+//! signing over streams or CUDA-Graph-style task graphs (Fig. 12) under a
+//! [`PipelineOptions`] description of the workload.
 
+use crate::builder::HeroSignerBuilder;
+use crate::error::HeroError;
 use crate::kernels::{fors_sign, tree_sign, wots_sign, KernelConfig};
 use crate::ptx::{BranchSelection, KernelKind};
-use crate::tuning::{self, TuningOptions, TuningResult};
+use crate::signer::{check_key, Signer};
+use crate::tuning::TuningResult;
 
 use hero_gpu_sim::device::DeviceProps;
 use hero_gpu_sim::engine::{simulate_kernel, KernelReport};
 use hero_gpu_sim::isa::Sha2Path;
 use hero_gpu_sim::kernel::{KernelDesc, RoDataPlacement};
+use hero_gpu_sim::pcie::PipelinedTransfers;
 use hero_gpu_sim::stream::{LaunchMode, Timeline};
 use hero_task_graph::GraphBuilder;
 
@@ -101,10 +106,126 @@ impl OptConfig {
     }
 }
 
+/// How a simulated pipeline issues work to the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LaunchPolicy {
+    /// Follow the engine's [`OptConfig::graph`] switch.
+    #[default]
+    Auto,
+    /// Force CUDA-Graph-style batched launches.
+    Graph,
+    /// Force per-kernel stream launches.
+    Streams,
+}
+
+/// A description of one simulated signing workload, replacing the old
+/// positional `simulate_pipeline(messages, batch_size, streams)` family.
+///
+/// ```
+/// use hero_sign::PipelineOptions;
+///
+/// let opts = PipelineOptions::new(1024).batch_size(64).streams(8);
+/// assert_eq!(opts.messages, 1024);
+/// // Defaults: batch 512, 4 streams, launch mode follows the engine.
+/// assert_eq!(PipelineOptions::default().batch_size, 512);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineOptions {
+    /// Total messages to sign.
+    pub messages: u32,
+    /// Messages per device batch (capped to `messages` at simulation
+    /// time, like a real dispatcher's final short batch).
+    pub batch_size: u32,
+    /// Concurrent streams batches rotate across.
+    pub streams: usize,
+    /// Launch mode override.
+    pub launch: LaunchPolicy,
+    /// When `Some(msg_bytes)`, the simulation includes PCIe transfers
+    /// (§IV-E1): each batch uploads `msg_bytes`-byte messages and
+    /// downloads its signatures, with copies overlapping compute on
+    /// dedicated copy engines. The resulting
+    /// [`PipelineReport::transfers`] is populated.
+    pub pcie_msg_bytes: Option<u32>,
+}
+
+impl Default for PipelineOptions {
+    /// The paper's standard workload: 1024 messages in 512-message
+    /// batches over 4 streams, engine-selected launch mode, no PCIe
+    /// modeling.
+    fn default() -> Self {
+        Self {
+            messages: 1024,
+            batch_size: 512,
+            streams: 4,
+            launch: LaunchPolicy::Auto,
+            pcie_msg_bytes: None,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// A workload of `messages` messages with default batching.
+    pub fn new(messages: u32) -> Self {
+        Self {
+            messages,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-batch message count.
+    pub fn batch_size(mut self, batch_size: u32) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the stream count.
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Overrides the launch mode.
+    pub fn launch(mut self, launch: LaunchPolicy) -> Self {
+        self.launch = launch;
+        self
+    }
+
+    /// Enables PCIe transfer modeling with `msg_bytes`-byte messages.
+    pub fn pcie_overlap(mut self, msg_bytes: u32) -> Self {
+        self.pcie_msg_bytes = Some(msg_bytes);
+        self
+    }
+
+    /// Checks the workload description for unusable values.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), HeroError> {
+        if self.messages == 0 {
+            return Err(HeroError::InvalidOptions(
+                "messages must be >= 1".to_string(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(HeroError::InvalidOptions(
+                "batch_size must be >= 1".to_string(),
+            ));
+        }
+        if self.streams == 0 {
+            return Err(HeroError::InvalidOptions(
+                "streams must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Full-pipeline simulation result (the Fig. 12 quantities).
 #[derive(Clone, Debug)]
 pub struct PipelineReport {
-    /// End-to-end time for all batches (µs).
+    /// End-to-end time for all batches (µs), including transfers when
+    /// PCIe modeling is enabled.
     pub makespan_us: f64,
     /// Signatures per second / 1000.
     pub kops: f64,
@@ -117,6 +238,9 @@ pub struct PipelineReport {
     pub idle_us: f64,
     /// Per-kernel device time for one batch (µs): FORS, TREE, WOTS+.
     pub kernel_batch_us: [f64; 3],
+    /// PCIe transfer breakdown, when
+    /// [`PipelineOptions::pcie_msg_bytes`] was set.
+    pub transfers: Option<PipelinedTransfers>,
 }
 
 /// The HERO-Sign engine for one (device, parameter set, configuration).
@@ -131,26 +255,48 @@ pub struct HeroSigner {
 }
 
 impl HeroSigner {
-    /// Builds an engine: runs the offline Tree Tuning search (if fusion is
-    /// enabled) and the profiling-driven branch selection (if adaptive).
+    /// Starts configuring an engine; see [`HeroSignerBuilder`].
+    pub fn builder(device: DeviceProps, params: Params) -> HeroSignerBuilder {
+        HeroSignerBuilder::new(device, params)
+    }
+
+    /// Convenience: fully optimized engine with default options.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` fails validation.
-    pub fn new(device: DeviceProps, params: Params, config: OptConfig) -> Self {
-        params.validate().expect("valid parameter set");
-        let tuning = if config.fusion {
-            tuning::tune_auto(&device, &params, &TuningOptions::default()).ok()
-        } else {
-            None
-        };
+    /// As [`HeroSignerBuilder::build`].
+    pub fn hero(device: DeviceProps, params: Params) -> Result<Self, HeroError> {
+        Self::builder(device, params).build()
+    }
+
+    /// Convenience: baseline engine with default options.
+    ///
+    /// # Errors
+    ///
+    /// As [`HeroSignerBuilder::build`].
+    pub fn baseline(device: DeviceProps, params: Params) -> Result<Self, HeroError> {
+        Self::builder(device, params)
+            .config(OptConfig::baseline())
+            .build()
+    }
+
+    /// Assembles a validated engine: resolves the profiling-driven
+    /// PTX/native selection for the given configuration. Called by
+    /// [`HeroSignerBuilder::build`] after validation and tuning.
+    pub(crate) fn construct(
+        device: DeviceProps,
+        params: Params,
+        config: OptConfig,
+        tuning: Option<TuningResult>,
+        workers: usize,
+    ) -> Self {
         let mut engine = Self {
             device,
             params,
             config,
             tuning,
             selection: BranchSelection::all_native(),
-            workers: crate::par::default_workers(),
+            workers: workers.max(1),
         };
         engine.selection = match config.ptx {
             PtxPolicy::Off => BranchSelection::all_native(),
@@ -162,16 +308,6 @@ impl HeroSigner {
             PtxPolicy::Adaptive => engine.profile_branch_selection(),
         };
         engine
-    }
-
-    /// Convenience: fully optimized engine.
-    pub fn hero(device: DeviceProps, params: Params) -> Self {
-        Self::new(device, params, OptConfig::hero())
-    }
-
-    /// Convenience: baseline engine.
-    pub fn baseline(device: DeviceProps, params: Params) -> Self {
-        Self::new(device, params, OptConfig::baseline())
     }
 
     /// The device this engine targets.
@@ -189,7 +325,7 @@ impl HeroSigner {
         &self.config
     }
 
-    /// The tuning result, if fusion is enabled.
+    /// The tuning result, if fusion is enabled and the search succeeded.
     pub fn tuning(&self) -> Option<&TuningResult> {
         self.tuning.as_ref()
     }
@@ -199,9 +335,9 @@ impl HeroSigner {
         self.selection
     }
 
-    /// Overrides the worker-thread count for functional signing.
-    pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.max(1);
+    /// The functional-signing worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The FORS block layout implied by the configuration.
@@ -270,7 +406,8 @@ impl HeroSigner {
 
     /// Simulated timing reports for the three kernels.
     pub fn kernel_reports(&self, messages: u32) -> [KernelReport; 3] {
-        self.kernel_descs(messages).map(|d| simulate_kernel(&self.device, &d))
+        self.kernel_descs(messages)
+            .map(|d| simulate_kernel(&self.device, &d))
     }
 
     /// Profiling-driven branch selection: simulate each kernel under both
@@ -318,13 +455,14 @@ impl HeroSigner {
 
     /// Functional signing of one message via the three-kernel
     /// decomposition. Bit-identical to [`SigningKey::sign`].
-    pub fn sign(&self, sk: &SigningKey, msg: &[u8]) -> Signature {
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::KeyMismatch`] if `sk` was generated for a different
+    /// parameter set than this engine.
+    pub fn sign(&self, sk: &SigningKey, msg: &[u8]) -> Result<Signature, HeroError> {
+        check_key(&self.params, sk.params())?;
         let params = self.params;
-        assert_eq!(
-            *sk.params(),
-            params,
-            "signing key parameter set must match the engine"
-        );
         let ctx = HashCtx::with_alg(params, sk.pk_seed(), sk.alg());
 
         // Host-side preamble (Fig. 2): randomizer, digest, indices.
@@ -344,8 +482,7 @@ impl HeroSigner {
         let layers = tree_sign::run(&ctx, sk.sk_seed(), tree_idx, leaf_idx, self.workers);
         let roots: Vec<Vec<u8>> = layers.iter().map(|l| l.root.clone()).collect();
         let coords: Vec<(u64, u32)> = layers.iter().map(|l| (l.tree_idx, l.leaf_idx)).collect();
-        let wots_sigs =
-            wots_sign::run(&ctx, sk.sk_seed(), &fors_pk, &roots, &coords, self.workers);
+        let wots_sigs = wots_sign::run(&ctx, sk.sk_seed(), &fors_pk, &roots, &coords, self.workers);
 
         let ht_layers = layers
             .into_iter()
@@ -356,15 +493,19 @@ impl HeroSigner {
             })
             .collect();
 
-        Signature {
+        Ok(Signature {
             randomizer,
             fors: fors_sig,
             ht: hero_sphincs::hypertree::HtSignature { layers: ht_layers },
-        }
+        })
     }
 
     /// Functional batch signing: messages distributed across workers.
-    pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Vec<Signature> {
+    ///
+    /// # Errors
+    ///
+    /// As [`HeroSigner::sign`].
+    pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
         // Parallelism lives inside each signature's kernels; batches just
         // iterate (matching the GPU, where one batch fills the device).
         msgs.iter().map(|m| self.sign(sk, m)).collect()
@@ -382,79 +523,65 @@ impl HeroSigner {
         crate::kernels::verify::run_batch(vk, msgs, sigs, self.workers)
     }
 
-    /// Simulates the pipeline *including PCIe transfers* (§IV-E1): each
-    /// batch uploads `msg_bytes`-byte messages, computes, and downloads
-    /// its signatures, with copies overlapping compute on dedicated copy
-    /// engines. Returns `(report, transfers)` — `report.kops` includes
-    /// transfer time.
-    ///
-    /// This is where the paper's two-sided batch guidance emerges:
-    /// compute hides transfers at moderate batches, but the pipeline
-    /// fill/drain grows with batch size, so latency-sensitive deployments
-    /// prefer smaller batches (§IV-E1's "near 64").
-    pub fn simulate_pipeline_pcie(
-        &self,
-        messages: u32,
-        batch_size: u32,
-        streams: usize,
-        msg_bytes: u32,
-    ) -> (PipelineReport, hero_gpu_sim::pcie::PipelinedTransfers) {
-        let batch_size = batch_size.clamp(1, messages);
-        let batches = messages.div_ceil(batch_size);
-        let compute = self.simulate_pipeline(messages, batch_size, streams);
-        let per_batch_compute_us = compute.makespan_us / batches as f64;
-        let h2d = batch_size as u64 * (msg_bytes as u64 + 2 * self.params.n as u64);
-        let d2h = batch_size as u64 * self.params.sig_bytes() as u64;
-        let transfers = hero_gpu_sim::pcie::pipeline_with_transfers(
-            &self.device,
-            batches,
-            per_batch_compute_us,
-            h2d,
-            d2h,
-        );
-        let mut report = compute;
-        report.makespan_us = transfers.makespan_us;
-        report.kops = messages as f64 / transfers.makespan_us * 1.0e3;
-        (report, transfers)
-    }
-
     /// Simulated batch-verification throughput (KOPS) for `messages`
     /// signatures on this device.
     pub fn simulate_verify_kops(&self, messages: u32) -> f64 {
         let cfg = self.kernel_config(KernelKind::WotsSign);
-        let desc =
-            crate::kernels::verify::describe(&self.device, &self.params, messages, &cfg);
+        let desc = crate::kernels::verify::describe(&self.device, &self.params, messages, &cfg);
         let report = simulate_kernel(&self.device, &desc);
         messages as f64 / report.time_us * 1.0e3
     }
 
-    /// Simulates end-to-end pipeline execution of `messages` messages
-    /// split into `batch_size`-message batches over `streams` concurrent
-    /// streams (Fig. 12 / Fig. 13).
-    pub fn simulate_pipeline(&self, messages: u32, batch_size: u32, streams: usize) -> PipelineReport {
-        self.simulate_pipeline_traced(messages, batch_size, streams).0
+    /// Simulates end-to-end pipeline execution of the workload described
+    /// by `opts` (Fig. 12 / Fig. 13): `opts.messages` messages split into
+    /// `opts.batch_size`-message batches over `opts.streams` concurrent
+    /// streams, launched per the engine configuration or the
+    /// [`PipelineOptions::launch`] override, with PCIe transfer modeling
+    /// when [`PipelineOptions::pcie_msg_bytes`] is set (§IV-E1 — where
+    /// the paper's two-sided batch guidance emerges: compute hides
+    /// transfers at moderate batches, but pipeline fill/drain grows with
+    /// batch size, so latency-sensitive deployments prefer batches "near
+    /// 64").
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::InvalidOptions`] via [`PipelineOptions::validate`].
+    pub fn simulate(&self, opts: PipelineOptions) -> Result<PipelineReport, HeroError> {
+        Ok(self.simulate_traced(opts)?.0)
     }
 
-    /// [`HeroSigner::simulate_pipeline`], also returning the populated
+    /// [`HeroSigner::simulate`], also returning the populated
     /// [`Timeline`] — e.g. for [`hero_gpu_sim::trace::chrome_trace`]
     /// schedule visualization.
-    pub fn simulate_pipeline_traced(
+    ///
+    /// # Errors
+    ///
+    /// As [`HeroSigner::simulate`].
+    pub fn simulate_traced(
         &self,
-        messages: u32,
-        batch_size: u32,
-        streams: usize,
-    ) -> (PipelineReport, Timeline) {
-        let batch_size = batch_size.clamp(1, messages);
+        opts: PipelineOptions,
+    ) -> Result<(PipelineReport, Timeline), HeroError> {
+        opts.validate()?;
+        let messages = opts.messages;
+        let batch_size = opts.batch_size.min(messages);
+        let streams = opts.streams;
         let batches = messages.div_ceil(batch_size);
+
         let reports = self.kernel_reports(batch_size);
         let [fors_us, tree_us, wots_us] =
             [reports[0].time_us, reports[1].time_us, reports[2].time_us];
         let descs = self.kernel_descs(batch_size);
         let sms = |d: &KernelDesc| d.grid_blocks.min(self.device.sm_count);
 
+        let use_graph = match opts.launch {
+            LaunchPolicy::Auto => self.config.graph,
+            LaunchPolicy::Graph => true,
+            LaunchPolicy::Streams => false,
+        };
+
         let mut tl = Timeline::new(self.device.clone());
 
-        if self.config.graph {
+        if use_graph {
             let mut g = GraphBuilder::new();
             let f = g.kernel("FORS_Sign", fors_us, sms(&descs[0]));
             let t = g.kernel("TREE_Sign", tree_us, sms(&descs[1]));
@@ -463,27 +590,84 @@ impl HeroSigner {
             g.depends_on(w, t);
             let exe = g.instantiate(&self.device);
             for b in 0..batches {
-                exe.launch(&mut tl, b as usize % streams.max(1));
+                exe.launch(&mut tl, b as usize % streams);
             }
         } else {
             for b in 0..batches {
-                let s = tl.stream(b as usize % streams.max(1));
-                let f = tl.launch("FORS_Sign", s, fors_us, sms(&descs[0]), LaunchMode::Stream, &[]);
-                let t = tl.launch("TREE_Sign", s, tree_us, sms(&descs[1]), LaunchMode::Stream, &[]);
-                tl.launch("WOTS+_Sign", s, wots_us, sms(&descs[2]), LaunchMode::Stream, &[f, t]);
+                let s = tl.stream(b as usize % streams);
+                let f = tl.launch(
+                    "FORS_Sign",
+                    s,
+                    fors_us,
+                    sms(&descs[0]),
+                    LaunchMode::Stream,
+                    &[],
+                );
+                let t = tl.launch(
+                    "TREE_Sign",
+                    s,
+                    tree_us,
+                    sms(&descs[1]),
+                    LaunchMode::Stream,
+                    &[],
+                );
+                tl.launch(
+                    "WOTS+_Sign",
+                    s,
+                    wots_us,
+                    sms(&descs[2]),
+                    LaunchMode::Stream,
+                    &[f, t],
+                );
             }
         }
 
         let makespan = tl.makespan_us();
-        let report = PipelineReport {
+        let mut report = PipelineReport {
             makespan_us: makespan,
             kops: messages as f64 / makespan * 1.0e3,
             launch_overhead_us: tl.launch_overhead_total_us(),
             launch_count: tl.launch_count(),
             idle_us: tl.idle_us() + tl.dispatch_idle_total_us(),
             kernel_batch_us: [fors_us, tree_us, wots_us],
+            transfers: None,
         };
-        (report, tl)
+
+        if let Some(msg_bytes) = opts.pcie_msg_bytes {
+            let per_batch_compute_us = report.makespan_us / batches as f64;
+            let h2d = batch_size as u64 * (msg_bytes as u64 + 2 * self.params.n as u64);
+            let d2h = batch_size as u64 * self.params.sig_bytes() as u64;
+            let transfers = hero_gpu_sim::pcie::pipeline_with_transfers(
+                &self.device,
+                batches,
+                per_batch_compute_us,
+                h2d,
+                d2h,
+            );
+            report.makespan_us = transfers.makespan_us;
+            report.kops = messages as f64 / transfers.makespan_us * 1.0e3;
+            report.transfers = Some(transfers);
+        }
+
+        Ok((report, tl))
+    }
+}
+
+impl Signer for HeroSigner {
+    fn params(&self) -> &Params {
+        &self.params
+    }
+
+    fn backend(&self) -> &'static str {
+        "hero-gpu"
+    }
+
+    fn sign(&self, sk: &SigningKey, msg: &[u8]) -> Result<Signature, HeroError> {
+        HeroSigner::sign(self, sk, msg)
+    }
+
+    fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
+        HeroSigner::sign_batch(self, sk, msgs)
     }
 }
 
@@ -503,14 +687,27 @@ mod tests {
         p
     }
 
+    fn build(device: DeviceProps, params: Params, cfg: OptConfig) -> HeroSigner {
+        HeroSigner::builder(device, params)
+            .config(cfg)
+            .build()
+            .unwrap()
+    }
+
+    fn pipe(messages: u32, batch: u32, streams: usize) -> PipelineOptions {
+        PipelineOptions::new(messages)
+            .batch_size(batch)
+            .streams(streams)
+    }
+
     #[test]
     fn hero_sign_matches_reference_exactly() {
         let mut rng = StdRng::seed_from_u64(7);
         let params = tiny_params();
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
-        let engine = HeroSigner::hero(rtx_4090(), params);
+        let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
         let msg = b"hero-sign functional equivalence";
-        let hero_sig = engine.sign(&sk, msg);
+        let hero_sig = engine.sign(&sk, msg).unwrap();
         let reference = sk.sign(msg);
         assert_eq!(hero_sig, reference);
         vk.verify(msg, &hero_sig).unwrap();
@@ -521,13 +718,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let params = tiny_params();
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
-        let engine = HeroSigner::hero(rtx_4090(), params);
+        let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
         let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 20]).collect();
         let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
-        let sigs = engine.sign_batch(&sk, &refs);
+        let sigs = engine.sign_batch(&sk, &refs).unwrap();
         for (m, s) in refs.iter().zip(&sigs) {
             vk.verify(m, s).unwrap();
         }
+    }
+
+    #[test]
+    fn sign_rejects_mismatched_key() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let key_params = tiny_params();
+        let (sk, _) = hero_sphincs::keygen(key_params, &mut rng).unwrap();
+        let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
+        let err = engine.sign(&sk, b"mismatch").unwrap_err();
+        assert!(matches!(err, HeroError::KeyMismatch(_)), "{err}");
     }
 
     #[test]
@@ -536,10 +743,14 @@ mod tests {
         // 128f/192f, PTX at 256f.
         let d = rtx_4090();
         for p in Params::fast_sets() {
-            let engine = HeroSigner::hero(d.clone(), p);
+            let engine = HeroSigner::hero(d.clone(), p).unwrap();
             let sel = engine.selection();
             assert_eq!(sel.fors, Sha2Path::Ptx, "{} FORS", p.name());
-            let expect = if p.n == 32 { Sha2Path::Ptx } else { Sha2Path::Native };
+            let expect = if p.n == 32 {
+                Sha2Path::Ptx
+            } else {
+                Sha2Path::Native
+            };
             assert_eq!(sel.tree, expect, "{} TREE", p.name());
             assert_eq!(sel.wots, expect, "{} WOTS", p.name());
         }
@@ -549,8 +760,10 @@ mod tests {
     fn hero_outperforms_baseline_per_kernel() {
         let d = rtx_4090();
         for p in Params::fast_sets() {
-            let base = HeroSigner::baseline(d.clone(), p).kernel_reports(1024);
-            let hero = HeroSigner::hero(d.clone(), p).kernel_reports(1024);
+            let base = HeroSigner::baseline(d.clone(), p)
+                .unwrap()
+                .kernel_reports(1024);
+            let hero = HeroSigner::hero(d.clone(), p).unwrap().kernel_reports(1024);
             for (b, h) in base.iter().zip(hero.iter()) {
                 assert!(
                     h.time_us < b.time_us,
@@ -572,7 +785,7 @@ mod tests {
         let p = Params::sphincs_128f();
         let mut last = f64::INFINITY;
         for (label, cfg) in OptConfig::ablation_ladder() {
-            let engine = HeroSigner::new(d.clone(), p, cfg);
+            let engine = build(d.clone(), p, cfg);
             let fors = &engine.kernel_reports(1024)[0];
             assert!(
                 fors.time_us <= last * 1.005,
@@ -587,13 +800,17 @@ mod tests {
     fn graph_pipeline_slashes_launch_overhead() {
         let d = rtx_4090();
         let p = Params::sphincs_128f();
-        let hero_graph = HeroSigner::hero(d.clone(), p).simulate_pipeline(1024, 64, 4);
-        let mut no_graph_cfg = OptConfig::hero();
-        no_graph_cfg.graph = false;
-        let hero_stream =
-            HeroSigner::new(d.clone(), p, no_graph_cfg).simulate_pipeline(1024, 64, 4);
+        let hero = HeroSigner::hero(d.clone(), p).unwrap();
+        let hero_graph = hero.simulate(pipe(1024, 64, 4)).unwrap();
+        // The same engine replayed with per-kernel stream launches.
+        let hero_stream = hero
+            .simulate(pipe(1024, 64, 4).launch(LaunchPolicy::Streams))
+            .unwrap();
         // Two orders of magnitude vs per-message baseline launches.
-        let baseline = HeroSigner::baseline(d.clone(), p).simulate_pipeline(1024, 1, 4);
+        let baseline = HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .simulate(pipe(1024, 1, 4))
+            .unwrap();
         assert!(
             baseline.launch_overhead_us / hero_graph.launch_overhead_us > 50.0,
             "{} vs {}",
@@ -612,9 +829,19 @@ mod tests {
         // batches (§IV-E1's throughput guidance).
         let d = rtx_4090();
         let p = Params::sphincs_128f();
-        let base = HeroSigner::baseline(d.clone(), p).simulate_pipeline(1024, 1, 128);
-        let hero = HeroSigner::hero(d.clone(), p).simulate_pipeline(1024, 512, 4);
-        assert!(base.kops > 40.0 && base.kops < 200.0, "baseline {}", base.kops);
+        let base = HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .simulate(pipe(1024, 1, 128))
+            .unwrap();
+        let hero = HeroSigner::hero(d.clone(), p)
+            .unwrap()
+            .simulate(pipe(1024, 512, 4))
+            .unwrap();
+        assert!(
+            base.kops > 40.0 && base.kops < 200.0,
+            "baseline {}",
+            base.kops
+        );
         assert!(hero.kops > base.kops, "{} vs {}", hero.kops, base.kops);
         let speedup = hero.kops / base.kops;
         assert!(speedup > 1.1 && speedup < 2.2, "speedup {speedup}");
@@ -625,12 +852,24 @@ mod tests {
         // The -s sets run end to end on the engine thanks to the
         // generalized Relax Buffer (extension beyond the paper's -f scope).
         let d = rtx_4090();
-        for p in [Params::sphincs_128s(), Params::sphincs_192s(), Params::sphincs_256s()] {
-            let engine = HeroSigner::hero(d.clone(), p);
-            assert!(matches!(engine.fors_layout(), fors_sign::ForsLayout::Relax(_)));
+        for p in [
+            Params::sphincs_128s(),
+            Params::sphincs_192s(),
+            Params::sphincs_256s(),
+        ] {
+            let engine = HeroSigner::hero(d.clone(), p).unwrap();
+            assert!(matches!(
+                engine.fors_layout(),
+                fors_sign::ForsLayout::Relax(_)
+            ));
             let reports = engine.kernel_reports(256);
             for r in &reports {
-                assert!(r.time_us.is_finite() && r.time_us > 0.0, "{} {}", p.name(), r.name);
+                assert!(
+                    r.time_us.is_finite() && r.time_us > 0.0,
+                    "{} {}",
+                    p.name(),
+                    r.name
+                );
             }
             // -s trades throughput for signature size: slower than -f.
             let f_equiv = match p.n {
@@ -638,8 +877,11 @@ mod tests {
                 24 => Params::sphincs_192f(),
                 _ => Params::sphincs_256f(),
             };
-            let s_pipe = engine.simulate_pipeline(512, 256, 4);
-            let f_pipe = HeroSigner::hero(d.clone(), f_equiv).simulate_pipeline(512, 256, 4);
+            let s_pipe = engine.simulate(pipe(512, 256, 4)).unwrap();
+            let f_pipe = HeroSigner::hero(d.clone(), f_equiv)
+                .unwrap()
+                .simulate(pipe(512, 256, 4))
+                .unwrap();
             assert!(s_pipe.kops < f_pipe.kops, "{}: -s must be slower", p.name());
         }
     }
@@ -649,10 +891,9 @@ mod tests {
         use hero_sphincs::hash::HashAlg;
         let mut rng = StdRng::seed_from_u64(64);
         let params = tiny_params();
-        let (sk, vk) =
-            hero_sphincs::keygen_with_alg(params, HashAlg::Sha512, &mut rng).unwrap();
-        let engine = HeroSigner::hero(rtx_4090(), params);
-        let sig = engine.sign(&sk, b"sha512 through the kernels");
+        let (sk, vk) = hero_sphincs::keygen_with_alg(params, HashAlg::Sha512, &mut rng).unwrap();
+        let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
+        let sig = engine.sign(&sk, b"sha512 through the kernels").unwrap();
         assert_eq!(sig, sk.sign(b"sha512 through the kernels"));
         vk.verify(b"sha512 through the kernels", &sig).unwrap();
     }
@@ -662,22 +903,51 @@ mod tests {
         let d = rtx_4090();
         let p = Params::sphincs_128f();
         assert!(matches!(
-            HeroSigner::baseline(d.clone(), p).fors_layout(),
+            HeroSigner::baseline(d.clone(), p).unwrap().fors_layout(),
             fors_sign::ForsLayout::Baseline
         ));
         let mut cfg = OptConfig::baseline();
         cfg.mmtp = true;
         assert!(matches!(
-            HeroSigner::new(d.clone(), p, cfg).fors_layout(),
+            build(d.clone(), p, cfg).fors_layout(),
             fors_sign::ForsLayout::Mmtp
         ));
         assert!(matches!(
-            HeroSigner::hero(d.clone(), p).fors_layout(),
+            HeroSigner::hero(d.clone(), p).unwrap().fors_layout(),
             fors_sign::ForsLayout::Fused(_)
         ));
         assert!(matches!(
-            HeroSigner::hero(d, Params::sphincs_256f()).fors_layout(),
+            HeroSigner::hero(d, Params::sphincs_256f())
+                .unwrap()
+                .fors_layout(),
             fors_sign::ForsLayout::Relax(_)
         ));
+    }
+
+    #[test]
+    fn pipeline_options_are_validated() {
+        let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
+        for bad in [
+            PipelineOptions::new(0),
+            PipelineOptions::new(64).batch_size(0),
+            PipelineOptions::new(64).streams(0),
+        ] {
+            let err = engine.simulate(bad).unwrap_err();
+            assert!(
+                matches!(err, HeroError::InvalidOptions(_)),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn pcie_option_populates_transfers() {
+        let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
+        let pure = engine.simulate(pipe(512, 128, 4)).unwrap();
+        assert!(pure.transfers.is_none());
+        let with_pcie = engine.simulate(pipe(512, 128, 4).pcie_overlap(64)).unwrap();
+        let transfers = with_pcie.transfers.expect("transfer breakdown");
+        assert!(transfers.makespan_us >= pure.makespan_us);
+        assert!(with_pcie.kops <= pure.kops);
     }
 }

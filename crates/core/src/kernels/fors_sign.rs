@@ -140,10 +140,8 @@ pub fn measure_reduction(
             // Loads of the two children per parent thread.
             for warp_start in (0..parents).step_by(32) {
                 let end = (warp_start + 32).min(parents);
-                let even: Vec<usize> =
-                    (warp_start..end).map(|i| level_base + 2 * i).collect();
-                let odd: Vec<usize> =
-                    (warp_start..end).map(|i| level_base + 2 * i + 1).collect();
+                let even: Vec<usize> = (warp_start..end).map(|i| level_base + 2 * i).collect();
+                let odd: Vec<usize> = (warp_start..end).map(|i| level_base + 2 * i + 1).collect();
                 sm.warp_load(&even);
                 sm.warp_load(&odd);
             }
@@ -213,10 +211,8 @@ pub fn describe(
     let h = workload::h_compressions(params);
     let lpt = geometry.leaves_per_thread as u64;
     let depth = geometry.leaves_per_thread.trailing_zeros() as u64;
-    let serial_per_round =
-        2 * lpt + (lpt - 1) * h + (params.log_t as u64 - depth) * h;
-    let exposed = (geometry.rounds as u64 * serial_per_round) as f64
-        * calib::ROUND_OVERLAP_EXPOSED;
+    let serial_per_round = 2 * lpt + (lpt - 1) * h + (params.log_t as u64 - depth) * h;
+    let exposed = (geometry.rounds as u64 * serial_per_round) as f64 * calib::ROUND_OVERLAP_EXPOSED;
     desc.critical_path = ptx::compression_mix(KernelKind::ForsSign, params, config.path)
         .scaled(exposed.ceil() as u64);
 
@@ -242,8 +238,10 @@ pub fn describe(
                 + params.fors_sig_bytes() as u64 * messages as u64;
         }
     }
-    desc.instr_total.add_count(InstrClass::Lds, desc.smem_transactions / 2);
-    desc.instr_total.add_count(InstrClass::Sts, desc.smem_transactions / 2);
+    desc.instr_total
+        .add_count(InstrClass::Lds, desc.smem_transactions / 2);
+    desc.instr_total
+        .add_count(InstrClass::Sts, desc.smem_transactions / 2);
 
     desc
 }
@@ -268,7 +266,13 @@ pub fn run(
         let leaf_idx = indices[tree_idx];
         let sk = fors::sk_element(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
         let out = fors::tree_hash(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
-        (fors::ForsTreeSig { sk, auth_path: out.auth_path }, out.root)
+        (
+            fors::ForsTreeSig {
+                sk,
+                auth_path: out.auth_path,
+            },
+            out.root,
+        )
     });
 
     let mut tree_sigs = Vec::with_capacity(params.k);
@@ -299,9 +303,7 @@ mod tests {
 
     fn fused_layout(params: &Params) -> ForsLayout {
         let r = tune_auto(&rtx_4090(), params, &TuningOptions::default()).unwrap();
-        if r.best.block_threads() < params.t() as u32 {
-            ForsLayout::Relax(r.best)
-        } else if params.n == 32 {
+        if r.best.block_threads() < params.t() as u32 || params.n == 32 {
             ForsLayout::Relax(r.best)
         } else {
             ForsLayout::Fused(r.best)
@@ -348,7 +350,8 @@ mod tests {
         let d = rtx_4090();
         let p = Params::sphincs_128f();
         let cfg = KernelConfig::baseline();
-        let t_base = simulate_kernel(&d, &describe(&d, &p, 1024, &ForsLayout::Baseline, &cfg)).time_us;
+        let t_base =
+            simulate_kernel(&d, &describe(&d, &p, 1024, &ForsLayout::Baseline, &cfg)).time_us;
         let t_mmtp = simulate_kernel(&d, &describe(&d, &p, 1024, &ForsLayout::Mmtp, &cfg)).time_us;
         let fused = fused_layout(&p);
         let t_fused = simulate_kernel(&d, &describe(&d, &p, 1024, &fused, &cfg)).time_us;
@@ -363,7 +366,13 @@ mod tests {
             let fused = fused_layout(&p);
             let base = simulate_kernel(
                 &d,
-                &describe(&d, &p, 1024, &ForsLayout::Baseline, &KernelConfig::baseline()),
+                &describe(
+                    &d,
+                    &p,
+                    1024,
+                    &ForsLayout::Baseline,
+                    &KernelConfig::baseline(),
+                ),
             )
             .time_us;
             let hero = simulate_kernel(

@@ -12,8 +12,8 @@
 //!   memory access pattern through the bank model.
 
 pub mod fors_sign;
-pub mod verify;
 pub mod tree_sign;
+pub mod verify;
 pub mod wots_sign;
 
 use hero_gpu_sim::isa::Sha2Path;

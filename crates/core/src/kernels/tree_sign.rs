@@ -62,10 +62,7 @@ pub fn effective_regs(params: &Params, config: &KernelConfig) -> u32 {
 
 /// Replays the subtree reductions through the bank model: `d` subtrees of
 /// `2^h'` leaves reduce side by side in one block's shared memory.
-pub fn measure_reduction(
-    params: &Params,
-    padding: PaddingScheme,
-) -> (AccessStats, AccessStats) {
+pub fn measure_reduction(params: &Params, padding: PaddingScheme) -> (AccessStats, AccessStats) {
     let mut sm = SharedMem::new(padding, params.n);
     let leaves_per_tree = params.subtree_leaves();
     let total = params.d * leaves_per_tree;
@@ -95,7 +92,9 @@ pub fn measure_reduction(
             sm.warp_load(&even);
             sm.warp_load(&odd);
             let parents: Vec<usize> = (warp_start..end)
-                .map(|i| parent_base + (i / parents_per_tree) * parents_per_tree + i % parents_per_tree)
+                .map(|i| {
+                    parent_base + (i / parents_per_tree) * parents_per_tree + i % parents_per_tree
+                })
                 .collect();
             sm.warp_store(&parents);
         }
@@ -164,8 +163,10 @@ pub fn describe(
                 compressions * calib::SEED_BYTES_PER_HASH / 8 + output_bytes * messages as u64;
         }
     }
-    desc.instr_total.add_count(InstrClass::Lds, desc.smem_transactions / 2);
-    desc.instr_total.add_count(InstrClass::Sts, desc.smem_transactions / 2);
+    desc.instr_total
+        .add_count(InstrClass::Lds, desc.smem_transactions / 2);
+    desc.instr_total
+        .add_count(InstrClass::Sts, desc.smem_transactions / 2);
 
     desc
 }
@@ -191,14 +192,17 @@ pub fn run(
         node_adrs.set_layer(layer as u32);
         node_adrs.set_tree(tree);
         node_adrs.set_type(hero_sphincs::address::AddressType::Tree);
-        let TreeHashOutput { root, auth_path } = hero_sphincs::merkle::treehash(
-            ctx,
-            params.tree_height(),
-            leaf,
-            &node_adrs,
-            |i| hypertree::wots_leaf(ctx, sk_seed, layer as u32, tree, i),
-        );
-        LayerTree { layer: layer as u32, tree_idx: tree, leaf_idx: leaf, root, auth_path }
+        let TreeHashOutput { root, auth_path } =
+            hero_sphincs::merkle::treehash(ctx, params.tree_height(), leaf, &node_adrs, |i| {
+                hypertree::wots_leaf(ctx, sk_seed, layer as u32, tree, i)
+            });
+        LayerTree {
+            layer: layer as u32,
+            tree_idx: tree,
+            leaf_idx: leaf,
+            root,
+            auth_path,
+        }
     })
 }
 
@@ -251,7 +255,11 @@ mod tests {
         // the kernel is compute-bound with little idle to recover.
         let d = rtx_4090();
         for p in Params::fast_sets() {
-            let path = if p.n == 32 { Sha2Path::Ptx } else { Sha2Path::Native };
+            let path = if p.n == 32 {
+                Sha2Path::Ptx
+            } else {
+                Sha2Path::Native
+            };
             let base =
                 simulate_kernel(&d, &describe(&d, &p, 1024, &KernelConfig::baseline())).time_us;
             let hero =

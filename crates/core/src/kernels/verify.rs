@@ -48,7 +48,11 @@ pub fn describe(
     let threads = ((params.d * params.wots_len() + params.k) as u32).min(1024);
     let mut regs = ptx::regs_per_thread(KernelKind::WotsSign, params, config.path);
     regs = regs.min(device.registers_per_sm / threads);
-    let block = BlockResources { threads, regs_per_thread: regs, smem_bytes: 0 };
+    let block = BlockResources {
+        threads,
+        regs_per_thread: regs,
+        smem_bytes: 0,
+    };
 
     let mut desc = KernelDesc::empty("Verify", messages, block);
     desc.ipc_factor = calib::WOTS_IPC;
@@ -152,7 +156,12 @@ mod tests {
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
         let sig = sk.sign(b"one");
         let result = std::panic::catch_unwind(|| {
-            run_batch(&vk, &[b"one".as_slice(), b"two".as_slice()], &[sig.clone()], 1)
+            run_batch(
+                &vk,
+                &[b"one".as_slice(), b"two".as_slice()],
+                std::slice::from_ref(&sig),
+                1,
+            )
         });
         assert!(result.is_err());
     }

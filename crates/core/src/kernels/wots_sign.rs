@@ -50,9 +50,12 @@ pub fn describe(
     let max_regs = device.registers_per_sm / threads;
     regs = regs.min(max_regs);
 
-    let block = BlockResources { threads, regs_per_thread: regs, smem_bytes: 0 };
-    let mut desc =
-        KernelDesc::empty("WOTS+_Sign", messages * blocks_per_message(params), block);
+    let block = BlockResources {
+        threads,
+        regs_per_thread: regs,
+        smem_bytes: 0,
+    };
+    let mut desc = KernelDesc::empty("WOTS+_Sign", messages * blocks_per_message(params), block);
     desc.ipc_factor = calib::WOTS_IPC;
     desc.active_thread_fraction = calib::WOTS_ACTIVE;
 
@@ -61,12 +64,17 @@ pub fn describe(
         ptx::compression_mix(KernelKind::WotsSign, params, config.path).scaled(compressions);
 
     // Index math: base-w digit extraction, checksum, chain addressing.
-    let index_alu = if config.index_shift_rewrite { calib::SHIFT_ALU } else { calib::DIVMOD_ALU };
-    desc.instr_total.add_count(InstrClass::Alu, index_alu * compressions);
+    let index_alu = if config.index_shift_rewrite {
+        calib::SHIFT_ALU
+    } else {
+        calib::DIVMOD_ALU
+    };
+    desc.instr_total
+        .add_count(InstrClass::Alu, index_alu * compressions);
 
     // Critical path: the longest chain (w-1 steps) plus PRF.
-    desc.critical_path = ptx::compression_mix(KernelKind::WotsSign, params, config.path)
-        .scaled(params.w as u64);
+    desc.critical_path =
+        ptx::compression_mix(KernelKind::WotsSign, params, config.path).scaled(params.w as u64);
 
     desc.syncs_per_block = 0; // chains never synchronize
     desc.ro_placement = config.placement;
@@ -103,7 +111,11 @@ pub fn run(
     assert_eq!(coords.len(), params.d);
 
     crate::par::par_map_indexed(params.d, workers, |layer| {
-        let msg = if layer == 0 { fors_pk } else { &roots[layer - 1] };
+        let msg = if layer == 0 {
+            fors_pk
+        } else {
+            &roots[layer - 1]
+        };
         let (tree, leaf) = coords[layer];
         let mut adrs = Address::new();
         adrs.set_layer(layer as u32);
@@ -138,7 +150,11 @@ mod tests {
         // throughput decreases* — fewer instructions for the same work.
         let d = rtx_4090();
         for p in Params::fast_sets() {
-            let path = if p.n == 32 { Sha2Path::Ptx } else { Sha2Path::Native };
+            let path = if p.n == 32 {
+                Sha2Path::Ptx
+            } else {
+                Sha2Path::Native
+            };
             let base = simulate_kernel(&d, &describe(&d, &p, 1024, &KernelConfig::baseline()));
             let hero = simulate_kernel(&d, &describe(&d, &p, 1024, &KernelConfig::hero(path)));
             let speedup = base.time_us / hero.time_us;
@@ -163,14 +179,22 @@ mod tests {
         // Each layer's WOTS+ signature must reconstruct that layer's leaf,
         // i.e. equal the reference signer's output.
         for (layer, sig) in sigs.iter().enumerate() {
-            let msg = if layer == 0 { &fors_pk } else { &roots[layer - 1] };
+            let msg = if layer == 0 {
+                &fors_pk
+            } else {
+                &roots[layer - 1]
+            };
             let (tree, leaf) = coords[layer];
             let mut adrs = Address::new();
             adrs.set_layer(layer as u32);
             adrs.set_tree(tree);
             adrs.set_type(AddressType::WotsHash);
             adrs.set_keypair(leaf);
-            assert_eq!(*sig, wots::sign(&ctx, msg, &sk_seed, &adrs), "layer {layer}");
+            assert_eq!(
+                *sig,
+                wots::sign(&ctx, msg, &sk_seed, &adrs),
+                "layer {layer}"
+            );
         }
     }
 

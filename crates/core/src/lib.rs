@@ -7,24 +7,36 @@
 //!
 //! ## What's here
 //!
+//! * [`signer`] — the backend-agnostic [`Signer`] trait and the plain
+//!   CPU [`ReferenceSigner`]; services program against `dyn Signer` and
+//!   pick a backend at the edge.
+//! * [`builder`] — fallible, cached construction of [`HeroSigner`]
+//!   engines ([`HeroSigner::builder`]).
+//! * [`error`] — the typed [`HeroError`] every fallible operation
+//!   reports.
 //! * [`tuning`] — the offline **Auto Tree Tuning** search (Algorithm 1)
-//!   and the Relax-FORS variant; reproduces Table IV.
+//!   and the Relax-FORS variant, behind a process-wide memoization cache;
+//!   reproduces Table IV.
 //! * [`kernels`] — the three component kernels (`FORS_Sign`, `TREE_Sign`,
 //!   `WOTS+_Sign`), each with a functional face (real parallel signing on
 //!   CPU workers) and an analytic face (simulator descriptors with
 //!   *measured* bank-conflict counts).
 //! * [`ptx`] — native/PTX SHA-2 code-path models and the per-kernel
 //!   register tables; the raw material of Table V.
-//! * [`engine`] — [`engine::HeroSigner`]: tune → select branches → sign
-//!   batches → simulate pipelines (Figs. 11–14).
+//! * [`engine`] — [`HeroSigner`]: tune → select branches → sign batches →
+//!   simulate [`PipelineOptions`] workloads (Figs. 11–14).
 //! * [`workload`] — exact hash-work censuses per kernel.
 //! * [`par`] — the scoped worker pool the functional kernels run on.
 //!
 //! ## Quickstart
 //!
+//! Build an engine through the fallible builder, sign through the
+//! [`Signer`] trait, and simulate the same workload on the modeled
+//! RTX 4090:
+//!
 //! ```
 //! use hero_gpu_sim::device::rtx_4090;
-//! use hero_sign::engine::HeroSigner;
+//! use hero_sign::{HeroSigner, PipelineOptions, ReferenceSigner, Signer};
 //! use hero_sphincs::params::Params;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
@@ -33,14 +45,22 @@
 //! let mut params = Params::sphincs_128f();
 //! params.h = 6; params.d = 3; params.log_t = 4; params.k = 8;
 //!
+//! let engine = HeroSigner::builder(rtx_4090(), params).workers(4).build()?;
+//!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let (sk, vk) = hero_sphincs::keygen(params, &mut rng)?;
-//! let engine = HeroSigner::hero(rtx_4090(), params);
-//! let sig = engine.sign(&sk, b"hello");
+//! let (sk, vk) = engine.keygen(&mut rng)?;
+//! let sig = engine.sign(&sk, b"hello")?;
 //! vk.verify(b"hello", &sig)?;
 //!
-//! // Simulated RTX 4090 throughput for a 1024-message batch:
-//! let report = engine.simulate_pipeline(1024, 64, 4);
+//! // Any backend produces identical bytes: swap in the CPU reference.
+//! let backends: Vec<Box<dyn Signer>> =
+//!     vec![Box::new(engine.clone()), Box::new(ReferenceSigner::new(params)?)];
+//! for backend in &backends {
+//!     assert_eq!(backend.sign(&sk, b"hello")?, sig);
+//! }
+//!
+//! // Simulated RTX 4090 throughput for a 1024-message batch pipeline:
+//! let report = engine.simulate(PipelineOptions::new(1024).batch_size(64))?;
 //! assert!(report.kops > 0.0);
 //! # Ok(())
 //! # }
@@ -48,13 +68,22 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod engine;
+pub mod error;
 pub mod kernels;
 pub mod par;
 pub mod ptx;
+pub mod signer;
 pub mod tuning;
 pub mod workload;
 
-pub use engine::{HeroSigner, OptConfig, PipelineReport, PtxPolicy};
+pub use builder::HeroSignerBuilder;
+pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineReport, PtxPolicy};
+pub use error::HeroError;
 pub use ptx::{BranchSelection, KernelKind};
-pub use tuning::{tune, tune_auto, tune_relax, FusionCandidate, TuningOptions, TuningResult};
+pub use signer::{ReferenceSigner, Signer};
+pub use tuning::{
+    tune, tune_auto, tune_auto_cached, tune_relax, tuning_cache_stats, FusionCandidate,
+    TuningCacheStats, TuningOptions, TuningResult,
+};

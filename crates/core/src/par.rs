@@ -1,7 +1,7 @@
 //! Minimal scoped-thread parallel map.
 //!
 //! The functional side of HERO-Sign's kernels executes on CPU threads
-//! (crossbeam scoped workers play the role of CUDA thread blocks); this
+//! (std scoped workers play the role of CUDA thread blocks); this
 //! helper distributes independent work items — messages, FORS trees,
 //! hypertree layers — across a worker pool.
 
@@ -10,7 +10,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Number of workers to use by default: the machine's available
 /// parallelism, capped to keep test runs snappy.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(32)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(32)
 }
 
 /// Applies `f` to every index in `0..len` on `workers` threads, returning
@@ -40,12 +43,11 @@ where
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
     let slots_ptr = SendPtr(slots.as_mut_ptr());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let cursor = &cursor;
             let f = &f;
-            let slots_ptr = slots_ptr;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= len {
                     break;
@@ -57,10 +59,12 @@ where
                 unsafe { slots_ptr.write(i, Some(value)) }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 /// Applies `f` to every element of `items` in parallel, preserving order.

@@ -30,7 +30,11 @@ pub enum KernelKind {
 
 impl KernelKind {
     /// All kernels in the paper's column order.
-    pub const ALL: [KernelKind; 3] = [KernelKind::ForsSign, KernelKind::TreeSign, KernelKind::WotsSign];
+    pub const ALL: [KernelKind; 3] = [
+        KernelKind::ForsSign,
+        KernelKind::TreeSign,
+        KernelKind::WotsSign,
+    ];
 
     /// Display name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -92,7 +96,10 @@ pub fn compression_mix(kernel: KernelKind, params: &Params, path: Sha2Path) -> I
             let discount_pct = if wide { 98 } else { 88 };
             let mut m = InstrMix::new();
             m.add_count(InstrClass::Shl, base.count(InstrClass::Shl));
-            m.add_count(InstrClass::Alu, base.count(InstrClass::Alu) * discount_pct / 100);
+            m.add_count(
+                InstrClass::Alu,
+                base.count(InstrClass::Alu) * discount_pct / 100,
+            );
             m.add_count(InstrClass::Iadd3, base.count(InstrClass::Iadd3));
             m
         }
@@ -126,7 +133,11 @@ pub struct BranchSelection {
 impl BranchSelection {
     /// All-native selection (the baseline).
     pub const fn all_native() -> Self {
-        Self { fors: Sha2Path::Native, tree: Sha2Path::Native, wots: Sha2Path::Native }
+        Self {
+            fors: Sha2Path::Native,
+            tree: Sha2Path::Native,
+            wots: Sha2Path::Native,
+        }
     }
 
     /// Path for a kernel.
@@ -153,13 +164,28 @@ mod tests {
     fn register_tables_match_paper_anchors() {
         // Table III: 128f native registers 64 / 128 / 72.
         let p = Params::sphincs_128f();
-        assert_eq!(regs_per_thread(KernelKind::ForsSign, &p, Sha2Path::Native), 64);
-        assert_eq!(regs_per_thread(KernelKind::TreeSign, &p, Sha2Path::Native), 128);
-        assert_eq!(regs_per_thread(KernelKind::WotsSign, &p, Sha2Path::Native), 72);
+        assert_eq!(
+            regs_per_thread(KernelKind::ForsSign, &p, Sha2Path::Native),
+            64
+        );
+        assert_eq!(
+            regs_per_thread(KernelKind::TreeSign, &p, Sha2Path::Native),
+            128
+        );
+        assert_eq!(
+            regs_per_thread(KernelKind::WotsSign, &p, Sha2Path::Native),
+            72
+        );
         // §III-C2: 256f TREE_Sign 168 → 95.
         let p256 = Params::sphincs_256f();
-        assert_eq!(regs_per_thread(KernelKind::TreeSign, &p256, Sha2Path::Native), 168);
-        assert_eq!(regs_per_thread(KernelKind::TreeSign, &p256, Sha2Path::Ptx), 95);
+        assert_eq!(
+            regs_per_thread(KernelKind::TreeSign, &p256, Sha2Path::Native),
+            168
+        );
+        assert_eq!(
+            regs_per_thread(KernelKind::TreeSign, &p256, Sha2Path::Ptx),
+            95
+        );
     }
 
     #[test]
@@ -167,7 +193,8 @@ mod tests {
         for p in Params::fast_sets() {
             for k in KernelKind::ALL {
                 assert!(
-                    regs_per_thread(k, &p, Sha2Path::Ptx) < regs_per_thread(k, &p, Sha2Path::Native),
+                    regs_per_thread(k, &p, Sha2Path::Ptx)
+                        < regs_per_thread(k, &p, Sha2Path::Native),
                     "{} {}",
                     k.name(),
                     p.name()

@@ -10,6 +10,9 @@
 use hero_gpu_sim::device::{DeviceProps, SmemPolicy};
 use hero_sphincs::params::Params;
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// One candidate fusion configuration from the search.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FusionCandidate {
@@ -80,7 +83,11 @@ impl Default for TuningOptions {
     /// half-empty blocks whose extra `Set` rounds the paper's profiling
     /// rejects).
     fn default() -> Self {
-        Self { alpha: 0.6, smem_policy: SmemPolicy::Static, exclude_full_saturation: true }
+        Self {
+            alpha: 0.6,
+            smem_policy: SmemPolicy::Static,
+            exclude_full_saturation: true,
+        }
     }
 }
 
@@ -103,7 +110,10 @@ impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TuneError::TreeTooLarge { needed, max } => {
-                write!(f, "one FORS tree needs {needed} threads, block maximum is {max}")
+                write!(
+                    f,
+                    "one FORS tree needs {needed} threads, block maximum is {max}"
+                )
             }
             TuneError::NoCandidate => f.write_str("no fusion configuration satisfies constraints"),
         }
@@ -165,7 +175,10 @@ pub fn tune_relax_depth(
     opts: &TuningOptions,
     depth: u32,
 ) -> Result<TuningResult, TuneError> {
-    assert!(depth >= 1 && depth < params.log_t as u32, "depth must be in [1, log t)");
+    assert!(
+        depth >= 1 && depth < params.log_t as u32,
+        "depth must be in [1, log t)"
+    );
     let buffer_bytes = (1u32 << depth) * params.n as u32;
     if buffer_bytes > RELAX_BUFFER_MAX_BYTES {
         return Err(TuneError::TreeTooLarge {
@@ -191,7 +204,10 @@ fn search(
     let k = params.k as u32;
 
     if t_min > t_max {
-        return Err(TuneError::TreeTooLarge { needed: t_min, max: t_max });
+        return Err(TuneError::TreeTooLarge {
+            needed: t_min,
+            max: t_max,
+        });
     }
 
     // Shared memory one tree occupies: full tree normally; only the
@@ -255,17 +271,28 @@ fn search(
                     .partial_cmp(&a.thread_utilization)
                     .expect("finite U_T"),
             )
-            .then(b.smem_utilization.partial_cmp(&a.smem_utilization).expect("finite U_S"))
+            .then(
+                b.smem_utilization
+                    .partial_cmp(&a.smem_utilization)
+                    .expect("finite U_S"),
+            )
     });
 
-    Ok(TuningResult { best: candidates[0], candidates })
+    Ok(TuningResult {
+        best: candidates[0],
+        candidates,
+    })
 }
 
 /// Convenience: run [`tune`], falling back to [`tune_relax`] when a tree
 /// exceeds block capacity or the standard search finds nothing useful —
 /// the paper applies Relax-FORS to 256f where plain fusion degenerates
 /// (`F = 1`, two trees, excessive synchronization).
-pub fn tune_auto(device: &DeviceProps, params: &Params, opts: &TuningOptions) -> Result<TuningResult, TuneError> {
+pub fn tune_auto(
+    device: &DeviceProps,
+    params: &Params,
+    opts: &TuningOptions,
+) -> Result<TuningResult, TuneError> {
     match tune(device, params, opts) {
         Ok(result) => {
             // Degenerate plain fusion (≤2 concurrent trees) → prefer relax
@@ -294,6 +321,127 @@ pub fn tune_auto(device: &DeviceProps, params: &Params, opts: &TuningOptions) ->
     }
 }
 
+/// Cache key for one `(device, params, options)` search. Devices have no
+/// `Hash` impl (they carry floats), so the full `Debug` rendering —
+/// which covers every field, including mutations test rigs make to
+/// catalog devices — stands in as the fingerprint.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TuneCacheKey {
+    device: String,
+    params: Params,
+    alpha_bits: u64,
+    smem_policy: SmemPolicy,
+    exclude_full_saturation: bool,
+}
+
+impl TuneCacheKey {
+    fn new(device: &DeviceProps, params: &Params, opts: &TuningOptions) -> Self {
+        Self {
+            device: format!("{device:?}"),
+            params: *params,
+            alpha_bits: opts.alpha.to_bits(),
+            smem_policy: opts.smem_policy,
+            exclude_full_saturation: opts.exclude_full_saturation,
+        }
+    }
+}
+
+/// One cache slot: filled exactly once, by whichever thread gets there
+/// first; other threads asking for the same key block only on that
+/// slot, never on the map.
+type TuneCacheCell = Arc<OnceLock<Result<TuningResult, TuneError>>>;
+
+struct TuneCache {
+    map: HashMap<TuneCacheKey, TuneCacheCell>,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache() -> &'static Mutex<TuneCache> {
+    static CACHE: OnceLock<Mutex<TuneCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(TuneCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// A snapshot of the process-wide tuning-cache counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuningCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full Algorithm 1 search.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Returns the current process-wide tuning-cache counters.
+pub fn tuning_cache_stats() -> TuningCacheStats {
+    let c = cache().lock().expect("tuning cache poisoned");
+    TuningCacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        entries: c.map.len(),
+    }
+}
+
+/// Empties the process-wide tuning cache (counters are preserved).
+/// Intended for tests and long-lived services that hot-swap device
+/// catalogs.
+pub fn clear_tuning_cache() {
+    cache().lock().expect("tuning cache poisoned").map.clear();
+}
+
+/// [`tune_auto`] behind a process-wide memoization cache keyed on
+/// `(device, params, options)`.
+///
+/// The offline search is by far the most expensive part of engine
+/// construction; services and CLIs that build one engine per request
+/// would otherwise re-run it every time. The first call for a key runs
+/// the search (a *miss*), every later call clones the stored result (a
+/// *hit*) — including stored failures, which are deterministic for a
+/// given key.
+///
+/// # Errors
+///
+/// Same as [`tune_auto`].
+pub fn tune_auto_cached(
+    device: &DeviceProps,
+    params: &Params,
+    opts: &TuningOptions,
+) -> Result<TuningResult, TuneError> {
+    let key = TuneCacheKey::new(device, params, opts);
+    // Take the map lock only long enough to fetch (or create) the key's
+    // slot; the search itself runs outside it, so concurrent
+    // constructions of *different* engines proceed in parallel while
+    // concurrent constructions of the *same* engine still dedupe on the
+    // slot's one-time initialization.
+    let cell: TuneCacheCell = {
+        let mut c = cache().lock().expect("tuning cache poisoned");
+        c.map.entry(key).or_default().clone()
+    };
+    let mut searched = false;
+    let result = cell
+        .get_or_init(|| {
+            searched = true;
+            tune_auto(device, params, opts)
+        })
+        .clone();
+    {
+        let mut c = cache().lock().expect("tuning cache poisoned");
+        if searched {
+            c.misses += 1;
+        } else {
+            c.hits += 1;
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,9 +450,18 @@ mod tests {
     #[test]
     fn table_iv_128f() {
         // Table IV: SPHINCS+-128f on RTX 4090 → U_S = U_T = 0.6875, F = 3.
-        let r = tune(&rtx_4090(), &Params::sphincs_128f(), &TuningOptions::default()).unwrap();
+        let r = tune(
+            &rtx_4090(),
+            &Params::sphincs_128f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.best.fused_sets, 3);
-        assert!((r.best.thread_utilization - 0.6875).abs() < 1e-9, "{:?}", r.best);
+        assert!(
+            (r.best.thread_utilization - 0.6875).abs() < 1e-9,
+            "{:?}",
+            r.best
+        );
         assert!((r.best.smem_utilization - 0.6875).abs() < 1e-9);
         assert_eq!(r.best.threads_per_set, 704); // 11 trees × 64 threads
         assert_eq!(r.best.trees_per_set, 11);
@@ -313,9 +470,18 @@ mod tests {
     #[test]
     fn table_iv_192f() {
         // Table IV: SPHINCS+-192f on RTX 4090 → U_S = U_T = 0.75, F = 2.
-        let r = tune(&rtx_4090(), &Params::sphincs_192f(), &TuningOptions::default()).unwrap();
+        let r = tune(
+            &rtx_4090(),
+            &Params::sphincs_192f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.best.fused_sets, 2);
-        assert!((r.best.thread_utilization - 0.75).abs() < 1e-9, "{:?}", r.best);
+        assert!(
+            (r.best.thread_utilization - 0.75).abs() < 1e-9,
+            "{:?}",
+            r.best
+        );
         assert!((r.best.smem_utilization - 0.75).abs() < 1e-9);
         assert_eq!(r.best.trees_per_set, 3); // 3 trees × 256 threads
     }
@@ -324,14 +490,29 @@ mod tests {
     fn plain_256f_is_degenerate() {
         // 256f: t=512 leaves × 32 B = 16 KB/tree; at most 2 trees in
         // static 48 KB with 512 threads each (§III-B4).
-        let r = tune(&rtx_4090(), &Params::sphincs_256f(), &TuningOptions::default()).unwrap();
+        let r = tune(
+            &rtx_4090(),
+            &Params::sphincs_256f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         assert!(r.best.concurrent_trees() <= 2, "{:?}", r.best);
     }
 
     #[test]
     fn relax_256f_fuses_more_trees() {
-        let plain = tune(&rtx_4090(), &Params::sphincs_256f(), &TuningOptions::default()).unwrap();
-        let relax = tune_relax(&rtx_4090(), &Params::sphincs_256f(), &TuningOptions::default()).unwrap();
+        let plain = tune(
+            &rtx_4090(),
+            &Params::sphincs_256f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
+        let relax = tune_relax(
+            &rtx_4090(),
+            &Params::sphincs_256f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         assert!(relax.best.concurrent_trees() > plain.best.concurrent_trees());
         // Relax halves both thread and smem demand per tree: 256 threads,
         // 8 KB per tree.
@@ -350,7 +531,12 @@ mod tests {
 
     #[test]
     fn candidates_sorted_by_priority() {
-        let r = tune(&rtx_4090(), &Params::sphincs_128f(), &TuningOptions::default()).unwrap();
+        let r = tune(
+            &rtx_4090(),
+            &Params::sphincs_128f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         for pair in r.candidates.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
             assert!(
@@ -382,7 +568,10 @@ mod tests {
         // Fig. 14: bigger shared memory (e.g. Hopper's 227 KB dynamic)
         // admits deeper fusion than the static 48 KB limit.
         let opts_static = TuningOptions::default();
-        let opts_dyn = TuningOptions { smem_policy: SmemPolicy::DynamicMax, ..opts_static };
+        let opts_dyn = TuningOptions {
+            smem_policy: SmemPolicy::DynamicMax,
+            ..opts_static
+        };
         let h = h100();
         let p = Params::sphincs_192f();
         let s = tune(&h, &p, &opts_static).unwrap();
@@ -402,7 +591,10 @@ mod tests {
 
     #[test]
     fn alpha_filters_low_utilization() {
-        let strict = TuningOptions { alpha: 0.9, ..TuningOptions::default() };
+        let strict = TuningOptions {
+            alpha: 0.9,
+            ..TuningOptions::default()
+        };
         match tune(&rtx_4090(), &Params::sphincs_128f(), &strict) {
             Ok(r) => assert!(r.candidates.iter().all(|c| c.thread_utilization >= 0.9)),
             Err(TuneError::NoCandidate) => {} // also acceptable
@@ -413,7 +605,12 @@ mod tests {
     #[test]
     fn sync_points_formula() {
         // 128f winner: log t=6, ceil(33/11)=3, F=3 → 6 sync points.
-        let r = tune(&rtx_4090(), &Params::sphincs_128f(), &TuningOptions::default()).unwrap();
+        let r = tune(
+            &rtx_4090(),
+            &Params::sphincs_128f(),
+            &TuningOptions::default(),
+        )
+        .unwrap();
         assert!((r.best.sync_points - 6.0).abs() < 1e-9);
     }
 
@@ -429,9 +626,17 @@ mod tests {
             (Params::sphincs_192s(), 4), // t=16384 → t/16 = 1024
             (Params::sphincs_256s(), 4),
         ] {
-            assert!(matches!(tune(&d, &p, &opts), Err(TuneError::TreeTooLarge { .. })));
+            assert!(matches!(
+                tune(&d, &p, &opts),
+                Err(TuneError::TreeTooLarge { .. })
+            ));
             let r = tune_auto(&d, &p, &opts).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
-            assert!(r.best.relax_depth >= min_depth, "{}: {:?}", p.name(), r.best);
+            assert!(
+                r.best.relax_depth >= min_depth,
+                "{}: {:?}",
+                p.name(),
+                r.best
+            );
             assert!(r.best.block_threads() <= 1024);
             // Register buffer respects the R_t threshold.
             assert!((1u32 << r.best.relax_depth) * p.n as u32 <= RELAX_BUFFER_MAX_BYTES);

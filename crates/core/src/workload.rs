@@ -52,8 +52,8 @@ pub fn fors_sign_compressions(params: &Params) -> u64 {
 /// (`2^h'` WOTS+ leaves + `2^h' - 1` node-H).
 pub fn tree_sign_compressions(params: &Params) -> u64 {
     let leaves = params.subtree_leaves() as u64;
-    let per_tree = leaves * wots_gen_leaf_compressions(params)
-        + (leaves - 1) * h_compressions(params);
+    let per_tree =
+        leaves * wots_gen_leaf_compressions(params) + (leaves - 1) * h_compressions(params);
     params.d as u64 * per_tree
 }
 
@@ -72,7 +72,9 @@ pub fn wots_sign_expected_compressions(params: &Params) -> u64 {
 /// Grand total expected compressions for one full signature (the paper's
 /// intro: "more than 100,000 hash computations").
 pub fn total_sign_compressions(params: &Params) -> u64 {
-    fors_sign_compressions(params) + tree_sign_compressions(params) + wots_sign_expected_compressions(params)
+    fors_sign_compressions(params)
+        + tree_sign_compressions(params)
+        + wots_sign_expected_compressions(params)
 }
 
 /// Per-thread serial compressions in `TREE_Sign` (one thread builds one

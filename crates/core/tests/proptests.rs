@@ -94,7 +94,7 @@ proptest! {
     #[test]
     fn descriptors_always_resident_and_finite(p in arb_params(), messages in 1u32..2048) {
         let device = rtx_4090();
-        let engine = HeroSigner::hero(device.clone(), p);
+        let engine = HeroSigner::hero(device.clone(), p).unwrap();
         for desc in engine.kernel_descs(messages) {
             let occ = hero_gpu_sim::occupancy::occupancy(&device, &desc.block);
             prop_assert!(occ.blocks_per_sm >= 1, "{:?}", desc.block);
@@ -106,8 +106,8 @@ proptest! {
     #[test]
     fn hero_beats_baseline_for_any_fors_shape(p in arb_params()) {
         let device = rtx_4090();
-        let base = HeroSigner::baseline(device.clone(), p).kernel_reports(256)[0].time_us;
-        let hero = HeroSigner::hero(device.clone(), p).kernel_reports(256)[0].time_us;
+        let base = HeroSigner::baseline(device.clone(), p).unwrap().kernel_reports(256)[0].time_us;
+        let hero = HeroSigner::hero(device.clone(), p).unwrap().kernel_reports(256)[0].time_us;
         prop_assert!(hero <= base * 1.05, "hero {hero} vs base {base} for {p:?}");
     }
 
@@ -119,7 +119,7 @@ proptest! {
         let times: Vec<f64> = ladder
             .iter()
             .map(|(_, cfg)| {
-                HeroSigner::new(device.clone(), p, *cfg).kernel_reports(msgs)[0].time_us
+                HeroSigner::builder(device.clone(), p).config(*cfg).build().unwrap().kernel_reports(msgs)[0].time_us
             })
             .collect();
         let first = times[0];
@@ -133,7 +133,7 @@ proptest! {
     #[test]
     fn kernel_config_padding_reduces_or_keeps_time(p in arb_params()) {
         let device = rtx_4090();
-        let engine = HeroSigner::hero(device.clone(), p);
+        let engine = HeroSigner::hero(device.clone(), p).unwrap();
         let layout = engine.fors_layout();
         let mut cfg = KernelConfig::hero(hero_gpu_sim::isa::Sha2Path::Ptx);
         cfg.padding = false;

@@ -1,0 +1,90 @@
+//! The process-wide tuning cache must amortize the Auto Tree Tuning
+//! search across engine constructions.
+//!
+//! Kept as its own integration-test binary: the cache counters are
+//! process-global, and this is the only test in the process, so the
+//! hit/miss deltas below are exact.
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::{tuning_cache_stats, HeroSigner, TuningOptions};
+use hero_sphincs::params::Params;
+
+#[test]
+fn constructing_the_same_engine_twice_runs_the_search_once() {
+    // A key no other construction in this process uses: a non-default α
+    // close enough to the paper's 0.6 to keep Table IV's winner.
+    let opts = TuningOptions {
+        alpha: 0.612_345,
+        ..TuningOptions::default()
+    };
+    let device = rtx_4090();
+    let params = Params::sphincs_128f();
+
+    let before = tuning_cache_stats();
+    let first = HeroSigner::builder(device.clone(), params)
+        .tuning_options(opts)
+        .build()
+        .unwrap();
+    let after_first = tuning_cache_stats();
+    assert_eq!(
+        after_first.misses - before.misses,
+        1,
+        "first build must run the search"
+    );
+    assert_eq!(after_first.hits, before.hits, "nothing to hit yet");
+
+    let second = HeroSigner::builder(device.clone(), params)
+        .tuning_options(opts)
+        .build()
+        .unwrap();
+    let after_second = tuning_cache_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second build must not search again"
+    );
+    assert_eq!(
+        after_second.hits - after_first.hits,
+        1,
+        "second build must hit the cache"
+    );
+
+    // Cached and fresh results are identical.
+    assert_eq!(first.tuning().unwrap().best, second.tuning().unwrap().best);
+
+    // A different key (another parameter set) is a genuine miss, not a
+    // false hit.
+    let other = HeroSigner::builder(device.clone(), Params::sphincs_192f())
+        .tuning_options(opts)
+        .build()
+        .unwrap();
+    let after_other = tuning_cache_stats();
+    assert_eq!(after_other.misses - after_second.misses, 1);
+    assert_ne!(
+        first.tuning().unwrap().best.trees_per_set,
+        other.tuning().unwrap().best.trees_per_set
+    );
+
+    // Devices participate in the key: mutating any resource field (as
+    // the cross-architecture rigs do) must not alias the cached entry.
+    let mut bigger = device.clone();
+    bigger.smem_static_per_block *= 2;
+    bigger.smem_per_sm *= 2;
+    let _ = HeroSigner::builder(bigger, params)
+        .tuning_options(opts)
+        .build()
+        .unwrap();
+    let after_device = tuning_cache_stats();
+    assert_eq!(after_device.misses - after_other.misses, 1);
+
+    // Opting out of the cache always searches.
+    let _ = HeroSigner::builder(device.clone(), params)
+        .tuning_options(opts)
+        .no_tuning_cache()
+        .build()
+        .unwrap();
+    let after_nocache = tuning_cache_stats();
+    assert_eq!(
+        after_nocache.hits, after_device.hits,
+        "no_tuning_cache must bypass lookups"
+    );
+}

@@ -46,15 +46,20 @@ impl PaddingScheme {
     ///
     /// Panics if `width` is zero or not a multiple of 4.
     pub fn for_width(width: usize) -> Self {
-        assert!(width > 0 && width % BANK_WIDTH == 0, "width must be a positive multiple of 4");
+        assert!(
+            width > 0 && width.is_multiple_of(BANK_WIDTH),
+            "width must be a positive multiple of 4"
+        );
         // Smallest R such that 128·R is a multiple of the access width:
         // then T_h = 128R/width threads fit exactly and the pad shifts the
         // next group by one bank.
         let mut r = 1;
-        while (TRANSACTION_BYTES * r) % width != 0 {
+        while !(TRANSACTION_BYTES * r).is_multiple_of(width) {
             r += 1;
         }
-        Self { region_bytes: Some(TRANSACTION_BYTES * r) }
+        Self {
+            region_bytes: Some(TRANSACTION_BYTES * r),
+        }
     }
 
     /// The `R` of Equation 3 (`None` if unpadded).
@@ -113,7 +118,10 @@ impl AccessStats {
 /// observation, phases coalesce across a `128·R`-byte region, i.e. a
 /// phase's conflict degree is evaluated over the whole warp at once.
 pub fn warp_access_conflicts(offsets: &[usize], width: usize) -> AccessStats {
-    assert!(width % BANK_WIDTH == 0, "width must be whole words");
+    assert!(
+        width.is_multiple_of(BANK_WIDTH),
+        "width must be whole words"
+    );
     let words_per_thread = width / BANK_WIDTH;
     let mut stats = AccessStats::default();
 
@@ -153,7 +161,12 @@ pub struct SharedMem {
 impl SharedMem {
     /// Creates a recorder for `node_bytes`-wide elements under `scheme`.
     pub fn new(scheme: PaddingScheme, node_bytes: usize) -> Self {
-        Self { scheme, node_bytes, load_stats: AccessStats::default(), store_stats: AccessStats::default() }
+        Self {
+            scheme,
+            node_bytes,
+            load_stats: AccessStats::default(),
+            store_stats: AccessStats::default(),
+        }
     }
 
     /// The padding scheme in force.
@@ -175,8 +188,10 @@ impl SharedMem {
     }
 
     fn access(&self, slots: &[usize]) -> AccessStats {
-        let offsets: Vec<usize> =
-            slots.iter().map(|&s| self.scheme.physical(s * self.node_bytes)).collect();
+        let offsets: Vec<usize> = slots
+            .iter()
+            .map(|&s| self.scheme.physical(s * self.node_bytes))
+            .collect();
         warp_access_conflicts(&offsets, self.node_bytes)
     }
 
@@ -263,7 +278,11 @@ mod tests {
     fn unpadded_32b_is_heavily_conflicted() {
         let offsets: Vec<usize> = (0..32).map(|i| i * 32).collect();
         let stats = warp_access_conflicts(&offsets, 32);
-        assert!(stats.conflicts >= 7 * 8, "expected ≥7-way conflicts, got {:?}", stats);
+        assert!(
+            stats.conflicts >= 7 * 8,
+            "expected ≥7-way conflicts, got {:?}",
+            stats
+        );
     }
 
     #[test]
@@ -274,7 +293,10 @@ mod tests {
         let offsets: Vec<usize> = (0..32).map(|i| p.physical(i * 24)).collect();
         let stats = warp_access_conflicts(&offsets, 24);
         let phases = stats.transactions;
-        assert!(stats.conflicts <= phases, "≤1 extra phase per phase: {stats:?}");
+        assert!(
+            stats.conflicts <= phases,
+            "≤1 extra phase per phase: {stats:?}"
+        );
         // And strictly better than unpadded.
         let raw: Vec<usize> = (0..32).map(|i| i * 24).collect();
         let unpadded = warp_access_conflicts(&raw, 24);
@@ -309,7 +331,10 @@ mod tests {
         sm.warp_store(&(0..32).collect::<Vec<_>>());
         assert!(sm.load_stats().transactions > 0);
         assert!(sm.store_stats().transactions > 0);
-        assert_eq!(sm.total_conflicts(), sm.load_stats().conflicts + sm.store_stats().conflicts);
+        assert_eq!(
+            sm.total_conflicts(),
+            sm.load_stats().conflicts + sm.store_stats().conflicts
+        );
     }
 
     #[test]

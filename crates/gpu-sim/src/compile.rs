@@ -94,7 +94,11 @@ pub fn kernel_compile_units(src: &KernelSource, strategy: BranchStrategy) -> f64
 
 /// Compilation time in seconds for a full build of `kernels`.
 pub fn build_seconds(kernels: &[KernelSource], strategy: BranchStrategy) -> f64 {
-    kernels.iter().map(|k| kernel_compile_units(k, strategy)).sum::<f64>() * UNIT_SECONDS
+    kernels
+        .iter()
+        .map(|k| kernel_compile_units(k, strategy))
+        .sum::<f64>()
+        * UNIT_SECONDS
 }
 
 #[cfg(test)]
@@ -103,9 +107,24 @@ mod tests {
 
     fn sample() -> Vec<KernelSource> {
         vec![
-            KernelSource { native_stmts: 5200, ptx_visible_stmts: 3400, ptx_opaque_stmts: 1400, selects_ptx: true },
-            KernelSource { native_stmts: 7400, ptx_visible_stmts: 4800, ptx_opaque_stmts: 1900, selects_ptx: false },
-            KernelSource { native_stmts: 3100, ptx_visible_stmts: 2100, ptx_opaque_stmts: 900, selects_ptx: false },
+            KernelSource {
+                native_stmts: 5200,
+                ptx_visible_stmts: 3400,
+                ptx_opaque_stmts: 1400,
+                selects_ptx: true,
+            },
+            KernelSource {
+                native_stmts: 7400,
+                ptx_visible_stmts: 4800,
+                ptx_opaque_stmts: 1900,
+                selects_ptx: false,
+            },
+            KernelSource {
+                native_stmts: 3100,
+                ptx_visible_stmts: 2100,
+                ptx_opaque_stmts: 900,
+                selects_ptx: false,
+            },
         ]
     }
 
@@ -114,7 +133,10 @@ mod tests {
         let ks = sample();
         let rt = build_seconds(&ks, BranchStrategy::RuntimeBranch);
         let ct = build_seconds(&ks, BranchStrategy::CompileTimeBranch);
-        assert!(ct < rt, "constexpr specialization must beat runtime branching");
+        assert!(
+            ct < rt,
+            "constexpr specialization must beat runtime branching"
+        );
     }
 
     #[test]
@@ -149,16 +171,32 @@ mod tests {
         let hero = build_seconds(&ks, BranchStrategy::CompileTimeBranch);
         let overhead = hero - native;
         assert!(overhead > 0.0);
-        assert!(overhead < native * 0.05, "template overhead must be small: {overhead}");
+        assert!(
+            overhead < native * 0.05,
+            "template overhead must be small: {overhead}"
+        );
     }
 
     #[test]
     fn opaque_statements_cheap() {
-        let a = KernelSource { native_stmts: 0, ptx_visible_stmts: 1000, ptx_opaque_stmts: 0, selects_ptx: true };
-        let b = KernelSource { native_stmts: 0, ptx_visible_stmts: 0, ptx_opaque_stmts: 1000, selects_ptx: true };
+        let a = KernelSource {
+            native_stmts: 0,
+            ptx_visible_stmts: 1000,
+            ptx_opaque_stmts: 0,
+            selects_ptx: true,
+        };
+        let b = KernelSource {
+            native_stmts: 0,
+            ptx_visible_stmts: 0,
+            ptx_opaque_stmts: 1000,
+            selects_ptx: true,
+        };
         let ca = kernel_compile_units(&a, BranchStrategy::CompileTimeBranch);
         let cb = kernel_compile_units(&b, BranchStrategy::CompileTimeBranch);
-        assert!(cb < ca, "asm-opaque code must compile faster than visible code");
+        assert!(
+            cb < ca,
+            "asm-opaque code must compile faster than visible code"
+        );
     }
 
     #[test]

@@ -119,7 +119,14 @@ pub enum SmemPolicy {
 /// Clock rates are the paper's; resource limits are the published CUDA
 /// occupancy-calculator values for each architecture.
 pub fn catalog() -> Vec<DeviceProps> {
-    vec![gtx_1070(), v100(), rtx_2080_ti(), a100(), rtx_4090(), h100()]
+    vec![
+        gtx_1070(),
+        v100(),
+        rtx_2080_ti(),
+        a100(),
+        rtx_4090(),
+        h100(),
+    ]
 }
 
 /// GTX 1070 (Pascal, SM 6.1).
@@ -274,7 +281,9 @@ pub fn h100() -> DeviceProps {
 
 /// Looks a device up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<DeviceProps> {
-    catalog().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    catalog()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -285,8 +294,10 @@ mod tests {
     fn catalog_matches_table_vii() {
         let devices = catalog();
         assert_eq!(devices.len(), 6);
-        let clocks: Vec<(String, u32)> =
-            devices.iter().map(|d| (d.name.to_string(), d.base_clock_mhz)).collect();
+        let clocks: Vec<(String, u32)> = devices
+            .iter()
+            .map(|d| (d.name.to_string(), d.base_clock_mhz))
+            .collect();
         assert!(clocks.contains(&("GTX 1070".into(), 1506)));
         assert!(clocks.contains(&("V100".into(), 1230)));
         assert!(clocks.contains(&("RTX 2080 Ti".into(), 1350)));

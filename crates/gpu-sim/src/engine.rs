@@ -149,8 +149,7 @@ pub fn simulate_kernel(device: &DeviceProps, desc: &KernelDesc) -> KernelReport 
     // Barrier component: serial per block, paid once per wave of blocks.
     let resident_blocks = (device.sm_count * occ.blocks_per_sm.max(1)) as f64;
     let waves = (desc.grid_blocks as f64 / resident_blocks).ceil().max(1.0);
-    let sync_us =
-        desc.syncs_per_block as f64 * calib::BARRIER_CYCLES * waves / clock_hz * 1.0e6;
+    let sync_us = desc.syncs_per_block as f64 * calib::BARRIER_CYCLES * waves / clock_hz * 1.0e6;
 
     // Block-serial critical path: dependent phases inside a block execute
     // at single-chain speed (issue cycles stretched by the dependence
@@ -165,10 +164,9 @@ pub fn simulate_kernel(device: &DeviceProps, desc: &KernelDesc) -> KernelReport 
     let peak_issue = device.total_cores() as f64 * clock_hz;
     let compute_throughput_pct =
         (issue_cycles / (time_us * 1.0e-6 * peak_issue) * 100.0).min(100.0);
-    let memory_throughput_pct = (desc.gmem_bytes as f64
-        / (time_us * 1.0e-6 * device.mem_bandwidth_gb_s * 1.0e9)
-        * 100.0)
-        .min(100.0);
+    let memory_throughput_pct =
+        (desc.gmem_bytes as f64 / (time_us * 1.0e-6 * device.mem_bandwidth_gb_s * 1.0e9) * 100.0)
+            .min(100.0);
 
     KernelReport {
         name: desc.name.clone(),
@@ -195,7 +193,11 @@ mod tests {
     use crate::occupancy::BlockResources;
 
     fn hash_kernel(regs: u32, active: f64, compressions: u64, path: Sha2Path) -> KernelDesc {
-        let block = BlockResources { threads: 1024, regs_per_thread: regs, smem_bytes: 16 * 1024 };
+        let block = BlockResources {
+            threads: 1024,
+            regs_per_thread: regs,
+            smem_bytes: 16 * 1024,
+        };
         let mut desc = KernelDesc::empty("test", 1024, block);
         desc.active_thread_fraction = active;
         desc.instr_total = path.compression_mix().scaled(compressions);
@@ -223,8 +225,16 @@ mod tests {
     fn register_pressure_hurts_via_occupancy() {
         let d = rtx_4090();
         // 64 → 128 regs halves resident warps for 512-thread blocks.
-        let block_lo = BlockResources { threads: 512, regs_per_thread: 64, smem_bytes: 0 };
-        let block_hi = BlockResources { threads: 512, regs_per_thread: 128, smem_bytes: 0 };
+        let block_lo = BlockResources {
+            threads: 512,
+            regs_per_thread: 64,
+            smem_bytes: 0,
+        };
+        let block_hi = BlockResources {
+            threads: 512,
+            regs_per_thread: 128,
+            smem_bytes: 0,
+        };
         let mut lo = KernelDesc::empty("lo", 512, block_lo);
         let mut hi = KernelDesc::empty("hi", 512, block_hi);
         lo.instr_total = Sha2Path::Native.compression_mix().scaled(500_000);
@@ -300,11 +310,16 @@ mod tests {
         // decade.
         let d = rtx_4090();
         let compressions = 6_304u64 * 1024;
-        let block = BlockResources { threads: 1024, regs_per_thread: 64, smem_bytes: 34 * 1024 };
+        let block = BlockResources {
+            threads: 1024,
+            regs_per_thread: 64,
+            smem_bytes: 34 * 1024,
+        };
         let mut desc = KernelDesc::empty("FORS_Sign", 1024, block);
         desc.active_thread_fraction = 0.6875;
         desc.instr_total = Sha2Path::Ptx.compression_mix().scaled(compressions);
-        desc.instr_total.add_count(InstrClass::Lds, 2 * compressions);
+        desc.instr_total
+            .add_count(InstrClass::Lds, 2 * compressions);
         desc.syncs_per_block = 6;
         desc.ro_placement = RoDataPlacement::Constant;
         let report = simulate_kernel(&d, &desc);
@@ -324,7 +339,11 @@ mod tests {
     #[test]
     fn empty_mix_is_fast_not_nan() {
         let d = rtx_4090();
-        let block = BlockResources { threads: 32, regs_per_thread: 16, smem_bytes: 0 };
+        let block = BlockResources {
+            threads: 32,
+            regs_per_thread: 16,
+            smem_bytes: 0,
+        };
         let r = simulate_kernel(&d, &KernelDesc::empty("noop", 1, block));
         assert!(r.time_us.is_finite());
         assert!(r.time_us >= 0.0);

@@ -95,7 +95,9 @@ pub struct InstrMix {
 impl InstrMix {
     /// Empty mix.
     pub const fn new() -> Self {
-        Self { counts: [0; NUM_CLASSES] }
+        Self {
+            counts: [0; NUM_CLASSES],
+        }
     }
 
     /// Adds `count` instructions of `class`.
@@ -225,14 +227,18 @@ mod tests {
 
     #[test]
     fn issue_cycles_weighted() {
-        let mix = InstrMix::new().with(InstrClass::Prmt, 4).with(InstrClass::Alu, 4);
+        let mix = InstrMix::new()
+            .with(InstrClass::Prmt, 4)
+            .with(InstrClass::Alu, 4);
         assert!((mix.issue_cycles() - (4.0 * 2.0 + 4.0)).abs() < 1e-12);
     }
 
     #[test]
     fn add_and_scale() {
         let a = InstrMix::new().with(InstrClass::Lds, 3);
-        let b = InstrMix::new().with(InstrClass::Lds, 2).with(InstrClass::Sts, 1);
+        let b = InstrMix::new()
+            .with(InstrClass::Lds, 2)
+            .with(InstrClass::Sts, 1);
         let sum = a + b;
         assert_eq!(sum.count(InstrClass::Lds), 5);
         assert_eq!(sum.scaled(10).count(InstrClass::Sts), 10);

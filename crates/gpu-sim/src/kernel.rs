@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn empty_then_fill() {
-        let block = BlockResources { threads: 256, regs_per_thread: 64, smem_bytes: 1024 };
+        let block = BlockResources {
+            threads: 256,
+            regs_per_thread: 64,
+            smem_bytes: 1024,
+        };
         let mut desc = KernelDesc::empty("FORS_Sign", 33, block);
         desc.instr_total.add_count(InstrClass::Alu, 1000);
         desc.active_thread_fraction = 0.5;

@@ -56,7 +56,12 @@ pub fn occupancy(device: &DeviceProps, block: &BlockResources) -> Occupancy {
         || block.regs_per_thread > device.max_registers_per_thread
         || block.smem_bytes > device.smem_dynamic_max_per_block
     {
-        return Occupancy { blocks_per_sm: 0, warps_per_sm: 0, ratio: 0.0, limiter: Limiter::Invalid };
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            ratio: 0.0,
+            limiter: Limiter::Invalid,
+        };
     }
 
     let warps_per_block = block.threads.div_ceil(32);
@@ -65,19 +70,27 @@ pub fn occupancy(device: &DeviceProps, block: &BlockResources) -> Occupancy {
     let block_limit = device.max_blocks_per_sm;
     let reg_per_block = block.regs_per_thread.max(1) * block.threads;
     let reg_limit = device.registers_per_sm / reg_per_block;
-    let smem_limit = if block.smem_bytes == 0 {
-        u32::MAX
-    } else {
-        device.smem_per_sm / block.smem_bytes
-    };
+    let smem_limit = device
+        .smem_per_sm
+        .checked_div(block.smem_bytes)
+        .unwrap_or(u32::MAX);
 
     let blocks = warp_limit.min(block_limit).min(reg_limit).min(smem_limit);
     if blocks == 0 {
         // One block may still run alone if it fits the absolute caps; the
         // CUDA runtime requires at least launchability, which we checked
         // above for smem; registers may still forbid residency.
-        let limiter = if reg_limit == 0 { Limiter::Registers } else { Limiter::SharedMemory };
-        return Occupancy { blocks_per_sm: 0, warps_per_sm: 0, ratio: 0.0, limiter };
+        let limiter = if reg_limit == 0 {
+            Limiter::Registers
+        } else {
+            Limiter::SharedMemory
+        };
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            ratio: 0.0,
+            limiter,
+        };
     }
 
     let limiter = if blocks == reg_limit && reg_limit < warp_limit.min(block_limit) {
@@ -90,7 +103,12 @@ pub fn occupancy(device: &DeviceProps, block: &BlockResources) -> Occupancy {
 
     let warps = blocks * warps_per_block;
     let ratio = warps as f64 / device.max_warps_per_sm as f64;
-    Occupancy { blocks_per_sm: blocks, warps_per_sm: warps, ratio, limiter }
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        ratio,
+        limiter,
+    }
 }
 
 /// The paper's closed-form *theoretical occupancy* (Equation 1):
@@ -113,7 +131,14 @@ mod tests {
     #[test]
     fn full_occupancy_small_kernel() {
         let d = rtx_4090();
-        let occ = occupancy(&d, &BlockResources { threads: 256, regs_per_thread: 32, smem_bytes: 0 });
+        let occ = occupancy(
+            &d,
+            &BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                smem_bytes: 0,
+            },
+        );
         // 48 warps max; 256 threads = 8 warps/block; warp-limit 6 blocks,
         // regs: 65536/(32*256)=8 blocks → warp-bound, full occupancy.
         assert_eq!(occ.warps_per_sm, 48);
@@ -127,7 +152,14 @@ mod tests {
         // 128 regs × 512 threads = 65536 → exactly 1 resident block where
         // warp slots would allow 3 → register-bound (TREE_Sign's regime,
         // Table III).
-        let occ = occupancy(&d, &BlockResources { threads: 512, regs_per_thread: 128, smem_bytes: 0 });
+        let occ = occupancy(
+            &d,
+            &BlockResources {
+                threads: 512,
+                regs_per_thread: 128,
+                smem_bytes: 0,
+            },
+        );
         assert_eq!(occ.blocks_per_sm, 1);
         assert!((occ.ratio - 16.0 / 48.0).abs() < 1e-9);
         assert_eq!(occ.limiter, Limiter::Registers);
@@ -136,7 +168,14 @@ mod tests {
     #[test]
     fn smem_bound_kernel() {
         let d = rtx_4090();
-        let occ = occupancy(&d, &BlockResources { threads: 128, regs_per_thread: 32, smem_bytes: 40 * 1024 });
+        let occ = occupancy(
+            &d,
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 32,
+                smem_bytes: 40 * 1024,
+            },
+        );
         // smem: 100K/40K = 2 blocks; warp limit would be 12.
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.limiter, Limiter::SharedMemory);
@@ -149,15 +188,27 @@ mod tests {
         // registers per thread (64 < 72 < 128). The closed form must
         // reproduce the FORS figure exactly and the ordering overall.
         let d = rtx_4090();
-        let fors = BlockResources { threads: 1024, regs_per_thread: 64, smem_bytes: 0 };
+        let fors = BlockResources {
+            threads: 1024,
+            regs_per_thread: 64,
+            smem_bytes: 0,
+        };
         let t_fors = theoretical_occupancy(&d, &fors);
         assert!((t_fors - 2.0 / 3.0).abs() < 1e-3, "got {t_fors}");
 
-        let tree = BlockResources { threads: 384, regs_per_thread: 128, smem_bytes: 0 };
+        let tree = BlockResources {
+            threads: 384,
+            regs_per_thread: 128,
+            smem_bytes: 0,
+        };
         let t_tree = theoretical_occupancy(&d, &tree);
         assert!((t_tree - 0.25).abs() < 1e-6, "got {t_tree}");
 
-        let wots = BlockResources { threads: 448, regs_per_thread: 72, smem_bytes: 0 };
+        let wots = BlockResources {
+            threads: 448,
+            regs_per_thread: 72,
+            smem_bytes: 0,
+        };
         let t_wots = theoretical_occupancy(&d, &wots);
         assert!(t_wots > t_tree && t_wots < t_fors, "got {t_wots}");
     }
@@ -166,15 +217,39 @@ mod tests {
     fn invalid_configs_rejected() {
         let d = rtx_4090();
         assert_eq!(
-            occupancy(&d, &BlockResources { threads: 2048, regs_per_thread: 32, smem_bytes: 0 }).limiter,
+            occupancy(
+                &d,
+                &BlockResources {
+                    threads: 2048,
+                    regs_per_thread: 32,
+                    smem_bytes: 0
+                }
+            )
+            .limiter,
             Limiter::Invalid
         );
         assert_eq!(
-            occupancy(&d, &BlockResources { threads: 0, regs_per_thread: 32, smem_bytes: 0 }).limiter,
+            occupancy(
+                &d,
+                &BlockResources {
+                    threads: 0,
+                    regs_per_thread: 32,
+                    smem_bytes: 0
+                }
+            )
+            .limiter,
             Limiter::Invalid
         );
         assert_eq!(
-            occupancy(&d, &BlockResources { threads: 64, regs_per_thread: 32, smem_bytes: 256 * 1024 }).limiter,
+            occupancy(
+                &d,
+                &BlockResources {
+                    threads: 64,
+                    regs_per_thread: 32,
+                    smem_bytes: 256 * 1024
+                }
+            )
+            .limiter,
             Limiter::Invalid
         );
     }
@@ -184,7 +259,14 @@ mod tests {
         let d = rtx_4090();
         let mut last = f64::INFINITY;
         for regs in [32u32, 48, 64, 96, 128, 168] {
-            let occ = occupancy(&d, &BlockResources { threads: 512, regs_per_thread: regs, smem_bytes: 0 });
+            let occ = occupancy(
+                &d,
+                &BlockResources {
+                    threads: 512,
+                    regs_per_thread: regs,
+                    smem_bytes: 0,
+                },
+            );
             assert!(occ.ratio <= last + 1e-12, "regs={regs}");
             last = occ.ratio;
         }
@@ -198,8 +280,22 @@ mod tests {
         // 168: floor(65536/43008)=1 block → 8 warps/48 = 16.7%;
         // 95: floor(65536/24320)=2 blocks → 16 warps/48 = 33.3% (2.0×).
         let d = rtx_4090();
-        let native = occupancy(&d, &BlockResources { threads: 256, regs_per_thread: 168, smem_bytes: 0 });
-        let ptx = occupancy(&d, &BlockResources { threads: 256, regs_per_thread: 95, smem_bytes: 0 });
+        let native = occupancy(
+            &d,
+            &BlockResources {
+                threads: 256,
+                regs_per_thread: 168,
+                smem_bytes: 0,
+            },
+        );
+        let ptx = occupancy(
+            &d,
+            &BlockResources {
+                threads: 256,
+                regs_per_thread: 95,
+                smem_bytes: 0,
+            },
+        );
         let gain = ptx.ratio / native.ratio;
         assert!(gain > 1.8 && gain < 2.2, "gain={gain}");
     }

@@ -53,7 +53,12 @@ impl Profiler {
             None => {
                 self.entries.insert(
                     name,
-                    ProfiledKernel { report, smem_loads: loads, smem_stores: stores, invocations: 1 },
+                    ProfiledKernel {
+                        report,
+                        smem_loads: loads,
+                        smem_stores: stores,
+                        invocations: 1,
+                    },
                 );
             }
         }
@@ -108,7 +113,11 @@ mod tests {
     use crate::occupancy::BlockResources;
 
     fn report(name: &str) -> KernelReport {
-        let block = BlockResources { threads: 256, regs_per_thread: 32, smem_bytes: 0 };
+        let block = BlockResources {
+            threads: 256,
+            regs_per_thread: 32,
+            smem_bytes: 0,
+        };
         let mut desc = KernelDesc::empty(name, 16, block);
         desc.instr_total = crate::isa::Sha2Path::Native.compression_mix().scaled(1000);
         simulate_kernel(&rtx_4090(), &desc)
@@ -117,8 +126,14 @@ mod tests {
     #[test]
     fn records_and_aggregates() {
         let mut p = Profiler::new();
-        let loads = AccessStats { transactions: 10, conflicts: 3 };
-        let stores = AccessStats { transactions: 5, conflicts: 1 };
+        let loads = AccessStats {
+            transactions: 10,
+            conflicts: 3,
+        };
+        let stores = AccessStats {
+            transactions: 5,
+            conflicts: 1,
+        };
         p.record(report("FORS_Sign"), loads, stores);
         p.record(report("FORS_Sign"), loads, stores);
         p.record(report("TREE_Sign"), loads, stores);

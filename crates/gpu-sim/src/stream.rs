@@ -97,7 +97,11 @@ impl Timeline {
             }
         }
 
-        let mut candidate = if usage + need <= cap { Some(ready) } else { None };
+        let mut candidate = if usage + need <= cap {
+            Some(ready)
+        } else {
+            None
+        };
         for &(t, delta) in self.events.iter().filter(|&&(t, _)| t > ready) {
             if let Some(c) = candidate {
                 if t >= c + dur {
@@ -112,7 +116,11 @@ impl Timeline {
             }
         }
         candidate.unwrap_or_else(|| {
-            self.events.last().map(|&(t, _)| t).unwrap_or(ready).max(ready)
+            self.events
+                .last()
+                .map(|&(t, _)| t)
+                .unwrap_or(ready)
+                .max(ready)
         })
     }
 
@@ -196,8 +204,11 @@ impl Timeline {
         if self.executed.is_empty() {
             return 0.0;
         }
-        let mut spans: Vec<(f64, f64)> =
-            self.executed.iter().map(|k| (k.start_us, k.end_us)).collect();
+        let mut spans: Vec<(f64, f64)> = self
+            .executed
+            .iter()
+            .map(|k| (k.start_us, k.end_us))
+            .collect();
         spans.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let mut idle = 0.0;
         let mut cover_end = spans[0].0;

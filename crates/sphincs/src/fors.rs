@@ -124,7 +124,10 @@ pub fn sign(ctx: &HashCtx, md: &[u8], sk_seed: &[u8], keypair_adrs: &Address) ->
         .map(|(tree_idx, &leaf_idx)| {
             let sk = sk_element(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
             let out = tree_hash(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
-            ForsTreeSig { sk, auth_path: out.auth_path }
+            ForsTreeSig {
+                sk,
+                auth_path: out.auth_path,
+            }
         })
         .collect();
     ForsSignature { trees }
@@ -205,7 +208,12 @@ mod tests {
     fn indices_extract_bits_msb_first() {
         let params = Params::sphincs_128f(); // log_t = 6
         let md = [0b1010_1011, 0b1100_0000];
-        let idx = message_to_indices(&params, &vec![md[0], md[1], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let idx = message_to_indices(
+            &params,
+            &vec![
+                md[0], md[1], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            ],
+        );
         assert_eq!(idx[0], 0b101010);
         assert_eq!(idx[1], 0b111100);
     }
@@ -237,7 +245,10 @@ mod tests {
         let md = digest_for(&params, 0xA7);
         let md2 = digest_for(&params, 0xA6);
         let sig = sign(&ctx, &md, &sk_seed, &adrs);
-        assert_ne!(pk_from_sig(&ctx, &sig, &md, &adrs), pk_from_sig(&ctx, &sig, &md2, &adrs));
+        assert_ne!(
+            pk_from_sig(&ctx, &sig, &md, &adrs),
+            pk_from_sig(&ctx, &sig, &md2, &adrs)
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl SeededHasher {
         let mut hasher = Sha256::new();
         hasher.update(&block);
         debug_assert_eq!(hasher.buffered_len(), 0);
-        Self { state: hasher.state() }
+        Self {
+            state: hasher.state(),
+        }
     }
 
     /// Starts a hash that has already absorbed the seed block.
@@ -255,7 +257,10 @@ pub fn split_digest(params: &Params, digest: &[u8]) -> (Vec<u8>, u64, u32) {
     let tree_len = tree_bits.div_ceil(8);
     let leaf_bits = params.tree_height();
     let leaf_len = leaf_bits.div_ceil(8);
-    assert!(digest.len() >= md_len + tree_len + leaf_len, "digest too short");
+    assert!(
+        digest.len() >= md_len + tree_len + leaf_len,
+        "digest too short"
+    );
 
     let md = digest[..md_len].to_vec();
 
@@ -396,10 +401,7 @@ mod tests {
             assert_eq!(f512.len(), p.n);
             assert_ne!(f256, f512, "{}", p.name());
             assert_ne!(c256.h(&a, &m, &m), c512.h(&a, &m, &m));
-            assert_ne!(
-                c256.prf_msg(&seed, &m, b"x"),
-                c512.prf_msg(&seed, &m, b"x")
-            );
+            assert_ne!(c256.prf_msg(&seed, &m, b"x"), c512.prf_msg(&seed, &m, b"x"));
             let d512 = c512.h_msg(&m, &seed, b"msg");
             assert_eq!(d512.len(), p.digest_bytes());
         }

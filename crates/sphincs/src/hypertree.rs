@@ -33,13 +33,7 @@ pub struct HtSignature {
 ///
 /// This is `wots_gen_leaf` in the reference code — the register-hungry
 /// routine Table III profiles.
-pub fn wots_leaf(
-    ctx: &HashCtx,
-    sk_seed: &[u8],
-    layer: u32,
-    tree: u64,
-    leaf_idx: u32,
-) -> Vec<u8> {
+pub fn wots_leaf(ctx: &HashCtx, sk_seed: &[u8], layer: u32, tree: u64, leaf_idx: u32) -> Vec<u8> {
     let mut adrs = Address::new();
     adrs.set_layer(layer);
     adrs.set_tree(tree);
@@ -76,7 +70,13 @@ pub fn xmss_sign(
         wots_leaf(ctx, sk_seed, layer, tree, i)
     });
 
-    (XmssSig { wots_sig, auth_path: out.auth_path }, out.root)
+    (
+        XmssSig {
+            wots_sig,
+            auth_path: out.auth_path,
+        },
+        out.root,
+    )
 }
 
 /// Recomputes the root of the XMSS tree at (`layer`, `tree`) from a

@@ -21,25 +21,36 @@
 //! * [`hypertree`] — the `d`-layer hypertree (`TREE_Sign`'s workload).
 //! * [`sign`] — keygen / sign / verify.
 //!
-//! ## Quick example
+//! ## Quickstart
+//!
+//! This crate is the *substrate*: validated parameters, keygen, the
+//! reference signer, and wire-format round-trips. Higher layers build on
+//! it — the `hero-sign` crate wraps this signer as the
+//! `ReferenceSigner` backend of its `Signer` trait, next to the
+//! GPU-modeled `HeroSigner` engine.
 //!
 //! ```
-//! use hero_sphincs::{params::Params, sign};
+//! use hero_sphincs::{params::Params, sign, Signature};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), hero_sphincs::sign::SignError> {
 //! // A reduced parameter set keeps doc tests fast; production use would
-//! // pick Params::sphincs_128f() etc.
+//! // pick Params::sphincs_128f() etc. Custom shapes must validate.
 //! let mut params = Params::sphincs_128f();
 //! params.h = 6;
 //! params.d = 3;
 //! params.log_t = 4;
 //! params.k = 8;
+//! params.validate().map_err(hero_sphincs::sign::SignError::InvalidParams)?;
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let (sk, vk) = sign::keygen(params, &mut rng)?;
 //! let sig = sk.sign(b"attack at dawn");
 //! vk.verify(b"attack at dawn", &sig)?;
+//!
+//! // Signatures round-trip through the fixed-size wire format.
+//! let parsed = Signature::from_bytes(&params, &sig.to_bytes(&params))?;
+//! assert_eq!(parsed, sig);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,6 +71,6 @@ pub mod wots;
 pub use hash::HashAlg;
 pub use params::Params;
 pub use sign::{
-    keygen, keygen_from_seeds, keygen_from_seeds_with_alg, keygen_with_alg, Signature,
-    SigningKey, VerifyingKey,
+    keygen, keygen_from_seeds, keygen_from_seeds_with_alg, keygen_with_alg, Signature, SigningKey,
+    VerifyingKey,
 };

@@ -62,7 +62,7 @@ where
     let num_leaves = 1usize << height;
     assert!((leaf_idx as usize) < num_leaves, "leaf index out of range");
     assert!(
-        leaf_offset as usize % num_leaves == 0,
+        (leaf_offset as usize).is_multiple_of(num_leaves),
         "leaf offset must be a multiple of the tree size"
     );
 
@@ -86,7 +86,10 @@ where
     }
 
     debug_assert_eq!(level.len(), 1);
-    TreeHashOutput { root: level.pop().expect("root"), auth_path }
+    TreeHashOutput {
+        root: level.pop().expect("root"),
+        auth_path,
+    }
 }
 
 /// Recomputes a Merkle root from a leaf and its authentication path
@@ -219,6 +222,9 @@ mod tests {
         let a = Address::new();
         let mut b = Address::new();
         b.set_tree(1);
-        assert_ne!(treehash(&ctx, 2, 0, &a, leaf).root, treehash(&ctx, 2, 0, &b, leaf).root);
+        assert_ne!(
+            treehash(&ctx, 2, 0, &a, leaf).root,
+            treehash(&ctx, 2, 0, &b, leaf).root
+        );
     }
 }

@@ -56,37 +56,89 @@ impl fmt::Display for Params {
 impl Params {
     /// SPHINCS+-128f: n=16, h=66, d=22, log t=6, k=33, w=16.
     pub const fn sphincs_128f() -> Self {
-        Self { name: "SPHINCS+-128f", n: 16, h: 66, d: 22, log_t: 6, k: 33, w: 16 }
+        Self {
+            name: "SPHINCS+-128f",
+            n: 16,
+            h: 66,
+            d: 22,
+            log_t: 6,
+            k: 33,
+            w: 16,
+        }
     }
 
     /// SPHINCS+-192f: n=24, h=66, d=22, log t=8, k=33, w=16.
     pub const fn sphincs_192f() -> Self {
-        Self { name: "SPHINCS+-192f", n: 24, h: 66, d: 22, log_t: 8, k: 33, w: 16 }
+        Self {
+            name: "SPHINCS+-192f",
+            n: 24,
+            h: 66,
+            d: 22,
+            log_t: 8,
+            k: 33,
+            w: 16,
+        }
     }
 
     /// SPHINCS+-256f: n=32, h=68, d=17, log t=9, k=35, w=16.
     pub const fn sphincs_256f() -> Self {
-        Self { name: "SPHINCS+-256f", n: 32, h: 68, d: 17, log_t: 9, k: 35, w: 16 }
+        Self {
+            name: "SPHINCS+-256f",
+            n: 32,
+            h: 68,
+            d: 17,
+            log_t: 9,
+            k: 35,
+            w: 16,
+        }
     }
 
     /// SPHINCS+-128s (extension; not evaluated in the paper).
     pub const fn sphincs_128s() -> Self {
-        Self { name: "SPHINCS+-128s", n: 16, h: 63, d: 7, log_t: 12, k: 14, w: 16 }
+        Self {
+            name: "SPHINCS+-128s",
+            n: 16,
+            h: 63,
+            d: 7,
+            log_t: 12,
+            k: 14,
+            w: 16,
+        }
     }
 
     /// SPHINCS+-192s (extension; not evaluated in the paper).
     pub const fn sphincs_192s() -> Self {
-        Self { name: "SPHINCS+-192s", n: 24, h: 63, d: 7, log_t: 14, k: 17, w: 16 }
+        Self {
+            name: "SPHINCS+-192s",
+            n: 24,
+            h: 63,
+            d: 7,
+            log_t: 14,
+            k: 17,
+            w: 16,
+        }
     }
 
     /// SPHINCS+-256s (extension; not evaluated in the paper).
     pub const fn sphincs_256s() -> Self {
-        Self { name: "SPHINCS+-256s", n: 32, h: 64, d: 8, log_t: 14, k: 22, w: 16 }
+        Self {
+            name: "SPHINCS+-256s",
+            n: 32,
+            h: 64,
+            d: 8,
+            log_t: 14,
+            k: 22,
+            w: 16,
+        }
     }
 
     /// The three `-f` sets evaluated throughout the paper.
     pub const fn fast_sets() -> [Self; 3] {
-        [Self::sphincs_128f(), Self::sphincs_192f(), Self::sphincs_256f()]
+        [
+            Self::sphincs_128f(),
+            Self::sphincs_192f(),
+            Self::sphincs_256f(),
+        ]
     }
 
     /// All built-in parameter sets.
@@ -206,7 +258,7 @@ impl Params {
         if !self.w.is_power_of_two() || self.w < 4 {
             return Err(format!("w={} must be a power of two >= 4", self.w));
         }
-        if self.d == 0 || self.h % self.d != 0 {
+        if self.d == 0 || !self.h.is_multiple_of(self.d) {
             return Err(format!("d={} must divide h={}", self.d, self.h));
         }
         if self.log_t == 0 || self.log_t > 16 {
@@ -229,11 +281,20 @@ mod tests {
     #[test]
     fn table_i_values() {
         let p128 = Params::sphincs_128f();
-        assert_eq!((p128.n, p128.h, p128.d, p128.log_t, p128.k, p128.w), (16, 66, 22, 6, 33, 16));
+        assert_eq!(
+            (p128.n, p128.h, p128.d, p128.log_t, p128.k, p128.w),
+            (16, 66, 22, 6, 33, 16)
+        );
         let p192 = Params::sphincs_192f();
-        assert_eq!((p192.n, p192.h, p192.d, p192.log_t, p192.k, p192.w), (24, 66, 22, 8, 33, 16));
+        assert_eq!(
+            (p192.n, p192.h, p192.d, p192.log_t, p192.k, p192.w),
+            (24, 66, 22, 8, 33, 16)
+        );
         let p256 = Params::sphincs_256f();
-        assert_eq!((p256.n, p256.h, p256.d, p256.log_t, p256.k, p256.w), (32, 68, 17, 9, 35, 16));
+        assert_eq!(
+            (p256.n, p256.h, p256.d, p256.log_t, p256.k, p256.w),
+            (32, 68, 17, 9, 35, 16)
+        );
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl Sha256 {
     /// Panics if `absorbed_bytes` is not a multiple of 64.
     pub fn from_state(state: [u32; 8], absorbed_bytes: u64) -> Self {
         assert!(
-            absorbed_bytes % BLOCK_LEN as u64 == 0,
+            absorbed_bytes.is_multiple_of(BLOCK_LEN as u64),
             "absorbed byte count must be block aligned"
         );
         Self {
@@ -376,7 +376,11 @@ mod tests {
             h2.update(&vec![0u8; len]);
             let mut h2c = h2.clone();
             let _ = h2c.finalize_count();
-            assert_eq!(h2c.compressions() as usize, compressions_for_len(len), "len={len}");
+            assert_eq!(
+                h2c.compressions() as usize,
+                compressions_for_len(len),
+                "len={len}"
+            );
             let _ = total;
         }
     }

@@ -47,7 +47,9 @@ pub struct SigningKey {
 impl fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print secret material.
-        f.debug_struct("SigningKey").field("params", &self.params).finish_non_exhaustive()
+        f.debug_struct("SigningKey")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
     }
 }
 
@@ -130,10 +132,17 @@ impl Signature {
         for _ in 0..params.d {
             let wots_sig = (0..params.wots_len()).map(|_| take(n)).collect();
             let auth_path = (0..params.tree_height()).map(|_| take(n)).collect();
-            layers.push(crate::hypertree::XmssSig { wots_sig, auth_path });
+            layers.push(crate::hypertree::XmssSig {
+                wots_sig,
+                auth_path,
+            });
         }
         debug_assert_eq!(pos, bytes.len());
-        Ok(Self { randomizer, fors: ForsSignature { trees }, ht: HtSignature { layers } })
+        Ok(Self {
+            randomizer,
+            fors: ForsSignature { trees },
+            ht: HtSignature { layers },
+        })
     }
 }
 
@@ -176,7 +185,9 @@ pub fn keygen_with_alg<R: RngCore>(
     rng.fill_bytes(&mut sk_seed);
     rng.fill_bytes(&mut sk_prf);
     rng.fill_bytes(&mut pk_seed);
-    Ok(keygen_from_seeds_with_alg(params, alg, sk_seed, sk_prf, pk_seed))
+    Ok(keygen_from_seeds_with_alg(
+        params, alg, sk_seed, sk_prf, pk_seed,
+    ))
 }
 
 /// Deterministic key generation from explicit seeds (each `n` bytes).
@@ -218,7 +229,12 @@ pub fn keygen_from_seeds_with_alg(
         pk_seed: pk_seed.clone(),
         pk_root: pk_root.clone(),
     };
-    let vk = VerifyingKey { params, alg, pk_seed, pk_root };
+    let vk = VerifyingKey {
+        params,
+        alg,
+        pk_seed,
+        pk_root,
+    };
     (sk, vk)
 }
 
@@ -281,7 +297,11 @@ impl SigningKey {
         let fors_sig = fors::sign(&ctx, &md, &self.sk_seed, &keypair_adrs);
         let fors_pk = fors::pk_from_sig(&ctx, &fors_sig, &md, &keypair_adrs);
         let ht_sig = hypertree::sign(&ctx, &fors_pk, &self.sk_seed, tree_idx, leaf_idx);
-        Signature { randomizer, fors: fors_sig, ht: ht_sig }
+        Signature {
+            randomizer,
+            fors: fors_sig,
+            ht: ht_sig,
+        }
     }
 
     /// Signs `msg` deterministically (opt_rand = pk_seed).
@@ -359,7 +379,9 @@ impl VerifyingKey {
             return Err(SignError::MalformedSignature("FORS tree count".into()));
         }
         if sig.ht.layers.len() != params.d {
-            return Err(SignError::MalformedSignature("hypertree layer count".into()));
+            return Err(SignError::MalformedSignature(
+                "hypertree layer count".into(),
+            ));
         }
         for tree in &sig.fors.trees {
             if tree.sk.len() != params.n || tree.auth_path.len() != params.log_t {
@@ -416,7 +438,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let (sk, vk) = keygen(tiny_params(), &mut rng).expect("keygen");
         let sig = sk.sign(b"hello post-quantum world");
-        vk.verify(b"hello post-quantum world", &sig).expect("verify");
+        vk.verify(b"hello post-quantum world", &sig)
+            .expect("verify");
     }
 
     #[test]
@@ -424,7 +447,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
         let sig = sk.sign(b"msg A");
-        assert_eq!(vk.verify(b"msg B", &sig), Err(SignError::VerificationFailed));
+        assert_eq!(
+            vk.verify(b"msg B", &sig),
+            Err(SignError::VerificationFailed)
+        );
     }
 
     #[test]
@@ -526,10 +552,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(53);
         let seeds = (vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]);
         let (sk256, vk256) = keygen_from_seeds_with_alg(
-            tiny_params(), HashAlg::Sha256, seeds.0.clone(), seeds.1.clone(), seeds.2.clone());
-        let (sk512, vk512) = keygen_from_seeds_with_alg(
-            tiny_params(), HashAlg::Sha512, seeds.0, seeds.1, seeds.2);
-        assert_ne!(vk256.pk_root(), vk512.pk_root(), "same seeds, different primitive");
+            tiny_params(),
+            HashAlg::Sha256,
+            seeds.0.clone(),
+            seeds.1.clone(),
+            seeds.2.clone(),
+        );
+        let (sk512, vk512) =
+            keygen_from_seeds_with_alg(tiny_params(), HashAlg::Sha512, seeds.0, seeds.1, seeds.2);
+        assert_ne!(
+            vk256.pk_root(),
+            vk512.pk_root(),
+            "same seeds, different primitive"
+        );
         let sig256 = sk256.sign(b"cross");
         let sig512 = sk512.sign(b"cross");
         assert!(vk512.verify(b"cross", &sig256).is_err());
@@ -542,7 +577,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(48);
         let mut p = tiny_params();
         p.d = 4; // 4 does not divide 6
-        assert!(matches!(keygen(p, &mut rng), Err(SignError::InvalidParams(_))));
+        assert!(matches!(
+            keygen(p, &mut rng),
+            Err(SignError::InvalidParams(_))
+        ));
     }
 
     #[test]

@@ -141,7 +141,13 @@ pub fn pk_from_sig(ctx: &HashCtx, sig: &[Vec<u8>], msg: &[u8], adrs: &Address) -
         .enumerate()
         .map(|(i, (node, &steps))| {
             hash_adrs.set_chain(i as u32);
-            chain(ctx, node, steps, params.w as u32 - 1 - steps, &mut hash_adrs)
+            chain(
+                ctx,
+                node,
+                steps,
+                params.w as u32 - 1 - steps,
+                &mut hash_adrs,
+            )
         })
         .collect();
     let mut pk_adrs = *adrs;
@@ -254,7 +260,10 @@ mod tests {
         let (_, ctx, sk_seed, adrs) = setup();
         let mut adrs2 = adrs;
         adrs2.set_keypair(3);
-        assert_ne!(pk_gen(&ctx, &sk_seed, &adrs), pk_gen(&ctx, &sk_seed, &adrs2));
+        assert_ne!(
+            pk_gen(&ctx, &sk_seed, &adrs),
+            pk_gen(&ctx, &sk_seed, &adrs2)
+        );
     }
 
     #[test]

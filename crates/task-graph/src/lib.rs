@@ -98,7 +98,10 @@ impl GraphBuilder {
     ///
     /// Panics if either handle is from a different builder (out of range).
     pub fn depends_on(&mut self, node: NodeId, dep: NodeId) {
-        assert!(node.0 < self.nodes.len() && dep.0 < self.nodes.len(), "foreign node handle");
+        assert!(
+            node.0 < self.nodes.len() && dep.0 < self.nodes.len(),
+            "foreign node handle"
+        );
         self.nodes[node.0].deps.push(dep);
     }
 
@@ -255,8 +258,16 @@ mod tests {
         let end = exe.launch(&mut tl, 0);
         // WOTS starts only after the longer of FORS/TREE.
         assert!(end >= 140.0);
-        let wots = tl.executed().iter().find(|k| k.name == "WOTS+_Sign").unwrap();
-        let tree = tl.executed().iter().find(|k| k.name == "TREE_Sign").unwrap();
+        let wots = tl
+            .executed()
+            .iter()
+            .find(|k| k.name == "WOTS+_Sign")
+            .unwrap();
+        let tree = tl
+            .executed()
+            .iter()
+            .find(|k| k.name == "TREE_Sign")
+            .unwrap();
         assert!(wots.start_us >= tree.end_us);
     }
 
@@ -265,8 +276,16 @@ mod tests {
         let exe = diamond().instantiate(&rtx_4090());
         let mut tl = Timeline::new(rtx_4090());
         exe.launch(&mut tl, 0);
-        let fors = tl.executed().iter().find(|k| k.name == "FORS_Sign").unwrap();
-        let tree = tl.executed().iter().find(|k| k.name == "TREE_Sign").unwrap();
+        let fors = tl
+            .executed()
+            .iter()
+            .find(|k| k.name == "FORS_Sign")
+            .unwrap();
+        let tree = tl
+            .executed()
+            .iter()
+            .find(|k| k.name == "TREE_Sign")
+            .unwrap();
         // 48 + 48 SMs fit in 128: FORS and TREE overlap.
         assert!(fors.start_us < tree.end_us && tree.start_us < fors.end_us);
     }
@@ -278,13 +297,18 @@ mod tests {
         let b = g.kernel("b", 1.0, 1);
         g.depends_on(a, b);
         g.depends_on(b, a);
-        assert_eq!(g.try_instantiate(&rtx_4090()).unwrap_err(), GraphError::CycleDetected);
+        assert_eq!(
+            g.try_instantiate(&rtx_4090()).unwrap_err(),
+            GraphError::CycleDetected
+        );
     }
 
     #[test]
     fn empty_rejected() {
         assert_eq!(
-            GraphBuilder::new().try_instantiate(&rtx_4090()).unwrap_err(),
+            GraphBuilder::new()
+                .try_instantiate(&rtx_4090())
+                .unwrap_err(),
             GraphError::Empty
         );
     }

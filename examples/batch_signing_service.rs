@@ -2,16 +2,19 @@
 //! the paper's intro motivates (block producers authenticating many
 //! transactions per second with post-quantum signatures).
 //!
-//! Signs a queue of transactions functionally (real signatures, verified)
-//! while projecting what the same queue costs on the simulated RTX 4090
-//! under baseline vs HERO-Sign execution.
+//! The service is written against `Box<dyn Signer>`, so the backend — the
+//! HERO engine or the plain CPU reference — is a runtime decision
+//! (`cargo run --example batch_signing_service -- reference`). It signs a
+//! queue of transactions functionally (real signatures, verified) while
+//! projecting what the same queue costs on the simulated RTX 4090 under
+//! baseline vs HERO-Sign execution.
 //!
 //! ```sh
-//! cargo run --release --example batch_signing_service
+//! cargo run --release --example batch_signing_service [hero|reference]
 //! ```
 
 use hero_gpu_sim::device::rtx_4090;
-use hero_sign::engine::{HeroSigner, OptConfig};
+use hero_sign::{HeroError, HeroSigner, LaunchPolicy, PipelineOptions, ReferenceSigner, Signer};
 use hero_sphincs::params::Params;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -27,9 +30,21 @@ fn make_queue(count: usize, rng: &mut StdRng) -> Vec<Transaction> {
         .map(|id| {
             let mut payload = vec![0u8; 96];
             rng.fill_bytes(&mut payload);
-            Transaction { id: id as u64, payload }
+            Transaction {
+                id: id as u64,
+                payload,
+            }
         })
         .collect()
+}
+
+/// The service's backend selection: one line per backend, everything
+/// after this point is backend-agnostic.
+fn select_backend(name: &str, params: Params) -> Result<Box<dyn Signer>, HeroError> {
+    match name {
+        "reference" => Ok(Box::new(ReferenceSigner::new(params)?)),
+        _ => Ok(Box::new(HeroSigner::builder(rtx_4090(), params).build()?)),
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,45 +55,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     params.log_t = 4;
     params.k = 8;
 
+    let backend_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hero".to_string());
+    let signer = select_backend(&backend_name, params)?;
+    println!("signing backend: {}", signer.backend());
+
     let mut rng = StdRng::seed_from_u64(7);
-    let (sk, vk) = hero_sphincs::keygen(params, &mut rng)?;
-    let engine = HeroSigner::hero(rtx_4090(), params);
+    let (sk, vk) = signer.keygen(&mut rng)?;
 
     let queue = make_queue(8, &mut rng);
     println!("signing a queue of {} transactions...", queue.len());
     let payloads: Vec<&[u8]> = queue.iter().map(|t| t.payload.as_slice()).collect();
-    let signatures = engine.sign_batch(&sk, &payloads);
+    let signatures = signer.sign_batch(&sk, &payloads)?;
 
-    // Validator side: batch verification through the same worker pool.
-    let results = engine.verify_batch(&vk, &payloads, &signatures);
-    for (tx, result) in queue.iter().zip(&results) {
-        result
-            .as_ref()
+    // Validator side: verify through the same trait surface.
+    for (tx, (payload, sig)) in queue.iter().zip(payloads.iter().zip(&signatures)) {
+        signer
+            .verify(&vk, payload, sig)
             .map_err(|e| format!("tx {} failed verification: {e}", tx.id))?;
     }
-    println!("all {} transaction signatures batch-verified", queue.len());
+    println!("all {} transaction signatures verified", queue.len());
+
+    // The GPU engine additionally offers pooled batch verification and
+    // the simulated performance model; fetch one for capacity planning
+    // regardless of which backend served the queue.
+    let full = Params::sphincs_128f();
+    let hero = HeroSigner::hero(rtx_4090(), full)?;
     println!(
         "simulated batch-verification throughput: {:.0} KOPS (verification is ~{}x lighter than signing)",
-        HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).simulate_verify_kops(1024),
-        hero_sign::workload::total_sign_compressions(&Params::sphincs_128f())
-            / hero_sign::kernels::verify::verify_expected_compressions(&Params::sphincs_128f())
+        hero.simulate_verify_kops(1024),
+        hero_sign::workload::total_sign_compressions(&full)
+            / hero_sign::kernels::verify::verify_expected_compressions(&full)
     );
 
     // Capacity planning: what does a 1M-transaction day look like on the
-    // simulated GPU, baseline vs HERO?
-    let full = Params::sphincs_128f();
-    let baseline = HeroSigner::baseline(rtx_4090(), full).simulate_pipeline(1024, 1, 128);
-    let hero = HeroSigner::hero(rtx_4090(), full).simulate_pipeline(1024, 512, 4);
-    let mut hero_stream_cfg = OptConfig::hero();
-    hero_stream_cfg.graph = false;
-    let hero_stream =
-        HeroSigner::new(rtx_4090(), full, hero_stream_cfg).simulate_pipeline(1024, 512, 4);
+    // simulated GPU, baseline vs HERO? One engine, three workloads — the
+    // launch mode is a PipelineOptions override, not a rebuild.
+    let baseline = HeroSigner::baseline(rtx_4090(), full)?
+        .simulate(PipelineOptions::new(1024).batch_size(1).streams(128))?;
+    let standard = PipelineOptions::new(1024).batch_size(512).streams(4);
+    let hero_graph = hero.simulate(standard)?;
+    let hero_stream = hero.simulate(standard.launch(LaunchPolicy::Streams))?;
 
-    println!("\ncapacity projection, {} on simulated RTX 4090:", full.name());
+    println!(
+        "\ncapacity projection, {} on simulated RTX 4090:",
+        full.name()
+    );
     for (label, r) in [
         ("baseline (TCAS-SPHINCSp)", &baseline),
         ("HERO-Sign, streams", &hero_stream),
-        ("HERO-Sign, task graph", &hero),
+        ("HERO-Sign, task graph", &hero_graph),
     ] {
         let txs_per_sec = r.kops * 1.0e3;
         println!(

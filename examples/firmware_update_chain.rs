@@ -8,7 +8,7 @@
 //! ```
 
 use hero_gpu_sim::device::rtx_4090;
-use hero_sign::engine::HeroSigner;
+use hero_sign::{HeroSigner, PipelineOptions, Signer};
 use hero_sphincs::params::Params;
 use hero_sphincs::sha256::Sha256;
 use hero_sphincs::Signature;
@@ -38,9 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     params.log_t = 4;
     params.k = 8;
 
+    let engine = HeroSigner::builder(rtx_4090(), params).build()?;
     let mut rng = StdRng::seed_from_u64(99);
-    let (vendor_sk, vendor_vk) = hero_sphincs::keygen(params, &mut rng)?;
-    let engine = HeroSigner::hero(rtx_4090(), params);
+    let (vendor_sk, vendor_vk) = engine.keygen(&mut rng)?;
 
     let releases: Vec<Release> = (1..=4)
         .map(|minor| Release {
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut wire: Vec<(String, Vec<u8>, Vec<u8>)> = Vec::new();
     for release in &releases {
         let statement = release.statement();
-        let sig = engine.sign(&vendor_sk, &statement);
+        let sig = engine.sign(&vendor_sk, &statement)?;
         wire.push((release.version.clone(), statement, sig.to_bytes(&params)));
         println!("signed firmware {}", release.version);
     }
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fleet planning: how fast could a build farm sign nightly images for
     // a 100k-device fleet with per-device statements?
     let full = Params::sphincs_128f();
-    let report = HeroSigner::hero(rtx_4090(), full).simulate_pipeline(1024, 512, 4);
+    let report = HeroSigner::hero(rtx_4090(), full)?.simulate(PipelineOptions::new(1024))?;
     println!(
         "\nsimulated RTX 4090 ({}): {:.1} KOPS -> 100k per-device signatures in {:.2}s",
         full.name(),

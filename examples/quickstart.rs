@@ -1,13 +1,15 @@
-//! Quickstart: generate a SPHINCS+ key pair, sign with the HERO-Sign
-//! engine (the three-kernel decomposition), verify, and look at the
-//! simulated RTX 4090 performance of the same workload.
+//! Quickstart: build a HERO-Sign engine through the fallible builder,
+//! generate a SPHINCS+ key pair through the `Signer` trait, sign with
+//! the three-kernel decomposition, cross-check against the CPU
+//! reference backend, and look at the simulated RTX 4090 performance of
+//! the same workload.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use hero_gpu_sim::device::rtx_4090;
-use hero_sign::engine::HeroSigner;
+use hero_sign::{HeroSigner, PipelineOptions, ReferenceSigner, Signer};
 use hero_sphincs::params::Params;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,29 +22,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     params.d = 3;
     params.log_t = 6;
     params.k = 10;
-    params.validate().map_err(|e| format!("params: {e}"))?;
+
+    // The builder validates the parameter set and runs the (cached)
+    // Auto Tree Tuning search; a bad set comes back as Err, not a panic.
+    let engine = HeroSigner::builder(rtx_4090(), params).workers(8).build()?;
 
     let mut rng = StdRng::seed_from_u64(2026);
-    let (sk, vk) = hero_sphincs::keygen(params, &mut rng)?;
+    let (sk, vk) = engine.keygen(&mut rng)?;
     println!("generated {} key pair", params.name());
 
     // Functional signing through the HERO kernel decomposition
     // (FORS_Sign ∥ TREE_Sign → WOTS+_Sign), bit-identical to the
     // reference signer.
-    let engine = HeroSigner::hero(rtx_4090(), params);
     let message = b"the quick brown fox signs post-quantum";
-    let signature = engine.sign(&sk, message);
+    let signature = engine.sign(&sk, message)?;
     vk.verify(message, &signature)?;
-    println!("signature verified ({} bytes)", signature.to_bytes(&params).len());
+    println!(
+        "signature verified ({} bytes)",
+        signature.to_bytes(&params).len()
+    );
 
-    let reference = sk.sign(message);
-    assert_eq!(signature, reference, "HERO decomposition must match the reference signer");
-    println!("HERO three-kernel output is bit-identical to the reference implementation");
+    // Backends are interchangeable behind the Signer trait and must
+    // agree byte for byte.
+    let reference: Box<dyn Signer> = Box::new(ReferenceSigner::new(params)?);
+    assert_eq!(
+        signature,
+        reference.sign(&sk, message)?,
+        "HERO decomposition must match the reference signer"
+    );
+    println!(
+        "HERO three-kernel output is bit-identical to the {} backend",
+        reference.backend()
+    );
 
     // Simulated GPU throughput for the full 128f parameter set.
     let full = Params::sphincs_128f();
-    let hero = HeroSigner::hero(rtx_4090(), full);
-    let report = hero.simulate_pipeline(1024, 512, 4);
+    let hero = HeroSigner::hero(rtx_4090(), full)?;
+    let report = hero.simulate(PipelineOptions::new(1024))?;
     println!(
         "simulated RTX 4090, {}: {:.1} KOPS over 1024 messages (batch 512, task graph)",
         full.name(),

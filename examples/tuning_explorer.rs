@@ -1,8 +1,12 @@
-//! Cross-GPU tuning explorer: run the Auto Tree Tuning search (Algorithm
-//! 1) and the adaptive PTX selection for every device in the Table VII
-//! catalog, and show how the chosen fusion adapts to each architecture's
-//! shared-memory budget — the "adapt and optimize fusion schemes across
-//! various GPU platforms" claim of the abstract.
+//! Cross-GPU tuning explorer: run the Auto Tree Tuning search
+//! (Algorithm 1) and the adaptive PTX selection for every device in the
+//! Table VII catalog, and show how the chosen fusion adapts to each
+//! architecture's shared-memory budget — the "adapt and optimize fusion
+//! schemes across various GPU platforms" claim of the abstract.
+//!
+//! Engine construction goes through the builder, so every (device, set)
+//! pair's search lands in the process-wide tuning cache; the cache
+//! statistics printed at the end show the explorer never repeated one.
 //!
 //! ```sh
 //! cargo run --release --example tuning_explorer
@@ -10,8 +14,7 @@
 
 use hero_gpu_sim::device::catalog;
 use hero_gpu_sim::SmemPolicy;
-use hero_sign::engine::HeroSigner;
-use hero_sign::tuning::{tune_auto, TuningOptions};
+use hero_sign::{tune_auto_cached, tuning_cache_stats, HeroSigner, PipelineOptions, TuningOptions};
 use hero_sphincs::params::Params;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,12 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 smem_policy: SmemPolicy::DynamicMax,
                 ..TuningOptions::default()
             };
-            let result = tune_auto(&device, &params, &opts)
+            let result = tune_auto_cached(&device, &params, &opts)
                 .map_err(|e| format!("{} / {}: {e}", device.name, params.name()))?;
             let best = result.best;
 
-            let engine = HeroSigner::hero(device.clone(), params);
-            let kops = engine.simulate_pipeline(1024, 512, 4).kops;
+            let engine = HeroSigner::hero(device.clone(), params)?;
+            let kops = engine.simulate(PipelineOptions::new(1024))?.kops;
 
             println!(
                 "{:<14} {:<16} {:>8} {:>8} {:>4} {:>8.3} {:>8.3} {:>10.2}",
@@ -50,6 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    let stats = tuning_cache_stats();
+    println!();
+    println!(
+        "tuning cache: {} searches run, {} answered from cache ({} entries)",
+        stats.misses, stats.hits, stats.entries
+    );
     println!();
     println!("Notes:");
     println!("- Larger shared-memory budgets (A100/H100) admit deeper fusion (more");

@@ -44,11 +44,12 @@ fn hero_engine_matches_reference_all_widths() {
     for params in test_shapes() {
         let mut rng = StdRng::seed_from_u64(params.n as u64);
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).expect("keygen");
-        let engine = HeroSigner::hero(rtx_4090(), params);
+        let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
         let msg = b"equivalence across kernel decompositions";
-        let hero_sig = engine.sign(&sk, msg);
+        let hero_sig = engine.sign(&sk, msg).unwrap();
         assert_eq!(hero_sig, sk.sign(msg), "{}", params.name());
-        vk.verify(msg, &hero_sig).unwrap_or_else(|e| panic!("{}: {e}", params.name()));
+        vk.verify(msg, &hero_sig)
+            .unwrap_or_else(|e| panic!("{}: {e}", params.name()));
     }
 }
 
@@ -59,8 +60,18 @@ fn baseline_config_signs_identically_too() {
     let mut rng = StdRng::seed_from_u64(5);
     let (sk, _) = hero_sphincs::keygen(params, &mut rng).unwrap();
     let msg = b"config independence";
-    let hero = HeroSigner::new(rtx_4090(), params, OptConfig::hero()).sign(&sk, msg);
-    let base = HeroSigner::new(rtx_4090(), params, OptConfig::baseline()).sign(&sk, msg);
+    let hero = HeroSigner::builder(rtx_4090(), params)
+        .config(OptConfig::hero())
+        .build()
+        .unwrap()
+        .sign(&sk, msg)
+        .unwrap();
+    let base = HeroSigner::builder(rtx_4090(), params)
+        .config(OptConfig::baseline())
+        .build()
+        .unwrap()
+        .sign(&sk, msg)
+        .unwrap();
     assert_eq!(hero, base);
 }
 
@@ -69,9 +80,9 @@ fn serialized_signatures_cross_verify() {
     for params in test_shapes() {
         let mut rng = StdRng::seed_from_u64(17);
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
-        let engine = HeroSigner::hero(rtx_4090(), params);
+        let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
         let msg = b"wire format";
-        let sig = engine.sign(&sk, msg);
+        let sig = engine.sign(&sk, msg).unwrap();
         let bytes = sig.to_bytes(&params);
         assert_eq!(bytes.len(), params.sig_bytes());
         let parsed = Signature::from_bytes(&params, &bytes).expect("parse");
@@ -89,7 +100,13 @@ fn corrupted_wire_bytes_rejected() {
 
     // Every region of the signature must be integrity-protected; flip a
     // byte in several places.
-    for &pos in &[0usize, params.n, params.n + 3, bytes.len() / 2, bytes.len() - 1] {
+    for &pos in &[
+        0usize,
+        params.n,
+        params.n + 3,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ] {
         let mut bad = bytes.clone();
         bad[pos] ^= 0x40;
         let parsed = Signature::from_bytes(&params, &bad).expect("parse shape ok");
@@ -106,10 +123,10 @@ fn distinct_messages_distinct_signatures() {
     let params = test_shapes()[0];
     let mut rng = StdRng::seed_from_u64(31);
     let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
-    let engine = HeroSigner::hero(rtx_4090(), params);
+    let engine = HeroSigner::hero(rtx_4090(), params).unwrap();
     let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 10]).collect();
     let slices: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
-    let sigs = engine.sign_batch(&sk, &slices);
+    let sigs = engine.sign_batch(&sk, &slices).unwrap();
     for (i, a) in sigs.iter().enumerate() {
         vk.verify(&msgs[i], a).unwrap();
         for b in sigs.iter().skip(i + 1) {

@@ -4,7 +4,7 @@
 
 use hero_gpu_sim::device::rtx_4090;
 use hero_gpu_sim::isa::Sha2Path;
-use hero_sign::engine::{HeroSigner, OptConfig};
+use hero_sign::engine::{HeroSigner, OptConfig, PipelineOptions};
 use hero_sign::tuning::{tune, TuningOptions};
 use hero_sphincs::params::Params;
 
@@ -25,9 +25,13 @@ fn table4_shape_fusion_winners() {
 fn table5_shape_branch_selection() {
     let d = rtx_4090();
     for p in Params::fast_sets() {
-        let sel = HeroSigner::hero(d.clone(), p).selection();
+        let sel = HeroSigner::hero(d.clone(), p).unwrap().selection();
         assert_eq!(sel.fors, Sha2Path::Ptx);
-        let chain = if p.n == 32 { Sha2Path::Ptx } else { Sha2Path::Native };
+        let chain = if p.n == 32 {
+            Sha2Path::Ptx
+        } else {
+            Sha2Path::Native
+        };
         assert_eq!(sel.tree, chain, "{}", p.name());
         assert_eq!(sel.wots, chain, "{}", p.name());
     }
@@ -38,10 +42,15 @@ fn table8_shape_speedup_ordering() {
     // FORS gains the most and TREE the least for 128f; every kernel gains.
     let d = rtx_4090();
     for p in Params::fast_sets() {
-        let base = HeroSigner::baseline(d.clone(), p).kernel_reports(1024);
-        let hero = HeroSigner::hero(d.clone(), p).kernel_reports(1024);
-        let speedups: Vec<f64> =
-            base.iter().zip(hero.iter()).map(|(b, h)| b.time_us / h.time_us).collect();
+        let base = HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .kernel_reports(1024);
+        let hero = HeroSigner::hero(d.clone(), p).unwrap().kernel_reports(1024);
+        let speedups: Vec<f64> = base
+            .iter()
+            .zip(hero.iter())
+            .map(|(b, h)| b.time_us / h.time_us)
+            .collect();
         for (i, s) in speedups.iter().enumerate() {
             assert!(*s > 1.0, "{} kernel {i}: {s}", p.name());
         }
@@ -55,7 +64,9 @@ fn table8_shape_speedup_ordering() {
 fn table2_shape_mss_dominates_breakdown() {
     let d = rtx_4090();
     for p in Params::fast_sets() {
-        let r = HeroSigner::baseline(d.clone(), p).kernel_reports(1024);
+        let r = HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .kernel_reports(1024);
         assert!(r[1].time_us > r[0].time_us, "{}: MSS > FORS", p.name());
         assert!(r[0].time_us > r[2].time_us, "{}: FORS > WOTS", p.name());
     }
@@ -69,8 +80,16 @@ fn fig11_shape_cumulative_gain_in_paper_band() {
     let expect = [2.14, 1.72, 1.75];
     for (i, p) in Params::fast_sets().iter().enumerate() {
         let ladder = OptConfig::ablation_ladder();
-        let first = HeroSigner::new(d.clone(), *p, ladder[0].1).kernel_reports(1024)[0].time_us;
-        let last = HeroSigner::new(d.clone(), *p, ladder[ladder.len() - 1].1)
+        let first = HeroSigner::builder(d.clone(), *p)
+            .config(ladder[0].1)
+            .build()
+            .unwrap()
+            .kernel_reports(1024)[0]
+            .time_us;
+        let last = HeroSigner::builder(d.clone(), *p)
+            .config(ladder[ladder.len() - 1].1)
+            .build()
+            .unwrap()
             .kernel_reports(1024)[0]
             .time_us;
         let gain = first / last;
@@ -87,8 +106,14 @@ fn fig11_shape_cumulative_gain_in_paper_band() {
 fn fig12_shape_pipeline_and_latency() {
     let d = rtx_4090();
     for p in Params::fast_sets() {
-        let base = HeroSigner::baseline(d.clone(), p).simulate_pipeline(1024, 1, 128);
-        let hero = HeroSigner::hero(d.clone(), p).simulate_pipeline(1024, 512, 4);
+        let base = HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .simulate(PipelineOptions::new(1024).batch_size(1).streams(128))
+            .unwrap();
+        let hero = HeroSigner::hero(d.clone(), p)
+            .unwrap()
+            .simulate(PipelineOptions::new(1024).batch_size(512).streams(4))
+            .unwrap();
         // HERO wins end to end (paper: 1.28x / 1.28x / 1.42x).
         let speedup = hero.kops / base.kops;
         assert!(speedup > 1.1 && speedup < 2.5, "{}: {speedup}", p.name());
@@ -107,12 +132,16 @@ fn fig12_shape_pipeline_and_latency() {
 fn fig13_shape_speedup_present_at_all_batch_sizes() {
     let d = rtx_4090();
     let p = Params::sphincs_128f();
-    let baseline = HeroSigner::baseline(d.clone(), p);
-    let hero = HeroSigner::hero(d.clone(), p);
+    let baseline = HeroSigner::baseline(d.clone(), p).unwrap();
+    let hero = HeroSigner::hero(d.clone(), p).unwrap();
     for bs in [2u32, 16, 128, 1024] {
         let streams = (1024 / bs).clamp(4, 64) as usize;
-        let b = baseline.simulate_pipeline(1024, bs, streams);
-        let h = hero.simulate_pipeline(1024, bs, streams);
+        let b = baseline
+            .simulate(PipelineOptions::new(1024).batch_size(bs).streams(streams))
+            .unwrap();
+        let h = hero
+            .simulate(PipelineOptions::new(1024).batch_size(bs).streams(streams))
+            .unwrap();
         assert!(h.kops > b.kops, "bs={bs}: {} vs {}", h.kops, b.kops);
     }
 }
@@ -122,14 +151,23 @@ fn fig14_shape_hero_wins_everywhere_and_ada_fastest() {
     let mut best: (String, f64) = (String::new(), 0.0);
     for device in hero_gpu_sim::device::catalog() {
         let p = Params::sphincs_256f();
-        let base = HeroSigner::baseline(device.clone(), p).simulate_pipeline(512, 1, 64);
-        let hero = HeroSigner::hero(device.clone(), p).simulate_pipeline(512, 256, 4);
+        let base = HeroSigner::baseline(device.clone(), p)
+            .unwrap()
+            .simulate(PipelineOptions::new(512).batch_size(1).streams(64))
+            .unwrap();
+        let hero = HeroSigner::hero(device.clone(), p)
+            .unwrap()
+            .simulate(PipelineOptions::new(512).batch_size(256).streams(4))
+            .unwrap();
         assert!(hero.kops > base.kops, "{}", device.name);
         if hero.kops > best.1 {
             best = (device.name.to_string(), hero.kops);
         }
     }
-    assert_eq!(best.0, "RTX 4090", "paper §IV-F: 4090 delivers the highest absolute perf");
+    assert_eq!(
+        best.0, "RTX 4090",
+        "paper §IV-F: 4090 delivers the highest absolute perf"
+    );
 }
 
 #[test]
@@ -138,12 +176,19 @@ fn table6_shape_padding_kills_conflicts() {
     use hero_sign::kernels::fors_sign;
     let d = rtx_4090();
     for p in Params::fast_sets() {
-        let geometry = HeroSigner::hero(d.clone(), p).fors_layout().geometry(&p);
+        let geometry = HeroSigner::hero(d.clone(), p)
+            .unwrap()
+            .fors_layout()
+            .geometry(&p);
         let (l0, s0) = fors_sign::measure_reduction(&p, &geometry, PaddingScheme::none());
         let (l1, s1) = fors_sign::measure_reduction(&p, &geometry, PaddingScheme::for_width(p.n));
         let before = l0.conflicts + s0.conflicts;
         let after = l1.conflicts + s1.conflicts;
-        assert!(before > 100, "{}: baseline should conflict, got {before}", p.name());
+        assert!(
+            before > 100,
+            "{}: baseline should conflict, got {before}",
+            p.name()
+        );
         assert!(after * 20 <= before, "{}: {before} -> {after}", p.name());
     }
 }
@@ -152,9 +197,24 @@ fn table6_shape_padding_kills_conflicts() {
 fn table11_shape_compile_time_faster_with_ptx_selected() {
     use hero_gpu_sim::compile::{build_seconds, BranchStrategy, KernelSource};
     let sources = vec![
-        KernelSource { native_stmts: 8000, ptx_visible_stmts: 6000, ptx_opaque_stmts: 2400, selects_ptx: true },
-        KernelSource { native_stmts: 6000, ptx_visible_stmts: 4500, ptx_opaque_stmts: 1800, selects_ptx: false },
-        KernelSource { native_stmts: 3000, ptx_visible_stmts: 2250, ptx_opaque_stmts: 900, selects_ptx: false },
+        KernelSource {
+            native_stmts: 8000,
+            ptx_visible_stmts: 6000,
+            ptx_opaque_stmts: 2400,
+            selects_ptx: true,
+        },
+        KernelSource {
+            native_stmts: 6000,
+            ptx_visible_stmts: 4500,
+            ptx_opaque_stmts: 1800,
+            selects_ptx: false,
+        },
+        KernelSource {
+            native_stmts: 3000,
+            ptx_visible_stmts: 2250,
+            ptx_opaque_stmts: 900,
+            selects_ptx: false,
+        },
     ];
     let base = build_seconds(&sources, BranchStrategy::NativeOnly);
     let hero = build_seconds(&sources, BranchStrategy::CompileTimeBranch);
@@ -168,15 +228,21 @@ fn table8_shape_wots_compute_throughput_drops() {
     // WOTS+ under 128f/192f while raising KOPS.
     let d = rtx_4090();
     for p in [Params::sphincs_128f(), Params::sphincs_192f()] {
-        let base = &HeroSigner::baseline(d.clone(), p).kernel_reports(1024)[2];
-        let hero = &HeroSigner::hero(d.clone(), p).kernel_reports(1024)[2];
+        let base = &HeroSigner::baseline(d.clone(), p)
+            .unwrap()
+            .kernel_reports(1024)[2];
+        let hero = &HeroSigner::hero(d.clone(), p).unwrap().kernel_reports(1024)[2];
         assert!(kops(1024, hero.time_us) > kops(1024, base.time_us));
         let base_instr_rate = base.compute_throughput_pct;
         let hero_instr_rate = hero.compute_throughput_pct;
         // The per-op rate can rise, but instructions *per signature* fall;
         // check the census directly.
-        let base_instr = HeroSigner::baseline(d.clone(), p).kernel_descs(1)[2].instr_total.total();
-        let hero_instr = HeroSigner::hero(d.clone(), p).kernel_descs(1)[2].instr_total.total();
+        let base_instr = HeroSigner::baseline(d.clone(), p).unwrap().kernel_descs(1)[2]
+            .instr_total
+            .total();
+        let hero_instr = HeroSigner::hero(d.clone(), p).unwrap().kernel_descs(1)[2]
+            .instr_total
+            .total();
         assert!(hero_instr < base_instr, "{}", p.name());
         let _ = (base_instr_rate, hero_instr_rate);
     }

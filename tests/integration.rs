@@ -3,7 +3,7 @@
 
 use hero_gpu_sim::device::{catalog, rtx_4090};
 use hero_gpu_sim::isa::Sha2Path;
-use hero_sign::engine::{HeroSigner, OptConfig, PtxPolicy};
+use hero_sign::engine::{HeroSigner, OptConfig, PipelineOptions, PtxPolicy};
 use hero_sign::tuning::{tune_auto, TuningOptions};
 use hero_sphincs::params::Params;
 
@@ -25,7 +25,7 @@ fn tuner_succeeds_on_every_device_and_set() {
 fn engines_construct_on_every_device_and_set() {
     for device in catalog() {
         for params in Params::fast_sets() {
-            let hero = HeroSigner::hero(device.clone(), params);
+            let hero = HeroSigner::hero(device.clone(), params).unwrap();
             let reports = hero.kernel_reports(256);
             for r in &reports {
                 assert!(
@@ -36,7 +36,12 @@ fn engines_construct_on_every_device_and_set() {
                     r.name,
                     r.time_us
                 );
-                assert!(r.achieved_occupancy > 0.0, "{} {}: dead kernel", device.name, r.name);
+                assert!(
+                    r.achieved_occupancy > 0.0,
+                    "{} {}: dead kernel",
+                    device.name,
+                    r.name
+                );
             }
         }
     }
@@ -46,8 +51,14 @@ fn engines_construct_on_every_device_and_set() {
 fn hero_never_loses_to_baseline_end_to_end() {
     for device in catalog() {
         let params = Params::sphincs_128f();
-        let base = HeroSigner::baseline(device.clone(), params).simulate_pipeline(512, 1, 64);
-        let hero = HeroSigner::hero(device.clone(), params).simulate_pipeline(512, 256, 4);
+        let base = HeroSigner::baseline(device.clone(), params)
+            .unwrap()
+            .simulate(PipelineOptions::new(512).batch_size(1).streams(64))
+            .unwrap();
+        let hero = HeroSigner::hero(device.clone(), params)
+            .unwrap()
+            .simulate(PipelineOptions::new(512).batch_size(256).streams(4))
+            .unwrap();
         assert!(
             hero.kops > base.kops,
             "{}: hero {} vs baseline {}",
@@ -64,7 +75,10 @@ fn ablation_configs_all_construct_and_order() {
     for params in Params::fast_sets() {
         let mut times = Vec::new();
         for (label, cfg) in OptConfig::ablation_ladder() {
-            let engine = HeroSigner::new(device.clone(), params, cfg);
+            let engine = HeroSigner::builder(device.clone(), params)
+                .config(cfg)
+                .build()
+                .unwrap();
             let fors = &engine.kernel_reports(1024)[0];
             times.push((label, fors.time_us));
         }
@@ -86,16 +100,25 @@ fn ptx_policies_behave() {
     let mut cfg = OptConfig::hero();
 
     cfg.ptx = PtxPolicy::Off;
-    let off = HeroSigner::new(device.clone(), params, cfg);
+    let off = HeroSigner::builder(device.clone(), params)
+        .config(cfg)
+        .build()
+        .unwrap();
     assert_eq!(off.selection().fors, Sha2Path::Native);
 
     cfg.ptx = PtxPolicy::ForceAll;
-    let force = HeroSigner::new(device.clone(), params, cfg);
+    let force = HeroSigner::builder(device.clone(), params)
+        .config(cfg)
+        .build()
+        .unwrap();
     assert_eq!(force.selection().tree, Sha2Path::Ptx);
     assert!(force.selection().is_uniform());
 
     cfg.ptx = PtxPolicy::Adaptive;
-    let adaptive = HeroSigner::new(device.clone(), params, cfg);
+    let adaptive = HeroSigner::builder(device.clone(), params)
+        .config(cfg)
+        .build()
+        .unwrap();
     // Table V, 128f: FORS picks PTX, chain kernels stay native.
     assert_eq!(adaptive.selection().fors, Sha2Path::Ptx);
     assert_eq!(adaptive.selection().tree, Sha2Path::Native);
@@ -105,10 +128,18 @@ fn ptx_policies_behave() {
 fn graph_vs_stream_launch_accounting() {
     let device = rtx_4090();
     let params = Params::sphincs_192f();
-    let hero_graph = HeroSigner::hero(device.clone(), params).simulate_pipeline(1024, 128, 4);
+    let hero_graph = HeroSigner::hero(device.clone(), params)
+        .unwrap()
+        .simulate(PipelineOptions::new(1024).batch_size(128).streams(4))
+        .unwrap();
     let mut cfg = OptConfig::hero();
     cfg.graph = false;
-    let hero_stream = HeroSigner::new(device.clone(), params, cfg).simulate_pipeline(1024, 128, 4);
+    let hero_stream = HeroSigner::builder(device.clone(), params)
+        .config(cfg)
+        .build()
+        .unwrap()
+        .simulate(PipelineOptions::new(1024).batch_size(128).streams(4))
+        .unwrap();
 
     // Same batches: graph does 1 host launch per batch (plus cheap node
     // dispatch); streams do 3.
@@ -126,11 +157,17 @@ fn degenerate_fors_shapes_survive_the_engine() {
         let mut p = Params::sphincs_128f();
         p.log_t = log_t;
         p.k = k;
-        let engine = HeroSigner::hero(device.clone(), p);
+        let engine = HeroSigner::hero(device.clone(), p).unwrap();
         for r in engine.kernel_reports(64) {
-            assert!(r.time_us.is_finite() && r.time_us > 0.0, "log_t={log_t} k={k} {}", r.name);
+            assert!(
+                r.time_us.is_finite() && r.time_us > 0.0,
+                "log_t={log_t} k={k} {}",
+                r.name
+            );
         }
-        let pipe = engine.simulate_pipeline(64, 32, 2);
+        let pipe = engine
+            .simulate(PipelineOptions::new(64).batch_size(32).streams(2))
+            .unwrap();
         assert!(pipe.kops.is_finite() && pipe.kops > 0.0);
     }
 }
@@ -146,10 +183,15 @@ fn starved_device_degrades_gracefully() {
     crippled.smem_dynamic_max_per_block = 16 * 1024;
 
     let p = Params::sphincs_128f();
-    let engine = HeroSigner::hero(crippled.clone(), p);
-    let pipe = engine.simulate_pipeline(64, 32, 2);
+    let engine = HeroSigner::hero(crippled.clone(), p).unwrap();
+    let pipe = engine
+        .simulate(PipelineOptions::new(64).batch_size(32).streams(2))
+        .unwrap();
     assert!(pipe.kops.is_finite() && pipe.kops > 0.0);
-    let healthy = HeroSigner::hero(rtx_4090(), p).simulate_pipeline(64, 32, 2);
+    let healthy = HeroSigner::hero(rtx_4090(), p)
+        .unwrap()
+        .simulate(PipelineOptions::new(64).batch_size(32).streams(2))
+        .unwrap();
     assert!(
         healthy.kops > pipe.kops * 10.0,
         "128 SMs must dwarf 1 SM: {} vs {}",
@@ -173,9 +215,13 @@ fn zero_and_tiny_workloads_do_not_break_the_timeline() {
 #[test]
 fn pipeline_scales_with_messages() {
     let device = rtx_4090();
-    let engine = HeroSigner::hero(device, Params::sphincs_128f());
-    let small = engine.simulate_pipeline(256, 256, 4);
-    let large = engine.simulate_pipeline(2048, 512, 4);
+    let engine = HeroSigner::hero(device, Params::sphincs_128f()).unwrap();
+    let small = engine
+        .simulate(PipelineOptions::new(256).batch_size(256).streams(4))
+        .unwrap();
+    let large = engine
+        .simulate(PipelineOptions::new(2048).batch_size(512).streams(4))
+        .unwrap();
     // Throughput (KOPS) should be roughly stable; makespan should scale.
     assert!(large.makespan_us > small.makespan_us * 4.0);
     let ratio = large.kops / small.kops;

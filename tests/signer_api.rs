@@ -1,0 +1,159 @@
+//! Cross-crate tests of the redesigned public API: the `Signer` backend
+//! trait, the fallible builder, the typed `HeroError`, and
+//! `PipelineOptions`.
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::{HeroError, HeroSigner, LaunchPolicy, PipelineOptions, ReferenceSigner, Signer};
+use hero_sphincs::params::Params;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_params() -> Params {
+    let mut p = Params::sphincs_128f();
+    p.h = 6;
+    p.d = 3;
+    p.log_t = 4;
+    p.k = 8;
+    p
+}
+
+#[test]
+fn trait_objects_cover_both_backends() {
+    let params = tiny_params();
+    let backends: Vec<Box<dyn Signer>> = vec![
+        Box::new(
+            HeroSigner::builder(rtx_4090(), params)
+                .workers(4)
+                .build()
+                .unwrap(),
+        ),
+        Box::new(ReferenceSigner::new(params).unwrap()),
+    ];
+    assert_eq!(backends[0].backend(), "hero-gpu");
+    assert_eq!(backends[1].backend(), "reference-cpu");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let (sk, vk) = backends[0].keygen(&mut rng).unwrap();
+
+    let msgs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 24]).collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+
+    // Every backend must produce the same bytes and verify them.
+    let mut all_sigs = Vec::new();
+    for backend in &backends {
+        assert_eq!(backend.params(), &params);
+        let sigs = backend.sign_batch(&sk, &refs).unwrap();
+        for (m, s) in refs.iter().zip(&sigs) {
+            backend.verify(&vk, m, s).unwrap();
+        }
+        all_sigs.push(sigs);
+    }
+    assert_eq!(
+        all_sigs[0], all_sigs[1],
+        "backends must agree byte for byte"
+    );
+}
+
+#[test]
+fn builder_reports_invalid_params_instead_of_panicking() {
+    let mut bad = Params::sphincs_128f();
+    bad.d = 0;
+    match HeroSigner::builder(rtx_4090(), bad).build() {
+        Err(HeroError::InvalidParams(what)) => assert!(what.contains("d="), "{what}"),
+        other => panic!("expected InvalidParams, got {other:?}"),
+    }
+    // The reference backend validates identically.
+    assert!(matches!(
+        ReferenceSigner::new(bad),
+        Err(HeroError::InvalidParams(_))
+    ));
+}
+
+#[test]
+fn mismatched_keys_are_typed_errors_on_every_backend() {
+    let engine_params = tiny_params();
+    let mut key_params = engine_params;
+    key_params.k = 9;
+    let mut rng = StdRng::seed_from_u64(13);
+    let (sk, vk) = hero_sphincs::keygen(key_params, &mut rng).unwrap();
+
+    let backends: Vec<Box<dyn Signer>> = vec![
+        Box::new(HeroSigner::hero(rtx_4090(), engine_params).unwrap()),
+        Box::new(ReferenceSigner::new(engine_params).unwrap()),
+    ];
+    for backend in &backends {
+        match backend.sign(&sk, b"foreign key") {
+            Err(HeroError::KeyMismatch(m)) => {
+                assert_eq!(m.engine, engine_params);
+                assert_eq!(m.key, key_params);
+            }
+            other => panic!("{}: expected KeyMismatch, got {other:?}", backend.backend()),
+        }
+        assert!(matches!(
+            backend.verify(&vk, b"foreign key", &sk.sign(b"foreign key")),
+            Err(HeroError::KeyMismatch(_))
+        ));
+    }
+}
+
+#[test]
+fn verification_failures_are_typed() {
+    let params = tiny_params();
+    let signer = ReferenceSigner::new(params).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let (sk, vk) = signer.keygen(&mut rng).unwrap();
+    let sig = signer.sign(&sk, b"payload").unwrap();
+    assert!(matches!(
+        signer.verify(&vk, b"tampered payload", &sig),
+        Err(HeroError::Sphincs(
+            hero_sphincs::sign::SignError::VerificationFailed
+        ))
+    ));
+}
+
+#[test]
+fn pipeline_options_defaults_match_the_papers_workload() {
+    let opts = PipelineOptions::default();
+    assert_eq!(opts.messages, 1024);
+    assert_eq!(opts.batch_size, 512);
+    assert_eq!(opts.streams, 4);
+    assert_eq!(opts.launch, LaunchPolicy::Auto);
+    assert_eq!(opts.pcie_msg_bytes, None);
+    assert!(opts.validate().is_ok());
+
+    // `new` keeps every default except the message count.
+    assert_eq!(
+        PipelineOptions::new(64),
+        PipelineOptions {
+            messages: 64,
+            ..opts
+        }
+    );
+}
+
+#[test]
+fn launch_policy_overrides_the_engine_config_per_simulation() {
+    let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
+    assert!(engine.config().graph);
+    let opts = PipelineOptions::new(1024).batch_size(128);
+    let auto = engine.simulate(opts).unwrap();
+    let graph = engine.simulate(opts.launch(LaunchPolicy::Graph)).unwrap();
+    let streams = engine.simulate(opts.launch(LaunchPolicy::Streams)).unwrap();
+    // Auto follows the engine's graph config.
+    assert_eq!(auto.launch_overhead_us, graph.launch_overhead_us);
+    // Stream replay launches each kernel from the host instead of one
+    // graph per batch.
+    assert!(streams.launch_overhead_us > graph.launch_overhead_us);
+}
+
+#[test]
+fn oversized_batches_are_capped_like_a_dispatcher_short_batch() {
+    let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
+    let capped = engine
+        .simulate(PipelineOptions::new(64).batch_size(4096))
+        .unwrap();
+    let exact = engine
+        .simulate(PipelineOptions::new(64).batch_size(64))
+        .unwrap();
+    assert_eq!(capped.launch_count, exact.launch_count);
+}
