@@ -1,0 +1,171 @@
+//! Hot-path trajectory bench: batched vs scalar signing.
+//!
+//! Measures end-to-end single-message `sign` throughput for the batched
+//! multi-lane implementation against the preserved scalar baseline
+//! (`hero_bench::baseline`), plus compressions/sec and
+//! allocations-per-sign via a counting global allocator, and writes the
+//! results to `BENCH_hot_path.json` so future PRs have a perf baseline.
+//!
+//! ```text
+//! bench_hot_path [--smoke] [--iters N] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs one iteration on reduced parameters (CI keeps the bench
+//! runnable without paying full-parameter signing time).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::keygen_from_seeds;
+
+/// Counts every heap allocation so the bench can report
+/// allocations-per-sign for both paths.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counters are
+// monotonic and never influence allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+struct PathStats {
+    msgs_per_sec: f64,
+    allocs_per_sign: f64,
+    alloc_bytes_per_sign: f64,
+}
+
+/// Times `iters` signs of distinct messages, counting allocations, after
+/// one warmup sign.
+fn measure(sign: impl Fn(&[u8]) -> hero_sphincs::Signature, iters: usize) -> PathStats {
+    std::hint::black_box(sign(b"warmup"));
+    let (allocs0, bytes0) = alloc_snapshot();
+    let start = Instant::now();
+    for i in 0..iters {
+        let msg = [i as u8; 32];
+        std::hint::black_box(sign(&msg));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (allocs1, bytes1) = alloc_snapshot();
+    PathStats {
+        msgs_per_sec: iters as f64 / elapsed,
+        allocs_per_sign: (allocs1 - allocs0) as f64 / iters as f64,
+        alloc_bytes_per_sign: (bytes1 - bytes0) as f64 / iters as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_hot_path.json".to_string());
+
+    let params = if smoke {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 6;
+        p.k = 8;
+        p
+    } else {
+        Params::sphincs_128f()
+    };
+    let iters: usize = flag("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 10 });
+    // Smoke shrinks h/d/log_t/k but params.name() still says 128f; label
+    // the artifact so reduced numbers are never read as full-set ones.
+    let params_label = if smoke {
+        format!("{} (reduced smoke shape)", params.name())
+    } else {
+        params.name().to_string()
+    };
+
+    let n = params.n;
+    let (sk, _) = keygen_from_seeds(
+        params,
+        (0..n as u8).collect(),
+        (50..50 + n as u8).collect(),
+        (100..100 + n as u8).collect(),
+    );
+
+    // Correctness gate before timing anything: both paths must agree.
+    let probe = b"hot path equivalence probe";
+    assert_eq!(
+        hero_bench::baseline::sign(&sk, probe),
+        sk.sign(probe),
+        "scalar baseline and batched signer disagree"
+    );
+
+    println!(
+        "bench_hot_path: {params_label} ({iters} iters{})",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let scalar = measure(|m| hero_bench::baseline::sign(&sk, m), iters);
+    let batched = measure(|m| sk.sign(m), iters);
+
+    let speedup = batched.msgs_per_sec / scalar.msgs_per_sec;
+    let compressions = hero_sign::workload::total_sign_compressions(&params) as f64;
+    let compressions_per_sec = compressions * batched.msgs_per_sec;
+
+    println!("  scalar baseline : {:>10.2} msgs/sec", scalar.msgs_per_sec);
+    println!(
+        "  batched hot path: {:>10.2} msgs/sec",
+        batched.msgs_per_sec
+    );
+    println!("  speedup         : {speedup:>10.2}x");
+    println!("  compressions/sec: {compressions_per_sec:>10.3e}");
+    println!(
+        "  allocs/sign     : {:>10.1} (scalar {:.1})",
+        batched.allocs_per_sign, scalar.allocs_per_sign
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"hot_path\",\n  \"params\": \"{}\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"baseline_scalar\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"batched\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"speedup_vs_baseline\": {:.3},\n  \"compressions_per_sign\": {},\n  \"compressions_per_sec\": {:.3e},\n  \"signatures_byte_identical\": true\n}}\n",
+        params_label,
+        smoke,
+        iters,
+        scalar.msgs_per_sec,
+        scalar.allocs_per_sign,
+        scalar.alloc_bytes_per_sign,
+        batched.msgs_per_sec,
+        batched.allocs_per_sign,
+        batched.alloc_bytes_per_sign,
+        speedup,
+        compressions as u64,
+        compressions_per_sec,
+    );
+    // Remaining batched-path allocations are the Vec-based Signature
+    // output structure (one Vec per revealed node/auth sibling), not the
+    // hashing loop; the JSON keeps both counts so the trajectory is
+    // honest about where the floor is.
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("  wrote {out_path}");
+}

@@ -192,10 +192,13 @@ pub fn run(
         node_adrs.set_layer(layer as u32);
         node_adrs.set_tree(tree);
         node_adrs.set_type(hero_sphincs::address::AddressType::Tree);
-        let TreeHashOutput { root, auth_path } =
-            hero_sphincs::merkle::treehash(ctx, params.tree_height(), leaf, &node_adrs, |i| {
-                hypertree::wots_leaf(ctx, sk_seed, layer as u32, tree, i)
-            });
+        let TreeHashOutput { root, auth_path } = hero_sphincs::merkle::treehash(
+            ctx,
+            params.tree_height(),
+            leaf,
+            &node_adrs,
+            |i, slot| hypertree::wots_leaf_into(ctx, sk_seed, layer as u32, tree, i, slot),
+        );
         LayerTree {
             layer: layer as u32,
             tree_idx: tree,

@@ -19,9 +19,12 @@ pub fn default_workers() -> usize {
 /// Applies `f` to every index in `0..len` on `workers` threads, returning
 /// results in index order.
 ///
-/// Work-steals via an atomic cursor, so uneven item costs (e.g. WOTS+
-/// chain lengths) balance automatically — the same reason the GPU kernels
-/// interleave chains across warps.
+/// Work-steals via an atomic cursor that hands out *chunks* of indices:
+/// each `fetch_add` claims `max(1, len / (workers · 8))` consecutive
+/// items, so fine-grained workloads (FORS leaves) don't serialize on the
+/// cursor while uneven item costs (e.g. WOTS+ chain lengths) still
+/// balance — the same reason the GPU kernels interleave chains across
+/// warps.
 ///
 /// # Panics
 ///
@@ -39,6 +42,9 @@ where
         return (0..len).map(f).collect();
     }
 
+    // ~8 claims per worker keeps stealing granular enough to balance
+    // uneven items without contending on every index.
+    let chunk = (len / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
     let slots_ptr = SendPtr(slots.as_mut_ptr());
@@ -48,15 +54,18 @@ where
             let cursor = &cursor;
             let f = &f;
             scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
                     break;
                 }
-                let value = f(i);
-                // SAFETY: each index is claimed by exactly one worker via
-                // the atomic cursor, so writes are disjoint; the scope
-                // guarantees the buffer outlives all workers.
-                unsafe { slots_ptr.write(i, Some(value)) }
+                for i in start..(start + chunk).min(len) {
+                    let value = f(i);
+                    // SAFETY: each index belongs to exactly one chunk and
+                    // each chunk is claimed by exactly one worker via the
+                    // atomic cursor, so writes are disjoint; the scope
+                    // guarantees the buffer outlives all workers.
+                    unsafe { slots_ptr.write(i, Some(value)) }
+                }
             });
         }
     });
@@ -148,5 +157,17 @@ mod tests {
     fn workers_capped_to_len() {
         let out = par_map_indexed(3, 64, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunked_claims_cover_ragged_lengths() {
+        // Lengths that do not divide the chunk size still visit every
+        // index exactly once.
+        for len in [1usize, 7, 97, 1000, 1025] {
+            for workers in [2usize, 3, 8] {
+                let out = par_map_indexed(len, workers, |i| i);
+                assert_eq!(out, (0..len).collect::<Vec<_>>(), "len={len} w={workers}");
+            }
+        }
     }
 }

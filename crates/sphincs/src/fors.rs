@@ -4,11 +4,20 @@
 //! per tree, and the signature reveals that leaf's secret preimage plus its
 //! authentication path (§II-A2 of the paper). Tree independence is the
 //! parallelism HERO-Sign's FORS Fusion exploits.
+//!
+//! Leaf generation is fully batched: a tree's `t` leaves derive their
+//! secrets with chunked [`HashCtx::prf_many`] sweeps straight into the
+//! flat treehash buffer and hash to leaves in place with
+//! [`HashCtx::f_many_at`] — the CPU mirror of the fused `Set` filling a
+//! block's shared memory with one leaf per thread (§III-B).
 
 use crate::address::{Address, AddressType};
 use crate::hash::HashCtx;
 use crate::merkle::{self, TreeHashOutput};
 use crate::params::Params;
+
+/// Leaves batched per scratch refill while filling a tree's bottom layer.
+const LEAF_CHUNK: usize = 128;
 
 /// One tree's share of a FORS signature.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +61,30 @@ pub fn message_to_indices(params: &Params, md: &[u8]) -> Vec<u32> {
     indices
 }
 
+/// The PRF address of the forest-global leaf slot `global_idx`
+/// (`tree_idx · t + leaf_idx`) — the single place the ForsPrf field
+/// sequence is spelled out; scalar and batched paths share it.
+fn prf_adrs_for(keypair_adrs: &Address, global_idx: u32) -> Address {
+    let mut adrs = Address::new();
+    adrs.copy_subtree_from(keypair_adrs);
+    adrs.set_type(AddressType::ForsPrf);
+    adrs.set_keypair(keypair_adrs.keypair());
+    adrs.set_tree_height(0);
+    adrs.set_tree_index(global_idx);
+    adrs
+}
+
+/// The leaf-hash (`F`) address of forest-global leaf slot `global_idx`.
+fn leaf_adrs_for(keypair_adrs: &Address, global_idx: u32) -> Address {
+    let mut adrs = Address::new();
+    adrs.copy_subtree_from(keypair_adrs);
+    adrs.set_type(AddressType::ForsTree);
+    adrs.set_keypair(keypair_adrs.keypair());
+    adrs.set_tree_height(0);
+    adrs.set_tree_index(global_idx);
+    adrs
+}
+
 /// Derives the secret element for leaf `leaf_idx` of FORS tree `tree_idx`.
 ///
 /// The global leaf offset `tree_idx · t + leaf_idx` is the tree-index
@@ -64,13 +97,8 @@ pub fn sk_element(
     leaf_idx: u32,
 ) -> Vec<u8> {
     let params = ctx.params();
-    let mut adrs = Address::new();
-    adrs.copy_subtree_from(keypair_adrs);
-    adrs.set_type(AddressType::ForsPrf);
-    adrs.set_keypair(keypair_adrs.keypair());
-    adrs.set_tree_height(0);
-    adrs.set_tree_index(tree_idx * params.t() as u32 + leaf_idx);
-    ctx.prf(&adrs, sk_seed)
+    let global = tree_idx * params.t() as u32 + leaf_idx;
+    ctx.prf(&prf_adrs_for(keypair_adrs, global), sk_seed)
 }
 
 /// Computes leaf `leaf_idx` of tree `tree_idx`: `F(PRF(..))`.
@@ -83,17 +111,16 @@ pub fn leaf(
 ) -> Vec<u8> {
     let params = ctx.params();
     let sk = sk_element(ctx, sk_seed, keypair_adrs, tree_idx, leaf_idx);
-    let mut adrs = Address::new();
-    adrs.copy_subtree_from(keypair_adrs);
-    adrs.set_type(AddressType::ForsTree);
-    adrs.set_keypair(keypair_adrs.keypair());
-    adrs.set_tree_height(0);
-    adrs.set_tree_index(tree_idx * params.t() as u32 + leaf_idx);
-    ctx.f(&adrs, &sk)
+    let global = tree_idx * params.t() as u32 + leaf_idx;
+    ctx.f(&leaf_adrs_for(keypair_adrs, global), &sk)
 }
 
 /// Tree-hashes FORS tree `tree_idx`, returning root and auth path for
 /// `leaf_idx`.
+///
+/// The whole bottom layer is generated batched: chunks of [`LEAF_CHUNK`]
+/// leaves run `PRF` then `F` through the multi-lane engine directly into
+/// the flat level buffer.
 pub fn tree_hash(
     ctx: &HashCtx,
     sk_seed: &[u8],
@@ -102,16 +129,40 @@ pub fn tree_hash(
     leaf_idx: u32,
 ) -> TreeHashOutput {
     let params = *ctx.params();
+    let n = params.n;
+    let t = params.t();
     let mut node_adrs = Address::new();
     node_adrs.copy_subtree_from(keypair_adrs);
     node_adrs.set_type(AddressType::ForsTree);
     node_adrs.set_keypair(keypair_adrs.keypair());
     // Node addresses are forest-global: tree `j` occupies leaf slots
     // [j·t, (j+1)·t).
-    let leaf_offset = tree_idx * params.t() as u32;
-    merkle::treehash_with_offset(ctx, params.log_t, leaf_idx, &node_adrs, leaf_offset, |i| {
-        leaf(ctx, sk_seed, keypair_adrs, tree_idx, i)
-    })
+    let leaf_offset = tree_idx * t as u32;
+    merkle::treehash_flat(
+        ctx,
+        params.log_t,
+        leaf_idx,
+        &node_adrs,
+        leaf_offset,
+        |buf| {
+            let mut prf_adrs = [Address::new(); LEAF_CHUNK];
+            let mut leaf_adrs = [Address::new(); LEAF_CHUNK];
+            let identity: [usize; LEAF_CHUNK] = std::array::from_fn(|j| j);
+            let mut start = 0usize;
+            while start < t {
+                let chunk = LEAF_CHUNK.min(t - start);
+                for j in 0..chunk {
+                    let global = leaf_offset + (start + j) as u32;
+                    prf_adrs[j] = prf_adrs_for(keypair_adrs, global);
+                    leaf_adrs[j] = leaf_adrs_for(keypair_adrs, global);
+                }
+                let slots = &mut buf[start * n..(start + chunk) * n];
+                ctx.prf_many(&prf_adrs[..chunk], sk_seed, slots);
+                ctx.f_many_at(&leaf_adrs[..chunk], slots, &identity[..chunk]);
+                start += chunk;
+            }
+        },
+    )
 }
 
 /// Signs message digest `md`, producing one revealed leaf per tree.

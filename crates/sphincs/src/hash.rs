@@ -13,11 +13,31 @@
 //! ([`SeededHasher`]); every subsequent call costs exactly
 //! `compressions_for_tail(len)` compressions. HERO-Sign's GPU kernels keep
 //! this state in constant memory (§III-D of the paper).
+//!
+//! ## Batched calls
+//!
+//! The hot path never hashes one node at a time: [`HashCtx::f_many`],
+//! [`HashCtx::h_many`] and [`HashCtx::prf_many`] advance up to
+//! [`sha256::LANES`] independent calls per compression through the
+//! multi-lane engine ([`crate::sha256::Sha256xN`]), every lane starting
+//! from the same precomputed seed state. This is the CPU mirror of the
+//! paper's warp-level batching: the GPU keeps one node per thread, we keep
+//! one node per SIMD lane. All batch APIs are byte-identical to looping
+//! the scalar calls (pinned by proptests), and the `_into`/`_many`
+//! variants write into caller-provided buffers so a signing loop performs
+//! no per-hash allocations.
 
 use crate::address::Address;
 use crate::params::Params;
-use crate::sha256::{self, Sha256, BLOCK_LEN};
+use crate::sha256::{self, Sha256, Sha256xN, BLOCK_LEN, LANES};
 use crate::sha512::Sha512;
+
+/// Compressed-address prefix length of every tweakable-hash tail.
+const ADRS_LEN: usize = 22;
+
+/// Per-lane scratch: the longest batched tail is `H`'s `22 + 2n ≤ 86`
+/// bytes, which pads into at most two 64-byte blocks.
+const LANE_BUF: usize = 2 * BLOCK_LEN;
 
 /// The underlying hash primitive for the tweakable-hash layer.
 ///
@@ -134,6 +154,15 @@ impl HashCtx {
 
     /// Seeded tweakable hash over `adrs || parts…`, truncated to `n`.
     fn tweak(&self, adrs: &Address, parts: &[&[u8]]) -> Vec<u8> {
+        let mut out = vec![0u8; self.params.n];
+        self.tweak_into(adrs, parts, &mut out);
+        out
+    }
+
+    /// [`HashCtx::tweak`] writing the `n`-byte result into `out` without
+    /// allocating.
+    fn tweak_into(&self, adrs: &Address, parts: &[&[u8]], out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.params.n);
         match self.alg {
             HashAlg::Sha256 => {
                 let mut h = self.seeded.start();
@@ -141,7 +170,7 @@ impl HashCtx {
                 for part in parts {
                     h.update(part);
                 }
-                h.finalize()[..self.params.n].to_vec()
+                out.copy_from_slice(&h.finalize()[..self.params.n]);
             }
             HashAlg::Sha512 => {
                 let mut h = Sha512::from_state(self.seeded512, crate::sha512::BLOCK_LEN as u128);
@@ -149,7 +178,183 @@ impl HashCtx {
                 for part in parts {
                     h.update(part);
                 }
-                h.finalize()[..self.params.n].to_vec()
+                out.copy_from_slice(&h.finalize()[..self.params.n]);
+            }
+        }
+    }
+
+    /// Pads lane buffer bytes `[0, tail_len)` as a message tail following
+    /// the seed block, returning the block count.
+    fn pad_lane(buf: &mut [u8; LANE_BUF], tail_len: usize) -> usize {
+        sha256::pad_in_place(buf, tail_len, BLOCK_LEN as u64)
+    }
+
+    /// Compresses the first `nblocks` blocks of every lane buffer from the
+    /// broadcast seed state.
+    fn compress_lanes(&self, bufs: &[[u8; LANE_BUF]; LANES], nblocks: usize) -> Sha256xN {
+        let mut mx = Sha256xN::broadcast(self.seeded.state);
+        for b in 0..nblocks {
+            let blocks: [&[u8; BLOCK_LEN]; LANES] = std::array::from_fn(|l| {
+                bufs[l][b * BLOCK_LEN..(b + 1) * BLOCK_LEN]
+                    .try_into()
+                    .expect("block slice")
+            });
+            mx.compress(&blocks);
+        }
+        mx
+    }
+
+    /// SHA-256 batch core: call `i` hashes `adrs[i] || payload(i)` (all
+    /// payloads `payload_len` bytes), writing `n`-byte digests to
+    /// `out[i*n..]`. Lanes are processed [`LANES`] at a time; a partial
+    /// final chunk repeats its last call in the unused lanes.
+    fn tweak_many_256<'p>(
+        &self,
+        adrs: &[Address],
+        payload_len: usize,
+        payload: impl Fn(usize) -> &'p [u8],
+        out: &mut [u8],
+    ) {
+        let n = self.params.n;
+        let count = adrs.len();
+        let tail_len = ADRS_LEN + payload_len;
+        let nblocks = (tail_len + 1 + 8).div_ceil(BLOCK_LEN);
+        debug_assert!(tail_len <= LANE_BUF - 9, "tail exceeds lane scratch");
+
+        let mut bufs = [[0u8; LANE_BUF]; LANES];
+        let mut start = 0usize;
+        while start < count {
+            let lanes = LANES.min(count - start);
+            for (l, buf) in bufs.iter_mut().enumerate() {
+                let i = start + l.min(lanes - 1);
+                buf[..ADRS_LEN].copy_from_slice(&adrs[i].to_compressed_bytes());
+                buf[ADRS_LEN..tail_len].copy_from_slice(payload(i));
+                Self::pad_lane(buf, tail_len);
+            }
+            let mx = self.compress_lanes(&bufs, nblocks);
+            for l in 0..lanes {
+                let i = start + l;
+                mx.digest_into(l, &mut out[i * n..(i + 1) * n]);
+            }
+            start += lanes;
+        }
+    }
+
+    /// `F` over a batch: `out[i*n..] = F(adrs[i], msgs[i*n..])`.
+    ///
+    /// Byte-identical to calling [`HashCtx::f`] in a loop; the SHA-256
+    /// path advances [`LANES`] calls per compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs` or `out` is not `adrs.len() * n` bytes.
+    pub fn f_many(&self, adrs: &[Address], msgs: &[u8], out: &mut [u8]) {
+        let n = self.params.n;
+        assert_eq!(msgs.len(), adrs.len() * n, "msgs must be count*n bytes");
+        assert_eq!(out.len(), adrs.len() * n, "out must be count*n bytes");
+        match self.alg {
+            HashAlg::Sha256 => self.tweak_many_256(adrs, n, |i| &msgs[i * n..(i + 1) * n], out),
+            HashAlg::Sha512 => {
+                for (i, a) in adrs.iter().enumerate() {
+                    let (m, o) = (&msgs[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
+                    self.tweak_into(a, &[m], o);
+                }
+            }
+        }
+    }
+
+    /// In-place scatter variant of [`HashCtx::f_many`] for chain hashing:
+    /// lane `j` reads node `buf[indices[j]*n..]` and overwrites it with
+    /// `F(adrs[j], node)`. `indices` must be distinct.
+    ///
+    /// This is the WOTS+ chain step: every active chain advances one `F`
+    /// without copying nodes out of the flat chain buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != adrs.len()` or an index is out of
+    /// bounds of `buf`.
+    pub fn f_many_at(&self, adrs: &[Address], buf: &mut [u8], indices: &[usize]) {
+        let n = self.params.n;
+        let count = adrs.len();
+        assert_eq!(indices.len(), count, "one index per address");
+        match self.alg {
+            HashAlg::Sha256 => {
+                let tail_len = ADRS_LEN + n;
+                let nblocks = (tail_len + 1 + 8).div_ceil(BLOCK_LEN);
+                let mut bufs = [[0u8; LANE_BUF]; LANES];
+                let mut start = 0usize;
+                while start < count {
+                    let lanes = LANES.min(count - start);
+                    for (l, lane_buf) in bufs.iter_mut().enumerate() {
+                        let j = start + l.min(lanes - 1);
+                        let slot = indices[j] * n;
+                        lane_buf[..ADRS_LEN].copy_from_slice(&adrs[j].to_compressed_bytes());
+                        lane_buf[ADRS_LEN..tail_len].copy_from_slice(&buf[slot..slot + n]);
+                        Self::pad_lane(lane_buf, tail_len);
+                    }
+                    let mx = self.compress_lanes(&bufs, nblocks);
+                    for l in 0..lanes {
+                        let slot = indices[start + l] * n;
+                        mx.digest_into(l, &mut buf[slot..slot + n]);
+                    }
+                    start += lanes;
+                }
+            }
+            HashAlg::Sha512 => {
+                let mut node = [0u8; 32];
+                for (a, &idx) in adrs.iter().zip(indices) {
+                    let slot = idx * n;
+                    node[..n].copy_from_slice(&buf[slot..slot + n]);
+                    self.tweak_into(a, &[&node[..n]], &mut buf[slot..slot + n]);
+                }
+            }
+        }
+    }
+
+    /// `H` over a batch of sibling pairs: `out[i*n..] =
+    /// H(adrs[i], pairs[2i*n..], pairs[(2i+1)*n..])`.
+    ///
+    /// This is one Merkle level: `pairs` holds the level's nodes
+    /// contiguously (`2·count` nodes) and `out` receives the parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is not `2*count*n` bytes or `out` not `count*n`.
+    pub fn h_many(&self, adrs: &[Address], pairs: &[u8], out: &mut [u8]) {
+        let n = self.params.n;
+        let count = adrs.len();
+        assert_eq!(pairs.len(), count * 2 * n, "pairs must be 2*count*n bytes");
+        assert_eq!(out.len(), count * n, "out must be count*n bytes");
+        match self.alg {
+            HashAlg::Sha256 => {
+                self.tweak_many_256(adrs, 2 * n, |i| &pairs[2 * i * n..(2 * i + 2) * n], out)
+            }
+            HashAlg::Sha512 => {
+                for (i, a) in adrs.iter().enumerate() {
+                    let pair = &pairs[2 * i * n..(2 * i + 2) * n];
+                    self.tweak_into(a, &[pair], &mut out[i * n..(i + 1) * n]);
+                }
+            }
+        }
+    }
+
+    /// `PRF` over a batch of addresses sharing one `sk_seed`:
+    /// `out[i*n..] = PRF(adrs[i], sk_seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `adrs.len() * n` bytes or `sk_seed` not `n`.
+    pub fn prf_many(&self, adrs: &[Address], sk_seed: &[u8], out: &mut [u8]) {
+        let n = self.params.n;
+        assert_eq!(sk_seed.len(), n, "sk_seed must be n bytes");
+        assert_eq!(out.len(), adrs.len() * n, "out must be count*n bytes");
+        match self.alg {
+            HashAlg::Sha256 => self.tweak_many_256(adrs, n, |_| sk_seed, out),
+            HashAlg::Sha512 => {
+                for (i, a) in adrs.iter().enumerate() {
+                    self.tweak_into(a, &[sk_seed], &mut out[i * n..(i + 1) * n]);
+                }
             }
         }
     }
@@ -164,11 +369,24 @@ impl HashCtx {
         self.tweak(adrs, &[m])
     }
 
+    /// [`HashCtx::f`] writing the `n`-byte result into `out`.
+    pub fn f_into(&self, adrs: &Address, m: &[u8], out: &mut [u8]) {
+        debug_assert_eq!(m.len(), self.params.n);
+        self.tweak_into(adrs, &[m], out);
+    }
+
     /// `H`: two-to-one hash of sibling nodes.
     pub fn h(&self, adrs: &Address, left: &[u8], right: &[u8]) -> Vec<u8> {
         debug_assert_eq!(left.len(), self.params.n);
         debug_assert_eq!(right.len(), self.params.n);
         self.tweak(adrs, &[left, right])
+    }
+
+    /// [`HashCtx::h`] writing the `n`-byte result into `out`.
+    pub fn h_into(&self, adrs: &Address, left: &[u8], right: &[u8], out: &mut [u8]) {
+        debug_assert_eq!(left.len(), self.params.n);
+        debug_assert_eq!(right.len(), self.params.n);
+        self.tweak_into(adrs, &[left, right], out);
     }
 
     /// `T_l`: compresses `l` concatenated `n`-byte values (WOTS+ public key,
@@ -181,6 +399,14 @@ impl HashCtx {
         self.tweak(adrs, parts)
     }
 
+    /// `T_l` over one flat `l*n`-byte buffer of concatenated parts,
+    /// writing the result into `out` (the batch-era spelling: WOTS+ chain
+    /// ends and FORS roots already live in flat node buffers).
+    pub fn t_l_flat_into(&self, adrs: &Address, parts: &[u8], out: &mut [u8]) {
+        debug_assert!(parts.len().is_multiple_of(self.params.n));
+        self.tweak_into(adrs, &[parts], out);
+    }
+
     /// `PRF`: derives a secret element from `sk_seed` at `adrs`.
     ///
     /// Computes `Hash(pk_seed || pad || adrs_c || sk_seed)`; keeping
@@ -188,6 +414,12 @@ impl HashCtx {
     pub fn prf(&self, adrs: &Address, sk_seed: &[u8]) -> Vec<u8> {
         debug_assert_eq!(sk_seed.len(), self.params.n);
         self.tweak(adrs, &[sk_seed])
+    }
+
+    /// [`HashCtx::prf`] writing the `n`-byte result into `out`.
+    pub fn prf_into(&self, adrs: &Address, sk_seed: &[u8], out: &mut [u8]) {
+        debug_assert_eq!(sk_seed.len(), self.params.n);
+        self.tweak_into(adrs, &[sk_seed], out);
     }
 
     /// `PRF_msg`: message randomizer `r = PRF(sk_prf, opt_rand, m)`.
@@ -415,6 +647,96 @@ mod tests {
         let l = [1u8; 16];
         let r = [2u8; 16];
         assert_eq!(ctx.h(&a, &l, &r), ctx.t_l(&a, &[&l, &r]));
+    }
+
+    #[test]
+    fn batch_apis_match_scalar_for_both_algs() {
+        for alg in [HashAlg::Sha256, HashAlg::Sha512] {
+            for p in Params::fast_sets() {
+                let n = p.n;
+                let ctx = HashCtx::with_alg(p, &vec![5u8; n], alg);
+                let count = 13; // deliberately not a multiple of LANES
+                let adrs: Vec<Address> = (0..count as u32)
+                    .map(|i| {
+                        let mut a = Address::new();
+                        a.set_type(AddressType::WotsHash);
+                        a.set_chain(i);
+                        a.set_hash(i * 3);
+                        a
+                    })
+                    .collect();
+                let msgs: Vec<u8> = (0..count * n).map(|i| (i % 251) as u8).collect();
+                let pairs: Vec<u8> = (0..count * 2 * n).map(|i| (i % 241) as u8).collect();
+                let sk_seed = vec![9u8; n];
+
+                let mut out = vec![0u8; count * n];
+                ctx.f_many(&adrs, &msgs, &mut out);
+                for i in 0..count {
+                    assert_eq!(
+                        out[i * n..(i + 1) * n],
+                        ctx.f(&adrs[i], &msgs[i * n..(i + 1) * n])[..],
+                        "{alg:?} {} f lane {i}",
+                        p.name()
+                    );
+                }
+
+                ctx.h_many(&adrs, &pairs, &mut out);
+                for i in 0..count {
+                    let l = &pairs[2 * i * n..(2 * i + 1) * n];
+                    let r = &pairs[(2 * i + 1) * n..(2 * i + 2) * n];
+                    assert_eq!(
+                        out[i * n..(i + 1) * n],
+                        ctx.h(&adrs[i], l, r)[..],
+                        "{alg:?} {} h lane {i}",
+                        p.name()
+                    );
+                }
+
+                ctx.prf_many(&adrs, &sk_seed, &mut out);
+                for i in 0..count {
+                    assert_eq!(
+                        out[i * n..(i + 1) * n],
+                        ctx.prf(&adrs[i], &sk_seed)[..],
+                        "{alg:?} {} prf lane {i}",
+                        p.name()
+                    );
+                }
+
+                // In-place scatter F over a permuted index set.
+                let mut buf = msgs.clone();
+                let indices: Vec<usize> = (0..count).rev().collect();
+                ctx.f_many_at(&adrs, &mut buf, &indices);
+                for (j, &idx) in indices.iter().enumerate() {
+                    assert_eq!(
+                        buf[idx * n..(idx + 1) * n],
+                        ctx.f(&adrs[j], &msgs[idx * n..(idx + 1) * n])[..],
+                        "{alg:?} {} f_at lane {j}",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_vec_apis() {
+        let ctx = ctx128();
+        let mut a = Address::new();
+        a.set_type(AddressType::WotsHash);
+        let m = [1u8; 16];
+        let r = [2u8; 16];
+        let mut out = [0u8; 16];
+        ctx.f_into(&a, &m, &mut out);
+        assert_eq!(out[..], ctx.f(&a, &m)[..]);
+        ctx.h_into(&a, &m, &r, &mut out);
+        assert_eq!(out[..], ctx.h(&a, &m, &r)[..]);
+        ctx.prf_into(&a, &m, &mut out);
+        assert_eq!(out[..], ctx.prf(&a, &m)[..]);
+        let mut flat = [0u8; 32];
+        flat[..16].copy_from_slice(&m);
+        flat[16..].copy_from_slice(&r);
+        ctx.t_l_flat_into(&a, &flat, &mut out);
+        assert_eq!(out[..], ctx.t_l(&a, &[&m, &r])[..]);
     }
 
     #[test]

@@ -34,12 +34,28 @@ pub struct HtSignature {
 /// This is `wots_gen_leaf` in the reference code — the register-hungry
 /// routine Table III profiles.
 pub fn wots_leaf(ctx: &HashCtx, sk_seed: &[u8], layer: u32, tree: u64, leaf_idx: u32) -> Vec<u8> {
+    let mut out = vec![0u8; ctx.params().n];
+    wots_leaf_into(ctx, sk_seed, layer, tree, leaf_idx, &mut out);
+    out
+}
+
+/// [`wots_leaf`] writing the `n`-byte leaf into `out` — the allocation-free
+/// treehash leaf filler (chains batched inside
+/// [`wots::pk_gen_into`]).
+pub fn wots_leaf_into(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    layer: u32,
+    tree: u64,
+    leaf_idx: u32,
+    out: &mut [u8],
+) {
     let mut adrs = Address::new();
     adrs.set_layer(layer);
     adrs.set_tree(tree);
     adrs.set_type(AddressType::WotsHash);
     adrs.set_keypair(leaf_idx);
-    wots::pk_gen(ctx, sk_seed, &adrs)
+    wots::pk_gen_into(ctx, sk_seed, &adrs, out);
 }
 
 /// Signs `msg` (an `n`-byte root or FORS pk) with the XMSS tree at
@@ -66,9 +82,13 @@ pub fn xmss_sign(
     node_adrs.set_layer(layer);
     node_adrs.set_tree(tree);
     node_adrs.set_type(AddressType::Tree);
-    let out = merkle::treehash(ctx, params.tree_height(), leaf_idx, &node_adrs, |i| {
-        wots_leaf(ctx, sk_seed, layer, tree, i)
-    });
+    let out = merkle::treehash(
+        ctx,
+        params.tree_height(),
+        leaf_idx,
+        &node_adrs,
+        |i, slot| wots_leaf_into(ctx, sk_seed, layer, tree, i, slot),
+    );
 
     (
         XmssSig {
@@ -154,8 +174,8 @@ pub fn public_root(ctx: &HashCtx, sk_seed: &[u8]) -> Vec<u8> {
     node_adrs.set_layer(layer);
     node_adrs.set_tree(0);
     node_adrs.set_type(AddressType::Tree);
-    merkle::treehash(ctx, params.tree_height(), 0, &node_adrs, |i| {
-        wots_leaf(ctx, sk_seed, layer, 0, i)
+    merkle::treehash(ctx, params.tree_height(), 0, &node_adrs, |i, slot| {
+        wots_leaf_into(ctx, sk_seed, layer, 0, i, slot)
     })
     .root
 }

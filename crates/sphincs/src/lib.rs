@@ -7,19 +7,32 @@
 //!
 //! The crate exposes every layer the paper parallelizes:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256 with an exposed compression function
-//!   and resumable chaining state (the kernels' constant-memory seed state).
+//! * [`sha256`] — FIPS 180-4 SHA-256 with an exposed compression function,
+//!   resumable chaining state (the kernels' constant-memory seed state),
+//!   and the multi-lane [`sha256::Sha256xN`] engine.
 //! * [`params`] — Table I parameter sets.
 //! * [`address`] — the ADRS hash-addressing scheme.
 //! * [`hash`] — the tweakable hashes `F`, `H`, `T_l`, `PRF`, `PRF_msg`,
-//!   `H_msg`.
-//! * [`wots`] — WOTS+ chains (chain-level parallelism).
+//!   `H_msg`, each in scalar, into-buffer, and batched (`*_many`) form.
+//! * [`wots`] — WOTS+ chains (chain-level parallelism; chains advance
+//!   batched across SIMD lanes).
 //! * [`fors`] — the forest of random subsets (tree-level parallelism,
-//!   the target of HERO-Sign's FORS Fusion).
+//!   the target of HERO-Sign's FORS Fusion; leaves generate batched).
 //! * [`merkle`] — tree hashing with authentication paths (the reduction
-//!   of Fig. 7).
+//!   of Fig. 7, levels halved in place over one flat buffer).
 //! * [`hypertree`] — the `d`-layer hypertree (`TREE_Sign`'s workload).
 //! * [`sign`] — keygen / sign / verify.
+//!
+//! ## Lanes as threads
+//!
+//! HERO-Sign fills GPU warps with independent hash nodes; this crate
+//! fills SIMD lanes the same way. Every structure-level independence the
+//! paper exploits (WOTS+ chains, FORS leaves and trees, Merkle siblings)
+//! is expressed through the batch APIs in [`hash`], which start all
+//! [`sha256::LANES`] lanes from the one precomputed `pk_seed` state and
+//! run the compression rounds in lockstep — the CPU shape of the paper's
+//! warp batching and of its Table 10 AVX2 baseline. Batched and scalar
+//! APIs are byte-identical by construction and by proptest.
 //!
 //! ## Quickstart
 //!

@@ -4,6 +4,13 @@
 //! level-by-level formulation here is deliberately the same shape as the
 //! GPU kernels' tree-based reduction (Fig. 7 of the paper): compute all
 //! leaves, then halve level by level.
+//!
+//! The hot path is allocation-free in the steady state: leaves are
+//! produced into one flat `n`-stride buffer ([`treehash_flat`]), every
+//! level is halved with one batched [`HashCtx::h_many`] sweep (the CPU
+//! analogue of a warp hashing sibling pairs in lockstep), and
+//! authentication-path siblings are sliced straight out of the flat level
+//! buffer instead of cloning `Vec<Vec<u8>>` levels.
 
 use crate::address::Address;
 use crate::hash::HashCtx;
@@ -18,7 +25,8 @@ pub struct TreeHashOutput {
 }
 
 /// Computes the Merkle root and the authentication path of `leaf_idx` for a
-/// tree of `height` levels whose leaves are produced by `leaf_fn(i)`.
+/// tree of `height` levels whose leaves are produced by
+/// `leaf_fn(i, slot)` writing leaf `i` into the `n`-byte `slot`.
 ///
 /// `node_adrs` carries the layer/tree coordinates; tree-height and
 /// tree-index fields are set here for every internal `H` call.
@@ -34,7 +42,7 @@ pub fn treehash<F>(
     leaf_fn: F,
 ) -> TreeHashOutput
 where
-    F: FnMut(u32) -> Vec<u8>,
+    F: FnMut(u32, &mut [u8]),
 {
     treehash_with_offset(ctx, height, leaf_idx, node_adrs, 0, leaf_fn)
 }
@@ -57,8 +65,36 @@ pub fn treehash_with_offset<F>(
     mut leaf_fn: F,
 ) -> TreeHashOutput
 where
-    F: FnMut(u32) -> Vec<u8>,
+    F: FnMut(u32, &mut [u8]),
 {
+    let n = ctx.params().n;
+    treehash_flat(ctx, height, leaf_idx, node_adrs, leaf_offset, |leaves| {
+        for (i, slot) in leaves.chunks_exact_mut(n).enumerate() {
+            leaf_fn(i as u32, slot);
+        }
+    })
+}
+
+/// The flat-buffer treehash core: `fill_leaves` writes all `2^height`
+/// leaves into one `2^height * n`-byte buffer at once (letting the caller
+/// batch leaf generation across the whole bottom layer), then levels halve
+/// in place via [`HashCtx::h_many`].
+///
+/// # Panics
+///
+/// As [`treehash_with_offset`].
+pub fn treehash_flat<F>(
+    ctx: &HashCtx,
+    height: usize,
+    leaf_idx: u32,
+    node_adrs: &Address,
+    leaf_offset: u32,
+    fill_leaves: F,
+) -> TreeHashOutput
+where
+    F: FnOnce(&mut [u8]),
+{
+    let n = ctx.params().n;
     let num_leaves = 1usize << height;
     assert!((leaf_idx as usize) < num_leaves, "leaf index out of range");
     assert!(
@@ -66,28 +102,40 @@ where
         "leaf offset must be a multiple of the tree size"
     );
 
-    let mut level: Vec<Vec<u8>> = (0..num_leaves as u32).map(&mut leaf_fn).collect();
+    // Ping-pong level buffers: `level` holds the current level's nodes
+    // contiguously, `next` receives the parents.
+    let mut level = vec![0u8; num_leaves * n];
+    fill_leaves(&mut level);
+    let mut next = vec![0u8; (num_leaves / 2).max(1) * n];
+    let mut adrs_buf: Vec<Address> = Vec::with_capacity(num_leaves / 2);
+
     let mut auth_path = Vec::with_capacity(height);
     let mut idx = leaf_idx;
     let mut adrs = *node_adrs;
+    let mut len = num_leaves;
 
     for level_height in 1..=height {
-        auth_path.push(level[(idx ^ 1) as usize].clone());
+        let sibling = (idx ^ 1) as usize;
+        auth_path.push(level[sibling * n..(sibling + 1) * n].to_vec());
+
         adrs.set_tree_height(level_height as u32);
         let level_offset = leaf_offset >> level_height;
-        let next: Vec<Vec<u8>> = (0..level.len() / 2)
-            .map(|i| {
-                adrs.set_tree_index(level_offset + i as u32);
-                ctx.h(&adrs, &level[2 * i], &level[2 * i + 1])
-            })
-            .collect();
-        level = next;
+        let parents = len / 2;
+        adrs_buf.clear();
+        for i in 0..parents as u32 {
+            let mut a = adrs;
+            a.set_tree_index(level_offset + i);
+            adrs_buf.push(a);
+        }
+        ctx.h_many(&adrs_buf, &level[..len * n], &mut next[..parents * n]);
+        std::mem::swap(&mut level, &mut next);
+        len = parents;
         idx >>= 1;
     }
 
-    debug_assert_eq!(level.len(), 1);
+    debug_assert_eq!(len, 1);
     TreeHashOutput {
-        root: level.pop().expect("root"),
+        root: level[..n].to_vec(),
         auth_path,
     }
 }
@@ -113,18 +161,21 @@ pub fn root_from_auth_path_with_offset(
     node_adrs: &Address,
     leaf_offset: u32,
 ) -> Vec<u8> {
+    let n = ctx.params().n;
     let mut node = leaf.to_vec();
+    let mut out = vec![0u8; n];
     let mut idx = leaf_idx;
     let mut adrs = *node_adrs;
     for (level, sibling) in auth_path.iter().enumerate() {
         let height = level as u32 + 1;
         adrs.set_tree_height(height);
         adrs.set_tree_index((leaf_offset >> height) + (idx >> 1));
-        node = if idx & 1 == 0 {
-            ctx.h(&adrs, &node, sibling)
+        if idx & 1 == 0 {
+            ctx.h_into(&adrs, &node, sibling, &mut out);
         } else {
-            ctx.h(&adrs, sibling, &node)
-        };
+            ctx.h_into(&adrs, sibling, &node, &mut out);
+        }
+        std::mem::swap(&mut node, &mut out);
         idx >>= 1;
     }
     node
@@ -144,9 +195,14 @@ mod tests {
         HashCtx::new(Params::sphincs_128f(), &[11u8; 16])
     }
 
-    fn leaf(i: u32) -> Vec<u8> {
+    fn leaf(i: u32, slot: &mut [u8]) {
+        slot.fill(0);
+        slot[..4].copy_from_slice(&i.to_be_bytes());
+    }
+
+    fn leaf_vec(i: u32) -> Vec<u8> {
         let mut v = vec![0u8; 16];
-        v[..4].copy_from_slice(&i.to_be_bytes());
+        leaf(i, &mut v);
         v
     }
 
@@ -159,9 +215,57 @@ mod tests {
             let out = treehash(&ctx, height, leaf_idx, &adrs, leaf);
             assert_eq!(out.auth_path.len(), height);
             let rebuilt =
-                root_from_auth_path(&ctx, &leaf(leaf_idx), leaf_idx, &out.auth_path, &adrs);
+                root_from_auth_path(&ctx, &leaf_vec(leaf_idx), leaf_idx, &out.auth_path, &adrs);
             assert_eq!(rebuilt, out.root, "leaf {leaf_idx}");
         }
+    }
+
+    #[test]
+    fn flat_fill_matches_per_leaf_fill() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        for leaf_idx in [0u32, 3, 7] {
+            let per_leaf = treehash(&ctx, 3, leaf_idx, &adrs, leaf);
+            let flat = treehash_flat(&ctx, 3, leaf_idx, &adrs, 0, |buf| {
+                for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                    leaf(i as u32, slot);
+                }
+            });
+            assert_eq!(per_leaf, flat);
+        }
+    }
+
+    #[test]
+    fn scalar_oracle_agrees_with_batched_levels() {
+        // Reference model: explicit Vec<Vec<u8>> levels hashed with the
+        // scalar two-to-one H (the seed-era implementation).
+        let ctx = ctx();
+        let mut base = Address::new();
+        base.set_tree(3);
+        let height = 5;
+        let leaf_offset = 3 << height;
+        let leaf_idx = 11u32;
+
+        let mut level: Vec<Vec<u8>> = (0..1u32 << height).map(leaf_vec).collect();
+        let mut idx = leaf_idx;
+        let mut adrs = base;
+        let mut expected_path = Vec::new();
+        for level_height in 1..=height {
+            expected_path.push(level[(idx ^ 1) as usize].clone());
+            adrs.set_tree_height(level_height as u32);
+            let level_offset = leaf_offset >> level_height;
+            level = (0..level.len() / 2)
+                .map(|i| {
+                    adrs.set_tree_index(level_offset + i as u32);
+                    ctx.h(&adrs, &level[2 * i], &level[2 * i + 1])
+                })
+                .collect();
+            idx >>= 1;
+        }
+
+        let out = treehash_with_offset(&ctx, height, leaf_idx, &base, leaf_offset, leaf);
+        assert_eq!(out.root, level[0]);
+        assert_eq!(out.auth_path, expected_path);
     }
 
     #[test]
@@ -178,7 +282,7 @@ mod tests {
         let ctx = ctx();
         let adrs = Address::new();
         let out = treehash(&ctx, 3, 2, &adrs, leaf);
-        let rebuilt = root_from_auth_path(&ctx, &leaf(3), 2, &out.auth_path, &adrs);
+        let rebuilt = root_from_auth_path(&ctx, &leaf_vec(3), 2, &out.auth_path, &adrs);
         assert_ne!(rebuilt, out.root);
     }
 
@@ -188,7 +292,7 @@ mod tests {
         let adrs = Address::new();
         let mut out = treehash(&ctx, 3, 5, &adrs, leaf);
         out.auth_path[1][0] ^= 0x80;
-        let rebuilt = root_from_auth_path(&ctx, &leaf(5), 5, &out.auth_path, &adrs);
+        let rebuilt = root_from_auth_path(&ctx, &leaf_vec(5), 5, &out.auth_path, &adrs);
         assert_ne!(rebuilt, out.root);
     }
 
@@ -197,7 +301,7 @@ mod tests {
         let ctx = ctx();
         let adrs = Address::new();
         let out = treehash(&ctx, 0, 0, &adrs, leaf);
-        assert_eq!(out.root, leaf(0));
+        assert_eq!(out.root, leaf_vec(0));
         assert!(out.auth_path.is_empty());
     }
 

@@ -258,6 +258,16 @@ impl Params {
         if !self.w.is_power_of_two() || self.w < 4 {
             return Err(format!("w={} must be a power of two >= 4", self.w));
         }
+        if !(8 * self.n).is_multiple_of(self.log_w()) {
+            // base_w consumes exactly len1·log2(w) message bits; a
+            // non-dividing w would demand more bits than the n-byte
+            // digest carries.
+            return Err(format!(
+                "w={}: log2(w) must divide the digest bits 8n={}",
+                self.w,
+                8 * self.n
+            ));
+        }
         if self.d == 0 || !self.h.is_multiple_of(self.d) {
             return Err(format!("d={} must divide h={}", self.d, self.h));
         }

@@ -1,8 +1,14 @@
-//! From-scratch FIPS 180-4 SHA-256.
+//! From-scratch FIPS 180-4 SHA-256, scalar and multi-lane.
 //!
 //! The compression function is exposed ([`compress`]) because the GPU cost
 //! model in `hero-gpu-sim` charges kernels per compression invocation, and
 //! HERO-Sign's PTX-tuned SHA-2 path is modelled at compression granularity.
+//!
+//! [`Sha256xN`] and [`compress_x`] are the CPU analogue of the paper's
+//! warp-level batching: [`LANES`] independent messages advance through the
+//! 64 rounds in lockstep, written as straight-line code with the lane index
+//! innermost so the compiler autovectorizes each round into SIMD lanes
+//! (the Table 10 AVX2 baseline uses the same 8-way interleaving).
 //!
 //! ```
 //! use hero_sphincs::sha256::Sha256;
@@ -115,6 +121,183 @@ pub fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
     state[5] = state[5].wrapping_add(f);
     state[6] = state[6].wrapping_add(g);
     state[7] = state[7].wrapping_add(h);
+}
+
+/// Number of interleaved lanes in the multi-lane engine ([`Sha256xN`]).
+///
+/// Eight 32-bit lanes fill one AVX2 register; on narrower targets the
+/// compiler splits each round into two or four SIMD ops, which still beats
+/// the scalar path because the round dataflow is identical across lanes.
+pub const LANES: usize = 8;
+
+/// Applies the compression function to [`LANES`] independent states, one
+/// 64-byte block each, in lockstep.
+///
+/// This is the multi-lane analogue of [`compress`]: `states[l]` absorbs
+/// `blocks[l]`. All lane-indexed loops are innermost and branch-free so
+/// the optimizer can map them onto SIMD registers.
+pub fn compress_x(states: &mut [[u32; 8]; LANES], blocks: &[&[u8; BLOCK_LEN]; LANES]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement was just checked at runtime;
+            // the wrapper only re-codegens the safe straight-line body.
+            unsafe { compress_x_avx2(states, blocks) };
+            return;
+        }
+    }
+    compress_x_portable(states, blocks);
+}
+
+/// [`compress_x_portable`] compiled with AVX2 codegen enabled, so the
+/// lane-innermost loops vectorize to 8×32-bit ymm operations.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn compress_x_avx2(states: &mut [[u32; 8]; LANES], blocks: &[&[u8; BLOCK_LEN]; LANES]) {
+    compress_x_portable(states, blocks);
+}
+
+/// Portable straight-line body of [`compress_x`]: a rolling 16-entry
+/// message schedule and the 64 rounds, each expressed as an elementwise
+/// operation over the [`LANES`]-wide lane arrays.
+#[inline(always)]
+fn compress_x_portable(states: &mut [[u32; 8]; LANES], blocks: &[&[u8; BLOCK_LEN]; LANES]) {
+    // Transposed message schedule: w[i][l] is word i of lane l.
+    let mut w = [[0u32; LANES]; 16];
+    for (i, wi) in w.iter_mut().enumerate() {
+        for (l, wil) in wi.iter_mut().enumerate() {
+            let o = i * 4;
+            *wil = u32::from_be_bytes([
+                blocks[l][o],
+                blocks[l][o + 1],
+                blocks[l][o + 2],
+                blocks[l][o + 3],
+            ]);
+        }
+    }
+
+    // Transposed working variables.
+    let mut a = [0u32; LANES];
+    let mut b = [0u32; LANES];
+    let mut c = [0u32; LANES];
+    let mut d = [0u32; LANES];
+    let mut e = [0u32; LANES];
+    let mut f = [0u32; LANES];
+    let mut g = [0u32; LANES];
+    let mut h = [0u32; LANES];
+    for l in 0..LANES {
+        [a[l], b[l], c[l], d[l], e[l], f[l], g[l], h[l]] = states[l];
+    }
+
+    for i in 0..64 {
+        let mut wt = [0u32; LANES];
+        if i < 16 {
+            wt = w[i];
+        } else {
+            for l in 0..LANES {
+                wt[l] = small_sigma1(w[(i - 2) % 16][l])
+                    .wrapping_add(w[(i - 7) % 16][l])
+                    .wrapping_add(small_sigma0(w[(i - 15) % 16][l]))
+                    .wrapping_add(w[i % 16][l]);
+            }
+            w[i % 16] = wt;
+        }
+        for l in 0..LANES {
+            let t1 = h[l]
+                .wrapping_add(big_sigma1(e[l]))
+                .wrapping_add(ch(e[l], f[l], g[l]))
+                .wrapping_add(K[i])
+                .wrapping_add(wt[l]);
+            let t2 = big_sigma0(a[l]).wrapping_add(maj(a[l], b[l], c[l]));
+            h[l] = g[l];
+            g[l] = f[l];
+            f[l] = e[l];
+            e[l] = d[l].wrapping_add(t1);
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = a[l];
+            a[l] = t1.wrapping_add(t2);
+        }
+    }
+
+    for l in 0..LANES {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+        states[l][5] = states[l][5].wrapping_add(f[l]);
+        states[l][6] = states[l][6].wrapping_add(g[l]);
+        states[l][7] = states[l][7].wrapping_add(h[l]);
+    }
+}
+
+/// Writes SHA-256 message padding after a tail already resident in
+/// `buf[..tail_len]`, returning the number of 64-byte blocks used (1 or
+/// 2).
+///
+/// `absorbed_prefix` is the (block-aligned) byte count already compressed
+/// before the tail — the seeded `pk_seed || pad` block in the
+/// tweakable-hash layer. The batched hashers assemble each lane's tail
+/// directly in its block buffer, pad it with this helper, and feed the
+/// resulting blocks to [`compress_x`].
+///
+/// # Panics
+///
+/// Panics if `tail_len > 119` (the two-block capacity).
+pub fn pad_in_place(buf: &mut [u8; 2 * BLOCK_LEN], tail_len: usize, absorbed_prefix: u64) -> usize {
+    assert!(
+        tail_len <= 2 * BLOCK_LEN - 9,
+        "tail too long for two blocks"
+    );
+    let blocks = (tail_len + 1 + 8).div_ceil(BLOCK_LEN);
+    let total = blocks * BLOCK_LEN;
+    buf[tail_len] = 0x80;
+    buf[tail_len + 1..total - 8].fill(0);
+    let bit_len = (absorbed_prefix + tail_len as u64) * 8;
+    buf[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+    blocks
+}
+
+/// A [`LANES`]-wide batch of SHA-256 states advancing in lockstep.
+///
+/// Used by the batched tweakable hashes: every lane starts from the same
+/// precomputed `pk_seed` chaining state ([`Sha256xN::broadcast`]), absorbs
+/// its own (pre-padded) blocks via [`Sha256xN::compress`], and its digest
+/// is read back with [`Sha256xN::digest_into`].
+#[derive(Clone, Debug)]
+pub struct Sha256xN {
+    states: [[u32; 8]; LANES],
+}
+
+impl Sha256xN {
+    /// Starts every lane from the same chaining `state`.
+    pub fn broadcast(state: [u32; 8]) -> Self {
+        Self {
+            states: [state; LANES],
+        }
+    }
+
+    /// Absorbs one (already padded) 64-byte block per lane.
+    pub fn compress(&mut self, blocks: &[&[u8; BLOCK_LEN]; LANES]) {
+        compress_x(&mut self.states, blocks);
+    }
+
+    /// Writes the big-endian digest of `lane`, truncated to `out.len()`
+    /// bytes (`out.len() <= 32`). Lanes are finalized by padding their
+    /// input blocks ([`pad_in_place`]), so this is a pure state read-out.
+    pub fn digest_into(&self, lane: usize, out: &mut [u8]) {
+        debug_assert!(out.len() <= DIGEST_LEN);
+        let mut full = [0u8; DIGEST_LEN];
+        for (i, word) in self.states[lane].iter().enumerate() {
+            full[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out.copy_from_slice(&full[..out.len()]);
+    }
 }
 
 /// Incremental SHA-256 hasher.
@@ -398,6 +581,86 @@ mod tests {
             }
             self.update_padding_only(&bit_len.to_be_bytes());
             digest
+        }
+    }
+
+    #[test]
+    fn multi_lane_matches_scalar_compress() {
+        // Eight distinct blocks, one per lane, vs eight scalar calls.
+        let mut blocks = [[0u8; BLOCK_LEN]; LANES];
+        for (l, block) in blocks.iter_mut().enumerate() {
+            for (i, byte) in block.iter_mut().enumerate() {
+                *byte = (l * 37 + i * 11) as u8;
+            }
+        }
+        let mut states = [H0; LANES];
+        let refs: [&[u8; BLOCK_LEN]; LANES] = std::array::from_fn(|l| &blocks[l]);
+        compress_x(&mut states, &refs);
+        for l in 0..LANES {
+            let mut scalar = H0;
+            compress(&mut scalar, &blocks[l]);
+            assert_eq!(states[l], scalar, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn pad_in_place_matches_incremental_padding() {
+        // Pad a tail after one absorbed block and compare against the
+        // incremental hasher's digest for every boundary length.
+        for tail_len in [0usize, 1, 54, 55, 56, 63, 64, 86, 119] {
+            let tail: Vec<u8> = (0..tail_len as u32).map(|i| (i % 251) as u8).collect();
+            let prefix = [0xA5u8; BLOCK_LEN];
+
+            let mut buf = [0u8; 2 * BLOCK_LEN];
+            buf[..tail.len()].copy_from_slice(&tail);
+            let blocks = pad_in_place(&mut buf, tail.len(), BLOCK_LEN as u64);
+            assert_eq!(blocks, (tail_len + 9).div_ceil(BLOCK_LEN).max(1));
+            let mut state = {
+                let mut h = Sha256::new();
+                h.update(&prefix);
+                h.state()
+            };
+            for b in 0..blocks {
+                let block: &[u8; BLOCK_LEN] =
+                    buf[b * BLOCK_LEN..(b + 1) * BLOCK_LEN].try_into().unwrap();
+                compress(&mut state, block);
+            }
+
+            let mut reference = Sha256::new();
+            reference.update(&prefix);
+            reference.update(&tail);
+            let expected = reference.finalize();
+            let mut got = [0u8; DIGEST_LEN];
+            for (i, word) in state.iter().enumerate() {
+                got[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+            }
+            assert_eq!(got, expected, "tail_len={tail_len}");
+        }
+    }
+
+    #[test]
+    fn sha256xn_broadcast_digests_each_lane() {
+        let seeded = {
+            let mut h = Sha256::new();
+            h.update(&[7u8; BLOCK_LEN]);
+            h.state()
+        };
+        let mut bufs = [[0u8; 2 * BLOCK_LEN]; LANES];
+        for (l, buf) in bufs.iter_mut().enumerate() {
+            buf[..40].copy_from_slice(&[l as u8; 40]);
+            assert_eq!(pad_in_place(buf, 40, BLOCK_LEN as u64), 1);
+        }
+        let mut mx = Sha256xN::broadcast(seeded);
+        let refs: [&[u8; BLOCK_LEN]; LANES] =
+            std::array::from_fn(|l| bufs[l][..BLOCK_LEN].try_into().unwrap());
+        mx.compress(&refs);
+        for l in 0..LANES {
+            let mut out = [0u8; 16];
+            mx.digest_into(l, &mut out);
+            let mut reference = Sha256::new();
+            reference.update(&[7u8; BLOCK_LEN]);
+            reference.update(&[l as u8; 40]);
+            assert_eq!(out, reference.finalize()[..16], "lane {l}");
         }
     }
 

@@ -387,12 +387,27 @@ impl VerifyingKey {
             if tree.sk.len() != params.n || tree.auth_path.len() != params.log_t {
                 return Err(SignError::MalformedSignature("FORS tree shape".into()));
             }
+            if tree.auth_path.iter().any(|node| node.len() != params.n) {
+                return Err(SignError::MalformedSignature(
+                    "FORS auth-path node length".into(),
+                ));
+            }
         }
         for layer in &sig.ht.layers {
             if layer.wots_sig.len() != params.wots_len()
                 || layer.auth_path.len() != params.tree_height()
             {
                 return Err(SignError::MalformedSignature("XMSS layer shape".into()));
+            }
+            if layer
+                .wots_sig
+                .iter()
+                .chain(layer.auth_path.iter())
+                .any(|node| node.len() != params.n)
+            {
+                return Err(SignError::MalformedSignature(
+                    "XMSS layer node length".into(),
+                ));
             }
         }
 
@@ -476,6 +491,37 @@ mod tests {
         let last = bad.ht.layers.len() - 1;
         bad.ht.layers[last].auth_path[0][0] ^= 1;
         assert!(vk.verify(msg, &bad).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_nodes() {
+        // Hand-built signatures with truncated nodes must fail with a
+        // typed error, not a panic in the batched hot path.
+        let mut rng = StdRng::seed_from_u64(54);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
+        let msg = b"node length";
+        let sig = sk.sign(msg);
+
+        let mut bad = sig.clone();
+        bad.ht.layers[0].wots_sig[0].pop();
+        assert!(matches!(
+            vk.verify(msg, &bad),
+            Err(SignError::MalformedSignature(_))
+        ));
+
+        let mut bad = sig.clone();
+        bad.ht.layers[1].auth_path[0].push(0);
+        assert!(matches!(
+            vk.verify(msg, &bad),
+            Err(SignError::MalformedSignature(_))
+        ));
+
+        let mut bad = sig.clone();
+        bad.fors.trees[0].auth_path[0].pop();
+        assert!(matches!(
+            vk.verify(msg, &bad),
+            Err(SignError::MalformedSignature(_))
+        ));
     }
 
     #[test]

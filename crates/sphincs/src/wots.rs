@@ -5,10 +5,23 @@
 //! message plus a checksum (§II-A1 of the paper). Chains are mutually
 //! independent — the property HERO-Sign's `WOTS+_Sign` kernel exploits with
 //! chain-level thread parallelism.
+//!
+//! On CPU the same independence is exploited across SIMD lanes: all `len`
+//! chains live in one flat `n`-stride buffer and advance one `F` step per
+//! round through [`HashCtx::f_many_at`], with chains that reached their
+//! target length dropping out of the batch ([`pk_gen_into`], [`sign`],
+//! [`pk_from_sig`]). One `pk_gen` performs zero heap allocations.
 
 use crate::address::{Address, AddressType};
 use crate::hash::HashCtx;
 use crate::params::Params;
+
+/// Stack-buffer bound on `wots_len()`: the largest chain count any
+/// parameter set accepted by `Params::validate()` can produce is 133
+/// (`w = 4`, `n = 32`: `len1 = 128`, `len2 = 5`).
+const MAX_LEN: usize = 136;
+/// Stack-buffer bound on `n` (`validate()` caps it at 32).
+const MAX_N: usize = 32;
 
 /// Converts `msg` into `out_len` base-`w` digits (spec Algorithm 1).
 ///
@@ -70,91 +83,217 @@ pub fn chain_lengths(params: &Params, msg: &[u8]) -> Vec<u32> {
 /// `adrs` must have its chain index set; the hash index is written here.
 pub fn chain(ctx: &HashCtx, x: &[u8], start: u32, steps: u32, adrs: &mut Address) -> Vec<u8> {
     let mut value = x.to_vec();
+    let mut out = vec![0u8; value.len()];
     for i in start..start + steps {
         adrs.set_hash(i);
-        value = ctx.f(adrs, &value);
+        ctx.f_into(adrs, &value, &mut out);
+        std::mem::swap(&mut value, &mut out);
     }
     value
+}
+
+/// The PRF address deriving chain `chain_idx`'s secret element — the one
+/// place the WotsPrf field sequence is spelled out; scalar
+/// ([`sk_element`]) and batched paths share it.
+fn prf_adrs_for(adrs: &Address, chain_idx: u32) -> Address {
+    let mut a = Address::new();
+    a.copy_subtree_from(adrs);
+    a.set_type(AddressType::WotsPrf);
+    a.set_keypair(adrs.keypair());
+    a.set_chain(chain_idx);
+    a
+}
+
+/// The `F`-chain address of chain `chain_idx` (hash index set per step by
+/// the caller).
+fn hash_adrs_for(adrs: &Address, chain_idx: u32) -> Address {
+    let mut h = *adrs;
+    h.set_type(AddressType::WotsHash);
+    h.set_keypair(adrs.keypair());
+    h.set_chain(chain_idx);
+    h
+}
+
+/// Fills the per-chain PRF addresses for the key pair at `adrs`.
+fn prf_addresses(adrs: &Address, len: usize, prf_adrs: &mut [Address; MAX_LEN]) {
+    for (i, slot) in prf_adrs[..len].iter_mut().enumerate() {
+        *slot = prf_adrs_for(adrs, i as u32);
+    }
+}
+
+/// Fills the per-chain `F` addresses for the key pair at `adrs`.
+/// Verification needs only these — chains start from revealed signature
+/// nodes, so no PRF addresses are built there.
+fn hash_addresses(adrs: &Address, len: usize, hash_adrs: &mut [Address; MAX_LEN]) {
+    for (i, slot) in hash_adrs[..len].iter_mut().enumerate() {
+        *slot = hash_adrs_for(adrs, i as u32);
+    }
+}
+
+/// Advances every chain in the flat `values` buffer (`len` nodes of `n`
+/// bytes): chain `i` runs `steps[i]` iterations of `F` from hash index
+/// `starts[i]`. Each round batches all still-active chains into one
+/// multi-lane sweep — the lockstep execution of the paper's `WOTS+_Sign`
+/// warp, with finished chains retiring like masked-off threads.
+fn advance_chains(
+    ctx: &HashCtx,
+    values: &mut [u8],
+    hash_adrs: &[Address],
+    starts: &[u32],
+    steps: &[u32],
+) {
+    let len = hash_adrs.len();
+    debug_assert!(len <= MAX_LEN);
+    let max_steps = steps.iter().copied().max().unwrap_or(0);
+    let mut adrs_buf = [Address::new(); MAX_LEN];
+    let mut idx_buf = [0usize; MAX_LEN];
+    for round in 0..max_steps {
+        let mut active = 0usize;
+        for i in 0..len {
+            if round < steps[i] {
+                let mut a = hash_adrs[i];
+                a.set_hash(starts[i] + round);
+                adrs_buf[active] = a;
+                idx_buf[active] = i;
+                active += 1;
+            }
+        }
+        if active == 0 {
+            break;
+        }
+        ctx.f_many_at(&adrs_buf[..active], values, &idx_buf[..active]);
+    }
 }
 
 /// Derives the secret element for chain `chain_idx` of the key pair at
 /// `adrs` (which carries layer/tree/keypair coordinates).
 pub fn sk_element(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address, chain_idx: u32) -> Vec<u8> {
-    let mut sk_adrs = Address::new();
-    sk_adrs.copy_subtree_from(adrs);
-    sk_adrs.set_type(AddressType::WotsPrf);
-    sk_adrs.set_keypair(adrs.keypair());
-    sk_adrs.set_chain(chain_idx);
-    ctx.prf(&sk_adrs, sk_seed)
+    ctx.prf(&prf_adrs_for(adrs, chain_idx), sk_seed)
 }
 
 /// Computes the WOTS+ public key (the `T_len` compression of all chain
 /// ends) for the key pair at `adrs`.
 pub fn pk_gen(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address) -> Vec<u8> {
+    let mut out = vec![0u8; ctx.params().n];
+    pk_gen_into(ctx, sk_seed, adrs, &mut out);
+    out
+}
+
+/// [`pk_gen`] writing the `n`-byte public key into `out`, allocation-free:
+/// all `len` chain seeds derive in one [`HashCtx::prf_many`] sweep, the
+/// chains advance `w-1` batched rounds in a flat stack buffer, and the
+/// final `T_len` compresses that buffer directly.
+///
+/// This is `wots_gen_leaf` — the treehash leaf routine whose ~560 hashes
+/// per leaf dominate signing (§III of the paper).
+pub fn pk_gen_into(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address, out: &mut [u8]) {
     let params = *ctx.params();
-    let mut chain_ends = Vec::with_capacity(params.wots_len());
-    let mut hash_adrs = *adrs;
-    hash_adrs.set_type(AddressType::WotsHash);
-    hash_adrs.set_keypair(adrs.keypair());
-    for i in 0..params.wots_len() as u32 {
-        let sk = sk_element(ctx, sk_seed, adrs, i);
-        hash_adrs.set_chain(i);
-        chain_ends.push(chain(ctx, &sk, 0, params.w as u32 - 1, &mut hash_adrs));
-    }
+    let len = params.wots_len();
+    let n = params.n;
+    assert!(
+        len <= MAX_LEN && n <= MAX_N,
+        "parameter set exceeds WOTS+ lane bounds"
+    );
+
+    let mut prf_adrs = [Address::new(); MAX_LEN];
+    let mut hash_adrs = [Address::new(); MAX_LEN];
+    prf_addresses(adrs, len, &mut prf_adrs);
+    hash_addresses(adrs, len, &mut hash_adrs);
+
+    let mut values = [0u8; MAX_LEN * MAX_N];
+    let values = &mut values[..len * n];
+    ctx.prf_many(&prf_adrs[..len], sk_seed, values);
+
+    let starts = [0u32; MAX_LEN];
+    let steps = [params.w as u32 - 1; MAX_LEN];
+    advance_chains(
+        ctx,
+        values,
+        &hash_adrs[..len],
+        &starts[..len],
+        &steps[..len],
+    );
+
     let mut pk_adrs = *adrs;
     pk_adrs.set_type(AddressType::WotsPk);
     pk_adrs.set_keypair(adrs.keypair());
-    let parts: Vec<&[u8]> = chain_ends.iter().map(Vec::as_slice).collect();
-    ctx.t_l(&pk_adrs, &parts)
+    ctx.t_l_flat_into(&pk_adrs, values, out);
 }
 
 /// Signs an `n`-byte message, revealing one chain node per digit.
+///
+/// Chains are batched across the `len` lanes; the per-chain step counts
+/// come from the message digits, so lanes retire as their chains finish.
 pub fn sign(ctx: &HashCtx, msg: &[u8], sk_seed: &[u8], adrs: &Address) -> Vec<Vec<u8>> {
     let params = *ctx.params();
-    debug_assert_eq!(msg.len(), params.n);
+    let len = params.wots_len();
+    let n = params.n;
+    debug_assert_eq!(msg.len(), n);
+    assert!(
+        len <= MAX_LEN && n <= MAX_N,
+        "parameter set exceeds WOTS+ lane bounds"
+    );
     let lengths = chain_lengths(&params, msg);
-    let mut hash_adrs = *adrs;
-    hash_adrs.set_type(AddressType::WotsHash);
-    hash_adrs.set_keypair(adrs.keypair());
-    lengths
-        .iter()
-        .enumerate()
-        .map(|(i, &steps)| {
-            let sk = sk_element(ctx, sk_seed, adrs, i as u32);
-            hash_adrs.set_chain(i as u32);
-            chain(ctx, &sk, 0, steps, &mut hash_adrs)
-        })
-        .collect()
+
+    let mut prf_adrs = [Address::new(); MAX_LEN];
+    let mut hash_adrs = [Address::new(); MAX_LEN];
+    prf_addresses(adrs, len, &mut prf_adrs);
+    hash_addresses(adrs, len, &mut hash_adrs);
+
+    let mut values = [0u8; MAX_LEN * MAX_N];
+    let values = &mut values[..len * n];
+    ctx.prf_many(&prf_adrs[..len], sk_seed, values);
+
+    let starts = [0u32; MAX_LEN];
+    advance_chains(ctx, values, &hash_adrs[..len], &starts[..len], &lengths);
+
+    values.chunks_exact(n).map(<[u8]>::to_vec).collect()
 }
 
 /// Recomputes the public key from a signature (verification primitive).
+///
+/// The remaining `w-1-digit` steps of every chain run batched, exactly
+/// mirroring [`sign`]. Only the chain addresses are built — chains start
+/// from the revealed signature nodes, so no PRF material is needed.
+///
+/// # Panics
+///
+/// Panics if `sig` does not hold `wots_len()` nodes of `n` bytes each
+/// (the library verify path checks shapes first and returns a typed
+/// error).
 pub fn pk_from_sig(ctx: &HashCtx, sig: &[Vec<u8>], msg: &[u8], adrs: &Address) -> Vec<u8> {
     let params = *ctx.params();
-    debug_assert_eq!(sig.len(), params.wots_len());
+    let len = params.wots_len();
+    let n = params.n;
+    assert_eq!(sig.len(), len, "WOTS+ signature must have len nodes");
+    assert!(
+        len <= MAX_LEN && n <= MAX_N,
+        "parameter set exceeds WOTS+ lane bounds"
+    );
     let lengths = chain_lengths(&params, msg);
-    let mut hash_adrs = *adrs;
-    hash_adrs.set_type(AddressType::WotsHash);
-    hash_adrs.set_keypair(adrs.keypair());
-    let chain_ends: Vec<Vec<u8>> = sig
-        .iter()
-        .zip(lengths.iter())
-        .enumerate()
-        .map(|(i, (node, &steps))| {
-            hash_adrs.set_chain(i as u32);
-            chain(
-                ctx,
-                node,
-                steps,
-                params.w as u32 - 1 - steps,
-                &mut hash_adrs,
-            )
-        })
-        .collect();
+
+    let mut hash_adrs = [Address::new(); MAX_LEN];
+    hash_addresses(adrs, len, &mut hash_adrs);
+
+    let mut values = [0u8; MAX_LEN * MAX_N];
+    let values = &mut values[..len * n];
+    for (slot, node) in values.chunks_exact_mut(n).zip(sig) {
+        assert_eq!(node.len(), n, "WOTS+ signature node must be n bytes");
+        slot.copy_from_slice(node);
+    }
+
+    let mut remaining = [0u32; MAX_LEN];
+    for (r, &digit) in remaining.iter_mut().zip(lengths.iter()) {
+        *r = params.w as u32 - 1 - digit;
+    }
+    advance_chains(ctx, values, &hash_adrs[..len], &lengths, &remaining[..len]);
+
     let mut pk_adrs = *adrs;
     pk_adrs.set_type(AddressType::WotsPk);
     pk_adrs.set_keypair(adrs.keypair());
-    let parts: Vec<&[u8]> = chain_ends.iter().map(Vec::as_slice).collect();
-    ctx.t_l(&pk_adrs, &parts)
+    let mut out = vec![0u8; n];
+    ctx.t_l_flat_into(&pk_adrs, values, &mut out);
+    out
 }
 
 /// Total `F` invocations of one `wots_gen_leaf` (pk_gen): `len · (w-1)`
@@ -280,5 +419,29 @@ mod tests {
         let params = Params::sphincs_128f();
         let lengths = chain_lengths(&params, &[0xFFu8; 16]);
         assert!(lengths.iter().all(|&l| l < params.w as u32));
+    }
+
+    #[test]
+    fn small_w_parameter_sets_round_trip() {
+        // Every (w, n) combination validate() accepts must fit the lane
+        // buffers: w=4 with n=32 is the worst case (len = 133). (w=8
+        // requires 3 | n for base_w to have enough digest bits; n=24 is
+        // its only valid size here.)
+        for (w, n) in [(4usize, 16usize), (4, 24), (4, 32), (8, 24)] {
+            let mut params = Params::sphincs_256f();
+            params.w = w;
+            params.n = n;
+            params.validate().unwrap();
+            assert!(params.wots_len() <= MAX_LEN, "w={w} n={n}");
+            let ctx = HashCtx::new(params, &vec![9u8; n]);
+            let sk_seed = vec![3u8; n];
+            let mut adrs = Address::new();
+            adrs.set_keypair(1);
+            let pk = pk_gen(&ctx, &sk_seed, &adrs);
+            let msg = vec![0x6Cu8; n];
+            let sig = sign(&ctx, &msg, &sk_seed, &adrs);
+            assert_eq!(sig.len(), params.wots_len(), "w={w} n={n}");
+            assert_eq!(pk_from_sig(&ctx, &sig, &msg, &adrs), pk, "w={w} n={n}");
+        }
     }
 }

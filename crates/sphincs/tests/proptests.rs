@@ -2,7 +2,7 @@
 //! encodings, Merkle trees, WOTS+ and full signatures.
 
 use hero_sphincs::address::{Address, AddressType};
-use hero_sphincs::hash::HashCtx;
+use hero_sphincs::hash::{HashAlg, HashCtx};
 use hero_sphincs::merkle;
 use hero_sphincs::params::Params;
 use hero_sphincs::sha256::{self, Sha256};
@@ -101,7 +101,9 @@ proptest! {
             v[..8].copy_from_slice(&(seed ^ i as u64).to_le_bytes());
             v
         };
-        let out = merkle::treehash(&ctx, height, leaf_idx, &adrs, leaf);
+        let out = merkle::treehash(&ctx, height, leaf_idx, &adrs, |i, slot: &mut [u8]| {
+            slot.copy_from_slice(&leaf(i));
+        });
         let rebuilt = merkle::root_from_auth_path(&ctx, &leaf(leaf_idx), leaf_idx, &out.auth_path, &adrs);
         prop_assert_eq!(rebuilt, out.root);
     }
@@ -142,6 +144,131 @@ proptest! {
         let parsed = Signature::from_bytes(&p, &bytes).unwrap();
         prop_assert_eq!(&parsed, &sig);
         prop_assert!(vk.verify(&msg, &parsed).is_ok());
+    }
+
+    #[test]
+    fn batch_hash_apis_equal_scalar(
+        param_idx in 0usize..4,
+        alg_idx in 0usize..2,
+        count in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        // The multi-lane `*_many` APIs must be byte-identical to looping
+        // the scalar single-call APIs, for every parameter set (128f /
+        // 128s / 192f / 256f), both hash algs, and batch sizes that are
+        // not lane multiples.
+        let params = [
+            Params::sphincs_128f(),
+            Params::sphincs_128s(),
+            Params::sphincs_192f(),
+            Params::sphincs_256f(),
+        ][param_idx];
+        let alg = [HashAlg::Sha256, HashAlg::Sha512][alg_idx];
+        let n = params.n;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pk_seed = vec![0u8; n];
+        rng.fill_bytes(&mut pk_seed);
+        let ctx = HashCtx::with_alg(params, &pk_seed, alg);
+
+        let adrs: Vec<Address> = (0..count)
+            .map(|_| {
+                let mut a = Address::new();
+                a.set_layer(rng.next_u32() % 8);
+                a.set_tree(rng.next_u64());
+                a.set_type(AddressType::ForsTree);
+                a.set_keypair(rng.next_u32() % 512);
+                a.set_tree_height(rng.next_u32() % 16);
+                a.set_tree_index(rng.next_u32());
+                a
+            })
+            .collect();
+        let mut msgs = vec![0u8; count * n];
+        rng.fill_bytes(&mut msgs);
+        let mut pairs = vec![0u8; count * 2 * n];
+        rng.fill_bytes(&mut pairs);
+        let mut sk_seed = vec![0u8; n];
+        rng.fill_bytes(&mut sk_seed);
+
+        let mut out = vec![0u8; count * n];
+        ctx.f_many(&adrs, &msgs, &mut out);
+        for i in 0..count {
+            prop_assert_eq!(&out[i * n..(i + 1) * n], &ctx.f(&adrs[i], &msgs[i * n..(i + 1) * n])[..]);
+        }
+        ctx.h_many(&adrs, &pairs, &mut out);
+        for i in 0..count {
+            let expected = ctx.h(
+                &adrs[i],
+                &pairs[2 * i * n..(2 * i + 1) * n],
+                &pairs[(2 * i + 1) * n..(2 * i + 2) * n],
+            );
+            prop_assert_eq!(&out[i * n..(i + 1) * n], &expected[..]);
+        }
+        ctx.prf_many(&adrs, &sk_seed, &mut out);
+        for i in 0..count {
+            prop_assert_eq!(&out[i * n..(i + 1) * n], &ctx.prf(&adrs[i], &sk_seed)[..]);
+        }
+    }
+
+    #[test]
+    fn flat_treehash_equals_scalar_oracle(
+        param_idx in 0usize..4,
+        alg_idx in 0usize..2,
+        height in 1usize..6,
+        leaf_sel in any::<u32>(),
+        tree_off in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        // The flat-buffer batched treehash (root AND auth path) must be
+        // byte-identical to the seed-era Vec<Vec<u8>> formulation with
+        // per-node scalar `H` calls and cloned siblings.
+        let params = [
+            Params::sphincs_128f(),
+            Params::sphincs_128s(),
+            Params::sphincs_192f(),
+            Params::sphincs_256f(),
+        ][param_idx];
+        let alg = [HashAlg::Sha256, HashAlg::Sha512][alg_idx];
+        let n = params.n;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pk_seed = vec![0u8; n];
+        rng.fill_bytes(&mut pk_seed);
+        let ctx = HashCtx::with_alg(params, &pk_seed, alg);
+
+        let num_leaves = 1usize << height;
+        let leaf_idx = leaf_sel % num_leaves as u32;
+        let leaf_offset = tree_off * num_leaves as u32;
+        let mut leaves = vec![0u8; num_leaves * n];
+        rng.fill_bytes(&mut leaves);
+        let mut base = Address::new();
+        base.set_tree(rng.next_u64());
+        base.set_type(AddressType::Tree);
+
+        // Scalar oracle.
+        let mut level: Vec<Vec<u8>> =
+            leaves.chunks_exact(n).map(<[u8]>::to_vec).collect();
+        let mut idx = leaf_idx;
+        let mut adrs = base;
+        let mut oracle_path: Vec<Vec<u8>> = Vec::new();
+        for level_height in 1..=height {
+            oracle_path.push(level[(idx ^ 1) as usize].clone());
+            adrs.set_tree_height(level_height as u32);
+            let level_offset = leaf_offset >> level_height;
+            level = (0..level.len() / 2)
+                .map(|i| {
+                    adrs.set_tree_index(level_offset + i as u32);
+                    ctx.h(&adrs, &level[2 * i], &level[2 * i + 1])
+                })
+                .collect();
+            idx >>= 1;
+        }
+
+        let out = merkle::treehash_flat(&ctx, height, leaf_idx, &base, leaf_offset, |buf| {
+            buf.copy_from_slice(&leaves);
+        });
+        prop_assert_eq!(&out.root, &level[0]);
+        prop_assert_eq!(&out.auth_path, &oracle_path);
     }
 
     #[test]
