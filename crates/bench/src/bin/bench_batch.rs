@@ -1,0 +1,167 @@
+//! Batch-planner trajectory bench: looped `sign` vs planned `sign_batch`.
+//!
+//! For each batch size, measures signing the same messages two ways on
+//! the same engine and worker pool:
+//!
+//! * **looped** — `N × HeroSigner::sign`, i.e. N planned batches of one:
+//!   every message pays its own stage-graph fill/drain and the pool
+//!   idles at each message's small stages.
+//! * **planned** — one `HeroSigner::sign_batch` over all N: a single
+//!   cross-message stage graph keeps the ready queue and SHA lanes full
+//!   across message boundaries.
+//!
+//! Results (msgs/sec per path, speedup, planner node census) go to
+//! `BENCH_batch.json` so future PRs have a cross-message baseline.
+//! Signatures from both paths are asserted byte-identical before any
+//! timing is reported.
+//!
+//! ```text
+//! bench_batch [--smoke] [--iters N] [--workers W] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs reduced parameters and small batches (CI keeps the
+//! bench runnable without paying full-parameter signing time).
+
+use std::time::Instant;
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::plan::{summarize, PlanShape};
+use hero_sign::HeroSigner;
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::keygen_from_seeds;
+
+struct SizeResult {
+    batch: usize,
+    looped_msgs_per_sec: f64,
+    planned_msgs_per_sec: f64,
+    speedup: f64,
+    plan_nodes: usize,
+}
+
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let workers: usize = flag("--workers").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let iters: usize = flag("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+
+    let params = if smoke {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 6;
+        p.k = 8;
+        p
+    } else {
+        Params::sphincs_128f()
+    };
+    let batch_sizes: &[usize] = if smoke { &[1, 4, 8] } else { &[1, 8, 64] };
+    // Smoke shrinks h/d/log_t/k but params.name() still says 128f; label
+    // the artifact so reduced numbers are never read as full-set ones.
+    let params_label = if smoke {
+        format!("{} (reduced smoke shape)", params.name())
+    } else {
+        params.name().to_string()
+    };
+
+    let n = params.n;
+    let (sk, vk) = keygen_from_seeds(
+        params,
+        (0..n as u8).collect(),
+        (50..50 + n as u8).collect(),
+        (100..100 + n as u8).collect(),
+    );
+    let engine = HeroSigner::builder(rtx_4090(), params)
+        .workers(workers)
+        .build()
+        .expect("engine builds");
+
+    println!("bench_batch: {params_label}, {workers} workers, {iters} iters");
+
+    let mut results: Vec<SizeResult> = Vec::new();
+    for &batch in batch_sizes {
+        let msgs_owned: Vec<Vec<u8>> = (0..batch)
+            .map(|i| format!("batch planner message {i}").into_bytes())
+            .collect();
+        let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+
+        // Correctness gate: planned bytes == looped bytes == valid.
+        let planned_sigs = engine.sign_batch(&sk, &msgs).expect("planned batch signs");
+        for (msg, sig) in msgs.iter().zip(&planned_sigs) {
+            assert_eq!(
+                *sig,
+                engine.sign(&sk, msg).expect("looped sign"),
+                "planned and looped signatures diverged"
+            );
+            vk.verify(msg, sig).expect("planned signature verifies");
+        }
+
+        let (looped_secs, _) = best_of(iters, || {
+            let sigs: Vec<_> = msgs
+                .iter()
+                .map(|m| engine.sign(&sk, m).expect("sign"))
+                .collect();
+            sigs
+        });
+        let (planned_secs, _) = best_of(iters, || engine.sign_batch(&sk, &msgs).expect("batch"));
+
+        let looped_rate = batch as f64 / looped_secs;
+        let planned_rate = batch as f64 / planned_secs;
+        let nodes = summarize(&params, batch, &PlanShape::for_batch(batch)).nodes();
+        println!(
+            "  batch {batch:>3}: looped {looped_rate:>9.2} msgs/s | planned \
+             {planned_rate:>9.2} msgs/s | speedup {:>5.2}x | {nodes} plan nodes",
+            planned_rate / looped_rate
+        );
+        results.push(SizeResult {
+            batch,
+            looped_msgs_per_sec: looped_rate,
+            planned_msgs_per_sec: planned_rate,
+            speedup: planned_rate / looped_rate,
+            plan_nodes: nodes,
+        });
+    }
+
+    let sizes_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"batch\": {},\n      \"looped_msgs_per_sec\": {:.3},\n      \
+                 \"planned_msgs_per_sec\": {:.3},\n      \"speedup\": {:.3},\n      \
+                 \"plan_nodes\": {}\n    }}",
+                r.batch, r.looped_msgs_per_sec, r.planned_msgs_per_sec, r.speedup, r.plan_nodes
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"batch_planner\",\n  \"params\": \"{}\",\n  \"smoke\": {},\n  \
+         \"workers\": {},\n  \"iters\": {},\n  \"signatures_byte_identical\": true,\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        params_label,
+        smoke,
+        workers,
+        iters,
+        sizes_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("  wrote {out_path}");
+}

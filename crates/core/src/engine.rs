@@ -24,8 +24,7 @@ use hero_gpu_sim::pcie::PipelinedTransfers;
 use hero_gpu_sim::stream::{LaunchMode, Timeline};
 use hero_task_graph::GraphBuilder;
 
-use hero_sphincs::address::{Address, AddressType};
-use hero_sphincs::hash::{self, HashCtx};
+use hero_sphincs::hash::HashCtx;
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::{Signature, SigningKey};
 
@@ -453,73 +452,54 @@ impl HeroSigner {
         cfg
     }
 
-    /// Functional signing of one message via the three-kernel
-    /// decomposition. Bit-identical to [`SigningKey::sign`].
+    /// Functional signing of one message: a planned batch of one
+    /// ([`HeroSigner::sign_batch`]). Bit-identical to
+    /// [`SigningKey::sign`].
     ///
     /// # Errors
     ///
     /// [`HeroError::KeyMismatch`] if `sk` was generated for a different
     /// parameter set than this engine.
     pub fn sign(&self, sk: &SigningKey, msg: &[u8]) -> Result<Signature, HeroError> {
-        check_key(&self.params, sk.params())?;
-        let params = self.params;
-        let ctx = HashCtx::with_alg(params, sk.pk_seed(), sk.alg());
-
-        // Host-side preamble (Fig. 2): randomizer, digest, indices.
-        let randomizer = ctx.prf_msg(sk.sk_prf(), sk.pk_seed(), msg);
-        let digest = ctx.h_msg(&randomizer, sk.pk_root(), msg);
-        let (md, tree_idx, leaf_idx) = hash::split_digest(&params, &digest);
-
-        let mut keypair_adrs = Address::new();
-        keypair_adrs.set_layer(0);
-        keypair_adrs.set_tree(tree_idx);
-        keypair_adrs.set_type(AddressType::ForsTree);
-        keypair_adrs.set_keypair(leaf_idx);
-
-        // FORS_Sign ∥ TREE_Sign, then WOTS+_Sign (the task-graph DAG).
-        let (fors_sig, fors_pk) =
-            fors_sign::run(&ctx, sk.sk_seed(), &md, &keypair_adrs, self.workers);
-        let layers = tree_sign::run(&ctx, sk.sk_seed(), tree_idx, leaf_idx, self.workers);
-        let roots: Vec<Vec<u8>> = layers.iter().map(|l| l.root.clone()).collect();
-        let coords: Vec<(u64, u32)> = layers.iter().map(|l| (l.tree_idx, l.leaf_idx)).collect();
-        let wots_sigs = wots_sign::run(&ctx, sk.sk_seed(), &fors_pk, &roots, &coords, self.workers);
-
-        let ht_layers = layers
-            .into_iter()
-            .zip(wots_sigs)
-            .map(|(lt, wots_sig)| hero_sphincs::hypertree::XmssSig {
-                wots_sig,
-                auth_path: lt.auth_path,
-            })
-            .collect();
-
-        Ok(Signature {
-            randomizer,
-            fors: fors_sig,
-            ht: hero_sphincs::hypertree::HtSignature { layers: ht_layers },
-        })
+        Ok(self
+            .sign_batch(sk, &[msg])?
+            .pop()
+            .expect("batch of one yields one signature"))
     }
 
-    /// Functional batch signing: messages distributed across workers.
+    /// Functional batch signing through the cross-message planner
+    /// ([`crate::plan`]): the whole batch becomes one stage graph whose
+    /// ready work-items — FORS tree groups, subtree treehashes, WOTS+
+    /// chain groups, possibly spanning messages — co-schedule on the
+    /// worker pool, the CPU analogue of one device-filling GPU batch.
+    /// The seeded hash state is computed once per call, not per message.
+    ///
+    /// Output is byte-identical to signing each message sequentially.
     ///
     /// # Errors
     ///
-    /// As [`HeroSigner::sign`].
+    /// [`HeroError::KeyMismatch`] if `sk` was generated for a different
+    /// parameter set than this engine.
     pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
-        // Parallelism lives inside each signature's kernels; batches just
-        // iterate (matching the GPU, where one batch fills the device).
-        msgs.iter().map(|m| self.sign(sk, m)).collect()
+        check_key(&self.params, sk.params())?;
+        let ctx = HashCtx::with_alg(self.params, sk.pk_seed(), sk.alg());
+        Ok(crate::plan::sign_batch(&ctx, sk, msgs, self.workers))
     }
 
     /// Functional batch verification on the worker pool (extension: the
     /// paper accelerates generation only). Returns one result per
     /// message; never short-circuits, like a GPU batch.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::BatchMismatch`] when `msgs` and `sigs` differ in
+    /// length (nothing is silently paired by the shorter slice).
     pub fn verify_batch(
         &self,
         vk: &hero_sphincs::VerifyingKey,
         msgs: &[&[u8]],
         sigs: &[Signature],
-    ) -> Vec<Result<(), hero_sphincs::sign::SignError>> {
+    ) -> Result<Vec<Result<(), hero_sphincs::sign::SignError>>, HeroError> {
         crate::kernels::verify::run_batch(vk, msgs, sigs, self.workers)
     }
 

@@ -29,6 +29,15 @@ pub enum HeroError {
     /// sets, since two customized shapes can share a name while
     /// differing structurally.
     KeyMismatch(Box<KeyMismatch>),
+    /// A batch operation was handed mismatched slice lengths (e.g.
+    /// `verify_batch` with a different number of messages and
+    /// signatures); nothing was paired or verified.
+    BatchMismatch {
+        /// Number of messages supplied.
+        messages: usize,
+        /// Number of signatures supplied.
+        signatures: usize,
+    },
     /// An error bubbled up from the `hero-sphincs` substrate (keygen,
     /// signature parsing, verification).
     Sphincs(SignError),
@@ -71,6 +80,13 @@ impl fmt::Display for HeroError {
                     )
                 }
             }
+            HeroError::BatchMismatch {
+                messages,
+                signatures,
+            } => write!(
+                f,
+                "batch length mismatch: {messages} messages vs {signatures} signatures"
+            ),
             HeroError::Sphincs(e) => write!(f, "sphincs substrate: {e}"),
         }
     }
@@ -128,6 +144,13 @@ mod tests {
         assert!(HeroError::InvalidOptions("workers must be >= 1".into())
             .to_string()
             .contains("workers"));
+
+        let mismatch = HeroError::BatchMismatch {
+            messages: 3,
+            signatures: 1,
+        };
+        assert!(mismatch.to_string().contains("3 messages"), "{mismatch}");
+        assert!(mismatch.to_string().contains("1 signatures"), "{mismatch}");
     }
 
     #[test]

@@ -246,9 +246,67 @@ pub fn describe(
     desc
 }
 
+/// Builds the `FORS_Sign` work-item list for one message: one
+/// [`fors::ForsTreeRequest`] per tree, leaf indices decoded from `md`.
+/// The batch planner concatenates these lists across messages and chunks
+/// them into [`sign_trees`] stages.
+pub fn tree_requests(
+    params: &Params,
+    md: &[u8],
+    keypair_adrs: &Address,
+) -> Vec<fors::ForsTreeRequest> {
+    fors::message_to_indices(params, md)
+        .into_iter()
+        .enumerate()
+        .map(|(tree_idx, leaf_idx)| fors::ForsTreeRequest {
+            keypair_adrs: *keypair_adrs,
+            tree_idx: tree_idx as u32,
+            leaf_idx,
+        })
+        .collect()
+}
+
+/// One plannable `FORS_Sign` stage: builds a group of trees — from any
+/// mix of messages — returning each tree's revealed secret + auth path
+/// and its root. Secrets derive in one `PRF` sweep and the reductions run
+/// through [`fors::tree_hash_many`]'s combined lanes.
+pub fn sign_trees(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    reqs: &[fors::ForsTreeRequest],
+) -> Vec<(fors::ForsTreeSig, Vec<u8>)> {
+    let sks = fors::sk_elements_many(ctx, sk_seed, reqs);
+    let outs = fors::tree_hash_many(ctx, sk_seed, reqs);
+    sks.into_iter()
+        .zip(outs)
+        .map(|(sk, out)| {
+            (
+                fors::ForsTreeSig {
+                    sk,
+                    auth_path: out.auth_path,
+                },
+                out.root,
+            )
+        })
+        .collect()
+}
+
+/// The final `T_k` stage: compresses one message's `k` tree roots
+/// (concatenated in `roots_flat`) into its FORS public key.
+pub fn roots_to_pk(ctx: &HashCtx, keypair_adrs: &Address, roots_flat: &[u8]) -> Vec<u8> {
+    let mut roots_adrs = Address::new();
+    roots_adrs.copy_subtree_from(keypair_adrs);
+    roots_adrs.set_type(hero_sphincs::address::AddressType::ForsRoots);
+    roots_adrs.set_keypair(keypair_adrs.keypair());
+    let mut pk = vec![0u8; ctx.params().n];
+    ctx.t_l_flat_into(&roots_adrs, roots_flat, &mut pk);
+    pk
+}
+
 /// Functional `FORS_Sign`: computes the FORS signature and public key for
 /// one message digest, parallelized across the `k` trees (the data
-/// independence of §II-A2).
+/// independence of §II-A2). Run-to-completion wrapper over the plannable
+/// stages ([`sign_trees`] per tree, then [`roots_to_pk`]).
 ///
 /// The output is bit-identical to [`hero_sphincs::fors::sign`] /
 /// [`hero_sphincs::fors::pk_from_sig`].
@@ -260,34 +318,22 @@ pub fn run(
     workers: usize,
 ) -> (ForsSignature, Vec<u8>) {
     let params = *ctx.params();
-    let indices = fors::message_to_indices(&params, md);
+    let reqs = tree_requests(&params, md, keypair_adrs);
 
     let trees = crate::par::par_map_indexed(params.k, workers, |tree_idx| {
-        let leaf_idx = indices[tree_idx];
-        let sk = fors::sk_element(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
-        let out = fors::tree_hash(ctx, sk_seed, keypair_adrs, tree_idx as u32, leaf_idx);
-        (
-            fors::ForsTreeSig {
-                sk,
-                auth_path: out.auth_path,
-            },
-            out.root,
-        )
+        sign_trees(ctx, sk_seed, &reqs[tree_idx..tree_idx + 1])
+            .pop()
+            .expect("one output per request")
     });
 
+    let n = params.n;
     let mut tree_sigs = Vec::with_capacity(params.k);
-    let mut roots = Vec::with_capacity(params.k);
-    for (sig, root) in trees {
+    let mut roots_flat = vec![0u8; params.k * n];
+    for (tree_idx, (sig, root)) in trees.into_iter().enumerate() {
         tree_sigs.push(sig);
-        roots.push(root);
+        roots_flat[tree_idx * n..(tree_idx + 1) * n].copy_from_slice(&root);
     }
-
-    let mut roots_adrs = Address::new();
-    roots_adrs.copy_subtree_from(keypair_adrs);
-    roots_adrs.set_type(hero_sphincs::address::AddressType::ForsRoots);
-    roots_adrs.set_keypair(keypair_adrs.keypair());
-    let parts: Vec<&[u8]> = roots.iter().map(Vec::as_slice).collect();
-    let pk = ctx.t_l(&roots_adrs, &parts);
+    let pk = roots_to_pk(ctx, keypair_adrs, &roots_flat);
 
     (ForsSignature { trees: tree_sigs }, pk)
 }

@@ -2,10 +2,14 @@
 //!
 //! Each kernel has two faces:
 //!
-//! * a **functional** face ([`fors_sign::run`], [`tree_sign::run`],
-//!   [`wots_sign::run`]) that computes real signature components on CPU
-//!   worker threads organized exactly like the paper's grid/block
-//!   decomposition, and
+//! * a **functional** face, decomposed into plannable stages
+//!   ([`fors_sign::sign_trees`] + [`fors_sign::roots_to_pk`],
+//!   [`tree_sign::subtrees`], [`wots_sign::sign_chain_groups`]) that the
+//!   cross-message batch planner ([`crate::plan`]) schedules as DAG
+//!   nodes — one stage may carry work from several messages, filling the
+//!   SHA lanes across message boundaries. The run-to-completion wrappers
+//!   ([`fors_sign::run`], [`tree_sign::run`], [`wots_sign::run`]) drive
+//!   the same stages over the worker pool for single-message use, and
 //! * an **analytic** face (`describe`) that emits a
 //!   [`hero_gpu_sim::KernelDesc`] for the timing engine, with
 //!   bank-conflict counts *measured* by replaying the kernel's shared-

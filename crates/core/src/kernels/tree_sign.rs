@@ -171,8 +171,76 @@ pub fn describe(
     desc
 }
 
+/// One hypertree subtree work item — a `(layer, tree, leaf)` treehash of
+/// any message in the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubtreeItem {
+    /// Hypertree layer (0 = bottom).
+    pub layer: u32,
+    /// Tree index within the layer.
+    pub tree_idx: u64,
+    /// Leaf used for signing at this layer.
+    pub leaf_idx: u32,
+}
+
+/// The per-message subtree item list (one per layer), from the digest's
+/// `(tree, leaf)` walk.
+pub fn subtree_items(params: &Params, tree_idx: u64, leaf_idx: u32) -> Vec<SubtreeItem> {
+    layer_coordinates(params, tree_idx, leaf_idx)
+        .into_iter()
+        .enumerate()
+        .map(|(layer, (tree, leaf))| SubtreeItem {
+            layer: layer as u32,
+            tree_idx: tree,
+            leaf_idx: leaf,
+        })
+        .collect()
+}
+
+/// One plannable `TREE_Sign` stage: builds a group of subtrees — from any
+/// mix of layers and messages — with every reduction level halved through
+/// one combined multi-lane sweep
+/// ([`hero_sphincs::merkle::treehash_many`]). Byte-identical per item to
+/// a standalone treehash.
+pub fn subtrees(ctx: &HashCtx, sk_seed: &[u8], items: &[SubtreeItem]) -> Vec<LayerTree> {
+    let params = *ctx.params();
+    let n = params.n;
+    let jobs: Vec<hero_sphincs::merkle::TreeHashJob> = items
+        .iter()
+        .map(|item| {
+            let mut node_adrs = hero_sphincs::address::Address::new();
+            node_adrs.set_layer(item.layer);
+            node_adrs.set_tree(item.tree_idx);
+            node_adrs.set_type(hero_sphincs::address::AddressType::Tree);
+            hero_sphincs::merkle::TreeHashJob {
+                leaf_idx: item.leaf_idx,
+                node_adrs,
+                leaf_offset: 0,
+            }
+        })
+        .collect();
+    let outs = hero_sphincs::merkle::treehash_many(ctx, params.tree_height(), &jobs, |j, buf| {
+        let item = &items[j];
+        for (i, slot) in buf.chunks_exact_mut(n).enumerate() {
+            hypertree::wots_leaf_into(ctx, sk_seed, item.layer, item.tree_idx, i as u32, slot);
+        }
+    });
+    items
+        .iter()
+        .zip(outs)
+        .map(|(item, TreeHashOutput { root, auth_path })| LayerTree {
+            layer: item.layer,
+            tree_idx: item.tree_idx,
+            leaf_idx: item.leaf_idx,
+            root,
+            auth_path,
+        })
+        .collect()
+}
+
 /// Functional `TREE_Sign`: computes every layer's subtree (root + auth
-/// path + signing coordinates) in parallel.
+/// path + signing coordinates) in parallel. Run-to-completion wrapper
+/// over the plannable [`subtrees`] stage, one item per layer.
 ///
 /// Outputs are bit-identical to running
 /// [`hero_sphincs::hypertree::xmss_sign`] layer by layer.
@@ -184,28 +252,12 @@ pub fn run(
     workers: usize,
 ) -> Vec<LayerTree> {
     let params = *ctx.params();
-    let coords = layer_coordinates(&params, tree_idx, leaf_idx);
+    let items = subtree_items(&params, tree_idx, leaf_idx);
 
     crate::par::par_map_indexed(params.d, workers, |layer| {
-        let (tree, leaf) = coords[layer];
-        let mut node_adrs = hero_sphincs::address::Address::new();
-        node_adrs.set_layer(layer as u32);
-        node_adrs.set_tree(tree);
-        node_adrs.set_type(hero_sphincs::address::AddressType::Tree);
-        let TreeHashOutput { root, auth_path } = hero_sphincs::merkle::treehash(
-            ctx,
-            params.tree_height(),
-            leaf,
-            &node_adrs,
-            |i, slot| hypertree::wots_leaf_into(ctx, sk_seed, layer as u32, tree, i, slot),
-        );
-        LayerTree {
-            layer: layer as u32,
-            tree_idx: tree,
-            leaf_idx: leaf,
-            root,
-            auth_path,
-        }
+        subtrees(ctx, sk_seed, &items[layer..layer + 1])
+            .pop()
+            .expect("one output per item")
     })
 }
 

@@ -75,14 +75,26 @@ pub fn describe(
 ///
 /// Returns per-message results (all `Ok` for a valid batch); does not
 /// short-circuit, matching a GPU batch that always runs to completion.
+///
+/// # Errors
+///
+/// [`crate::HeroError::BatchMismatch`] when `msgs.len() != sigs.len()`
+/// (nothing is silently paired by the shorter slice).
 pub fn run_batch(
     vk: &VerifyingKey,
     msgs: &[&[u8]],
     sigs: &[Signature],
     workers: usize,
-) -> Vec<Result<(), SignError>> {
-    assert_eq!(msgs.len(), sigs.len(), "one signature per message");
-    crate::par::par_map_indexed(msgs.len(), workers, |i| vk.verify(msgs[i], &sigs[i]))
+) -> Result<Vec<Result<(), SignError>>, crate::HeroError> {
+    if msgs.len() != sigs.len() {
+        return Err(crate::HeroError::BatchMismatch {
+            messages: msgs.len(),
+            signatures: sigs.len(),
+        });
+    }
+    Ok(crate::par::par_map_indexed(msgs.len(), workers, |i| {
+        vk.verify(msgs[i], &sigs[i])
+    }))
 }
 
 #[cfg(test)]
@@ -125,12 +137,12 @@ mod tests {
         let slices: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
         let mut sigs: Vec<Signature> = slices.iter().map(|m| sk.sign(m)).collect();
 
-        let results = run_batch(&vk, &slices, &sigs, 4);
+        let results = run_batch(&vk, &slices, &sigs, 4).unwrap();
         assert!(results.iter().all(Result::is_ok));
 
         // Corrupt one signature: exactly that slot fails, others still pass.
         sigs[2].fors.trees[0].sk[0] ^= 1;
-        let results = run_batch(&vk, &slices, &sigs, 4);
+        let results = run_batch(&vk, &slices, &sigs, 4).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(r.is_err(), i == 2, "slot {i}");
         }
@@ -150,19 +162,29 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_batch_lengths_panic() {
+    fn mismatched_batch_lengths_are_typed_errors() {
         let mut rng = StdRng::seed_from_u64(78);
         let params = tiny_params();
         let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
         let sig = sk.sign(b"one");
-        let result = std::panic::catch_unwind(|| {
-            run_batch(
-                &vk,
-                &[b"one".as_slice(), b"two".as_slice()],
-                std::slice::from_ref(&sig),
-                1,
-            )
-        });
-        assert!(result.is_err());
+        let err = run_batch(
+            &vk,
+            &[b"one".as_slice(), b"two".as_slice()],
+            std::slice::from_ref(&sig),
+            1,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::HeroError::BatchMismatch {
+                    messages: 2,
+                    signatures: 1
+                }
+            ),
+            "{err}"
+        );
+        // The empty batch is consistent, not mismatched.
+        assert!(run_batch(&vk, &[], &[], 1).unwrap().is_empty());
     }
 }

@@ -92,8 +92,49 @@ pub fn describe(
     desc
 }
 
+/// One WOTS+ chain-group entry: sign `msg` (a FORS pk or subtree root)
+/// with the keypair at `(layer, tree, leaf)`. Groups may span messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainGroupItem<'a> {
+    /// The `n`-byte value this layer signs.
+    pub msg: &'a [u8],
+    /// Hypertree layer of the signing keypair.
+    pub layer: u32,
+    /// Tree index within the layer.
+    pub tree: u64,
+    /// Leaf (keypair) index within the tree.
+    pub leaf: u32,
+}
+
+/// One plannable `WOTS+_Sign` stage: all chains of every item advance
+/// through one shared multi-lane batch ([`wots::sign_many`]), so chains
+/// retiring early in one item leave lanes to the others — the
+/// cross-message mirror of the kernel's masked-thread retirement. Output
+/// is bit-identical per item to [`hero_sphincs::wots::sign`].
+pub fn sign_chain_groups(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    items: &[ChainGroupItem<'_>],
+) -> Vec<Vec<Vec<u8>>> {
+    let msgs: Vec<&[u8]> = items.iter().map(|item| item.msg).collect();
+    let adrs_list: Vec<Address> = items
+        .iter()
+        .map(|item| {
+            let mut adrs = Address::new();
+            adrs.set_layer(item.layer);
+            adrs.set_tree(item.tree);
+            adrs.set_type(AddressType::WotsHash);
+            adrs.set_keypair(item.leaf);
+            adrs
+        })
+        .collect();
+    wots::sign_many(ctx, &msgs, sk_seed, &adrs_list)
+}
+
 /// Functional `WOTS+_Sign`: signs `fors_pk` at layer 0 and each lower
 /// layer's root above it, chains parallelized across workers.
+/// Run-to-completion wrapper over the plannable [`sign_chain_groups`]
+/// stage, one item per layer.
 ///
 /// `roots[i]` is layer `i`'s subtree root (from
 /// [`crate::kernels::tree_sign::run`]); `coords[i]` its `(tree, leaf)`.
@@ -117,12 +158,15 @@ pub fn run(
             &roots[layer - 1]
         };
         let (tree, leaf) = coords[layer];
-        let mut adrs = Address::new();
-        adrs.set_layer(layer as u32);
-        adrs.set_tree(tree);
-        adrs.set_type(AddressType::WotsHash);
-        adrs.set_keypair(leaf);
-        wots::sign(ctx, msg, sk_seed, &adrs)
+        let item = ChainGroupItem {
+            msg,
+            layer: layer as u32,
+            tree,
+            leaf,
+        };
+        sign_chain_groups(ctx, sk_seed, &[item])
+            .pop()
+            .expect("one output per item")
     })
 }
 

@@ -23,8 +23,12 @@
 //!   *measured* bank-conflict counts).
 //! * [`ptx`] — native/PTX SHA-2 code-path models and the per-kernel
 //!   register tables; the raw material of Table V.
-//! * [`engine`] — [`HeroSigner`]: tune → select branches → sign batches →
-//!   simulate [`PipelineOptions`] workloads (Figs. 11–14).
+//! * [`plan`] — the cross-message batch planner: one `sign_batch` call
+//!   becomes one stage graph (FORS tree groups, subtree treehashes,
+//!   WOTS+ chain groups spanning messages) executed on the worker pool
+//!   via the functional [`hero_task_graph::TaskGraph`].
+//! * [`engine`] — [`HeroSigner`]: tune → select branches → plan and sign
+//!   batches → simulate [`PipelineOptions`] workloads (Figs. 11–14).
 //! * [`workload`] — exact hash-work censuses per kernel.
 //! * [`par`] — the scoped worker pool the functional kernels run on.
 //!
@@ -73,6 +77,7 @@ pub mod engine;
 pub mod error;
 pub mod kernels;
 pub mod par;
+pub mod plan;
 pub mod ptx;
 pub mod signer;
 pub mod tuning;
@@ -81,6 +86,7 @@ pub mod workload;
 pub use builder::HeroSignerBuilder;
 pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineReport, PtxPolicy};
 pub use error::HeroError;
+pub use plan::{PlanShape, PlanSummary};
 pub use ptx::{BranchSelection, KernelKind};
 pub use signer::{ReferenceSigner, Signer};
 pub use tuning::{

@@ -1,0 +1,501 @@
+//! The cross-message batch planner: one stage graph for the whole
+//! `sign_batch` call.
+//!
+//! ## Why plan across messages
+//!
+//! The paper's throughput argument (§IV-E1) is that SPHINCS+ signing only
+//! saturates a device when the *batch* fills it — a single message never
+//! does. The CPU analogue has the same gap: within one message, the big
+//! stages (FORS bottom layers, subtree leaf generation) fill all SHA
+//! lanes and workers, but the small ones drain them — top Merkle levels
+//! with fewer nodes than lanes, WOTS+ chains retiring at their message
+//! digits, and the three per-message barriers (`FORS → TREE → WOTS+`)
+//! that idle the pool while one kernel's tail finishes.
+//!
+//! The planner removes both drains by making the **batch** the unit of
+//! execution:
+//!
+//! 1. [`sign_batch`] decomposes every message into stage work-items —
+//!    FORS tree groups ([`crate::kernels::fors_sign::sign_trees`]),
+//!    per-layer subtree treehashes
+//!    ([`crate::kernels::tree_sign::subtrees`]), and WOTS+ chain groups
+//!    ([`crate::kernels::wots_sign::sign_chain_groups`]) — where one item
+//!    may carry work from *several* messages.
+//! 2. The items become closure nodes of a
+//!    [`hero_task_graph::TaskGraph`], with edges only where the signature
+//!    really demands them: a message's `T_k` FORS-pk compression waits
+//!    for its tree groups; its layer-0 WOTS+ signs wait for the FORS pk;
+//!    its layer-`l` WOTS+ signs wait for the layer-`l−1` subtree root.
+//!    Nothing else orders anything — message A's layer-3 treehash
+//!    co-schedules with message B's FORS leaves.
+//! 3. [`hero_task_graph::TaskGraph::execute`] drains the ready queue on
+//!    the worker pool, and the grouped stages keep all SHA lanes full
+//!    across message boundaries (mixed-address `h_many` / `f_many_at`
+//!    sweeps).
+//!
+//! ## The batch ↔ GPU-stream analogy
+//!
+//! On the GPU, HERO-Sign fills the device by launching one kernel over a
+//! whole batch and letting blocks from many messages share SMs; streams
+//! and CUDA graphs keep the next batch's transfers and kernels
+//! overlapped so the device never idles between messages. Here the
+//! worker pool plays the SM array and the multi-lane SHA engine plays the
+//! warp: the stage graph is the CUDA graph (dependencies instead of
+//! barriers), the ready queue is the stream scheduler, and grouped
+//! work-items are the blocks that mix messages on one SM. Sequential
+//! per-message signing corresponds to `batch_size = 1` on the device —
+//! the configuration Fig. 12 shows wasting most of the hardware.
+//!
+//! Planned output is byte-identical to sequential signing: every hash
+//! call keeps its exact address and input bytes; only the packing into
+//! lanes and the execution order of *independent* calls change (pinned by
+//! proptests and the pre-refactor fixtures).
+
+use crate::kernels::{fors_sign, tree_sign, wots_sign};
+
+use hero_sphincs::address::{Address, AddressType};
+use hero_sphincs::fors::{ForsSignature, ForsTreeRequest, ForsTreeSig};
+use hero_sphincs::hash::{self, HashCtx};
+use hero_sphincs::hypertree::{HtSignature, XmssSig};
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::{Signature, SigningKey};
+use hero_task_graph::TaskGraph;
+
+use std::sync::Mutex;
+
+/// Work-item grouping of one planned batch: how many per-message units
+/// each stage node carries. Larger groups amortize scheduling and fill
+/// lanes across messages; smaller groups give the ready queue more
+/// balance. The defaults come from [`PlanShape::for_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanShape {
+    /// FORS trees per [`fors_sign::sign_trees`] node.
+    pub fors_trees_per_item: usize,
+    /// Hypertree subtrees per [`tree_sign::subtrees`] node.
+    pub subtrees_per_item: usize,
+    /// WOTS+ layer signs per [`wots_sign::sign_chain_groups`] node.
+    pub chains_per_item: usize,
+}
+
+impl PlanShape {
+    /// The shape used by [`sign_batch`]: single-message batches keep
+    /// subtree items at one-per-node (maximum pool balance, matching the
+    /// pre-planner `TREE_Sign` decomposition); multi-message batches pair
+    /// subtrees so reductions merge across items without starving the
+    /// queue.
+    pub fn for_batch(messages: usize) -> Self {
+        Self {
+            fors_trees_per_item: 8,
+            subtrees_per_item: if messages >= 4 { 2 } else { 1 },
+            chains_per_item: 4,
+        }
+    }
+}
+
+/// Node census of a plan, for observability and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Messages in the batch.
+    pub messages: usize,
+    /// FORS tree-group nodes.
+    pub fors_items: usize,
+    /// Per-message `T_k` FORS-pk nodes.
+    pub fors_pk_items: usize,
+    /// Subtree treehash nodes.
+    pub subtree_items: usize,
+    /// WOTS+ chain-group nodes.
+    pub chain_items: usize,
+}
+
+impl PlanSummary {
+    /// Total DAG nodes.
+    pub fn nodes(&self) -> usize {
+        self.fors_items + self.fors_pk_items + self.subtree_items + self.chain_items
+    }
+}
+
+/// The node census [`sign_batch_shaped`] would build for `messages`
+/// messages of `params` under `shape`, without signing anything.
+pub fn summarize(params: &Params, messages: usize, shape: &PlanShape) -> PlanSummary {
+    let flat_trees = messages * params.k;
+    let flat_layers = messages * params.d;
+    PlanSummary {
+        messages,
+        fors_items: flat_trees.div_ceil(shape.fors_trees_per_item.max(1)),
+        fors_pk_items: messages,
+        subtree_items: flat_layers.div_ceil(shape.subtrees_per_item.max(1)),
+        chain_items: flat_layers.div_ceil(shape.chains_per_item.max(1)),
+    }
+}
+
+/// Host-side preamble of one message (Fig. 2): randomizer, digest split,
+/// FORS keypair address, and the hypertree coordinate walk. Computed at
+/// plan time, distributed over the worker pool (digesting a long message
+/// is itself real hash work) — it seeds every work-item.
+struct Preamble {
+    randomizer: Vec<u8>,
+    keypair_adrs: Address,
+    /// One subtree item per hypertree layer (the `(tree, leaf)` walk).
+    subtrees: Vec<tree_sign::SubtreeItem>,
+    /// One FORS tree request per tree, leaf indices decoded from `md`.
+    fors_reqs: Vec<ForsTreeRequest>,
+}
+
+fn preamble(ctx: &HashCtx, sk: &SigningKey, msg: &[u8]) -> Preamble {
+    let params = ctx.params();
+    let randomizer = ctx.prf_msg(sk.sk_prf(), sk.pk_seed(), msg);
+    let digest = ctx.h_msg(&randomizer, sk.pk_root(), msg);
+    let (md, tree_idx, leaf_idx) = hash::split_digest(params, &digest);
+
+    let mut keypair_adrs = Address::new();
+    keypair_adrs.set_layer(0);
+    keypair_adrs.set_tree(tree_idx);
+    keypair_adrs.set_type(AddressType::ForsTree);
+    keypair_adrs.set_keypair(leaf_idx);
+
+    Preamble {
+        randomizer,
+        keypair_adrs,
+        subtrees: tree_sign::subtree_items(params, tree_idx, leaf_idx),
+        fors_reqs: fors_sign::tree_requests(params, &md, &keypair_adrs),
+    }
+}
+
+/// Interior-mutable output slots shared between stage nodes: a node
+/// writes its slot exactly once; dependents read it only after the DAG
+/// edge guarantees it was filled.
+struct Slots<T>(Vec<Mutex<Option<T>>>);
+
+impl<T> Slots<T> {
+    fn new(len: usize) -> Self {
+        Self((0..len).map(|_| Mutex::new(None)).collect())
+    }
+
+    fn set(&self, i: usize, value: T) {
+        *self.0[i].lock().unwrap() = Some(value);
+    }
+
+    fn with<R>(&self, i: usize, f: impl FnOnce(&T) -> R) -> R {
+        f(self.0[i]
+            .lock()
+            .unwrap()
+            .as_ref()
+            .expect("slot filled by dependency"))
+    }
+
+    fn take(&self, i: usize) -> T {
+        self.0[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("slot filled by executed node")
+    }
+}
+
+/// Plans and signs a whole batch as one stage graph with the default
+/// [`PlanShape`] — see the module docs for the decomposition. Output is
+/// byte-identical to signing each message sequentially.
+pub fn sign_batch(
+    ctx: &HashCtx,
+    sk: &SigningKey,
+    msgs: &[&[u8]],
+    workers: usize,
+) -> Vec<Signature> {
+    sign_batch_shaped(ctx, sk, msgs, workers, &PlanShape::for_batch(msgs.len()))
+}
+
+/// [`sign_batch`] with an explicit work-item grouping.
+pub fn sign_batch_shaped(
+    ctx: &HashCtx,
+    sk: &SigningKey,
+    msgs: &[&[u8]],
+    workers: usize,
+    shape: &PlanShape,
+) -> Vec<Signature> {
+    let params = *ctx.params();
+    let m = msgs.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let (k, d, n) = (params.k, params.d, params.n);
+    let sk_seed = sk.sk_seed();
+
+    // Host preamble per message (parallel: message digesting is hash
+    // work too), then the flattened cross-message work-item lists
+    // (message-major, so a chunk mixes messages exactly at the
+    // boundaries).
+    let pres: Vec<Preamble> = crate::par::par_map(msgs, workers, |msg| preamble(ctx, sk, msg));
+    let fors_reqs: Vec<ForsTreeRequest> = pres
+        .iter()
+        .flat_map(|pre| pre.fors_reqs.iter().copied())
+        .collect();
+    let subtree_items: Vec<tree_sign::SubtreeItem> = pres
+        .iter()
+        .flat_map(|pre| pre.subtrees.iter().copied())
+        .collect();
+
+    // Output slots, indexed flat: message-major trees and layers.
+    let fors_slots: Slots<(ForsTreeSig, Vec<u8>)> = Slots::new(m * k);
+    let pk_slots: Slots<Vec<u8>> = Slots::new(m);
+    let layer_slots: Slots<tree_sign::LayerTree> = Slots::new(m * d);
+    let wots_slots: Slots<Vec<Vec<u8>>> = Slots::new(m * d);
+
+    let fg = shape.fors_trees_per_item.max(1);
+    let tg = shape.subtrees_per_item.max(1);
+    let wg = shape.chains_per_item.max(1);
+
+    let mut graph = TaskGraph::new();
+
+    // FORS tree groups: no dependencies.
+    let fors_nodes: Vec<_> = fors_reqs
+        .chunks(fg)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let base = c * fg;
+            let fors_slots = &fors_slots;
+            graph.task(move || {
+                for (off, out) in fors_sign::sign_trees(ctx, sk_seed, chunk)
+                    .into_iter()
+                    .enumerate()
+                {
+                    fors_slots.set(base + off, out);
+                }
+            })
+        })
+        .collect();
+
+    // Per-message T_k compression: waits for the tree groups covering
+    // this message's k trees.
+    let pk_nodes: Vec<_> = (0..m)
+        .map(|mi| {
+            let (fors_slots, pk_slots, pres) = (&fors_slots, &pk_slots, &pres);
+            let node = graph.task(move || {
+                let mut roots_flat = vec![0u8; k * n];
+                for tree in 0..k {
+                    fors_slots.with(mi * k + tree, |(_, root)| {
+                        roots_flat[tree * n..(tree + 1) * n].copy_from_slice(root);
+                    });
+                }
+                pk_slots.set(
+                    mi,
+                    fors_sign::roots_to_pk(ctx, &pres[mi].keypair_adrs, &roots_flat),
+                );
+            });
+            for &group in &fors_nodes[(mi * k) / fg..=((mi + 1) * k - 1) / fg] {
+                graph.depends_on(node, group);
+            }
+            node
+        })
+        .collect();
+
+    // Subtree treehash groups: no dependencies (coordinates derive from
+    // the digest alone — the independence §III-A exploits).
+    let subtree_nodes: Vec<_> = subtree_items
+        .chunks(tg)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let base = c * tg;
+            let layer_slots = &layer_slots;
+            graph.task(move || {
+                for (off, out) in tree_sign::subtrees(ctx, sk_seed, chunk)
+                    .into_iter()
+                    .enumerate()
+                {
+                    layer_slots.set(base + off, out);
+                }
+            })
+        })
+        .collect();
+
+    // WOTS+ chain groups: layer 0 signs the FORS pk, layer l > 0 signs
+    // the layer-(l−1) subtree root; each group depends on exactly the
+    // nodes producing its inputs.
+    let flat_layers = m * d;
+    let mut start = 0usize;
+    while start < flat_layers {
+        let end = (start + wg).min(flat_layers);
+        let (pk_slots, layer_slots, wots_slots, pres) =
+            (&pk_slots, &layer_slots, &wots_slots, &pres);
+        let node = graph.task(move || {
+            // Own the messages first (cloned out of the slots), then
+            // borrow them into the chain-group items.
+            let inputs: Vec<Vec<u8>> = (start..end)
+                .map(|flat| {
+                    let (mi, layer) = (flat / d, flat % d);
+                    if layer == 0 {
+                        pk_slots.with(mi, Vec::clone)
+                    } else {
+                        layer_slots.with(mi * d + layer - 1, |lt| lt.root.clone())
+                    }
+                })
+                .collect();
+            let items: Vec<wots_sign::ChainGroupItem<'_>> = (start..end)
+                .zip(&inputs)
+                .map(|(flat, msg)| {
+                    let (mi, layer) = (flat / d, flat % d);
+                    let subtree = pres[mi].subtrees[layer];
+                    wots_sign::ChainGroupItem {
+                        msg,
+                        layer: layer as u32,
+                        tree: subtree.tree_idx,
+                        leaf: subtree.leaf_idx,
+                    }
+                })
+                .collect();
+            for (off, sig) in wots_sign::sign_chain_groups(ctx, sk_seed, &items)
+                .into_iter()
+                .enumerate()
+            {
+                wots_slots.set(start + off, sig);
+            }
+        });
+        // Distinct producers of this group's inputs; groups are small
+        // (`wg` entries), so a linear-scan dedup suffices.
+        let mut deps: Vec<hero_task_graph::NodeId> = Vec::with_capacity(end - start);
+        for flat in start..end {
+            let (mi, layer) = (flat / d, flat % d);
+            let dep = if layer == 0 {
+                pk_nodes[mi]
+            } else {
+                subtree_nodes[(mi * d + layer - 1) / tg]
+            };
+            if !deps.contains(&dep) {
+                deps.push(dep);
+            }
+        }
+        for dep in deps {
+            graph.depends_on(node, dep);
+        }
+        start = end;
+    }
+
+    graph
+        .execute(workers)
+        .expect("batch plan construction yields a DAG");
+
+    // Assembly: drain the slots message by message.
+    (0..m)
+        .map(|mi| {
+            let trees: Vec<ForsTreeSig> = (0..k)
+                .map(|tree| fors_slots.take(mi * k + tree).0)
+                .collect();
+            let layers: Vec<XmssSig> = (0..d)
+                .map(|layer| XmssSig {
+                    wots_sig: wots_slots.take(mi * d + layer),
+                    auth_path: layer_slots.take(mi * d + layer).auth_path,
+                })
+                .collect();
+            Signature {
+                randomizer: pres[mi].randomizer.clone(),
+                fors: ForsSignature { trees },
+                ht: HtSignature { layers },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::sphincs_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 4;
+        p.k = 8;
+        p
+    }
+
+    fn ctx_for(sk: &SigningKey) -> HashCtx {
+        HashCtx::with_alg(*sk.params(), sk.pk_seed(), sk.alg())
+    }
+
+    #[test]
+    fn planned_batch_matches_sequential_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let ctx = ctx_for(&sk);
+        for batch in [1usize, 2, 5] {
+            let msgs_owned: Vec<Vec<u8>> = (0..batch).map(|i| vec![i as u8; 24 + i]).collect();
+            let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+            for workers in [1usize, 4] {
+                let sigs = sign_batch(&ctx, &sk, &msgs, workers);
+                assert_eq!(sigs.len(), batch);
+                for (i, (msg, sig)) in msgs.iter().zip(&sigs).enumerate() {
+                    assert_eq!(
+                        *sig,
+                        sk.sign(msg),
+                        "batch={batch} workers={workers} msg {i}"
+                    );
+                    vk.verify(msg, sig).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_do_not_change_bytes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = tiny_params();
+        let (sk, _) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let ctx = ctx_for(&sk);
+        let msgs_owned: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 10]).collect();
+        let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+        let reference = sign_batch(&ctx, &sk, &msgs, 2);
+        for shape in [
+            PlanShape {
+                fors_trees_per_item: 1,
+                subtrees_per_item: 1,
+                chains_per_item: 1,
+            },
+            PlanShape {
+                fors_trees_per_item: 3,
+                subtrees_per_item: 4,
+                chains_per_item: 5,
+            },
+            PlanShape {
+                fors_trees_per_item: 1000,
+                subtrees_per_item: 1000,
+                chains_per_item: 1000,
+            },
+        ] {
+            assert_eq!(
+                sign_batch_shaped(&ctx, &sk, &msgs, 3, &shape),
+                reference,
+                "{shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (sk, _) = hero_sphincs::keygen(tiny_params(), &mut rng).unwrap();
+        let ctx = ctx_for(&sk);
+        assert!(sign_batch(&ctx, &sk, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn summary_counts_match_shape() {
+        let params = tiny_params(); // k = 8, d = 3
+        let shape = PlanShape {
+            fors_trees_per_item: 8,
+            subtrees_per_item: 2,
+            chains_per_item: 4,
+        };
+        let s = summarize(&params, 5, &shape);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.fors_items, 5); // 40 trees / 8
+        assert_eq!(s.fors_pk_items, 5);
+        assert_eq!(s.subtree_items, 8); // 15 layers / 2
+        assert_eq!(s.chain_items, 4); // 15 layers / 4
+        assert_eq!(s.nodes(), 22);
+        // The default shape widens subtree items only for real batches.
+        assert_eq!(PlanShape::for_batch(1).subtrees_per_item, 1);
+        assert_eq!(PlanShape::for_batch(64).subtrees_per_item, 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! The pre-refactor signature fixtures, replayed through the batch
+//! planner.
+//!
+//! The pinned digests below are the seed-era fixtures of
+//! `crates/sphincs/tests/fixtures.rs` (captured from the pre-batching
+//! scalar implementation and already survived the PR 2 multi-lane
+//! refactor). Here the same deterministic keys sign the same message
+//! through `HeroSigner::sign_batch` — the planned cross-message path —
+//! and every signature in the batch must serialize to the very same
+//! pinned digest.
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::HeroSigner;
+use hero_sphincs::hash::HashAlg;
+use hero_sphincs::params::Params;
+use hero_sphincs::sha256::Sha256;
+use hero_sphincs::sign::keygen_from_seeds_with_alg;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn tiny(mut p: Params) -> Params {
+    p.h = 6;
+    p.d = 3;
+    p.log_t = 4;
+    p.k = 8;
+    p
+}
+
+#[test]
+fn planned_batches_reproduce_seed_era_fixtures() {
+    // (label, params, alg, pinned sig digest) — digests shared with
+    // crates/sphincs/tests/fixtures.rs.
+    let cases: [(&str, Params, HashAlg, &str); 4] = [
+        (
+            "tiny-128/sha256",
+            tiny(Params::sphincs_128f()),
+            HashAlg::Sha256,
+            "27ddf7ae9592344331ddb61d129e0690c533cffccf348c940984865556cfd578",
+        ),
+        (
+            "tiny-192/sha256",
+            tiny(Params::sphincs_192f()),
+            HashAlg::Sha256,
+            "98969ee70ac94d74bbcfe3b2c1bfbd22a8a79159cf8c6ec2b5e2d85941701afc",
+        ),
+        (
+            "tiny-256/sha256",
+            tiny(Params::sphincs_256f()),
+            HashAlg::Sha256,
+            "28482bbf1e61dc01c687768b478dfd885ed07b62d21d10dab2f3dc67d106c7e3",
+        ),
+        (
+            "tiny-128/sha512",
+            tiny(Params::sphincs_128f()),
+            HashAlg::Sha512,
+            "39bde7badd3751737b6c128f1029fc37e32f79356f842bff614761ca5a9cb670",
+        ),
+    ];
+
+    let msg = b"seed-era fixture message";
+    for (label, params, alg, sig_expected) in cases {
+        let n = params.n;
+        let (sk, vk) = keygen_from_seeds_with_alg(
+            params,
+            alg,
+            (0..n as u8).collect(),
+            (100..100 + n as u8).collect(),
+            (200..200 + n as u8).collect(),
+        );
+        let engine = HeroSigner::builder(rtx_4090(), params)
+            .workers(4)
+            .build()
+            .unwrap();
+
+        // Batch of three copies: the planner must produce the pinned
+        // bytes for every slot, with cross-message groups in play.
+        let msgs: Vec<&[u8]> = vec![msg, msg, msg];
+        let sigs = engine.sign_batch(&sk, &msgs).unwrap();
+        assert_eq!(sigs.len(), 3, "{label}");
+        for (slot, sig) in sigs.iter().enumerate() {
+            assert_eq!(
+                hex(&Sha256::digest(&sig.to_bytes(&params))),
+                sig_expected,
+                "{label}: planned signature drifted from the seed-era \
+                 fixture (slot {slot})"
+            );
+            vk.verify(msg, sig).unwrap();
+        }
+    }
+}

@@ -115,12 +115,52 @@ pub fn leaf(
     ctx.f(&leaf_adrs_for(keypair_adrs, global), &sk)
 }
 
+/// The forest-global node address carried by every internal `H` of a
+/// tree's reduction.
+fn node_adrs_for(keypair_adrs: &Address) -> Address {
+    let mut node_adrs = Address::new();
+    node_adrs.copy_subtree_from(keypair_adrs);
+    node_adrs.set_type(AddressType::ForsTree);
+    node_adrs.set_keypair(keypair_adrs.keypair());
+    node_adrs
+}
+
+/// Streams one tree's whole bottom layer into `buf`: chunks of
+/// [`LEAF_CHUNK`] leaves run `PRF` then `F` through the multi-lane engine
+/// directly into the flat level buffer.
+fn fill_tree_leaves(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    keypair_adrs: &Address,
+    leaf_offset: u32,
+    buf: &mut [u8],
+) {
+    let n = ctx.params().n;
+    let t = ctx.params().t();
+    let mut prf_adrs = [Address::new(); LEAF_CHUNK];
+    let mut leaf_adrs = [Address::new(); LEAF_CHUNK];
+    let identity: [usize; LEAF_CHUNK] = std::array::from_fn(|j| j);
+    let mut start = 0usize;
+    while start < t {
+        let chunk = LEAF_CHUNK.min(t - start);
+        for j in 0..chunk {
+            let global = leaf_offset + (start + j) as u32;
+            prf_adrs[j] = prf_adrs_for(keypair_adrs, global);
+            leaf_adrs[j] = leaf_adrs_for(keypair_adrs, global);
+        }
+        let slots = &mut buf[start * n..(start + chunk) * n];
+        ctx.prf_many(&prf_adrs[..chunk], sk_seed, slots);
+        ctx.f_many_at(&leaf_adrs[..chunk], slots, &identity[..chunk]);
+        start += chunk;
+    }
+}
+
 /// Tree-hashes FORS tree `tree_idx`, returning root and auth path for
 /// `leaf_idx`.
 ///
-/// The whole bottom layer is generated batched: chunks of [`LEAF_CHUNK`]
-/// leaves run `PRF` then `F` through the multi-lane engine directly into
-/// the flat level buffer.
+/// The whole bottom layer is generated batched (see
+/// [`fill_tree_leaves`]); [`tree_hash_many`] is the cross-message
+/// spelling that fuses several trees into one sweep.
 pub fn tree_hash(
     ctx: &HashCtx,
     sk_seed: &[u8],
@@ -129,40 +169,82 @@ pub fn tree_hash(
     leaf_idx: u32,
 ) -> TreeHashOutput {
     let params = *ctx.params();
-    let n = params.n;
-    let t = params.t();
-    let mut node_adrs = Address::new();
-    node_adrs.copy_subtree_from(keypair_adrs);
-    node_adrs.set_type(AddressType::ForsTree);
-    node_adrs.set_keypair(keypair_adrs.keypair());
     // Node addresses are forest-global: tree `j` occupies leaf slots
     // [j·t, (j+1)·t).
-    let leaf_offset = tree_idx * t as u32;
+    let leaf_offset = tree_idx * params.t() as u32;
     merkle::treehash_flat(
         ctx,
         params.log_t,
         leaf_idx,
-        &node_adrs,
+        &node_adrs_for(keypair_adrs),
         leaf_offset,
-        |buf| {
-            let mut prf_adrs = [Address::new(); LEAF_CHUNK];
-            let mut leaf_adrs = [Address::new(); LEAF_CHUNK];
-            let identity: [usize; LEAF_CHUNK] = std::array::from_fn(|j| j);
-            let mut start = 0usize;
-            while start < t {
-                let chunk = LEAF_CHUNK.min(t - start);
-                for j in 0..chunk {
-                    let global = leaf_offset + (start + j) as u32;
-                    prf_adrs[j] = prf_adrs_for(keypair_adrs, global);
-                    leaf_adrs[j] = leaf_adrs_for(keypair_adrs, global);
-                }
-                let slots = &mut buf[start * n..(start + chunk) * n];
-                ctx.prf_many(&prf_adrs[..chunk], sk_seed, slots);
-                ctx.f_many_at(&leaf_adrs[..chunk], slots, &identity[..chunk]);
-                start += chunk;
-            }
-        },
+        |buf| fill_tree_leaves(ctx, sk_seed, keypair_adrs, leaf_offset, buf),
     )
+}
+
+/// One FORS tree of one message in a cross-message batch: the message's
+/// keypair address (layer-0 tree/leaf coordinates) plus which of its `k`
+/// trees to build and which leaf the digest selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForsTreeRequest {
+    /// The message's FORS keypair address.
+    pub keypair_adrs: Address,
+    /// Tree index within the forest (`0..k`).
+    pub tree_idx: u32,
+    /// Leaf revealed by the message digest.
+    pub leaf_idx: u32,
+}
+
+impl ForsTreeRequest {
+    fn leaf_offset(&self, params: &Params) -> u32 {
+        self.tree_idx * params.t() as u32
+    }
+}
+
+/// [`tree_hash`] over many trees — possibly belonging to different
+/// messages — in one [`merkle::treehash_many`] sweep: every reduction
+/// level hashes all requests' sibling pairs through one combined
+/// multi-lane batch, so the near-root levels (fewer nodes than lanes for
+/// a single tree) stay full. Byte-identical per request to
+/// [`tree_hash`].
+pub fn tree_hash_many(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    reqs: &[ForsTreeRequest],
+) -> Vec<TreeHashOutput> {
+    let params = *ctx.params();
+    let jobs: Vec<merkle::TreeHashJob> = reqs
+        .iter()
+        .map(|req| merkle::TreeHashJob {
+            leaf_idx: req.leaf_idx,
+            node_adrs: node_adrs_for(&req.keypair_adrs),
+            leaf_offset: req.leaf_offset(&params),
+        })
+        .collect();
+    merkle::treehash_many(ctx, params.log_t, &jobs, |j, buf| {
+        let req = &reqs[j];
+        fill_tree_leaves(
+            ctx,
+            sk_seed,
+            &req.keypair_adrs,
+            req.leaf_offset(&params),
+            buf,
+        )
+    })
+}
+
+/// [`sk_element`] over a batch of requests in one `PRF` sweep (the
+/// revealed-leaf secrets of a cross-message tree group).
+pub fn sk_elements_many(ctx: &HashCtx, sk_seed: &[u8], reqs: &[ForsTreeRequest]) -> Vec<Vec<u8>> {
+    let params = *ctx.params();
+    let n = params.n;
+    let adrs: Vec<Address> = reqs
+        .iter()
+        .map(|req| prf_adrs_for(&req.keypair_adrs, req.leaf_offset(&params) + req.leaf_idx))
+        .collect();
+    let mut out = vec![0u8; reqs.len() * n];
+    ctx.prf_many(&adrs, sk_seed, &mut out);
+    out.chunks_exact(n).map(<[u8]>::to_vec).collect()
 }
 
 /// Signs message digest `md`, producing one revealed leaf per tree.
@@ -333,6 +415,47 @@ mod tests {
         roots_adrs.set_keypair(adrs.keypair());
         let parts: Vec<&[u8]> = roots.iter().map(Vec::as_slice).collect();
         assert_eq!(ctx.t_l(&roots_adrs, &parts), pk);
+    }
+
+    #[test]
+    fn tree_hash_many_matches_per_tree() {
+        // Trees from two different "messages" (distinct keypair
+        // addresses) interleaved in one request batch.
+        let (params, ctx, sk_seed, adrs) = setup();
+        let mut adrs2 = Address::new();
+        adrs2.set_tree(12);
+        adrs2.set_keypair(3);
+        let reqs: Vec<ForsTreeRequest> = (0..5u32)
+            .map(|i| ForsTreeRequest {
+                keypair_adrs: if i % 2 == 0 { adrs } else { adrs2 },
+                tree_idx: i % params.k as u32,
+                leaf_idx: (i * 13) % params.t() as u32,
+            })
+            .collect();
+        let many = tree_hash_many(&ctx, &sk_seed, &reqs);
+        let sks = sk_elements_many(&ctx, &sk_seed, &reqs);
+        for (i, req) in reqs.iter().enumerate() {
+            let single = tree_hash(
+                &ctx,
+                &sk_seed,
+                &req.keypair_adrs,
+                req.tree_idx,
+                req.leaf_idx,
+            );
+            assert_eq!(many[i], single, "request {i}");
+            assert_eq!(
+                sks[i],
+                sk_element(
+                    &ctx,
+                    &sk_seed,
+                    &req.keypair_adrs,
+                    req.tree_idx,
+                    req.leaf_idx
+                ),
+                "request {i} sk"
+            );
+        }
+        assert!(tree_hash_many(&ctx, &sk_seed, &[]).is_empty());
     }
 
     #[test]

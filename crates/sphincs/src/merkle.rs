@@ -140,6 +140,110 @@ where
     }
 }
 
+/// One tree's coordinates in a combined [`treehash_many`] sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeHashJob {
+    /// Leaf whose authentication path is extracted.
+    pub leaf_idx: u32,
+    /// Layer/tree coordinates for node addressing.
+    pub node_adrs: Address,
+    /// Forest-global leaf offset (0 for hypertree subtrees, `tree·t` for
+    /// FORS trees).
+    pub leaf_offset: u32,
+}
+
+/// Builds many same-height trees in one sweep: every tree's level is
+/// halved by a *single* combined [`HashCtx::h_many`] call over all jobs,
+/// so the near-root levels — where one tree has fewer nodes than SHA
+/// lanes — still fill the multi-lane engine with siblings from the other
+/// jobs. The jobs may belong to different messages entirely (the
+/// cross-message batching of the batch planner); per-job output is
+/// byte-identical to calling [`treehash_flat`] per tree.
+///
+/// `fill_leaves(j, buf)` writes job `j`'s whole `2^height · n`-byte leaf
+/// layer.
+///
+/// # Panics
+///
+/// As [`treehash_with_offset`], per job.
+pub fn treehash_many<F>(
+    ctx: &HashCtx,
+    height: usize,
+    jobs: &[TreeHashJob],
+    mut fill_leaves: F,
+) -> Vec<TreeHashOutput>
+where
+    F: FnMut(usize, &mut [u8]),
+{
+    let n = ctx.params().n;
+    let num_leaves = 1usize << height;
+    let jn = jobs.len();
+    if jn == 0 {
+        return Vec::new();
+    }
+    for job in jobs {
+        assert!(
+            (job.leaf_idx as usize) < num_leaves,
+            "leaf index out of range"
+        );
+        assert!(
+            (job.leaf_offset as usize).is_multiple_of(num_leaves),
+            "leaf offset must be a multiple of the tree size"
+        );
+    }
+
+    // One flat buffer holds every job's current level back to back; the
+    // stride shrinks as levels halve, keeping each job's nodes contiguous
+    // so sibling pairs never straddle a job boundary.
+    let mut level = vec![0u8; jn * num_leaves * n];
+    for (j, region) in level.chunks_exact_mut(num_leaves * n).enumerate() {
+        fill_leaves(j, region);
+    }
+    let mut next = vec![0u8; jn * (num_leaves / 2).max(1) * n];
+    let mut adrs_buf: Vec<Address> = Vec::with_capacity(jn * num_leaves / 2);
+
+    let mut auth_paths: Vec<Vec<Vec<u8>>> = (0..jn).map(|_| Vec::with_capacity(height)).collect();
+    let mut idxs: Vec<u32> = jobs.iter().map(|job| job.leaf_idx).collect();
+    let mut len = num_leaves;
+
+    for level_height in 1..=height {
+        let parents = len / 2;
+        adrs_buf.clear();
+        for (j, job) in jobs.iter().enumerate() {
+            let sibling = (idxs[j] ^ 1) as usize;
+            let base = j * len * n;
+            auth_paths[j].push(level[base + sibling * n..base + (sibling + 1) * n].to_vec());
+            idxs[j] >>= 1;
+
+            let mut adrs = job.node_adrs;
+            adrs.set_tree_height(level_height as u32);
+            let level_offset = job.leaf_offset >> level_height;
+            for i in 0..parents as u32 {
+                let mut a = adrs;
+                a.set_tree_index(level_offset + i);
+                adrs_buf.push(a);
+            }
+        }
+        ctx.h_many(
+            &adrs_buf,
+            &level[..jn * len * n],
+            &mut next[..jn * parents * n],
+        );
+        std::mem::swap(&mut level, &mut next);
+        len = parents;
+    }
+
+    debug_assert_eq!(len, 1);
+    auth_paths
+        .into_iter()
+        .enumerate()
+        .map(|(j, auth_path)| TreeHashOutput {
+            root: level[j * n..(j + 1) * n].to_vec(),
+            auth_path,
+        })
+        .collect()
+}
+
 /// Recomputes a Merkle root from a leaf and its authentication path
 /// (verification side of [`treehash`]).
 pub fn root_from_auth_path(
@@ -318,6 +422,86 @@ mod tests {
         assert_eq!(internal_node_count(0), 0);
         assert_eq!(internal_node_count(6), 63);
         assert_eq!(internal_node_count(9), 511);
+    }
+
+    #[test]
+    fn treehash_many_matches_per_tree_flat() {
+        // Jobs with different addresses, offsets, and leaf indices (as a
+        // cross-message batch would mix) must each reproduce the
+        // single-tree output exactly.
+        let ctx = ctx();
+        let height = 3;
+        let jobs: Vec<TreeHashJob> = (0..5u32)
+            .map(|j| {
+                let mut adrs = Address::new();
+                adrs.set_tree(j as u64 * 7);
+                TreeHashJob {
+                    leaf_idx: j % (1 << height),
+                    node_adrs: adrs,
+                    leaf_offset: j * (1 << height),
+                }
+            })
+            .collect();
+        // Leaves differ per job so cross-job mixups would be caught.
+        let many = treehash_many(&ctx, height, &jobs, |j, buf| {
+            for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                leaf(i as u32 + 100 * j as u32, slot);
+            }
+        });
+        for (j, job) in jobs.iter().enumerate() {
+            let single = treehash_flat(
+                &ctx,
+                height,
+                job.leaf_idx,
+                &job.node_adrs,
+                job.leaf_offset,
+                |buf| {
+                    for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                        leaf(i as u32 + 100 * j as u32, slot);
+                    }
+                },
+            );
+            assert_eq!(many[j], single, "job {j}");
+        }
+    }
+
+    #[test]
+    fn treehash_many_single_job_and_empty() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let job = TreeHashJob {
+            leaf_idx: 2,
+            node_adrs: adrs,
+            leaf_offset: 0,
+        };
+        let many = treehash_many(&ctx, 3, &[job], |_, buf| {
+            for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                leaf(i as u32, slot);
+            }
+        });
+        assert_eq!(many[0], treehash(&ctx, 3, 2, &adrs, leaf));
+        assert!(treehash_many(&ctx, 3, &[], |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn treehash_many_height_zero() {
+        let ctx = ctx();
+        let jobs = [
+            TreeHashJob {
+                leaf_idx: 0,
+                node_adrs: Address::new(),
+                leaf_offset: 0,
+            },
+            TreeHashJob {
+                leaf_idx: 0,
+                node_adrs: Address::new(),
+                leaf_offset: 5,
+            },
+        ];
+        let out = treehash_many(&ctx, 0, &jobs, |j, buf| leaf(j as u32, buf));
+        assert_eq!(out[0].root, leaf_vec(0));
+        assert_eq!(out[1].root, leaf_vec(1));
+        assert!(out[0].auth_path.is_empty());
     }
 
     #[test]

@@ -135,33 +135,37 @@ fn hash_addresses(adrs: &Address, len: usize, hash_adrs: &mut [Address; MAX_LEN]
 /// `starts[i]`. Each round batches all still-active chains into one
 /// multi-lane sweep — the lockstep execution of the paper's `WOTS+_Sign`
 /// warp, with finished chains retiring like masked-off threads.
+///
+/// `adrs_scratch`/`idx_scratch` are per-round staging buffers of at least
+/// `len` entries, caller-provided so the single-keypair paths stay on
+/// stack arrays while [`sign_many`] spans arbitrarily many keypairs.
 fn advance_chains(
     ctx: &HashCtx,
     values: &mut [u8],
     hash_adrs: &[Address],
     starts: &[u32],
     steps: &[u32],
+    adrs_scratch: &mut [Address],
+    idx_scratch: &mut [usize],
 ) {
     let len = hash_adrs.len();
-    debug_assert!(len <= MAX_LEN);
+    debug_assert!(adrs_scratch.len() >= len && idx_scratch.len() >= len);
     let max_steps = steps.iter().copied().max().unwrap_or(0);
-    let mut adrs_buf = [Address::new(); MAX_LEN];
-    let mut idx_buf = [0usize; MAX_LEN];
     for round in 0..max_steps {
         let mut active = 0usize;
         for i in 0..len {
             if round < steps[i] {
                 let mut a = hash_adrs[i];
                 a.set_hash(starts[i] + round);
-                adrs_buf[active] = a;
-                idx_buf[active] = i;
+                adrs_scratch[active] = a;
+                idx_scratch[active] = i;
                 active += 1;
             }
         }
         if active == 0 {
             break;
         }
-        ctx.f_many_at(&adrs_buf[..active], values, &idx_buf[..active]);
+        ctx.f_many_at(&adrs_scratch[..active], values, &idx_scratch[..active]);
     }
 }
 
@@ -206,12 +210,16 @@ pub fn pk_gen_into(ctx: &HashCtx, sk_seed: &[u8], adrs: &Address, out: &mut [u8]
 
     let starts = [0u32; MAX_LEN];
     let steps = [params.w as u32 - 1; MAX_LEN];
+    let mut adrs_scratch = [Address::new(); MAX_LEN];
+    let mut idx_scratch = [0usize; MAX_LEN];
     advance_chains(
         ctx,
         values,
         &hash_adrs[..len],
         &starts[..len],
         &steps[..len],
+        &mut adrs_scratch,
+        &mut idx_scratch,
     );
 
     let mut pk_adrs = *adrs;
@@ -245,9 +253,92 @@ pub fn sign(ctx: &HashCtx, msg: &[u8], sk_seed: &[u8], adrs: &Address) -> Vec<Ve
     ctx.prf_many(&prf_adrs[..len], sk_seed, values);
 
     let starts = [0u32; MAX_LEN];
-    advance_chains(ctx, values, &hash_adrs[..len], &starts[..len], &lengths);
+    let mut adrs_scratch = [Address::new(); MAX_LEN];
+    let mut idx_scratch = [0usize; MAX_LEN];
+    advance_chains(
+        ctx,
+        values,
+        &hash_adrs[..len],
+        &starts[..len],
+        &lengths,
+        &mut adrs_scratch,
+        &mut idx_scratch,
+    );
 
     values.chunks_exact(n).map(<[u8]>::to_vec).collect()
+}
+
+/// Signs many `n`-byte messages, each under its own keypair address, with
+/// every chain of every request advancing through one shared multi-lane
+/// batch. This is the cross-message chain group of the batch planner:
+/// where a lone [`sign`] ends its rounds with fewer live chains than SHA
+/// lanes (chains retire at their message digits), a group keeps the lanes
+/// full with chains from the other requests. All requests share
+/// `sk_seed` (one signing key signs the whole batch); `adrs_list[i]`
+/// carries request `i`'s layer/tree/keypair coordinates.
+///
+/// Output is byte-identical to calling [`sign`] per request.
+///
+/// # Panics
+///
+/// Panics if `msgs.len() != adrs_list.len()`.
+pub fn sign_many(
+    ctx: &HashCtx,
+    msgs: &[&[u8]],
+    sk_seed: &[u8],
+    adrs_list: &[Address],
+) -> Vec<Vec<Vec<u8>>> {
+    let params = *ctx.params();
+    let len = params.wots_len();
+    let n = params.n;
+    assert_eq!(msgs.len(), adrs_list.len(), "one address per message");
+    assert!(
+        len <= MAX_LEN && n <= MAX_N,
+        "parameter set exceeds WOTS+ lane bounds"
+    );
+    let count = msgs.len();
+    if count == 0 {
+        return Vec::new();
+    }
+
+    let total = count * len;
+    let mut prf_adrs = vec![Address::new(); total];
+    let mut hash_adrs = vec![Address::new(); total];
+    let mut steps = vec![0u32; total];
+    for (r, (msg, adrs)) in msgs.iter().zip(adrs_list).enumerate() {
+        debug_assert_eq!(msg.len(), n);
+        let lengths = chain_lengths(&params, msg);
+        for i in 0..len {
+            prf_adrs[r * len + i] = prf_adrs_for(adrs, i as u32);
+            hash_adrs[r * len + i] = hash_adrs_for(adrs, i as u32);
+            steps[r * len + i] = lengths[i];
+        }
+    }
+
+    let mut values = vec![0u8; total * n];
+    ctx.prf_many(&prf_adrs, sk_seed, &mut values);
+
+    let starts = vec![0u32; total];
+    let mut adrs_scratch = vec![Address::new(); total];
+    let mut idx_scratch = vec![0usize; total];
+    advance_chains(
+        ctx,
+        &mut values,
+        &hash_adrs,
+        &starts,
+        &steps,
+        &mut adrs_scratch,
+        &mut idx_scratch,
+    );
+
+    (0..count)
+        .map(|r| {
+            values[r * len * n..(r + 1) * len * n]
+                .chunks_exact(n)
+                .map(<[u8]>::to_vec)
+                .collect()
+        })
+        .collect()
 }
 
 /// Recomputes the public key from a signature (verification primitive).
@@ -286,7 +377,17 @@ pub fn pk_from_sig(ctx: &HashCtx, sig: &[Vec<u8>], msg: &[u8], adrs: &Address) -
     for (r, &digit) in remaining.iter_mut().zip(lengths.iter()) {
         *r = params.w as u32 - 1 - digit;
     }
-    advance_chains(ctx, values, &hash_adrs[..len], &lengths, &remaining[..len]);
+    let mut adrs_scratch = [Address::new(); MAX_LEN];
+    let mut idx_scratch = [0usize; MAX_LEN];
+    advance_chains(
+        ctx,
+        values,
+        &hash_adrs[..len],
+        &lengths,
+        &remaining[..len],
+        &mut adrs_scratch,
+        &mut idx_scratch,
+    );
 
     let mut pk_adrs = *adrs;
     pk_adrs.set_type(AddressType::WotsPk);
@@ -392,6 +493,39 @@ mod tests {
         let mut sig = sign(&ctx, &msg, &sk_seed, &adrs);
         sig[0][0] ^= 1;
         assert_ne!(pk_from_sig(&ctx, &sig, &msg, &adrs), pk);
+    }
+
+    #[test]
+    fn sign_many_matches_per_request_sign() {
+        // Requests at different layers/trees/keypairs — the mix a
+        // cross-message chain group carries — must each be byte-identical
+        // to a lone sign() call, for odd group sizes too.
+        let (params, ctx, sk_seed, _) = setup();
+        for count in [1usize, 2, 5] {
+            let msgs_owned: Vec<Vec<u8>> = (0..count)
+                .map(|i| (0..params.n).map(|b| (i * 37 + b) as u8).collect())
+                .collect();
+            let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+            let adrs_list: Vec<Address> = (0..count)
+                .map(|i| {
+                    let mut a = Address::new();
+                    a.set_layer(i as u32 % 3);
+                    a.set_tree(i as u64 * 11);
+                    a.set_keypair(i as u32);
+                    a
+                })
+                .collect();
+            let batched = sign_many(&ctx, &msgs, &sk_seed, &adrs_list);
+            assert_eq!(batched.len(), count);
+            for i in 0..count {
+                assert_eq!(
+                    batched[i],
+                    sign(&ctx, msgs[i], &sk_seed, &adrs_list[i]),
+                    "count={count} request {i}"
+                );
+            }
+        }
+        assert!(sign_many(&ctx, &[], &sk_seed, &[]).is_empty());
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! # hero-task-graph
 //!
-//! A CUDA-Graph-style task DAG executor over the simulated GPU timeline
-//! (§III-F of the HERO-Sign paper).
+//! A CUDA-Graph-style task DAG executor (§III-F of the HERO-Sign paper),
+//! with two faces:
 //!
-//! Workflow mirrors CUDA Graphs: build a [`GraphBuilder`] of kernel nodes
-//! with explicit dependencies (capture), [`GraphBuilder::instantiate`] it
-//! once (paying instantiation cost), then [`ExecutableGraph::launch`] it
-//! repeatedly — one host-side launch fee for the whole DAG instead of one
-//! per kernel, which is where the paper's two-orders-of-magnitude launch
-//! latency reduction (221.3×) comes from.
+//! * **Analytic** — [`GraphBuilder`]/[`ExecutableGraph`] replay kernel
+//!   nodes onto the simulated GPU timeline. Workflow mirrors CUDA Graphs:
+//!   capture nodes with explicit dependencies,
+//!   [`GraphBuilder::instantiate`] once (paying instantiation cost), then
+//!   [`ExecutableGraph::launch`] repeatedly — one host-side launch fee for
+//!   the whole DAG instead of one per kernel, which is where the paper's
+//!   two-orders-of-magnitude launch latency reduction (221.3×) comes from.
+//! * **Functional** — [`TaskGraph`] carries a real closure per node and
+//!   [`TaskGraph::execute`]s the DAG on a pool of worker threads with
+//!   ready-queue scheduling: a node becomes runnable the instant its last
+//!   dependency finishes, so independent work from *different* parts of
+//!   the graph (in HERO-Sign: different messages of one signing batch)
+//!   co-schedules and keeps every worker busy. This is what lets the
+//!   `core::plan` batch planner drive actual signing through the same DAG
+//!   shape the simulator launches.
 //!
 //! ```
 //! use hero_gpu_sim::device::rtx_4090;
@@ -233,6 +242,222 @@ impl ExecutableGraph {
     }
 }
 
+/// A boxed node work closure.
+type NodeFn<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// One functional node: the work closure plus its dependency edges.
+struct TaskNode<'a> {
+    run: NodeFn<'a>,
+    deps: Vec<NodeId>,
+}
+
+/// A task DAG whose nodes carry real work: each node is a closure, each
+/// edge a happens-before constraint. [`TaskGraph::execute`] runs the DAG
+/// on `workers` threads with ready-queue scheduling — the functional twin
+/// of [`ExecutableGraph::launch`], executing computation instead of
+/// replaying simulated durations.
+///
+/// Nodes typically communicate through interior-mutable slots owned by
+/// the caller (each node writes its output under a lock; dependents read
+/// it once scheduled). The executor guarantees a node runs only after all
+/// of its dependencies completed, on exactly one worker, exactly once.
+///
+/// ```
+/// use hero_task_graph::TaskGraph;
+/// use std::sync::Mutex;
+///
+/// let log = Mutex::new(Vec::new());
+/// let mut g = TaskGraph::new();
+/// let a = g.task(|| log.lock().unwrap().push("fors"));
+/// let b = g.task(|| log.lock().unwrap().push("tree"));
+/// let w = g.task(|| log.lock().unwrap().push("wots"));
+/// g.depends_on(w, a);
+/// g.depends_on(w, b);
+/// g.execute(4).unwrap();
+/// assert_eq!(log.into_inner().unwrap().last(), Some(&"wots"));
+/// ```
+#[derive(Default)]
+pub struct TaskGraph<'a> {
+    nodes: Vec<TaskNode<'a>>,
+}
+
+impl<'a> TaskGraph<'a> {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Adds a work node; returns its handle.
+    pub fn task(&mut self, run: impl FnOnce() + Send + 'a) -> NodeId {
+        self.nodes.push(TaskNode {
+            run: Box::new(run),
+            deps: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares that `node` must wait for `dep`. Duplicate edges are
+    /// permitted (and counted consistently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle is from a different graph (out of range).
+    pub fn depends_on(&mut self, node: NodeId, dep: NodeId) {
+        assert!(
+            node.0 < self.nodes.len() && dep.0 < self.nodes.len(),
+            "foreign node handle"
+        );
+        self.nodes[node.0].deps.push(dep);
+    }
+
+    /// Number of nodes captured so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validates the DAG and executes every node on `workers` threads.
+    ///
+    /// Scheduling is a shared ready queue: nodes with zero unfinished
+    /// dependencies wait in the queue; each worker pops one, runs its
+    /// closure, then decrements its dependents' pending counts, enqueuing
+    /// any that reach zero. An empty graph is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::CycleDetected`] if the dependency relation is cyclic
+    /// (no node runs in that case).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic raised inside a node closure — with its
+    /// original payload — after the pool winds down; remaining unstarted
+    /// nodes are abandoned.
+    pub fn execute(self, workers: usize) -> Result<(), GraphError> {
+        use std::collections::VecDeque;
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::{Condvar, Mutex};
+
+        let n = self.nodes.len();
+        if n == 0 {
+            return Ok(());
+        }
+
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for dep in &node.deps {
+                indegree[i] += 1;
+                dependents[dep.0].push(i);
+            }
+        }
+        // Kahn dry-run on a copy: refuse cyclic graphs before any node runs.
+        {
+            let mut remaining = indegree.clone();
+            let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+            let mut seen = 0usize;
+            while let Some(i) = queue.pop() {
+                seen += 1;
+                for &j in &dependents[i] {
+                    remaining[j] -= 1;
+                    if remaining[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+            if seen != n {
+                return Err(GraphError::CycleDetected);
+            }
+        }
+
+        let pending: Vec<AtomicUsize> = indegree.into_iter().map(AtomicUsize::new).collect();
+        let closures: Vec<Mutex<Option<NodeFn<'a>>>> = self
+            .nodes
+            .into_iter()
+            .map(|node| Mutex::new(Some(node.run)))
+            .collect();
+        let ready: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..n)
+                .filter(|&i| pending[i].load(Ordering::Relaxed) == 0)
+                .collect(),
+        );
+        let cv = Condvar::new();
+        let done = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        // First node panic, stashed here and re-raised after the scope
+        // exits: resuming inside a worker would let std::thread::scope
+        // swap the payload for its generic "a scoped thread panicked".
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let workers = workers.clamp(1, n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (pending, closures, dependents) = (&pending, &closures, &dependents);
+                let (ready, cv, done, poisoned) = (&ready, &cv, &done, &poisoned);
+                let panic_payload = &panic_payload;
+                scope.spawn(move || loop {
+                    let idx = {
+                        let mut queue = ready.lock().unwrap();
+                        loop {
+                            if poisoned.load(Ordering::Acquire) || done.load(Ordering::Acquire) == n
+                            {
+                                return;
+                            }
+                            if let Some(idx) = queue.pop_front() {
+                                break idx;
+                            }
+                            queue = cv.wait(queue).unwrap();
+                        }
+                    };
+                    let run = closures[idx]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("node scheduled exactly once");
+                    // Exit-condition updates (poisoned / done) must be
+                    // published under the queue mutex: a sibling worker
+                    // checks them with the lock held before parking, so a
+                    // lock-free store here could land in that window and
+                    // its notify_all would be lost, parking the sibling
+                    // forever.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
+                        panic_payload.lock().unwrap().get_or_insert(payload);
+                        {
+                            let _queue = ready.lock().unwrap();
+                            poisoned.store(true, Ordering::Release);
+                        }
+                        cv.notify_all();
+                        return;
+                    }
+                    for &dependent in &dependents[idx] {
+                        if pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ready.lock().unwrap().push_back(dependent);
+                            cv.notify_one();
+                        }
+                    }
+                    let all_done = {
+                        let _queue = ready.lock().unwrap();
+                        done.fetch_add(1, Ordering::AcqRel) + 1 == n
+                    };
+                    if all_done {
+                        cv.notify_all();
+                        return;
+                    }
+                });
+            }
+        });
+        if let Some(payload) = panic_payload.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +606,170 @@ mod tests {
         let a = g1.kernel("a", 1.0, 1);
         let mut g2 = GraphBuilder::new();
         g2.depends_on(a, a);
+    }
+
+    mod functional {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        #[test]
+        fn all_nodes_run_exactly_once() {
+            for workers in [1usize, 2, 8] {
+                let count = AtomicUsize::new(0);
+                let mut g = TaskGraph::new();
+                for _ in 0..100 {
+                    g.task(|| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                g.execute(workers).unwrap();
+                assert_eq!(count.into_inner(), 100, "workers={workers}");
+            }
+        }
+
+        #[test]
+        fn dependencies_order_execution() {
+            // A chain a -> b -> c interleaved with free nodes: the chain's
+            // recorded order must be a, b, c regardless of worker count.
+            for workers in [1usize, 4] {
+                let log = Mutex::new(Vec::new());
+                let mut g = TaskGraph::new();
+                let a = g.task(|| log.lock().unwrap().push('a'));
+                for _ in 0..16 {
+                    g.task(|| log.lock().unwrap().push('.'));
+                }
+                let b = g.task(|| log.lock().unwrap().push('b'));
+                let c = g.task(|| log.lock().unwrap().push('c'));
+                g.depends_on(b, a);
+                g.depends_on(c, b);
+                g.execute(workers).unwrap();
+                let log = log.into_inner().unwrap();
+                let pos = |ch| log.iter().position(|&x| x == ch).unwrap();
+                assert!(pos('a') < pos('b') && pos('b') < pos('c'));
+            }
+        }
+
+        #[test]
+        fn diamond_joins_before_sink() {
+            let stamp = AtomicUsize::new(0);
+            let fors_done = AtomicUsize::new(0);
+            let tree_done = AtomicUsize::new(0);
+            let wots_saw = AtomicUsize::new(0);
+            let mut g = TaskGraph::new();
+            let f = g.task(|| {
+                fors_done.store(stamp.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst)
+            });
+            let t = g.task(|| {
+                tree_done.store(stamp.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst)
+            });
+            let w = g.task(|| {
+                wots_saw.store(
+                    fors_done
+                        .load(Ordering::SeqCst)
+                        .min(tree_done.load(Ordering::SeqCst)),
+                    Ordering::SeqCst,
+                )
+            });
+            g.depends_on(w, f);
+            g.depends_on(w, t);
+            g.execute(4).unwrap();
+            // Both inputs had completed (nonzero stamps) when the sink ran.
+            assert!(wots_saw.into_inner() > 0);
+        }
+
+        #[test]
+        fn duplicate_edges_are_harmless() {
+            let count = AtomicUsize::new(0);
+            let mut g = TaskGraph::new();
+            let a = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            let b = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            g.depends_on(b, a);
+            g.depends_on(b, a);
+            g.execute(2).unwrap();
+            assert_eq!(count.into_inner(), 2);
+        }
+
+        #[test]
+        fn functional_cycle_rejected_without_running() {
+            let count = AtomicUsize::new(0);
+            let mut g = TaskGraph::new();
+            let a = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            let b = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            g.depends_on(a, b);
+            g.depends_on(b, a);
+            assert_eq!(g.execute(4).unwrap_err(), GraphError::CycleDetected);
+            assert_eq!(count.into_inner(), 0);
+        }
+
+        #[test]
+        fn empty_graph_is_noop() {
+            TaskGraph::new().execute(8).unwrap();
+        }
+
+        #[test]
+        fn node_panic_propagates_with_payload() {
+            let mut g = TaskGraph::new();
+            g.task(|| panic!("stage exploded"));
+            for _ in 0..8 {
+                g.task(|| {});
+            }
+            let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = g.execute(4);
+            }))
+            .expect_err("node panic must surface");
+            // The original payload survives (not the generic
+            // "a scoped thread panicked" of std::thread::scope).
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("original payload type");
+            assert_eq!(msg, "stage exploded");
+        }
+
+        #[test]
+        fn outputs_flow_through_slots() {
+            // The core::plan pattern in miniature: producers fill slots,
+            // a dependent consumes them.
+            let slots: Vec<Mutex<Option<u64>>> = (0..8).map(|_| Mutex::new(None)).collect();
+            let sum = Mutex::new(0u64);
+            let mut g = TaskGraph::new();
+            let producers: Vec<NodeId> = (0..8)
+                .map(|i| {
+                    let slots = &slots;
+                    g.task(move || *slots[i].lock().unwrap() = Some(i as u64 * 10))
+                })
+                .collect();
+            let sink = g.task(|| {
+                *sum.lock().unwrap() = slots
+                    .iter()
+                    .map(|s| s.lock().unwrap().expect("producer ran"))
+                    .sum()
+            });
+            for p in producers {
+                g.depends_on(sink, p);
+            }
+            g.execute(3).unwrap();
+            assert_eq!(sum.into_inner().unwrap(), 280);
+        }
+
+        #[test]
+        fn foreign_functional_handle_panics() {
+            let mut g1 = TaskGraph::new();
+            let a = g1.task(|| {});
+            let mut g2 = TaskGraph::new();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                g2.depends_on(a, a);
+            }));
+            assert!(r.is_err());
+        }
     }
 }
