@@ -4,6 +4,7 @@
 use crate::args::Args;
 use crate::{keyfile, parse_alg, parse_device, parse_params, CliError, CmdResult};
 
+use hero_sign::service::{ServiceConfig, SignService, SignTicket};
 use hero_sign::{HeroSigner, PipelineOptions, ReferenceSigner, Signer};
 use hero_sphincs::hash::HashAlg;
 use hero_sphincs::Signature;
@@ -11,6 +12,8 @@ use hero_sphincs::Signature;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Dispatches a parsed command line.
 ///
@@ -25,6 +28,7 @@ pub fn run(args: &Args) -> CmdResult {
         "export-pubkey" => export_pubkey(args),
         "tune" => tune(args),
         "simulate" => simulate(args),
+        "throughput" => throughput(args),
         "devices" => devices(),
         "help" | "--help" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -63,7 +67,10 @@ fn keygen(args: &Args) -> CmdResult {
 
 /// Builds the backend selected by `--backend` (default: the HERO engine
 /// on the `--device` GPU model).
-fn select_backend(args: &Args, params: hero_sphincs::Params) -> Result<Box<dyn Signer>, CliError> {
+fn select_backend(
+    args: &Args,
+    params: hero_sphincs::Params,
+) -> Result<Box<dyn Signer + Send + Sync>, CliError> {
     match args.get("backend").unwrap_or("hero") {
         "hero" => {
             let device = parse_device(args.get("device"))?;
@@ -197,8 +204,11 @@ fn tune(args: &Args) -> CmdResult {
 fn simulate(args: &Args) -> CmdResult {
     let device = parse_device(args.get("device"))?;
     let params = parse_params(args.get("params").unwrap_or("128f"))?;
-    let opts = PipelineOptions::new(args.get_u32("messages", 1024)?)
-        .batch_size(args.get_u32("batch", 512)?)
+    let messages = args.get_u32("messages", 1024)?;
+    // The *default* batch shrinks to the workload (an explicit --batch
+    // larger than --messages is still a validation error).
+    let opts = PipelineOptions::new(messages)
+        .batch_size(args.get_u32("batch", 512.min(messages.max(1)))?)
         .streams(args.get_u32("streams", 4)? as usize);
 
     let hero = HeroSigner::hero(device.clone(), params)?;
@@ -232,6 +242,133 @@ fn simulate(args: &Args) -> CmdResult {
         sel.fors,
         sel.tree,
         sel.wots,
+    ))
+}
+
+/// Sorted-latency percentile (nearest-rank on the sorted slice).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((p / 100.0) * (sorted.len().saturating_sub(1)) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives the micro-batching [`SignService`] from N closed-loop client
+/// threads and reports latency percentiles plus signs/sec, alongside a
+/// looped single-message `sign` baseline on the same engine and worker
+/// count — the CPU analogue of benchmarking the paper's stream pipeline
+/// against per-message launches.
+fn throughput(args: &Args) -> CmdResult {
+    let smoke = args.flag("smoke");
+    let params = if smoke {
+        // Reduced shape so CI and quick local runs finish in seconds;
+        // labeled in the output so numbers are never read as full-set.
+        let mut p = parse_params(args.get("params").unwrap_or("128f"))?;
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 6;
+        p.k = 8;
+        p
+    } else {
+        parse_params(args.get("params").unwrap_or("128f"))?
+    };
+    let clients = args.get_u32("clients", 4)? as usize;
+    let requests = args.get_u32("requests", if smoke { 8 } else { 32 })? as usize;
+    if clients == 0 {
+        return Err(CliError::Usage("--clients must be >= 1".to_string()));
+    }
+    if requests == 0 {
+        return Err(CliError::Usage("--requests must be >= 1".to_string()));
+    }
+
+    let signer: Arc<dyn Signer + Send + Sync> = Arc::from(select_backend(args, params)?);
+    let mut rng = match args.get("seed") {
+        Some(_) => StdRng::seed_from_u64(args.get_u64("seed", 0)?),
+        None => StdRng::seed_from_u64(0x4845_524f), // deterministic workload
+    };
+    let (sk, vk) = signer.keygen(&mut rng)?;
+
+    let mut config = ServiceConfig::default();
+    if let Some(v) = args.get("max-batch") {
+        config.max_batch = v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--max-batch: '{v}' is not a number")))?;
+    }
+    config.max_wait = Duration::from_micros(args.get_u64("max-wait-us", 500)?);
+
+    // Baseline: one thread looping single-message sign on the same
+    // backend (every message pays its own stage-graph fill/drain).
+    let total = clients * requests;
+    let baseline_msgs: Vec<Vec<u8>> = (0..total)
+        .map(|i| format!("throughput baseline {i}").into_bytes())
+        .collect();
+    let baseline_start = Instant::now();
+    for msg in &baseline_msgs {
+        signer.sign(&sk, msg)?;
+    }
+    let baseline_secs = baseline_start.elapsed().as_secs_f64();
+    let baseline_rate = total as f64 / baseline_secs;
+
+    // Service: N closed-loop clients share the micro-batcher.
+    let service = SignService::start(Arc::clone(&signer), sk.clone(), config)?;
+    let service_start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let msg = format!("throughput client {t} request {i}").into_bytes();
+                        let begin = Instant::now();
+                        let ticket = service.submit(msg).expect("service accepting");
+                        let sig = ticket.wait().expect("service signs");
+                        lats.push(begin.elapsed());
+                        let _ = sig;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let service_secs = service_start.elapsed().as_secs_f64();
+    let service_rate = total as f64 / service_secs;
+    let stats = service.stats();
+
+    // Spot-check before shutdown: service output verifies under the key.
+    let check_msg = b"throughput spot check".to_vec();
+    let check_sig = service
+        .submit(check_msg.clone())
+        .and_then(SignTicket::wait)?;
+    vk.verify(&check_msg, &check_sig)?;
+    service.shutdown();
+
+    latencies.sort();
+    let avg_us =
+        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / latencies.len() as f64 * 1e6;
+    Ok(format!(
+        "throughput: {}{} | backend {} | {} clients x {} requests\n\
+         looped sign (1 thread): {:>10.1} signs/sec\n\
+         coalesced service:      {:>10.1} signs/sec  ({:.2}x)\n\
+         latency: p50 {:.1} us | p90 {:.1} us | p99 {:.1} us | mean {:.1} us\n\
+         batches: {} (largest {}, avg {:.1} msgs/batch)\n",
+        params.name(),
+        if smoke { " (reduced smoke shape)" } else { "" },
+        signer.backend(),
+        clients,
+        requests,
+        baseline_rate,
+        service_rate,
+        service_rate / baseline_rate,
+        percentile(&latencies, 50.0).as_secs_f64() * 1e6,
+        percentile(&latencies, 90.0).as_secs_f64() * 1e6,
+        percentile(&latencies, 99.0).as_secs_f64() * 1e6,
+        avg_us,
+        stats.batches,
+        stats.max_batch_observed,
+        stats.completed as f64 / stats.batches.max(1) as f64,
     ))
 }
 
@@ -312,6 +449,54 @@ mod tests {
         let out = simulate(&parse(&["simulate", "--messages", "256", "--batch", "128"])).unwrap();
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("HERO"));
+    }
+
+    #[test]
+    fn throughput_smoke_reports_percentiles_and_rates() {
+        let out = throughput(&parse(&[
+            "throughput",
+            "--smoke",
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("signs/sec"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("reduced smoke shape"), "{out}");
+        assert!(out.contains("batches:"), "{out}");
+    }
+
+    #[test]
+    fn throughput_rejects_zero_clients_and_requests() {
+        for bad in [
+            vec!["throughput", "--smoke", "--clients", "0"],
+            vec!["throughput", "--smoke", "--requests", "0"],
+        ] {
+            let err = throughput(&parse(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn simulate_default_batch_shrinks_to_small_workloads() {
+        // No --batch flag: the 512 default must not trip the new
+        // batch_size > messages validation for small --messages.
+        let out = simulate(&parse(&["simulate", "--messages", "100"])).unwrap();
+        assert!(out.contains("batch 100"), "{out}");
+        // An explicit oversized --batch is still a typed error.
+        let err =
+            simulate(&parse(&["simulate", "--messages", "100", "--batch", "512"])).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CliError::Engine(hero_sign::HeroError::InvalidOptions(_))
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum CliError {
     Keyfile(String),
     /// The HERO-Sign engine rejected the request.
     Engine(HeroError),
+    /// The micro-batching sign service failed at runtime.
+    Service(hero_sign::service::ServiceError),
     /// A signature failed to parse or verify.
     Signature(SignError),
 }
@@ -43,6 +45,7 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Keyfile(what) => write!(f, "key file: {what}"),
             CliError::Engine(e) => write!(f, "engine: {e}"),
+            CliError::Service(e) => write!(f, "service: {e}"),
             CliError::Signature(SignError::VerificationFailed) => {
                 f.write_str("signature INVALID: verification failed")
             }
@@ -56,6 +59,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io { source, .. } => Some(source),
             CliError::Engine(e) => Some(e),
+            CliError::Service(e) => Some(e),
             CliError::Signature(e) => Some(e),
             _ => None,
         }
@@ -86,6 +90,12 @@ impl From<HeroError> for CliError {
     }
 }
 
+impl From<hero_sign::service::ServiceError> for CliError {
+    fn from(e: hero_sign::service::ServiceError) -> Self {
+        CliError::Service(e)
+    }
+}
+
 impl From<SignError> for CliError {
     fn from(e: SignError) -> Self {
         CliError::Signature(e)
@@ -111,6 +121,11 @@ COMMANDS:
     tune      [--device <name>] [--params <set>] [--dynamic-smem]
     simulate  [--device <name>] [--params <set>] [--messages <n>] [--batch <n>]
               [--streams <n>]
+    throughput [--params <set>] [--clients <n>] [--requests <n>]
+              [--backend hero|reference] [--workers <n>] [--max-batch <n>]
+              [--max-wait-us <us>] [--seed <u64>] [--smoke]
+              drive the micro-batching SignService from N client threads;
+              reports latency percentiles and signs/sec vs looped sign
     devices   list the GPU catalog
 
 Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>)

@@ -14,6 +14,10 @@ use crate::tuning::{self, TuningOptions, TuningResult};
 
 use hero_gpu_sim::device::DeviceProps;
 use hero_sphincs::params::Params;
+use hero_task_graph::Executor;
+
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Step-by-step configuration for a [`HeroSigner`].
 ///
@@ -42,8 +46,10 @@ pub struct HeroSignerBuilder {
     config: OptConfig,
     tuning: TuningOptions,
     workers: Option<usize>,
+    runtime: Option<Arc<Executor>>,
     strict_tuning: bool,
     use_cache: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 impl HeroSignerBuilder {
@@ -54,8 +60,10 @@ impl HeroSignerBuilder {
             config: OptConfig::hero(),
             tuning: TuningOptions::default(),
             workers: None,
+            runtime: None,
             strict_tuning: false,
             use_cache: true,
+            cache_dir: None,
         }
     }
 
@@ -72,10 +80,30 @@ impl HeroSignerBuilder {
     }
 
     /// Sets the functional-signing worker-thread count (defaults to the
-    /// machine's available parallelism). Zero is rejected by
-    /// [`HeroSignerBuilder::build`].
+    /// machine's available parallelism, or `HERO_WORKERS` when set).
+    /// Zero is rejected by [`HeroSignerBuilder::build`]. Ignored when an
+    /// explicit [`HeroSignerBuilder::runtime`] is supplied.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Attaches an existing persistent runtime instead of spawning a
+    /// fresh one: engines sharing an [`Executor`] co-schedule their
+    /// submissions on the same workers, the way multiple CUDA streams
+    /// share one device.
+    pub fn runtime(mut self, runtime: Arc<Executor>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Enables the on-disk tuning cache under `dir`: Auto Tree Tuning
+    /// results are persisted as versioned JSON keyed by a
+    /// device+params+options digest, so process restarts skip the sweep
+    /// entirely. Corrupt, stale, or version-mismatched files fall back
+    /// to the in-memory search (and are rewritten).
+    pub fn tuning_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -116,11 +144,25 @@ impl HeroSignerBuilder {
                 "workers must be >= 1".to_string(),
             ));
         }
-        let workers = self.workers.unwrap_or_else(crate::par::default_workers);
+        let executor =
+            match self.runtime {
+                Some(runtime) => runtime,
+                None => {
+                    let workers = self.workers.unwrap_or_else(crate::par::default_workers);
+                    Arc::new(Executor::new(workers).map_err(|_| {
+                        HeroError::InvalidOptions("workers must be >= 1".to_string())
+                    })?)
+                }
+            };
 
         let tuning: Option<TuningResult> = if self.config.fusion {
             let searched = if self.use_cache {
-                tuning::tune_auto_cached(&self.device, &self.params, &self.tuning)
+                tuning::tune_auto_cached_at(
+                    &self.device,
+                    &self.params,
+                    &self.tuning,
+                    self.cache_dir.as_deref(),
+                )
             } else {
                 tuning::tune_auto(&self.device, &self.params, &self.tuning)
             };
@@ -138,7 +180,7 @@ impl HeroSignerBuilder {
             self.params,
             self.config,
             tuning,
-            workers,
+            executor,
         ))
     }
 }
@@ -181,6 +223,31 @@ mod tests {
         // Default mode degrades to an unfused layout instead.
         let lenient = HeroSigner::builder(rtx_4090(), p).build().unwrap();
         assert!(lenient.tuning().is_none());
+    }
+
+    #[test]
+    fn engines_can_share_one_runtime() {
+        let runtime = Arc::new(Executor::new(3).unwrap());
+        let a = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+            .runtime(Arc::clone(&runtime))
+            .build()
+            .unwrap();
+        let b = HeroSigner::builder(rtx_4090(), Params::sphincs_192f())
+            .runtime(Arc::clone(&runtime))
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(a.runtime(), b.runtime()));
+        assert_eq!(a.workers(), 3);
+        // An explicit runtime wins over a workers() hint.
+        let c = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+            .workers(7)
+            .runtime(Arc::clone(&runtime))
+            .build()
+            .unwrap();
+        assert_eq!(c.workers(), 3);
+        // Clones share the pool too (stream semantics, not device copies).
+        let d = a.clone();
+        assert!(Arc::ptr_eq(a.runtime(), d.runtime()));
     }
 
     #[test]

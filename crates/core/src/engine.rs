@@ -22,11 +22,13 @@ use hero_gpu_sim::isa::Sha2Path;
 use hero_gpu_sim::kernel::{KernelDesc, RoDataPlacement};
 use hero_gpu_sim::pcie::PipelinedTransfers;
 use hero_gpu_sim::stream::{LaunchMode, Timeline};
-use hero_task_graph::GraphBuilder;
+use hero_task_graph::{Executor, GraphBuilder};
 
 use hero_sphincs::hash::HashCtx;
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::{Signature, SigningKey};
+
+use std::sync::Arc;
 
 /// PTX branch policy (§III-C2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -132,8 +134,10 @@ pub enum LaunchPolicy {
 pub struct PipelineOptions {
     /// Total messages to sign.
     pub messages: u32,
-    /// Messages per device batch (capped to `messages` at simulation
-    /// time, like a real dispatcher's final short batch).
+    /// Messages per device batch. Must not exceed `messages`
+    /// ([`PipelineOptions::validate`] reports the mismatch as a typed
+    /// error instead of silently clamping); the final batch may still be
+    /// short when `batch_size` does not divide `messages`.
     pub batch_size: u32,
     /// Concurrent streams batches rotate across.
     pub streams: usize,
@@ -163,11 +167,16 @@ impl Default for PipelineOptions {
 }
 
 impl PipelineOptions {
-    /// A workload of `messages` messages with default batching.
+    /// A workload of `messages` messages with default batching (the
+    /// standard 512-message batch, shrunk to `messages` for small
+    /// workloads so the default always passes
+    /// [`PipelineOptions::validate`]).
     pub fn new(messages: u32) -> Self {
+        let defaults = Self::default();
         Self {
             messages,
-            ..Self::default()
+            batch_size: defaults.batch_size.min(messages.max(1)),
+            ..defaults
         }
     }
 
@@ -199,7 +208,10 @@ impl PipelineOptions {
     ///
     /// # Errors
     ///
-    /// [`HeroError::InvalidOptions`] naming the offending field.
+    /// [`HeroError::InvalidOptions`] naming the offending field —
+    /// including `batch_size > messages`, which used to be clamped
+    /// silently; a dispatcher that wants a short final batch says so by
+    /// sizing batches to the workload, not the other way around.
     pub fn validate(&self) -> Result<(), HeroError> {
         if self.messages == 0 {
             return Err(HeroError::InvalidOptions(
@@ -210,6 +222,12 @@ impl PipelineOptions {
             return Err(HeroError::InvalidOptions(
                 "batch_size must be >= 1".to_string(),
             ));
+        }
+        if self.batch_size > self.messages {
+            return Err(HeroError::InvalidOptions(format!(
+                "batch_size ({}) must not exceed messages ({})",
+                self.batch_size, self.messages
+            )));
         }
         if self.streams == 0 {
             return Err(HeroError::InvalidOptions(
@@ -243,6 +261,12 @@ pub struct PipelineReport {
 }
 
 /// The HERO-Sign engine for one (device, parameter set, configuration).
+///
+/// Holds an [`Executor`] — the persistent stream runtime — in an
+/// [`Arc`]: cloning the engine shares the same worker pool, the way
+/// multiple CUDA streams share one device, and concurrent `sign` /
+/// `sign_batch` calls interleave their stage graphs on those workers
+/// instead of serializing behind per-call thread pools.
 #[derive(Clone, Debug)]
 pub struct HeroSigner {
     device: DeviceProps,
@@ -250,7 +274,7 @@ pub struct HeroSigner {
     config: OptConfig,
     tuning: Option<TuningResult>,
     selection: BranchSelection,
-    workers: usize,
+    executor: Arc<Executor>,
 }
 
 impl HeroSigner {
@@ -287,7 +311,7 @@ impl HeroSigner {
         params: Params,
         config: OptConfig,
         tuning: Option<TuningResult>,
-        workers: usize,
+        executor: Arc<Executor>,
     ) -> Self {
         let mut engine = Self {
             device,
@@ -295,7 +319,7 @@ impl HeroSigner {
             config,
             tuning,
             selection: BranchSelection::all_native(),
-            workers: workers.max(1),
+            executor,
         };
         engine.selection = match config.ptx {
             PtxPolicy::Off => BranchSelection::all_native(),
@@ -334,9 +358,17 @@ impl HeroSigner {
         self.selection
     }
 
-    /// The functional-signing worker-thread count.
+    /// The functional-signing worker-thread count of the runtime.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.executor.workers()
+    }
+
+    /// The persistent stream runtime this engine submits onto. Share it
+    /// across engines (via [`crate::builder::HeroSignerBuilder::runtime`])
+    /// or hand it to services and benchmarks that want to co-schedule
+    /// their own [`hero_task_graph::TaskGraph`] submissions with signing.
+    pub fn runtime(&self) -> &Arc<Executor> {
+        &self.executor
     }
 
     /// The FORS block layout implied by the configuration.
@@ -483,7 +515,7 @@ impl HeroSigner {
     pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
         check_key(&self.params, sk.params())?;
         let ctx = HashCtx::with_alg(self.params, sk.pk_seed(), sk.alg());
-        Ok(crate::plan::sign_batch(&ctx, sk, msgs, self.workers))
+        Ok(crate::plan::sign_batch(&ctx, sk, msgs, &self.executor))
     }
 
     /// Functional batch verification on the worker pool (extension: the
@@ -500,7 +532,7 @@ impl HeroSigner {
         msgs: &[&[u8]],
         sigs: &[Signature],
     ) -> Result<Vec<Result<(), hero_sphincs::sign::SignError>>, HeroError> {
-        crate::kernels::verify::run_batch(vk, msgs, sigs, self.workers)
+        crate::kernels::verify::run_batch_on(vk, msgs, sigs, &self.executor)
     }
 
     /// Simulated batch-verification throughput (KOPS) for `messages`
@@ -543,7 +575,7 @@ impl HeroSigner {
     ) -> Result<(PipelineReport, Timeline), HeroError> {
         opts.validate()?;
         let messages = opts.messages;
-        let batch_size = opts.batch_size.min(messages);
+        let batch_size = opts.batch_size;
         let streams = opts.streams;
         let batches = messages.div_ceil(batch_size);
 
@@ -911,6 +943,7 @@ mod tests {
             PipelineOptions::new(0),
             PipelineOptions::new(64).batch_size(0),
             PipelineOptions::new(64).streams(0),
+            PipelineOptions::new(64).batch_size(65),
         ] {
             let err = engine.simulate(bad).unwrap_err();
             assert!(

@@ -97,6 +97,34 @@ pub fn run_batch(
     }))
 }
 
+/// [`run_batch`] submitting onto an explicit persistent runtime — the
+/// engine's path ([`crate::engine::HeroSigner::verify_batch`]), so
+/// concurrent verification interleaves with in-flight signing
+/// submissions on the same workers.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_on(
+    vk: &VerifyingKey,
+    msgs: &[&[u8]],
+    sigs: &[Signature],
+    exec: &hero_task_graph::Executor,
+) -> Result<Vec<Result<(), SignError>>, crate::HeroError> {
+    if msgs.len() != sigs.len() {
+        return Err(crate::HeroError::BatchMismatch {
+            messages: msgs.len(),
+            signatures: sigs.len(),
+        });
+    }
+    Ok(crate::par::par_map_indexed_on(
+        exec,
+        msgs.len(),
+        exec.workers(),
+        |i| vk.verify(msgs[i], &sigs[i]),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,12 +25,16 @@
 //!   register tables; the raw material of Table V.
 //! * [`plan`] — the cross-message batch planner: one `sign_batch` call
 //!   becomes one stage graph (FORS tree groups, subtree treehashes,
-//!   WOTS+ chain groups spanning messages) executed on the worker pool
-//!   via the functional [`hero_task_graph::TaskGraph`].
+//!   WOTS+ chain groups spanning messages) submitted onto the persistent
+//!   [`hero_task_graph::Executor`] runtime.
 //! * [`engine`] — [`HeroSigner`]: tune → select branches → plan and sign
-//!   batches → simulate [`PipelineOptions`] workloads (Figs. 11–14).
+//!   batches → simulate [`PipelineOptions`] workloads (Figs. 11–14);
+//!   holds the stream runtime in an `Arc` so clones and concurrent
+//!   callers share one worker pool.
+//! * [`service`] — [`SignService`]: the adaptive micro-batching signing
+//!   server; many clients, one coalesced accelerator.
 //! * [`workload`] — exact hash-work censuses per kernel.
-//! * [`par`] — the scoped worker pool the functional kernels run on.
+//! * [`par`] — parallel maps over the persistent runtime.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +83,7 @@ pub mod kernels;
 pub mod par;
 pub mod plan;
 pub mod ptx;
+pub mod service;
 pub mod signer;
 pub mod tuning;
 pub mod workload;
@@ -88,8 +93,10 @@ pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineR
 pub use error::HeroError;
 pub use plan::{PlanShape, PlanSummary};
 pub use ptx::{BranchSelection, KernelKind};
+pub use service::{ServiceConfig, ServiceError, ServiceStats, SignService, SignTicket};
 pub use signer::{ReferenceSigner, Signer};
 pub use tuning::{
-    tune, tune_auto, tune_auto_cached, tune_relax, tuning_cache_stats, FusionCandidate,
-    TuningCacheStats, TuningOptions, TuningResult,
+    tune, tune_auto, tune_auto_cached, tune_auto_cached_at, tune_relax, tuning_cache_disk_path,
+    tuning_cache_stats, FusionCandidate, TuningCacheStats, TuningOptions, TuningResult,
+    TUNING_CACHE_DISK_VERSION,
 };

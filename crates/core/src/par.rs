@@ -1,35 +1,92 @@
-//! Minimal scoped-thread parallel map.
+//! Parallel maps on the persistent worker-pool runtime.
 //!
 //! The functional side of HERO-Sign's kernels executes on CPU threads
-//! (std scoped workers play the role of CUDA thread blocks); this
-//! helper distributes independent work items — messages, FORS trees,
-//! hypertree layers — across a worker pool.
+//! (pool workers play the role of CUDA thread blocks); these helpers
+//! distribute independent work items — messages, FORS trees, hypertree
+//! layers — across a [`hero_task_graph::Executor`].
+//!
+//! Two pools exist:
+//!
+//! * every [`crate::engine::HeroSigner`] owns (or shares, via
+//!   [`crate::builder::HeroSignerBuilder::runtime`]) an executor sized by
+//!   its `workers` setting — engine signing submits there through
+//!   [`par_map_indexed_on`];
+//! * the free functions [`par_map_indexed`]/[`par_map`] submit onto a
+//!   lazily created process-wide [`shared_executor`], so standalone
+//!   kernel entry points keep their `workers: usize` signatures without
+//!   spinning a `std::thread::scope` up per call (the per-call-pool
+//!   behavior the persistent runtime replaced).
+
+use hero_task_graph::{Executor, TaskGraph};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Number of workers to use by default: the machine's available
-/// parallelism, capped to keep test runs snappy.
+/// Number of workers to use by default: the `HERO_WORKERS` environment
+/// variable when set to a positive integer (the CI matrix pins 1 and 8),
+/// otherwise the machine's available parallelism, capped to keep test
+/// runs snappy.
 pub fn default_workers() -> usize {
+    if let Some(n) = env_workers() {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(32)
 }
 
-/// Applies `f` to every index in `0..len` on `workers` threads, returning
-/// results in index order.
-///
-/// Work-steals via an atomic cursor that hands out *chunks* of indices:
-/// each `fetch_add` claims `max(1, len / (workers · 8))` consecutive
-/// items, so fine-grained workloads (FORS leaves) don't serialize on the
-/// cursor while uneven item costs (e.g. WOTS+ chain lengths) still
-/// balance — the same reason the GPU kernels interleave chains across
-/// warps.
+fn env_workers() -> Option<usize> {
+    std::env::var("HERO_WORKERS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(256))
+}
+
+/// The process-wide executor backing the free `par_map*` functions,
+/// created on first use with [`default_workers`] threads. Engines built
+/// through [`crate::builder::HeroSignerBuilder`] get their own (or an
+/// explicitly shared) pool instead; this one serves standalone kernel
+/// calls and tests.
+pub fn shared_executor() -> &'static Arc<Executor> {
+    static POOL: OnceLock<Arc<Executor>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(Executor::new(default_workers()).expect("default_workers() >= 1")))
+}
+
+/// Applies `f` to every index in `0..len` on the process-wide
+/// [`shared_executor`], returning results in index order. `workers`
+/// bounds the submission's parallelism (number of chunk-claiming nodes),
+/// not the pool size; `workers == 1` runs sequentially on the caller.
 ///
 /// # Panics
 ///
 /// Propagates panics from `f`.
 pub fn par_map_indexed<R, F>(len: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_on(shared_executor(), len, workers, f)
+}
+
+/// [`par_map_indexed`] on an explicit executor: the engine's hot path,
+/// submitting onto the runtime the [`crate::engine::HeroSigner`] holds
+/// instead of the process-wide pool.
+///
+/// Work-steals via an atomic cursor that hands out *chunks* of indices:
+/// each of the `workers` submission nodes claims
+/// `max(1, len / (workers · 8))` consecutive items per `fetch_add`, so
+/// fine-grained workloads (FORS leaves) don't serialize on the cursor
+/// while uneven item costs (e.g. WOTS+ chain lengths) still balance —
+/// the same reason the GPU kernels interleave chains across warps.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map_indexed_on<R, F>(exec: &Executor, len: usize, workers: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -49,26 +106,28 @@ where
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
     let slots_ptr = SendPtr(slots.as_mut_ptr());
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                for i in start..(start + chunk).min(len) {
-                    let value = f(i);
-                    // SAFETY: each index belongs to exactly one chunk and
-                    // each chunk is claimed by exactly one worker via the
-                    // atomic cursor, so writes are disjoint; the scope
-                    // guarantees the buffer outlives all workers.
-                    unsafe { slots_ptr.write(i, Some(value)) }
-                }
-            });
-        }
-    });
+    let mut graph = TaskGraph::new();
+    for _ in 0..workers {
+        let cursor = &cursor;
+        let f = &f;
+        graph.task(move || loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            for i in start..(start + chunk).min(len) {
+                let value = f(i);
+                // SAFETY: each index belongs to exactly one chunk and
+                // each chunk is claimed by exactly one node via the
+                // atomic cursor, so writes are disjoint; `Executor::run`
+                // blocks until every node retired, so the buffer
+                // outlives all writes.
+                unsafe { slots_ptr.write(i, Some(value)) }
+            }
+        });
+    }
+    exec.run(graph)
+        .expect("independent chunk nodes form an acyclic graph");
 
     slots
         .into_iter()
@@ -84,6 +143,16 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map_indexed(items.len(), workers, |i| f(&items[i]))
+}
+
+/// [`par_map`] on an explicit executor.
+pub fn par_map_on<T, R, F>(exec: &Executor, items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_on(exec, items.len(), workers, |i| f(&items[i]))
 }
 
 struct SendPtr<T>(*mut T);
@@ -169,5 +238,31 @@ mod tests {
                 assert_eq!(out, (0..len).collect::<Vec<_>>(), "len={len} w={workers}");
             }
         }
+    }
+
+    #[test]
+    fn explicit_executor_matches_shared_pool() {
+        let exec = Executor::new(3).unwrap();
+        let out = par_map_indexed_on(&exec, 128, 4, |i| i * 3);
+        assert_eq!(out, (0..128).map(|i| i * 3).collect::<Vec<_>>());
+        let items: Vec<u32> = (0..40).collect();
+        let mapped = par_map_on(&exec, &items, 4, |v| v + 1);
+        assert_eq!(mapped, (1..=40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn env_override_parses_strictly() {
+        // Pure parse logic (the env var itself is process-global, so the
+        // CI matrix exercises the live path).
+        assert_eq!(
+            "8".trim().parse::<usize>().ok().filter(|&n| n >= 1),
+            Some(8)
+        );
+        assert_eq!("0".trim().parse::<usize>().ok().filter(|&n| n >= 1), None);
+        assert_eq!(
+            "lots".trim().parse::<usize>().ok().filter(|&n| n >= 1),
+            None
+        );
+        assert!(default_workers() >= 1);
     }
 }

@@ -28,8 +28,11 @@
 //!    its layer-`l` WOTS+ signs wait for the layer-`l−1` subtree root.
 //!    Nothing else orders anything — message A's layer-3 treehash
 //!    co-schedules with message B's FORS leaves.
-//! 3. [`hero_task_graph::TaskGraph::execute`] drains the ready queue on
-//!    the worker pool, and the grouped stages keep all SHA lanes full
+//! 3. [`hero_task_graph::Executor::run`] submits the whole DAG onto the
+//!    engine's *persistent* worker pool — no thread spin-up per call,
+//!    and concurrent `sign_batch` calls from different threads interleave
+//!    their work-items on the same workers like kernels from different
+//!    CUDA streams — while the grouped stages keep all SHA lanes full
 //!    across message boundaries (mixed-address `h_many` / `f_many_at`
 //!    sweeps).
 //!
@@ -59,7 +62,7 @@ use hero_sphincs::hash::{self, HashCtx};
 use hero_sphincs::hypertree::{HtSignature, XmssSig};
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::{Signature, SigningKey};
-use hero_task_graph::TaskGraph;
+use hero_task_graph::{Executor, TaskGraph};
 
 use std::sync::Mutex;
 
@@ -192,16 +195,17 @@ impl<T> Slots<T> {
     }
 }
 
-/// Plans and signs a whole batch as one stage graph with the default
-/// [`PlanShape`] — see the module docs for the decomposition. Output is
-/// byte-identical to signing each message sequentially.
+/// Plans and signs a whole batch as one stage graph submitted onto
+/// `exec`, with the default [`PlanShape`] — see the module docs for the
+/// decomposition. Output is byte-identical to signing each message
+/// sequentially.
 pub fn sign_batch(
     ctx: &HashCtx,
     sk: &SigningKey,
     msgs: &[&[u8]],
-    workers: usize,
+    exec: &Executor,
 ) -> Vec<Signature> {
-    sign_batch_shaped(ctx, sk, msgs, workers, &PlanShape::for_batch(msgs.len()))
+    sign_batch_shaped(ctx, sk, msgs, exec, &PlanShape::for_batch(msgs.len()))
 }
 
 /// [`sign_batch`] with an explicit work-item grouping.
@@ -209,7 +213,7 @@ pub fn sign_batch_shaped(
     ctx: &HashCtx,
     sk: &SigningKey,
     msgs: &[&[u8]],
-    workers: usize,
+    exec: &Executor,
     shape: &PlanShape,
 ) -> Vec<Signature> {
     let params = *ctx.params();
@@ -224,7 +228,8 @@ pub fn sign_batch_shaped(
     // work too), then the flattened cross-message work-item lists
     // (message-major, so a chunk mixes messages exactly at the
     // boundaries).
-    let pres: Vec<Preamble> = crate::par::par_map(msgs, workers, |msg| preamble(ctx, sk, msg));
+    let pres: Vec<Preamble> =
+        crate::par::par_map_on(exec, msgs, exec.workers(), |msg| preamble(ctx, sk, msg));
     let fors_reqs: Vec<ForsTreeRequest> = pres
         .iter()
         .flat_map(|pre| pre.fors_reqs.iter().copied())
@@ -369,8 +374,7 @@ pub fn sign_batch_shaped(
         start = end;
     }
 
-    graph
-        .execute(workers)
+    exec.run(graph)
         .expect("batch plan construction yields a DAG");
 
     // Assembly: drain the slots message by message.
@@ -423,7 +427,8 @@ mod tests {
             let msgs_owned: Vec<Vec<u8>> = (0..batch).map(|i| vec![i as u8; 24 + i]).collect();
             let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
             for workers in [1usize, 4] {
-                let sigs = sign_batch(&ctx, &sk, &msgs, workers);
+                let exec = Executor::new(workers).unwrap();
+                let sigs = sign_batch(&ctx, &sk, &msgs, &exec);
                 assert_eq!(sigs.len(), batch);
                 for (i, (msg, sig)) in msgs.iter().zip(&sigs).enumerate() {
                     assert_eq!(
@@ -445,7 +450,9 @@ mod tests {
         let ctx = ctx_for(&sk);
         let msgs_owned: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 10]).collect();
         let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
-        let reference = sign_batch(&ctx, &sk, &msgs, 2);
+        let exec2 = Executor::new(2).unwrap();
+        let exec3 = Executor::new(3).unwrap();
+        let reference = sign_batch(&ctx, &sk, &msgs, &exec2);
         for shape in [
             PlanShape {
                 fors_trees_per_item: 1,
@@ -464,7 +471,7 @@ mod tests {
             },
         ] {
             assert_eq!(
-                sign_batch_shaped(&ctx, &sk, &msgs, 3, &shape),
+                sign_batch_shaped(&ctx, &sk, &msgs, &exec3, &shape),
                 reference,
                 "{shape:?}"
             );
@@ -476,7 +483,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let (sk, _) = hero_sphincs::keygen(tiny_params(), &mut rng).unwrap();
         let ctx = ctx_for(&sk);
-        assert!(sign_batch(&ctx, &sk, &[], 4).is_empty());
+        let exec = Executor::new(4).unwrap();
+        assert!(sign_batch(&ctx, &sk, &[], &exec).is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use hero_gpu_sim::device::{DeviceProps, SmemPolicy};
 use hero_sphincs::params::Params;
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One candidate fusion configuration from the search.
@@ -344,6 +345,20 @@ impl TuneCacheKey {
             exclude_full_saturation: opts.exclude_full_saturation,
         }
     }
+
+    /// Canonical rendering used for the disk fingerprint: every field
+    /// that participates in the in-memory key, plus the format version.
+    fn canonical(&self) -> String {
+        format!(
+            "v{}|{}|{:?}|{}|{:?}|{}",
+            TUNING_CACHE_DISK_VERSION,
+            self.device,
+            self.params,
+            self.alpha_bits,
+            self.smem_policy,
+            self.exclude_full_saturation,
+        )
+    }
 }
 
 /// One cache slot: filled exactly once, by whichever thread gets there
@@ -355,6 +370,7 @@ struct TuneCache {
     map: HashMap<TuneCacheKey, TuneCacheCell>,
     hits: u64,
     misses: u64,
+    disk_hits: u64,
 }
 
 fn cache() -> &'static Mutex<TuneCache> {
@@ -364,6 +380,7 @@ fn cache() -> &'static Mutex<TuneCache> {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            disk_hits: 0,
         })
     })
 }
@@ -371,11 +388,14 @@ fn cache() -> &'static Mutex<TuneCache> {
 /// A snapshot of the process-wide tuning-cache counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TuningCacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-memory cache.
     pub hits: u64,
     /// Lookups that ran the full Algorithm 1 search.
     pub misses: u64,
-    /// Entries currently cached.
+    /// Lookups answered by loading a persisted entry from disk (no
+    /// search ran; not counted as `hits` or `misses`).
+    pub disk_hits: u64,
+    /// Entries currently cached in memory.
     pub entries: usize,
 }
 
@@ -385,6 +405,7 @@ pub fn tuning_cache_stats() -> TuningCacheStats {
     TuningCacheStats {
         hits: c.hits,
         misses: c.misses,
+        disk_hits: c.disk_hits,
         entries: c.map.len(),
     }
 }
@@ -414,7 +435,32 @@ pub fn tune_auto_cached(
     params: &Params,
     opts: &TuningOptions,
 ) -> Result<TuningResult, TuneError> {
+    tune_auto_cached_at(device, params, opts, None)
+}
+
+/// [`tune_auto_cached`] with an optional on-disk persistence layer.
+///
+/// With `cache_dir` set, an in-memory miss first consults the versioned
+/// JSON entry at [`tuning_cache_disk_path`]; a valid entry is loaded
+/// without searching (counted as a *disk hit*), so process restarts skip
+/// the tuning sweep. Invalid entries — unparsable bytes, a different
+/// format version, or a fingerprint that does not match this exact
+/// `(device, params, options)` — fall back to the in-memory search, and
+/// a successful search is written back (I/O failures are ignored: the
+/// disk layer is an accelerator, never a correctness dependency).
+/// Search *failures* are cached in memory only.
+///
+/// # Errors
+///
+/// Same as [`tune_auto`].
+pub fn tune_auto_cached_at(
+    device: &DeviceProps,
+    params: &Params,
+    opts: &TuningOptions,
+    cache_dir: Option<&Path>,
+) -> Result<TuningResult, TuneError> {
     let key = TuneCacheKey::new(device, params, opts);
+    let canonical = key.canonical();
     // Take the map lock only long enough to fetch (or create) the key's
     // slot; the search itself runs outside it, so concurrent
     // constructions of *different* engines proceed in parallel while
@@ -425,21 +471,244 @@ pub fn tune_auto_cached(
         c.map.entry(key).or_default().clone()
     };
     let mut searched = false;
+    let mut disk_loaded = false;
     let result = cell
         .get_or_init(|| {
+            if let Some(dir) = cache_dir {
+                if let Some(loaded) = disk::load(&disk::entry_path(dir, &canonical), &canonical) {
+                    disk_loaded = true;
+                    return Ok(loaded);
+                }
+            }
             searched = true;
-            tune_auto(device, params, opts)
+            let fresh = tune_auto(device, params, opts);
+            if let (Some(dir), Ok(result)) = (cache_dir, &fresh) {
+                disk::store(dir, &canonical, result);
+            }
+            fresh
         })
         .clone();
     {
         let mut c = cache().lock().expect("tuning cache poisoned");
         if searched {
             c.misses += 1;
+        } else if disk_loaded {
+            c.disk_hits += 1;
         } else {
             c.hits += 1;
         }
     }
     result
+}
+
+/// Version stamp of the on-disk tuning-cache format. Bumped whenever the
+/// entry layout or the meaning of a cached result changes; entries
+/// written under any other version are ignored (and rewritten).
+pub const TUNING_CACHE_DISK_VERSION: u32 = 1;
+
+/// The file a persisted tuning entry for `(device, params, opts)` lives
+/// at under `dir` — exposed so operators and tests can inspect, seed, or
+/// invalidate specific entries.
+pub fn tuning_cache_disk_path(
+    dir: &Path,
+    device: &DeviceProps,
+    params: &Params,
+    opts: &TuningOptions,
+) -> PathBuf {
+    disk::entry_path(dir, &TuneCacheKey::new(device, params, opts).canonical())
+}
+
+/// The on-disk persistence layer: versioned single-entry JSON files,
+/// hand-rolled (the workspace is offline — no serde), written and parsed
+/// defensively. Every parse failure degrades to "no entry".
+mod disk {
+    use super::{FusionCandidate, TuningResult, TUNING_CACHE_DISK_VERSION};
+    use std::path::{Path, PathBuf};
+
+    /// FNV-1a 64 over `bytes`, from `basis` — filename-friendly digest.
+    fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+        let mut h = basis;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// 128-bit filename digest of the canonical key (two FNV streams).
+    /// Collisions are guarded by the full fingerprint stored *inside*
+    /// the entry, which [`load`] compares before trusting anything.
+    fn digest(canonical: &str) -> String {
+        let a = fnv1a(canonical.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a(canonical.as_bytes(), 0x6c62_272e_07bb_0142);
+        format!("{a:016x}{b:016x}")
+    }
+
+    pub(super) fn entry_path(dir: &Path, canonical: &str) -> PathBuf {
+        dir.join(format!(
+            "hero-tune-v{TUNING_CACHE_DISK_VERSION}-{}.json",
+            digest(canonical)
+        ))
+    }
+
+    fn hex_encode(s: &str) -> String {
+        s.bytes().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn render(canonical: &str, result: &TuningResult) -> String {
+        let candidates: Vec<String> = result
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"threads_per_set\": {}, \"trees_per_set\": {}, \"fused_sets\": {}, \
+                     \"thread_utilization\": {:?}, \"smem_utilization\": {:?}, \
+                     \"sync_points\": {:?}, \"smem_bytes\": {}, \"relax_depth\": {}}}",
+                    c.threads_per_set,
+                    c.trees_per_set,
+                    c.fused_sets,
+                    c.thread_utilization,
+                    c.smem_utilization,
+                    c.sync_points,
+                    c.smem_bytes,
+                    c.relax_depth,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"version\": {TUNING_CACHE_DISK_VERSION},\n  \"key_hex\": \"{}\",\n  \
+             \"candidates\": [\n{}\n  ]\n}}\n",
+            hex_encode(canonical),
+            candidates.join(",\n"),
+        )
+    }
+
+    /// Best-effort write; the disk cache is an accelerator, so I/O
+    /// failures (read-only FS, permissions) are silently ignored.
+    pub(super) fn store(dir: &Path, canonical: &str, result: &TuningResult) {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(entry_path(dir, canonical), render(canonical, result));
+    }
+
+    fn field_f64(obj: &str, name: &str) -> Option<f64> {
+        let pat = format!("\"{name}\":");
+        let at = obj.find(&pat)? + pat.len();
+        let rest = obj[at..].trim_start();
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    fn field_u32(obj: &str, name: &str) -> Option<u32> {
+        let v = field_f64(obj, name)?;
+        (v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v)).then_some(v as u32)
+    }
+
+    fn field_str<'a>(obj: &'a str, name: &str) -> Option<&'a str> {
+        let pat = format!("\"{name}\":");
+        let at = obj.find(&pat)? + pat.len();
+        let rest = obj[at..].trim_start().strip_prefix('"')?;
+        rest.split('"').next()
+    }
+
+    fn parse(text: &str, canonical: &str) -> Option<TuningResult> {
+        if field_u32(text, "version")? != TUNING_CACHE_DISK_VERSION {
+            return None;
+        }
+        // Full-fingerprint comparison: a digest collision, a copied
+        // file, or a stale device description all fail here.
+        if field_str(text, "key_hex")? != hex_encode(canonical) {
+            return None;
+        }
+        let list = &text[text.find("\"candidates\"")?..];
+        let list = &list[list.find('[')? + 1..list.rfind(']')?];
+        let mut candidates = Vec::new();
+        let mut rest = list;
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..].find('}')? + open;
+            let obj = &rest[open..=close];
+            candidates.push(FusionCandidate {
+                threads_per_set: field_u32(obj, "threads_per_set")?,
+                trees_per_set: field_u32(obj, "trees_per_set")?,
+                fused_sets: field_u32(obj, "fused_sets")?,
+                thread_utilization: field_f64(obj, "thread_utilization")?,
+                smem_utilization: field_f64(obj, "smem_utilization")?,
+                sync_points: field_f64(obj, "sync_points")?,
+                smem_bytes: field_u32(obj, "smem_bytes")?,
+                relax_depth: field_u32(obj, "relax_depth")?,
+            });
+            rest = &rest[close + 1..];
+        }
+        let best = *candidates.first()?;
+        Some(TuningResult { best, candidates })
+    }
+
+    pub(super) fn load(path: &Path, canonical: &str) -> Option<TuningResult> {
+        parse(&std::fs::read_to_string(path).ok()?, canonical)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn sample() -> TuningResult {
+            let a = FusionCandidate {
+                threads_per_set: 704,
+                trees_per_set: 11,
+                fused_sets: 3,
+                thread_utilization: 0.6875,
+                smem_utilization: 0.687_500_000_000_001,
+                sync_points: 6.0,
+                smem_bytes: 33792,
+                relax_depth: 0,
+            };
+            let mut b = a;
+            b.fused_sets = 2;
+            b.sync_points = 9.0;
+            TuningResult {
+                best: a,
+                candidates: vec![a, b],
+            }
+        }
+
+        #[test]
+        fn render_parse_round_trip_is_exact() {
+            let canonical = "v1|Device { name: \"X\" }|params|0|Static|true";
+            let text = render(canonical, &sample());
+            let back = parse(&text, canonical).expect("round trip");
+            assert_eq!(back.best, sample().best);
+            assert_eq!(back.candidates, sample().candidates);
+            // Floats survive bit-exactly via the {:?} shortest repr.
+            assert_eq!(
+                back.best.smem_utilization.to_bits(),
+                sample().best.smem_utilization.to_bits()
+            );
+        }
+
+        #[test]
+        fn foreign_fingerprint_rejected() {
+            let text = render("key-A", &sample());
+            assert!(parse(&text, "key-A").is_some());
+            assert!(parse(&text, "key-B").is_none());
+        }
+
+        #[test]
+        fn wrong_version_rejected() {
+            let text = render("key", &sample()).replace(
+                &format!("\"version\": {TUNING_CACHE_DISK_VERSION}"),
+                "\"version\": 0",
+            );
+            assert!(parse(&text, "key").is_none());
+        }
+
+        #[test]
+        fn garbage_rejected() {
+            for bad in ["", "{", "not json at all", "{\"version\": 1}"] {
+                assert!(parse(bad, "key").is_none(), "{bad:?}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]

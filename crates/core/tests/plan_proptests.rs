@@ -16,6 +16,7 @@ use hero_sign::HeroSigner;
 use hero_sphincs::hash::HashCtx;
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::keygen_from_seeds;
+use hero_task_graph::Executor;
 use proptest::prelude::*;
 
 /// Reduced shapes: one per paper parameter family. The -s member keeps a
@@ -86,7 +87,8 @@ proptest! {
             .collect();
         let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
 
-        let planned = plan::sign_batch(&ctx, &sk, &msgs, workers);
+        let exec = Executor::new(workers).unwrap();
+        let planned = plan::sign_batch(&ctx, &sk, &msgs, &exec);
         prop_assert_eq!(planned.len(), batch);
         for (i, (msg, sig)) in msgs.iter().zip(&planned).enumerate() {
             let reference = sk.sign(msg);
@@ -145,9 +147,10 @@ proptest! {
             subtrees_per_item: tree_g,
             chains_per_item: chain_g,
         };
+        let exec = Executor::new(4).unwrap();
         prop_assert_eq!(
-            plan::sign_batch_shaped(&ctx, &sk, &msgs, 4, &shape),
-            plan::sign_batch(&ctx, &sk, &msgs, 4),
+            plan::sign_batch_shaped(&ctx, &sk, &msgs, &exec, &shape),
+            plan::sign_batch(&ctx, &sk, &msgs, &exec),
             "{:?}", shape
         );
     }

@@ -1,0 +1,133 @@
+//! The on-disk tuning cache must survive process restarts (simulated
+//! here by clearing the in-memory layer), reject corrupt and
+//! version-bumped entries, and never change tuning results.
+//!
+//! Kept as its own integration-test binary with a single `#[test]`: the
+//! cache counters are process-global, so exact hit/miss/disk-hit deltas
+//! need a process to themselves.
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::tuning::clear_tuning_cache;
+use hero_sign::{
+    tuning_cache_disk_path, tuning_cache_stats, HeroSigner, TuningOptions,
+    TUNING_CACHE_DISK_VERSION,
+};
+use hero_sphincs::params::Params;
+
+#[test]
+fn disk_cache_round_trip_corruption_and_version_bump() {
+    let dir = std::env::temp_dir().join(format!("hero-tune-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A key no other test in this process uses.
+    let opts = TuningOptions {
+        alpha: 0.617_283,
+        ..TuningOptions::default()
+    };
+    let device = rtx_4090();
+    let params = Params::sphincs_128f();
+    let entry = tuning_cache_disk_path(&dir, &device, &params, &opts);
+    assert!(
+        entry
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains(&format!("v{TUNING_CACHE_DISK_VERSION}")),
+        "entry files are version-stamped: {entry:?}"
+    );
+
+    let build = || {
+        HeroSigner::builder(device.clone(), params)
+            .tuning_options(opts)
+            .tuning_cache_dir(&dir)
+            .build()
+            .unwrap()
+    };
+
+    // 1. Cold everything: the search runs (miss) and persists its result.
+    let before = tuning_cache_stats();
+    let first = build();
+    let after_first = tuning_cache_stats();
+    assert_eq!(after_first.misses - before.misses, 1, "cold build searches");
+    assert_eq!(after_first.disk_hits, before.disk_hits);
+    assert!(entry.is_file(), "search result persisted to {entry:?}");
+
+    // 2. "Restart" (in-memory cache cleared): the disk entry answers the
+    //    lookup — no search, identical result.
+    clear_tuning_cache();
+    let second = build();
+    let after_second = tuning_cache_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "restart must not re-run the sweep"
+    );
+    assert_eq!(
+        after_second.disk_hits - after_first.disk_hits,
+        1,
+        "restart answers from disk"
+    );
+    assert_eq!(
+        first.tuning().unwrap().best,
+        second.tuning().unwrap().best,
+        "disk round trip preserves the winner"
+    );
+    assert_eq!(
+        first.tuning().unwrap().candidates,
+        second.tuning().unwrap().candidates,
+        "disk round trip preserves the full candidate ranking"
+    );
+
+    // 3. In-memory hits still short-circuit before the disk is touched.
+    let _ = build();
+    let after_third = tuning_cache_stats();
+    assert_eq!(after_third.hits - after_second.hits, 1);
+    assert_eq!(after_third.disk_hits, after_second.disk_hits);
+
+    // 4. Corruption: garbage bytes fall back to the search (a fresh
+    //    miss) and the entry is rewritten valid.
+    std::fs::write(&entry, b"{ this is not a cache entry").unwrap();
+    clear_tuning_cache();
+    let fourth = build();
+    let after_fourth = tuning_cache_stats();
+    assert_eq!(
+        after_fourth.misses - after_third.misses,
+        1,
+        "corrupt entry must re-search"
+    );
+    assert_eq!(fourth.tuning().unwrap().best, first.tuning().unwrap().best);
+    clear_tuning_cache();
+    let _ = build();
+    assert_eq!(
+        tuning_cache_stats().disk_hits - after_fourth.disk_hits,
+        1,
+        "rewritten entry loads again"
+    );
+
+    // 5. Version bump: an entry whose embedded version is stale is
+    //    ignored even though it parses.
+    let valid = std::fs::read_to_string(&entry).unwrap();
+    let stale = valid.replace(
+        &format!("\"version\": {TUNING_CACHE_DISK_VERSION}"),
+        "\"version\": 0",
+    );
+    assert_ne!(valid, stale, "replacement must hit the version field");
+    std::fs::write(&entry, stale).unwrap();
+    clear_tuning_cache();
+    let before_stale = tuning_cache_stats();
+    let _ = build();
+    let after_stale = tuning_cache_stats();
+    assert_eq!(
+        after_stale.misses - before_stale.misses,
+        1,
+        "version-bumped entry must re-search"
+    );
+    assert_eq!(after_stale.disk_hits, before_stale.disk_hits);
+
+    // 6. Entries are key-exact: a different parameter set gets its own
+    //    file, never a false share.
+    let other = tuning_cache_disk_path(&dir, &device, &Params::sphincs_192f(), &opts);
+    assert_ne!(entry, other);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,673 @@
+//! The persistent stream runtime: a long-lived [`Executor`] that accepts
+//! whole [`TaskGraph`]s as *submissions* and runs several concurrently on
+//! one shared pool of named worker threads.
+//!
+//! ## Why persistent
+//!
+//! HERO-Sign's throughput argument depends on the device never tearing
+//! down between batches: streams and CUDA graphs exist so the *next*
+//! batch's kernels are already queued while the current one drains. The
+//! scoped-thread execution this module replaces behaved like a GPU that
+//! powers off after every launch — each `TaskGraph::execute` paid thread
+//! spin-up, and two concurrent callers serialized behind each other's
+//! pools. The [`Executor`] is the CPU analogue of the persistent device:
+//!
+//! * **Workers ≙ SMs** — spawned once (`hero-worker-N`), alive until the
+//!   executor drops, joined gracefully on shutdown.
+//! * **Submissions ≙ streams** — every [`Executor::run`] call is an
+//!   independent submission; ready work-items from *different*
+//!   submissions interleave on the same workers, exactly like kernels
+//!   from different CUDA streams sharing SMs.
+//! * **Panic isolation ≙ per-stream error state** — a node panic poisons
+//!   only its own submission (remaining nodes are cancelled, the payload
+//!   re-raised on the submitting thread); other submissions and the
+//!   workers themselves are unaffected, and the executor stays usable.
+//!
+//! ## Blocking and re-entrancy
+//!
+//! [`Executor::run`] blocks the calling thread until its submission
+//! completes. When the caller *is* one of this executor's workers (a node
+//! closure submitting a nested graph), the call participates in draining
+//! the shared ready queue instead of parking — the pool can never
+//! deadlock on its own nested submissions.
+
+use crate::{GraphError, TaskGraph};
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A node closure with its borrow lifetime erased. Safety contract: the
+/// submission that owns it never outlives the [`Executor::run`] call that
+/// created it — `run` returns only once every erased closure has been
+/// executed or dropped and no worker still touches the submission's
+/// slots (`running == 0`).
+type ErasedFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Mutable progress of one submission, guarded by [`Submission::progress`].
+struct Progress {
+    /// Nodes fully retired: executed, panicked, or cancelled by a poison
+    /// purge. Only compared against `n` for *healthy* submissions.
+    finished: usize,
+    /// Nodes currently executing on some thread. Claimed under the pool
+    /// queue lock so a poison purge can never miss an in-flight node.
+    running: usize,
+    /// Set once a node of this submission panicked; stops scheduling.
+    poisoned: bool,
+    /// First panic payload, re-raised on the submitting thread.
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+/// One in-flight [`TaskGraph`]: dependency bookkeeping plus the erased
+/// node closures. Shared between the submitting thread and the workers.
+struct Submission {
+    n: usize,
+    /// Unfinished-dependency counts; a node is enqueued when its count
+    /// hits zero.
+    pending: Vec<AtomicUsize>,
+    dependents: Vec<Vec<usize>>,
+    closures: Vec<Mutex<Option<ErasedFn>>>,
+    progress: Mutex<Progress>,
+    /// Signalled when the submission completes (or poisons to quiescence);
+    /// the submitting thread waits here.
+    finished_cv: Condvar,
+}
+
+impl Submission {
+    /// Whether the submitting thread may safely return: nothing runs, and
+    /// either every node retired or the submission is poisoned (in which
+    /// case unreached nodes will never be scheduled — the queue was
+    /// purged under the same lock that claims nodes).
+    fn complete(p: &Progress, n: usize) -> bool {
+        p.running == 0 && (p.poisoned || p.finished == n)
+    }
+}
+
+/// The shared ready queue: `(submission, node)` pairs whose dependencies
+/// are all satisfied, in FIFO order across submissions.
+struct Queue {
+    items: VecDeque<(Arc<Submission>, usize)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when items are enqueued or shutdown begins.
+    available: Condvar,
+}
+
+thread_local! {
+    /// Identity of the pool the current thread works for (the `Shared`
+    /// allocation address), or 0 off-pool. Lets nested [`Executor::run`]
+    /// calls detect "I am one of this executor's workers" and help drain
+    /// the queue instead of parking.
+    static CURRENT_POOL: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A persistent pool of named worker threads executing [`TaskGraph`]
+/// submissions — see the module docs for the stream-runtime analogy.
+///
+/// Cheap handles are made by wrapping in [`Arc`]; every clone of the
+/// `Arc` submits onto the same workers, the way multiple CUDA streams
+/// share one device.
+///
+/// ```
+/// use hero_task_graph::{Executor, TaskGraph};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = Executor::new(4).unwrap();
+/// let hits = AtomicUsize::new(0);
+/// let mut g = TaskGraph::new();
+/// let a = g.task(|| { hits.fetch_add(1, Ordering::Relaxed); });
+/// let b = g.task(|| { hits.fetch_add(1, Ordering::Relaxed); });
+/// g.depends_on(b, a);
+/// pool.run(g).unwrap();
+/// assert_eq!(hits.into_inner(), 2);
+/// // The pool survives the submission; submit again freely.
+/// pool.run(TaskGraph::new()).unwrap();
+/// ```
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+    submitted: AtomicU64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .field("submissions", &self.submitted.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns a persistent pool of `workers` named threads
+    /// (`hero-worker-0` … `hero-worker-{N-1}`).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ZeroWorkers`] when `workers == 0` — a pool with no
+    /// threads could never complete a submission.
+    pub fn new(workers: usize) -> Result<Self, GraphError> {
+        if workers == 0 {
+            return Err(GraphError::ZeroWorkers);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hero-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn executor worker thread")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            threads,
+            workers,
+            submitted: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submissions accepted over the executor's lifetime (for tests and
+    /// observability).
+    pub fn submissions(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Validates `graph` and executes every node on the shared worker
+    /// pool, blocking until the submission completes. Concurrent `run`
+    /// calls from different threads proceed as independent submissions
+    /// whose ready nodes interleave on the same workers.
+    ///
+    /// An empty graph is a no-op. Called from one of this executor's own
+    /// worker threads (a nested submission), the caller helps drain the
+    /// queue instead of parking, so nesting cannot deadlock the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::CycleDetected`] if the dependency relation is cyclic
+    /// (no node runs in that case).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from a node closure — with its original
+    /// payload — once the submission has quiesced; remaining unstarted
+    /// nodes of that submission are cancelled. Other submissions and the
+    /// pool itself are unaffected.
+    pub fn run(&self, graph: TaskGraph<'_>) -> Result<(), GraphError> {
+        let nodes = graph.nodes;
+        let n = nodes.len();
+        if n == 0 {
+            return Ok(());
+        }
+
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (i, node) in nodes.iter().enumerate() {
+            for dep in &node.deps {
+                indegree[i] += 1;
+                dependents[dep.0].push(i);
+            }
+        }
+        // Kahn dry-run on a copy: refuse cyclic graphs before any node runs.
+        {
+            let mut remaining = indegree.clone();
+            let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+            let mut seen = 0usize;
+            while let Some(i) = queue.pop() {
+                seen += 1;
+                for &j in &dependents[i] {
+                    remaining[j] -= 1;
+                    if remaining[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+            if seen != n {
+                return Err(GraphError::CycleDetected);
+            }
+        }
+
+        let pending: Vec<AtomicUsize> = indegree.iter().copied().map(AtomicUsize::new).collect();
+        let closures: Vec<Mutex<Option<ErasedFn>>> = nodes
+            .into_iter()
+            // SAFETY: the erased closure may borrow data with lifetime
+            // 'a of the submitted graph. This function does not return
+            // until `Submission::complete` holds — every closure was
+            // executed or is dropped below, and `running == 0` proves no
+            // worker still holds one — so no closure (or its captured
+            // borrows) is ever touched after `run` returns.
+            .map(|node| {
+                Mutex::new(Some(unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + '_>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(node.run)
+                }))
+            })
+            .collect();
+        let sub = Arc::new(Submission {
+            n,
+            pending,
+            dependents,
+            closures,
+            progress: Mutex::new(Progress {
+                finished: 0,
+                running: 0,
+                poisoned: false,
+                payload: None,
+            }),
+            finished_cv: Condvar::new(),
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+
+        {
+            let mut q = self.shared.queue.lock().expect("executor queue");
+            for i in 0..n {
+                if sub.pending[i].load(Ordering::Relaxed) == 0 {
+                    q.items.push_back((Arc::clone(&sub), i));
+                }
+            }
+        }
+        self.shared.available.notify_all();
+
+        let on_own_pool =
+            CURRENT_POOL.with(|p| p.get()) == Arc::as_ptr(&self.shared) as *const () as usize;
+        if on_own_pool {
+            self.help_until_complete(&sub);
+        } else {
+            let mut p = sub.progress.lock().expect("submission progress");
+            while !Submission::complete(&p, sub.n) {
+                p = sub.finished_cv.wait(p).expect("submission progress");
+            }
+        }
+
+        // The submission has quiesced: drop closures cancelled by a
+        // poison purge (their captured borrows die here, on the
+        // submitting thread, while still alive) and re-raise any panic.
+        let payload = sub
+            .progress
+            .lock()
+            .expect("submission progress")
+            .payload
+            .take();
+        for slot in &sub.closures {
+            drop(slot.lock().expect("closure slot").take());
+        }
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        Ok(())
+    }
+
+    /// Nested-submission wait: drain ready nodes (of any submission)
+    /// until `sub` completes, so a worker blocking on its own pool keeps
+    /// the pool making progress.
+    fn help_until_complete(&self, sub: &Arc<Submission>) {
+        loop {
+            {
+                let p = sub.progress.lock().expect("submission progress");
+                if Submission::complete(&p, sub.n) {
+                    return;
+                }
+            }
+            let item = {
+                let mut q = self.shared.queue.lock().expect("executor queue");
+                claim_next(&mut q)
+            };
+            match item {
+                Some((s, idx)) => run_node(&self.shared, &s, idx),
+                None => {
+                    // Our nodes are running on (or blocked behind) other
+                    // workers; park briefly on the completion signal and
+                    // re-poll the queue for late-ready work.
+                    let p = sub.progress.lock().expect("submission progress");
+                    if Submission::complete(&p, sub.n) {
+                        return;
+                    }
+                    let _ = sub
+                        .finished_cv
+                        .wait_timeout(p, Duration::from_micros(200))
+                        .expect("submission progress");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Executor {
+    /// Graceful shutdown: signal, then join every worker. Callers hold
+    /// no outstanding submissions at this point (`run` borrows the
+    /// executor for its full duration), so the queue is already empty.
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("executor queue");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Pops the next runnable node, claiming it (`running += 1`) under the
+/// queue lock — the same lock a poison purge holds — so a purge observes
+/// either "still queued" (and removes it) or "already running" (and
+/// waits for it via the `running` count). Skips nodes of already
+/// poisoned submissions.
+fn claim_next(q: &mut Queue) -> Option<(Arc<Submission>, usize)> {
+    while let Some((sub, idx)) = q.items.pop_front() {
+        let mut p = sub.progress.lock().expect("submission progress");
+        if p.poisoned {
+            p.finished += 1;
+            let done = Submission::complete(&p, sub.n);
+            drop(p);
+            if done {
+                sub.finished_cv.notify_all();
+            }
+            continue;
+        }
+        p.running += 1;
+        drop(p);
+        return Some((sub, idx));
+    }
+    None
+}
+
+/// Executes one claimed node: run the closure, then either release its
+/// dependents into the queue or — on panic — poison the submission and
+/// purge its queued nodes.
+fn run_node(shared: &Shared, sub: &Arc<Submission>, idx: usize) {
+    let run = sub.closures[idx]
+        .lock()
+        .expect("closure slot")
+        .take()
+        .expect("node scheduled exactly once");
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(()) => {
+            let mut newly = Vec::new();
+            for &d in &sub.dependents[idx] {
+                if sub.pending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    newly.push(d);
+                }
+            }
+            let pushed = !newly.is_empty();
+            {
+                let mut q = shared.queue.lock().expect("executor queue");
+                let mut p = sub.progress.lock().expect("submission progress");
+                if !p.poisoned {
+                    for d in newly {
+                        q.items.push_back((Arc::clone(sub), d));
+                    }
+                }
+                p.running -= 1;
+                p.finished += 1;
+                if Submission::complete(&p, sub.n) {
+                    sub.finished_cv.notify_all();
+                }
+            }
+            if pushed {
+                shared.available.notify_all();
+            }
+        }
+        Err(payload) => {
+            let mut q = shared.queue.lock().expect("executor queue");
+            let before = q.items.len();
+            q.items.retain(|(s, _)| !Arc::ptr_eq(s, sub));
+            let purged = before - q.items.len();
+            let mut p = sub.progress.lock().expect("submission progress");
+            p.poisoned = true;
+            p.payload.get_or_insert(payload);
+            p.running -= 1;
+            p.finished += purged + 1;
+            drop(p);
+            drop(q);
+            sub.finished_cv.notify_all();
+        }
+    }
+}
+
+/// Worker thread body: tag the thread with its pool identity, then claim
+/// and run nodes until shutdown.
+fn worker_loop(shared: Arc<Shared>) {
+    CURRENT_POOL.with(|p| p.set(Arc::as_ptr(&shared) as *const () as usize));
+    loop {
+        let item = {
+            let mut q = shared.queue.lock().expect("executor queue");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(item) = claim_next(&mut q) {
+                    break item;
+                }
+                q = shared.available.wait(q).expect("executor queue");
+            }
+        };
+        run_node(&shared, &item.0, item.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        assert_eq!(Executor::new(0).unwrap_err(), GraphError::ZeroWorkers);
+    }
+
+    #[test]
+    fn workers_are_named() {
+        let pool = Executor::new(2).unwrap();
+        let name = Mutex::new(String::new());
+        let mut g = TaskGraph::new();
+        g.task(|| {
+            *name.lock().unwrap() = std::thread::current().name().unwrap_or("").to_string();
+        });
+        pool.run(g).unwrap();
+        assert!(
+            name.into_inner().unwrap().starts_with("hero-worker-"),
+            "nodes must run on named pool threads"
+        );
+    }
+
+    #[test]
+    fn pool_survives_many_submissions() {
+        let pool = Executor::new(3).unwrap();
+        let count = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let mut g = TaskGraph::new();
+            let a = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            let b = g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            g.depends_on(b, a);
+            pool.run(g).unwrap();
+        }
+        assert_eq!(count.into_inner(), 100);
+        assert_eq!(pool.submissions(), 50);
+    }
+
+    #[test]
+    fn concurrent_submissions_share_the_workers() {
+        // Two submissions from two caller threads: both complete, and
+        // their nodes interleave on one 2-worker pool. A barrier inside
+        // the first node of each submission proves nodes from *both*
+        // submissions were in flight simultaneously — impossible if the
+        // pool serialized whole submissions.
+        let pool = Arc::new(Executor::new(2).unwrap());
+        let rendezvous = Barrier::new(2);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                let rendezvous = &rendezvous;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut g = TaskGraph::new();
+                    let first = g.task(move || {
+                        rendezvous.wait();
+                    });
+                    let second = g.task(move || {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                    g.depends_on(second, first);
+                    pool.run(g).unwrap();
+                });
+            }
+        });
+        assert_eq!(done.into_inner(), 2);
+    }
+
+    #[test]
+    fn panic_poisons_only_its_own_submission() {
+        let pool = Arc::new(Executor::new(2).unwrap());
+        let healthy_done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let p1 = Arc::clone(&pool);
+            scope.spawn(move || {
+                let mut g = TaskGraph::new();
+                g.task(|| panic!("stream A exploded"));
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = p1.run(g);
+                }));
+                let payload = caught.expect_err("panic must re-raise on the submitter");
+                assert_eq!(
+                    *payload.downcast_ref::<&str>().unwrap(),
+                    "stream A exploded"
+                );
+            });
+            let p2 = Arc::clone(&pool);
+            let healthy_done = &healthy_done;
+            scope.spawn(move || {
+                let mut g = TaskGraph::new();
+                for _ in 0..64 {
+                    g.task(|| {
+                        healthy_done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                p2.run(g).unwrap();
+            });
+        });
+        assert_eq!(healthy_done.into_inner(), 64, "stream B must be unaffected");
+
+        // The pool stays usable after the poisoned submission.
+        let after = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        g.task(|| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.run(g).unwrap();
+        assert_eq!(after.into_inner(), 1);
+    }
+
+    #[test]
+    fn poisoned_submission_cancels_unreached_nodes() {
+        let pool = Executor::new(1).unwrap();
+        let ran = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        let boom = g.task(|| panic!("first"));
+        // Dependents of the panicking node must never run.
+        for _ in 0..8 {
+            let t = g.task(|| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            g.depends_on(t, boom);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.run(g);
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.into_inner(), 0);
+    }
+
+    #[test]
+    fn nested_submission_from_a_worker_completes() {
+        // A node submits a sub-graph onto its own pool and waits: the
+        // worker helps drain the queue, so even a 1-worker pool finishes.
+        let pool = Arc::new(Executor::new(1).unwrap());
+        let inner_ran = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        {
+            let pool = Arc::clone(&pool);
+            let inner_ran = &inner_ran;
+            g.task(move || {
+                let mut inner = TaskGraph::new();
+                let a = inner.task(|| {
+                    inner_ran.fetch_add(1, Ordering::Relaxed);
+                });
+                let b = inner.task(|| {
+                    inner_ran.fetch_add(1, Ordering::Relaxed);
+                });
+                inner.depends_on(b, a);
+                pool.run(inner).unwrap();
+            });
+        }
+        pool.run(g).unwrap();
+        assert_eq!(inner_ran.into_inner(), 2);
+    }
+
+    #[test]
+    fn cycles_rejected_before_any_node_runs() {
+        let pool = Executor::new(2).unwrap();
+        let ran = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        let a = g.task(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        let b = g.task(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        g.depends_on(a, b);
+        g.depends_on(b, a);
+        assert_eq!(pool.run(g).unwrap_err(), GraphError::CycleDetected);
+        assert_eq!(ran.into_inner(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let pool = Executor::new(2).unwrap();
+        pool.run(TaskGraph::new()).unwrap();
+        assert_eq!(pool.submissions(), 0);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // No hang on drop, repeatedly, including right after work.
+        for _ in 0..4 {
+            let pool = Executor::new(4).unwrap();
+            let mut g = TaskGraph::new();
+            for _ in 0..16 {
+                g.task(|| {});
+            }
+            pool.run(g).unwrap();
+            drop(pool);
+        }
+    }
+}

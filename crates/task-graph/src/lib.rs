@@ -11,11 +11,14 @@
 //!   the whole DAG instead of one per kernel, which is where the paper's
 //!   two-orders-of-magnitude launch latency reduction (221.3×) comes from.
 //! * **Functional** — [`TaskGraph`] carries a real closure per node and
-//!   [`TaskGraph::execute`]s the DAG on a pool of worker threads with
-//!   ready-queue scheduling: a node becomes runnable the instant its last
+//!   runs on the persistent [`Executor`] worker pool with ready-queue
+//!   scheduling: a node becomes runnable the instant its last
 //!   dependency finishes, so independent work from *different* parts of
 //!   the graph (in HERO-Sign: different messages of one signing batch)
-//!   co-schedules and keeps every worker busy. This is what lets the
+//!   co-schedules and keeps every worker busy. The executor is
+//!   submission-aware — several graphs run concurrently and their nodes
+//!   interleave on the same workers, like kernels from different CUDA
+//!   streams sharing SMs (see [`executor`]). This is what lets the
 //!   `core::plan` batch planner drive actual signing through the same DAG
 //!   shape the simulator launches.
 //!
@@ -38,6 +41,10 @@
 
 #![warn(missing_docs)]
 
+pub mod executor;
+
+pub use executor::Executor;
+
 use hero_gpu_sim::device::DeviceProps;
 use hero_gpu_sim::stream::{LaunchMode, Timeline};
 
@@ -54,7 +61,7 @@ struct Node {
     deps: Vec<NodeId>,
 }
 
-/// Errors from graph construction and instantiation.
+/// Errors from graph construction, instantiation, and execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GraphError {
     /// A dependency edge references an unknown node.
@@ -63,6 +70,8 @@ pub enum GraphError {
     CycleDetected,
     /// The graph has no nodes.
     Empty,
+    /// An [`Executor`] was requested with zero worker threads.
+    ZeroWorkers,
 }
 
 impl std::fmt::Display for GraphError {
@@ -71,6 +80,7 @@ impl std::fmt::Display for GraphError {
             GraphError::UnknownNode => f.write_str("dependency references unknown node"),
             GraphError::CycleDetected => f.write_str("task graph contains a cycle"),
             GraphError::Empty => f.write_str("task graph is empty"),
+            GraphError::ZeroWorkers => f.write_str("executor needs at least one worker thread"),
         }
     }
 }
@@ -246,9 +256,9 @@ impl ExecutableGraph {
 type NodeFn<'a> = Box<dyn FnOnce() + Send + 'a>;
 
 /// One functional node: the work closure plus its dependency edges.
-struct TaskNode<'a> {
-    run: NodeFn<'a>,
-    deps: Vec<NodeId>,
+pub(crate) struct TaskNode<'a> {
+    pub(crate) run: NodeFn<'a>,
+    pub(crate) deps: Vec<NodeId>,
 }
 
 /// A task DAG whose nodes carry real work: each node is a closure, each
@@ -278,7 +288,7 @@ struct TaskNode<'a> {
 /// ```
 #[derive(Default)]
 pub struct TaskGraph<'a> {
-    nodes: Vec<TaskNode<'a>>,
+    pub(crate) nodes: Vec<TaskNode<'a>>,
 }
 
 impl<'a> TaskGraph<'a> {
@@ -320,12 +330,15 @@ impl<'a> TaskGraph<'a> {
         self.nodes.is_empty()
     }
 
-    /// Validates the DAG and executes every node on `workers` threads.
+    /// Validates the DAG and executes every node on an ephemeral
+    /// [`Executor`] of `workers` threads (clamped to the node count).
     ///
-    /// Scheduling is a shared ready queue: nodes with zero unfinished
-    /// dependencies wait in the queue; each worker pops one, runs its
-    /// closure, then decrements its dependents' pending counts, enqueuing
-    /// any that reach zero. An empty graph is a no-op.
+    /// This is the one-shot convenience face: it pays pool spin-up and
+    /// tear-down on every call, exactly the cost the persistent
+    /// [`Executor`] exists to amortize — long-lived callers (the
+    /// HERO-Sign engine, services) hold an executor and
+    /// [`Executor::run`] submissions onto it instead. An empty graph is
+    /// a no-op.
     ///
     /// # Errors
     ///
@@ -335,126 +348,14 @@ impl<'a> TaskGraph<'a> {
     /// # Panics
     ///
     /// Propagates a panic raised inside a node closure — with its
-    /// original payload — after the pool winds down; remaining unstarted
-    /// nodes are abandoned.
+    /// original payload — after the submission quiesces; remaining
+    /// unstarted nodes are abandoned.
     pub fn execute(self, workers: usize) -> Result<(), GraphError> {
-        use std::collections::VecDeque;
-        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-        use std::sync::{Condvar, Mutex};
-
-        let n = self.nodes.len();
-        if n == 0 {
+        if self.nodes.is_empty() {
             return Ok(());
         }
-
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut indegree = vec![0usize; n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for dep in &node.deps {
-                indegree[i] += 1;
-                dependents[dep.0].push(i);
-            }
-        }
-        // Kahn dry-run on a copy: refuse cyclic graphs before any node runs.
-        {
-            let mut remaining = indegree.clone();
-            let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
-            let mut seen = 0usize;
-            while let Some(i) = queue.pop() {
-                seen += 1;
-                for &j in &dependents[i] {
-                    remaining[j] -= 1;
-                    if remaining[j] == 0 {
-                        queue.push(j);
-                    }
-                }
-            }
-            if seen != n {
-                return Err(GraphError::CycleDetected);
-            }
-        }
-
-        let pending: Vec<AtomicUsize> = indegree.into_iter().map(AtomicUsize::new).collect();
-        let closures: Vec<Mutex<Option<NodeFn<'a>>>> = self
-            .nodes
-            .into_iter()
-            .map(|node| Mutex::new(Some(node.run)))
-            .collect();
-        let ready: Mutex<VecDeque<usize>> = Mutex::new(
-            (0..n)
-                .filter(|&i| pending[i].load(Ordering::Relaxed) == 0)
-                .collect(),
-        );
-        let cv = Condvar::new();
-        let done = AtomicUsize::new(0);
-        let poisoned = AtomicBool::new(false);
-        // First node panic, stashed here and re-raised after the scope
-        // exits: resuming inside a worker would let std::thread::scope
-        // swap the payload for its generic "a scoped thread panicked".
-        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-        let workers = workers.clamp(1, n);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let (pending, closures, dependents) = (&pending, &closures, &dependents);
-                let (ready, cv, done, poisoned) = (&ready, &cv, &done, &poisoned);
-                let panic_payload = &panic_payload;
-                scope.spawn(move || loop {
-                    let idx = {
-                        let mut queue = ready.lock().unwrap();
-                        loop {
-                            if poisoned.load(Ordering::Acquire) || done.load(Ordering::Acquire) == n
-                            {
-                                return;
-                            }
-                            if let Some(idx) = queue.pop_front() {
-                                break idx;
-                            }
-                            queue = cv.wait(queue).unwrap();
-                        }
-                    };
-                    let run = closures[idx]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("node scheduled exactly once");
-                    // Exit-condition updates (poisoned / done) must be
-                    // published under the queue mutex: a sibling worker
-                    // checks them with the lock held before parking, so a
-                    // lock-free store here could land in that window and
-                    // its notify_all would be lost, parking the sibling
-                    // forever.
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
-                        panic_payload.lock().unwrap().get_or_insert(payload);
-                        {
-                            let _queue = ready.lock().unwrap();
-                            poisoned.store(true, Ordering::Release);
-                        }
-                        cv.notify_all();
-                        return;
-                    }
-                    for &dependent in &dependents[idx] {
-                        if pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            ready.lock().unwrap().push_back(dependent);
-                            cv.notify_one();
-                        }
-                    }
-                    let all_done = {
-                        let _queue = ready.lock().unwrap();
-                        done.fetch_add(1, Ordering::AcqRel) + 1 == n
-                    };
-                    if all_done {
-                        cv.notify_all();
-                        return;
-                    }
-                });
-            }
-        });
-        if let Some(payload) = panic_payload.into_inner().unwrap() {
-            resume_unwind(payload);
-        }
-        Ok(())
+        let workers = workers.clamp(1, self.nodes.len());
+        Executor::new(workers)?.run(self)
     }
 }
 

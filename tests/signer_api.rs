@@ -121,14 +121,19 @@ fn pipeline_options_defaults_match_the_papers_workload() {
     assert_eq!(opts.pcie_msg_bytes, None);
     assert!(opts.validate().is_ok());
 
-    // `new` keeps every default except the message count.
+    // `new` keeps every default except the message count — and shrinks
+    // the default batch to the workload so small workloads validate.
     assert_eq!(
         PipelineOptions::new(64),
         PipelineOptions {
             messages: 64,
+            batch_size: 64,
             ..opts
         }
     );
+    assert!(PipelineOptions::new(64).validate().is_ok());
+    // Large workloads keep the paper's 512-message batch.
+    assert_eq!(PipelineOptions::new(4096).batch_size, 512);
 }
 
 #[test]
@@ -147,13 +152,23 @@ fn launch_policy_overrides_the_engine_config_per_simulation() {
 }
 
 #[test]
-fn oversized_batches_are_capped_like_a_dispatcher_short_batch() {
+fn oversized_batches_are_typed_errors_not_silent_clamps() {
+    // A batch larger than the workload used to be clamped silently; it
+    // is now an InvalidOptions error naming both numbers, so a
+    // misconfigured dispatcher hears about it instead of benchmarking
+    // the wrong shape.
     let engine = HeroSigner::hero(rtx_4090(), Params::sphincs_128f()).unwrap();
-    let capped = engine
+    let err = engine
         .simulate(PipelineOptions::new(64).batch_size(4096))
-        .unwrap();
-    let exact = engine
+        .unwrap_err();
+    match err {
+        HeroError::InvalidOptions(what) => {
+            assert!(what.contains("4096") && what.contains("64"), "{what}");
+        }
+        other => panic!("expected InvalidOptions, got {other:?}"),
+    }
+    // The exact-fit workload still simulates.
+    engine
         .simulate(PipelineOptions::new(64).batch_size(64))
         .unwrap();
-    assert_eq!(capped.launch_count, exact.launch_count);
 }
