@@ -1,10 +1,15 @@
-//! Hot-path trajectory bench: batched vs scalar signing.
+//! Hot-path trajectory bench: batched vs scalar signing, plus the
+//! hash-core lanes.
 //!
 //! Measures end-to-end single-message `sign` throughput for the batched
 //! multi-lane implementation against the preserved scalar baseline
 //! (`hero_bench::baseline`), plus compressions/sec and
-//! allocations-per-sign via a counting global allocator, and writes the
-//! results to `BENCH_hot_path.json` so future PRs have a perf baseline.
+//! allocations-per-sign via a counting global allocator. A second
+//! section measures the hash cores in isolation — multi-lane vs scalar
+//! `F` throughput for both SHA-256 (`Sha256xN`) and SHAKE-256
+//! (`KeccakxN`) — so `BENCH_hot_path.json` tracks the lane engines
+//! behind both halves of the parameter family. The results are written
+//! to `BENCH_hot_path.json` so future PRs have a perf baseline.
 //!
 //! ```text
 //! bench_hot_path [--smoke] [--iters N] [--out PATH]
@@ -17,6 +22,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use hero_sphincs::address::{Address, AddressType};
+use hero_sphincs::hash::{HashAlg, HashCtx};
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::keygen_from_seeds;
 
@@ -76,6 +83,75 @@ fn measure(sign: impl Fn(&[u8]) -> hero_sphincs::Signature, iters: usize) -> Pat
     }
 }
 
+/// One hash core's scalar-vs-multi-lane `F` throughput.
+struct HashCoreStats {
+    scalar_hashes_per_sec: f64,
+    batched_hashes_per_sec: f64,
+}
+
+impl HashCoreStats {
+    fn speedup(&self) -> f64 {
+        self.batched_hashes_per_sec / self.scalar_hashes_per_sec
+    }
+}
+
+/// Times `rounds` sweeps of `count` tweakable-hash `F` calls, scalar
+/// (`f_into` loop) vs multi-lane (`f_many`), under `alg`. The workload
+/// is the WOTS+/FORS leaf shape: distinct addresses, `n`-byte messages.
+fn measure_hash_core(alg: HashAlg, count: usize, rounds: usize) -> HashCoreStats {
+    let params = Params::sphincs_128f();
+    let n = params.n;
+    let ctx = HashCtx::with_alg(params, &[7u8; 16], alg);
+    let adrs: Vec<Address> = (0..count as u32)
+        .map(|i| {
+            let mut a = Address::new();
+            a.set_type(AddressType::WotsHash);
+            a.set_keypair(i / 64);
+            a.set_chain(i % 64);
+            a
+        })
+        .collect();
+    let msgs: Vec<u8> = (0..count * n).map(|i| (i % 251) as u8).collect();
+    let mut out = vec![0u8; count * n];
+
+    // Equivalence gate before timing: the batched lane engine must agree
+    // with the scalar sponge byte for byte.
+    ctx.f_many(&adrs, &msgs, &mut out);
+    for i in 0..count {
+        assert_eq!(
+            out[i * n..(i + 1) * n],
+            ctx.f(&adrs[i], &msgs[i * n..(i + 1) * n])[..],
+            "{alg:?}: batched f diverged at lane {i}"
+        );
+    }
+
+    let scalar_start = Instant::now();
+    for _ in 0..rounds {
+        for i in 0..count {
+            ctx.f_into(
+                &adrs[i],
+                &msgs[i * n..(i + 1) * n],
+                &mut out[i * n..(i + 1) * n],
+            );
+        }
+        std::hint::black_box(&mut out);
+    }
+    let scalar_secs = scalar_start.elapsed().as_secs_f64();
+
+    let batched_start = Instant::now();
+    for _ in 0..rounds {
+        ctx.f_many(&adrs, &msgs, &mut out);
+        std::hint::black_box(&mut out);
+    }
+    let batched_secs = batched_start.elapsed().as_secs_f64();
+
+    let hashes = (count * rounds) as f64;
+    HashCoreStats {
+        scalar_hashes_per_sec: hashes / scalar_secs,
+        batched_hashes_per_sec: hashes / batched_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -131,6 +207,12 @@ fn main() {
     let scalar = measure(|m| hero_bench::baseline::sign(&sk, m), iters);
     let batched = measure(|m| sk.sign(m), iters);
 
+    // Hash cores in isolation: the SHA-256 and SHAKE-256 lane engines
+    // against their scalar counterparts on the leaf-hash workload.
+    let (core_count, core_rounds) = if smoke { (512, 20) } else { (2048, 200) };
+    let sha_core = measure_hash_core(HashAlg::Sha256, core_count, core_rounds);
+    let shake_core = measure_hash_core(HashAlg::Shake256, core_count, core_rounds);
+
     let speedup = batched.msgs_per_sec / scalar.msgs_per_sec;
     let compressions = hero_sign::workload::total_sign_compressions(&params) as f64;
     let compressions_per_sec = compressions * batched.msgs_per_sec;
@@ -146,9 +228,27 @@ fn main() {
         "  allocs/sign     : {:>10.1} (scalar {:.1})",
         batched.allocs_per_sign, scalar.allocs_per_sign
     );
+    for (name, core) in [("sha256", &sha_core), ("shake256", &shake_core)] {
+        println!(
+            "  {name:<8} F core : {:>10.3e} scalar, {:>10.3e} multi-lane hashes/sec ({:.2}x)",
+            core.scalar_hashes_per_sec,
+            core.batched_hashes_per_sec,
+            core.speedup(),
+        );
+    }
 
+    let hash_core_json = |core: &HashCoreStats| {
+        format!(
+            "{{\n    \"scalar_hashes_per_sec\": {:.3},\n    \
+             \"multi_lane_hashes_per_sec\": {:.3},\n    \
+             \"multi_lane_speedup\": {:.3}\n  }}",
+            core.scalar_hashes_per_sec,
+            core.batched_hashes_per_sec,
+            core.speedup(),
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"hot_path\",\n  \"params\": \"{}\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"baseline_scalar\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"batched\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"speedup_vs_baseline\": {:.3},\n  \"compressions_per_sign\": {},\n  \"compressions_per_sec\": {:.3e},\n  \"signatures_byte_identical\": true\n}}\n",
+        "{{\n  \"bench\": \"hot_path\",\n  \"params\": \"{}\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"baseline_scalar\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"batched\": {{\n    \"msgs_per_sec\": {:.3},\n    \"allocs_per_sign\": {:.1},\n    \"alloc_bytes_per_sign\": {:.1}\n  }},\n  \"speedup_vs_baseline\": {:.3},\n  \"compressions_per_sign\": {},\n  \"compressions_per_sec\": {:.3e},\n  \"hash_core_sha256\": {},\n  \"hash_core_shake256\": {},\n  \"signatures_byte_identical\": true\n}}\n",
         params_label,
         smoke,
         iters,
@@ -161,6 +261,8 @@ fn main() {
         speedup,
         compressions as u64,
         compressions_per_sec,
+        hash_core_json(&sha_core),
+        hash_core_json(&shake_core),
     );
     // Remaining batched-path allocations are the Vec-based Signature
     // output structure (one Vec per revealed node/auth sibling), not the

@@ -40,7 +40,12 @@ pub fn run(args: &Args) -> CmdResult {
 
 fn keygen(args: &Args) -> CmdResult {
     let params = parse_params(args.get("params").unwrap_or("128f"))?;
-    let alg = parse_alg(args.get("alg").unwrap_or("sha256"))?;
+    // Default to the shape's preferred primitive: shake-* shapes produce
+    // SHAKE-256 keys unless --alg overrides.
+    let alg = match args.get("alg") {
+        Some(label) => parse_alg(label)?,
+        None => params.preferred_alg(),
+    };
     let out = args.require("out")?;
 
     let mut rng = match args.get("seed") {
@@ -164,18 +169,24 @@ fn verify(args: &Args) -> CmdResult {
 
 fn tune(args: &Args) -> CmdResult {
     let device = parse_device(args.get("device"))?;
+    let sets = match args.get("params") {
+        Some(label) => vec![parse_params(label)?],
+        None => hero_sphincs::Params::fast_sets().to_vec(),
+    };
+    // The primitive keys the tuning-cache fingerprint (SHA and SHAKE
+    // entries never collide); --alg overrides the shape's default.
+    let hash = match args.get("alg") {
+        Some(label) => parse_alg(label)?,
+        None => sets[0].preferred_alg(),
+    };
     let opts = hero_sign::TuningOptions {
         smem_policy: if args.flag("dynamic-smem") {
             hero_gpu_sim::SmemPolicy::DynamicMax
         } else {
             hero_gpu_sim::SmemPolicy::Static
         },
+        hash,
         ..hero_sign::TuningOptions::default()
-    };
-
-    let sets = match args.get("params") {
-        Some(label) => vec![parse_params(label)?],
-        None => hero_sphincs::Params::fast_sets().to_vec(),
     };
 
     let mut out = format!("Auto Tree Tuning on {} (Algorithm 1)\n", device.name);
@@ -442,6 +453,47 @@ mod tests {
     fn tune_s_set_reports_relax_depth() {
         let out = tune(&parse(&["tune", "--params", "128s"])).unwrap();
         assert!(out.contains("relax_depth=2"), "{out}");
+    }
+
+    #[test]
+    fn tune_accepts_shake_sets_and_alg() {
+        // The search is shape-driven, so the SHAKE twin of 128f lands on
+        // the same Table IV winner — under a distinct cache fingerprint.
+        let out = tune(&parse(&["tune", "--params", "shake-128f"])).unwrap();
+        assert!(out.contains("SPHINCS+-SHAKE-128f"), "{out}");
+        assert!(out.contains("F=3"), "{out}");
+        let out = tune(&parse(&["tune", "--params", "128f", "--alg", "shake256"])).unwrap();
+        assert!(out.contains("F=3"), "{out}");
+        let err = tune(&parse(&["tune", "--alg", "whirlpool"])).unwrap_err();
+        assert!(err.to_string().contains("shake256"), "{err}");
+    }
+
+    #[test]
+    fn shake_roundtrip_in_memory() {
+        // Full-shape SPHINCS+-SHAKE-128f sign + verify through the
+        // keyfile path (keygen itself only computes the top subtree).
+        assert!(roundtrip_in_memory("shake-128f", HashAlg::Shake256, b"shake cli").unwrap());
+    }
+
+    #[test]
+    fn keygen_defaults_shake_sets_to_shake256() {
+        let dir = std::env::temp_dir().join(format!("hero-cli-shake-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = dir.join("key.txt");
+        keygen(&parse(&[
+            "keygen",
+            "--params",
+            "shake-128f",
+            "--seed",
+            "7",
+            "--out",
+            key.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&key).unwrap();
+        assert!(text.contains("alg: shake256"), "{text}");
+        assert!(text.contains("params: SPHINCS+-SHAKE-128f"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

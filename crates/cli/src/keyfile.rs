@@ -14,7 +14,7 @@
 //! The public root is recomputed on load (top-subtree keygen only, a few
 //! thousand hashes), which doubles as an integrity check.
 
-use crate::CliError;
+use crate::{alg_label, CliError};
 use hero_sphincs::hash::HashAlg;
 use hero_sphincs::{keygen_from_seeds_with_alg, Params, SigningKey, VerifyingKey};
 
@@ -50,14 +50,10 @@ pub fn encode(
     sk_prf: &[u8],
     pk_seed: &[u8],
 ) -> String {
-    let alg_name = match alg {
-        HashAlg::Sha256 => "sha256",
-        HashAlg::Sha512 => "sha512",
-    };
     format!(
         "hero-sign-key v1\nparams: {}\nalg: {}\nsk_seed: {}\nsk_prf: {}\npk_seed: {}\n",
         params.name(),
-        alg_name,
+        alg_label(alg),
         to_hex(sk_seed),
         to_hex(sk_prf),
         to_hex(pk_seed),
@@ -108,14 +104,10 @@ pub fn decode(text: &str) -> Result<(SigningKey, VerifyingKey), CliError> {
 
 /// Renders a public-key file (`pk_seed || pk_root` in hex, no secrets).
 pub fn encode_public(vk: &VerifyingKey) -> String {
-    let alg_name = match vk.alg() {
-        HashAlg::Sha256 => "sha256",
-        HashAlg::Sha512 => "sha512",
-    };
     format!(
         "hero-sign-pubkey v1\nparams: {}\nalg: {}\npk: {}\n",
         vk.params().name(),
-        alg_name,
+        alg_label(vk.alg()),
         to_hex(&vk.to_bytes()),
     )
 }
@@ -204,5 +196,19 @@ mod tests {
         let text = encode(&p, HashAlg::Sha512, &[4; 16], &[5; 16], &[6; 16]);
         let (sk, _) = decode(&text).expect("decode");
         assert_eq!(sk.alg(), HashAlg::Sha512);
+    }
+
+    #[test]
+    fn shake_keyfiles_roundtrip() {
+        // A SHAKE-shaped key file carries both the shape name and the
+        // algorithm label, and reconstructs a SHAKE signing key.
+        let p = Params::shake_128f();
+        let text = encode(&p, HashAlg::Shake256, &[4; 16], &[5; 16], &[6; 16]);
+        assert!(text.contains("params: SPHINCS+-SHAKE-128f"), "{text}");
+        assert!(text.contains("alg: shake256"), "{text}");
+        let (sk, vk) = decode(&text).expect("decode");
+        assert_eq!(sk.alg(), HashAlg::Shake256);
+        assert_eq!(sk.params().name(), "SPHINCS+-SHAKE-128f");
+        assert_eq!(encode_public(&vk).lines().nth(2), text.lines().nth(2));
     }
 }

@@ -113,12 +113,13 @@ USAGE:
     hero-sign <COMMAND> [OPTIONS]
 
 COMMANDS:
-    keygen    --params <set> [--alg sha256|sha512] [--seed <u64>] --out <path>
+    keygen    --params <set> [--alg sha256|sha512|shake256] [--seed <u64>] --out <path>
+              (shake-* sets default to --alg shake256)
     sign      --key <path> --message <file> --out <sig-file>
               [--backend hero|reference] [--workers <n>]
     verify    --key <path> | --pubkey <path>  --message <file> --sig <sig-file>
     export-pubkey --key <path> --out <path>
-    tune      [--device <name>] [--params <set>] [--dynamic-smem]
+    tune      [--device <name>] [--params <set>] [--alg <hash>] [--dynamic-smem]
     simulate  [--device <name>] [--params <set>] [--messages <n>] [--batch <n>]
               [--streams <n>]
     throughput [--params <set>] [--clients <n>] [--requests <n>]
@@ -128,11 +129,13 @@ COMMANDS:
               reports latency percentiles and signs/sec vs looped sign
     devices   list the GPU catalog
 
-Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>)
+Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>),
+                shake-128f … shake-256s (SPHINCS+-SHAKE-<set>)
 Devices:        \"GTX 1070\" \"V100\" \"RTX 2080 Ti\" \"A100\" \"RTX 4090\" \"H100\"
 ";
 
-/// Parses a parameter-set label like `128f` or `SPHINCS+-192s`.
+/// Parses a parameter-set label like `128f`, `shake-192s` or
+/// `SPHINCS+-SHAKE-128f` (case-insensitive).
 ///
 /// # Errors
 ///
@@ -148,24 +151,47 @@ pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, CliError> {
         "128s" => Ok(Params::sphincs_128s()),
         "192s" => Ok(Params::sphincs_192s()),
         "256s" => Ok(Params::sphincs_256s()),
+        "shake-128f" | "shake128f" => Ok(Params::shake_128f()),
+        "shake-192f" | "shake192f" => Ok(Params::shake_192f()),
+        "shake-256f" | "shake256f" => Ok(Params::shake_256f()),
+        "shake-128s" | "shake128s" => Ok(Params::shake_128s()),
+        "shake-192s" | "shake192s" => Ok(Params::shake_192s()),
+        "shake-256s" | "shake256s" => Ok(Params::shake_256s()),
         other => Err(CliError::Usage(format!(
-            "unknown parameter set '{other}' (try 128f/192f/256f/128s/192s/256s)"
+            "unknown parameter set '{other}' \
+             (try 128f/192f/256f/128s/192s/256s or shake-<same>)"
         ))),
     }
 }
 
-/// Parses a hash-algorithm label.
+/// The hash-algorithm labels [`parse_alg`] accepts, in display order.
+pub const HASH_ALG_NAMES: [&str; 3] = ["sha256", "sha512", "shake256"];
+
+/// Parses a hash-algorithm label (case-insensitive; an optional dash
+/// before the width is accepted, e.g. `SHA-256`, `shake-256`).
 ///
 /// # Errors
 ///
-/// [`CliError::Usage`] on unknown labels.
+/// [`CliError::Usage`] naming every valid label on unknown input.
 pub fn parse_alg(label: &str) -> Result<hero_sphincs::HashAlg, CliError> {
     match label.trim().to_ascii_lowercase().as_str() {
         "sha256" | "sha-256" => Ok(hero_sphincs::HashAlg::Sha256),
         "sha512" | "sha-512" => Ok(hero_sphincs::HashAlg::Sha512),
+        "shake256" | "shake-256" => Ok(hero_sphincs::HashAlg::Shake256),
         other => Err(CliError::Usage(format!(
-            "unknown hash algorithm '{other}' (sha256 or sha512)"
+            "unknown hash algorithm '{other}' (valid: {})",
+            HASH_ALG_NAMES.join(", ")
         ))),
+    }
+}
+
+/// The canonical label for a hash algorithm (inverse of [`parse_alg`]);
+/// used by key files and CLI output.
+pub fn alg_label(alg: hero_sphincs::HashAlg) -> &'static str {
+    match alg {
+        hero_sphincs::HashAlg::Sha256 => "sha256",
+        hero_sphincs::HashAlg::Sha512 => "sha512",
+        hero_sphincs::HashAlg::Shake256 => "shake256",
     }
 }
 
@@ -198,10 +224,48 @@ mod tests {
     }
 
     #[test]
-    fn parses_alg_labels() {
-        assert_eq!(parse_alg("sha256").unwrap(), hero_sphincs::HashAlg::Sha256);
-        assert_eq!(parse_alg("SHA-512").unwrap(), hero_sphincs::HashAlg::Sha512);
+    fn parses_shake_param_labels() {
+        for label in ["shake-128f", "SHAKE128F", "SPHINCS+-SHAKE-128f"] {
+            assert_eq!(
+                parse_params(label).unwrap().name(),
+                "SPHINCS+-SHAKE-128f",
+                "{label}"
+            );
+        }
+        assert_eq!(
+            parse_params("shake-256s").unwrap().name(),
+            "SPHINCS+-SHAKE-256s"
+        );
+        assert!(parse_params("shake-512f").is_err());
+    }
+
+    #[test]
+    fn parses_alg_labels_case_insensitively() {
+        use hero_sphincs::HashAlg;
+        assert_eq!(parse_alg("sha256").unwrap(), HashAlg::Sha256);
+        assert_eq!(parse_alg("SHA-512").unwrap(), HashAlg::Sha512);
+        for label in ["shake256", "SHAKE256", "Shake-256", "  shake256 "] {
+            assert_eq!(parse_alg(label).unwrap(), HashAlg::Shake256, "{label}");
+        }
         assert!(parse_alg("sha3").is_err());
+    }
+
+    #[test]
+    fn unknown_alg_error_lists_all_valid_names() {
+        let err = parse_alg("md5").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let msg = err.to_string();
+        for name in HASH_ALG_NAMES {
+            assert!(msg.contains(name), "error must list '{name}': {msg}");
+        }
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn alg_labels_round_trip() {
+        for name in HASH_ALG_NAMES {
+            assert_eq!(alg_label(parse_alg(name).unwrap()), name);
+        }
     }
 
     #[test]

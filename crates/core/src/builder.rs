@@ -13,6 +13,7 @@ use crate::error::HeroError;
 use crate::tuning::{self, TuningOptions, TuningResult};
 
 use hero_gpu_sim::device::DeviceProps;
+use hero_sphincs::hash::HashAlg;
 use hero_sphincs::params::Params;
 use hero_task_graph::Executor;
 
@@ -58,7 +59,10 @@ impl HeroSignerBuilder {
             device,
             params,
             config: OptConfig::hero(),
-            tuning: TuningOptions::default(),
+            tuning: TuningOptions {
+                hash: params.preferred_alg(),
+                ..TuningOptions::default()
+            },
             workers: None,
             runtime: None,
             strict_tuning: false,
@@ -76,6 +80,20 @@ impl HeroSignerBuilder {
     /// Overrides the Auto Tree Tuning search knobs.
     pub fn tuning_options(mut self, tuning: TuningOptions) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Records the hash primitive in the tuning-cache fingerprint
+    /// (shorthand for setting [`TuningOptions::hash`]), so SHA and
+    /// SHAKE engines never share a cached or persisted tuning entry.
+    /// Defaults to the shape's [`Params::preferred_alg`].
+    ///
+    /// This keys the *cache*, not the kernels: the primitive actually
+    /// hashed with is carried by the signing key (`SigningKey::alg`),
+    /// and [`crate::Signer::keygen`] derives it from the engine's
+    /// parameter shape.
+    pub fn hash_alg(mut self, alg: HashAlg) -> Self {
+        self.tuning.hash = alg;
         self
     }
 

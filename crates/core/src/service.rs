@@ -5,7 +5,7 @@
 //!
 //! HERO-Sign's throughput rests on *batches*: the device (here, the
 //! persistent [`Executor`](hero_task_graph::Executor) runtime inside
-//! [`HeroSigner`](crate::engine::HeroSigner)) only saturates when one
+//! [`HeroSigner`]) only saturates when one
 //! submission carries many messages. Real signing servers don't receive
 //! batches — they receive single requests from many clients. The
 //! [`SignService`] closes that gap the way high-throughput PQC signing

@@ -32,17 +32,21 @@ pub trait Signer {
     /// A short human-readable backend label (for logs and CLI output).
     fn backend(&self) -> &'static str;
 
-    /// Generates a key pair for this backend's parameter set.
+    /// Generates a key pair for this backend's parameter set, under the
+    /// shape's preferred hash primitive (SHAKE-256 for the `shake_*`
+    /// shapes, SHA-256 otherwise).
     ///
     /// # Errors
     ///
     /// [`HeroError::InvalidParams`] if the parameter set fails substrate
     /// validation.
     fn keygen(&self, rng: &mut dyn RngCore) -> Result<(SigningKey, VerifyingKey), HeroError> {
-        // Reborrow: `keygen` is generic over sized `R: RngCore`, and
-        // `&mut dyn RngCore` itself implements `RngCore`.
+        // Reborrow: `keygen_with_alg` is generic over sized `R: RngCore`,
+        // and `&mut dyn RngCore` itself implements `RngCore`.
         let mut rng = rng;
-        hero_sphincs::keygen(*self.params(), &mut rng).map_err(HeroError::from)
+        let params = *self.params();
+        hero_sphincs::keygen_with_alg(params, params.preferred_alg(), &mut rng)
+            .map_err(HeroError::from)
     }
 
     /// Signs `msg` with `sk`.

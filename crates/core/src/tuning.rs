@@ -8,6 +8,7 @@
 //! `argmin` does.
 
 use hero_gpu_sim::device::{DeviceProps, SmemPolicy};
+use hero_sphincs::hash::HashAlg;
 use hero_sphincs::params::Params;
 
 use std::collections::HashMap;
@@ -75,6 +76,14 @@ pub struct TuningOptions {
     /// Exclude configurations that saturate *both* threads and shared
     /// memory (lines 18–19: full saturation raises contention).
     pub exclude_full_saturation: bool,
+    /// The hash primitive the tuned kernels will run. The search itself
+    /// is modelled at hash-invocation granularity (thread and
+    /// shared-memory budgets do not depend on the primitive), but the
+    /// primitive is part of the cache fingerprint so in-memory and
+    /// on-disk entries for the SHA-2 and SHAKE kernel families never
+    /// collide — per-primitive cost models can later diverge without a
+    /// cache-format change.
+    pub hash: HashAlg,
 }
 
 impl Default for TuningOptions {
@@ -88,6 +97,7 @@ impl Default for TuningOptions {
             alpha: 0.6,
             smem_policy: SmemPolicy::Static,
             exclude_full_saturation: true,
+            hash: HashAlg::Sha256,
         }
     }
 }
@@ -333,6 +343,7 @@ struct TuneCacheKey {
     alpha_bits: u64,
     smem_policy: SmemPolicy,
     exclude_full_saturation: bool,
+    hash: HashAlg,
 }
 
 impl TuneCacheKey {
@@ -343,6 +354,7 @@ impl TuneCacheKey {
             alpha_bits: opts.alpha.to_bits(),
             smem_policy: opts.smem_policy,
             exclude_full_saturation: opts.exclude_full_saturation,
+            hash: opts.hash,
         }
     }
 
@@ -350,13 +362,14 @@ impl TuneCacheKey {
     /// that participates in the in-memory key, plus the format version.
     fn canonical(&self) -> String {
         format!(
-            "v{}|{}|{:?}|{}|{:?}|{}",
+            "v{}|{}|{:?}|{}|{:?}|{}|{:?}",
             TUNING_CACHE_DISK_VERSION,
             self.device,
             self.params,
             self.alpha_bits,
             self.smem_policy,
             self.exclude_full_saturation,
+            self.hash,
         )
     }
 }
@@ -504,7 +517,11 @@ pub fn tune_auto_cached_at(
 /// Version stamp of the on-disk tuning-cache format. Bumped whenever the
 /// entry layout or the meaning of a cached result changes; entries
 /// written under any other version are ignored (and rewritten).
-pub const TUNING_CACHE_DISK_VERSION: u32 = 1;
+///
+/// v2: the hash primitive joined the fingerprint, so v1 entries (which
+/// implicitly meant SHA-256) can no longer be disambiguated and are
+/// invalidated wholesale.
+pub const TUNING_CACHE_DISK_VERSION: u32 = 2;
 
 /// The file a persisted tuning entry for `(device, params, opts)` lives
 /// at under `dir` — exposed so operators and tests can inspect, seed, or
@@ -715,6 +732,35 @@ mod disk {
 mod tests {
     use super::*;
     use hero_gpu_sim::device::{gtx_1070, h100, rtx_4090};
+
+    #[test]
+    fn hash_primitive_separates_cache_fingerprints() {
+        // A SHAKE engine and a SHA engine with otherwise identical
+        // options must hit different in-memory keys AND different
+        // on-disk entries — a persisted SHA tuning result must never be
+        // served to a SHAKE engine.
+        let device = rtx_4090();
+        let p = Params::sphincs_128f();
+        let sha = TuningOptions::default();
+        let shake = TuningOptions {
+            hash: HashAlg::Shake256,
+            ..sha
+        };
+        assert_ne!(
+            TuneCacheKey::new(&device, &p, &sha).canonical(),
+            TuneCacheKey::new(&device, &p, &shake).canonical()
+        );
+        let dir = std::path::Path::new("/tmp/hero-fingerprint-test");
+        assert_ne!(
+            tuning_cache_disk_path(dir, &device, &p, &sha),
+            tuning_cache_disk_path(dir, &device, &p, &shake)
+        );
+        // The shake-named shapes separate entries even at equal options.
+        assert_ne!(
+            tuning_cache_disk_path(dir, &device, &Params::shake_128f(), &shake),
+            tuning_cache_disk_path(dir, &device, &p, &shake)
+        );
+    }
 
     #[test]
     fn table_iv_128f() {

@@ -10,6 +10,26 @@
 //! flat treehash buffer and hash to leaves in place with
 //! [`HashCtx::f_many_at`] — the CPU mirror of the fused `Set` filling a
 //! block's shared memory with one leaf per thread (§III-B).
+//!
+//! ```
+//! use hero_sphincs::{address::{Address, AddressType}, fors, hash::HashCtx, params::Params};
+//!
+//! // Reduced shape: k=8 trees of 2^4 leaves keeps the example fast.
+//! let mut params = Params::sphincs_128f();
+//! params.log_t = 4;
+//! params.k = 8;
+//! let ctx = HashCtx::new(params, &[0u8; 16]);
+//! let mut adrs = Address::new();
+//! adrs.set_type(AddressType::ForsTree);
+//!
+//! // The message digest picks one leaf per tree (k·log_t = 32 bits).
+//! let md = [0b1011_0001u8, 0x7f, 0x33, 0x04];
+//! let sig = fors::sign(&ctx, &md, &[1u8; 16], &adrs);
+//! assert_eq!(sig.trees.len(), params.k);
+//! // Verification recomputes the k roots and compresses them.
+//! let pk = fors::pk_from_sig(&ctx, &sig, &md, &adrs);
+//! assert_eq!(pk.len(), params.n);
+//! ```
 
 use crate::address::{Address, AddressType};
 use crate::hash::HashCtx;
@@ -158,9 +178,10 @@ fn fill_tree_leaves(
 /// Tree-hashes FORS tree `tree_idx`, returning root and auth path for
 /// `leaf_idx`.
 ///
-/// The whole bottom layer is generated batched (see
-/// [`fill_tree_leaves`]); [`tree_hash_many`] is the cross-message
-/// spelling that fuses several trees into one sweep.
+/// The whole bottom layer is generated batched (`fill_tree_leaves`
+/// streams `prf_many`/`f_many_at` chunks into the flat buffer);
+/// [`tree_hash_many`] is the cross-message spelling that fuses several
+/// trees into one sweep.
 pub fn tree_hash(
     ctx: &HashCtx,
     sk_seed: &[u8],

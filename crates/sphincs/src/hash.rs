@@ -26,14 +26,52 @@
 //! the scalar calls (pinned by proptests), and the `_into`/`_many`
 //! variants write into caller-provided buffers so a signing loop performs
 //! no per-hash allocations.
+//!
+//! ## The SHAKE-256 instantiation
+//!
+//! [`HashAlg::Shake256`] follows the SPHINCS+-SHAKE *simple* construction
+//! and is deliberately **asymmetric** to the SHA-2 path in two ways the
+//! spec dictates (round-3 §7.2.1 vs §7.2.2):
+//!
+//! * **No compressed address.** SHAKE calls absorb the full 32-byte
+//!   `ADRS`, not the 22-byte compressed form — the sponge has no 64-byte
+//!   block boundary to squeeze under, so compression buys nothing.
+//! * **No precomputed seed state.** Every call is
+//!   `SHAKE256(pk_seed || ADRS || M, 8n)`: `pk_seed` is re-absorbed as
+//!   ordinary message bytes because a SHAKE-128f `F` input
+//!   (`16 + 32 + 16 = 64` bytes) sits mid-block — there is no chaining
+//!   state to snapshot at a block boundary, unlike SHA-256 where
+//!   `pk_seed || pad` fills exactly one compression block.
+//!
+//! One permutation still covers every `F`/`H`/`PRF` call (the longest
+//! tail, `32 + 32 + 64 = 128` bytes for 256-bit `H`, fits one 136-byte
+//! rate block), so the batched SHAKE path advances [`keccak::LANES`]
+//! calls per multi-lane permutation ([`crate::keccak::KeccakxN`]) — the
+//! same lane↔thread mapping as the SHA engine, and the same batching the
+//! high-throughput GPU Dilithium/SPHINCS+ Keccak kernels use. `H_msg`
+//! squeezes the index-derivation digest directly from the XOF; the
+//! SHA-2 paths need the MGF1 expansion loop instead.
+//!
+//! ```
+//! use hero_sphincs::{hash::{HashAlg, HashCtx}, params::Params, address::Address};
+//! let params = Params::shake_128f();
+//! let ctx = HashCtx::with_alg(params, &[0u8; 16], HashAlg::Shake256);
+//! let out = ctx.f(&Address::new(), &[0u8; 16]);
+//! assert_eq!(out.len(), 16);
+//! ```
 
 use crate::address::Address;
+use crate::keccak::{self, KeccakxN, Shake256};
 use crate::params::Params;
 use crate::sha256::{self, Sha256, Sha256xN, BLOCK_LEN, LANES};
 use crate::sha512::Sha512;
 
 /// Compressed-address prefix length of every tweakable-hash tail.
 const ADRS_LEN: usize = 22;
+
+/// Full (uncompressed) address length, as the SHAKE instantiation
+/// absorbs it.
+const FULL_ADRS_LEN: usize = 32;
 
 /// Per-lane scratch: the longest batched tail is `H`'s `22 + 2n ≤ 86`
 /// bytes, which pads into at most two 64-byte blocks.
@@ -52,6 +90,10 @@ pub enum HashAlg {
     Sha256,
     /// SHA-512 (the first alternative the paper names).
     Sha512,
+    /// SHAKE-256 (FIPS 202) — the SPHINCS+-SHAKE half of the NIST
+    /// parameter family. Uses the full 32-byte address and no
+    /// precomputed seed state (see the module docs for the asymmetry).
+    Shake256,
 }
 
 /// A hasher with the `pk_seed || pad` block pre-absorbed.
@@ -180,6 +222,17 @@ impl HashCtx {
                 }
                 out.copy_from_slice(&h.finalize()[..self.params.n]);
             }
+            HashAlg::Shake256 => {
+                // SHAKE256(pk_seed || ADRS || M, 8n): full address, no
+                // seed state (module docs explain the asymmetry).
+                let mut h = Shake256::new();
+                h.update(&self.pk_seed);
+                h.update(&adrs.to_bytes());
+                for part in parts {
+                    h.update(part);
+                }
+                h.finalize_into(out);
+            }
         }
     }
 
@@ -240,10 +293,63 @@ impl HashCtx {
         }
     }
 
+    /// Fills one Keccak lane buffer with `pk_seed || ADRS || payload`
+    /// and pads it to a single rate block, returning the tail length.
+    fn fill_shake_lane(
+        &self,
+        buf: &mut [u8; keccak::RATE],
+        adrs: &Address,
+        payload: &[u8],
+    ) -> usize {
+        let n = self.params.n;
+        let tail = n + FULL_ADRS_LEN + payload.len();
+        debug_assert!(tail < keccak::RATE, "tail exceeds one rate block");
+        buf[..n].copy_from_slice(&self.pk_seed);
+        buf[n..n + FULL_ADRS_LEN].copy_from_slice(&adrs.to_bytes());
+        buf[n + FULL_ADRS_LEN..tail].copy_from_slice(payload);
+        keccak::pad_block_in_place(buf, tail);
+        tail
+    }
+
+    /// SHAKE-256 batch core: call `i` hashes
+    /// `pk_seed || adrs[i] || payload(i)` (all payloads `payload_len`
+    /// bytes), writing `n`-byte digests to `out[i*n..]`. Every call fits
+    /// one rate block (the longest tail is `n + 32 + 2n ≤ 128 < 136`
+    /// bytes), so lanes advance [`keccak::LANES`] calls per multi-lane
+    /// permutation; a partial final chunk repeats its last call in the
+    /// unused lanes, exactly like the SHA engine's masked retirement.
+    fn tweak_many_shake<'p>(
+        &self,
+        adrs: &[Address],
+        payload: impl Fn(usize) -> &'p [u8],
+        out: &mut [u8],
+    ) {
+        let n = self.params.n;
+        let count = adrs.len();
+        let mut bufs = [[0u8; keccak::RATE]; keccak::LANES];
+        let mut start = 0usize;
+        while start < count {
+            let lanes = keccak::LANES.min(count - start);
+            for (l, buf) in bufs.iter_mut().enumerate() {
+                let i = start + l.min(lanes - 1);
+                self.fill_shake_lane(buf, &adrs[i], payload(i));
+            }
+            let mut kx = KeccakxN::new();
+            let refs: [&[u8; keccak::RATE]; keccak::LANES] = std::array::from_fn(|l| &bufs[l]);
+            kx.absorb_blocks(&refs);
+            for l in 0..lanes {
+                let i = start + l;
+                kx.squeeze_into(l, &mut out[i * n..(i + 1) * n]);
+            }
+            start += lanes;
+        }
+    }
+
     /// `F` over a batch: `out[i*n..] = F(adrs[i], msgs[i*n..])`.
     ///
     /// Byte-identical to calling [`HashCtx::f`] in a loop; the SHA-256
-    /// path advances [`LANES`] calls per compression.
+    /// path advances [`LANES`] calls per compression and the SHAKE-256
+    /// path [`keccak::LANES`] calls per permutation.
     ///
     /// # Panics
     ///
@@ -254,6 +360,7 @@ impl HashCtx {
         assert_eq!(out.len(), adrs.len() * n, "out must be count*n bytes");
         match self.alg {
             HashAlg::Sha256 => self.tweak_many_256(adrs, n, |i| &msgs[i * n..(i + 1) * n], out),
+            HashAlg::Shake256 => self.tweak_many_shake(adrs, |i| &msgs[i * n..(i + 1) * n], out),
             HashAlg::Sha512 => {
                 for (i, a) in adrs.iter().enumerate() {
                     let (m, o) = (&msgs[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
@@ -301,6 +408,30 @@ impl HashCtx {
                     start += lanes;
                 }
             }
+            HashAlg::Shake256 => {
+                let mut bufs = [[0u8; keccak::RATE]; keccak::LANES];
+                let mut start = 0usize;
+                while start < count {
+                    let lanes = keccak::LANES.min(count - start);
+                    for (l, lane_buf) in bufs.iter_mut().enumerate() {
+                        let j = start + l.min(lanes - 1);
+                        let slot = indices[j] * n;
+                        // Reading straight from `buf` is safe: every
+                        // lane of this chunk is filled before any lane
+                        // squeezes back, and indices are distinct.
+                        self.fill_shake_lane(lane_buf, &adrs[j], &buf[slot..slot + n]);
+                    }
+                    let mut kx = KeccakxN::new();
+                    let refs: [&[u8; keccak::RATE]; keccak::LANES] =
+                        std::array::from_fn(|l| &bufs[l]);
+                    kx.absorb_blocks(&refs);
+                    for l in 0..lanes {
+                        let slot = indices[start + l] * n;
+                        kx.squeeze_into(l, &mut buf[slot..slot + n]);
+                    }
+                    start += lanes;
+                }
+            }
             HashAlg::Sha512 => {
                 let mut node = [0u8; 32];
                 for (a, &idx) in adrs.iter().zip(indices) {
@@ -330,6 +461,9 @@ impl HashCtx {
             HashAlg::Sha256 => {
                 self.tweak_many_256(adrs, 2 * n, |i| &pairs[2 * i * n..(2 * i + 2) * n], out)
             }
+            HashAlg::Shake256 => {
+                self.tweak_many_shake(adrs, |i| &pairs[2 * i * n..(2 * i + 2) * n], out)
+            }
             HashAlg::Sha512 => {
                 for (i, a) in adrs.iter().enumerate() {
                     let pair = &pairs[2 * i * n..(2 * i + 2) * n];
@@ -351,6 +485,7 @@ impl HashCtx {
         assert_eq!(out.len(), adrs.len() * n, "out must be count*n bytes");
         match self.alg {
             HashAlg::Sha256 => self.tweak_many_256(adrs, n, |_| sk_seed, out),
+            HashAlg::Shake256 => self.tweak_many_shake(adrs, |_| sk_seed, out),
             HashAlg::Sha512 => {
                 for (i, a) in adrs.iter().enumerate() {
                     self.tweak_into(a, &[sk_seed], &mut out[i * n..(i + 1) * n]);
@@ -439,11 +574,25 @@ impl HashCtx {
                 h.update(m);
                 h.finalize()[..self.params.n].to_vec()
             }
+            HashAlg::Shake256 => {
+                let mut h = Shake256::new();
+                h.update(sk_prf);
+                h.update(opt_rand);
+                h.update(m);
+                let mut out = vec![0u8; self.params.n];
+                h.finalize_into(&mut out);
+                out
+            }
         }
     }
 
-    /// `H_msg`: `MGF1(r || Hash(r || pk_seed || pk_root || m))`, expanded
-    /// to the digest length needed for index derivation (spec §7.2.1).
+    /// `H_msg`: the index-derivation digest (spec §7.2.1).
+    ///
+    /// The SHA-2 instantiations compute
+    /// `MGF1(r || Hash(r || pk_seed || pk_root || m))` because a
+    /// fixed-width hash must be expanded to the digest length; SHAKE-256
+    /// squeezes `SHAKE256(r || pk_seed || pk_root || m)` to the full
+    /// length directly — an XOF needs no MGF1 loop.
     pub fn h_msg(&self, r: &[u8], pk_root: &[u8], m: &[u8]) -> Vec<u8> {
         let digest: Vec<u8> = match self.alg {
             HashAlg::Sha256 => {
@@ -461,6 +610,16 @@ impl HashCtx {
                 h.update(pk_root);
                 h.update(m);
                 h.finalize().to_vec()
+            }
+            HashAlg::Shake256 => {
+                let mut h = Shake256::new();
+                h.update(r);
+                h.update(&self.pk_seed);
+                h.update(pk_root);
+                h.update(m);
+                let mut out = vec![0u8; self.params.digest_bytes()];
+                h.finalize_into(&mut out);
+                return out;
             }
         };
         let mut seed = Vec::with_capacity(r.len() + digest.len());
@@ -650,8 +809,63 @@ mod tests {
     }
 
     #[test]
+    fn shake256_context_works_end_to_end_per_primitive() {
+        // Every tweakable hash works under SHAKE-256 with the same n-byte
+        // interface, and outputs differ from both SHA paths.
+        for p in Params::fast_sets() {
+            let seed = vec![5u8; p.n];
+            let c256 = HashCtx::with_alg(p, &seed, HashAlg::Sha256);
+            let shake = HashCtx::with_alg(p, &seed, HashAlg::Shake256);
+            assert_eq!(shake.alg(), HashAlg::Shake256);
+            let a = Address::new();
+            let m = vec![9u8; p.n];
+            let f = shake.f(&a, &m);
+            assert_eq!(f.len(), p.n);
+            assert_ne!(f, c256.f(&a, &m), "{}", p.name());
+            assert_ne!(shake.h(&a, &m, &m), c256.h(&a, &m, &m));
+            assert_ne!(
+                shake.prf_msg(&seed, &m, b"x"),
+                c256.prf_msg(&seed, &m, b"x")
+            );
+            let d = shake.h_msg(&m, &seed, b"msg");
+            assert_eq!(d.len(), p.digest_bytes());
+            assert_ne!(d, c256.h_msg(&m, &seed, b"msg"));
+        }
+    }
+
+    #[test]
+    fn shake256_tweak_pins_spec_construction() {
+        // The scalar SHAKE thash must be exactly
+        // SHAKE256(pk_seed || ADRS(32 bytes) || M, 8n) — full address,
+        // no compression, no seed state.
+        use crate::keccak::Shake256;
+        let p = Params::sphincs_128f();
+        let pk_seed = [7u8; 16];
+        let ctx = HashCtx::with_alg(p, &pk_seed, HashAlg::Shake256);
+        let mut a = Address::new();
+        a.set_type(AddressType::WotsHash);
+        a.set_chain(3);
+        let m = [9u8; 16];
+        let mut reference = Vec::new();
+        reference.extend_from_slice(&pk_seed);
+        reference.extend_from_slice(&a.to_bytes());
+        reference.extend_from_slice(&m);
+        assert_eq!(ctx.f(&a, &m), Shake256::digest(&reference, 16));
+    }
+
+    #[test]
+    fn shake256_t2_matches_h() {
+        let p = Params::sphincs_128f();
+        let ctx = HashCtx::with_alg(p, &[7u8; 16], HashAlg::Shake256);
+        let a = Address::new();
+        let l = [1u8; 16];
+        let r = [2u8; 16];
+        assert_eq!(ctx.h(&a, &l, &r), ctx.t_l(&a, &[&l, &r]));
+    }
+
+    #[test]
     fn batch_apis_match_scalar_for_both_algs() {
-        for alg in [HashAlg::Sha256, HashAlg::Sha512] {
+        for alg in [HashAlg::Sha256, HashAlg::Sha512, HashAlg::Shake256] {
             for p in Params::fast_sets() {
                 let n = p.n;
                 let ctx = HashCtx::with_alg(p, &vec![5u8; n], alg);

@@ -4,6 +4,23 @@
 //! root of the layer below; the top root is the SPHINCS+ public key root.
 //! Every layer's Merkle tree is independent once its leaf index is known —
 //! the tree-level parallelism behind HERO-Sign's `TREE_Sign` kernel.
+//!
+//! ```
+//! use hero_sphincs::{hash::HashCtx, hypertree, params::Params};
+//!
+//! // Reduced shape (h=6, d=3): three layers of height-2 subtrees.
+//! let mut params = Params::sphincs_128f();
+//! params.h = 6;
+//! params.d = 3;
+//! let ctx = HashCtx::new(params, &[0u8; 16]);
+//! let sk_seed = [1u8; 16];
+//!
+//! let root = hypertree::public_root(&ctx, &sk_seed);
+//! // Sign an n-byte value (a FORS public key in the full scheme).
+//! let sig = hypertree::sign(&ctx, &[9u8; 16], &sk_seed, 2, 1);
+//! assert_eq!(sig.layers.len(), params.d);
+//! assert_eq!(hypertree::root_from_sig(&ctx, &sig, &[9u8; 16], 2, 1), root);
+//! ```
 
 use crate::address::{Address, AddressType};
 use crate::hash::HashCtx;

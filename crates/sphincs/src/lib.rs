@@ -10,10 +10,14 @@
 //! * [`sha256`] — FIPS 180-4 SHA-256 with an exposed compression function,
 //!   resumable chaining state (the kernels' constant-memory seed state),
 //!   and the multi-lane [`sha256::Sha256xN`] engine.
-//! * [`params`] — Table I parameter sets.
+//! * [`keccak`] — FIPS 202 Keccak-f\[1600\] and SHAKE-256 with the
+//!   multi-lane [`keccak::KeccakxN`] engine (the SPHINCS+-SHAKE family).
+//! * [`params`] — Table I parameter sets, plus their `shake_*` twins.
 //! * [`address`] — the ADRS hash-addressing scheme.
 //! * [`hash`] — the tweakable hashes `F`, `H`, `T_l`, `PRF`, `PRF_msg`,
-//!   `H_msg`, each in scalar, into-buffer, and batched (`*_many`) form.
+//!   `H_msg`, each in scalar, into-buffer, and batched (`*_many`) form,
+//!   instantiated over SHA-256, SHA-512 or SHAKE-256
+//!   ([`hash::HashAlg`]).
 //! * [`wots`] — WOTS+ chains (chain-level parallelism; chains advance
 //!   batched across SIMD lanes).
 //! * [`fors`] — the forest of random subsets (tree-level parallelism,
@@ -28,11 +32,13 @@
 //! HERO-Sign fills GPU warps with independent hash nodes; this crate
 //! fills SIMD lanes the same way. Every structure-level independence the
 //! paper exploits (WOTS+ chains, FORS leaves and trees, Merkle siblings)
-//! is expressed through the batch APIs in [`hash`], which start all
-//! [`sha256::LANES`] lanes from the one precomputed `pk_seed` state and
-//! run the compression rounds in lockstep — the CPU shape of the paper's
-//! warp batching and of its Table 10 AVX2 baseline. Batched and scalar
-//! APIs are byte-identical by construction and by proptest.
+//! is expressed through the batch APIs in [`hash`]: the SHA-256 engine
+//! starts all [`sha256::LANES`] lanes from the one precomputed `pk_seed`
+//! state and runs the compression rounds in lockstep, and the SHAKE-256
+//! engine advances [`keccak::LANES`] sponges per permutation — the CPU
+//! shape of the paper's warp batching and of its Table 10 AVX2 baseline.
+//! Batched and scalar APIs are byte-identical by construction and by
+//! proptest.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +80,7 @@ pub mod address;
 pub mod fors;
 pub mod hash;
 pub mod hypertree;
+pub mod keccak;
 pub mod merkle;
 pub mod params;
 pub mod sha256;

@@ -10,7 +10,22 @@
 //! level is halved with one batched [`HashCtx::h_many`] sweep (the CPU
 //! analogue of a warp hashing sibling pairs in lockstep), and
 //! authentication-path siblings are sliced straight out of the flat level
-//! buffer instead of cloning `Vec<Vec<u8>>` levels.
+//! buffer instead of cloning `Vec<Vec<u8>>` levels. Everything is
+//! generic over the hash primitive carried by the [`HashCtx`].
+//!
+//! ```
+//! use hero_sphincs::{address::Address, hash::HashCtx, merkle, params::Params};
+//!
+//! let ctx = HashCtx::new(Params::sphincs_128f(), &[0u8; 16]);
+//! let adrs = Address::new();
+//! // A height-3 tree whose leaf i is [i; 16]; extract leaf 5's path.
+//! let out = merkle::treehash(&ctx, 3, 5, &adrs, |i, slot: &mut [u8]| {
+//!     slot.fill(i as u8);
+//! });
+//! assert_eq!(out.auth_path.len(), 3);
+//! let rebuilt = merkle::root_from_auth_path(&ctx, &[5u8; 16], 5, &out.auth_path, &adrs);
+//! assert_eq!(rebuilt, out.root);
+//! ```
 
 use crate::address::Address;
 use crate::hash::HashCtx;

@@ -2,8 +2,18 @@
 //!
 //! The paper targets the *fast* (`-f`) variants with SHA-256; the small
 //! (`-s`) variants are included as an extension because the tuner and the
-//! GPU kernels are parameter-generic.
+//! GPU kernels are parameter-generic. The `shake_*` shapes pair the same
+//! six `(n, h, d, log t, k, w)` tuples with the SHAKE-256 instantiation
+//! ([`Params::preferred_alg`]), completing the NIST parameter matrix.
+//!
+//! ```
+//! use hero_sphincs::{hash::HashAlg, params::Params};
+//! let p = Params::shake_128f();
+//! assert_eq!(p.sig_bytes(), 17_088); // sizes depend only on the shape
+//! assert_eq!(p.preferred_alg(), HashAlg::Shake256);
+//! ```
 
+use crate::hash::HashAlg;
 use std::fmt;
 
 /// A SPHINCS+ parameter set.
@@ -132,6 +142,58 @@ impl Params {
         }
     }
 
+    /// SPHINCS+-SHAKE-128f: the 128f shape under the SHAKE-256
+    /// instantiation. Signature, key and digest sizes depend only on
+    /// `(n, h, d, log t, k, w)`, so they match [`Params::sphincs_128f`];
+    /// the name differs so tuning-cache fingerprints, key files and CLI
+    /// labels never conflate the two hash families.
+    pub const fn shake_128f() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-128f",
+            ..Self::sphincs_128f()
+        }
+    }
+
+    /// SPHINCS+-SHAKE-192f (see [`Params::shake_128f`]).
+    pub const fn shake_192f() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-192f",
+            ..Self::sphincs_192f()
+        }
+    }
+
+    /// SPHINCS+-SHAKE-256f (see [`Params::shake_128f`]).
+    pub const fn shake_256f() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-256f",
+            ..Self::sphincs_256f()
+        }
+    }
+
+    /// SPHINCS+-SHAKE-128s (see [`Params::shake_128f`]).
+    pub const fn shake_128s() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-128s",
+            ..Self::sphincs_128s()
+        }
+    }
+
+    /// SPHINCS+-SHAKE-192s (see [`Params::shake_128f`]).
+    pub const fn shake_192s() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-192s",
+            ..Self::sphincs_192s()
+        }
+    }
+
+    /// SPHINCS+-SHAKE-256s (see [`Params::shake_128f`]).
+    pub const fn shake_256s() -> Self {
+        Self {
+            name: "SPHINCS+-SHAKE-256s",
+            ..Self::sphincs_256s()
+        }
+    }
+
     /// The three `-f` sets evaluated throughout the paper.
     pub const fn fast_sets() -> [Self; 3] {
         [
@@ -141,7 +203,7 @@ impl Params {
         ]
     }
 
-    /// All built-in parameter sets.
+    /// All built-in SHA-2 parameter sets.
     pub const fn all_sets() -> [Self; 6] {
         [
             Self::sphincs_128f(),
@@ -151,6 +213,49 @@ impl Params {
             Self::sphincs_192s(),
             Self::sphincs_256s(),
         ]
+    }
+
+    /// All six SHAKE-256 parameter sets.
+    pub const fn shake_sets() -> [Self; 6] {
+        [
+            Self::shake_128f(),
+            Self::shake_192f(),
+            Self::shake_256f(),
+            Self::shake_128s(),
+            Self::shake_192s(),
+            Self::shake_256s(),
+        ]
+    }
+
+    /// The hash primitive this shape is named for: [`HashAlg::Shake256`]
+    /// for the `shake_*` shapes, [`HashAlg::Sha256`] otherwise. Shapes
+    /// and primitives stay independently combinable ([`crate::hash::HashCtx`]
+    /// accepts any pairing); this is the default the CLI and key files
+    /// use when no explicit algorithm is given.
+    pub const fn preferred_alg(&self) -> HashAlg {
+        if self.is_shake_shape() {
+            HashAlg::Shake256
+        } else {
+            HashAlg::Sha256
+        }
+    }
+
+    /// Whether this is one of the `shake_*`-named shapes.
+    const fn is_shake_shape(&self) -> bool {
+        // const-compatible prefix test on the name.
+        const PREFIX: &[u8] = b"SPHINCS+-SHAKE-";
+        let name = self.name.as_bytes();
+        if name.len() < PREFIX.len() {
+            return false;
+        }
+        let mut i = 0;
+        while i < PREFIX.len() {
+            if name[i] != PREFIX[i] {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Human-readable name, e.g. `"SPHINCS+-128f"`.

@@ -593,6 +593,44 @@ mod tests {
     }
 
     #[test]
+    fn shake256_keygen_sign_verify_roundtrip() {
+        // The SPHINCS+-SHAKE half of the parameter family end to end.
+        use crate::hash::HashAlg;
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut p = Params::shake_128f();
+        p.h = 6;
+        p.d = 3;
+        p.log_t = 4;
+        p.k = 8;
+        let (sk, vk) = keygen_with_alg(p, HashAlg::Shake256, &mut rng).unwrap();
+        assert_eq!(sk.alg(), HashAlg::Shake256);
+        let sig = sk.sign(b"shake instantiation");
+        vk.verify(b"shake instantiation", &sig).expect("verify");
+        assert!(vk.verify(b"shake instantiation!", &sig).is_err());
+        // Wire-format round trip under SHAKE.
+        let parsed = Signature::from_bytes(&p, &sig.to_bytes(&p)).unwrap();
+        vk.verify(b"shake instantiation", &parsed).unwrap();
+    }
+
+    #[test]
+    fn shake256_and_sha256_keys_are_incompatible() {
+        use crate::hash::HashAlg;
+        let seeds = (vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]);
+        let (sk_sha, vk_sha) = keygen_from_seeds_with_alg(
+            tiny_params(),
+            HashAlg::Sha256,
+            seeds.0.clone(),
+            seeds.1.clone(),
+            seeds.2.clone(),
+        );
+        let (sk_shake, vk_shake) =
+            keygen_from_seeds_with_alg(tiny_params(), HashAlg::Shake256, seeds.0, seeds.1, seeds.2);
+        assert_ne!(vk_sha.pk_root(), vk_shake.pk_root());
+        assert!(vk_shake.verify(b"cross", &sk_sha.sign(b"cross")).is_err());
+        assert!(vk_sha.verify(b"cross", &sk_shake.sign(b"cross")).is_err());
+    }
+
+    #[test]
     fn sha256_and_sha512_keys_are_incompatible() {
         use crate::hash::HashAlg;
         let mut rng = StdRng::seed_from_u64(53);

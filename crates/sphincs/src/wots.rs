@@ -10,7 +10,24 @@
 //! chains live in one flat `n`-stride buffer and advance one `F` step per
 //! round through [`HashCtx::f_many_at`], with chains that reached their
 //! target length dropping out of the batch ([`pk_gen_into`], [`sign`],
-//! [`pk_from_sig`]). One `pk_gen` performs zero heap allocations.
+//! [`pk_from_sig`]). One `pk_gen` performs zero heap allocations. The
+//! chain step is whatever primitive the [`HashCtx`] carries — SHA-256
+//! lanes and SHAKE-256 lanes batch identically.
+//!
+//! ```
+//! use hero_sphincs::{address::Address, hash::HashCtx, params::Params, wots};
+//!
+//! let params = Params::sphincs_128f();
+//! let ctx = HashCtx::new(params, &[0u8; 16]);
+//! let sk_seed = [1u8; 16];
+//! let mut adrs = Address::new();
+//! adrs.set_keypair(3);
+//!
+//! let pk = wots::pk_gen(&ctx, &sk_seed, &adrs);
+//! let sig = wots::sign(&ctx, &[7u8; 16], &sk_seed, &adrs);
+//! // Verification recomputes the public key by finishing the chains.
+//! assert_eq!(wots::pk_from_sig(&ctx, &sig, &[7u8; 16], &adrs), pk);
+//! ```
 
 use crate::address::{Address, AddressType};
 use crate::hash::HashCtx;

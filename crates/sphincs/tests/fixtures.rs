@@ -63,9 +63,20 @@ fn signature_digest(params: Params, alg: HashAlg) -> (String, String) {
     )
 }
 
+/// The reduced SPHINCS+-SHAKE-128f shape (same reduction as
+/// [`tiny_params`], SHAKE name).
+fn tiny_params_shake() -> Params {
+    let mut p = Params::shake_128f();
+    p.h = 6;
+    p.d = 3;
+    p.log_t = 4;
+    p.k = 8;
+    p
+}
+
 #[test]
 fn seed_era_signatures_are_stable() {
-    let cases: [(&str, Params, HashAlg, &str, &str); 4] = [
+    let cases: [(&str, Params, HashAlg, &str, &str); 5] = [
         (
             "tiny-128/sha256",
             tiny_params(),
@@ -93,6 +104,17 @@ fn seed_era_signatures_are_stable() {
             HashAlg::Sha512,
             "015cc8af94dea0bba71df62d34ac393a142901a5cffe394c03997f0c956df71f",
             "39bde7badd3751737b6c128f1029fc37e32f79356f842bff614761ca5a9cb670",
+        ),
+        // Captured from the first SHAKE-capable implementation (whose
+        // thash construction is itself pinned against independent FIPS
+        // 202 vectors in `hash::tests::shake256_tweak_pins_spec_construction`);
+        // later refactors must keep SHAKE signatures byte-identical too.
+        (
+            "tiny-shake-128/shake256",
+            tiny_params_shake(),
+            HashAlg::Shake256,
+            "5b958c8b2c97dc50b3eea35b40d334d21dbe76e6ca605361a1a12d3758690122",
+            "df22ddd9cffb3c00debb51c0f42cab892305001a392a9b6ffb09ddc7ed63b43c",
         ),
     ];
     for (label, params, alg, pk_expected, sig_expected) in cases {

@@ -134,11 +134,12 @@ proptest! {
     }
 
     #[test]
-    fn signature_bytes_roundtrip_random_messages(msg in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+    fn signature_bytes_roundtrip_random_messages(msg in proptest::collection::vec(any::<u8>(), 0..128), alg_idx in 0usize..3, seed in any::<u64>()) {
         let p = tiny_params();
+        let alg = [HashAlg::Sha256, HashAlg::Sha512, HashAlg::Shake256][alg_idx];
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         use rand::SeedableRng;
-        let (sk, vk) = hero_sphincs::keygen(p, &mut rng).unwrap();
+        let (sk, vk) = hero_sphincs::keygen_with_alg(p, alg, &mut rng).unwrap();
         let sig = sk.sign(&msg);
         let bytes = sig.to_bytes(&p);
         let parsed = Signature::from_bytes(&p, &bytes).unwrap();
@@ -149,21 +150,22 @@ proptest! {
     #[test]
     fn batch_hash_apis_equal_scalar(
         param_idx in 0usize..4,
-        alg_idx in 0usize..2,
+        alg_idx in 0usize..3,
         count in 1usize..25,
         seed in any::<u64>(),
     ) {
         // The multi-lane `*_many` APIs must be byte-identical to looping
         // the scalar single-call APIs, for every parameter set (128f /
-        // 128s / 192f / 256f), both hash algs, and batch sizes that are
-        // not lane multiples.
+        // 128s / 192f / 256f), all three hash algs (the SHA-256 and
+        // SHAKE-256 lanes plus scalar SHA-512), and batch sizes that
+        // are not lane multiples.
         let params = [
             Params::sphincs_128f(),
             Params::sphincs_128s(),
             Params::sphincs_192f(),
             Params::sphincs_256f(),
         ][param_idx];
-        let alg = [HashAlg::Sha256, HashAlg::Sha512][alg_idx];
+        let alg = [HashAlg::Sha256, HashAlg::Sha512, HashAlg::Shake256][alg_idx];
         let n = params.n;
         use rand::{RngCore, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -213,7 +215,7 @@ proptest! {
     #[test]
     fn flat_treehash_equals_scalar_oracle(
         param_idx in 0usize..4,
-        alg_idx in 0usize..2,
+        alg_idx in 0usize..3,
         height in 1usize..6,
         leaf_sel in any::<u32>(),
         tree_off in 0u32..8,
@@ -228,7 +230,7 @@ proptest! {
             Params::sphincs_192f(),
             Params::sphincs_256f(),
         ][param_idx];
-        let alg = [HashAlg::Sha256, HashAlg::Sha512][alg_idx];
+        let alg = [HashAlg::Sha256, HashAlg::Sha512, HashAlg::Shake256][alg_idx];
         let n = params.n;
         use rand::{RngCore, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
