@@ -29,6 +29,8 @@ pub fn run(args: &Args) -> CmdResult {
         "tune" => tune(args),
         "simulate" => simulate(args),
         "throughput" => throughput(args),
+        "serve" => serve(args),
+        "remote-sign" => remote_sign(args),
         "devices" => devices(),
         "help" | "--help" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -256,12 +258,6 @@ fn simulate(args: &Args) -> CmdResult {
     ))
 }
 
-/// Sorted-latency percentile (nearest-rank on the sorted slice).
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((p / 100.0) * (sorted.len().saturating_sub(1)) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Drives the micro-batching [`SignService`] from N closed-loop client
 /// threads and reports latency percentiles plus signs/sec, alongside a
 /// looped single-message `sign` baseline on the same engine and worker
@@ -321,7 +317,7 @@ fn throughput(args: &Args) -> CmdResult {
     // Service: N closed-loop clients share the micro-batcher.
     let service = SignService::start(Arc::clone(&signer), sk.clone(), config)?;
     let service_start = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
                 let service = &service;
@@ -347,6 +343,8 @@ fn throughput(args: &Args) -> CmdResult {
     let service_secs = service_start.elapsed().as_secs_f64();
     let service_rate = total as f64 / service_secs;
     let stats = service.stats();
+    let summary = hero_sign::stats::LatencySummary::from_unsorted(latencies)
+        .expect("at least one request was timed");
 
     // Spot-check before shutdown: service output verifies under the key.
     let check_msg = b"throughput spot check".to_vec();
@@ -356,14 +354,11 @@ fn throughput(args: &Args) -> CmdResult {
     vk.verify(&check_msg, &check_sig)?;
     service.shutdown();
 
-    latencies.sort();
-    let avg_us =
-        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / latencies.len() as f64 * 1e6;
     Ok(format!(
         "throughput: {}{} | backend {} | {} clients x {} requests\n\
          looped sign (1 thread): {:>10.1} signs/sec\n\
          coalesced service:      {:>10.1} signs/sec  ({:.2}x)\n\
-         latency: p50 {:.1} us | p90 {:.1} us | p99 {:.1} us | mean {:.1} us\n\
+         latency: {}\n\
          batches: {} (largest {}, avg {:.1} msgs/batch)\n",
         params.name(),
         if smoke { " (reduced smoke shape)" } else { "" },
@@ -373,13 +368,116 @@ fn throughput(args: &Args) -> CmdResult {
         baseline_rate,
         service_rate,
         service_rate / baseline_rate,
-        percentile(&latencies, 50.0).as_secs_f64() * 1e6,
-        percentile(&latencies, 90.0).as_secs_f64() * 1e6,
-        percentile(&latencies, 99.0).as_secs_f64() * 1e6,
-        avg_us,
+        summary.render_us(),
         stats.batches,
         stats.max_batch_observed,
         stats.completed as f64 / stats.batches.max(1) as f64,
+    ))
+}
+
+/// Builds and starts a [`hero_server::Server`] from `serve` options;
+/// split from [`serve`] so tests can drive a live server without
+/// touching stdin.
+pub(crate) fn start_server(args: &Args) -> Result<hero_server::Server, CliError> {
+    let keys_dir = args.require("keys")?;
+    let workers = match args.get("workers") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("--workers: '{v}' is not a number")))?,
+        ),
+        None if args.flag("workers") => {
+            return Err(CliError::Usage("--workers requires a value".to_string()))
+        }
+        None => None,
+    };
+
+    let mut service = ServiceConfig::default();
+    if let Some(v) = args.get("max-batch") {
+        service.max_batch = v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--max-batch: '{v}' is not a number")))?;
+    }
+    service.max_wait = Duration::from_micros(args.get_u64("max-wait-us", 500)?);
+    service.queue_depth = args.get_u32("queue-depth", 1024)? as usize;
+
+    let config = hero_server::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
+        service,
+        per_tenant_inflight: args.get_u32("inflight", 256)? as usize,
+        keys_dir: Some(std::path::PathBuf::from(keys_dir)),
+        ..hero_server::ServerConfig::default()
+    };
+
+    let factory = hero_server::hero_engine_factory(workers)?;
+    let keystore = hero_server::KeyStore::new();
+    keystore
+        .load_dir(std::path::Path::new(keys_dir))
+        .map_err(hero_server::ClientError::Wire)?;
+    Ok(hero_server::Server::start(factory, keystore, config)?)
+}
+
+/// Runs the network server until stdin closes, then drains gracefully.
+fn serve(args: &Args) -> CmdResult {
+    let server = start_server(args)?;
+    let tenants = server.tenants();
+    println!(
+        "hero-server listening on {} ({} tenants: {})",
+        server.local_addr(),
+        tenants.len(),
+        tenants.join(", "),
+    );
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on {addr} (plaintext, connect-and-read)");
+    }
+    println!("close stdin (Ctrl-D) to drain and exit");
+    // Blocking on stdin keeps the command testable (tests use
+    // `start_server`) and gives operators a clean shutdown signal
+    // without pulling in signal handling.
+    let mut sink = String::new();
+    while std::io::stdin()
+        .read_line(&mut sink)
+        .map_err(|e| CliError::io("stdin", e))?
+        > 0
+    {
+        sink.clear();
+    }
+    server.shutdown();
+    Ok("drained and stopped".to_string())
+}
+
+/// Signs a file over the network against a running `serve`.
+fn remote_sign(args: &Args) -> CmdResult {
+    let addr = args.require("addr")?;
+    let tenant = args.require("tenant")?;
+    let msg_path = args.require("message")?;
+    let out = args.require("out")?;
+
+    let message = fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?;
+    let mut client = hero_server::Client::connect(addr)?;
+    let begin = Instant::now();
+    let sig = client.sign(tenant, &message)?;
+    let elapsed = begin.elapsed();
+    // Round-trip check by default: the server verifies its own output
+    // under the tenant key before we trust the bytes.
+    let verified = if args.flag("no-verify") {
+        false
+    } else {
+        if !client.verify(tenant, &message, &sig)? {
+            return Err(CliError::Signature(
+                hero_sphincs::sign::SignError::VerificationFailed,
+            ));
+        }
+        true
+    };
+    fs::write(out, &sig).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "signed {} bytes as tenant '{tenant}' -> {} byte signature at {out} \
+         ({:.1} ms round trip{})",
+        message.len(),
+        sig.len(),
+        elapsed.as_secs_f64() * 1e3,
+        if verified { ", server-verified" } else { "" },
     ))
 }
 
@@ -684,6 +782,75 @@ mod tests {
         assert!(matches!(err, CliError::Signature(_)));
         assert!(err.to_string().contains("INVALID"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_and_remote_sign_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hero-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = hero_sphincs::Params::sphincs_128f();
+        let text = keyfile::encode(&p, HashAlg::Sha256, &[11; 16], &[12; 16], &[13; 16]);
+        std::fs::write(dir.join("validator-1.key"), &text).unwrap();
+        let msg = dir.join("msg.bin");
+        let sig = dir.join("sig.bin");
+        std::fs::write(&msg, b"remote sign via cli").unwrap();
+
+        let server = start_server(&parse(&[
+            "serve",
+            "--keys",
+            dir.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(server.tenants(), vec!["validator-1".to_string()]);
+
+        let out = remote_sign(&parse(&[
+            "remote-sign",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--tenant",
+            "validator-1",
+            "--message",
+            msg.to_str().unwrap(),
+            "--out",
+            sig.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("server-verified"), "{out}");
+
+        // The bytes on disk verify locally under the same key file.
+        let (_, vk) = keyfile::decode(&text).unwrap();
+        let sig_bytes = std::fs::read(&sig).unwrap();
+        let signature = Signature::from_bytes(vk.params(), &sig_bytes).unwrap();
+        vk.verify(b"remote sign via cli", &signature).unwrap();
+
+        // Unknown tenants come back as typed remote errors.
+        let err = remote_sign(&parse(&[
+            "remote-sign",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--tenant",
+            "nobody",
+            "--message",
+            msg.to_str().unwrap(),
+            "--out",
+            sig.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Remote(_)), "{err:?}");
+        assert!(err.to_string().contains("nobody"), "{err}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_requires_a_keys_dir() {
+        let err = start_server(&parse(&["serve"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let err = start_server(&parse(&["serve", "--keys", "/definitely/not/here"])).unwrap_err();
+        assert!(matches!(err, CliError::Remote(_)), "{err:?}");
     }
 
     #[test]

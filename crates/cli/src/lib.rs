@@ -36,6 +36,10 @@ pub enum CliError {
     Service(hero_sign::service::ServiceError),
     /// A signature failed to parse or verify.
     Signature(SignError),
+    /// The network server could not start.
+    Server(hero_server::ServerError),
+    /// A remote request against a running server failed.
+    Remote(hero_server::ClientError),
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +54,8 @@ impl fmt::Display for CliError {
                 f.write_str("signature INVALID: verification failed")
             }
             CliError::Signature(e) => write!(f, "signature: {e}"),
+            CliError::Server(e) => write!(f, "{e}"),
+            CliError::Remote(e) => write!(f, "remote: {e}"),
         }
     }
 }
@@ -61,6 +67,8 @@ impl std::error::Error for CliError {
             CliError::Engine(e) => Some(e),
             CliError::Service(e) => Some(e),
             CliError::Signature(e) => Some(e),
+            CliError::Server(e) => Some(e),
+            CliError::Remote(e) => Some(e),
             _ => None,
         }
     }
@@ -102,6 +110,18 @@ impl From<SignError> for CliError {
     }
 }
 
+impl From<hero_server::ServerError> for CliError {
+    fn from(e: hero_server::ServerError) -> Self {
+        CliError::Server(e)
+    }
+}
+
+impl From<hero_server::ClientError> for CliError {
+    fn from(e: hero_server::ClientError) -> Self {
+        CliError::Remote(e)
+    }
+}
+
 /// Exit-status style result for command execution.
 pub type CmdResult = Result<String, CliError>;
 
@@ -127,6 +147,15 @@ COMMANDS:
               [--max-wait-us <us>] [--seed <u64>] [--smoke]
               drive the micro-batching SignService from N client threads;
               reports latency percentiles and signs/sec vs looped sign
+    serve     --keys <dir> [--addr <host:port>] [--metrics-addr <host:port>]
+              [--workers <n>] [--max-batch <n>] [--max-wait-us <us>]
+              [--queue-depth <n>] [--inflight <n>]
+              serve sign/sign-batch/verify/keygen/stats over the
+              length-prefixed TCP protocol (one tenant per key file);
+              runs until stdin closes, then drains gracefully
+    remote-sign --addr <host:port> --tenant <name> --message <file>
+              --out <sig-file> [--no-verify]
+              sign over the network against a running `serve`
     devices   list the GPU catalog
 
 Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>),
@@ -141,31 +170,17 @@ Devices:        \"GTX 1070\" \"V100\" \"RTX 2080 Ti\" \"A100\" \"RTX 4090\" \"H1
 ///
 /// [`CliError::Usage`] on unknown labels.
 pub fn parse_params(label: &str) -> Result<hero_sphincs::Params, CliError> {
-    use hero_sphincs::Params;
-    let norm = label.trim().to_ascii_lowercase();
-    let norm = norm.strip_prefix("sphincs+-").unwrap_or(&norm);
-    match norm {
-        "128f" => Ok(Params::sphincs_128f()),
-        "192f" => Ok(Params::sphincs_192f()),
-        "256f" => Ok(Params::sphincs_256f()),
-        "128s" => Ok(Params::sphincs_128s()),
-        "192s" => Ok(Params::sphincs_192s()),
-        "256s" => Ok(Params::sphincs_256s()),
-        "shake-128f" | "shake128f" => Ok(Params::shake_128f()),
-        "shake-192f" | "shake192f" => Ok(Params::shake_192f()),
-        "shake-256f" | "shake256f" => Ok(Params::shake_256f()),
-        "shake-128s" | "shake128s" => Ok(Params::shake_128s()),
-        "shake-192s" | "shake192s" => Ok(Params::shake_192s()),
-        "shake-256s" | "shake256s" => Ok(Params::shake_256s()),
-        other => Err(CliError::Usage(format!(
-            "unknown parameter set '{other}' \
-             (try 128f/192f/256f/128s/192s/256s or shake-<same>)"
-        ))),
-    }
+    hero_sphincs::Params::from_label(label).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown parameter set '{}' \
+             (try 128f/192f/256f/128s/192s/256s or shake-<same>)",
+            label.trim().to_ascii_lowercase()
+        ))
+    })
 }
 
 /// The hash-algorithm labels [`parse_alg`] accepts, in display order.
-pub const HASH_ALG_NAMES: [&str; 3] = ["sha256", "sha512", "shake256"];
+pub const HASH_ALG_NAMES: [&str; 3] = hero_sphincs::HashAlg::NAMES;
 
 /// Parses a hash-algorithm label (case-insensitive; an optional dash
 /// before the width is accepted, e.g. `SHA-256`, `shake-256`).
@@ -174,25 +189,19 @@ pub const HASH_ALG_NAMES: [&str; 3] = ["sha256", "sha512", "shake256"];
 ///
 /// [`CliError::Usage`] naming every valid label on unknown input.
 pub fn parse_alg(label: &str) -> Result<hero_sphincs::HashAlg, CliError> {
-    match label.trim().to_ascii_lowercase().as_str() {
-        "sha256" | "sha-256" => Ok(hero_sphincs::HashAlg::Sha256),
-        "sha512" | "sha-512" => Ok(hero_sphincs::HashAlg::Sha512),
-        "shake256" | "shake-256" => Ok(hero_sphincs::HashAlg::Shake256),
-        other => Err(CliError::Usage(format!(
-            "unknown hash algorithm '{other}' (valid: {})",
+    hero_sphincs::HashAlg::from_label(label).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown hash algorithm '{}' (valid: {})",
+            label.trim().to_ascii_lowercase(),
             HASH_ALG_NAMES.join(", ")
-        ))),
-    }
+        ))
+    })
 }
 
 /// The canonical label for a hash algorithm (inverse of [`parse_alg`]);
 /// used by key files and CLI output.
 pub fn alg_label(alg: hero_sphincs::HashAlg) -> &'static str {
-    match alg {
-        hero_sphincs::HashAlg::Sha256 => "sha256",
-        hero_sphincs::HashAlg::Sha512 => "sha512",
-        hero_sphincs::HashAlg::Shake256 => "shake256",
-    }
+    alg.label()
 }
 
 /// Looks a device up by name, defaulting to the RTX 4090.

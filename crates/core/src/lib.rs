@@ -33,6 +33,9 @@
 //!   callers share one worker pool.
 //! * [`service`] — [`SignService`]: the adaptive micro-batching signing
 //!   server; many clients, one coalesced accelerator.
+//! * [`stats`] — the shared latency-percentile machinery (p50/p90/p99)
+//!   behind the CLI `throughput` command, `bench_server`, and the
+//!   server's metrics endpoint.
 //! * [`workload`] — exact hash-work censuses per kernel.
 //! * [`par`] — parallel maps over the persistent runtime.
 //!
@@ -85,6 +88,7 @@ pub mod plan;
 pub mod ptx;
 pub mod service;
 pub mod signer;
+pub mod stats;
 pub mod tuning;
 pub mod workload;
 
@@ -95,6 +99,7 @@ pub use plan::{PlanShape, PlanSummary};
 pub use ptx::{BranchSelection, KernelKind};
 pub use service::{ServiceConfig, ServiceError, ServiceStats, SignService, SignTicket};
 pub use signer::{ReferenceSigner, Signer};
+pub use stats::{LatencySummary, LatencyWindow};
 pub use tuning::{
     tune, tune_auto, tune_auto_cached, tune_auto_cached_at, tune_relax, tuning_cache_disk_path,
     tuning_cache_stats, FusionCandidate, TuningCacheStats, TuningOptions, TuningResult,

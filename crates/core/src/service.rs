@@ -395,6 +395,12 @@ impl SignService {
         Ok(SignTicket { state })
     }
 
+    /// Requests currently queued and not yet claimed by the batcher
+    /// (a live gauge for metrics surfaces; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("service queue").items.len()
+    }
+
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {

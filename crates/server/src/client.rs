@@ -1,0 +1,269 @@
+//! A blocking client for the hero-server wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! synchronously (write frame, read frame). The server pipelines across
+//! *connections*, not within one, so closed-loop load generators open
+//! one client per concurrent stream — exactly what `bench_server` and
+//! the CLI `remote-sign` command do.
+
+use crate::error::WireError;
+use crate::wire::{self, Frame, Op, Request, DEFAULT_MAX_FRAME};
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Failures issuing a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write, or mid-frame EOF).
+    Io(io::Error),
+    /// The server answered with a typed wire error.
+    Wire(WireError),
+    /// The server answered with something structurally unexpected
+    /// (mismatched request id, undecodable response, bad payload shape).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// The result of a remote key generation.
+#[derive(Clone, Debug)]
+pub struct KeygenReply {
+    /// Canonical name of the parameter set the key was generated under.
+    pub params: String,
+    /// Hash algorithm label.
+    pub alg: String,
+    /// Serialized public key (`pk_seed || pk_root`).
+    pub public_key: Vec<u8>,
+}
+
+/// A blocking connection to a hero-server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: u32,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Caps how large a *response* frame this client will accept
+    /// (defaults to [`DEFAULT_MAX_FRAME`]).
+    pub fn set_max_frame(&mut self, max_frame: u32) {
+        self.max_frame = max_frame;
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, tenant: &str, op: Op, payload: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            tenant: tenant.to_string(),
+            op,
+            payload,
+        };
+        wire::write_frame(&mut self.stream, &wire::encode_request(&req))?;
+        let body = match wire::read_frame(&mut self.stream, self.max_frame)? {
+            Frame::Body(body) => body,
+            Frame::Eof => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before answering",
+                )))
+            }
+            Frame::Oversized { declared } => {
+                return Err(ClientError::Protocol(format!(
+                    "response frame of {declared} bytes exceeds client max_frame {}",
+                    self.max_frame
+                )))
+            }
+        };
+        let resp = wire::decode_response(&body)
+            .map_err(|e| ClientError::Protocol(format!("undecodable response: {e}")))?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        resp.result.map_err(ClientError::Wire)
+    }
+
+    /// Signs one message under `tenant`'s key; returns the signature
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] carries the server's typed rejection
+    /// (unknown tenant, queue full, tenant busy, …).
+    pub fn sign(&mut self, tenant: &str, msg: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.call(tenant, Op::Sign, msg.to_vec())
+    }
+
+    /// Signs a batch of messages in one request; returns one signature
+    /// per message, in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sign`]; the whole batch shares one admission slot
+    /// and fails as a unit.
+    pub fn sign_batch(
+        &mut self,
+        tenant: &str,
+        msgs: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, ClientError> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(msgs.len() as u32).to_be_bytes());
+        for msg in msgs {
+            wire::put_bytes(&mut payload, msg);
+        }
+        let body = self.call(tenant, Op::SignBatch, payload)?;
+        let mut at = 0;
+        let count = wire::take_u32(&body, &mut at)
+            .map_err(|e| ClientError::Protocol(e.to_string()))? as usize;
+        if count != msgs.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch reply has {count} signatures for {} messages",
+                msgs.len()
+            )));
+        }
+        let mut sigs = Vec::with_capacity(count);
+        for _ in 0..count {
+            sigs.push(
+                wire::take_bytes(&body, &mut at)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?,
+            );
+        }
+        Ok(sigs)
+    }
+
+    /// Verifies a signature under `tenant`'s public key.
+    ///
+    /// Returns `Ok(true)` on a valid signature, `Ok(false)` when the
+    /// server rejects it as cryptographically invalid, and an error for
+    /// anything else (unknown tenant, malformed bytes, transport).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sign`] for non-verification failures.
+    pub fn verify(&mut self, tenant: &str, msg: &[u8], sig: &[u8]) -> Result<bool, ClientError> {
+        let mut payload = Vec::new();
+        wire::put_bytes(&mut payload, msg);
+        wire::put_bytes(&mut payload, sig);
+        match self.call(tenant, Op::Verify, payload) {
+            Ok(_) => Ok(true),
+            Err(ClientError::Wire(e)) if e.code == crate::error::ErrorCode::VerificationFailed => {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Generates (and registers) a key pair for a new tenant on the
+    /// server. `alg = None` uses the parameter set's preferred hash;
+    /// `seed = Some(_)` makes generation deterministic (tests only).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] with [`ErrorCode::TenantExists`] when the
+    /// tenant already holds a key, or `BadRequest` for bad labels/names.
+    ///
+    /// [`ErrorCode::TenantExists`]: crate::error::ErrorCode::TenantExists
+    pub fn keygen(
+        &mut self,
+        tenant: &str,
+        params_label: &str,
+        alg: Option<&str>,
+        seed: Option<u64>,
+    ) -> Result<KeygenReply, ClientError> {
+        let mut payload = Vec::new();
+        wire::put_str(&mut payload, params_label);
+        wire::put_str(&mut payload, alg.unwrap_or(""));
+        match seed {
+            Some(s) => {
+                payload.push(1);
+                payload.extend_from_slice(&s.to_be_bytes());
+            }
+            None => payload.push(0),
+        }
+        let body = self.call(tenant, Op::Keygen, payload)?;
+        let mut at = 0;
+        let params =
+            wire::take_str(&body, &mut at).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let alg =
+            wire::take_str(&body, &mut at).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let public_key =
+            wire::take_bytes(&body, &mut at).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(KeygenReply {
+            params,
+            alg,
+            public_key,
+        })
+    }
+
+    /// Fetches the server's plaintext metrics page in-protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] on transport or
+    /// framing failures.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let body = self.call("", Op::Stats, Vec::new())?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("stats page is not UTF-8".to_string()))
+    }
+}

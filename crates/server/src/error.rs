@@ -1,0 +1,334 @@
+//! Typed wire errors: every failure a server can report crosses the
+//! wire as a **stable numeric code** plus a human-readable message.
+//!
+//! The codes mirror the in-process error surface ([`HeroError`] from the
+//! engine, [`ServiceError`] from the micro-batching service) plus the
+//! protocol- and tenancy-level failures only a network front-end has
+//! (malformed frames, unknown tenants, admission rejections). Codes are
+//! part of the protocol contract: **they never change meaning and are
+//! never reused** — new failures get new codes. Clients match on
+//! [`ErrorCode`], not on message strings.
+
+use hero_sign::service::ServiceError;
+use hero_sign::HeroError;
+use std::fmt;
+
+/// Stable numeric error codes of wire protocol v1.
+///
+/// The discriminants are the on-wire `u16` values; see
+/// [`ErrorCode::from_u16`] for decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame body could not be parsed (truncated fields, bad
+    /// lengths, non-UTF-8 tenant).
+    Malformed = 1,
+    /// The frame declared a protocol version this server does not speak.
+    UnsupportedVersion = 2,
+    /// The opcode byte is not a known operation.
+    UnknownOpcode = 3,
+    /// The frame declared a length above the server's
+    /// [`crate::server::ServerConfig::max_frame`]. The body was
+    /// discarded; the connection stays usable.
+    OversizedFrame = 4,
+    /// No key is loaded for the tenant named in the request.
+    UnknownTenant = 5,
+    /// Per-tenant admission control rejected the request: the tenant is
+    /// already at its in-flight cap. Back off and retry.
+    TenantBusy = 6,
+    /// The tenant's bounded sign queue is full
+    /// ([`ServiceError::QueueFull`]). Back off and retry.
+    QueueFull = 7,
+    /// The server (or the tenant's service) is draining
+    /// ([`ServiceError::ShuttingDown`]); the request was not accepted.
+    ShuttingDown = 8,
+    /// An internal invariant broke ([`ServiceError::Internal`] or a
+    /// failure with no more specific code).
+    Internal = 9,
+    /// [`HeroError::InvalidParams`].
+    InvalidParams = 10,
+    /// [`HeroError::InvalidOptions`].
+    InvalidOptions = 11,
+    /// [`HeroError::Tuning`].
+    Tuning = 12,
+    /// [`HeroError::KeyMismatch`].
+    KeyMismatch = 13,
+    /// [`HeroError::BatchMismatch`].
+    BatchMismatch = 14,
+    /// A `verify` op ran and the signature did not verify
+    /// ([`hero_sphincs::sign::SignError::VerificationFailed`]).
+    VerificationFailed = 15,
+    /// Any other [`HeroError::Sphincs`] substrate error (signature
+    /// parsing, key reconstruction).
+    Sphincs = 16,
+    /// A tenant key file on disk was structurally invalid.
+    Keyfile = 17,
+    /// `keygen` for a tenant that already holds a key.
+    TenantExists = 18,
+    /// A structurally valid frame carried an unusable request (empty
+    /// tenant on a keyed op, unsafe tenant name, bad keygen labels).
+    BadRequest = 19,
+}
+
+impl ErrorCode {
+    /// Every code, in ascending wire order — the round-trip test and
+    /// docs iterate this.
+    pub const ALL: [ErrorCode; 19] = [
+        ErrorCode::Malformed,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::UnknownOpcode,
+        ErrorCode::OversizedFrame,
+        ErrorCode::UnknownTenant,
+        ErrorCode::TenantBusy,
+        ErrorCode::QueueFull,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+        ErrorCode::InvalidParams,
+        ErrorCode::InvalidOptions,
+        ErrorCode::Tuning,
+        ErrorCode::KeyMismatch,
+        ErrorCode::BatchMismatch,
+        ErrorCode::VerificationFailed,
+        ErrorCode::Sphincs,
+        ErrorCode::Keyfile,
+        ErrorCode::TenantExists,
+        ErrorCode::BadRequest,
+    ];
+
+    /// The on-wire `u16` value.
+    pub const fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes an on-wire value; `None` for unassigned codes (a client
+    /// talking to a newer server maps those to [`ErrorCode::Internal`]
+    /// rather than failing the connection).
+    pub const fn from_u16(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::OversizedFrame,
+            5 => ErrorCode::UnknownTenant,
+            6 => ErrorCode::TenantBusy,
+            7 => ErrorCode::QueueFull,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Internal,
+            10 => ErrorCode::InvalidParams,
+            11 => ErrorCode::InvalidOptions,
+            12 => ErrorCode::Tuning,
+            13 => ErrorCode::KeyMismatch,
+            14 => ErrorCode::BatchMismatch,
+            15 => ErrorCode::VerificationFailed,
+            16 => ErrorCode::Sphincs,
+            17 => ErrorCode::Keyfile,
+            18 => ErrorCode::TenantExists,
+            19 => ErrorCode::BadRequest,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should treat this as transient backpressure
+    /// (retry after backoff) rather than a hard failure.
+    pub const fn is_backpressure(self) -> bool {
+        matches!(self, ErrorCode::TenantBusy | ErrorCode::QueueFull)
+    }
+}
+
+/// A typed protocol error: stable [`ErrorCode`] + human-readable detail.
+///
+/// This is what rides in an error response frame and what the client
+/// library surfaces. Equality compares both fields; match on
+/// [`WireError::code`] for control flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// The stable numeric code.
+    pub code: ErrorCode,
+    /// Free-form detail for logs and humans; never part of the contract.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Decodes the on-wire `(code, message)` pair. Unassigned codes
+    /// (newer server than client) degrade to [`ErrorCode::Internal`]
+    /// with the original code noted in the message.
+    pub fn from_wire(code: u16, message: String) -> Self {
+        match ErrorCode::from_u16(code) {
+            Some(code) => Self { code, message },
+            None => Self {
+                code: ErrorCode::Internal,
+                message: format!("unassigned wire error code {code}: {message}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wire error {} ({:?}): {}",
+            self.code.as_u16(),
+            self.code,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<HeroError> for WireError {
+    fn from(e: HeroError) -> Self {
+        use hero_sphincs::sign::SignError;
+        let code = match &e {
+            HeroError::InvalidParams(_) => ErrorCode::InvalidParams,
+            HeroError::InvalidOptions(_) => ErrorCode::InvalidOptions,
+            HeroError::Tuning(_) => ErrorCode::Tuning,
+            HeroError::KeyMismatch(_) => ErrorCode::KeyMismatch,
+            HeroError::BatchMismatch { .. } => ErrorCode::BatchMismatch,
+            HeroError::Sphincs(SignError::VerificationFailed) => ErrorCode::VerificationFailed,
+            HeroError::Sphincs(_) => ErrorCode::Sphincs,
+            // HeroError is #[non_exhaustive]: future variants degrade to
+            // Internal rather than breaking the protocol mapping.
+            _ => ErrorCode::Internal,
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+impl From<ServiceError> for WireError {
+    fn from(e: ServiceError) -> Self {
+        match &e {
+            ServiceError::ShuttingDown => Self::new(ErrorCode::ShuttingDown, e.to_string()),
+            ServiceError::QueueFull => Self::new(ErrorCode::QueueFull, e.to_string()),
+            ServiceError::Engine(inner) => {
+                let mapped = WireError::from(inner.clone());
+                Self::new(mapped.code, e.to_string())
+            }
+            ServiceError::Internal(_) => Self::new(ErrorCode::Internal, e.to_string()),
+            // ServiceError is #[non_exhaustive] too.
+            _ => Self::new(ErrorCode::Internal, e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_sign::error::KeyMismatch;
+    use hero_sphincs::params::Params;
+    use hero_sphincs::sign::SignError;
+
+    #[test]
+    fn every_code_round_trips_and_is_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in ErrorCode::ALL {
+            let wire = code.as_u16();
+            assert_eq!(ErrorCode::from_u16(wire), Some(code), "{code:?}");
+            assert!(seen.insert(wire), "duplicate wire value {wire}");
+        }
+        // Codes are dense 1..=N (documented layout of protocol v1).
+        assert_eq!(
+            seen.iter().copied().collect::<Vec<_>>(),
+            (1..=ErrorCode::ALL.len() as u16).collect::<Vec<_>>()
+        );
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(ErrorCode::ALL.len() as u16 + 1), None);
+    }
+
+    #[test]
+    fn unassigned_codes_degrade_to_internal() {
+        let e = WireError::from_wire(60_000, "from the future".to_string());
+        assert_eq!(e.code, ErrorCode::Internal);
+        assert!(e.message.contains("60000"), "{e}");
+    }
+
+    #[test]
+    fn hero_error_mapping_is_exhaustive() {
+        // One representative per HeroError variant; if a new variant
+        // appears, extend this table (and assign it a code).
+        let cases: Vec<(HeroError, ErrorCode)> = vec![
+            (
+                HeroError::InvalidParams("d".into()),
+                ErrorCode::InvalidParams,
+            ),
+            (
+                HeroError::InvalidOptions("w".into()),
+                ErrorCode::InvalidOptions,
+            ),
+            (
+                HeroError::Tuning(hero_sign::tuning::TuneError::NoCandidate),
+                ErrorCode::Tuning,
+            ),
+            (
+                KeyMismatch {
+                    engine: Params::sphincs_128f(),
+                    key: Params::sphincs_192f(),
+                }
+                .into_error(),
+                ErrorCode::KeyMismatch,
+            ),
+            (
+                HeroError::BatchMismatch {
+                    messages: 1,
+                    signatures: 2,
+                },
+                ErrorCode::BatchMismatch,
+            ),
+            (
+                HeroError::Sphincs(SignError::VerificationFailed),
+                ErrorCode::VerificationFailed,
+            ),
+            (
+                HeroError::Sphincs(SignError::MalformedSignature("short".into())),
+                ErrorCode::Sphincs,
+            ),
+        ];
+        for (err, code) in cases {
+            let wire = WireError::from(err.clone());
+            assert_eq!(wire.code, code, "{err:?}");
+            // Message survives the mapping and the wire round trip.
+            let back = WireError::from_wire(wire.code.as_u16(), wire.message.clone());
+            assert_eq!(back, wire);
+        }
+    }
+
+    #[test]
+    fn service_error_mapping_is_exhaustive() {
+        let cases: Vec<(ServiceError, ErrorCode)> = vec![
+            (ServiceError::ShuttingDown, ErrorCode::ShuttingDown),
+            (ServiceError::QueueFull, ErrorCode::QueueFull),
+            (
+                ServiceError::Engine(HeroError::InvalidOptions("x".into())),
+                ErrorCode::InvalidOptions,
+            ),
+            (
+                ServiceError::Engine(HeroError::Sphincs(SignError::VerificationFailed)),
+                ErrorCode::VerificationFailed,
+            ),
+            (
+                ServiceError::Internal("batch panicked".into()),
+                ErrorCode::Internal,
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(WireError::from(err.clone()).code, code, "{err:?}");
+        }
+    }
+
+    #[test]
+    fn backpressure_codes_are_flagged() {
+        for code in ErrorCode::ALL {
+            let expect = matches!(code, ErrorCode::TenantBusy | ErrorCode::QueueFull);
+            assert_eq!(code.is_backpressure(), expect, "{code:?}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The multi-tenant key store: tenant name → key pair, behind sharded
+//! reader-writer locks.
+//!
+//! Sharding keeps key lookups off a single global lock: the tenant name
+//! hashes (FNV-1a — the same cheap hash the tuning cache uses for file
+//! names) to one of [`ShardedMap::SHARDS`] independent `RwLock`s, so
+//! concurrent connections for different tenants never contend, and even
+//! same-shard readers share the read lock. Writes (key loading, keygen)
+//! are rare and touch one shard.
+//!
+//! Keys come from the CLI's key-file format ([`crate::keyfile`]), SHA
+//! and SHAKE shapes alike: [`KeyStore::load_dir`] ingests every `*.key`
+//! file in a directory, tenant = file stem.
+
+use crate::error::{ErrorCode, WireError};
+use crate::keyfile;
+use hero_sphincs::sign::{SigningKey, VerifyingKey};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// One tenant's key material.
+#[derive(Clone, Debug)]
+pub struct TenantKey {
+    /// The signing key (drives the tenant's `SignService`).
+    pub sk: SigningKey,
+    /// The matching verifying key (drives the `verify` op).
+    pub vk: VerifyingKey,
+}
+
+/// A string-keyed map split across independently locked shards.
+///
+/// Generic over the value so the server reuses it for both the key
+/// store and the per-tenant runtime state (service + admission
+/// counters).
+#[derive(Debug)]
+pub struct ShardedMap<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// Shard count: enough that a hot accept loop does not serialize on
+    /// one lock, small enough to stay cache-friendly.
+    pub const SHARDS: usize = 16;
+
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..Self::SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+        // FNV-1a over the tenant name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % Self::SHARDS as u64) as usize]
+    }
+
+    /// Clones the value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key)
+            .read()
+            .expect("shard lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` unless `key` is already present; returns whether
+    /// the insert happened.
+    pub fn insert_new(&self, key: &str, value: V) -> bool {
+        let mut shard = self.shard(key).write().expect("shard lock");
+        if shard.contains_key(key) {
+            return false;
+        }
+        shard.insert(key.to_string(), value);
+        true
+    }
+
+    /// Clones the value for `key`, inserting `make()` first when absent.
+    pub fn get_or_insert_with(&self, key: &str, make: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let mut shard = self.shard(key).write().expect("shard lock");
+        shard.entry(key.to_string()).or_insert_with(make).clone()
+    }
+
+    /// All keys, sorted (crosses every shard; for listings and metrics,
+    /// not hot paths).
+    pub fn keys(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All `(key, value)` pairs, sorted by key.
+    pub fn entries(&self) -> Vec<(String, V)> {
+        let mut out: Vec<(String, V)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Whether no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Clone> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The tenant key store the server dispatches against.
+#[derive(Debug, Default)]
+pub struct KeyStore {
+    keys: ShardedMap<Arc<TenantKey>>,
+}
+
+impl KeyStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a key pair for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::TenantExists`] when the tenant already holds a key —
+    /// keys are never silently replaced over the network.
+    pub fn insert(
+        &self,
+        tenant: &str,
+        sk: SigningKey,
+        vk: VerifyingKey,
+    ) -> Result<Arc<TenantKey>, WireError> {
+        let entry = Arc::new(TenantKey { sk, vk });
+        if self.keys.insert_new(tenant, Arc::clone(&entry)) {
+            Ok(entry)
+        } else {
+            Err(WireError::new(
+                ErrorCode::TenantExists,
+                format!("tenant '{tenant}' already holds a key"),
+            ))
+        }
+    }
+
+    /// Looks a tenant's key up.
+    pub fn get(&self, tenant: &str) -> Option<Arc<TenantKey>> {
+        self.keys.get(tenant)
+    }
+
+    /// Loads every `*.key` file in `dir` (tenant = file stem), SHA and
+    /// SHAKE key files alike. Returns the tenants loaded, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Keyfile`] naming the offending file on I/O or parse
+    /// failure, or on a duplicate tenant.
+    pub fn load_dir(&self, dir: &Path) -> Result<Vec<String>, WireError> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| WireError::new(ErrorCode::Keyfile, format!("{}: {e}", dir.display())))?;
+        let mut loaded = Vec::new();
+        for entry in entries {
+            let path = entry
+                .map_err(|e| WireError::new(ErrorCode::Keyfile, format!("{}: {e}", dir.display())))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("key") {
+                continue;
+            }
+            let Some(tenant) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                WireError::new(ErrorCode::Keyfile, format!("{}: {e}", path.display()))
+            })?;
+            let (sk, vk) = keyfile::decode(&text).map_err(|e| {
+                WireError::new(ErrorCode::Keyfile, format!("{}: {e}", path.display()))
+            })?;
+            self.insert(tenant, sk, vk)?;
+            loaded.push(tenant.to_string());
+        }
+        loaded.sort();
+        Ok(loaded)
+    }
+
+    /// All registered tenants, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.keys.keys()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the store holds no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_sphincs::hash::HashAlg;
+    use hero_sphincs::params::Params;
+
+    fn tiny_key(seed: u8) -> (SigningKey, VerifyingKey) {
+        let mut p = Params::sphincs_128f();
+        p.h = 4;
+        p.d = 2;
+        p.log_t = 3;
+        p.k = 4;
+        hero_sphincs::keygen_from_seeds_with_alg(
+            p,
+            HashAlg::Sha256,
+            vec![seed; p.n],
+            vec![seed.wrapping_add(1); p.n],
+            vec![seed.wrapping_add(2); p.n],
+        )
+    }
+
+    #[test]
+    fn insert_get_and_duplicate_rejection() {
+        let store = KeyStore::new();
+        let (sk, vk) = tiny_key(1);
+        store.insert("alice", sk.clone(), vk).unwrap();
+        assert_eq!(store.get("alice").unwrap().sk.sk_seed(), sk.sk_seed());
+        assert!(store.get("bob").is_none());
+        let (sk2, vk2) = tiny_key(2);
+        let err = store.insert("alice", sk2, vk2).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TenantExists);
+        assert_eq!(store.tenants(), vec!["alice".to_string()]);
+    }
+
+    #[test]
+    fn sharded_map_spreads_and_lists() {
+        let map: ShardedMap<usize> = ShardedMap::new();
+        for i in 0..100 {
+            assert!(map.insert_new(&format!("tenant-{i}"), i));
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get("tenant-42"), Some(42));
+        assert_eq!(map.keys().len(), 100);
+        assert_eq!(map.get_or_insert_with("tenant-42", || 999), 42);
+        assert_eq!(map.get_or_insert_with("fresh", || 7), 7);
+        let entries = map.entries();
+        assert_eq!(entries.len(), 101);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn load_dir_ingests_sha_and_shake_keyfiles() {
+        let dir = std::env::temp_dir().join(format!("hero-keystore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sha = Params::sphincs_128f();
+        let shake = Params::shake_128f();
+        std::fs::write(
+            dir.join("val-a.key"),
+            keyfile::encode(&sha, HashAlg::Sha256, &[1; 16], &[2; 16], &[3; 16]),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("val-b.key"),
+            keyfile::encode(&shake, HashAlg::Shake256, &[4; 16], &[5; 16], &[6; 16]),
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let store = KeyStore::new();
+        let loaded = store.load_dir(&dir).unwrap();
+        assert_eq!(loaded, vec!["val-a".to_string(), "val-b".to_string()]);
+        assert_eq!(store.get("val-a").unwrap().sk.alg(), HashAlg::Sha256);
+        assert_eq!(store.get("val-b").unwrap().sk.alg(), HashAlg::Shake256);
+        assert_eq!(
+            store.get("val-b").unwrap().sk.params().name(),
+            "SPHINCS+-SHAKE-128f"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_reports_bad_files_typed() {
+        let dir = std::env::temp_dir().join(format!("hero-keystore-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.key"), "not a key file").unwrap();
+        let store = KeyStore::new();
+        let err = store.load_dir(&dir).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Keyfile);
+        assert!(err.message.contains("broken.key"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

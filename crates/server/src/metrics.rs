@@ -1,0 +1,199 @@
+//! Server metrics: global and per-tenant counters plus the shared
+//! latency-percentile machinery, rendered as a plaintext page.
+//!
+//! The page is deliberately Prometheus-shaped (`name{label="…"} value`
+//! lines) without claiming full exposition-format compliance — it is
+//! readable with `nc`/`curl`, parseable with `grep`, and served both by
+//! the [`crate::wire::Op::Stats`] op and the standalone metrics
+//! listener.
+
+use hero_sign::stats::{LatencySummary, LatencyWindow};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-tenant request counters. All relaxed atomics: metrics are
+/// monotonic gauges, not synchronization.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests accepted for this tenant (all ops).
+    pub requests: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests rejected with a typed error (admission, queue-full,
+    /// engine, verification — anything non-zero on the wire).
+    pub rejected: AtomicU64,
+}
+
+/// Whole-server metrics state.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Connections the accept loop has handed to handlers.
+    pub connections: AtomicU64,
+    /// Frames accepted (fully read) across all connections.
+    pub requests: AtomicU64,
+    /// Responses carrying a typed error.
+    pub rejected: AtomicU64,
+    /// Sign/sign-batch latency samples (per message, not per batch).
+    latency: Mutex<LatencyWindow>,
+}
+
+impl Metrics {
+    /// A metrics sink keeping the last `latency_window` sign latencies.
+    pub fn new(latency_window: usize) -> Self {
+        Self {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency: Mutex::new(LatencyWindow::new(latency_window)),
+        }
+    }
+
+    /// Records one end-to-end sign latency sample.
+    pub fn record_latency(&self, sample: std::time::Duration) {
+        self.latency.lock().expect("latency window").record(sample);
+    }
+
+    /// Current latency summary, if any samples exist.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        self.latency.lock().expect("latency window").summary()
+    }
+}
+
+/// One tenant's row in the rendered page.
+pub struct TenantRow {
+    /// Tenant name.
+    pub tenant: String,
+    /// Snapshot of the tenant's counters.
+    pub requests: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Rejected requests.
+    pub rejected: u64,
+    /// Requests currently admitted and not yet answered.
+    pub inflight: u64,
+    /// Depth of the tenant's sign-service queue (pending, uncoalesced).
+    pub queue_depth: u64,
+}
+
+/// Renders the plaintext metrics page.
+pub fn render(metrics: &Metrics, tenants: &[TenantRow], draining: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "hero_server_up {}", if draining { 0 } else { 1 });
+    let _ = writeln!(
+        out,
+        "hero_server_connections_total {}",
+        metrics.connections.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "hero_server_requests_total {}",
+        metrics.requests.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "hero_server_requests_rejected_total {}",
+        metrics.rejected.load(Ordering::Relaxed)
+    );
+    match metrics.latency_summary() {
+        Some(s) => {
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                let _ = writeln!(
+                    out,
+                    "hero_server_sign_latency_us{{quantile=\"{q}\"}} {:.1}",
+                    v.as_secs_f64() * 1e6
+                );
+            }
+            let _ = writeln!(
+                out,
+                "hero_server_sign_latency_us{{quantile=\"mean\"}} {:.1}",
+                s.mean.as_secs_f64() * 1e6
+            );
+            let _ = writeln!(out, "hero_server_sign_latency_samples {}", s.count);
+        }
+        None => {
+            let _ = writeln!(out, "hero_server_sign_latency_samples 0");
+        }
+    }
+    for row in tenants {
+        let t = &row.tenant;
+        let _ = writeln!(
+            out,
+            "hero_server_tenant_requests_total{{tenant=\"{t}\"}} {}",
+            row.requests
+        );
+        let _ = writeln!(
+            out,
+            "hero_server_tenant_completed_total{{tenant=\"{t}\"}} {}",
+            row.completed
+        );
+        let _ = writeln!(
+            out,
+            "hero_server_tenant_rejected_total{{tenant=\"{t}\"}} {}",
+            row.rejected
+        );
+        let _ = writeln!(
+            out,
+            "hero_server_tenant_inflight{{tenant=\"{t}\"}} {}",
+            row.inflight
+        );
+        let _ = writeln!(
+            out,
+            "hero_server_queue_depth{{tenant=\"{t}\"}} {}",
+            row.queue_depth
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn page_renders_counters_and_percentiles() {
+        let m = Metrics::new(64);
+        m.connections.fetch_add(3, Ordering::Relaxed);
+        m.requests.fetch_add(10, Ordering::Relaxed);
+        m.rejected.fetch_add(2, Ordering::Relaxed);
+        for us in [100u64, 200, 300, 400] {
+            m.record_latency(Duration::from_micros(us));
+        }
+        let rows = vec![TenantRow {
+            tenant: "validator-1".into(),
+            requests: 6,
+            completed: 5,
+            rejected: 1,
+            inflight: 2,
+            queue_depth: 3,
+        }];
+        let page = render(&m, &rows, false);
+        assert!(page.contains("hero_server_up 1"), "{page}");
+        assert!(page.contains("hero_server_requests_total 10"), "{page}");
+        assert!(
+            page.contains("hero_server_sign_latency_us{quantile=\"0.99\"} 400.0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_server_queue_depth{tenant=\"validator-1\"} 3"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_server_tenant_rejected_total{tenant=\"validator-1\"} 1"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    fn quiet_server_renders_without_samples() {
+        let m = Metrics::new(8);
+        let page = render(&m, &[], true);
+        assert!(page.contains("hero_server_up 0"), "{page}");
+        assert!(
+            page.contains("hero_server_sign_latency_samples 0"),
+            "{page}"
+        );
+        assert!(!page.contains("quantile"), "{page}");
+    }
+}

@@ -1,0 +1,787 @@
+//! The TCP server: accept loop, per-connection handlers, per-tenant
+//! services with admission control, and graceful drain.
+//!
+//! ## How the listener maps onto the `SignService`/`Executor` stack
+//!
+//! Every *tenant* gets its own [`SignService`] (own bounded queue, own
+//! micro-batcher thread) started lazily on the tenant's first request.
+//! All services share one engine per parameter set — and all engines
+//! share one persistent [`hero_task_graph::Executor`] worker
+//! pool — so coalesced batches from different tenants interleave on the
+//! same workers the way streams share a device. Fairness falls out of
+//! the layering:
+//!
+//! * **isolation** — a hot tenant fills *its own* bounded queue and is
+//!   rejected with [`ErrorCode::QueueFull`]; other tenants' queues are
+//!   untouched;
+//! * **admission control** — a per-tenant in-flight cap
+//!   ([`ServerConfig::per_tenant_inflight`]) bounds how many of a
+//!   tenant's requests may be queued or signing at once, answered with
+//!   [`ErrorCode::TenantBusy`] past the cap;
+//! * **fair dequeueing** — the shared executor's submission-aware ready
+//!   queue interleaves whole batches from different tenants' batchers,
+//!   so no tenant's stage graphs monopolize the workers.
+//!
+//! ## Graceful drain
+//!
+//! [`Server::shutdown`] closes the *listener first* (no new
+//! connections), then read-shuts every open connection: a handler
+//! blocked between frames sees EOF and exits; a handler mid-request
+//! finishes signing and writes its response before noticing. Finally
+//! every tenant service drains its accepted queue. The invariant —
+//! every accepted request is answered exactly once — is the
+//! service-layer drain guarantee extended over the wire.
+
+use crate::error::{ErrorCode, WireError};
+use crate::keyfile;
+use crate::keystore::{KeyStore, ShardedMap, TenantKey};
+use crate::metrics::{Metrics, TenantCounters, TenantRow};
+use crate::wire::{self, Frame, Op, Request, Response, DEFAULT_MAX_FRAME};
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::service::{ServiceConfig, SignService};
+use hero_sign::{HeroError, HeroSigner, Signer};
+use hero_sphincs::params::Params;
+use hero_task_graph::Executor;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use std::fmt;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Builds (or reuses) a signing backend for a parameter set. The server
+/// is multi-tenant across parameter sets, so engines are created on
+/// demand, one per distinct [`Params`] among the loaded keys.
+pub type SignerFactory =
+    dyn Fn(Params) -> Result<Arc<dyn Signer + Send + Sync>, HeroError> + Send + Sync;
+
+/// A [`SignerFactory`] building [`HeroSigner`] engines on the modeled
+/// RTX 4090, all sharing one persistent worker pool (`workers` threads;
+/// `None` = the `HERO_WORKERS`-aware default).
+///
+/// # Errors
+///
+/// [`HeroError::InvalidOptions`] for zero workers.
+pub fn hero_engine_factory(workers: Option<usize>) -> Result<Arc<SignerFactory>, HeroError> {
+    let runtime = match workers {
+        Some(w) => Arc::new(
+            Executor::new(w)
+                .map_err(|_| HeroError::InvalidOptions("workers must be >= 1".to_string()))?,
+        ),
+        None => Arc::clone(hero_sign::par::shared_executor()),
+    };
+    Ok(Arc::new(move |params: Params| {
+        let engine = HeroSigner::builder(rtx_4090(), params)
+            .runtime(Arc::clone(&runtime))
+            .build()?;
+        Ok(Arc::new(engine) as Arc<dyn Signer + Send + Sync>)
+    }))
+}
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address for the request listener (`127.0.0.1:0` = any free
+    /// port; read the bound address from [`Server::local_addr`]).
+    pub addr: String,
+    /// Bind address for the plaintext metrics listener; `None` disables
+    /// it (the [`Op::Stats`] op still serves the same page in-protocol).
+    pub metrics_addr: Option<String>,
+    /// Largest accepted frame body; larger declared lengths are
+    /// discarded and answered with [`ErrorCode::OversizedFrame`].
+    pub max_frame: u32,
+    /// Per-tenant micro-batcher configuration.
+    pub service: ServiceConfig,
+    /// Per-tenant admission cap: requests admitted (queued or signing)
+    /// at once before [`ErrorCode::TenantBusy`].
+    pub per_tenant_inflight: usize,
+    /// Latency samples the metrics reservoir keeps.
+    pub latency_window: usize,
+    /// Where `keygen` persists new tenant key files (`<tenant>.key`);
+    /// `None` keeps generated keys in memory only.
+    pub keys_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            metrics_addr: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            service: ServiceConfig::default(),
+            per_tenant_inflight: 256,
+            latency_window: 4096,
+            keys_dir: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Checks the configuration for unusable values.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), HeroError> {
+        self.service.validate()?;
+        if self.per_tenant_inflight == 0 {
+            return Err(HeroError::InvalidOptions(
+                "per_tenant_inflight must be >= 1".to_string(),
+            ));
+        }
+        if self.max_frame < wire::REQUEST_HEADER_LEN as u32 {
+            return Err(HeroError::InvalidOptions(format!(
+                "max_frame must be >= {} (one request header)",
+                wire::REQUEST_HEADER_LEN
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Failures starting a server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listener could not bind.
+    Bind(io::Error),
+    /// The configuration failed validation.
+    Config(HeroError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Bind(e) => write!(f, "server bind: {e}"),
+            ServerError::Config(e) => write!(f, "server config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Bind(e) => Some(e),
+            ServerError::Config(e) => Some(e),
+        }
+    }
+}
+
+/// One tenant's live runtime state: its service, admission gauge, and
+/// counters. Created on the tenant's first keyed request.
+struct TenantState {
+    service: SignService,
+    inflight: AtomicU64,
+    counters: TenantCounters,
+}
+
+struct ServerShared {
+    factory: Arc<SignerFactory>,
+    keystore: KeyStore,
+    config: ServerConfig,
+    /// Engines by parameter set (distinct shapes among tenant keys).
+    engines: ShardedMap<Arc<dyn Signer + Send + Sync>>,
+    /// Live per-tenant state (service started on first request).
+    tenants: ShardedMap<Arc<TenantState>>,
+    metrics: Metrics,
+    draining: AtomicBool,
+    /// Read-halves of open connections, for unblocking handlers at
+    /// drain time.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_id: AtomicU64,
+}
+
+impl ServerShared {
+    fn engine_for(&self, params: Params) -> Result<Arc<dyn Signer + Send + Sync>, WireError> {
+        if let Some(engine) = self.engines.get(params.name()) {
+            return Ok(engine);
+        }
+        // Built outside the shard lock (engine construction runs the
+        // tuning search); a racing duplicate is dropped harmlessly.
+        let engine = (self.factory)(params).map_err(WireError::from)?;
+        self.engines.insert_new(params.name(), Arc::clone(&engine));
+        Ok(self.engines.get(params.name()).unwrap_or(engine))
+    }
+
+    fn tenant_state(&self, tenant: &str, key: &TenantKey) -> Result<Arc<TenantState>, WireError> {
+        if let Some(state) = self.tenants.get(tenant) {
+            return Ok(state);
+        }
+        let engine = self.engine_for(*key.sk.params())?;
+        // Start the service outside the shard lock too; on a race the
+        // loser's service drops (drains empty) and the winner is used.
+        let service = SignService::start(engine, key.sk.clone(), self.config.service)
+            .map_err(WireError::from)?;
+        let fresh = Arc::new(TenantState {
+            service,
+            inflight: AtomicU64::new(0),
+            counters: TenantCounters::default(),
+        });
+        Ok(self.tenants.get_or_insert_with(tenant, || fresh))
+    }
+
+    fn metrics_page(&self) -> String {
+        let rows: Vec<TenantRow> = self
+            .tenants
+            .entries()
+            .into_iter()
+            .map(|(tenant, state)| TenantRow {
+                tenant,
+                requests: state.counters.requests.load(Ordering::Relaxed),
+                completed: state.counters.completed.load(Ordering::Relaxed),
+                rejected: state.counters.rejected.load(Ordering::Relaxed),
+                inflight: state.inflight.load(Ordering::Relaxed),
+                queue_depth: state.service.queue_depth() as u64,
+            })
+            .collect();
+        crate::metrics::render(&self.metrics, &rows, self.draining.load(Ordering::Relaxed))
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// drains gracefully.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    metrics_accept: Mutex<Option<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("metrics_addr", &self.metrics_addr)
+            .field("tenants", &self.shared.keystore.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listeners and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] on invalid configuration,
+    /// [`ServerError::Bind`] when a listener cannot bind.
+    pub fn start(
+        factory: Arc<SignerFactory>,
+        keystore: KeyStore,
+        config: ServerConfig,
+    ) -> Result<Self, ServerError> {
+        config.validate().map_err(ServerError::Config)?;
+        let listener = TcpListener::bind(&config.addr).map_err(ServerError::Bind)?;
+        let local_addr = listener.local_addr().map_err(ServerError::Bind)?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr).map_err(ServerError::Bind)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr().map_err(ServerError::Bind)?),
+            None => None,
+        };
+
+        let shared = Arc::new(ServerShared {
+            factory,
+            keystore,
+            metrics: Metrics::new(config.latency_window),
+            config,
+            engines: ShardedMap::new(),
+            tenants: ShardedMap::new(),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("hero-server-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .expect("spawn accept thread")
+        };
+        let metrics_accept = metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hero-server-metrics".to_string())
+                .spawn(move || metrics_loop(&listener, &shared))
+                .expect("spawn metrics thread")
+        });
+
+        Ok(Self {
+            shared,
+            local_addr,
+            metrics_addr,
+            accept: Mutex::new(Some(accept)),
+            metrics_accept: Mutex::new(metrics_accept),
+            handlers,
+        })
+    }
+
+    /// The request listener's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics listener's bound address, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The tenants currently loaded.
+    pub fn tenants(&self) -> Vec<String> {
+        self.shared.keystore.tenants()
+    }
+
+    /// The current metrics page (the same text the `stats` op and the
+    /// metrics listener serve).
+    pub fn metrics_page(&self) -> String {
+        self.shared.metrics_page()
+    }
+
+    /// Graceful drain: stops accepting (listener closed first), unblocks
+    /// idle connections, lets in-flight requests finish and answer, then
+    /// drains every tenant service. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            // A concurrent/second shutdown still joins below (the Mutex
+            // serializes), so both callers return only when drained.
+        }
+        // 1. Unblock the accept loops: they check `draining` after every
+        //    accept, so a self-connection makes them exit and close the
+        //    listeners.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.accept.lock().expect("accept handle").take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_accept.lock().expect("metrics handle").take() {
+            let _ = h.join();
+        }
+        // 2. Read-shutdown every open connection: handlers blocked
+        //    between frames see EOF; handlers mid-request answer first
+        //    (writes still work), then see EOF.
+        for (_, stream) in self.shared.conns.lock().expect("conn registry").iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // 3. Join the handlers: after this, no request is in flight.
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+        // 4. Drain tenant services (answers anything still queued).
+        for (_, state) in self.shared.tenants.entries() {
+            state.service.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // The drain wake-up connection (or a late client): the
+            // listener closes now, the connection is dropped unanswered
+            // (it carried no accepted request).
+            return;
+        }
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conn registry")
+                .push((conn_id, read_half));
+        }
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("hero-server-conn-{conn_id}"))
+                .spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared
+                        .conns
+                        .lock()
+                        .expect("conn registry")
+                        .retain(|(id, _)| *id != conn_id);
+                })
+                .expect("spawn connection handler")
+        };
+        let mut registry = handlers.lock().expect("handler registry");
+        // Reap finished handlers so a long-lived server does not
+        // accumulate handles.
+        let mut i = 0;
+        while i < registry.len() {
+            if registry[i].is_finished() {
+                let _ = registry.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        registry.push(handle);
+    }
+}
+
+fn metrics_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // Plaintext push-on-connect: write the page, close. `curl` and
+        // `nc` both render it; no HTTP framing to keep std-only simple.
+        let page = shared.metrics_page();
+        let mut stream = stream;
+        let _ = io::Write::write_all(&mut stream, page.as_bytes());
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    loop {
+        let body = match wire::read_frame(&mut stream, shared.config.max_frame) {
+            Ok(Frame::Body(body)) => body,
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized { declared }) => {
+                // The frame was discarded in sync; answer typed and keep
+                // serving this connection.
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let resp = Response {
+                    id: 0,
+                    result: Err(WireError::new(
+                        ErrorCode::OversizedFrame,
+                        format!(
+                            "frame of {declared} bytes exceeds max_frame {}",
+                            shared.config.max_frame
+                        ),
+                    )),
+                };
+                if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Truncated frame or transport error: nothing complete was
+            // accepted, nothing to answer.
+            Err(_) => return,
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match wire::decode_request(&body) {
+            Ok(req) => {
+                let id = req.id;
+                let result = dispatch(shared, req);
+                Response { id, result }
+            }
+            Err(e) => Response {
+                id: wire::peek_request_id(&body),
+                result: Err(e),
+            },
+        };
+        if resp.result.is_err() {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request.
+fn dispatch(shared: &Arc<ServerShared>, req: Request) -> Result<Vec<u8>, WireError> {
+    // A request read after drain began is answered (exactly once) with
+    // the typed drain error rather than being dropped on the floor.
+    if shared.draining.load(Ordering::SeqCst) && req.op != Op::Stats {
+        return Err(WireError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    match req.op {
+        Op::Stats => Ok(shared.metrics_page().into_bytes()),
+        Op::Keygen => op_keygen(shared, &req),
+        Op::Sign | Op::SignBatch | Op::Verify => {
+            if req.tenant.is_empty() {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "this op requires a tenant",
+                ));
+            }
+            let key = shared.keystore.get(&req.tenant).ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::UnknownTenant,
+                    format!("no key loaded for tenant '{}'", req.tenant),
+                )
+            })?;
+            let state = shared.tenant_state(&req.tenant, &key)?;
+            state.counters.requests.fetch_add(1, Ordering::Relaxed);
+            // Admission control: bound this tenant's concurrently
+            // admitted requests.
+            let admitted = state.inflight.fetch_add(1, Ordering::AcqRel);
+            if admitted >= shared.config.per_tenant_inflight as u64 {
+                state.inflight.fetch_sub(1, Ordering::AcqRel);
+                state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(WireError::new(
+                    ErrorCode::TenantBusy,
+                    format!(
+                        "tenant '{}' is at its in-flight cap ({})",
+                        req.tenant, shared.config.per_tenant_inflight
+                    ),
+                ));
+            }
+            let result = match req.op {
+                Op::Sign => op_sign(shared, &state, &key, &req.payload),
+                Op::SignBatch => op_sign_batch(shared, &state, &key, &req.payload),
+                Op::Verify => op_verify(shared, &key, &req.payload),
+                _ => unreachable!("matched above"),
+            };
+            state.inflight.fetch_sub(1, Ordering::AcqRel);
+            match &result {
+                Ok(_) => state.counters.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => state.counters.rejected.fetch_add(1, Ordering::Relaxed),
+            };
+            result
+        }
+    }
+}
+
+fn op_sign(
+    shared: &Arc<ServerShared>,
+    state: &TenantState,
+    key: &TenantKey,
+    payload: &[u8],
+) -> Result<Vec<u8>, WireError> {
+    let begin = Instant::now();
+    // Overload is a typed rejection, not a stall: try_submit surfaces a
+    // full queue as QueueFull instead of blocking the connection.
+    let ticket = state
+        .service
+        .try_submit(payload.to_vec())
+        .map_err(WireError::from)?;
+    let sig = ticket.wait().map_err(WireError::from)?;
+    shared.metrics.record_latency(begin.elapsed());
+    Ok(sig.to_bytes(key.sk.params()))
+}
+
+fn op_sign_batch(
+    shared: &Arc<ServerShared>,
+    state: &TenantState,
+    key: &TenantKey,
+    payload: &[u8],
+) -> Result<Vec<u8>, WireError> {
+    let mut at = 0;
+    let count = wire::take_u32(payload, &mut at)? as usize;
+    // One admission slot covers the whole batch, but queue capacity is
+    // still per message: submit all, then wait all.
+    let mut msgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        msgs.push(wire::take_bytes(payload, &mut at)?);
+    }
+    let begin = Instant::now();
+    let mut tickets = Vec::with_capacity(count);
+    for msg in msgs {
+        tickets.push(state.service.try_submit(msg).map_err(WireError::from)?);
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&(count as u32).to_be_bytes());
+    for ticket in tickets {
+        let sig = ticket.wait().map_err(WireError::from)?;
+        wire::put_bytes(&mut out, &sig.to_bytes(key.sk.params()));
+    }
+    let elapsed = begin.elapsed();
+    // Record per-message latency so percentiles stay comparable between
+    // sign and sign-batch traffic.
+    if count > 0 {
+        let per_msg = elapsed / count as u32;
+        for _ in 0..count {
+            shared.metrics.record_latency(per_msg);
+        }
+    }
+    Ok(out)
+}
+
+fn op_verify(
+    shared: &Arc<ServerShared>,
+    key: &TenantKey,
+    payload: &[u8],
+) -> Result<Vec<u8>, WireError> {
+    let mut at = 0;
+    let msg = wire::take_bytes(payload, &mut at)?;
+    let sig_bytes = wire::take_bytes(payload, &mut at)?;
+    let params = key.vk.params();
+    let sig = hero_sphincs::Signature::from_bytes(params, &sig_bytes)
+        .map_err(|e| WireError::from(HeroError::from(e)))?;
+    let engine = shared.engine_for(*params)?;
+    engine
+        .verify(&key.vk, &msg, &sig)
+        .map_err(WireError::from)?;
+    Ok(Vec::new())
+}
+
+fn op_keygen(shared: &Arc<ServerShared>, req: &Request) -> Result<Vec<u8>, WireError> {
+    let tenant = &req.tenant;
+    if !valid_tenant_name(tenant) {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "tenant names are 1-128 chars of [A-Za-z0-9._-], not starting with '.'",
+        ));
+    }
+    let payload = &req.payload;
+    let mut at = 0;
+    let params_label = wire::take_str(payload, &mut at)?;
+    let alg_label = wire::take_str(payload, &mut at)?;
+    let params = Params::from_label(&params_label).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("unknown parameter set '{params_label}'"),
+        )
+    })?;
+    let alg = if alg_label.is_empty() {
+        params.preferred_alg()
+    } else {
+        hero_sphincs::HashAlg::from_label(&alg_label).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("unknown hash algorithm '{alg_label}'"),
+            )
+        })?
+    };
+    let seed = match payload.get(at) {
+        Some(1) => {
+            at += 1;
+            let end = at
+                .checked_add(8)
+                .filter(|&e| e <= payload.len())
+                .ok_or_else(|| WireError::new(ErrorCode::Malformed, "truncated keygen seed"))?;
+            Some(u64::from_be_bytes(
+                payload[at..end].try_into().expect("sized"),
+            ))
+        }
+        Some(0) => None,
+        _ => {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                "keygen payload missing seed flag",
+            ))
+        }
+    };
+    let mut rng = match seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::from_entropy(),
+    };
+    let (sk, vk) = hero_sphincs::keygen_with_alg(params, alg, &mut rng)
+        .map_err(|e| WireError::from(HeroError::from(e)))?;
+
+    // Persist before publishing: a key that cannot be stored durably is
+    // not handed out.
+    if let Some(dir) = &shared.config.keys_dir {
+        let text = keyfile::encode(&params, alg, sk.sk_seed(), sk.sk_prf(), sk.pk_seed());
+        let path = dir.join(format!("{tenant}.key"));
+        if path.exists() {
+            return Err(WireError::new(
+                ErrorCode::TenantExists,
+                format!("key file for tenant '{tenant}' already exists"),
+            ));
+        }
+        std::fs::write(&path, text)
+            .map_err(|e| WireError::new(ErrorCode::Keyfile, format!("{}: {e}", path.display())))?;
+    }
+    shared.keystore.insert(tenant, sk, vk.clone())?;
+
+    let mut out = Vec::new();
+    wire::put_str(&mut out, params.name());
+    wire::put_str(&mut out, alg.label());
+    wire::put_bytes(&mut out, &vk.to_bytes());
+    Ok(out)
+}
+
+/// Tenant names double as key file stems, so they must be path-safe.
+fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_edge_cases_are_typed() {
+        for bad in [
+            ServerConfig {
+                per_tenant_inflight: 0,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                max_frame: 4,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                service: ServiceConfig {
+                    max_batch: 0,
+                    ..ServiceConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HeroError::InvalidOptions(_))),
+                "{bad:?}"
+            );
+        }
+        ServerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn tenant_names_are_path_safe() {
+        for good in ["alice", "validator-7", "a.b_c", "X"] {
+            assert!(valid_tenant_name(good), "{good}");
+        }
+        for bad in ["", ".hidden", "a/b", "a\\b", "név", &"x".repeat(129)] {
+            assert!(!valid_tenant_name(bad), "{bad}");
+        }
+    }
+}

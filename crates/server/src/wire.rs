@@ -1,0 +1,525 @@
+//! Wire protocol v1: versioned, length-prefixed binary frames over TCP.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many body
+//! bytes. All multi-byte integers are big-endian.
+//!
+//! ```text
+//!            ┌────────────┬─────────────────────────────────────────┐
+//!   frame    │ len: u32   │ body (len bytes)                        │
+//!            └────────────┴─────────────────────────────────────────┘
+//!
+//!   request  ┌────────┬─────────┬────────┬──────────┬────────┬──────┐
+//!   body     │ ver:u8 │ id:u64  │ op:u8  │ tlen:u16 │ tenant │ load │
+//!            └────────┴─────────┴────────┴──────────┴────────┴──────┘
+//!
+//!   response ┌────────┬─────────┬───────────┬────────────────────────┐
+//!   body     │ ver:u8 │ id:u64  │ code:u16  │ payload | error msg    │
+//!            └────────┴─────────┴───────────┴────────────────────────┘
+//! ```
+//!
+//! `code = 0` means success and the rest of the body is the op's
+//! payload; any other code is a stable [`ErrorCode`] and the rest is a
+//! UTF-8 message. The request `id` is chosen by the client and echoed
+//! verbatim, so a client can match responses even if a future server
+//! pipelines them. One op per frame; the reference server answers every
+//! accepted frame exactly once, in order, per connection.
+//!
+//! Per-op payloads (all lengths `u32` unless noted):
+//!
+//! * [`Op::Sign`] — request: the raw message bytes. Response: the
+//!   signature bytes ([`hero_sphincs::Signature::to_bytes`]).
+//! * [`Op::SignBatch`] — request: `count:u32`, then `count` ×
+//!   (`len:u32`, bytes). Response: same framing with signatures.
+//! * [`Op::Verify`] — request: `mlen:u32`, message, `slen:u32`,
+//!   signature. Response: empty payload (valid) or
+//!   [`ErrorCode::VerificationFailed`].
+//! * [`Op::Keygen`] — request: `plen:u16`, params label, `alen:u16`,
+//!   hash-alg label (empty = the shape's preferred primitive),
+//!   `has_seed:u8`, then `seed:u64` when `has_seed = 1`. Response:
+//!   `plen:u16`, canonical params name, `alen:u16`, alg label,
+//!   `pklen:u32`, public key bytes.
+//! * [`Op::Stats`] — request: empty payload (tenant may be empty).
+//!   Response: the plaintext metrics page.
+
+use crate::error::{ErrorCode, WireError};
+use std::io::{self, Read, Write};
+
+/// The protocol version this crate speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed bytes of a request body before the tenant: version (1) +
+/// request id (8) + opcode (1) + tenant length (2).
+pub const REQUEST_HEADER_LEN: usize = 12;
+
+/// Default cap on a single frame's declared body length (4 MiB): a
+/// 64-message batch of full-set signatures fits with headroom, while a
+/// hostile length prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+/// The operations of protocol v1. Discriminants are the on-wire opcode
+/// byte and are stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Generate (and store) a key for a tenant.
+    Keygen = 1,
+    /// Sign one message under the tenant's key.
+    Sign = 2,
+    /// Sign a batch of messages under the tenant's key.
+    SignBatch = 3,
+    /// Verify one signature under the tenant's key.
+    Verify = 4,
+    /// Fetch the plaintext metrics page.
+    Stats = 5,
+}
+
+impl Op {
+    /// Decodes an opcode byte.
+    pub const fn from_u8(op: u8) -> Option<Self> {
+        Some(match op {
+            1 => Op::Keygen,
+            2 => Op::Sign,
+            3 => Op::SignBatch,
+            4 => Op::Verify,
+            5 => Op::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The tenant the op concerns (may be empty for [`Op::Stats`]).
+    pub tenant: String,
+    /// The operation.
+    pub op: Op,
+    /// Op-specific payload (see the module docs).
+    pub payload: Vec<u8>,
+}
+
+/// A decoded response frame: the echoed id and either the op's payload
+/// or a typed error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    /// Success payload or typed error.
+    pub result: Result<Vec<u8>, WireError>,
+}
+
+/// Encodes a request into one frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let tenant = req.tenant.as_bytes();
+    assert!(tenant.len() <= u16::MAX as usize, "tenant name too long");
+    let body_len = REQUEST_HEADER_LEN + tenant.len() + req.payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&req.id.to_be_bytes());
+    out.push(req.op as u8);
+    out.extend_from_slice(&(tenant.len() as u16).to_be_bytes());
+    out.extend_from_slice(tenant);
+    out.extend_from_slice(&req.payload);
+    out
+}
+
+/// Encodes a response into one frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let (code, payload): (u16, &[u8]) = match &resp.result {
+        Ok(payload) => (0, payload),
+        Err(e) => (e.code.as_u16(), e.message.as_bytes()),
+    };
+    let body_len = 1 + 8 + 2 + payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&resp.id.to_be_bytes());
+    out.extend_from_slice(&code.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What [`read_frame`] produced: a body, a clean EOF between frames, or
+/// an oversized frame whose body was discarded (the connection remains
+/// usable; answer with [`ErrorCode::OversizedFrame`]).
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete frame body.
+    Body(Vec<u8>),
+    /// The peer closed the connection between frames.
+    Eof,
+    /// The declared length exceeded `max_frame`; `declared` bytes were
+    /// read and discarded.
+    Oversized {
+        /// The length the peer declared.
+        declared: u32,
+    },
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates transport errors; a peer that closes mid-frame surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] (a *truncated* frame — distinct from
+/// the clean [`Frame::Eof`] between frames).
+pub fn read_frame(stream: &mut impl Read, max_frame: u32) -> io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    // A clean close between frames yields 0 bytes on the first read.
+    match stream.read(&mut len_buf) {
+        Ok(0) => return Ok(Frame::Eof),
+        Ok(n) => stream.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            stream.read_exact(&mut len_buf)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > max_frame {
+        // Stream the body into a scratch buffer so a hostile length
+        // cannot allocate; the frame is answered with a typed error.
+        let mut remaining = len as u64;
+        let mut scratch = [0u8; 16 * 1024];
+        while remaining > 0 {
+            let take = scratch.len().min(remaining as usize);
+            stream.read_exact(&mut scratch[..take])?;
+            remaining -= take as u64;
+        }
+        return Ok(Frame::Oversized { declared: len });
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Frame::Body(body))
+}
+
+/// Writes one pre-encoded frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// Best-effort request id from a possibly-malformed body, so protocol
+/// errors can still echo the id the client sent (0 when unreadable).
+pub fn peek_request_id(body: &[u8]) -> u64 {
+    if body.len() >= 9 {
+        u64::from_be_bytes(body[1..9].try_into().expect("9 bytes checked"))
+    } else {
+        0
+    }
+}
+
+/// Decodes a request body.
+///
+/// # Errors
+///
+/// A typed [`WireError`] (`UnsupportedVersion`, `UnknownOpcode`, or
+/// `Malformed`) describing the first structural problem found.
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    if body.len() < REQUEST_HEADER_LEN {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!(
+                "request body is {} bytes, header alone is {REQUEST_HEADER_LEN}",
+                body.len()
+            ),
+        ));
+    }
+    let version = body[0];
+    if version != WIRE_VERSION {
+        return Err(WireError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("peer speaks wire version {version}, this server speaks {WIRE_VERSION}"),
+        ));
+    }
+    let id = u64::from_be_bytes(body[1..9].try_into().expect("sized"));
+    let op = Op::from_u8(body[9]).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownOpcode,
+            format!("unknown opcode {}", body[9]),
+        )
+    })?;
+    let tenant_len = u16::from_be_bytes(body[10..12].try_into().expect("sized")) as usize;
+    let rest = &body[REQUEST_HEADER_LEN..];
+    if rest.len() < tenant_len {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!(
+                "tenant length {tenant_len} exceeds remaining {} bytes",
+                rest.len()
+            ),
+        ));
+    }
+    let tenant = std::str::from_utf8(&rest[..tenant_len])
+        .map_err(|_| WireError::new(ErrorCode::Malformed, "tenant is not UTF-8"))?
+        .to_string();
+    Ok(Request {
+        id,
+        tenant,
+        op,
+        payload: rest[tenant_len..].to_vec(),
+    })
+}
+
+/// Decodes a response body.
+///
+/// # Errors
+///
+/// [`WireError`] with [`ErrorCode::Malformed`] /
+/// [`ErrorCode::UnsupportedVersion`] on structural problems (the typed
+/// error *inside* a well-formed response comes back as `Ok(Response)`
+/// with `result: Err(..)`).
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    if body.len() < 11 {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!("response body is {} bytes, header alone is 11", body.len()),
+        ));
+    }
+    let version = body[0];
+    if version != WIRE_VERSION {
+        return Err(WireError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("peer speaks wire version {version}, this client speaks {WIRE_VERSION}"),
+        ));
+    }
+    let id = u64::from_be_bytes(body[1..9].try_into().expect("sized"));
+    let code = u16::from_be_bytes(body[9..11].try_into().expect("sized"));
+    let payload = body[11..].to_vec();
+    let result = if code == 0 {
+        Ok(payload)
+    } else {
+        Err(WireError::from_wire(
+            code,
+            String::from_utf8_lossy(&payload).into_owned(),
+        ))
+    };
+    Ok(Response { id, result })
+}
+
+// ---- payload helpers shared by server and client ------------------------
+
+/// Appends a `u32` length-prefixed byte run.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a `u32` length-prefixed byte run, advancing `at`.
+///
+/// # Errors
+///
+/// [`ErrorCode::Malformed`] when the buffer is shorter than declared.
+pub fn take_bytes(buf: &[u8], at: &mut usize) -> Result<Vec<u8>, WireError> {
+    let len = take_u32(buf, at)? as usize;
+    let start = *at;
+    let end = start
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::Malformed,
+                format!("field of {len} bytes exceeds buffer"),
+            )
+        })?;
+    *at = end;
+    Ok(buf[start..end].to_vec())
+}
+
+/// Reads a big-endian `u32`, advancing `at`.
+///
+/// # Errors
+///
+/// [`ErrorCode::Malformed`] when fewer than 4 bytes remain.
+pub fn take_u32(buf: &[u8], at: &mut usize) -> Result<u32, WireError> {
+    let end = at
+        .checked_add(4)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| WireError::new(ErrorCode::Malformed, "truncated u32 field"))?;
+    let v = u32::from_be_bytes(buf[*at..end].try_into().expect("sized"));
+    *at = end;
+    Ok(v)
+}
+
+/// Appends a `u16` length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a `u16` length-prefixed UTF-8 string, advancing `at`.
+///
+/// # Errors
+///
+/// [`ErrorCode::Malformed`] on truncation or invalid UTF-8.
+pub fn take_str(buf: &[u8], at: &mut usize) -> Result<String, WireError> {
+    let lend = at
+        .checked_add(2)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| WireError::new(ErrorCode::Malformed, "truncated string length"))?;
+    let len = u16::from_be_bytes(buf[*at..lend].try_into().expect("sized")) as usize;
+    let end = lend
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| WireError::new(ErrorCode::Malformed, "truncated string field"))?;
+    let s = std::str::from_utf8(&buf[lend..end])
+        .map_err(|_| WireError::new(ErrorCode::Malformed, "string field is not UTF-8"))?
+        .to_string();
+    *at = end;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = Request {
+            id: 0xDEAD_BEEF_0042,
+            tenant: "validator-7".to_string(),
+            op: Op::Sign,
+            payload: b"message bytes".to_vec(),
+        };
+        let frame = encode_request(&req);
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            Frame::Body(body) => assert_eq!(decode_request(&body).unwrap(), req),
+            other => panic!("expected body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip_both_arms() {
+        for result in [
+            Ok(b"signature".to_vec()),
+            Err(WireError::new(ErrorCode::QueueFull, "try later")),
+        ] {
+            let resp = Response { id: 7, result };
+            let frame = encode_response(&resp);
+            let mut cursor = std::io::Cursor::new(frame);
+            match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+                Frame::Body(body) => assert_eq!(decode_response(&body).unwrap(), resp),
+                other => panic!("expected body, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_opcodes_round_trip() {
+        for op in [Op::Keygen, Op::Sign, Op::SignBatch, Op::Verify, Op::Stats] {
+            assert_eq!(Op::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Op::from_u8(0), None);
+        assert_eq!(Op::from_u8(99), None);
+    }
+
+    #[test]
+    fn clean_eof_vs_truncated_frame() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut empty, DEFAULT_MAX_FRAME).unwrap(),
+            Frame::Eof
+        ));
+        // Length prefix promises 100 bytes, stream has 3.
+        let mut short = std::io::Cursor::new({
+            let mut v = 100u32.to_be_bytes().to_vec();
+            v.extend_from_slice(&[1, 2, 3]);
+            v
+        });
+        let err = read_frame(&mut short, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_not_fatal() {
+        let declared = 64 * 1024u32;
+        let mut data = declared.to_be_bytes().to_vec();
+        data.extend(std::iter::repeat_n(0xAB, declared as usize));
+        // A well-formed follow-up frame after the oversized one.
+        data.extend(encode_request(&Request {
+            id: 9,
+            tenant: String::new(),
+            op: Op::Stats,
+            payload: Vec::new(),
+        }));
+        let mut cursor = std::io::Cursor::new(data);
+        match read_frame(&mut cursor, 1024).unwrap() {
+            Frame::Oversized { declared: d } => assert_eq!(d, declared),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        // The connection is still in sync: the next frame parses.
+        match read_frame(&mut cursor, 1024).unwrap() {
+            Frame::Body(body) => assert_eq!(decode_request(&body).unwrap().id, 9),
+            other => panic!("expected body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed() {
+        // Too short for a header.
+        let err = decode_request(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+        // Wrong version.
+        let mut req = encode_request(&Request {
+            id: 1,
+            tenant: "t".into(),
+            op: Op::Sign,
+            payload: vec![],
+        });
+        req[4] = 99; // version byte lives right after the length prefix
+        let err = decode_request(&req[4..]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+        // Unknown opcode.
+        let mut req = encode_request(&Request {
+            id: 1,
+            tenant: "t".into(),
+            op: Op::Sign,
+            payload: vec![],
+        });
+        req[13] = 77; // opcode byte: 4 (len) + 1 (ver) + 8 (id)
+        let err = decode_request(&req[4..]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownOpcode);
+        // Tenant length overruns the body.
+        let mut body = vec![WIRE_VERSION];
+        body.extend_from_slice(&5u64.to_be_bytes());
+        body.push(Op::Sign as u8);
+        body.extend_from_slice(&500u16.to_be_bytes());
+        body.extend_from_slice(b"ab");
+        let err = decode_request(&body).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+        // The id is still recoverable for the error response.
+        assert_eq!(peek_request_id(&body), 5);
+        assert_eq!(peek_request_id(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn payload_helpers_round_trip_and_reject_overruns() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"alpha");
+        put_str(&mut buf, "beta");
+        put_bytes(&mut buf, b"");
+        let mut at = 0;
+        assert_eq!(take_bytes(&buf, &mut at).unwrap(), b"alpha");
+        assert_eq!(take_str(&buf, &mut at).unwrap(), "beta");
+        assert_eq!(take_bytes(&buf, &mut at).unwrap(), b"");
+        assert_eq!(at, buf.len());
+        // Declared length past the end is Malformed, not a panic.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&100u32.to_be_bytes());
+        bad.extend_from_slice(b"xy");
+        let mut at = 0;
+        assert_eq!(
+            take_bytes(&bad, &mut at).unwrap_err().code,
+            ErrorCode::Malformed
+        );
+    }
+}

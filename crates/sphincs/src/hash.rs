@@ -96,6 +96,39 @@ pub enum HashAlg {
     Shake256,
 }
 
+impl HashAlg {
+    /// Every canonical label, in display order (the order error messages
+    /// and usage text list them in).
+    pub const NAMES: [&'static str; 3] = ["sha256", "sha512", "shake256"];
+
+    /// The canonical label — the inverse of [`HashAlg::from_label`];
+    /// used by key files, CLI output, and the wire protocol.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HashAlg::Sha256 => "sha256",
+            HashAlg::Sha512 => "sha512",
+            HashAlg::Shake256 => "shake256",
+        }
+    }
+
+    /// Parses a label (case-insensitive; an optional dash before the
+    /// width is accepted, e.g. `SHA-256`, `shake-256`).
+    ///
+    /// ```
+    /// use hero_sphincs::hash::HashAlg;
+    /// assert_eq!(HashAlg::from_label("Shake-256"), Some(HashAlg::Shake256));
+    /// assert_eq!(HashAlg::from_label("md5"), None);
+    /// ```
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label.trim().to_ascii_lowercase().as_str() {
+            "sha256" | "sha-256" => Some(HashAlg::Sha256),
+            "sha512" | "sha-512" => Some(HashAlg::Sha512),
+            "shake256" | "shake-256" => Some(HashAlg::Shake256),
+            _ => None,
+        }
+    }
+}
+
 /// A hasher with the `pk_seed || pad` block pre-absorbed.
 ///
 /// Cloning this and continuing is how every `F`/`H`/`T_l`/`PRF` call starts;

@@ -263,6 +263,37 @@ impl Params {
         self.name
     }
 
+    /// Looks a built-in set up by label: `128f`, `shake-192s`,
+    /// `SPHINCS+-SHAKE-128f`, … (case-insensitive; the `SPHINCS+-`
+    /// prefix and the dash after `shake` are optional). The single
+    /// parser behind the CLI, key files, and the server's keygen op.
+    ///
+    /// ```
+    /// use hero_sphincs::params::Params;
+    /// assert_eq!(Params::from_label("128f"), Some(Params::sphincs_128f()));
+    /// assert_eq!(Params::from_label("SHAKE256s"), Some(Params::shake_256s()));
+    /// assert_eq!(Params::from_label("512f"), None);
+    /// ```
+    pub fn from_label(label: &str) -> Option<Self> {
+        let norm = label.trim().to_ascii_lowercase();
+        let norm = norm.strip_prefix("sphincs+-").unwrap_or(&norm);
+        match norm {
+            "128f" => Some(Self::sphincs_128f()),
+            "192f" => Some(Self::sphincs_192f()),
+            "256f" => Some(Self::sphincs_256f()),
+            "128s" => Some(Self::sphincs_128s()),
+            "192s" => Some(Self::sphincs_192s()),
+            "256s" => Some(Self::sphincs_256s()),
+            "shake-128f" | "shake128f" => Some(Self::shake_128f()),
+            "shake-192f" | "shake192f" => Some(Self::shake_192f()),
+            "shake-256f" | "shake256f" => Some(Self::shake_256f()),
+            "shake-128s" | "shake128s" => Some(Self::shake_128s()),
+            "shake-192s" | "shake192s" => Some(Self::shake_192s()),
+            "shake-256s" | "shake256s" => Some(Self::shake_256s()),
+            _ => None,
+        }
+    }
+
     /// Height of each subtree in the hypertree (`h/d`, written `h'`).
     pub const fn tree_height(&self) -> usize {
         self.h / self.d
