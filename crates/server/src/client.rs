@@ -125,7 +125,7 @@ impl Client {
                     "server closed the connection before answering",
                 )))
             }
-            Frame::Oversized { declared } => {
+            Frame::Oversized { declared, .. } => {
                 return Err(ClientError::Protocol(format!(
                     "response frame of {declared} bytes exceeds client max_frame {}",
                     self.max_frame

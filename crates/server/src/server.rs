@@ -54,7 +54,20 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a persistent `accept()` failure (e.g. fd exhaustion) backs
+/// off before retrying, instead of busy-spinning the accept thread.
+const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(50);
+
+/// How long [`Server::shutdown`] waits for in-flight responses to be
+/// written before force-closing the write halves of straggler
+/// connections (a peer that never reads must not hang the drain).
+const DRAIN_WRITE_GRACE: Duration = Duration::from_secs(5);
+
+/// Write timeout on metrics connections: the page is one small write, so
+/// a stalled scraper fails fast instead of wedging the metrics thread.
+const METRICS_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Builds (or reuses) a signing backend for a parameter set. The server
 /// is multi-tenant across parameter sets, so engines are created on
@@ -377,8 +390,22 @@ impl Server {
             let _ = stream.shutdown(Shutdown::Read);
         }
         // 3. Join the handlers: after this, no request is in flight.
+        //    In-flight responses get a grace window to be written; then
+        //    stragglers (a handler blocked writing to a peer that never
+        //    reads) have their write halves closed too, so the blocked
+        //    write fails and the handler exits instead of hanging the
+        //    drain forever.
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        let deadline = Instant::now() + DRAIN_WRITE_GRACE;
+        while handles.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Finished handlers have already removed themselves from the
+        // registry, so only stragglers are force-closed here.
+        for (_, stream) in self.shared.conns.lock().expect("conn registry").iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         for h in handles {
             let _ = h.join();
         }
@@ -407,6 +434,9 @@ fn accept_loop(
                 if shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
+                // A persistent failure (fd exhaustion, say) must back
+                // off, not busy-spin the accept thread at 100% CPU.
+                std::thread::sleep(ACCEPT_RETRY_DELAY);
                 continue;
             }
         };
@@ -462,6 +492,7 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 if shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
+                std::thread::sleep(ACCEPT_RETRY_DELAY);
                 continue;
             }
         };
@@ -470,8 +501,11 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         }
         // Plaintext push-on-connect: write the page, close. `curl` and
         // `nc` both render it; no HTTP framing to keep std-only simple.
+        // The write is bounded by a timeout so a scraper that connects
+        // and never reads cannot wedge this thread (and with it, drain).
         let page = shared.metrics_page();
         let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(METRICS_WRITE_TIMEOUT));
         let _ = io::Write::write_all(&mut stream, page.as_bytes());
     }
 }
@@ -481,13 +515,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
         let body = match wire::read_frame(&mut stream, shared.config.max_frame) {
             Ok(Frame::Body(body)) => body,
             Ok(Frame::Eof) => return,
-            Ok(Frame::Oversized { declared }) => {
+            Ok(Frame::Oversized { declared, head }) => {
                 // The frame was discarded in sync; answer typed and keep
-                // serving this connection.
+                // serving this connection. The discarded body's head
+                // still carries the request id, so the client can match
+                // the rejection to its request.
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 let resp = Response {
-                    id: 0,
+                    id: wire::peek_request_id(&head),
                     result: Err(WireError::new(
                         ErrorCode::OversizedFrame,
                         format!(
@@ -610,6 +646,18 @@ fn op_sign_batch(
 ) -> Result<Vec<u8>, WireError> {
     let mut at = 0;
     let count = wire::take_u32(payload, &mut at)? as usize;
+    // The declared count is untrusted: every message costs at least its
+    // 4-byte length prefix, so a count the remaining payload cannot hold
+    // is malformed — rejected before `count` sizes any allocation.
+    if count > (payload.len() - at) / 4 {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!(
+                "batch count {count} exceeds what the {}-byte payload can hold",
+                payload.len()
+            ),
+        ));
+    }
     // One admission slot covers the whole batch, but queue capacity is
     // still per message: submit all, then wait all.
     let mut msgs = Vec::with_capacity(count);
@@ -712,20 +760,50 @@ fn op_keygen(shared: &Arc<ServerShared>, req: &Request) -> Result<Vec<u8>, WireE
         .map_err(|e| WireError::from(HeroError::from(e)))?;
 
     // Persist before publishing: a key that cannot be stored durably is
-    // not handed out.
+    // not handed out. `create_new` makes the existence check and the
+    // create one atomic step, so two concurrent keygens for the same
+    // tenant cannot both write the file — exactly one wins, and the key
+    // published in memory is always the one on disk.
     if let Some(dir) = &shared.config.keys_dir {
         let text = keyfile::encode(&params, alg, sk.sk_seed(), sk.sk_prf(), sk.pk_seed());
         let path = dir.join(format!("{tenant}.key"));
-        if path.exists() {
+        let mut file = match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                return Err(WireError::new(
+                    ErrorCode::TenantExists,
+                    format!("key file for tenant '{tenant}' already exists"),
+                ));
+            }
+            Err(e) => {
+                return Err(WireError::new(
+                    ErrorCode::Keyfile,
+                    format!("{}: {e}", path.display()),
+                ));
+            }
+        };
+        if let Err(e) = io::Write::write_all(&mut file, text.as_bytes()) {
+            drop(file);
+            let _ = std::fs::remove_file(&path);
             return Err(WireError::new(
-                ErrorCode::TenantExists,
-                format!("key file for tenant '{tenant}' already exists"),
+                ErrorCode::Keyfile,
+                format!("{}: {e}", path.display()),
             ));
         }
-        std::fs::write(&path, text)
-            .map_err(|e| WireError::new(ErrorCode::Keyfile, format!("{}: {e}", path.display())))?;
+        // The exclusive create won the disk race; if the tenant is
+        // nonetheless already in memory (loaded from another directory),
+        // withdraw the orphan file rather than leave disk diverging.
+        if let Err(e) = shared.keystore.insert(tenant, sk, vk.clone()) {
+            let _ = std::fs::remove_file(&path);
+            return Err(e);
+        }
+    } else {
+        shared.keystore.insert(tenant, sk, vk.clone())?;
     }
-    shared.keystore.insert(tenant, sk, vk.clone())?;
 
     let mut out = Vec::new();
     wire::put_str(&mut out, params.name());

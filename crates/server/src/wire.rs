@@ -156,6 +156,10 @@ pub enum Frame {
     Oversized {
         /// The length the peer declared.
         declared: u32,
+        /// The first bytes of the discarded body (up to one request
+        /// header's worth), so the rejection can still echo the request
+        /// id via [`peek_request_id`].
+        head: Vec<u8>,
     },
 }
 
@@ -181,14 +185,24 @@ pub fn read_frame(stream: &mut impl Read, max_frame: u32) -> io::Result<Frame> {
     if len > max_frame {
         // Stream the body into a scratch buffer so a hostile length
         // cannot allocate; the frame is answered with a typed error.
+        // Keep the first header's worth of bytes so the rejection can
+        // echo the request id the peer sent.
+        let mut head = Vec::with_capacity(9);
         let mut remaining = len as u64;
         let mut scratch = [0u8; 16 * 1024];
         while remaining > 0 {
             let take = scratch.len().min(remaining as usize);
             stream.read_exact(&mut scratch[..take])?;
+            if head.len() < 9 {
+                let need = (9 - head.len()).min(take);
+                head.extend_from_slice(&scratch[..need]);
+            }
             remaining -= take as u64;
         }
-        return Ok(Frame::Oversized { declared: len });
+        return Ok(Frame::Oversized {
+            declared: len,
+            head,
+        });
     }
     let mut body = vec![0u8; len as usize];
     stream.read_exact(&mut body)?;
@@ -453,7 +467,12 @@ mod tests {
         }));
         let mut cursor = std::io::Cursor::new(data);
         match read_frame(&mut cursor, 1024).unwrap() {
-            Frame::Oversized { declared: d } => assert_eq!(d, declared),
+            Frame::Oversized { declared: d, head } => {
+                assert_eq!(d, declared);
+                // The head carries the first request-header bytes, so
+                // the rejection can still echo the peer's request id.
+                assert_eq!(head, vec![0xAB; 9]);
+            }
             other => panic!("expected oversized, got {other:?}"),
         }
         // The connection is still in sync: the next frame parses.

@@ -162,14 +162,31 @@ fn hostile_frames_answered_typed_without_killing_the_connection() {
     assert_eq!(resp.result.unwrap_err().code, ErrorCode::Malformed);
 
     // 4. Oversized frame: declared 8 KiB against a 4 KiB cap. The server
-    //    must discard the body in sync and answer typed.
-    let big = vec![0xabu8; 8192];
+    //    must discard the body in sync, answer typed, and still echo the
+    //    request id from the discarded body's header.
+    let mut big = vec![wire::WIRE_VERSION];
+    big.extend_from_slice(&55u64.to_be_bytes());
+    big.resize(8192, 0xab);
     stream.write_all(&(big.len() as u32).to_be_bytes()).unwrap();
     stream.write_all(&big).unwrap();
     let resp = read_response(&mut stream);
+    assert_eq!(resp.id, 55);
     assert_eq!(resp.result.unwrap_err().code, ErrorCode::OversizedFrame);
 
-    // 5. The same connection still serves a valid request afterwards.
+    // 5. A sign-batch whose declared count could never fit the payload
+    //    must be rejected before the count sizes any allocation.
+    let req = Request {
+        id: 60,
+        tenant: "tenant-a".to_string(),
+        op: Op::SignBatch,
+        payload: u32::MAX.to_be_bytes().to_vec(),
+    };
+    wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();
+    let resp = read_response(&mut stream);
+    assert_eq!(resp.id, 60);
+    assert_eq!(resp.result.unwrap_err().code, ErrorCode::Malformed);
+
+    // 6. The same connection still serves a valid request afterwards.
     let msg = b"still alive".to_vec();
     let req = Request {
         id: 99,
@@ -184,7 +201,7 @@ fn hostile_frames_answered_typed_without_killing_the_connection() {
     let (_, sk, _) = &keys[0];
     assert_eq!(sig, sk.sign(&msg).to_bytes(sk.params()));
 
-    // 6. A connection dying mid-frame must not take the server with it.
+    // 7. A connection dying mid-frame must not take the server with it.
     let mut dying = TcpStream::connect(server.local_addr()).unwrap();
     dying.write_all(&100u32.to_be_bytes()).unwrap();
     dying.write_all(&[1, 2, 3]).unwrap(); // 3 of 100 promised bytes
@@ -381,4 +398,54 @@ fn keygen_registers_a_servable_tenant() {
         }
     }
     server.shutdown();
+}
+
+#[test]
+fn concurrent_persistent_keygen_has_one_winner_and_disk_matches_memory() {
+    let dir = std::env::temp_dir().join(format!("hero-server-keys-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (server, _) = test_server(
+        &[],
+        ServerConfig {
+            keys_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Distinct seeds: the racing keygens would produce *different* keys,
+    // so exactly one may win, the rest must lose typed, and the key on
+    // disk must be the winner's (the one being served from memory).
+    let outcomes: Vec<Result<hero_server::KeygenReply, ClientError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        client.keygen("contended", "128f", None, Some(100 + i))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    let winners: Vec<_> = outcomes.iter().filter_map(|o| o.as_ref().ok()).collect();
+    assert_eq!(winners.len(), 1, "exactly one concurrent keygen may win");
+    for outcome in &outcomes {
+        if let Err(e) = outcome {
+            match e {
+                ClientError::Wire(e) => assert_eq!(e.code, ErrorCode::TenantExists),
+                other => panic!("losers must lose typed, got {other}"),
+            }
+        }
+    }
+    let text = std::fs::read_to_string(dir.join("contended.key")).unwrap();
+    let (_, vk) = hero_server::keyfile::decode(&text).unwrap();
+    assert_eq!(
+        vk.to_bytes(),
+        winners[0].public_key,
+        "the persisted key must be the served key"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
