@@ -419,7 +419,13 @@ pub(crate) fn start_server(args: &Args) -> Result<hero_server::Server, CliError>
 
 /// Runs the network server until stdin closes, then drains gracefully.
 fn serve(args: &Args) -> CmdResult {
+    // Activate the HERO_FAULTS schedule (if any) before the server
+    // starts accepting, so every request sees the same fault plan.
+    hero_sign::faults::init_from_env().map_err(|e| CliError::Usage(format!("HERO_FAULTS: {e}")))?;
     let server = start_server(args)?;
+    if let Some(plan) = hero_sign::faults::describe_active() {
+        println!("fault injection ACTIVE: {plan}");
+    }
     let tenants = server.tenants();
     println!(
         "hero-server listening on {} ({} tenants: {})",
@@ -455,8 +461,31 @@ fn remote_sign(args: &Args) -> CmdResult {
 
     let message = fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?;
     let mut client = hero_server::Client::connect(addr)?;
+    if let Some(ms) = args.get("timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--timeout-ms: '{ms}' is not a number")))?;
+        client.set_io_timeout(Some(Duration::from_millis(ms)))?;
+    }
+    let retries = args.get_u32("retries", 0)?;
+    if retries > 0 {
+        client.set_retry(Some(hero_server::client::RetryPolicy {
+            max_attempts: retries + 1,
+            ..hero_server::client::RetryPolicy::default()
+        }));
+    }
+    let deadline_ms = match args.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| CliError::Usage(format!("--deadline-ms: '{v}' is not a number")))?,
+        ),
+        None => None,
+    };
     let begin = Instant::now();
-    let sig = client.sign(tenant, &message)?;
+    let sig = match deadline_ms {
+        Some(ms) => client.sign_with_deadline(tenant, &message, ms)?,
+        None => client.sign(tenant, &message)?,
+    };
     let elapsed = begin.elapsed();
     // Round-trip check by default: the server verifies its own output
     // under the tenant key before we trust the bytes.
@@ -824,6 +853,28 @@ mod tests {
         let sig_bytes = std::fs::read(&sig).unwrap();
         let signature = Signature::from_bytes(vk.params(), &sig_bytes).unwrap();
         vk.verify(b"remote sign via cli", &signature).unwrap();
+
+        // The robustness knobs compose on the same path: a generous
+        // deadline, explicit socket timeout, and retry budget still sign.
+        let out = remote_sign(&parse(&[
+            "remote-sign",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--tenant",
+            "validator-1",
+            "--message",
+            msg.to_str().unwrap(),
+            "--out",
+            sig.to_str().unwrap(),
+            "--deadline-ms",
+            "30000",
+            "--timeout-ms",
+            "30000",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("server-verified"), "{out}");
 
         // Unknown tenants come back as typed remote errors.
         let err = remote_sign(&parse(&[

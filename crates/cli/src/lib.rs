@@ -152,10 +152,17 @@ COMMANDS:
               [--queue-depth <n>] [--inflight <n>]
               serve sign/sign-batch/verify/keygen/stats over the
               length-prefixed TCP protocol (one tenant per key file);
-              runs until stdin closes, then drains gracefully
+              runs until stdin closes, then drains gracefully;
+              HERO_FAULTS=seed:<u64>,spec:<point>@<p>[/<max>][*<ms>ms]
+              enables deterministic fault injection (printed at start)
     remote-sign --addr <host:port> --tenant <name> --message <file>
-              --out <sig-file> [--no-verify]
-              sign over the network against a running `serve`
+              --out <sig-file> [--no-verify] [--deadline-ms <n>]
+              [--timeout-ms <n>] [--retries <n>]
+              sign over the network against a running `serve`;
+              --deadline-ms sheds the request server-side if it cannot
+              be signed in time, --retries replays transport failures
+              and backpressure with jittered backoff (safe: signing is
+              deterministic)
     devices   list the GPU catalog
 
 Parameter sets: 128f 192f 256f 128s 192s 256s (SPHINCS+-<set>),

@@ -14,6 +14,8 @@
 //!   engines ([`HeroSigner::builder`]).
 //! * [`error`] — the typed [`HeroError`] every fallible operation
 //!   reports.
+//! * [`faults`] — deterministic, seeded fault injection (`HERO_FAULTS`)
+//!   threaded through the hot seams; zero-cost no-op when disabled.
 //! * [`tuning`] — the offline **Auto Tree Tuning** search (Algorithm 1)
 //!   and the Relax-FORS variant, behind a process-wide memoization cache;
 //!   reproduces Table IV.
@@ -82,6 +84,7 @@
 pub mod builder;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod kernels;
 pub mod par;
 pub mod plan;
@@ -95,6 +98,7 @@ pub mod workload;
 pub use builder::HeroSignerBuilder;
 pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineReport, PtxPolicy};
 pub use error::HeroError;
+pub use faults::{FaultAction, FaultPlan, FaultSpec};
 pub use plan::{PlanShape, PlanSummary};
 pub use ptx::{BranchSelection, KernelKind};
 pub use service::{ServiceConfig, ServiceError, ServiceStats, SignService, SignTicket};

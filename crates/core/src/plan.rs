@@ -259,6 +259,7 @@ pub fn sign_batch_shaped(
             let base = c * fg;
             let fors_slots = &fors_slots;
             graph.task(move || {
+                crate::faults::stage(crate::faults::PLAN_STAGE);
                 for (off, out) in fors_sign::sign_trees(ctx, sk_seed, chunk)
                     .into_iter()
                     .enumerate()
@@ -275,6 +276,7 @@ pub fn sign_batch_shaped(
         .map(|mi| {
             let (fors_slots, pk_slots, pres) = (&fors_slots, &pk_slots, &pres);
             let node = graph.task(move || {
+                crate::faults::stage(crate::faults::PLAN_STAGE);
                 let mut roots_flat = vec![0u8; k * n];
                 for tree in 0..k {
                     fors_slots.with(mi * k + tree, |(_, root)| {
@@ -302,6 +304,7 @@ pub fn sign_batch_shaped(
             let base = c * tg;
             let layer_slots = &layer_slots;
             graph.task(move || {
+                crate::faults::stage(crate::faults::PLAN_STAGE);
                 for (off, out) in tree_sign::subtrees(ctx, sk_seed, chunk)
                     .into_iter()
                     .enumerate()
@@ -322,6 +325,7 @@ pub fn sign_batch_shaped(
         let (pk_slots, layer_slots, wots_slots, pres) =
             (&pk_slots, &layer_slots, &wots_slots, &pres);
         let node = graph.task(move || {
+            crate::faults::stage(crate::faults::PLAN_STAGE);
             // Own the messages first (cloned out of the slots), then
             // borrow them into the chain-group items.
             let inputs: Vec<Vec<u8>> = (start..end)

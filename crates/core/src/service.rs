@@ -88,6 +88,11 @@ pub enum ServiceError {
     /// [`SignService::try_submit`] found the bounded queue full — the
     /// caller should back off (or use the blocking [`SignService::submit`]).
     QueueFull,
+    /// The request's deadline passed before the batcher could sign it
+    /// (or had already passed at submission). Expired requests are
+    /// answered immediately instead of burning executor time on a
+    /// signature nobody is waiting for.
+    DeadlineExceeded,
     /// The engine rejected the coalesced batch this request rode in.
     Engine(HeroError),
     /// The batcher died mid-request (a bug — batches are panic-isolated,
@@ -100,6 +105,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::ShuttingDown => f.write_str("sign service is shutting down"),
             ServiceError::QueueFull => f.write_str("sign service queue is full"),
+            ServiceError::DeadlineExceeded => f.write_str("request deadline passed before signing"),
             ServiceError::Engine(e) => write!(f, "sign service engine: {e}"),
             ServiceError::Internal(what) => write!(f, "sign service internal: {what}"),
         }
@@ -202,6 +208,9 @@ pub struct ServiceStats {
     pub batches: u64,
     /// Largest batch coalesced so far.
     pub max_batch_observed: u64,
+    /// Requests answered with [`ServiceError::DeadlineExceeded`] because
+    /// their deadline passed while they were queued.
+    pub deadline_expired: u64,
 }
 
 /// One pending request's result slot: written exactly once by the
@@ -264,6 +273,9 @@ impl SignTicket {
 struct Request {
     msg: Vec<u8>,
     ticket: Arc<TicketState>,
+    /// Answer with [`ServiceError::DeadlineExceeded`] instead of signing
+    /// if this instant passes while the request is still queued.
+    deadline: Option<Instant>,
 }
 
 struct QueueState {
@@ -281,8 +293,20 @@ struct ServiceShared {
     completed: AtomicU64,
     batches: AtomicU64,
     max_batch_observed: AtomicU64,
+    deadline_expired: AtomicU64,
     /// Scaled EWMA (×1000) of recent batch sizes — the adaptive signal.
     ewma_milli: AtomicUsize,
+}
+
+impl ServiceShared {
+    /// Answers an expired request with the typed error and books it as
+    /// completed — the exactly-once accounting is identical to a signed
+    /// request's.
+    fn expire(&self, req: Request) {
+        req.ticket.fulfill(Err(ServiceError::DeadlineExceeded));
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A shared signing service over one engine and one signing key — see
@@ -323,6 +347,7 @@ impl SignService {
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch_observed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             ewma_milli: AtomicUsize::new(1000),
         });
         let batcher = {
@@ -353,7 +378,24 @@ impl SignService {
     /// [`ServiceError::ShuttingDown`] once [`SignService::shutdown`] has
     /// begun.
     pub fn submit(&self, msg: impl Into<Vec<u8>>) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), true)
+        self.enqueue(msg.into(), None, true)
+    }
+
+    /// [`SignService::submit`] with a deadline: if `deadline` passes
+    /// while the request is still queued, it is answered with
+    /// [`ServiceError::DeadlineExceeded`] instead of being signed —
+    /// expired work never reaches the executor.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeadlineExceeded`] immediately when `deadline`
+    /// has already passed; otherwise as [`SignService::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        msg: impl Into<Vec<u8>>,
+        deadline: Instant,
+    ) -> Result<SignTicket, ServiceError> {
+        self.enqueue(msg.into(), Some(deadline), true)
     }
 
     /// Non-blocking [`SignService::submit`].
@@ -363,10 +405,33 @@ impl SignService {
     /// [`ServiceError::QueueFull`] instead of blocking;
     /// [`ServiceError::ShuttingDown`] once shutdown has begun.
     pub fn try_submit(&self, msg: impl Into<Vec<u8>>) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), false)
+        self.enqueue(msg.into(), None, false)
     }
 
-    fn enqueue(&self, msg: Vec<u8>, block: bool) -> Result<SignTicket, ServiceError> {
+    /// Non-blocking [`SignService::submit_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SignService::try_submit`], plus
+    /// [`ServiceError::DeadlineExceeded`] for an already-passed deadline.
+    pub fn try_submit_with_deadline(
+        &self,
+        msg: impl Into<Vec<u8>>,
+        deadline: Instant,
+    ) -> Result<SignTicket, ServiceError> {
+        self.enqueue(msg.into(), Some(deadline), false)
+    }
+
+    fn enqueue(
+        &self,
+        msg: Vec<u8>,
+        deadline: Option<Instant>,
+        block: bool,
+    ) -> Result<SignTicket, ServiceError> {
+        if deadline.is_some_and(|d| d <= Instant::now()) {
+            self.shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::DeadlineExceeded);
+        }
         let state = Arc::new(TicketState {
             result: Mutex::new(None),
             ready: Condvar::new(),
@@ -388,6 +453,7 @@ impl SignService {
             q.items.push_back(Request {
                 msg,
                 ticket: Arc::clone(&state),
+                deadline,
             });
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -408,6 +474,7 @@ impl SignService {
             completed: self.shared.completed.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -464,18 +531,28 @@ impl fmt::Debug for SignService {
 /// then stragglers until `max_batch`, the adaptive deadline, or
 /// shutdown-with-empty-queue. Returns `None` when the service has shut
 /// down and the queue is fully drained.
+///
+/// Requests whose per-request deadline has already passed are answered
+/// with [`ServiceError::DeadlineExceeded`] at pop time and never join a
+/// batch — an expired request costs the service a queue slot, never
+/// executor time.
 fn collect_batch(shared: &ServiceShared, config: &ServiceConfig) -> Option<Vec<Request>> {
     let mut q = shared.queue.lock().expect("service queue");
-    loop {
-        if !q.items.is_empty() {
-            break;
+    let first = loop {
+        match q.items.pop_front() {
+            Some(req) if req.deadline.is_some_and(|d| d <= Instant::now()) => {
+                shared.expire(req);
+            }
+            Some(req) => break req,
+            None => {
+                if !q.open {
+                    return None;
+                }
+                q = shared.not_empty.wait(q).expect("service queue");
+            }
         }
-        if !q.open {
-            return None;
-        }
-        q = shared.not_empty.wait(q).expect("service queue");
-    }
-    let mut batch = vec![q.items.pop_front().expect("checked non-empty")];
+    };
+    let mut batch = vec![first];
 
     // Adaptive coalescing: recent lone-request batches mean a single
     // caller — waiting max_wait would only add latency. Recent multi-
@@ -490,7 +567,11 @@ fn collect_batch(shared: &ServiceShared, config: &ServiceConfig) -> Option<Vec<R
     let deadline = Instant::now() + wait;
     while batch.len() < config.max_batch {
         if let Some(req) = q.items.pop_front() {
-            batch.push(req);
+            if req.deadline.is_some_and(|d| d <= Instant::now()) {
+                shared.expire(req);
+            } else {
+                batch.push(req);
+            }
             continue;
         }
         if !q.open {
@@ -706,6 +787,80 @@ mod tests {
         let tuned = ServiceConfig::tuned_for(&engine);
         assert!(tuned.max_batch >= 16 && tuned.max_batch <= 128, "{tuned:?}");
         tuned.validate().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_rejected_at_submit() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(27);
+        let (sk, _) = engine.keygen(&mut rng).unwrap();
+        let service = SignService::start(engine, sk, ServiceConfig::default()).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            service
+                .submit_with_deadline(b"late".to_vec(), past)
+                .unwrap_err(),
+            ServiceError::DeadlineExceeded
+        );
+        assert_eq!(service.stats().deadline_expired, 1);
+        // A generous deadline signs normally.
+        let far = Instant::now() + Duration::from_secs(60);
+        service
+            .submit_with_deadline(b"on time".to_vec(), far)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+
+    #[test]
+    fn queued_requests_expire_typed_not_signed() {
+        // Stall the batcher behind a slow first batch, pile up requests
+        // with tiny deadlines behind it, and watch them expire at pop
+        // time with the typed error. The deadline (1ms) is far below the
+        // time the blocking batch takes, so this is timing-robust.
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(28);
+        let (sk, vk) = engine.keygen(&mut rng).unwrap();
+        let service = SignService::start(
+            engine,
+            sk,
+            ServiceConfig {
+                max_batch: 1, // each request is its own batch
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // Head-of-line request (no deadline): occupies the batcher.
+        let head = service.submit(b"head".to_vec()).unwrap();
+        let mut doomed = Vec::new();
+        let mut expired = 0u64;
+        for i in 0..4u8 {
+            match service
+                .submit_with_deadline(vec![i; 8], Instant::now() + Duration::from_millis(1))
+            {
+                Ok(t) => doomed.push(t),
+                // A harsh scheduler may expire it before enqueue even runs.
+                Err(ServiceError::DeadlineExceeded) => expired += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let tail = service.submit(b"tail".to_vec()).unwrap();
+        let sig = head.wait().unwrap();
+        vk.verify(b"head", &sig).unwrap();
+        for t in doomed {
+            match t.wait() {
+                Err(ServiceError::DeadlineExceeded) => expired += 1,
+                Ok(_) => {} // the batcher got there in time — fine
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        // The service keeps serving after expiries.
+        tail.wait().unwrap();
+        assert_eq!(service.stats().deadline_expired, expired);
+        service.shutdown();
+        let s = service.stats();
+        assert_eq!(s.submitted, s.completed, "exactly-once accounting");
     }
 
     #[test]

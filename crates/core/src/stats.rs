@@ -133,6 +133,15 @@ impl LatencyWindow {
         self.samples.is_empty()
     }
 
+    /// Discards every held sample (capacity is kept). Used when the
+    /// window's consistency can no longer be trusted — e.g. after its
+    /// owning lock was poisoned mid-`record` — where an empty window is
+    /// honest and a half-updated one is not.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.next = 0;
+    }
+
     /// Summary of the held samples; `None` when empty.
     pub fn summary(&self) -> Option<LatencySummary> {
         LatencySummary::from_unsorted(self.samples.clone())

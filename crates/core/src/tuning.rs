@@ -601,10 +601,31 @@ mod disk {
     }
 
     /// Best-effort write; the disk cache is an accelerator, so I/O
-    /// failures (read-only FS, permissions) are silently ignored.
+    /// failures (read-only FS, permissions, injected faults) are
+    /// silently ignored.
+    ///
+    /// Crash-safe: the entry is rendered into a process-unique temp file
+    /// in the same directory and atomically renamed into place, so a
+    /// crash (or an injected fault) mid-write can never leave a torn
+    /// entry at the final path — readers see the old entry or the new
+    /// one, never a prefix.
     pub(super) fn store(dir: &Path, canonical: &str, result: &TuningResult) {
+        if crate::faults::fire(crate::faults::TUNING_DISK_WRITE) {
+            return;
+        }
         let _ = std::fs::create_dir_all(dir);
-        let _ = std::fs::write(entry_path(dir, canonical), render(canonical, result));
+        let path = entry_path(dir, canonical);
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".hero-tune-{}-{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        if std::fs::write(&tmp, render(canonical, result)).is_ok()
+            && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 
     fn field_f64(obj: &str, name: &str) -> Option<f64> {
@@ -662,6 +683,9 @@ mod disk {
     }
 
     pub(super) fn load(path: &Path, canonical: &str) -> Option<TuningResult> {
+        if crate::faults::fire(crate::faults::TUNING_DISK_READ) {
+            return None;
+        }
         parse(&std::fs::read_to_string(path).ok()?, canonical)
     }
 

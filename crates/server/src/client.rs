@@ -5,18 +5,50 @@
 //! *connections*, not within one, so closed-loop load generators open
 //! one client per concurrent stream — exactly what `bench_server` and
 //! the CLI `remote-sign` command do.
+//!
+//! # Timeouts, reconnect, and retry
+//!
+//! Sockets carry a read/write timeout ([`DEFAULT_IO_TIMEOUT`], 5 s by
+//! default) so a stalled or half-dead server surfaces as a typed
+//! [`ClientError::Io`] instead of hanging the caller forever; tune it
+//! with [`Client::set_io_timeout`].
+//!
+//! Retry is **opt-in** via [`Client::set_retry`]. When a policy is set,
+//! transport failures and backpressure rejections ([`ErrorCode`]s where
+//! [`is_backpressure`] holds) are retried with jittered exponential
+//! backoff, reconnecting first on transport errors. This is safe for
+//! this protocol specifically: SPHINCS+ signing is deterministic, so a
+//! request that was secretly served before the connection died produces
+//! byte-identical output when replayed. Two operations are *never*
+//! retried regardless of policy:
+//!
+//! - **Keygen** — replaying it after an ambiguous failure would land on
+//!   [`ErrorCode::TenantExists`] and mask the real outcome.
+//! - Anything rejected with [`ErrorCode::DeadlineExceeded`] — the
+//!   budget is already spent; retrying without extending it only adds
+//!   load.
+//!
+//! [`ErrorCode`]: crate::error::ErrorCode
+//! [`is_backpressure`]: crate::error::ErrorCode::is_backpressure
+//! [`ErrorCode::TenantExists`]: crate::error::ErrorCode::TenantExists
+//! [`ErrorCode::DeadlineExceeded`]: crate::error::ErrorCode::DeadlineExceeded
 
 use crate::error::WireError;
 use crate::wire::{self, Frame, Op, Request, DEFAULT_MAX_FRAME};
 
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default socket read/write timeout applied by [`Client::connect`].
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Failures issuing a request.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The transport failed (connect, read, write, or mid-frame EOF).
+    /// The transport failed (connect, read, write, timeout, or
+    /// mid-frame EOF).
     Io(io::Error),
     /// The server answered with a typed wire error.
     Wire(WireError),
@@ -68,36 +100,105 @@ pub struct KeygenReply {
     pub public_key: Vec<u8>,
 }
 
+/// Opt-in retry policy for transport failures and backpressure
+/// rejections (see the module docs for the safety argument).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` disables retrying).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_backoff: Duration,
+    /// Ceiling for the exponential backoff (jitter is applied below it).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), with a
+    /// deterministic jitter of up to half the exponential step mixed in
+    /// from `jitter_state` so synchronized clients do not stampede.
+    fn backoff(&self, retry: u32, jitter_state: &mut u64) -> Duration {
+        let step = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_backoff);
+        // Deterministic LCG (MMIX constants): reproducible under test,
+        // decorrelated across clients seeded differently.
+        *jitter_state = jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let frac = (*jitter_state >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
+        step + step.mul_f64(frac * 0.5)
+    }
+}
+
 /// A blocking connection to a hero-server.
 pub struct Client {
     stream: TcpStream,
+    /// Resolved peer, kept so retry can reconnect after transport loss.
+    addr: SocketAddr,
     next_id: u64,
     max_frame: u32,
+    io_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
+    jitter_state: u64,
+    reconnects: u64,
 }
 
 impl fmt::Debug for Client {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Client")
-            .field("peer", &self.stream.peer_addr().ok())
+            .field("peer", &self.addr)
             .field("next_id", &self.next_id)
+            .field("io_timeout", &self.io_timeout)
+            .field("retry", &self.retry)
+            .field("reconnects", &self.reconnects)
             .finish()
     }
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default 5-second socket timeout
+    /// and no retry policy.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        let stream = Self::open(addr, Some(DEFAULT_IO_TIMEOUT))?;
         Ok(Self {
             stream,
+            addr,
             next_id: 1,
             max_frame: DEFAULT_MAX_FRAME,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            retry: None,
+            jitter_state: 0x9e3779b97f4a7c15,
+            reconnects: 0,
         })
+    }
+
+    fn open(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<TcpStream> {
+        let stream = match timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(stream)
     }
 
     /// Caps how large a *response* frame this client will accept
@@ -106,14 +207,60 @@ impl Client {
         self.max_frame = max_frame;
     }
 
-    /// One request/response round trip.
-    fn call(&mut self, tenant: &str, op: Op, payload: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+    /// Overrides the socket read/write timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the socket rejects the option.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Enables (or with `None`, disables) retry-with-reconnect for
+    /// transport failures and backpressure rejections. Keygen and
+    /// deadline-expired requests are never retried; see the module
+    /// docs.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Seeds the retry jitter stream (tests pin this for reproducible
+    /// backoff schedules; load generators seed it per-stream).
+    pub fn set_jitter_seed(&mut self, seed: u64) {
+        self.jitter_state = seed | 1;
+    }
+
+    /// How many times this client has re-established its connection
+    /// while retrying.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Drops the current connection and dials the same address again.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = Self::open(self.addr, self.io_timeout)?;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// One request/response round trip on the current connection.
+    fn call_once(
+        &mut self,
+        tenant: &str,
+        op: Op,
+        payload: Vec<u8>,
+        deadline_ms: Option<u32>,
+    ) -> Result<Vec<u8>, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let req = Request {
             id,
             tenant: tenant.to_string(),
             op,
+            deadline_ms,
             payload,
         };
         wire::write_frame(&mut self.stream, &wire::encode_request(&req))?;
@@ -143,6 +290,42 @@ impl Client {
         resp.result.map_err(ClientError::Wire)
     }
 
+    /// Round trip with the configured retry policy applied (if any).
+    fn call(
+        &mut self,
+        tenant: &str,
+        op: Op,
+        payload: Vec<u8>,
+        deadline_ms: Option<u32>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let Some(policy) = self.retry.clone() else {
+            return self.call_once(tenant, op, payload, deadline_ms);
+        };
+        if op == Op::Keygen {
+            // Never replayed: an ambiguous failure followed by a replay
+            // reports TenantExists and hides whether keygen happened.
+            return self.call_once(tenant, op, payload, deadline_ms);
+        }
+        let mut retry = 0u32;
+        loop {
+            let reconnect_first = match self.call_once(tenant, op, payload.clone(), deadline_ms) {
+                Ok(body) => return Ok(body),
+                Err(e) if retry + 1 >= policy.max_attempts.max(1) => return Err(e),
+                Err(ClientError::Io(_)) => true,
+                Err(ClientError::Wire(ref e)) if e.code.is_backpressure() => false,
+                Err(e) => return Err(e),
+            };
+            std::thread::sleep(policy.backoff(retry, &mut self.jitter_state));
+            retry += 1;
+            if reconnect_first {
+                // Best effort: if the dial fails, the next call_once
+                // reports the transport error and the loop decides
+                // whether budget remains.
+                let _ = self.reconnect();
+            }
+        }
+    }
+
     /// Signs one message under `tenant`'s key; returns the signature
     /// bytes.
     ///
@@ -151,7 +334,26 @@ impl Client {
     /// [`ClientError::Wire`] carries the server's typed rejection
     /// (unknown tenant, queue full, tenant busy, …).
     pub fn sign(&mut self, tenant: &str, msg: &[u8]) -> Result<Vec<u8>, ClientError> {
-        self.call(tenant, Op::Sign, msg.to_vec())
+        self.call(tenant, Op::Sign, msg.to_vec(), None)
+    }
+
+    /// Signs one message with a relative deadline: the server sheds the
+    /// request with [`ErrorCode::DeadlineExceeded`] instead of signing
+    /// if `deadline_ms` elapses (measured from frame receipt) before a
+    /// batch picks it up.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sign`], plus the typed deadline rejection.
+    ///
+    /// [`ErrorCode::DeadlineExceeded`]: crate::error::ErrorCode::DeadlineExceeded
+    pub fn sign_with_deadline(
+        &mut self,
+        tenant: &str,
+        msg: &[u8],
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.call(tenant, Op::Sign, msg.to_vec(), Some(deadline_ms))
     }
 
     /// Signs a batch of messages in one request; returns one signature
@@ -171,7 +373,7 @@ impl Client {
         for msg in msgs {
             wire::put_bytes(&mut payload, msg);
         }
-        let body = self.call(tenant, Op::SignBatch, payload)?;
+        let body = self.call(tenant, Op::SignBatch, payload, None)?;
         let mut at = 0;
         let count = wire::take_u32(&body, &mut at)
             .map_err(|e| ClientError::Protocol(e.to_string()))? as usize;
@@ -204,7 +406,7 @@ impl Client {
         let mut payload = Vec::new();
         wire::put_bytes(&mut payload, msg);
         wire::put_bytes(&mut payload, sig);
-        match self.call(tenant, Op::Verify, payload) {
+        match self.call(tenant, Op::Verify, payload, None) {
             Ok(_) => Ok(true),
             Err(ClientError::Wire(e)) if e.code == crate::error::ErrorCode::VerificationFailed => {
                 Ok(false)
@@ -216,6 +418,8 @@ impl Client {
     /// Generates (and registers) a key pair for a new tenant on the
     /// server. `alg = None` uses the parameter set's preferred hash;
     /// `seed = Some(_)` makes generation deterministic (tests only).
+    ///
+    /// Keygen is exempt from the retry policy (see the module docs).
     ///
     /// # Errors
     ///
@@ -240,7 +444,7 @@ impl Client {
             }
             None => payload.push(0),
         }
-        let body = self.call(tenant, Op::Keygen, payload)?;
+        let body = self.call(tenant, Op::Keygen, payload, None)?;
         let mut at = 0;
         let params =
             wire::take_str(&body, &mut at).map_err(|e| ClientError::Protocol(e.to_string()))?;
@@ -262,8 +466,52 @@ impl Client {
     /// [`ClientError::Io`]/[`ClientError::Protocol`] on transport or
     /// framing failures.
     pub fn stats(&mut self) -> Result<String, ClientError> {
-        let body = self.call("", Op::Stats, Vec::new())?;
+        let body = self.call("", Op::Stats, Vec::new(), None)?;
         String::from_utf8(body)
             .map_err(|_| ClientError::Protocol("stats page is not UTF-8".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        };
+        let mut state_a = 7u64;
+        let mut state_b = 7u64;
+        let a: Vec<Duration> = (0..6).map(|r| policy.backoff(r, &mut state_a)).collect();
+        let b: Vec<Duration> = (0..6).map(|r| policy.backoff(r, &mut state_b)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        for (r, d) in a.iter().enumerate() {
+            let step = Duration::from_millis(10)
+                .saturating_mul(1 << r)
+                .min(Duration::from_millis(200));
+            assert!(
+                *d >= step,
+                "retry {r}: {d:?} below exponential floor {step:?}"
+            );
+            assert!(
+                *d <= step + step.mul_f64(0.5),
+                "retry {r}: {d:?} above jitter ceiling"
+            );
+        }
+        // The cap binds: retries 5+ share the same exponential floor.
+        assert!(a[5] <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn jitter_streams_decorrelate_across_seeds() {
+        let policy = RetryPolicy::default();
+        let mut s1 = 1u64;
+        let mut s2 = 2u64;
+        let d1: Vec<Duration> = (0..4).map(|r| policy.backoff(r, &mut s1)).collect();
+        let d2: Vec<Duration> = (0..4).map(|r| policy.backoff(r, &mut s2)).collect();
+        assert_ne!(d1, d2, "different seeds should jitter differently");
     }
 }

@@ -68,12 +68,16 @@ pub enum ErrorCode {
     /// A structurally valid frame carried an unusable request (empty
     /// tenant on a keyed op, unsafe tenant name, bad keygen labels).
     BadRequest = 19,
+    /// The request's deadline (wire v2 `deadline_ms`) passed before the
+    /// server could sign it; the work was shed, not performed. Retrying
+    /// is pointless unless the client extends the budget.
+    DeadlineExceeded = 20,
 }
 
 impl ErrorCode {
     /// Every code, in ascending wire order — the round-trip test and
     /// docs iterate this.
-    pub const ALL: [ErrorCode; 19] = [
+    pub const ALL: [ErrorCode; 20] = [
         ErrorCode::Malformed,
         ErrorCode::UnsupportedVersion,
         ErrorCode::UnknownOpcode,
@@ -93,6 +97,7 @@ impl ErrorCode {
         ErrorCode::Keyfile,
         ErrorCode::TenantExists,
         ErrorCode::BadRequest,
+        ErrorCode::DeadlineExceeded,
     ];
 
     /// The on-wire `u16` value.
@@ -124,6 +129,7 @@ impl ErrorCode {
             17 => ErrorCode::Keyfile,
             18 => ErrorCode::TenantExists,
             19 => ErrorCode::BadRequest,
+            20 => ErrorCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -209,6 +215,7 @@ impl From<ServiceError> for WireError {
         match &e {
             ServiceError::ShuttingDown => Self::new(ErrorCode::ShuttingDown, e.to_string()),
             ServiceError::QueueFull => Self::new(ErrorCode::QueueFull, e.to_string()),
+            ServiceError::DeadlineExceeded => Self::new(ErrorCode::DeadlineExceeded, e.to_string()),
             ServiceError::Engine(inner) => {
                 let mapped = WireError::from(inner.clone());
                 Self::new(mapped.code, e.to_string())
@@ -318,6 +325,7 @@ mod tests {
                 ServiceError::Internal("batch panicked".into()),
                 ErrorCode::Internal,
             ),
+            (ServiceError::DeadlineExceeded, ErrorCode::DeadlineExceeded),
         ];
         for (err, code) in cases {
             assert_eq!(WireError::from(err.clone()).code, code, "{err:?}");

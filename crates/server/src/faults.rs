@@ -1,0 +1,33 @@
+//! hero-server's named fault points for the deterministic
+//! fault-injection engine in [`hero_sign::faults`].
+//!
+//! The engine itself (schedule parsing, seeded decisions, install /
+//! clear) lives in the core crate; this module only registers the
+//! server-layer point names so one `HERO_FAULTS` schedule can reach
+//! from the TCP edge down to the executor. See
+//! `docs/ARCHITECTURE.md` § "Failure model and fault injection" for the
+//! full catalog.
+
+/// Connection point, evaluated before each frame read: a fired **fail**
+/// spec closes the connection as if the peer vanished. Fires *between*
+/// requests, never between accept-and-answer, so the exactly-once
+/// guarantee is unaffected — the client sees a transport error and may
+/// safely retry.
+pub const SERVER_CONN_DROP: &str = "server.conn.drop";
+
+/// Response-write point: a fired **fail** spec writes only a prefix of
+/// the response frame and then closes the connection, modeling a peer
+/// or network that dies mid-write. The client observes a truncated
+/// frame as an I/O error (retry-safe: signing is deterministic).
+pub const SERVER_WRITE_PARTIAL: &str = "server.write.partial";
+
+/// Response-write point intended for **delay** specs: stalls the
+/// response write, modeling a congested or half-dead peer. Pairs with
+/// the client's socket timeouts.
+pub const SERVER_WRITE_SLOW: &str = "server.write.slow";
+
+/// Keystore I/O point, evaluated per key file read: a fired **fail**
+/// spec turns the read into a typed [`ErrorCode::Keyfile`] failure.
+///
+/// [`ErrorCode::Keyfile`]: crate::error::ErrorCode::Keyfile
+pub const KEYSTORE_IO: &str = "keystore.io";

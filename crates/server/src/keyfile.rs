@@ -21,6 +21,8 @@
 use hero_sphincs::hash::HashAlg;
 use hero_sphincs::{keygen_from_seeds_with_alg, Params, SigningKey, VerifyingKey};
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A structurally invalid key or public-key file.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -132,6 +134,72 @@ pub fn decode(text: &str) -> Result<(SigningKey, VerifyingKey), KeyfileError> {
     ))
 }
 
+/// A unique sibling temp path for staging an atomic write of `path`
+/// (same directory, so the final rename/link never crosses filesystems).
+fn staging_path(path: &Path) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("key");
+    path.with_file_name(format!(
+        ".{stem}.{}-{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ))
+}
+
+/// Stages `contents` in a sibling temp file, fsyncs it, then writes it
+/// into the staging slot fully before it is published. Returns the temp
+/// path; the caller finishes the publish (rename or link) and removes
+/// the temp file on failure.
+fn stage(path: &Path, contents: &str) -> io::Result<PathBuf> {
+    let tmp = staging_path(path);
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&tmp)?;
+    if let Err(e) =
+        io::Write::write_all(&mut file, contents.as_bytes()).and_then(|()| file.sync_all())
+    {
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(tmp)
+}
+
+/// Crash-safe overwrite: `contents` lands at `path` completely or not at
+/// all. The bytes are staged in a sibling temp file, fsynced, and
+/// renamed into place — a crash at any step leaves either the old file
+/// or the new one, never a truncated hybrid.
+///
+/// # Errors
+///
+/// Any underlying I/O failure; on rename failure the temp file is
+/// removed, leaving `path` untouched.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = stage(path, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Crash-safe *exclusive* create: like [`write_atomic`], but fails with
+/// [`io::ErrorKind::AlreadyExists`] when `path` is already present. The
+/// staged temp file is published with a hard link, which is atomic and
+/// refuses to clobber — so two concurrent writers race safely: exactly
+/// one wins, the loser sees `AlreadyExists`, and `path` is never
+/// observable half-written.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::AlreadyExists`] when `path` exists, or any
+/// underlying I/O failure; the temp file is removed either way.
+pub fn write_new_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = stage(path, contents)?;
+    let published = std::fs::hard_link(&tmp, path);
+    let _ = std::fs::remove_file(&tmp);
+    published
+}
+
 /// Renders a public-key file (`pk_seed || pk_root` in hex, no secrets).
 pub fn encode_public(vk: &VerifyingKey) -> String {
     format!(
@@ -193,6 +261,34 @@ mod tests {
         assert!(decode(&truncated).is_err());
         let wrong_len = good.replace(&to_hex(&[1u8; 16]), &to_hex(&[1u8; 8]));
         assert!(decode(&wrong_len).is_err());
+    }
+
+    #[test]
+    fn atomic_writers_publish_whole_files_and_respect_exclusivity() {
+        let dir = std::env::temp_dir().join(format!("hero-keyfile-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tenant.key");
+
+        write_new_atomic(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+
+        // Exclusive create refuses to clobber, typed as AlreadyExists.
+        let err = write_new_atomic(&path, "usurper\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+
+        // Overwrite replaces the whole file.
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+
+        // No staging litter survives any of the above.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::keyfile;
 use hero_sphincs::sign::{SigningKey, VerifyingKey};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One tenant's key material.
 #[derive(Clone, Debug)]
@@ -33,9 +34,18 @@ pub struct TenantKey {
 /// Generic over the value so the server reuses it for both the key
 /// store and the per-tenant runtime state (service + admission
 /// counters).
+/// Shard locks are
+/// *poison-recovering*: a reader or writer that panicked while holding
+/// one (say, an injected fault inside a value constructor) marks the
+/// lock poisoned, but the map itself stays structurally valid — every
+/// mutation is a single `HashMap` operation that either happened or did
+/// not. Recovery therefore reclaims the guard, re-checks consistency by
+/// construction, and counts the event in
+/// [`ShardedMap::poison_recoveries`] so the metrics page surfaces it.
 #[derive(Debug)]
 pub struct ShardedMap<V> {
     shards: Vec<RwLock<HashMap<String, V>>>,
+    poison_recoveries: AtomicU64,
 }
 
 impl<V: Clone> ShardedMap<V> {
@@ -49,6 +59,7 @@ impl<V: Clone> ShardedMap<V> {
             shards: (0..Self::SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -62,19 +73,49 @@ impl<V: Clone> ShardedMap<V> {
         &self.shards[(h % Self::SHARDS as u64) as usize]
     }
 
+    /// Read-locks a shard, recovering (and counting) a poisoned lock
+    /// instead of propagating the panic to every future caller.
+    fn read_shard<'a>(
+        &'a self,
+        lock: &'a RwLock<HashMap<String, V>>,
+    ) -> RwLockReadGuard<'a, HashMap<String, V>> {
+        lock.read().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            // Un-poison so one panic is counted once, not on every
+            // subsequent access to the shard.
+            lock.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Write-lock analogue of [`ShardedMap::read_shard`].
+    fn write_shard<'a>(
+        &'a self,
+        lock: &'a RwLock<HashMap<String, V>>,
+    ) -> RwLockWriteGuard<'a, HashMap<String, V>> {
+        lock.write().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            lock.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// How many times a poisoned shard lock was reclaimed. Non-zero
+    /// means some caller panicked while holding a shard — worth alerting
+    /// on even though the map recovers.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Clones the value for `key`, if present.
     pub fn get(&self, key: &str) -> Option<V> {
-        self.shard(key)
-            .read()
-            .expect("shard lock")
-            .get(key)
-            .cloned()
+        self.read_shard(self.shard(key)).get(key).cloned()
     }
 
     /// Inserts `value` unless `key` is already present; returns whether
     /// the insert happened.
     pub fn insert_new(&self, key: &str, value: V) -> bool {
-        let mut shard = self.shard(key).write().expect("shard lock");
+        let mut shard = self.write_shard(self.shard(key));
         if shard.contains_key(key) {
             return false;
         }
@@ -87,7 +128,7 @@ impl<V: Clone> ShardedMap<V> {
         if let Some(v) = self.get(key) {
             return v;
         }
-        let mut shard = self.shard(key).write().expect("shard lock");
+        let mut shard = self.write_shard(self.shard(key));
         shard.entry(key.to_string()).or_insert_with(make).clone()
     }
 
@@ -97,13 +138,7 @@ impl<V: Clone> ShardedMap<V> {
         let mut out: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| {
-                s.read()
-                    .expect("shard lock")
-                    .keys()
-                    .cloned()
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|s| self.read_shard(s).keys().cloned().collect::<Vec<_>>())
             .collect();
         out.sort();
         out
@@ -115,8 +150,7 @@ impl<V: Clone> ShardedMap<V> {
             .shards
             .iter()
             .flat_map(|s| {
-                s.read()
-                    .expect("shard lock")
+                self.read_shard(s)
                     .iter()
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect::<Vec<_>>()
@@ -128,10 +162,7 @@ impl<V: Clone> ShardedMap<V> {
 
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock").len())
-            .sum()
+        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
     }
 
     /// Whether no entries exist.
@@ -207,6 +238,12 @@ impl KeyStore {
             let Some(tenant) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
+            if hero_sign::faults::fire(crate::faults::KEYSTORE_IO) {
+                return Err(WireError::new(
+                    ErrorCode::Keyfile,
+                    format!("{}: injected keystore I/O fault", path.display()),
+                ));
+            }
             let text = std::fs::read_to_string(&path).map_err(|e| {
                 WireError::new(ErrorCode::Keyfile, format!("{}: {e}", path.display()))
             })?;
@@ -233,6 +270,12 @@ impl KeyStore {
     /// Whether the store holds no tenants.
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+
+    /// Poisoned-lock recoveries in the underlying sharded map (see
+    /// [`ShardedMap::poison_recoveries`]).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.keys.poison_recoveries()
     }
 }
 
@@ -284,6 +327,32 @@ mod tests {
         let entries = map.entries();
         assert_eq!(entries.len(), 101);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn poisoned_shard_lock_recovers_and_is_counted() {
+        let map: Arc<ShardedMap<usize>> = Arc::new(ShardedMap::new());
+        map.insert_new("survivor", 1);
+        // Poison the shard holding "survivor" by panicking inside
+        // get_or_insert_with's value constructor while the write lock is
+        // held — the injected-fault shape chaos schedules produce.
+        let poisoner = Arc::clone(&map);
+        let _ = std::thread::spawn(move || {
+            poisoner.get_or_insert_with("doomed", || panic!("injected fault: value ctor"));
+        })
+        .join();
+        assert_eq!(map.poison_recoveries(), 0, "nothing recovered yet");
+        // The poisoned shard's map never held the failed entry (the
+        // consistency argument is per-operation atomicity), and probing
+        // it both works and counts the recovery.
+        assert_eq!(map.get("doomed"), None);
+        assert!(map.poison_recoveries() >= 1);
+        // Every access path keeps working, including writes to the
+        // recovered shard and full-map listings.
+        assert!(map.insert_new("doomed", 2));
+        assert_eq!(map.get("doomed"), Some(2));
+        assert_eq!(map.get("survivor"), Some(1));
+        assert_eq!(map.len(), 2);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod client;
 pub mod error;
+pub mod faults;
 pub mod keyfile;
 pub mod keystore;
 pub mod metrics;

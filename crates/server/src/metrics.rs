@@ -34,6 +34,14 @@ pub struct Metrics {
     pub requests: AtomicU64,
     /// Responses carrying a typed error.
     pub rejected: AtomicU64,
+    /// Requests answered with [`ErrorCode::DeadlineExceeded`] — shed at
+    /// receipt or expired while queued, never signed.
+    ///
+    /// [`ErrorCode::DeadlineExceeded`]: crate::error::ErrorCode::DeadlineExceeded
+    pub deadline_expired: AtomicU64,
+    /// Poisoned locks reclaimed (the latency window here, plus the
+    /// sharded keystore/tenant/engine maps, folded in at render time).
+    pub lock_poison_recoveries: AtomicU64,
     /// Sign/sign-batch latency samples (per message, not per batch).
     latency: Mutex<LatencyWindow>,
 }
@@ -45,18 +53,37 @@ impl Metrics {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            lock_poison_recoveries: AtomicU64::new(0),
             latency: Mutex::new(LatencyWindow::new(latency_window)),
         }
     }
 
+    /// Locks the latency window, recovering a poisoned lock. Unlike the
+    /// sharded maps (whose operations are atomic), a `record` can be
+    /// interrupted between the sample write and the cursor advance, so
+    /// the consistency re-check after recovery is to clear the window:
+    /// an empty percentile report is honest, a half-updated one lies.
+    fn latency_window(&self) -> std::sync::MutexGuard<'_, LatencyWindow> {
+        self.latency.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            // Un-poison so the recovery (and the clear) happens once per
+            // poisoning event, not once per subsequent access.
+            self.latency.clear_poison();
+            let mut window = poisoned.into_inner();
+            window.clear();
+            window
+        })
+    }
+
     /// Records one end-to-end sign latency sample.
     pub fn record_latency(&self, sample: std::time::Duration) {
-        self.latency.lock().expect("latency window").record(sample);
+        self.latency_window().record(sample);
     }
 
     /// Current latency summary, if any samples exist.
     pub fn latency_summary(&self) -> Option<LatencySummary> {
-        self.latency.lock().expect("latency window").summary()
+        self.latency_window().summary()
     }
 }
 
@@ -76,8 +103,16 @@ pub struct TenantRow {
     pub queue_depth: u64,
 }
 
-/// Renders the plaintext metrics page.
-pub fn render(metrics: &Metrics, tenants: &[TenantRow], draining: bool) -> String {
+/// Renders the plaintext metrics page. `shard_poison_recoveries` folds
+/// in the sharded maps' reclaim counters (keystore, tenants, engines),
+/// which live outside [`Metrics`]; the rendered total also includes the
+/// latency-window recoveries counted internally.
+pub fn render(
+    metrics: &Metrics,
+    tenants: &[TenantRow],
+    draining: bool,
+    shard_poison_recoveries: u64,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "hero_server_up {}", if draining { 0 } else { 1 });
     let _ = writeln!(
@@ -94,6 +129,19 @@ pub fn render(metrics: &Metrics, tenants: &[TenantRow], draining: bool) -> Strin
         out,
         "hero_server_requests_rejected_total {}",
         metrics.rejected.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "hero_server_deadline_expired_total {}",
+        metrics.deadline_expired.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "hero_server_lock_poison_recoveries_total {}",
+        metrics
+            .lock_poison_recoveries
+            .load(Ordering::Relaxed)
+            .saturating_add(shard_poison_recoveries)
     );
     match metrics.latency_summary() {
         Some(s) => {
@@ -168,9 +216,18 @@ mod tests {
             inflight: 2,
             queue_depth: 3,
         }];
-        let page = render(&m, &rows, false);
+        m.deadline_expired.fetch_add(4, Ordering::Relaxed);
+        let page = render(&m, &rows, false, 3);
         assert!(page.contains("hero_server_up 1"), "{page}");
         assert!(page.contains("hero_server_requests_total 10"), "{page}");
+        assert!(
+            page.contains("hero_server_deadline_expired_total 4"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_server_lock_poison_recoveries_total 3"),
+            "{page}"
+        );
         assert!(
             page.contains("hero_server_sign_latency_us{quantile=\"0.99\"} 400.0"),
             "{page}"
@@ -186,9 +243,27 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_latency_window_recovers_cleared_and_counted() {
+        let m = std::sync::Arc::new(Metrics::new(8));
+        m.record_latency(Duration::from_micros(100));
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.latency.lock().unwrap();
+            panic!("injected fault: mid-record");
+        })
+        .join();
+        // Recovery clears the window (the half-updated samples cannot be
+        // trusted) and counts the event; recording keeps working.
+        assert!(m.latency_summary().is_none());
+        assert!(m.lock_poison_recoveries.load(Ordering::Relaxed) >= 1);
+        m.record_latency(Duration::from_micros(200));
+        assert_eq!(m.latency_summary().unwrap().count, 1);
+    }
+
+    #[test]
     fn quiet_server_renders_without_samples() {
         let m = Metrics::new(8);
-        let page = render(&m, &[], true);
+        let page = render(&m, &[], true, 0);
         assert!(page.contains("hero_server_up 0"), "{page}");
         assert!(
             page.contains("hero_server_sign_latency_samples 0"),

@@ -253,7 +253,17 @@ impl ServerShared {
                 queue_depth: state.service.queue_depth() as u64,
             })
             .collect();
-        crate::metrics::render(&self.metrics, &rows, self.draining.load(Ordering::Relaxed))
+        let shard_recoveries = self
+            .keystore
+            .poison_recoveries()
+            .saturating_add(self.tenants.poison_recoveries())
+            .saturating_add(self.engines.poison_recoveries());
+        crate::metrics::render(
+            &self.metrics,
+            &rows,
+            self.draining.load(Ordering::Relaxed),
+            shard_recoveries,
+        )
     }
 }
 
@@ -512,6 +522,12 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     loop {
+        // Chaos point: drop the connection *between* requests — nothing
+        // has been accepted yet, so the exactly-once guarantee holds and
+        // the client sees a clean transport error.
+        if hero_sign::faults::fire(crate::faults::SERVER_CONN_DROP) {
+            return;
+        }
         let body = match wire::read_frame(&mut stream, shared.config.max_frame) {
             Ok(Frame::Body(body)) => body,
             Ok(Frame::Eof) => return,
@@ -541,11 +557,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             // accepted, nothing to answer.
             Err(_) => return,
         };
+        // Relative deadlines are anchored here, at frame receipt: the
+        // client's clock never enters the computation, only its budget.
+        let received = Instant::now();
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let resp = match wire::decode_request(&body) {
             Ok(req) => {
                 let id = req.id;
-                let result = dispatch(shared, req);
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| received + Duration::from_millis(u64::from(ms)));
+                let result = dispatch(shared, req, deadline);
                 Response { id, result }
             }
             Err(e) => Response {
@@ -553,23 +575,54 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                 result: Err(e),
             },
         };
-        if resp.result.is_err() {
+        if let Err(e) = &resp.result {
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            if e.code == ErrorCode::DeadlineExceeded {
+                shared
+                    .metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
-        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+        let frame = wire::encode_response(&resp);
+        // Chaos point (delay specs): a congested peer stalls the write.
+        let _ = hero_sign::faults::fire(crate::faults::SERVER_WRITE_SLOW);
+        // Chaos point: die mid-write — the client reads a truncated
+        // frame and must treat the request's fate as unknown (which is
+        // safe to retry here: signing is deterministic).
+        if hero_sign::faults::fire(crate::faults::SERVER_WRITE_PARTIAL) {
+            let _ = io::Write::write_all(&mut stream, &(frame.len() as u32).to_be_bytes());
+            let _ = io::Write::write_all(&mut stream, &frame[..frame.len() / 2]);
+            return;
+        }
+        if wire::write_frame(&mut stream, &frame).is_err() {
             return;
         }
     }
 }
 
-/// Executes one decoded request.
-fn dispatch(shared: &Arc<ServerShared>, req: Request) -> Result<Vec<u8>, WireError> {
+/// Executes one decoded request. `deadline` is the request's absolute
+/// expiry (wire `deadline_ms` anchored at frame receipt), `None` for
+/// v1 frames and v2 frames without the flag.
+fn dispatch(
+    shared: &Arc<ServerShared>,
+    req: Request,
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, WireError> {
     // A request read after drain began is answered (exactly once) with
     // the typed drain error rather than being dropped on the floor.
     if shared.draining.load(Ordering::SeqCst) && req.op != Op::Stats {
         return Err(WireError::new(
             ErrorCode::ShuttingDown,
             "server is draining",
+        ));
+    }
+    // A deadline that expired before dispatch (slow read, long frame) is
+    // shed up front — the typed rejection is cheaper than any op.
+    if req.op != Op::Stats && deadline.is_some_and(|d| d <= Instant::now()) {
+        return Err(WireError::new(
+            ErrorCode::DeadlineExceeded,
+            "request deadline passed before dispatch",
         ));
     }
     match req.op {
@@ -605,8 +658,8 @@ fn dispatch(shared: &Arc<ServerShared>, req: Request) -> Result<Vec<u8>, WireErr
                 ));
             }
             let result = match req.op {
-                Op::Sign => op_sign(shared, &state, &key, &req.payload),
-                Op::SignBatch => op_sign_batch(shared, &state, &key, &req.payload),
+                Op::Sign => op_sign(shared, &state, &key, &req.payload, deadline),
+                Op::SignBatch => op_sign_batch(shared, &state, &key, &req.payload, deadline),
                 Op::Verify => op_verify(shared, &key, &req.payload),
                 _ => unreachable!("matched above"),
             };
@@ -620,19 +673,31 @@ fn dispatch(shared: &Arc<ServerShared>, req: Request) -> Result<Vec<u8>, WireErr
     }
 }
 
+/// Submits one message to the tenant's service, threading the deadline
+/// through so the batcher can shed it typed if it expires while queued.
+fn submit(
+    state: &TenantState,
+    msg: Vec<u8>,
+    deadline: Option<Instant>,
+) -> Result<hero_sign::service::SignTicket, WireError> {
+    // Overload is a typed rejection, not a stall: try_submit surfaces a
+    // full queue as QueueFull instead of blocking the connection.
+    match deadline {
+        Some(d) => state.service.try_submit_with_deadline(msg, d),
+        None => state.service.try_submit(msg),
+    }
+    .map_err(WireError::from)
+}
+
 fn op_sign(
     shared: &Arc<ServerShared>,
     state: &TenantState,
     key: &TenantKey,
     payload: &[u8],
+    deadline: Option<Instant>,
 ) -> Result<Vec<u8>, WireError> {
     let begin = Instant::now();
-    // Overload is a typed rejection, not a stall: try_submit surfaces a
-    // full queue as QueueFull instead of blocking the connection.
-    let ticket = state
-        .service
-        .try_submit(payload.to_vec())
-        .map_err(WireError::from)?;
+    let ticket = submit(state, payload.to_vec(), deadline)?;
     let sig = ticket.wait().map_err(WireError::from)?;
     shared.metrics.record_latency(begin.elapsed());
     Ok(sig.to_bytes(key.sk.params()))
@@ -643,6 +708,7 @@ fn op_sign_batch(
     state: &TenantState,
     key: &TenantKey,
     payload: &[u8],
+    deadline: Option<Instant>,
 ) -> Result<Vec<u8>, WireError> {
     let mut at = 0;
     let count = wire::take_u32(payload, &mut at)? as usize;
@@ -667,7 +733,7 @@ fn op_sign_batch(
     let begin = Instant::now();
     let mut tickets = Vec::with_capacity(count);
     for msg in msgs {
-        tickets.push(state.service.try_submit(msg).map_err(WireError::from)?);
+        tickets.push(submit(state, msg, deadline)?);
     }
     let mut out = Vec::new();
     out.extend_from_slice(&(count as u32).to_be_bytes());
@@ -760,19 +826,24 @@ fn op_keygen(shared: &Arc<ServerShared>, req: &Request) -> Result<Vec<u8>, WireE
         .map_err(|e| WireError::from(HeroError::from(e)))?;
 
     // Persist before publishing: a key that cannot be stored durably is
-    // not handed out. `create_new` makes the existence check and the
-    // create one atomic step, so two concurrent keygens for the same
-    // tenant cannot both write the file — exactly one wins, and the key
-    // published in memory is always the one on disk.
+    // not handed out. The write is crash-safe *and* exclusive: the key
+    // material is staged in a temp file, fsynced, and hard-linked into
+    // place — the final path either holds a complete key file or does
+    // not exist, and two concurrent keygens for the same tenant cannot
+    // both publish (the link refuses to clobber, the loser gets
+    // TenantExists). The key published in memory is always the one on
+    // disk.
     if let Some(dir) = &shared.config.keys_dir {
         let text = keyfile::encode(&params, alg, sk.sk_seed(), sk.sk_prf(), sk.pk_seed());
         let path = dir.join(format!("{tenant}.key"));
-        let mut file = match std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-        {
-            Ok(file) => file,
+        if hero_sign::faults::fire(crate::faults::KEYSTORE_IO) {
+            return Err(WireError::new(
+                ErrorCode::Keyfile,
+                format!("{}: injected keystore I/O fault", path.display()),
+            ));
+        }
+        match keyfile::write_new_atomic(&path, &text) {
+            Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                 return Err(WireError::new(
                     ErrorCode::TenantExists,
@@ -785,14 +856,6 @@ fn op_keygen(shared: &Arc<ServerShared>, req: &Request) -> Result<Vec<u8>, WireE
                     format!("{}: {e}", path.display()),
                 ));
             }
-        };
-        if let Err(e) = io::Write::write_all(&mut file, text.as_bytes()) {
-            drop(file);
-            let _ = std::fs::remove_file(&path);
-            return Err(WireError::new(
-                ErrorCode::Keyfile,
-                format!("{}: {e}", path.display()),
-            ));
         }
         // The exclusive create won the disk race; if the tenant is
         // nonetheless already in memory (loaded from another directory),

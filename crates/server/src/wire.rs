@@ -1,4 +1,5 @@
-//! Wire protocol v1: versioned, length-prefixed binary frames over TCP.
+//! Wire protocol v1/v2: versioned, length-prefixed binary frames over
+//! TCP.
 //!
 //! Every frame is a 4-byte big-endian length followed by that many body
 //! bytes. All multi-byte integers are big-endian.
@@ -9,8 +10,12 @@
 //!            └────────────┴─────────────────────────────────────────┘
 //!
 //!   request  ┌────────┬─────────┬────────┬──────────┬────────┬──────┐
-//!   body     │ ver:u8 │ id:u64  │ op:u8  │ tlen:u16 │ tenant │ load │
+//!   body v1  │ ver:u8 │ id:u64  │ op:u8  │ tlen:u16 │ tenant │ load │
 //!            └────────┴─────────┴────────┴──────────┴────────┴──────┘
+//!
+//!   request  ┌────────┬────────┬───────┬──────────┬────────────────┬──────────┬────────┬──────┐
+//!   body v2  │ ver:u8 │ id:u64 │ op:u8 │ flags:u8 │ [deadline:u32] │ tlen:u16 │ tenant │ load │
+//!            └────────┴────────┴───────┴──────────┴────────────────┴──────────┴────────┴──────┘
 //!
 //!   response ┌────────┬─────────┬───────────┬────────────────────────┐
 //!   body     │ ver:u8 │ id:u64  │ code:u16  │ payload | error msg    │
@@ -23,6 +28,19 @@
 //! verbatim, so a client can match responses even if a future server
 //! pipelines them. One op per frame; the reference server answers every
 //! accepted frame exactly once, in order, per connection.
+//!
+//! ## Version negotiation
+//!
+//! v2 adds a `flags` byte after the opcode; flag bit 0
+//! ([`FLAG_DEADLINE`]) announces a `deadline:u32` — the request's
+//! remaining time budget in **milliseconds, relative to receipt**
+//! (absolute instants don't survive a network hop between unsynchronized
+//! clocks). A server past the budget answers
+//! [`ErrorCode::DeadlineExceeded`] instead of signing. Negotiation is
+//! per-request and implicit: [`encode_request`] emits a byte-identical
+//! v1 body whenever no deadline is set, so old servers never see a v2
+//! frame from a client that doesn't use deadlines, and new servers
+//! accept both versions. Responses are always v1.
 //!
 //! Per-op payloads (all lengths `u32` unless noted):
 //!
@@ -44,10 +62,19 @@
 use crate::error::{ErrorCode, WireError};
 use std::io::{self, Read, Write};
 
-/// The protocol version this crate speaks.
+/// The baseline protocol version (requests without a deadline, and all
+/// responses).
 pub const WIRE_VERSION: u8 = 1;
 
-/// Fixed bytes of a request body before the tenant: version (1) +
+/// The extended request version carrying a flags byte (and, with
+/// [`FLAG_DEADLINE`], a relative deadline).
+pub const WIRE_VERSION_V2: u8 = 2;
+
+/// v2 flag bit 0: a `deadline:u32` (milliseconds, relative to receipt)
+/// follows the flags byte.
+pub const FLAG_DEADLINE: u8 = 0b0000_0001;
+
+/// Fixed bytes of a v1 request body before the tenant: version (1) +
 /// request id (8) + opcode (1) + tenant length (2).
 pub const REQUEST_HEADER_LEN: usize = 12;
 
@@ -98,6 +125,11 @@ pub struct Request {
     pub op: Op,
     /// Op-specific payload (see the module docs).
     pub payload: Vec<u8>,
+    /// Remaining time budget in milliseconds, relative to receipt
+    /// (`None` = no deadline). Carried on the wire only by v2 frames;
+    /// the receiver anchors it to its own clock the moment the frame is
+    /// read.
+    pub deadline_ms: Option<u32>,
 }
 
 /// A decoded response frame: the echoed id and either the op's payload
@@ -110,16 +142,29 @@ pub struct Response {
     pub result: Result<Vec<u8>, WireError>,
 }
 
-/// Encodes a request into one frame.
+/// Encodes a request into one frame: a byte-identical v1 body when the
+/// request carries no deadline (so servers that only speak v1 are
+/// unaffected), a v2 body otherwise.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let tenant = req.tenant.as_bytes();
     assert!(tenant.len() <= u16::MAX as usize, "tenant name too long");
-    let body_len = REQUEST_HEADER_LEN + tenant.len() + req.payload.len();
+    let extra = match req.deadline_ms {
+        Some(_) => 5, // flags byte + deadline u32
+        None => 0,
+    };
+    let body_len = REQUEST_HEADER_LEN + extra + tenant.len() + req.payload.len();
     let mut out = Vec::with_capacity(4 + body_len);
     out.extend_from_slice(&(body_len as u32).to_be_bytes());
-    out.push(WIRE_VERSION);
+    out.push(match req.deadline_ms {
+        Some(_) => WIRE_VERSION_V2,
+        None => WIRE_VERSION,
+    });
     out.extend_from_slice(&req.id.to_be_bytes());
     out.push(req.op as u8);
+    if let Some(ms) = req.deadline_ms {
+        out.push(FLAG_DEADLINE);
+        out.extend_from_slice(&ms.to_be_bytes());
+    }
     out.extend_from_slice(&(tenant.len() as u16).to_be_bytes());
     out.extend_from_slice(tenant);
     out.extend_from_slice(&req.payload);
@@ -229,7 +274,8 @@ pub fn peek_request_id(body: &[u8]) -> u64 {
     }
 }
 
-/// Decodes a request body.
+/// Decodes a request body — v1 and v2 are both accepted (see the module
+/// docs for negotiation).
 ///
 /// # Errors
 ///
@@ -246,10 +292,13 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         ));
     }
     let version = body[0];
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION && version != WIRE_VERSION_V2 {
         return Err(WireError::new(
             ErrorCode::UnsupportedVersion,
-            format!("peer speaks wire version {version}, this server speaks {WIRE_VERSION}"),
+            format!(
+                "peer speaks wire version {version}, this server speaks \
+                 {WIRE_VERSION} and {WIRE_VERSION_V2}"
+            ),
         ));
     }
     let id = u64::from_be_bytes(body[1..9].try_into().expect("sized"));
@@ -259,8 +308,27 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
             format!("unknown opcode {}", body[9]),
         )
     })?;
-    let tenant_len = u16::from_be_bytes(body[10..12].try_into().expect("sized")) as usize;
-    let rest = &body[REQUEST_HEADER_LEN..];
+    let mut at = 10;
+    let mut deadline_ms = None;
+    if version == WIRE_VERSION_V2 {
+        let flags = body[at];
+        at += 1;
+        if flags & !FLAG_DEADLINE != 0 {
+            return Err(WireError::new(
+                ErrorCode::Malformed,
+                format!("unknown v2 flags 0x{flags:02x}"),
+            ));
+        }
+        if flags & FLAG_DEADLINE != 0 {
+            deadline_ms = Some(take_u32(body, &mut at)?);
+        }
+    }
+    let tlen_end = at
+        .checked_add(2)
+        .filter(|&e| e <= body.len())
+        .ok_or_else(|| WireError::new(ErrorCode::Malformed, "truncated tenant length"))?;
+    let tenant_len = u16::from_be_bytes(body[at..tlen_end].try_into().expect("sized")) as usize;
+    let rest = &body[tlen_end..];
     if rest.len() < tenant_len {
         return Err(WireError::new(
             ErrorCode::Malformed,
@@ -278,6 +346,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         tenant,
         op,
         payload: rest[tenant_len..].to_vec(),
+        deadline_ms,
     })
 }
 
@@ -402,6 +471,7 @@ mod tests {
             tenant: "validator-7".to_string(),
             op: Op::Sign,
             payload: b"message bytes".to_vec(),
+            deadline_ms: None,
         };
         let frame = encode_request(&req);
         let mut cursor = std::io::Cursor::new(frame);
@@ -409,6 +479,72 @@ mod tests {
             Frame::Body(body) => assert_eq!(decode_request(&body).unwrap(), req),
             other => panic!("expected body, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_requests_use_v2_and_round_trip() {
+        let req = Request {
+            id: 11,
+            tenant: "t".to_string(),
+            op: Op::Sign,
+            payload: b"msg".to_vec(),
+            deadline_ms: Some(1500),
+        };
+        let frame = encode_request(&req);
+        assert_eq!(frame[4], WIRE_VERSION_V2, "deadline requests are v2");
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            Frame::Body(body) => assert_eq!(decode_request(&body).unwrap(), req),
+            other => panic!("expected body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_free_requests_stay_byte_identical_v1() {
+        // The negotiation contract: a client that sets no deadline emits
+        // exactly the v1 bytes it always did, so old servers are
+        // unaffected by this crate's v2 support.
+        let req = Request {
+            id: 3,
+            tenant: "legacy".to_string(),
+            op: Op::Verify,
+            payload: vec![1, 2, 3],
+            deadline_ms: None,
+        };
+        let frame = encode_request(&req);
+        assert_eq!(frame[4], WIRE_VERSION);
+        // Hand-build the v1 body and compare bytes.
+        let mut v1 = Vec::new();
+        v1.push(WIRE_VERSION);
+        v1.extend_from_slice(&3u64.to_be_bytes());
+        v1.push(Op::Verify as u8);
+        v1.extend_from_slice(&6u16.to_be_bytes());
+        v1.extend_from_slice(b"legacy");
+        v1.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(&frame[4..], v1.as_slice());
+    }
+
+    #[test]
+    fn v2_rejects_unknown_flags_and_truncation() {
+        let mut body = vec![WIRE_VERSION_V2];
+        body.extend_from_slice(&9u64.to_be_bytes());
+        body.push(Op::Sign as u8);
+        body.push(0b1000_0000); // unknown flag bit
+        body.extend_from_slice(&0u16.to_be_bytes());
+        assert_eq!(
+            decode_request(&body).unwrap_err().code,
+            ErrorCode::Malformed
+        );
+        // Deadline flag set but the u32 is missing.
+        let mut body = vec![WIRE_VERSION_V2];
+        body.extend_from_slice(&9u64.to_be_bytes());
+        body.push(Op::Sign as u8);
+        body.push(FLAG_DEADLINE);
+        body.extend_from_slice(&[0, 1]); // 2 bytes where 4 + tlen are due
+        assert_eq!(
+            decode_request(&body).unwrap_err().code,
+            ErrorCode::Malformed
+        );
     }
 
     #[test]
@@ -464,6 +600,7 @@ mod tests {
             tenant: String::new(),
             op: Op::Stats,
             payload: Vec::new(),
+            deadline_ms: None,
         }));
         let mut cursor = std::io::Cursor::new(data);
         match read_frame(&mut cursor, 1024).unwrap() {
@@ -493,6 +630,7 @@ mod tests {
             tenant: "t".into(),
             op: Op::Sign,
             payload: vec![],
+            deadline_ms: None,
         });
         req[4] = 99; // version byte lives right after the length prefix
         let err = decode_request(&req[4..]).unwrap_err();
@@ -503,6 +641,7 @@ mod tests {
             tenant: "t".into(),
             op: Op::Sign,
             payload: vec![],
+            deadline_ms: None,
         });
         req[13] = 77; // opcode byte: 4 (len) + 1 (ver) + 8 (id)
         let err = decode_request(&req[4..]).unwrap_err();

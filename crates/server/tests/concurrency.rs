@@ -179,6 +179,7 @@ fn hostile_frames_answered_typed_without_killing_the_connection() {
         id: 60,
         tenant: "tenant-a".to_string(),
         op: Op::SignBatch,
+        deadline_ms: None,
         payload: u32::MAX.to_be_bytes().to_vec(),
     };
     wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();
@@ -192,6 +193,7 @@ fn hostile_frames_answered_typed_without_killing_the_connection() {
         id: 99,
         tenant: "tenant-a".to_string(),
         op: Op::Sign,
+        deadline_ms: None,
         payload: msg.clone(),
     };
     wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();

@@ -1,0 +1,126 @@
+//! Chaos hook: the task-graph side of the workspace's fault-injection
+//! seam.
+//!
+//! `hero-task-graph` sits at the bottom of the dependency stack, so it
+//! cannot depend on the fault-schedule engine in `hero-core`. Instead it
+//! exposes a single process-wide *hook*: higher layers install a callback
+//! and the executor announces named **fault points** through [`at`] at
+//! safe moments (top of the worker loop, outside every lock). The
+//! installed callback decides what the point means — sleep to simulate a
+//! stalled worker, panic to simulate a worker death, or nothing.
+//!
+//! When no hook is installed, [`at`] is one relaxed atomic load and a
+//! predictable branch — cheap enough to leave in release builds, which is
+//! the whole point: the chaos schedule exercises the *same* binary that
+//! ships.
+//!
+//! ## Safety contract for hooks
+//!
+//! A hook may panic **only** at points documented as panic-safe (today:
+//! [`WORKER_CLAIM`] and [`QUEUE_STALL`]). The executor guarantees those
+//! points are announced while the worker holds no locks and has claimed
+//! no node, so the panic kills the worker without stranding any
+//! submission; the pool respawns the worker (see [`crate::executor`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Announced at the top of each worker-loop iteration, before the worker
+/// claims any node and while it holds no locks. Panicking here kills the
+/// worker cleanly; the pool respawns it.
+pub const WORKER_CLAIM: &str = "executor.worker.claim";
+
+/// Announced immediately after [`WORKER_CLAIM`], still lock-free and
+/// claim-free (so panicking is tolerated here too). Intended for *delay*
+/// injection: a stalled worker while the rest of the pool keeps draining.
+pub const QUEUE_STALL: &str = "executor.queue.stall";
+
+/// The installed callback. Receives the fault-point name.
+pub type Hook = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+/// Fast-path gate: `true` only while a hook is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static RwLock<Option<Hook>> {
+    static SLOT: OnceLock<RwLock<Option<Hook>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `hook` process-wide, replacing any previous hook.
+pub fn install(hook: Hook) {
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the installed hook; [`at`] returns to its no-op fast path.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether a hook is currently installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Announces fault point `point`. No-op (one atomic load) when no hook
+/// is installed.
+#[inline]
+pub fn at(point: &'static str) {
+    if ACTIVE.load(Ordering::Acquire) {
+        hit(point);
+    }
+}
+
+#[cold]
+fn hit(point: &'static str) {
+    // Clone the Arc out so a long-running (or panicking) hook never
+    // holds the slot lock.
+    let hook = slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(Arc::clone);
+    if let Some(hook) = hook {
+        hook(point);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// Hook installation is process-global; serialize tests that touch it.
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn at_is_noop_without_hook() {
+        let _g = lock();
+        clear();
+        assert!(!active());
+        at("some.point"); // must not panic or block
+    }
+
+    #[test]
+    fn installed_hook_sees_points_and_clear_removes_it() {
+        let _g = lock();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        install(Arc::new(move |p| {
+            assert_eq!(p, "x.y");
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert!(active());
+        at("x.y");
+        at("x.y");
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        clear();
+        at("x.y");
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

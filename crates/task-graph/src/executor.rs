@@ -23,6 +23,18 @@
 //!   re-raised on the submitting thread); other submissions and the
 //!   workers themselves are unaffected, and the executor stays usable.
 //!
+//! ## Self-healing
+//!
+//! A worker thread that *dies* (a panic escaping the worker loop — in
+//! practice only possible through the [`crate::chaos`] fault hook, since
+//! node panics are caught and turned into submission poison) is detected
+//! and respawned, so the pool always heals back to its configured size.
+//! Worker deaths are injected at a documented panic-safe point: before
+//! the worker claims a node and outside every lock, so a death can never
+//! strand a submission or poison shared state. [`Executor::alive_workers`]
+//! and [`Executor::respawned_workers`] expose the healing for tests and
+//! metrics.
+//!
 //! ## Blocking and re-entrancy
 //!
 //! [`Executor::run`] blocks the calling thread until its submission
@@ -31,14 +43,14 @@
 //! the shared ready queue instead of parking — the pool can never
 //! deadlock on its own nested submissions.
 
-use crate::{GraphError, TaskGraph};
+use crate::{chaos, GraphError, TaskGraph};
 
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -48,6 +60,16 @@ use std::time::Duration;
 /// executed or dropped and no worker still touches the submission's
 /// slots (`running == 0`).
 type ErasedFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks `m`, recovering from poison. Every mutex in this module guards
+/// state that is kept consistent across panics by construction (node
+/// panics are caught before bookkeeping; injected worker deaths happen
+/// outside all locks), so a poisoned lock carries no torn state — it
+/// only means some thread died nearby. Propagating the poison would turn
+/// one injected death into a cascade that kills the whole pool.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Mutable progress of one submission, guarded by [`Submission::progress`].
 struct Progress {
@@ -99,6 +121,15 @@ struct Shared {
     queue: Mutex<Queue>,
     /// Signalled when items are enqueued or shutdown begins.
     available: Condvar,
+    /// Join handles of every live (or not-yet-joined) worker thread.
+    /// Respawned workers push here; [`Executor::drop`] drains in a loop
+    /// until no late respawn can add another.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Workers currently running their loop (dips by one transiently
+    /// while a dead worker's replacement spawns).
+    alive: AtomicUsize,
+    /// Total workers respawned after deaths, over the pool's lifetime.
+    respawned: AtomicU64,
 }
 
 thread_local! {
@@ -133,7 +164,6 @@ thread_local! {
 /// ```
 pub struct Executor {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
     workers: usize,
     submitted: AtomicU64,
 }
@@ -142,8 +172,58 @@ impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
             .field("workers", &self.workers)
+            .field("alive", &self.alive_workers())
+            .field("respawned", &self.respawned_workers())
             .field("submissions", &self.submitted.load(Ordering::Relaxed))
             .finish()
+    }
+}
+
+/// Spawns one worker thread and registers its handle. `id` is reused by
+/// a replacement worker so thread names stay within `hero-worker-0..N`.
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> std::io::Result<()> {
+    let for_thread = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("hero-worker-{id}"))
+        .spawn(move || {
+            let guard = RespawnGuard {
+                shared: Arc::clone(&for_thread),
+                id,
+            };
+            worker_loop(&for_thread);
+            drop(guard);
+        })?;
+    shared.alive.fetch_add(1, Ordering::AcqRel);
+    plock(&shared.handles).push(handle);
+    Ok(())
+}
+
+/// Armed inside every worker thread. On drop it retires the worker from
+/// the alive count; if the thread is *panicking* (a worker death, not a
+/// shutdown) and the pool is not shutting down, it spawns a replacement —
+/// this is the self-healing path.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        self.shared.alive.fetch_sub(1, Ordering::AcqRel);
+        if !std::thread::panicking() {
+            return; // graceful shutdown exit
+        }
+        // Checked under the queue lock — the same lock Executor::drop
+        // sets `shutdown` under — so either we observe the shutdown and
+        // stand down, or drop's handle-drain loop observes our pushed
+        // replacement handle.
+        if plock(&self.shared.queue).shutdown {
+            return;
+        }
+        self.shared.respawned.fetch_add(1, Ordering::Relaxed);
+        // Spawn failure (resource exhaustion) is unrecoverable from a
+        // dying thread; the pool shrinks by one rather than aborting.
+        let _ = spawn_worker(&self.shared, self.id);
     }
 }
 
@@ -165,27 +245,37 @@ impl Executor {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            alive: AtomicUsize::new(0),
+            respawned: AtomicU64::new(0),
         });
-        let threads = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hero-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
-                    .expect("spawn executor worker thread")
-            })
-            .collect();
+        for i in 0..workers {
+            spawn_worker(&shared, i).expect("spawn executor worker thread");
+        }
         Ok(Self {
             shared,
-            threads,
             workers,
             submitted: AtomicU64::new(0),
         })
     }
 
-    /// Number of worker threads in the pool.
+    /// Number of worker threads the pool is configured for (its healed
+    /// steady-state size).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Workers currently running their loop. Equals [`Executor::workers`]
+    /// in steady state; dips transiently while a dead worker's
+    /// replacement spawns.
+    pub fn alive_workers(&self) -> usize {
+        self.shared.alive.load(Ordering::Acquire)
+    }
+
+    /// Total workers respawned after deaths over the pool's lifetime
+    /// (zero unless fault injection — or a bug — killed a worker).
+    pub fn respawned_workers(&self) -> u64 {
+        self.shared.respawned.load(Ordering::Relaxed)
     }
 
     /// Submissions accepted over the executor's lifetime (for tests and
@@ -282,7 +372,7 @@ impl Executor {
         self.submitted.fetch_add(1, Ordering::Relaxed);
 
         {
-            let mut q = self.shared.queue.lock().expect("executor queue");
+            let mut q = plock(&self.shared.queue);
             for i in 0..n {
                 if sub.pending[i].load(Ordering::Relaxed) == 0 {
                     q.items.push_back((Arc::clone(&sub), i));
@@ -296,23 +386,21 @@ impl Executor {
         if on_own_pool {
             self.help_until_complete(&sub);
         } else {
-            let mut p = sub.progress.lock().expect("submission progress");
+            let mut p = plock(&sub.progress);
             while !Submission::complete(&p, sub.n) {
-                p = sub.finished_cv.wait(p).expect("submission progress");
+                p = sub
+                    .finished_cv
+                    .wait(p)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
 
         // The submission has quiesced: drop closures cancelled by a
         // poison purge (their captured borrows die here, on the
         // submitting thread, while still alive) and re-raise any panic.
-        let payload = sub
-            .progress
-            .lock()
-            .expect("submission progress")
-            .payload
-            .take();
+        let payload = plock(&sub.progress).payload.take();
         for slot in &sub.closures {
-            drop(slot.lock().expect("closure slot").take());
+            drop(plock(slot).take());
         }
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -326,13 +414,13 @@ impl Executor {
     fn help_until_complete(&self, sub: &Arc<Submission>) {
         loop {
             {
-                let p = sub.progress.lock().expect("submission progress");
+                let p = plock(&sub.progress);
                 if Submission::complete(&p, sub.n) {
                     return;
                 }
             }
             let item = {
-                let mut q = self.shared.queue.lock().expect("executor queue");
+                let mut q = plock(&self.shared.queue);
                 claim_next(&mut q)
             };
             match item {
@@ -341,14 +429,14 @@ impl Executor {
                     // Our nodes are running on (or blocked behind) other
                     // workers; park briefly on the completion signal and
                     // re-poll the queue for late-ready work.
-                    let p = sub.progress.lock().expect("submission progress");
+                    let p = plock(&sub.progress);
                     if Submission::complete(&p, sub.n) {
                         return;
                     }
                     let _ = sub
                         .finished_cv
                         .wait_timeout(p, Duration::from_micros(200))
-                        .expect("submission progress");
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -356,17 +444,30 @@ impl Executor {
 }
 
 impl Drop for Executor {
-    /// Graceful shutdown: signal, then join every worker. Callers hold
-    /// no outstanding submissions at this point (`run` borrows the
-    /// executor for its full duration), so the queue is already empty.
+    /// Graceful shutdown: signal, then join every worker — including
+    /// replacements a dying worker spawns concurrently with this drop
+    /// (the drain loop repeats until no handle is left, and the respawn
+    /// guard checks `shutdown` under the queue lock before spawning).
+    /// Callers hold no outstanding submissions at this point (`run`
+    /// borrows the executor for its full duration), so the queue is
+    /// already empty.
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("executor queue");
+            let mut q = plock(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.available.notify_all();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut handles = plock(&self.shared.handles);
+                handles.drain(..).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            for t in batch {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -378,7 +479,7 @@ impl Drop for Executor {
 /// poisoned submissions.
 fn claim_next(q: &mut Queue) -> Option<(Arc<Submission>, usize)> {
     while let Some((sub, idx)) = q.items.pop_front() {
-        let mut p = sub.progress.lock().expect("submission progress");
+        let mut p = plock(&sub.progress);
         if p.poisoned {
             p.finished += 1;
             let done = Submission::complete(&p, sub.n);
@@ -399,9 +500,7 @@ fn claim_next(q: &mut Queue) -> Option<(Arc<Submission>, usize)> {
 /// dependents into the queue or — on panic — poison the submission and
 /// purge its queued nodes.
 fn run_node(shared: &Shared, sub: &Arc<Submission>, idx: usize) {
-    let run = sub.closures[idx]
-        .lock()
-        .expect("closure slot")
+    let run = plock(&sub.closures[idx])
         .take()
         .expect("node scheduled exactly once");
     match catch_unwind(AssertUnwindSafe(run)) {
@@ -414,8 +513,8 @@ fn run_node(shared: &Shared, sub: &Arc<Submission>, idx: usize) {
             }
             let pushed = !newly.is_empty();
             {
-                let mut q = shared.queue.lock().expect("executor queue");
-                let mut p = sub.progress.lock().expect("submission progress");
+                let mut q = plock(&shared.queue);
+                let mut p = plock(&sub.progress);
                 if !p.poisoned {
                     for d in newly {
                         q.items.push_back((Arc::clone(sub), d));
@@ -432,11 +531,11 @@ fn run_node(shared: &Shared, sub: &Arc<Submission>, idx: usize) {
             }
         }
         Err(payload) => {
-            let mut q = shared.queue.lock().expect("executor queue");
+            let mut q = plock(&shared.queue);
             let before = q.items.len();
             q.items.retain(|(s, _)| !Arc::ptr_eq(s, sub));
             let purged = before - q.items.len();
-            let mut p = sub.progress.lock().expect("submission progress");
+            let mut p = plock(&sub.progress);
             p.poisoned = true;
             p.payload.get_or_insert(payload);
             p.running -= 1;
@@ -450,11 +549,20 @@ fn run_node(shared: &Shared, sub: &Arc<Submission>, idx: usize) {
 
 /// Worker thread body: tag the thread with its pool identity, then claim
 /// and run nodes until shutdown.
-fn worker_loop(shared: Arc<Shared>) {
-    CURRENT_POOL.with(|p| p.set(Arc::as_ptr(&shared) as *const () as usize));
+///
+/// The two [`chaos`] fault points fire at the top of each iteration,
+/// before the worker claims a node and outside every lock:
+/// [`chaos::WORKER_CLAIM`] may panic (killing the worker — the respawn
+/// guard heals the pool, and no submission is affected because nothing
+/// was claimed), [`chaos::QUEUE_STALL`] may sleep (a stalled worker —
+/// other workers keep draining the queue).
+fn worker_loop(shared: &Arc<Shared>) {
+    CURRENT_POOL.with(|p| p.set(Arc::as_ptr(shared) as *const () as usize));
     loop {
+        chaos::at(chaos::WORKER_CLAIM);
+        chaos::at(chaos::QUEUE_STALL);
         let item = {
-            let mut q = shared.queue.lock().expect("executor queue");
+            let mut q = plock(&shared.queue);
             loop {
                 if q.shutdown {
                     return;
@@ -462,10 +570,13 @@ fn worker_loop(shared: Arc<Shared>) {
                 if let Some(item) = claim_next(&mut q) {
                     break item;
                 }
-                q = shared.available.wait(q).expect("executor queue");
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        run_node(&shared, &item.0, item.1);
+        run_node(shared, &item.0, item.1);
     }
 }
 
@@ -474,6 +585,25 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Barrier;
+    use std::time::Instant;
+
+    /// Hook installation is process-global; serialize tests that use it.
+    fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Polls until the pool heals back to `n` live workers.
+    fn wait_for_pool(pool: &Executor, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.alive_workers() != n {
+            assert!(
+                Instant::now() < deadline,
+                "pool never healed to {n} workers"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 
     #[test]
     fn zero_workers_is_a_typed_error() {
@@ -668,6 +798,114 @@ mod tests {
             }
             pool.run(g).unwrap();
             drop(pool);
+        }
+    }
+
+    #[test]
+    fn full_pool_starts_alive() {
+        let pool = Executor::new(3).unwrap();
+        assert_eq!(pool.alive_workers(), 3);
+        assert_eq!(pool.respawned_workers(), 0);
+    }
+
+    #[test]
+    fn killed_workers_respawn_and_work_completes() {
+        let _g = chaos_lock();
+        let pool = Executor::new(4).unwrap();
+        // Kill exactly 2 workers: each hook hit decrements the budget
+        // and panics while it stays non-negative. Bounded so respawned
+        // replacements do not die in a loop.
+        let deaths = Arc::new(AtomicUsize::new(2));
+        let budget = Arc::clone(&deaths);
+        crate::chaos::install(Arc::new(move |point| {
+            if point == crate::chaos::WORKER_CLAIM
+                && budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected worker death");
+            }
+        }));
+        let count = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..256 {
+            g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.run(g).unwrap();
+        crate::chaos::clear();
+        assert_eq!(count.into_inner(), 256, "submission must survive deaths");
+        assert_eq!(deaths.load(Ordering::SeqCst), 0, "both deaths must fire");
+        wait_for_pool(&pool, 4);
+        assert_eq!(pool.respawned_workers(), 2);
+        // The healed pool still runs work.
+        let after = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..16 {
+            g.task(|| {
+                after.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.run(g).unwrap();
+        assert_eq!(after.into_inner(), 16);
+    }
+
+    #[test]
+    fn stall_point_delays_without_killing() {
+        let _g = chaos_lock();
+        let pool = Executor::new(2).unwrap();
+        let stalls = Arc::new(AtomicUsize::new(2));
+        let budget = Arc::clone(&stalls);
+        crate::chaos::install(Arc::new(move |point| {
+            if point == crate::chaos::QUEUE_STALL
+                && budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }));
+        let count = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..32 {
+            g.task(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.run(g).unwrap();
+        crate::chaos::clear();
+        assert_eq!(count.into_inner(), 32);
+        assert_eq!(pool.alive_workers(), 2, "stalls must not kill workers");
+        assert_eq!(pool.respawned_workers(), 0);
+    }
+
+    #[test]
+    fn drop_with_concurrent_deaths_does_not_hang() {
+        let _g = chaos_lock();
+        // Workers die on (nearly) every claim attempt while the pool is
+        // dropped: the shutdown check in the respawn guard and the
+        // handle-drain loop in Drop must converge, never deadlock.
+        for _ in 0..8 {
+            let pool = Executor::new(4).unwrap();
+            let budget = Arc::new(AtomicUsize::new(3));
+            let b = Arc::clone(&budget);
+            crate::chaos::install(Arc::new(move |point| {
+                if point == crate::chaos::WORKER_CLAIM
+                    && b.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected worker death");
+                }
+            }));
+            // Poke the pool so workers wake and some die mid-drop.
+            let mut g = TaskGraph::new();
+            for _ in 0..8 {
+                g.task(|| {});
+            }
+            pool.run(g).unwrap();
+            drop(pool);
+            crate::chaos::clear();
         }
     }
 }

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod executor;
 
 pub use executor::Executor;
