@@ -1,0 +1,242 @@
+//! Steady-state signing bench: cold vs warm hypertree-memoized signing.
+//!
+//! The cache story is many-signs-per-key traffic: after the first
+//! request, a key's upper-layer XMSS subtrees and WOTS+ roots are
+//! resident, and every later sign pays only FORS plus the bottom-layer
+//! churn. This bench measures that payoff three ways on one shape:
+//!
+//! * **cold** — an engine built with [`CacheConfig::disabled`]: every
+//!   sign rebuilds its subtrees (the pre-cache execution model);
+//! * **warm** — an engine whose cache was pre-filled with
+//!   `warm_key` (warm budget raised so *every* layer is resident); the
+//!   timed signs hit on all `d` layers;
+//! * **churn** — a deliberately undersized cache (`max_keys: 2`) fed
+//!   round-robin by four keys: constant eviction, every sign refills.
+//!   This leg must *degrade*, not error — it bounds the worst case at
+//!   roughly cold cost plus fill overhead.
+//!
+//! Byte identity is asserted before any timing: cold, warm, and the
+//! scalar reference signer all emit identical signatures, and the churn
+//! engine re-signs evicted keys to oracle bytes.
+//!
+//! Results go to `BENCH_steady_state.json`. One gate fails the process:
+//! warm throughput must reach the shape's multiplier over cold — at
+//! least 2.0x on the full shape (taller hypertree, h = 12, d = 4, all
+//! 585 subtrees resident), at least 1.5x on the CI `--smoke` shape
+//! (h = 6, d = 3, 21 subtrees).
+//!
+//! ```text
+//! bench_steady_state [--smoke] [--iters N] [--workers W] [--requests R] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use hero_gpu_sim::device::rtx_4090;
+use hero_sign::{CacheConfig, HeroSigner};
+use hero_sphincs::params::Params;
+use hero_sphincs::sign::{keygen_from_seeds, SigningKey};
+
+fn msg(i: usize) -> Vec<u8> {
+    format!("steady-state bench msg {i}").into_bytes()
+}
+
+fn key_for(params: Params, seed_byte: u8) -> SigningKey {
+    let n = params.n;
+    let (sk, _) = keygen_from_seeds(
+        params,
+        (0..n as u8).map(|b| b ^ seed_byte).collect(),
+        (50..50 + n as u8).collect(),
+        (100..100 + n as u8).collect(),
+    );
+    sk
+}
+
+/// Best rate (signs/sec) over `iters` runs of `work` signing `total` msgs.
+fn best_rate(iters: usize, total: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    total as f64 / best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_steady_state.json".to_string());
+    let workers: usize = flag("--workers").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let iters: usize = flag("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 3 });
+    let batch: usize = flag("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 16 });
+
+    // Smoke: the repo's standard reduced shape, finishes in seconds.
+    // Full: a taller reduced f-shape (h' = 3 like the real -f sets)
+    // whose whole hypertree — 1 + 8 + 64 + 512 = 585 subtrees — fits
+    // the cache, so steady state eliminates *all* subtree hashing, the
+    // regime the >= 2x gate certifies. (Real full-height sets cannot
+    // keep their bottom layers resident — 2^54 trees — so their warm
+    // win is confined to the top layers; the bench shape isolates the
+    // cache effect rather than the parameter set's tree count.)
+    let mut params = Params::sphincs_128f();
+    let gate_multiplier = if smoke {
+        params.h = 6;
+        params.d = 3;
+        params.log_t = 4;
+        params.k = 8;
+        1.5
+    } else {
+        params.h = 12;
+        params.d = 4;
+        params.log_t = 6;
+        params.k = 14;
+        2.0
+    };
+    let params_label = format!(
+        "{} (reduced steady-state shape, h={} d={} log_t={} k={})",
+        params.name(),
+        params.h,
+        params.d,
+        params.log_t,
+        params.k
+    );
+
+    let sk = key_for(params, 0);
+    let builder = || HeroSigner::builder(rtx_4090(), params).workers(workers);
+    let cold_engine = builder()
+        .cache_config(CacheConfig::disabled())
+        .build()
+        .expect("cold engine builds");
+    let warm_engine = builder()
+        .cache_config(CacheConfig {
+            // Raise the warm budget past the shape's whole tree count
+            // so `warm_key` makes every layer resident up front.
+            warm_trees: 1 << 12,
+            ..CacheConfig::default()
+        })
+        .build()
+        .expect("warm engine builds");
+
+    let msgs_owned: Vec<Vec<u8>> = (0..batch).map(msg).collect();
+    let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+
+    // Correctness gate before any timing: cold and warm paths emit the
+    // scalar reference signer's exact bytes.
+    let filled = warm_engine.warm_key(&sk).expect("warm fill");
+    assert!(filled > 0, "warm_key filled nothing");
+    let cold_sigs = cold_engine.sign_batch(&sk, &msgs).expect("cold sign");
+    let warm_sigs = warm_engine.sign_batch(&sk, &msgs).expect("warm sign");
+    assert_eq!(cold_sigs, warm_sigs, "warm signatures diverged from cold");
+    for (m, sig) in msgs.iter().zip(&cold_sigs) {
+        assert_eq!(sig, &sk.sign(m), "cold signature diverged from oracle");
+    }
+    let warm_stats = warm_engine.cache_stats();
+    assert_eq!(
+        warm_stats.misses, 0,
+        "a fully warmed key must not miss: {warm_stats:?}"
+    );
+
+    println!("bench_steady_state: {params_label}, {workers} workers, {iters} iters, {batch} msgs");
+
+    let cold_rate = best_rate(iters, batch, || {
+        cold_engine.sign_batch(&sk, &msgs).expect("cold sign");
+    });
+    let warm_rate = best_rate(iters, batch, || {
+        warm_engine.sign_batch(&sk, &msgs).expect("warm sign");
+    });
+    let speedup = warm_rate / cold_rate;
+    println!("  cold (cache disabled): {cold_rate:>9.1} signs/s");
+    println!("  warm (all layers resident): {warm_rate:>9.1} signs/s  ({speedup:.2}x)");
+
+    // Churn: four keys through a two-key cache — every sign evicts and
+    // refills; must stay correct and roughly cold-cost, never error.
+    let churn_engine = builder()
+        .cache_config(CacheConfig {
+            max_keys: 2,
+            ..CacheConfig::default()
+        })
+        .build()
+        .expect("churn engine builds");
+    let churn_keys: Vec<SigningKey> = (1..=4).map(|i| key_for(params, 0x40 + i)).collect();
+    let churn_rate = best_rate(iters, batch, || {
+        for (i, m) in msgs.iter().enumerate() {
+            churn_engine
+                .sign_batch(&churn_keys[i % churn_keys.len()], &[m])
+                .expect("churn sign");
+        }
+    });
+    let churn_stats = churn_engine.cache_stats();
+    assert!(
+        churn_stats.evictions > 0,
+        "churn leg must evict: {churn_stats:?}"
+    );
+    assert!(
+        churn_stats.resident_keys <= 2,
+        "churn cache over bound: {churn_stats:?}"
+    );
+    for key in &churn_keys {
+        let probe = b"churn correctness probe";
+        assert_eq!(
+            churn_engine.sign_batch(key, &[probe]).expect("churn probe")[0],
+            key.sign(probe),
+            "evicted key re-signed to wrong bytes"
+        );
+    }
+    let churn_vs_cold = churn_rate / cold_rate;
+    println!(
+        "  churn (2-key cache, 4 keys): {churn_rate:>9.1} signs/s  ({churn_vs_cold:.2}x cold, \
+         {} evictions)",
+        churn_stats.evictions
+    );
+
+    let gate_warm = speedup >= gate_multiplier;
+    let final_warm = warm_engine.cache_stats();
+    let json = format!(
+        "{{\n  \"bench\": \"steady_state\",\n  \"params\": \"{}\",\n  \"smoke\": {},\n  \
+         \"workers\": {},\n  \"batch\": {},\n  \"signatures_byte_identical\": true,\n  \
+         \"cold_signs_per_sec\": {:.3},\n  \"warm_signs_per_sec\": {:.3},\n  \
+         \"warm_vs_cold\": {:.3},\n  \"churn_signs_per_sec\": {:.3},\n  \
+         \"churn_vs_cold\": {:.3},\n  \"warm_cache\": {{\n    \"hits\": {},\n    \
+         \"misses\": {},\n    \"evictions\": {},\n    \"resident_bytes\": {},\n    \
+         \"resident_keys\": {},\n    \"resident_subtrees\": {}\n  }},\n  \
+         \"churn_evictions\": {},\n  \"gates\": {{\n    \
+         \"warm_at_least_{:.1}x_cold\": {}\n  }}\n}}\n",
+        params_label,
+        smoke,
+        workers,
+        batch,
+        cold_rate,
+        warm_rate,
+        speedup,
+        churn_rate,
+        churn_vs_cold,
+        final_warm.hits,
+        final_warm.misses,
+        final_warm.evictions,
+        final_warm.resident_bytes,
+        final_warm.resident_keys,
+        final_warm.resident_subtrees,
+        churn_stats.evictions,
+        gate_multiplier,
+        gate_warm,
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("  wrote {out_path}");
+
+    if !gate_warm {
+        eprintln!(
+            "GATE FAILED: warm signing reached {speedup:.2}x cold, below the \
+             {gate_multiplier:.1}x steady-state floor"
+        );
+        std::process::exit(1);
+    }
+}

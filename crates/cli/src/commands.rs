@@ -354,12 +354,22 @@ fn throughput(args: &Args) -> CmdResult {
     vk.verify(&check_msg, &check_sig)?;
     service.shutdown();
 
+    // Hypertree-memoization counters, when the backend has a cache
+    // (the reference backend reports none and prints nothing).
+    let cache_line = match signer.cache_stats() {
+        Some(c) => format!(
+            "cache: {} hits / {} misses / {} evictions, {} resident bytes\n",
+            c.hits, c.misses, c.evictions, c.resident_bytes
+        ),
+        None => String::new(),
+    };
+
     Ok(format!(
         "throughput: {}{} | backend {} | {} clients x {} requests\n\
          looped sign (1 thread): {:>10.1} signs/sec\n\
          coalesced service:      {:>10.1} signs/sec  ({:.2}x)\n\
          latency: {}\n\
-         batches: {} (largest {}, avg {:.1} msgs/batch)\n",
+         batches: {} (largest {}, avg {:.1} msgs/batch)\n{}",
         params.name(),
         if smoke { " (reduced smoke shape)" } else { "" },
         signer.backend(),
@@ -372,6 +382,7 @@ fn throughput(args: &Args) -> CmdResult {
         stats.batches,
         stats.max_batch_observed,
         stats.completed as f64 / stats.batches.max(1) as f64,
+        cache_line,
     ))
 }
 
@@ -647,6 +658,10 @@ mod tests {
         assert!(out.contains("p99"), "{out}");
         assert!(out.contains("reduced smoke shape"), "{out}");
         assert!(out.contains("batches:"), "{out}");
+        // The default backend is the hero engine, whose hypertree cache
+        // reports its counters on the summary.
+        assert!(out.contains("cache:"), "{out}");
+        assert!(out.contains("hits"), "{out}");
     }
 
     #[test]

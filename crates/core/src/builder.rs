@@ -8,6 +8,7 @@
 //! ([`crate::tuning::tune_auto_cached`]) so building the same engine
 //! twice runs the search once.
 
+use crate::cache::{CacheConfig, HypertreeCache};
 use crate::engine::{HeroSigner, OptConfig};
 use crate::error::HeroError;
 use crate::tuning::{self, TuningOptions, TuningResult};
@@ -51,6 +52,7 @@ pub struct HeroSignerBuilder {
     strict_tuning: bool,
     use_cache: bool,
     cache_dir: Option<PathBuf>,
+    cache_config: CacheConfig,
 }
 
 impl HeroSignerBuilder {
@@ -68,6 +70,7 @@ impl HeroSignerBuilder {
             strict_tuning: false,
             use_cache: true,
             cache_dir: None,
+            cache_config: CacheConfig::default(),
         }
     }
 
@@ -125,6 +128,16 @@ impl HeroSignerBuilder {
         self
     }
 
+    /// Configures the per-key hypertree memoization cache
+    /// ([`crate::cache::HypertreeCache`]) the engine signs through:
+    /// capacity bounds, the per-layer memoization policy, and the warm
+    /// budget. Defaults to [`CacheConfig::default`]; pass
+    /// [`CacheConfig::disabled`] to sign fully cold every time.
+    pub fn cache_config(mut self, cache_config: CacheConfig) -> Self {
+        self.cache_config = cache_config;
+        self
+    }
+
     /// Makes a failed tuning search fatal.
     ///
     /// By default a failed search degrades gracefully: the engine falls
@@ -152,11 +165,13 @@ impl HeroSignerBuilder {
     /// # Errors
     ///
     /// * [`HeroError::InvalidParams`] — `params` failed validation.
-    /// * [`HeroError::InvalidOptions`] — `workers(0)`.
+    /// * [`HeroError::InvalidOptions`] — `workers(0)`, or an enabled
+    ///   [`HeroSignerBuilder::cache_config`] with a zero capacity bound.
     /// * [`HeroError::Tuning`] — the search failed under
     ///   [`HeroSignerBuilder::strict_tuning`].
     pub fn build(self) -> Result<HeroSigner, HeroError> {
         self.params.validate().map_err(HeroError::InvalidParams)?;
+        self.cache_config.validate()?;
         if self.workers == Some(0) {
             return Err(HeroError::InvalidOptions(
                 "workers must be >= 1".to_string(),
@@ -199,6 +214,7 @@ impl HeroSignerBuilder {
             self.config,
             tuning,
             executor,
+            Arc::new(HypertreeCache::new(self.cache_config)),
         ))
     }
 }
@@ -221,6 +237,18 @@ mod tests {
     fn build_rejects_zero_workers() {
         let err = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
             .workers(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HeroError::InvalidOptions(_)), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_zero_capacity_cache() {
+        let err = HeroSigner::builder(rtx_4090(), Params::sphincs_128f())
+            .cache_config(CacheConfig {
+                max_keys: 0,
+                ..CacheConfig::default()
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, HeroError::InvalidOptions(_)), "{err}");

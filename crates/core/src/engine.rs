@@ -10,6 +10,7 @@
 //! [`PipelineOptions`] description of the workload.
 
 use crate::builder::HeroSignerBuilder;
+use crate::cache::{CacheStats, HypertreeCache};
 use crate::error::HeroError;
 use crate::kernels::{fors_sign, tree_sign, wots_sign, KernelConfig};
 use crate::ptx::{BranchSelection, KernelKind};
@@ -275,6 +276,10 @@ pub struct HeroSigner {
     tuning: Option<TuningResult>,
     selection: BranchSelection,
     executor: Arc<Executor>,
+    /// Per-key hypertree memoization, shared by clones (like the
+    /// executor): many services signing through clones of one engine
+    /// pool their warm subtrees.
+    cache: Arc<HypertreeCache>,
 }
 
 impl HeroSigner {
@@ -312,6 +317,7 @@ impl HeroSigner {
         config: OptConfig,
         tuning: Option<TuningResult>,
         executor: Arc<Executor>,
+        cache: Arc<HypertreeCache>,
     ) -> Self {
         let mut engine = Self {
             device,
@@ -320,6 +326,7 @@ impl HeroSigner {
             tuning,
             selection: BranchSelection::all_native(),
             executor,
+            cache,
         };
         engine.selection = match config.ptx {
             PtxPolicy::Off => BranchSelection::all_native(),
@@ -515,7 +522,46 @@ impl HeroSigner {
     pub fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
         check_key(&self.params, sk.params())?;
         let ctx = HashCtx::with_alg(self.params, sk.pk_seed(), sk.alg());
-        Ok(crate::plan::sign_batch(&ctx, sk, msgs, &self.executor))
+        Ok(crate::plan::sign_batch_cached(
+            &ctx,
+            sk,
+            msgs,
+            &self.executor,
+            &self.cache,
+        ))
+    }
+
+    /// The engine's per-key hypertree memoization cache, shared across
+    /// clones. Exposed so services and servers can inspect or pool it.
+    pub fn cache(&self) -> &Arc<HypertreeCache> {
+        &self.cache
+    }
+
+    /// Snapshot of the hypertree cache counters (hits, misses,
+    /// evictions, resident bytes/keys/subtrees).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Pre-fills the hypertree cache for `sk`: plans the memoizable
+    /// upper-layer subtrees as a stage graph and runs it on the shared
+    /// executor, so the first real `sign_batch` for the key starts warm.
+    /// Idempotent — already-resident subtrees are skipped. Returns how
+    /// many subtrees were freshly built.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::KeyMismatch`] if `sk` was generated for a different
+    /// parameter set than this engine.
+    pub fn warm_key(&self, sk: &SigningKey) -> Result<usize, HeroError> {
+        check_key(&self.params, sk.params())?;
+        let ctx = HashCtx::with_alg(self.params, sk.pk_seed(), sk.alg());
+        Ok(crate::plan::warm_cache(
+            &ctx,
+            sk,
+            &self.executor,
+            &self.cache,
+        ))
     }
 
     /// Functional batch verification on the worker pool (extension: the
@@ -680,6 +726,14 @@ impl Signer for HeroSigner {
 
     fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
         HeroSigner::sign_batch(self, sk, msgs)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(HeroSigner::cache_stats(self))
+    }
+
+    fn warm_key(&self, sk: &SigningKey) -> Result<usize, HeroError> {
+        HeroSigner::warm_key(self, sk)
     }
 }
 

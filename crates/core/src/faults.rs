@@ -61,6 +61,14 @@ pub const EXECUTOR_QUEUE_STALL: &str = hero_task_graph::chaos::QUEUE_STALL;
 /// typed internal error and keeps serving).
 pub const PLAN_STAGE: &str = "plan.stage";
 
+/// Hypertree-memoization point, evaluated on cache fills *and* hits. A
+/// fired **fail** spec at fill time drops the freshly built subtree (the
+/// signature still completes from the fresh nodes — the next sign pays
+/// cold again); at hit time it force-evicts the key and serves a miss.
+/// Either way signing degrades to cold cost, never errors. **Delay**
+/// specs model a slow cache tier.
+pub const HYPERTREE_CACHE: &str = "hypertree.cache";
+
 /// Tuning-cache persistence point: a fired **fail** spec makes the disk
 /// write fail (the cache degrades to in-memory, never corrupts).
 pub const TUNING_DISK_WRITE: &str = "tuning.disk.write";

@@ -238,6 +238,59 @@ pub fn subtrees(ctx: &HashCtx, sk_seed: &[u8], items: &[SubtreeItem]) -> Vec<Lay
         .collect()
 }
 
+/// Node-retaining variant of [`subtrees`]: builds each item's *entire*
+/// subtree pyramid via
+/// [`hero_sphincs::merkle::treehash_many_levels`] — same combined
+/// multi-lane sweeps, but every level survives, so the result can be
+/// memoized and later serve **any** leaf's root and authentication path.
+/// [`LayerTree`]s sliced from the result
+/// ([`layer_tree_from_levels`]) are byte-identical to [`subtrees`]'
+/// output for the same coordinates.
+pub fn subtree_levels(
+    ctx: &HashCtx,
+    sk_seed: &[u8],
+    items: &[SubtreeItem],
+) -> Vec<hero_sphincs::merkle::TreeLevels> {
+    let params = *ctx.params();
+    let n = params.n;
+    let jobs: Vec<hero_sphincs::merkle::TreeHashJob> = items
+        .iter()
+        .map(|item| {
+            let mut node_adrs = hero_sphincs::address::Address::new();
+            node_adrs.set_layer(item.layer);
+            node_adrs.set_tree(item.tree_idx);
+            node_adrs.set_type(hero_sphincs::address::AddressType::Tree);
+            hero_sphincs::merkle::TreeHashJob {
+                leaf_idx: item.leaf_idx,
+                node_adrs,
+                leaf_offset: 0,
+            }
+        })
+        .collect();
+    hero_sphincs::merkle::treehash_many_levels(ctx, params.tree_height(), &jobs, |j, buf| {
+        let item = &items[j];
+        for (i, slot) in buf.chunks_exact_mut(n).enumerate() {
+            hypertree::wots_leaf_into(ctx, sk_seed, item.layer, item.tree_idx, i as u32, slot);
+        }
+    })
+}
+
+/// Slices one item's [`LayerTree`] out of a retained subtree pyramid —
+/// the warm-path counterpart of [`subtrees`], no hashing involved.
+pub fn layer_tree_from_levels(
+    levels: &hero_sphincs::merkle::TreeLevels,
+    item: &SubtreeItem,
+) -> LayerTree {
+    let TreeHashOutput { root, auth_path } = levels.output_for(item.leaf_idx);
+    LayerTree {
+        layer: item.layer,
+        tree_idx: item.tree_idx,
+        leaf_idx: item.leaf_idx,
+        root,
+        auth_path,
+    }
+}
+
 /// Functional `TREE_Sign`: computes every layer's subtree (root + auth
 /// path + signing coordinates) in parallel. Run-to-completion wrapper
 /// over the plannable [`subtrees`] stage, one item per layer.
@@ -346,6 +399,28 @@ mod tests {
             assert_eq!(lt.root, tree_root);
             assert_eq!(lt.auth_path, sig.auth_path);
             root = tree_root;
+        }
+    }
+
+    #[test]
+    fn retained_subtree_levels_slice_byte_identically() {
+        let mut params = Params::sphincs_128f();
+        params.h = 6;
+        params.d = 3;
+        let ctx = HashCtx::new(params, &[8u8; 16]);
+        let sk_seed = vec![2u8; 16];
+        let items = subtree_items(&params, 0b10_01, 2);
+        let fresh = subtrees(&ctx, &sk_seed, &items);
+        let retained = subtree_levels(&ctx, &sk_seed, &items);
+        for ((item, fresh), levels) in items.iter().zip(&fresh).zip(&retained) {
+            assert_eq!(&layer_tree_from_levels(levels, item), fresh);
+            // The pyramid serves other leaves of the same tree too.
+            let other = SubtreeItem {
+                leaf_idx: item.leaf_idx ^ 1,
+                ..*item
+            };
+            let fresh_other = subtrees(&ctx, &sk_seed, &[other]).pop().unwrap();
+            assert_eq!(layer_tree_from_levels(levels, &other), fresh_other);
         }
     }
 

@@ -16,6 +16,9 @@
 //!   reports.
 //! * [`faults`] — deterministic, seeded fault injection (`HERO_FAULTS`)
 //!   threaded through the hot seams; zero-cost no-op when disabled.
+//! * [`cache`] — per-key hypertree memoization: a sharded LRU cache of
+//!   retained subtree node pyramids, so steady-state signing with one
+//!   key pays only FORS plus the churning bottom layers.
 //! * [`tuning`] — the offline **Auto Tree Tuning** search (Algorithm 1)
 //!   and the Relax-FORS variant, behind a process-wide memoization cache;
 //!   reproduces Table IV.
@@ -82,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -96,6 +100,7 @@ pub mod tuning;
 pub mod workload;
 
 pub use builder::HeroSignerBuilder;
+pub use cache::{CacheConfig, CacheStats, HypertreeCache};
 pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineReport, PtxPolicy};
 pub use error::HeroError;
 pub use faults::{FaultAction, FaultPlan, FaultSpec};

@@ -54,6 +54,7 @@
 //! lanes and the execution order of *independent* calls change (pinned by
 //! proptests and the pre-refactor fixtures).
 
+use crate::cache::HypertreeCache;
 use crate::kernels::{fors_sign, tree_sign, wots_sign};
 
 use hero_sphincs::address::{Address, AddressType};
@@ -64,7 +65,8 @@ use hero_sphincs::params::Params;
 use hero_sphincs::sign::{Signature, SigningKey};
 use hero_task_graph::{Executor, TaskGraph};
 
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Work-item grouping of one planned batch: how many per-message units
 /// each stage node carries. Larger groups amortize scheduling and fill
@@ -208,6 +210,30 @@ pub fn sign_batch(
     sign_batch_shaped(ctx, sk, msgs, exec, &PlanShape::for_batch(msgs.len()))
 }
 
+/// [`sign_batch`] consulting a per-key hypertree memoization cache:
+/// memoized subtrees are sliced at plan time (warm path — no node, no
+/// hashing), and memoizable misses become first-class *fill* stage nodes
+/// that build the whole retained pyramid, publish it to `cache`, and
+/// co-schedule on `exec` like any other work. Output is byte-identical
+/// to [`sign_batch`] — a disabled or empty cache merely changes what
+/// the stage graph recomputes.
+pub fn sign_batch_cached(
+    ctx: &HashCtx,
+    sk: &SigningKey,
+    msgs: &[&[u8]],
+    exec: &Executor,
+    cache: &HypertreeCache,
+) -> Vec<Signature> {
+    sign_batch_inner(
+        ctx,
+        sk,
+        msgs,
+        exec,
+        &PlanShape::for_batch(msgs.len()),
+        Some(cache),
+    )
+}
+
 /// [`sign_batch`] with an explicit work-item grouping.
 pub fn sign_batch_shaped(
     ctx: &HashCtx,
@@ -215,6 +241,17 @@ pub fn sign_batch_shaped(
     msgs: &[&[u8]],
     exec: &Executor,
     shape: &PlanShape,
+) -> Vec<Signature> {
+    sign_batch_inner(ctx, sk, msgs, exec, shape, None)
+}
+
+fn sign_batch_inner(
+    ctx: &HashCtx,
+    sk: &SigningKey,
+    msgs: &[&[u8]],
+    exec: &Executor,
+    shape: &PlanShape,
+    cache: Option<&HypertreeCache>,
 ) -> Vec<Signature> {
     let params = *ctx.params();
     let m = msgs.len();
@@ -248,6 +285,46 @@ pub fn sign_batch_shaped(
     let fg = shape.fors_trees_per_item.max(1);
     let tg = shape.subtrees_per_item.max(1);
     let wg = shape.chains_per_item.max(1);
+
+    // Subtree stage classification, optionally memoized. Each flat
+    // (message, layer) item is classified once at plan time:
+    //   * warm — the subtree's retained pyramid is resident in the
+    //     cache; its LayerTree is sliced immediately (no node, no
+    //     hashing — the steady-state payoff).
+    //   * fill — memoizable but missing; *distinct* coordinates become
+    //     first-class fill nodes that build the whole pyramid, publish
+    //     it to the cache, and slice every dependent item's LayerTree
+    //     (a batch's repeated upper trees are built once, not per
+    //     message).
+    //   * plain — not memoizable (layer too wide for the cache policy,
+    //     or no cache at all): the original auth-path-only treehash
+    //     groups, with no dependencies (coordinates derive from the
+    //     digest alone — the independence §III-A exploits).
+    //
+    // Declared before the graph so the node closures borrowing these
+    // lists outlive it.
+    let mut plain_items: Vec<(usize, tree_sign::SubtreeItem)> = Vec::new();
+    let mut fill_groups: Vec<(tree_sign::SubtreeItem, Vec<(usize, tree_sign::SubtreeItem)>)> =
+        Vec::new();
+    let mut fill_index: HashMap<(u32, u64), usize> = HashMap::new();
+    for (flat, item) in subtree_items.iter().copied().enumerate() {
+        match cache {
+            Some(cache) if cache.caches_layer(&params, item.layer) => {
+                if let Some(levels) = cache.get(sk, item.layer, item.tree_idx) {
+                    layer_slots.set(flat, tree_sign::layer_tree_from_levels(&levels, &item));
+                } else {
+                    let group = *fill_index
+                        .entry((item.layer, item.tree_idx))
+                        .or_insert_with(|| {
+                            fill_groups.push((item, Vec::new()));
+                            fill_groups.len() - 1
+                        });
+                    fill_groups[group].1.push((flat, item));
+                }
+            }
+            _ => plain_items.push((flat, item)),
+        }
+    }
 
     let mut graph = TaskGraph::new();
 
@@ -295,25 +372,46 @@ pub fn sign_batch_shaped(
         })
         .collect();
 
-    // Subtree treehash groups: no dependencies (coordinates derive from
-    // the digest alone — the independence §III-A exploits).
-    let subtree_nodes: Vec<_> = subtree_items
-        .chunks(tg)
-        .enumerate()
-        .map(|(c, chunk)| {
-            let base = c * tg;
-            let layer_slots = &layer_slots;
-            graph.task(move || {
-                crate::faults::stage(crate::faults::PLAN_STAGE);
-                for (off, out) in tree_sign::subtrees(ctx, sk_seed, chunk)
-                    .into_iter()
-                    .enumerate()
-                {
-                    layer_slots.set(base + off, out);
+    // Producer node of each flat subtree slot (`None` = sliced warm at
+    // plan time, nothing to wait for).
+    let mut subtree_dep: Vec<Option<hero_task_graph::NodeId>> = vec![None; m * d];
+    for chunk in plain_items.chunks(tg) {
+        let layer_slots = &layer_slots;
+        let node = graph.task(move || {
+            crate::faults::stage(crate::faults::PLAN_STAGE);
+            let items: Vec<tree_sign::SubtreeItem> = chunk.iter().map(|&(_, item)| item).collect();
+            for (&(flat, _), out) in chunk.iter().zip(tree_sign::subtrees(ctx, sk_seed, &items)) {
+                layer_slots.set(flat, out);
+            }
+        });
+        for &(flat, _) in chunk {
+            subtree_dep[flat] = Some(node);
+        }
+    }
+    for group_chunk in fill_groups.chunks(tg) {
+        let layer_slots = &layer_slots;
+        let cache = cache.expect("fill groups only exist with a cache");
+        let node = graph.task(move || {
+            crate::faults::stage(crate::faults::PLAN_STAGE);
+            let items: Vec<tree_sign::SubtreeItem> =
+                group_chunk.iter().map(|(item, _)| *item).collect();
+            for ((item, dependents), levels) in group_chunk
+                .iter()
+                .zip(tree_sign::subtree_levels(ctx, sk_seed, &items))
+            {
+                let levels = Arc::new(levels);
+                cache.insert(sk, item.layer, item.tree_idx, Arc::clone(&levels));
+                for &(flat, item) in dependents {
+                    layer_slots.set(flat, tree_sign::layer_tree_from_levels(&levels, &item));
                 }
-            })
-        })
-        .collect();
+            }
+        });
+        for (_, dependents) in group_chunk {
+            for &(flat, _) in dependents {
+                subtree_dep[flat] = Some(node);
+            }
+        }
+    }
 
     // WOTS+ chain groups: layer 0 signs the FORS pk, layer l > 0 signs
     // the layer-(l−1) subtree root; each group depends on exactly the
@@ -364,12 +462,14 @@ pub fn sign_batch_shaped(
         for flat in start..end {
             let (mi, layer) = (flat / d, flat % d);
             let dep = if layer == 0 {
-                pk_nodes[mi]
+                Some(pk_nodes[mi])
             } else {
-                subtree_nodes[(mi * d + layer - 1) / tg]
+                subtree_dep[mi * d + layer - 1]
             };
-            if !deps.contains(&dep) {
-                deps.push(dep);
+            if let Some(dep) = dep {
+                if !deps.contains(&dep) {
+                    deps.push(dep);
+                }
             }
         }
         for dep in deps {
@@ -400,6 +500,49 @@ pub fn sign_batch_shaped(
             }
         })
         .collect()
+}
+
+/// Pre-fills `sk`'s memoizable upper hypertree layers
+/// ([`HypertreeCache::warm_coordinates`]) as a stage graph on `exec` — a
+/// cache fill co-schedules on the executor like any other planned work.
+/// Best-effort under chaos: a dropped fill only means the next sign pays
+/// cold. Returns the number of subtrees built (0 when the cache is
+/// disabled, the warm budget is empty, or everything was resident).
+pub fn warm_cache(
+    ctx: &HashCtx,
+    sk: &SigningKey,
+    exec: &Executor,
+    cache: &HypertreeCache,
+) -> usize {
+    let params = ctx.params();
+    let sk_seed = sk.sk_seed();
+    let items: Vec<tree_sign::SubtreeItem> = cache
+        .warm_coordinates(params)
+        .into_iter()
+        .filter(|&(layer, tree_idx)| !cache.contains(sk, layer, tree_idx))
+        .map(|(layer, tree_idx)| tree_sign::SubtreeItem {
+            layer,
+            tree_idx,
+            leaf_idx: 0,
+        })
+        .collect();
+    if items.is_empty() {
+        return 0;
+    }
+    let mut graph = TaskGraph::new();
+    for chunk in items.chunks(2) {
+        graph.task(move || {
+            crate::faults::stage(crate::faults::PLAN_STAGE);
+            for (item, levels) in chunk
+                .iter()
+                .zip(tree_sign::subtree_levels(ctx, sk_seed, chunk))
+            {
+                cache.insert(sk, item.layer, item.tree_idx, Arc::new(levels));
+            }
+        });
+    }
+    exec.run(graph).expect("warm plan is a DAG");
+    items.len()
 }
 
 #[cfg(test)]
@@ -480,6 +623,85 @@ mod tests {
                 "{shape:?}"
             );
         }
+    }
+
+    #[test]
+    fn cached_batches_match_plain_cold_and_warm() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let ctx = ctx_for(&sk);
+        let exec = Executor::new(4).unwrap();
+        let cache = crate::cache::HypertreeCache::new(crate::cache::CacheConfig::default());
+        let msgs_owned: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 20]).collect();
+        let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+        let reference = sign_batch(&ctx, &sk, &msgs, &exec);
+
+        let cold = sign_batch_cached(&ctx, &sk, &msgs, &exec, &cache);
+        assert_eq!(cold, reference, "cold fill path");
+        let after_cold = cache.stats();
+        assert!(after_cold.misses > 0 && after_cold.resident_subtrees > 0);
+        assert_eq!(after_cold.hits, 0);
+
+        let warm = sign_batch_cached(&ctx, &sk, &msgs, &exec, &cache);
+        assert_eq!(warm, reference, "warm slice path");
+        let after_warm = cache.stats();
+        assert_eq!(
+            after_warm.hits,
+            (msgs.len() * params.d) as u64,
+            "every layer of every message served warm"
+        );
+        for (msg, sig) in msgs.iter().zip(&warm) {
+            vk.verify(msg, sig).unwrap();
+        }
+
+        // A disabled cache routes everything down the plain path.
+        let off = crate::cache::HypertreeCache::new(crate::cache::CacheConfig::disabled());
+        assert_eq!(sign_batch_cached(&ctx, &sk, &msgs, &exec, &off), reference);
+        assert_eq!(off.stats(), crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn warm_cache_prefills_so_first_sign_hits() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let (sk, _) = hero_sphincs::keygen(tiny_params(), &mut rng).unwrap();
+        let ctx = ctx_for(&sk);
+        let exec = Executor::new(4).unwrap();
+        let cache = crate::cache::HypertreeCache::new(crate::cache::CacheConfig::default());
+        // Tiny shape: 16 + 4 + 1 trees, all within the default budget.
+        assert_eq!(warm_cache(&ctx, &sk, &exec, &cache), 21);
+        assert_eq!(warm_cache(&ctx, &sk, &exec, &cache), 0, "idempotent");
+
+        let sigs = sign_batch_cached(&ctx, &sk, &[b"warmed"], &exec, &cache);
+        assert_eq!(sigs[0], sk.sign(b"warmed"));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3, "all layers pre-filled");
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn eviction_degrades_to_cold_never_errors() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let params = tiny_params();
+        let (sk_a, _) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let (sk_b, _) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let exec = Executor::new(2).unwrap();
+        // One resident key: every key switch evicts the other.
+        let cache = crate::cache::HypertreeCache::new(crate::cache::CacheConfig {
+            max_keys: 1,
+            ..crate::cache::CacheConfig::default()
+        });
+        for round in 0..3u8 {
+            for sk in [&sk_a, &sk_b] {
+                let ctx = ctx_for(sk);
+                let msg = vec![round; 9];
+                let sigs = sign_batch_cached(&ctx, sk, &[&msg], &exec, &cache);
+                assert_eq!(sigs[0], sk.sign(&msg), "round {round}");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 4, "{stats:?}");
+        assert_eq!(stats.resident_keys, 1);
     }
 
     #[test]

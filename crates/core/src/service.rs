@@ -608,6 +608,11 @@ fn batcher_loop(
     sk: &SigningKey,
     config: &ServiceConfig,
 ) {
+    // Warm the backend's hypertree cache for the tenant's key before
+    // serving the first batch, so even the first request signs warm.
+    // Best-effort: a failed or panicking warm-up costs only the cold
+    // fill the first batch would have paid anyway.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| signer.warm_key(sk)));
     while let Some(batch) = collect_batch(shared, config) {
         let msgs: Vec<&[u8]> = batch.iter().map(|r| r.msg.as_slice()).collect();
         // Panic isolation: a batch that explodes answers its own tickets

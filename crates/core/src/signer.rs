@@ -15,6 +15,7 @@
 //! message; backends differ in *how* the work is executed, never in the
 //! bytes produced.
 
+use crate::cache::CacheStats;
 use crate::error::HeroError;
 
 use hero_sphincs::params::Params;
@@ -65,6 +66,27 @@ pub trait Signer {
     /// first failure.
     fn sign_batch(&self, sk: &SigningKey, msgs: &[&[u8]]) -> Result<Vec<Signature>, HeroError> {
         msgs.iter().map(|m| self.sign(sk, m)).collect()
+    }
+
+    /// Snapshot of this backend's hypertree-memoization counters, or
+    /// `None` for backends without a cache (the default). Lets
+    /// `dyn Signer` holders — servers, the CLI — report cache health
+    /// without downcasting to a concrete engine.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Pre-fills this backend's hypertree cache for `sk`, returning how
+    /// many subtrees were freshly built. The default (for backends
+    /// without a cache) does nothing and reports zero.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::KeyMismatch`] if `sk` was generated for a different
+    /// parameter set than this backend.
+    fn warm_key(&self, sk: &SigningKey) -> Result<usize, HeroError> {
+        let _ = sk;
+        Ok(0)
     }
 
     /// Verifies `sig` over `msg` with `vk`.

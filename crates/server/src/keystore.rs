@@ -132,6 +132,26 @@ impl<V: Clone> ShardedMap<V> {
         shard.entry(key.to_string()).or_insert_with(make).clone()
     }
 
+    /// Fallible [`ShardedMap::get_or_insert_with`]: when `key` is
+    /// absent, `make()` runs *outside* the shard lock (constructors may
+    /// be slow — engine builds, service spawns — and must not stall
+    /// readers of sibling keys) and its error passes straight through
+    /// without inserting anything. If a racing caller inserted while
+    /// `make()` ran, that winner's value is returned and ours dropped,
+    /// so all callers agree on one resident value.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: &str,
+        make: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let made = make()?;
+        let mut shard = self.write_shard(self.shard(key));
+        Ok(shard.entry(key.to_string()).or_insert(made).clone())
+    }
+
     /// All keys, sorted (crosses every shard; for listings and metrics,
     /// not hot paths).
     pub fn keys(&self) -> Vec<String> {
@@ -327,6 +347,22 @@ mod tests {
         let entries = map.entries();
         assert_eq!(entries.len(), 101);
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn get_or_try_insert_with_inserts_once_and_propagates_errors() {
+        let map: ShardedMap<usize> = ShardedMap::new();
+        // A failing constructor leaves no residue: a later success for
+        // the same key runs the constructor again and sticks.
+        let err: Result<usize, &str> = map.get_or_try_insert_with("t", || Err("engine build"));
+        assert_eq!(err, Err("engine build"));
+        assert_eq!(map.get("t"), None);
+        assert_eq!(map.get_or_try_insert_with::<&str>("t", || Ok(5)), Ok(5));
+        // Present keys never re-run the constructor (it would panic).
+        assert_eq!(
+            map.get_or_try_insert_with::<&str>("t", || panic!("must not rebuild")),
+            Ok(5)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! listener.
 
 use hero_sign::stats::{LatencySummary, LatencyWindow};
+use hero_sign::CacheStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -106,12 +107,15 @@ pub struct TenantRow {
 /// Renders the plaintext metrics page. `shard_poison_recoveries` folds
 /// in the sharded maps' reclaim counters (keystore, tenants, engines),
 /// which live outside [`Metrics`]; the rendered total also includes the
-/// latency-window recoveries counted internally.
+/// latency-window recoveries counted internally. `cache` is the
+/// hypertree-memoization counter snapshot summed across the server's
+/// engines (all-zero when no engine exposes a cache).
 pub fn render(
     metrics: &Metrics,
     tenants: &[TenantRow],
     draining: bool,
     shard_poison_recoveries: u64,
+    cache: &CacheStats,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "hero_server_up {}", if draining { 0 } else { 1 });
@@ -143,6 +147,15 @@ pub fn render(
             .load(Ordering::Relaxed)
             .saturating_add(shard_poison_recoveries)
     );
+    let _ = writeln!(out, "hero_cache_hits_total {}", cache.hits);
+    let _ = writeln!(out, "hero_cache_misses_total {}", cache.misses);
+    let _ = writeln!(out, "hero_cache_evictions_total {}", cache.evictions);
+    let _ = writeln!(
+        out,
+        "hero_cache_resident_bytes_total {}",
+        cache.resident_bytes
+    );
+    let _ = writeln!(out, "hero_cache_resident_keys {}", cache.resident_keys);
     match metrics.latency_summary() {
         Some(s) => {
             for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
@@ -217,8 +230,23 @@ mod tests {
             queue_depth: 3,
         }];
         m.deadline_expired.fetch_add(4, Ordering::Relaxed);
-        let page = render(&m, &rows, false, 3);
+        let cache = CacheStats {
+            hits: 9,
+            misses: 4,
+            evictions: 1,
+            resident_bytes: 2048,
+            resident_keys: 2,
+            resident_subtrees: 6,
+        };
+        let page = render(&m, &rows, false, 3, &cache);
         assert!(page.contains("hero_server_up 1"), "{page}");
+        assert!(page.contains("hero_cache_hits_total 9"), "{page}");
+        assert!(page.contains("hero_cache_misses_total 4"), "{page}");
+        assert!(page.contains("hero_cache_evictions_total 1"), "{page}");
+        assert!(
+            page.contains("hero_cache_resident_bytes_total 2048"),
+            "{page}"
+        );
         assert!(page.contains("hero_server_requests_total 10"), "{page}");
         assert!(
             page.contains("hero_server_deadline_expired_total 4"),
@@ -263,8 +291,9 @@ mod tests {
     #[test]
     fn quiet_server_renders_without_samples() {
         let m = Metrics::new(8);
-        let page = render(&m, &[], true, 0);
+        let page = render(&m, &[], true, 0, &CacheStats::default());
         assert!(page.contains("hero_server_up 0"), "{page}");
+        assert!(page.contains("hero_cache_hits_total 0"), "{page}");
         assert!(
             page.contains("hero_server_sign_latency_samples 0"),
             "{page}"

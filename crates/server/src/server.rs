@@ -40,7 +40,7 @@ use crate::wire::{self, Frame, Op, Request, Response, DEFAULT_MAX_FRAME};
 
 use hero_gpu_sim::device::rtx_4090;
 use hero_sign::service::{ServiceConfig, SignService};
-use hero_sign::{HeroError, HeroSigner, Signer};
+use hero_sign::{CacheStats, HeroError, HeroSigner, Signer};
 use hero_sphincs::params::Params;
 use hero_task_graph::Executor;
 
@@ -212,31 +212,39 @@ struct ServerShared {
 
 impl ServerShared {
     fn engine_for(&self, params: Params) -> Result<Arc<dyn Signer + Send + Sync>, WireError> {
-        if let Some(engine) = self.engines.get(params.name()) {
-            return Ok(engine);
-        }
-        // Built outside the shard lock (engine construction runs the
-        // tuning search); a racing duplicate is dropped harmlessly.
-        let engine = (self.factory)(params).map_err(WireError::from)?;
-        self.engines.insert_new(params.name(), Arc::clone(&engine));
-        Ok(self.engines.get(params.name()).unwrap_or(engine))
+        // The constructor runs outside the shard lock (engine
+        // construction runs the tuning search); a racing duplicate is
+        // dropped harmlessly in favor of the first insert.
+        self.engines.get_or_try_insert_with(params.name(), || {
+            (self.factory)(params).map_err(WireError::from)
+        })
     }
 
     fn tenant_state(&self, tenant: &str, key: &TenantKey) -> Result<Arc<TenantState>, WireError> {
-        if let Some(state) = self.tenants.get(tenant) {
-            return Ok(state);
+        self.tenants.get_or_try_insert_with(tenant, || {
+            let engine = self.engine_for(*key.sk.params())?;
+            // Started outside the shard lock too; on a race the loser's
+            // service drops (drains empty) and the winner is used.
+            let service = SignService::start(engine, key.sk.clone(), self.config.service)
+                .map_err(WireError::from)?;
+            Ok(Arc::new(TenantState {
+                service,
+                inflight: AtomicU64::new(0),
+                counters: TenantCounters::default(),
+            }))
+        })
+    }
+
+    /// Sums the hypertree-cache counters across every engine (one per
+    /// parameter set). Backends without a cache contribute nothing.
+    fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for (_, engine) in self.engines.entries() {
+            if let Some(stats) = engine.cache_stats() {
+                total.merge(&stats);
+            }
         }
-        let engine = self.engine_for(*key.sk.params())?;
-        // Start the service outside the shard lock too; on a race the
-        // loser's service drops (drains empty) and the winner is used.
-        let service = SignService::start(engine, key.sk.clone(), self.config.service)
-            .map_err(WireError::from)?;
-        let fresh = Arc::new(TenantState {
-            service,
-            inflight: AtomicU64::new(0),
-            counters: TenantCounters::default(),
-        });
-        Ok(self.tenants.get_or_insert_with(tenant, || fresh))
+        total
     }
 
     fn metrics_page(&self) -> String {
@@ -263,6 +271,7 @@ impl ServerShared {
             &rows,
             self.draining.load(Ordering::Relaxed),
             shard_recoveries,
+            &self.cache_stats(),
         )
     }
 }
@@ -324,6 +333,27 @@ impl Server {
             next_conn_id: AtomicU64::new(0),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Warm every loaded tenant's hypertree cache off the accept
+        // path: engines build and upper-layer subtrees fill while the
+        // listeners come up, so even each tenant's first request signs
+        // warm. Best-effort — a failure only means that tenant pays the
+        // cold fill its first batch would have paid anyway.
+        {
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("hero-server-warm".to_string())
+                .spawn(move || {
+                    for tenant in shared.keystore.tenants() {
+                        let Some(key) = shared.keystore.get(&tenant) else {
+                            continue;
+                        };
+                        if let Ok(engine) = shared.engine_for(*key.sk.params()) {
+                            let _ = engine.warm_key(&key.sk);
+                        }
+                    }
+                });
+        }
 
         let accept = {
             let shared = Arc::clone(&shared);

@@ -168,6 +168,9 @@ fn run_soak(seed: u64) {
                 None,
                 FaultAction::Delay(Duration::from_millis(1)),
             ),
+            // Hypertree-cache chaos: dropped fills and forced evictions
+            // must degrade to cold-cost signing, never wrong bytes.
+            spec(faults::HYPERTREE_CACHE, 0.05, None, FaultAction::Fail),
             // Transport chaos at the TCP edge.
             spec(
                 hero_server::faults::SERVER_CONN_DROP,

@@ -259,6 +259,184 @@ where
         .collect()
 }
 
+/// Every level of a built Merkle tree, bottom to top: level `0` is the
+/// flat leaf layer (`2^height · n` bytes), level `z` the flat layer of
+/// `2^(height−z)` nodes, and the top level the `n`-byte root.
+///
+/// Retaining the levels is what makes a subtree *memoizable*: the root
+/// and the authentication path of **any** leaf can be sliced out later
+/// without re-hashing ([`TreeLevels::output_for`]), byte-identical to
+/// what [`treehash_flat`] would have extracted for that leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeLevels {
+    n: usize,
+    levels: Vec<Vec<u8>>,
+}
+
+impl TreeLevels {
+    /// Tree height (number of halving levels retained above the leaves).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The `n`-byte Merkle root.
+    pub fn root(&self) -> &[u8] {
+        &self.levels[self.levels.len() - 1]
+    }
+
+    /// The authentication path of `leaf_idx`, sliced from the retained
+    /// levels — byte-identical to [`treehash_flat`]'s path for the same
+    /// leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_idx >= 2^height`.
+    pub fn auth_path(&self, leaf_idx: u32) -> Vec<Vec<u8>> {
+        let n = self.n;
+        assert!(
+            (leaf_idx as usize) < (1usize << self.height()),
+            "leaf index out of range"
+        );
+        let mut idx = leaf_idx as usize;
+        (0..self.height())
+            .map(|z| {
+                let sibling = idx ^ 1;
+                let node = self.levels[z][sibling * n..(sibling + 1) * n].to_vec();
+                idx >>= 1;
+                node
+            })
+            .collect()
+    }
+
+    /// Root plus `leaf_idx`'s authentication path, as the
+    /// [`TreeHashOutput`] a fresh treehash of this tree would produce.
+    ///
+    /// # Panics
+    ///
+    /// As [`TreeLevels::auth_path`].
+    pub fn output_for(&self, leaf_idx: u32) -> TreeHashOutput {
+        TreeHashOutput {
+            root: self.root().to_vec(),
+            auth_path: self.auth_path(leaf_idx),
+        }
+    }
+
+    /// Total retained node bytes (`(2^(height+1) − 1) · n`) — the
+    /// memoization layer's accounting unit for its memory bound.
+    pub fn byte_len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// [`treehash_flat`] that retains every level instead of ping-ponging
+/// them away, for memoization. The per-level hashing is the same batched
+/// [`HashCtx::h_many`] sweep, so node bytes are identical.
+///
+/// # Panics
+///
+/// Panics if `leaf_offset` is not a multiple of `2^height`.
+pub fn treehash_levels<F>(
+    ctx: &HashCtx,
+    height: usize,
+    node_adrs: &Address,
+    leaf_offset: u32,
+    fill_leaves: F,
+) -> TreeLevels
+where
+    F: FnOnce(&mut [u8]),
+{
+    let mut fill = Some(fill_leaves);
+    let job = TreeHashJob {
+        leaf_idx: 0,
+        node_adrs: *node_adrs,
+        leaf_offset,
+    };
+    treehash_many_levels(ctx, height, &[job], |_, buf| {
+        (fill.take().expect("single job"))(buf)
+    })
+    .pop()
+    .expect("one output per job")
+}
+
+/// [`treehash_many`] that retains every job's levels, for memoization:
+/// the same combined per-level [`HashCtx::h_many`] sweep across all jobs,
+/// but instead of one leaf's authentication path, each job keeps its
+/// whole node pyramid ([`TreeLevels`]) so any leaf can be served later.
+/// Jobs' `leaf_idx` fields are not consulted.
+///
+/// # Panics
+///
+/// Panics if any job's `leaf_offset` is not a multiple of `2^height`.
+pub fn treehash_many_levels<F>(
+    ctx: &HashCtx,
+    height: usize,
+    jobs: &[TreeHashJob],
+    mut fill_leaves: F,
+) -> Vec<TreeLevels>
+where
+    F: FnMut(usize, &mut [u8]),
+{
+    let n = ctx.params().n;
+    let num_leaves = 1usize << height;
+    let jn = jobs.len();
+    if jn == 0 {
+        return Vec::new();
+    }
+    for job in jobs {
+        assert!(
+            (job.leaf_offset as usize).is_multiple_of(num_leaves),
+            "leaf offset must be a multiple of the tree size"
+        );
+    }
+
+    let mut out: Vec<TreeLevels> = (0..jn)
+        .map(|_| TreeLevels {
+            n,
+            levels: Vec::with_capacity(height + 1),
+        })
+        .collect();
+
+    // Same flat shrinking-stride layout as `treehash_many`; each level is
+    // copied out per job as it is produced.
+    let mut level = vec![0u8; jn * num_leaves * n];
+    for (j, region) in level.chunks_exact_mut(num_leaves * n).enumerate() {
+        fill_leaves(j, region);
+        out[j].levels.push(region.to_vec());
+    }
+    let mut next = vec![0u8; jn * (num_leaves / 2).max(1) * n];
+    let mut adrs_buf: Vec<Address> = Vec::with_capacity(jn * num_leaves / 2);
+
+    let mut len = num_leaves;
+    for level_height in 1..=height {
+        let parents = len / 2;
+        adrs_buf.clear();
+        for job in jobs {
+            let mut adrs = job.node_adrs;
+            adrs.set_tree_height(level_height as u32);
+            let level_offset = job.leaf_offset >> level_height;
+            for i in 0..parents as u32 {
+                let mut a = adrs;
+                a.set_tree_index(level_offset + i);
+                adrs_buf.push(a);
+            }
+        }
+        ctx.h_many(
+            &adrs_buf,
+            &level[..jn * len * n],
+            &mut next[..jn * parents * n],
+        );
+        for (j, region) in next[..jn * parents * n]
+            .chunks_exact(parents * n)
+            .enumerate()
+        {
+            out[j].levels.push(region.to_vec());
+        }
+        std::mem::swap(&mut level, &mut next);
+        len = parents;
+    }
+    out
+}
+
 /// Recomputes a Merkle root from a leaf and its authentication path
 /// (verification side of [`treehash`]).
 pub fn root_from_auth_path(
@@ -517,6 +695,88 @@ mod tests {
         assert_eq!(out[0].root, leaf_vec(0));
         assert_eq!(out[1].root, leaf_vec(1));
         assert!(out[0].auth_path.is_empty());
+    }
+
+    #[test]
+    fn retained_levels_serve_every_leaf_byte_identically() {
+        let ctx = ctx();
+        let mut adrs = Address::new();
+        adrs.set_tree(9);
+        let height = 4;
+        let fill = |buf: &mut [u8]| {
+            for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                leaf(i as u32, slot);
+            }
+        };
+        let levels = treehash_levels(&ctx, height, &adrs, 0, fill);
+        assert_eq!(levels.height(), height);
+        assert_eq!(levels.byte_len(), ((1 << (height + 1)) - 1) * 16);
+        for leaf_idx in 0..(1u32 << height) {
+            let fresh = treehash_flat(&ctx, height, leaf_idx, &adrs, 0, fill);
+            assert_eq!(levels.output_for(leaf_idx), fresh, "leaf {leaf_idx}");
+        }
+    }
+
+    #[test]
+    fn many_levels_match_single_levels_with_offsets() {
+        let ctx = ctx();
+        let height = 3;
+        let jobs: Vec<TreeHashJob> = (0..4u32)
+            .map(|j| {
+                let mut adrs = Address::new();
+                adrs.set_tree(j as u64 * 5);
+                TreeHashJob {
+                    leaf_idx: 0,
+                    node_adrs: adrs,
+                    leaf_offset: j * (1 << height),
+                }
+            })
+            .collect();
+        let many = treehash_many_levels(&ctx, height, &jobs, |j, buf| {
+            for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                leaf(i as u32 + 50 * j as u32, slot);
+            }
+        });
+        for (j, job) in jobs.iter().enumerate() {
+            let single = treehash_levels(&ctx, height, &job.node_adrs, job.leaf_offset, |buf| {
+                for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                    leaf(i as u32 + 50 * j as u32, slot);
+                }
+            });
+            assert_eq!(many[j], single, "job {j}");
+            // And the sliced output matches the auth-path treehash.
+            let fresh = treehash_flat(&ctx, height, 5, &job.node_adrs, job.leaf_offset, |buf| {
+                for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                    leaf(i as u32 + 50 * j as u32, slot);
+                }
+            });
+            assert_eq!(many[j].output_for(5), fresh, "job {j}");
+        }
+        assert!(treehash_many_levels(&ctx, height, &[], |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn levels_height_zero() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let levels = treehash_levels(&ctx, 0, &adrs, 0, |buf| leaf(7, buf));
+        assert_eq!(levels.height(), 0);
+        assert_eq!(levels.root(), &leaf_vec(7)[..]);
+        assert!(levels.auth_path(0).is_empty());
+        assert_eq!(levels.byte_len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn levels_leaf_bounds_checked() {
+        let ctx = ctx();
+        let adrs = Address::new();
+        let levels = treehash_levels(&ctx, 2, &adrs, 0, |buf| {
+            for (i, slot) in buf.chunks_exact_mut(16).enumerate() {
+                leaf(i as u32, slot);
+            }
+        });
+        let _ = levels.auth_path(4);
     }
 
     #[test]
