@@ -433,6 +433,11 @@ fn serve(args: &Args) -> CmdResult {
     // Activate the HERO_FAULTS schedule (if any) before the server
     // starts accepting, so every request sees the same fault plan.
     hero_sign::faults::init_from_env().map_err(|e| CliError::Usage(format!("HERO_FAULTS: {e}")))?;
+    // Resolve the hash ISA ladder eagerly: a typo in HERO_HASH_TIER is a
+    // startup usage error (with the valid names listed), not a silent
+    // warning buried in the first request's logs.
+    hero_sphincs::tier::init_from_env()
+        .map_err(|e| CliError::Usage(format!("{}: {e}", hero_sphincs::tier::ENV_VAR)))?;
     let server = start_server(args)?;
     if let Some(plan) = hero_sign::faults::describe_active() {
         println!("fault injection ACTIVE: {plan}");
@@ -444,6 +449,7 @@ fn serve(args: &Args) -> CmdResult {
         tenants.len(),
         tenants.join(", "),
     );
+    println!("hash tiers: {}", hero_sphincs::tier::description());
     if let Some(addr) = server.metrics_addr() {
         println!("metrics on {addr} (plaintext, connect-and-read)");
     }

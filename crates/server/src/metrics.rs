@@ -119,6 +119,19 @@ pub fn render(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "hero_server_up {}", if draining { 0 } else { 1 });
+    // The resolved hash ISA ladder, as an info-style metric: value is
+    // always 1, the tier rides in the label so operators can see (and
+    // alert on) which core every signer in this process dispatches to.
+    let _ = writeln!(
+        out,
+        "hero_hash_tier{{primitive=\"sha256\",tier=\"{}\"}} 1",
+        hero_sphincs::tier::sha256_tier().label()
+    );
+    let _ = writeln!(
+        out,
+        "hero_hash_tier{{primitive=\"keccak\",tier=\"{}\"}} 1",
+        hero_sphincs::tier::keccak_tier().label()
+    );
     let _ = writeln!(
         out,
         "hero_server_connections_total {}",

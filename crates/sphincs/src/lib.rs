@@ -26,6 +26,9 @@
 //!   of Fig. 7, levels halved in place over one flat buffer).
 //! * [`hypertree`] — the `d`-layer hypertree (`TREE_Sign`'s workload).
 //! * [`sign`] — keygen / sign / verify.
+//! * [`tier`] — the runtime ISA ladder (scalar → AVX2 → SHA-NI /
+//!   AVX-512 / NEON) that picks the fastest hash core once per process,
+//!   overridable via `HERO_HASH_TIER`.
 //!
 //! ## Lanes as threads
 //!
@@ -86,6 +89,7 @@ pub mod params;
 pub mod sha256;
 pub mod sha512;
 pub mod sign;
+pub mod tier;
 pub mod wots;
 
 pub use hash::HashAlg;

@@ -1,0 +1,510 @@
+//! Runtime ISA-tier selection for the hash cores — the dispatch ladder
+//! behind [`crate::sha256::compress_x`] and [`crate::keccak::permute_x`].
+//!
+//! A 128f sign burns ~113k compressions, so the primitive core dominates
+//! end-to-end signature throughput. Instead of consulting
+//! `is_x86_feature_detected!` inside every multi-lane call, each
+//! primitive resolves a [`HashTier`] **once per process** (a ladder walk
+//! over what the host CPU supports, cached in an atomic; the feature
+//! probes themselves run inside a `OnceLock`) and the hot paths read the
+//! cached tier with a single relaxed load.
+//!
+//! ## The ladder
+//!
+//! Tiers are ordered best-first per primitive and per architecture:
+//!
+//! | primitive | x86-64 | aarch64 |
+//! |---|---|---|
+//! | SHA-256 | `sha-ni` → `avx512` → `avx2` → `scalar` | `neon` → `scalar` |
+//! | Keccak-f\[1600\] | `avx512` → `avx2` → `scalar` | `neon` → `scalar` |
+//!
+//! SHA-NI outranks the 8-lane AVX-512 interleave for SHA-256 because the
+//! dedicated rounds beat lane interleaving on real WOTS+ chains (short
+//! dependent sequences leave lanes idle; the SHA extensions keep one
+//! chain at full rate). SHA-NI is meaningless for Keccak, so requesting
+//! it there resolves to the best Keccak tier instead.
+//!
+//! ## Overrides and fallback
+//!
+//! `HERO_HASH_TIER=<name>` pins both primitives to one requested tier.
+//! An unknown name is a typed [`TierError`] listing the valid names
+//! (surfaced eagerly by [`init_from_env`], which `hero serve` and the
+//! benches call before touching the hot path); requesting a tier the
+//! host CPU lacks — or one that does not apply to a primitive — **falls
+//! back down the ladder with a logged warning, never undefined
+//! behavior**: the resolved tier is always one whose required CPU
+//! features were positively detected.
+//!
+//! ```
+//! use hero_sphincs::tier::{self, HashTier};
+//! // Whatever the host supports, the resolved tiers are supported ones.
+//! assert!(tier::supported_sha256_tiers().contains(&tier::sha256_tier()));
+//! assert!(tier::supported_keccak_tiers().contains(&tier::keccak_tier()));
+//! // Unknown names are typed errors that list the ladder.
+//! let err = HashTier::from_label("sse2").unwrap_err();
+//! assert!(err.to_string().contains("scalar"));
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable that pins the hash tier for both primitives.
+pub const ENV_VAR: &str = "HERO_HASH_TIER";
+
+/// One rung of the ISA ladder a hash core can execute on.
+///
+/// Variants are ordered worst-to-best in generic preference order; the
+/// per-primitive ladders in this module decide what "best" means for
+/// each core (SHA-NI outranks AVX-512 for SHA-256 and is skipped
+/// entirely for Keccak).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HashTier {
+    /// Portable straight-line Rust, no SIMD requirements.
+    Scalar = 0,
+    /// Lane-interleaved code compiled for AVX2 (256-bit integer SIMD).
+    Avx2 = 1,
+    /// AVX-512F+VL: single-µop rotates (`vprold`/`vprolq`) and ternary
+    /// logic (`vpternlog`) over the interleaved lanes.
+    Avx512 = 2,
+    /// x86 SHA extensions (`_mm_sha256rnds2`-based rounds). SHA-256
+    /// only; resolves down the ladder for Keccak.
+    ShaNi = 3,
+    /// aarch64 Advanced SIMD; the SHA-256 path additionally requires
+    /// the SHA2 crypto extension (`vsha256h`/`vsha256su` rounds).
+    Neon = 4,
+}
+
+/// All tier labels, best-documented order (the order error messages and
+/// usage text list them in). Mirrors `HashAlg::NAMES`.
+pub const TIER_NAMES: [&str; 5] = ["scalar", "avx2", "avx512", "sha-ni", "neon"];
+
+/// A typed error for an unrecognized tier name (satisfying the
+/// `HERO_HASH_TIER` contract: unknown names never panic and never
+/// silently misconfigure — they name every valid rung).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierError {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown hash tier '{}' (valid tiers: {})",
+            self.name,
+            TIER_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for TierError {}
+
+impl std::fmt::Display for HashTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl HashTier {
+    /// The canonical label — the inverse of [`HashTier::from_label`];
+    /// used by the env override, the serve banner, the metrics page,
+    /// and `BENCH_hot_path.json`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HashTier::Scalar => "scalar",
+            HashTier::Avx2 => "avx2",
+            HashTier::Avx512 => "avx512",
+            HashTier::ShaNi => "sha-ni",
+            HashTier::Neon => "neon",
+        }
+    }
+
+    /// Parses a label (case-insensitive; `sha-ni`/`shani`/`sha_ni` all
+    /// accepted). Unknown names are a typed [`TierError`] listing every
+    /// valid tier.
+    ///
+    /// ```
+    /// use hero_sphincs::tier::HashTier;
+    /// assert_eq!(HashTier::from_label("SHA-NI"), Ok(HashTier::ShaNi));
+    /// assert!(HashTier::from_label("mmx").is_err());
+    /// ```
+    pub fn from_label(label: &str) -> Result<Self, TierError> {
+        match label.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(HashTier::Scalar),
+            "avx2" => Ok(HashTier::Avx2),
+            "avx512" | "avx-512" => Ok(HashTier::Avx512),
+            "sha-ni" | "shani" | "sha_ni" => Ok(HashTier::ShaNi),
+            "neon" => Ok(HashTier::Neon),
+            other => Err(TierError {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    fn from_repr(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(HashTier::Scalar),
+            1 => Some(HashTier::Avx2),
+            2 => Some(HashTier::Avx512),
+            3 => Some(HashTier::ShaNi),
+            4 => Some(HashTier::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// Which hash core a ladder decision is for (the two primitives have
+/// different ladders — SHA-NI only exists for SHA-256).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Primitive {
+    /// The SHA-256 compression core ([`crate::sha256`]).
+    Sha256,
+    /// The Keccak-f\[1600\] permutation core ([`crate::keccak`]).
+    Keccak,
+}
+
+/// The ladder for `primitive` on this architecture, best tier first.
+/// Always ends in [`HashTier::Scalar`].
+pub fn ladder(primitive: Primitive) -> &'static [HashTier] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match primitive {
+            Primitive::Sha256 => &[
+                HashTier::ShaNi,
+                HashTier::Avx512,
+                HashTier::Avx2,
+                HashTier::Scalar,
+            ],
+            Primitive::Keccak => &[HashTier::Avx512, HashTier::Avx2, HashTier::Scalar],
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        let _ = primitive;
+        &[HashTier::Neon, HashTier::Scalar]
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = primitive;
+        &[HashTier::Scalar]
+    }
+}
+
+/// Whether the host CPU can execute `tier` for `primitive`.
+///
+/// This is the positive-detection gate every resolved tier passes
+/// through: a tier this returns `false` for is never dispatched, so the
+/// `#[target_feature]` cores below it are never reached on a CPU that
+/// lacks them.
+pub fn supported(primitive: Primitive, tier: HashTier) -> bool {
+    match tier {
+        HashTier::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        HashTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        HashTier::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+        }
+        #[cfg(target_arch = "x86_64")]
+        HashTier::ShaNi => {
+            primitive == Primitive::Sha256
+                && std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("ssse3")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        }
+        #[cfg(target_arch = "aarch64")]
+        HashTier::Neon => match primitive {
+            // The Keccak path needs only Advanced SIMD (mandatory on
+            // aarch64); the SHA-256 path needs the crypto extension.
+            Primitive::Keccak => true,
+            Primitive::Sha256 => std::arch::is_aarch64_feature_detected!("sha2"),
+        },
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Every tier of `primitive`'s ladder the host supports, best first
+/// (always non-empty: scalar is universal). This is what the per-tier
+/// identity tests and `bench_hot_path`'s per-tier sections iterate.
+pub fn supported_tiers(primitive: Primitive) -> Vec<HashTier> {
+    ladder(primitive)
+        .iter()
+        .copied()
+        .filter(|&t| supported(primitive, t))
+        .collect()
+}
+
+/// [`supported_tiers`] for the SHA-256 core.
+pub fn supported_sha256_tiers() -> Vec<HashTier> {
+    supported_tiers(Primitive::Sha256)
+}
+
+/// [`supported_tiers`] for the Keccak core.
+pub fn supported_keccak_tiers() -> Vec<HashTier> {
+    supported_tiers(Primitive::Keccak)
+}
+
+/// Resolves a (possibly absent) requested tier for `primitive` against
+/// the host: the request itself if the ladder contains it and the CPU
+/// supports it, otherwise the best supported tier at or below the
+/// request's rung — never an unsupported tier. Returns the resolved
+/// tier and whether it differs from an explicit request (the caller
+/// logs the fallback warning so resolution itself stays silent and
+/// reusable).
+fn resolve(primitive: Primitive, requested: Option<HashTier>) -> (HashTier, bool) {
+    let rungs = ladder(primitive);
+    match requested {
+        Some(want) => {
+            // Walk from the requested rung downward. A request absent
+            // from this primitive's ladder (SHA-NI for Keccak, NEON on
+            // x86) starts from the top: "the best this core has".
+            let start = rungs.iter().position(|&t| t == want).unwrap_or(0);
+            for &t in &rungs[start..] {
+                if supported(primitive, t) {
+                    return (t, t != want);
+                }
+            }
+            (HashTier::Scalar, want != HashTier::Scalar)
+        }
+        None => {
+            for &t in rungs {
+                if supported(primitive, t) {
+                    return (t, false);
+                }
+            }
+            (HashTier::Scalar, false)
+        }
+    }
+}
+
+/// The parsed `HERO_HASH_TIER` request, read at most once per process.
+/// `Some(Err(_))` remembers a malformed value so both the eager
+/// ([`init_from_env`]) and lazy (first hash call) paths agree on it.
+fn env_request() -> &'static Option<Result<HashTier, TierError>> {
+    static ENV: OnceLock<Option<Result<HashTier, TierError>>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var(ENV_VAR)
+            .ok()
+            .map(|v| HashTier::from_label(&v))
+    })
+}
+
+/// Sentinel for "not yet resolved" in the per-primitive active-tier
+/// caches (no `HashTier` discriminant uses it).
+const UNRESOLVED: u8 = u8::MAX;
+
+static SHA256_ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+static KECCAK_ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+fn active_cell(primitive: Primitive) -> &'static AtomicU8 {
+    match primitive {
+        Primitive::Sha256 => &SHA256_ACTIVE,
+        Primitive::Keccak => &KECCAK_ACTIVE,
+    }
+}
+
+#[cold]
+fn resolve_and_cache(primitive: Primitive) -> HashTier {
+    let requested = match env_request() {
+        Some(Ok(t)) => Some(*t),
+        Some(Err(e)) => {
+            // The lazy path cannot return an error; operators get the
+            // typed error from `init_from_env` (serve/bench call it
+            // eagerly). Here we warn once and auto-resolve — a typo
+            // must never change bytes or crash a signer.
+            warn_once(&format!("{ENV_VAR}: {e}; auto-detecting"));
+            None
+        }
+        None => None,
+    };
+    let (tier, fell_back) = resolve(primitive, requested);
+    if fell_back {
+        if let Some(want) = requested {
+            warn_once(&format!(
+                "{ENV_VAR}={want} unavailable for {primitive:?} on this host; \
+                 falling back to {tier}"
+            ));
+        }
+    }
+    active_cell(primitive).store(tier as u8, Ordering::Relaxed);
+    tier
+}
+
+/// Warns on stderr, deduplicating repeats (both primitives resolving
+/// under the same bad override should not double-print).
+fn warn_once(msg: &str) {
+    use std::sync::Mutex;
+    static SEEN: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut seen = SEEN.lock().unwrap_or_else(|e| e.into_inner());
+    if !seen.iter().any(|m| m == msg) {
+        eprintln!("hero-sphincs: {msg}");
+        seen.push(msg.to_string());
+    }
+}
+
+/// The active SHA-256 tier: one relaxed load on the hot path, with the
+/// ladder walk behind a `#[cold]` first-call slow path.
+#[inline]
+pub fn sha256_tier() -> HashTier {
+    match HashTier::from_repr(SHA256_ACTIVE.load(Ordering::Relaxed)) {
+        Some(t) => t,
+        None => resolve_and_cache(Primitive::Sha256),
+    }
+}
+
+/// The active Keccak tier (see [`sha256_tier`]).
+#[inline]
+pub fn keccak_tier() -> HashTier {
+    match HashTier::from_repr(KECCAK_ACTIVE.load(Ordering::Relaxed)) {
+        Some(t) => t,
+        None => resolve_and_cache(Primitive::Keccak),
+    }
+}
+
+/// Eagerly applies the `HERO_HASH_TIER` override, returning the typed
+/// [`TierError`] for an unknown name. `hero serve` and the benches call
+/// this before first use so a typo is a startup error, not a silent
+/// auto-detect; requesting a *valid but unsupported* tier is not an
+/// error — it falls down the ladder with a warning (see module docs).
+pub fn init_from_env() -> Result<(), TierError> {
+    if let Some(Err(e)) = env_request() {
+        return Err(e.clone());
+    }
+    sha256_tier();
+    keccak_tier();
+    Ok(())
+}
+
+/// Forces the active tier for both primitives, resolving each down its
+/// ladder exactly like the env override (so an unsupported request is a
+/// supported fallback, never UB). Returns the previously active tiers
+/// `(sha256, keccak)` so callers can restore them.
+///
+/// This exists for `bench_hot_path`'s per-tier sections and the forced-
+/// tier test legs. It is process-global: concurrent hashers observe the
+/// change — which is safe, because **every tier produces identical
+/// bytes** (pinned by the per-tier identity tests); only throughput
+/// differs.
+pub fn force_tier(tier: HashTier) -> (HashTier, HashTier) {
+    let prev = (sha256_tier(), keccak_tier());
+    let (sha, _) = resolve(Primitive::Sha256, Some(tier));
+    let (keccak, _) = resolve(Primitive::Keccak, Some(tier));
+    SHA256_ACTIVE.store(sha as u8, Ordering::Relaxed);
+    KECCAK_ACTIVE.store(keccak as u8, Ordering::Relaxed);
+    prev
+}
+
+/// Restores tiers previously returned by [`force_tier`].
+pub fn restore_tier(prev: (HashTier, HashTier)) {
+    let (sha, _) = resolve(Primitive::Sha256, Some(prev.0));
+    let (keccak, _) = resolve(Primitive::Keccak, Some(prev.1));
+    SHA256_ACTIVE.store(sha as u8, Ordering::Relaxed);
+    KECCAK_ACTIVE.store(keccak as u8, Ordering::Relaxed);
+}
+
+/// One-line operator-facing description of the resolved ladder, e.g.
+/// `sha256=sha-ni keccak=avx512` (plus the override, when one is set).
+/// Shown by the `hero serve` banner, the metrics page and
+/// `bench_hot_path`.
+pub fn description() -> String {
+    let base = format!("sha256={} keccak={}", sha256_tier(), keccak_tier());
+    match env_request() {
+        Some(Ok(t)) => format!("{base} ({ENV_VAR}={t})"),
+        Some(Err(e)) => format!("{base} ({ENV_VAR} ignored: unknown tier '{}')", e.name),
+        None => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for name in TIER_NAMES {
+            let tier = HashTier::from_label(name).expect(name);
+            assert_eq!(tier.label(), name);
+            assert_eq!(HashTier::from_label(&name.to_uppercase()), Ok(tier));
+        }
+        assert_eq!(HashTier::from_label("shani"), Ok(HashTier::ShaNi));
+        assert_eq!(HashTier::from_label("sha_ni"), Ok(HashTier::ShaNi));
+        assert_eq!(HashTier::from_label(" avx-512 "), Ok(HashTier::Avx512));
+    }
+
+    #[test]
+    fn unknown_tier_is_typed_and_lists_valid_names() {
+        let err = HashTier::from_label("quantum").unwrap_err();
+        assert_eq!(err.name, "quantum");
+        let msg = err.to_string();
+        for name in TIER_NAMES {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+
+    #[test]
+    fn ladders_end_in_scalar_and_resolve_supported() {
+        for primitive in [Primitive::Sha256, Primitive::Keccak] {
+            assert_eq!(*ladder(primitive).last().unwrap(), HashTier::Scalar);
+            let tiers = supported_tiers(primitive);
+            assert!(tiers.contains(&HashTier::Scalar));
+            for t in tiers {
+                let (resolved, fell_back) = resolve(primitive, Some(t));
+                assert_eq!(
+                    resolved, t,
+                    "{primitive:?} supported tier resolves to itself"
+                );
+                assert!(!fell_back);
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_requests_fall_down_the_ladder() {
+        // NEON is never supported on x86 (and vice versa); SHA-NI is
+        // never in the Keccak ladder. Both must resolve to a supported
+        // tier without panicking.
+        for primitive in [Primitive::Sha256, Primitive::Keccak] {
+            for want in [
+                HashTier::Neon,
+                HashTier::ShaNi,
+                HashTier::Avx512,
+                HashTier::Avx2,
+            ] {
+                let (resolved, _) = resolve(primitive, Some(want));
+                assert!(
+                    supported(primitive, resolved),
+                    "{primitive:?} {want:?} resolved to unsupported {resolved:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_request_is_always_honored() {
+        for primitive in [Primitive::Sha256, Primitive::Keccak] {
+            let (resolved, fell_back) = resolve(primitive, Some(HashTier::Scalar));
+            assert_eq!(resolved, HashTier::Scalar);
+            assert!(!fell_back);
+        }
+    }
+
+    #[test]
+    fn force_and_restore_round_trip() {
+        let prev = force_tier(HashTier::Scalar);
+        assert_eq!(sha256_tier(), HashTier::Scalar);
+        assert_eq!(keccak_tier(), HashTier::Scalar);
+        restore_tier(prev);
+        assert_eq!((sha256_tier(), keccak_tier()), prev);
+    }
+
+    #[test]
+    fn description_names_both_primitives() {
+        let d = description();
+        assert!(d.contains("sha256="), "{d}");
+        assert!(d.contains("keccak="), "{d}");
+    }
+}
