@@ -141,9 +141,6 @@ fn export_pubkey(args: &Args) -> CmdResult {
 }
 
 fn verify(args: &Args) -> CmdResult {
-    let msg_path = args.require("message")?;
-    let sig_path = args.require("sig")?;
-
     // Accept either a secret key file (--key) or a public-only file
     // (--pubkey) — verifiers should not need secrets on disk.
     let vk = match (args.get("pubkey"), args.get("key")) {
@@ -161,12 +158,106 @@ fn verify(args: &Args) -> CmdResult {
             ))
         }
     };
+
+    // Batched spelling: --sigs a.sig,b.sig,... paired one-to-one with
+    // --messages, or all over one --message.
+    if let Some(sig_list) = args.get("sigs") {
+        return verify_many(args, &vk, sig_list);
+    }
+
+    let msg_path = args.require("message")?;
+    let sig_path = args.require("sig")?;
     let message = fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?;
     let sig_bytes = fs::read(sig_path).map_err(|e| CliError::io(sig_path, e))?;
 
     let signature = Signature::from_bytes(vk.params(), &sig_bytes)?;
     vk.verify(&message, &signature)?;
     Ok("signature OK".to_string())
+}
+
+/// The batched `verify --sigs` body: every decodable signature goes
+/// through the selected backend's batch verifier in one call (the HERO
+/// backend plans the whole set as a cross-signature stage graph), and
+/// the report lists one verdict per file. Any verdict other than
+/// `valid` fails the command after the full report is assembled.
+fn verify_many(args: &Args, vk: &hero_sphincs::VerifyingKey, sig_list: &str) -> CmdResult {
+    let sig_paths: Vec<&str> = sig_list.split(',').filter(|p| !p.is_empty()).collect();
+    if sig_paths.is_empty() {
+        return Err(CliError::Usage(
+            "--sigs needs at least one path".to_string(),
+        ));
+    }
+    let msg_paths: Vec<String> = match (args.get("messages"), args.get("message")) {
+        (Some(list), _) => list
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect(),
+        (None, Some(single)) => vec![single.to_string(); sig_paths.len()],
+        (None, None) => {
+            return Err(CliError::Usage(
+                "verify --sigs needs --messages or --message".to_string(),
+            ))
+        }
+    };
+    if msg_paths.len() != sig_paths.len() {
+        return Err(CliError::Usage(format!(
+            "{} signatures but {} messages",
+            sig_paths.len(),
+            msg_paths.len()
+        )));
+    }
+
+    // Decode failures become per-file `malformed` verdicts instead of
+    // aborting the batch — same contract as the server's verify-batch.
+    let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(sig_paths.len());
+    let mut sigs: Vec<Signature> = Vec::new();
+    let mut undecodable: Vec<Option<String>> = Vec::with_capacity(sig_paths.len());
+    for (sig_path, msg_path) in sig_paths.iter().zip(&msg_paths) {
+        msgs.push(fs::read(msg_path).map_err(|e| CliError::io(msg_path, e))?);
+        let sig_bytes = fs::read(sig_path).map_err(|e| CliError::io(sig_path, e))?;
+        match Signature::from_bytes(vk.params(), &sig_bytes) {
+            Ok(sig) => {
+                sigs.push(sig);
+                undecodable.push(None);
+            }
+            Err(e) => undecodable.push(Some(e.to_string())),
+        }
+    }
+
+    let live_msgs: Vec<&[u8]> = msgs
+        .iter()
+        .zip(&undecodable)
+        .filter(|(_, bad)| bad.is_none())
+        .map(|(m, _)| m.as_slice())
+        .collect();
+    let signer = select_backend(args, *vk.params())?;
+    let mut outcomes = signer.verify_batch(vk, &live_msgs, &sigs)?.into_iter();
+
+    let mut lines = Vec::with_capacity(sig_paths.len());
+    let mut all_valid = true;
+    for (sig_path, bad) in sig_paths.iter().zip(&undecodable) {
+        let verdict = match bad {
+            Some(what) => format!("malformed ({what})"),
+            None => outcomes
+                .next()
+                .expect("one outcome per live signature")
+                .to_string(),
+        };
+        if verdict != "valid" {
+            all_valid = false;
+        }
+        lines.push(format!("{sig_path}: {verdict}"));
+    }
+    let report = lines.join("\n");
+    if all_valid {
+        Ok(format!("{report}\nall {} signatures OK", sig_paths.len()))
+    } else {
+        eprintln!("{report}");
+        Err(CliError::Signature(
+            hero_sphincs::sign::SignError::VerificationFailed,
+        ))
+    }
 }
 
 fn tune(args: &Args) -> CmdResult {
@@ -831,6 +922,98 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CliError::Signature(_)));
         assert!(err.to_string().contains("INVALID"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_sigs_batch_reports_per_file_verdicts() {
+        let dir = std::env::temp_dir().join(format!("hero-cli-vbatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = hero_sphincs::Params::sphincs_128f();
+        let text = keyfile::encode(&p, HashAlg::Sha256, &[21; 16], &[22; 16], &[23; 16]);
+        let key = dir.join("key.txt");
+        std::fs::write(&key, &text).unwrap();
+        let (sk, _) = keyfile::decode(&text).unwrap();
+
+        let mut sig_paths = Vec::new();
+        let mut msg_paths = Vec::new();
+        for i in 0..2 {
+            let msg = dir.join(format!("m{i}.bin"));
+            let sig = dir.join(format!("s{i}.sig"));
+            let body = format!("batched verify message {i}");
+            std::fs::write(&msg, &body).unwrap();
+            std::fs::write(&sig, sk.sign(body.as_bytes()).to_bytes(&p)).unwrap();
+            msg_paths.push(msg.to_str().unwrap().to_string());
+            sig_paths.push(sig.to_str().unwrap().to_string());
+        }
+
+        // All valid, paired messages, through the planned hero backend.
+        let out = verify(&parse(&[
+            "verify",
+            "--key",
+            key.to_str().unwrap(),
+            "--sigs",
+            &sig_paths.join(","),
+            "--messages",
+            &msg_paths.join(","),
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("all 2 signatures OK"), "{out}");
+        assert!(
+            out.contains("s0.sig: valid") && out.contains("s1.sig: valid"),
+            "{out}"
+        );
+
+        // One shared --message over two identical signature files.
+        let out = verify(&parse(&[
+            "verify",
+            "--backend",
+            "reference",
+            "--key",
+            key.to_str().unwrap(),
+            "--sigs",
+            &format!("{},{}", sig_paths[0], sig_paths[0]),
+            "--message",
+            &msg_paths[0],
+        ]))
+        .unwrap();
+        assert!(out.contains("all 2 signatures OK"), "{out}");
+
+        // Tampered second signature: the command fails with the typed
+        // verification error after reporting per-file verdicts.
+        let mut bytes = std::fs::read(&sig_paths[1]).unwrap();
+        bytes[64] ^= 1;
+        std::fs::write(&sig_paths[1], &bytes).unwrap();
+        // A truncated first file must come back malformed, not abort.
+        std::fs::write(&sig_paths[0], &bytes[..10]).unwrap();
+        let err = verify(&parse(&[
+            "verify",
+            "--backend",
+            "reference",
+            "--key",
+            key.to_str().unwrap(),
+            "--sigs",
+            &sig_paths.join(","),
+            "--messages",
+            &msg_paths.join(","),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Signature(_)), "{err}");
+
+        // Count mismatch is a usage error before any verification.
+        let err = verify(&parse(&[
+            "verify",
+            "--key",
+            key.to_str().unwrap(),
+            "--sigs",
+            &sig_paths.join(","),
+            "--messages",
+            &msg_paths[0],
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

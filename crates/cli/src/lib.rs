@@ -138,6 +138,12 @@ COMMANDS:
     sign      --key <path> --message <file> --out <sig-file>
               [--backend hero|reference] [--workers <n>]
     verify    --key <path> | --pubkey <path>  --message <file> --sig <sig-file>
+              or --sigs <a.sig,b.sig,...> --messages <a.msg,b.msg,...>
+              [--backend hero|reference] [--workers <n>]
+              (one --message may serve every --sigs entry); the batch
+              runs through the planned cross-signature verifier and
+              reports one verdict per file — valid, invalid, or
+              malformed — failing if any is not valid
     export-pubkey --key <path> --out <path>
     tune      [--device <name>] [--params <set>] [--alg <hash>] [--dynamic-smem]
     simulate  [--device <name>] [--params <set>] [--messages <n>] [--batch <n>]

@@ -564,9 +564,13 @@ impl HeroSigner {
         ))
     }
 
-    /// Functional batch verification on the worker pool (extension: the
-    /// paper accelerates generation only). Returns one result per
-    /// message; never short-circuits, like a GPU batch.
+    /// Planned batch verification on the worker pool (extension: the
+    /// paper accelerates generation only): the batch becomes a
+    /// cross-signature stage graph ([`crate::plan::verify_batch`]) whose
+    /// lane-batched nodes interleave with any in-flight signing work on
+    /// the same executor. Returns one typed
+    /// [`crate::VerifyOutcome`] per message; never short-circuits, like
+    /// a GPU batch, and verdicts are bit-for-bit the scalar verifier's.
     ///
     /// # Errors
     ///
@@ -577,8 +581,8 @@ impl HeroSigner {
         vk: &hero_sphincs::VerifyingKey,
         msgs: &[&[u8]],
         sigs: &[Signature],
-    ) -> Result<Vec<Result<(), hero_sphincs::sign::SignError>>, HeroError> {
-        crate::kernels::verify::run_batch_on(vk, msgs, sigs, &self.executor)
+    ) -> Result<Vec<crate::VerifyOutcome>, HeroError> {
+        crate::kernels::verify::run_batch_planned(vk, msgs, sigs, &self.executor)
     }
 
     /// Simulated batch-verification throughput (KOPS) for `messages`
@@ -734,6 +738,15 @@ impl Signer for HeroSigner {
 
     fn warm_key(&self, sk: &SigningKey) -> Result<usize, HeroError> {
         HeroSigner::warm_key(self, sk)
+    }
+
+    fn verify_batch(
+        &self,
+        vk: &hero_sphincs::VerifyingKey,
+        msgs: &[&[u8]],
+        sigs: &[Signature],
+    ) -> Result<Vec<crate::VerifyOutcome>, HeroError> {
+        HeroSigner::verify_batch(self, vk, msgs, sigs)
     }
 }
 

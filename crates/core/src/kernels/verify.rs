@@ -6,6 +6,18 @@
 //! builds — but high-throughput consumers (block validators, update
 //! servers) batch-verify too. The kernel decomposition mirrors signing:
 //! chains and trees are independent, one block per message.
+//!
+//! Three functional flavors, all returning the same typed
+//! [`VerifyOutcome`] verdicts bit-for-bit:
+//!
+//! * [`run_batch`] / [`run_batch_on`] — scalar per-message verifies
+//!   parallelized across the batch (the oracle).
+//! * [`run_batch_lanes`] — one [`VerifyingKey::verify_many`] call, so
+//!   every hash stage sweeps all signatures through the multi-lane hash
+//!   cores at once.
+//! * [`run_batch_planned`] — the lane-batched stages become a
+//!   cross-signature stage graph ([`crate::plan::verify_batch`]) on the
+//!   persistent worker pool.
 
 use crate::kernels::{calib, KernelConfig};
 use crate::ptx::{self, KernelKind};
@@ -18,6 +30,94 @@ use hero_gpu_sim::occupancy::BlockResources;
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::SignError;
 use hero_sphincs::{Signature, VerifyingKey};
+
+/// Per-message verdict of a batched verification.
+///
+/// A mixed batch must report exactly *which* indices failed, and why —
+/// a single pass/fail bit over the whole batch forces callers to
+/// re-verify sequentially to locate the bad signature. The three
+/// variants split the two distinct failure modes:
+///
+/// * [`VerifyOutcome::Invalid`] — the signature is well-formed, the
+///   full root recomputation ran, and the recovered root does not match
+///   the public key (a forgery, tampering, or the wrong key).
+/// * [`VerifyOutcome::Malformed`] — the signature failed the shape
+///   gate ([`hero_sphincs::Signature::check_shape`]) and never reached
+///   root recomputation; the payload says which dimension was off.
+///
+/// # Examples
+///
+/// ```
+/// use hero_sign::kernels::verify::{run_batch, VerifyOutcome};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut params = hero_sphincs::Params::sphincs_128f();
+/// params.h = 6;
+/// params.d = 3;
+/// params.log_t = 4;
+/// params.k = 8;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+///
+/// let msgs: Vec<&[u8]> = vec![b"pay alice", b"pay bob"];
+/// let mut sigs: Vec<_> = msgs.iter().map(|m| sk.sign(m)).collect();
+/// sigs[1].randomizer[0] ^= 1; // tamper with the second signature
+///
+/// let outcomes = run_batch(&vk, &msgs, &sigs, 2).unwrap();
+/// assert_eq!(outcomes[0], VerifyOutcome::Valid);
+/// assert_eq!(outcomes[1], VerifyOutcome::Invalid);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The signature verified under the key.
+    Valid,
+    /// Well-formed signature whose recomputed hypertree root does not
+    /// match the public key.
+    Invalid,
+    /// The signature failed the shape gate before any hashing; the
+    /// string names the offending dimension.
+    Malformed(String),
+}
+
+impl VerifyOutcome {
+    /// `true` only for [`VerifyOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, VerifyOutcome::Valid)
+    }
+
+    /// Folds a scalar [`VerifyingKey::verify`] result into the typed
+    /// outcome (the bridge between the substrate's `Result` surface and
+    /// the batch API).
+    pub fn from_result(result: Result<(), SignError>) -> Self {
+        match result {
+            Ok(()) => VerifyOutcome::Valid,
+            Err(SignError::VerificationFailed) => VerifyOutcome::Invalid,
+            Err(SignError::MalformedSignature(what)) | Err(SignError::InvalidParams(what)) => {
+                VerifyOutcome::Malformed(what)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyOutcome::Valid => write!(f, "valid"),
+            VerifyOutcome::Invalid => write!(f, "invalid"),
+            VerifyOutcome::Malformed(what) => write!(f, "malformed ({what})"),
+        }
+    }
+}
+
+fn check_lengths(msgs: &[&[u8]], sigs: &[Signature]) -> Result<(), crate::HeroError> {
+    if msgs.len() != sigs.len() {
+        return Err(crate::HeroError::BatchMismatch {
+            messages: msgs.len(),
+            signatures: sigs.len(),
+        });
+    }
+    Ok(())
+}
 
 /// Expected compressions to verify one signature: FORS (k × (1 leaf-F +
 /// log t path-H) + T_k) plus hypertree (d × (len chain completions
@@ -70,11 +170,15 @@ pub fn describe(
     desc
 }
 
-/// Functional batch verification: verifies `sigs[i]` over `msgs[i]`,
-/// parallelized across messages on the worker pool.
+/// Functional batch verification, scalar flavor: verifies `sigs[i]`
+/// over `msgs[i]` with independent per-message `vk.verify` calls,
+/// parallelized across messages on a transient worker pool.
 ///
-/// Returns per-message results (all `Ok` for a valid batch); does not
-/// short-circuit, matching a GPU batch that always runs to completion.
+/// Returns one typed [`VerifyOutcome`] per message (all `Valid` for a
+/// valid batch); does not short-circuit, matching a GPU batch that
+/// always runs to completion. This is the correctness oracle the
+/// lane-batched ([`run_batch_lanes`]) and planned ([`run_batch_planned`])
+/// flavors must agree with bit-for-bit.
 ///
 /// # Errors
 ///
@@ -85,20 +189,14 @@ pub fn run_batch(
     msgs: &[&[u8]],
     sigs: &[Signature],
     workers: usize,
-) -> Result<Vec<Result<(), SignError>>, crate::HeroError> {
-    if msgs.len() != sigs.len() {
-        return Err(crate::HeroError::BatchMismatch {
-            messages: msgs.len(),
-            signatures: sigs.len(),
-        });
-    }
+) -> Result<Vec<VerifyOutcome>, crate::HeroError> {
+    check_lengths(msgs, sigs)?;
     Ok(crate::par::par_map_indexed(msgs.len(), workers, |i| {
-        vk.verify(msgs[i], &sigs[i])
+        VerifyOutcome::from_result(vk.verify(msgs[i], &sigs[i]))
     }))
 }
 
-/// [`run_batch`] submitting onto an explicit persistent runtime — the
-/// engine's path ([`crate::engine::HeroSigner::verify_batch`]), so
+/// [`run_batch`] submitting onto an explicit persistent runtime, so
 /// concurrent verification interleaves with in-flight signing
 /// submissions on the same workers.
 ///
@@ -110,19 +208,62 @@ pub fn run_batch_on(
     msgs: &[&[u8]],
     sigs: &[Signature],
     exec: &hero_task_graph::Executor,
-) -> Result<Vec<Result<(), SignError>>, crate::HeroError> {
-    if msgs.len() != sigs.len() {
-        return Err(crate::HeroError::BatchMismatch {
-            messages: msgs.len(),
-            signatures: sigs.len(),
-        });
-    }
+) -> Result<Vec<VerifyOutcome>, crate::HeroError> {
+    check_lengths(msgs, sigs)?;
     Ok(crate::par::par_map_indexed_on(
         exec,
         msgs.len(),
         exec.workers(),
-        |i| vk.verify(msgs[i], &sigs[i]),
+        |i| VerifyOutcome::from_result(vk.verify(msgs[i], &sigs[i])),
     ))
+}
+
+/// Lane-batched batch verification: the whole batch runs through
+/// [`VerifyingKey::verify_many`], so every hash stage — WOTS+ chain
+/// completion, FORS leaf recovery, every auth-path climb — sweeps all
+/// signatures through the multi-lane hash cores in one pass instead of
+/// one signature at a time. Single-threaded but lane-parallel: this is
+/// the flavor to compare against [`run_batch`] to isolate the lane win
+/// from the scheduling win.
+///
+/// Verdicts are bit-for-bit the scalar flavor's.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_lanes(
+    vk: &VerifyingKey,
+    msgs: &[&[u8]],
+    sigs: &[Signature],
+) -> Result<Vec<VerifyOutcome>, crate::HeroError> {
+    check_lengths(msgs, sigs)?;
+    let refs: Vec<&Signature> = sigs.iter().collect();
+    Ok(vk
+        .verify_many(msgs, &refs)
+        .into_iter()
+        .map(VerifyOutcome::from_result)
+        .collect())
+}
+
+/// Planned batch verification: the batch becomes a cross-signature
+/// stage graph on `exec` ([`crate::plan::verify_batch`]) — signature
+/// A's layer-2 WOTS+ recomputation co-schedules with signature B's FORS
+/// root recovery, and every stage node is itself lane-batched. The
+/// engine's path ([`crate::engine::HeroSigner::verify_batch`]).
+///
+/// Verdicts are bit-for-bit the scalar flavor's.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_planned(
+    vk: &VerifyingKey,
+    msgs: &[&[u8]],
+    sigs: &[Signature],
+    exec: &hero_task_graph::Executor,
+) -> Result<Vec<VerifyOutcome>, crate::HeroError> {
+    check_lengths(msgs, sigs)?;
+    Ok(crate::plan::verify_batch(vk, msgs, sigs, exec))
 }
 
 #[cfg(test)]
@@ -166,14 +307,71 @@ mod tests {
         let mut sigs: Vec<Signature> = slices.iter().map(|m| sk.sign(m)).collect();
 
         let results = run_batch(&vk, &slices, &sigs, 4).unwrap();
-        assert!(results.iter().all(Result::is_ok));
+        assert!(results.iter().all(VerifyOutcome::is_valid));
 
         // Corrupt one signature: exactly that slot fails, others still pass.
         sigs[2].fors.trees[0].sk[0] ^= 1;
         let results = run_batch(&vk, &slices, &sigs, 4).unwrap();
         for (i, r) in results.iter().enumerate() {
-            assert_eq!(r.is_err(), i == 2, "slot {i}");
+            assert_eq!(!r.is_valid(), i == 2, "slot {i}");
         }
+        assert_eq!(results[2], VerifyOutcome::Invalid);
+    }
+
+    /// Satellite regression: a mixed valid / invalid / malformed batch
+    /// reports *which* indices failed and *how*, identically across the
+    /// scalar, lane-batched, and planned flavors.
+    #[test]
+    fn mixed_batch_reports_failing_indices_across_flavors() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 12 + i as usize]).collect();
+        let slices: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut sigs: Vec<Signature> = slices.iter().map(|m| sk.sign(m)).collect();
+
+        // Slot 1: tampered FORS secret element → Invalid.
+        sigs[1].fors.trees[0].sk[0] ^= 1;
+        // Slot 3: truncated hypertree → Malformed, never hashed.
+        sigs[3].ht.layers.pop();
+        // Slot 4: flipped randomizer bit → digest walks a different
+        // hypertree path → Invalid.
+        sigs[4].randomizer[0] ^= 0x80;
+
+        let scalar = run_batch(&vk, &slices, &sigs, 4).unwrap();
+        assert_eq!(scalar[0], VerifyOutcome::Valid);
+        assert_eq!(scalar[1], VerifyOutcome::Invalid);
+        assert_eq!(scalar[2], VerifyOutcome::Valid);
+        assert!(
+            matches!(scalar[3], VerifyOutcome::Malformed(_)),
+            "{:?}",
+            scalar[3]
+        );
+        assert_eq!(scalar[4], VerifyOutcome::Invalid);
+        assert_eq!(scalar[5], VerifyOutcome::Valid);
+
+        let lanes = run_batch_lanes(&vk, &slices, &sigs).unwrap();
+        assert_eq!(lanes, scalar, "lane-batched verdicts must match scalar");
+
+        let exec = hero_task_graph::Executor::new(4).unwrap();
+        let planned = run_batch_planned(&vk, &slices, &sigs, &exec).unwrap();
+        assert_eq!(planned, scalar, "planned verdicts must match scalar");
+    }
+
+    #[test]
+    fn outcome_display_and_helpers() {
+        assert!(VerifyOutcome::Valid.is_valid());
+        assert!(!VerifyOutcome::Invalid.is_valid());
+        assert_eq!(VerifyOutcome::from_result(Ok(())), VerifyOutcome::Valid);
+        assert_eq!(
+            VerifyOutcome::from_result(Err(SignError::VerificationFailed)),
+            VerifyOutcome::Invalid
+        );
+        let malformed = VerifyOutcome::from_result(Err(SignError::MalformedSignature("x".into())));
+        assert_eq!(malformed, VerifyOutcome::Malformed("x".into()));
+        assert_eq!(malformed.to_string(), "malformed (x)");
+        assert_eq!(VerifyOutcome::Valid.to_string(), "valid");
+        assert_eq!(VerifyOutcome::Invalid.to_string(), "invalid");
     }
 
     #[test]
@@ -212,7 +410,10 @@ mod tests {
             ),
             "{err}"
         );
-        // The empty batch is consistent, not mismatched.
+        // The empty batch is consistent, not mismatched — in every flavor.
         assert!(run_batch(&vk, &[], &[], 1).unwrap().is_empty());
+        assert!(run_batch_lanes(&vk, &[], &[]).unwrap().is_empty());
+        let exec = hero_task_graph::Executor::new(1).unwrap();
+        assert!(run_batch_planned(&vk, &[], &[], &exec).unwrap().is_empty());
     }
 }

@@ -104,9 +104,12 @@ pub use cache::{CacheConfig, CacheStats, HypertreeCache};
 pub use engine::{HeroSigner, LaunchPolicy, OptConfig, PipelineOptions, PipelineReport, PtxPolicy};
 pub use error::HeroError;
 pub use faults::{FaultAction, FaultPlan, FaultSpec};
+pub use kernels::verify::VerifyOutcome;
 pub use plan::{PlanShape, PlanSummary};
 pub use ptx::{BranchSelection, KernelKind};
-pub use service::{ServiceConfig, ServiceError, ServiceStats, SignService, SignTicket};
+pub use service::{
+    ServiceConfig, ServiceError, ServiceStats, SignService, SignTicket, Ticket, VerifyTicket,
+};
 pub use signer::{ReferenceSigner, Signer};
 pub use stats::{LatencySummary, LatencyWindow};
 pub use tuning::{

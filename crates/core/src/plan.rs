@@ -55,14 +55,15 @@
 //! proptests and the pre-refactor fixtures).
 
 use crate::cache::HypertreeCache;
+use crate::kernels::verify::VerifyOutcome;
 use crate::kernels::{fors_sign, tree_sign, wots_sign};
 
 use hero_sphincs::address::{Address, AddressType};
-use hero_sphincs::fors::{ForsSignature, ForsTreeRequest, ForsTreeSig};
+use hero_sphincs::fors::{self, ForsSignature, ForsTreeRequest, ForsTreeSig};
 use hero_sphincs::hash::{self, HashCtx};
-use hero_sphincs::hypertree::{HtSignature, XmssSig};
+use hero_sphincs::hypertree::{self, HtSignature, XmssSig};
 use hero_sphincs::params::Params;
-use hero_sphincs::sign::{Signature, SigningKey};
+use hero_sphincs::sign::{SignError, Signature, SigningKey, VerifyingKey};
 use hero_task_graph::{Executor, TaskGraph};
 
 use std::collections::HashMap;
@@ -545,6 +546,231 @@ pub fn warm_cache(
     items.len()
 }
 
+/// Signatures per verify stage node. Each group's FORS recovery and
+/// per-layer XMSS root recomputations become one *chain* of DAG nodes
+/// (the signature forces that order within a group), but different
+/// groups share no edges — group A's layer-2 node co-schedules with
+/// group B's FORS node on the same workers, and every node's hashing is
+/// itself lane-batched across the group's members.
+const VERIFY_GROUP: usize = 4;
+
+/// Host-side preamble of one signature under verification: the shape
+/// gate, the message digest split, the FORS keypair address, and the
+/// precomputed `(tree, leaf)` hypertree walk — everything the stage
+/// nodes need that does not depend on recovered roots.
+struct VerifyPreamble {
+    md: Vec<u8>,
+    keypair_adrs: Address,
+    /// `(tree, leaf)` coordinates per hypertree layer.
+    walk: Vec<(u64, u32)>,
+}
+
+/// Plans and verifies a whole batch as one cross-signature stage graph
+/// submitted onto `exec`.
+///
+/// Signatures are grouped [`VERIFY_GROUP`] at a time; each group's
+/// pipeline — FORS root recovery, then one XMSS root recomputation per
+/// hypertree layer — is a chain of lane-batched DAG nodes, and the
+/// chains of different groups interleave freely on the pool. Shape
+/// failures ([`Signature::check_shape`]) are resolved at plan time and
+/// never enter the graph; the surviving signatures' verdicts are
+/// bit-for-bit what [`VerifyingKey::verify`] returns.
+///
+/// Without real parallelism — a single-worker executor, or a host with
+/// one hardware thread — the graph is pure scheduling overhead, so the
+/// batch degrades to one [`VerifyingKey::verify_many`] lane sweep with
+/// identical verdicts.
+///
+/// # Panics
+///
+/// When `msgs.len() != sigs.len()` — the typed-error surface lives one
+/// layer up in [`crate::kernels::verify::run_batch_planned`].
+///
+/// # Examples
+///
+/// ```
+/// use hero_sign::{plan, VerifyOutcome};
+/// use hero_task_graph::Executor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut params = hero_sphincs::Params::sphincs_128f();
+/// params.h = 6;
+/// params.d = 3;
+/// params.log_t = 4;
+/// params.k = 8;
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+///
+/// let msgs: Vec<&[u8]> = vec![b"a", b"b"];
+/// let mut sigs: Vec<_> = msgs.iter().map(|m| sk.sign(m)).collect();
+/// sigs[1].fors.trees[0].sk[0] ^= 1;
+///
+/// let exec = Executor::new(2).unwrap();
+/// let outcomes = plan::verify_batch(&vk, &msgs, &sigs, &exec);
+/// assert_eq!(outcomes, [VerifyOutcome::Valid, VerifyOutcome::Invalid]);
+/// ```
+pub fn verify_batch(
+    vk: &VerifyingKey,
+    msgs: &[&[u8]],
+    sigs: &[Signature],
+    exec: &Executor,
+) -> Vec<VerifyOutcome> {
+    assert_eq!(
+        msgs.len(),
+        sigs.len(),
+        "one message per signature in a verify batch"
+    );
+    let params = *vk.params();
+    let m = msgs.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let d = params.d;
+    let ctx = HashCtx::with_alg(params, vk.pk_seed(), vk.alg());
+    let pk_root = vk.pk_root();
+
+    // Without real parallelism — a single-worker executor, or a host
+    // with one hardware thread — preamble distribution and the stage
+    // graph below are pure scheduling overhead on top of the same
+    // lane-batched hash sweeps, so the batch degrades to the plain
+    // lane path. Fault injection for the verify planner rides the
+    // graph path, where a panicking node poisons only its own
+    // submission.
+    static SINGLE_THREADED_HOST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let single_threaded = exec.workers() <= 1
+        || *SINGLE_THREADED_HOST
+            .get_or_init(|| std::thread::available_parallelism().is_ok_and(|p| p.get() == 1));
+    if single_threaded {
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        return vk
+            .verify_many(msgs, &refs)
+            .into_iter()
+            .map(VerifyOutcome::from_result)
+            .collect();
+    }
+
+    // Preamble per signature, distributed over the pool (digesting a
+    // long message is real hash work): the shape gate plus the digest
+    // split and coordinate walk.
+    let pres: Vec<Result<VerifyPreamble, SignError>> =
+        crate::par::par_map_indexed_on(exec, m, exec.workers(), |i| {
+            sigs[i].check_shape(&params)?;
+            let digest = ctx.h_msg(&sigs[i].randomizer, pk_root, msgs[i]);
+            let (md, mut tree_idx, mut leaf_idx) = hash::split_digest(&params, &digest);
+
+            let mut keypair_adrs = Address::new();
+            keypair_adrs.set_layer(0);
+            keypair_adrs.set_tree(tree_idx);
+            keypair_adrs.set_type(AddressType::ForsTree);
+            keypair_adrs.set_keypair(leaf_idx);
+
+            let mut walk = Vec::with_capacity(d);
+            for _ in 0..d {
+                walk.push((tree_idx, leaf_idx));
+                leaf_idx = (tree_idx & ((1 << params.tree_height()) - 1)) as u32;
+                tree_idx >>= params.tree_height();
+            }
+            Ok(VerifyPreamble {
+                md,
+                keypair_adrs,
+                walk,
+            })
+        });
+
+    // Malformed signatures resolve at plan time; the rest are "live"
+    // and enter the graph, Valid until their recovered root says
+    // otherwise.
+    let mut out: Vec<VerifyOutcome> = pres
+        .iter()
+        .map(|pre| match pre {
+            Ok(_) => VerifyOutcome::Valid,
+            Err(e) => VerifyOutcome::from_result(Err(e.clone())),
+        })
+        .collect();
+    let live: Vec<usize> = (0..m).filter(|&i| pres[i].is_ok()).collect();
+    if live.is_empty() {
+        return out;
+    }
+    let pres_ok: Vec<&VerifyPreamble> = live
+        .iter()
+        .map(|&i| pres[i].as_ref().expect("live indices are Ok"))
+        .collect();
+
+    // One rolling node slot per live signature: the FORS node writes
+    // the recovered FORS pk, each layer node takes the previous root
+    // and writes the next — the DAG edge is the hand-off.
+    let node_slots: Slots<Vec<u8>> = Slots::new(live.len());
+
+    let mut graph = TaskGraph::new();
+    for (g, chunk) in live.chunks(VERIFY_GROUP).enumerate() {
+        let base = g * VERIFY_GROUP;
+        let (node_slots_ref, pres_ok_ref, ctx_ref) = (&node_slots, &pres_ok, &ctx);
+        let fors_node = graph.task(move || {
+            let (node_slots, pres_ok) = (node_slots_ref, pres_ok_ref);
+            crate::faults::stage(crate::faults::PLAN_STAGE);
+            let fors_sigs: Vec<&ForsSignature> = chunk.iter().map(|&i| &sigs[i].fors).collect();
+            let mds: Vec<&[u8]> = (0..chunk.len())
+                .map(|j| pres_ok[base + j].md.as_slice())
+                .collect();
+            let adrs: Vec<Address> = (0..chunk.len())
+                .map(|j| pres_ok[base + j].keypair_adrs)
+                .collect();
+            for (off, pk) in fors::pk_from_sig_many(ctx_ref, &fors_sigs, &mds, &adrs)
+                .into_iter()
+                .enumerate()
+            {
+                node_slots.set(base + off, pk);
+            }
+        });
+        let mut prev = fors_node;
+        for layer in 0..d {
+            let (node_slots_ref, pres_ok_ref, ctx_ref) = (&node_slots, &pres_ok, &ctx);
+            let node = graph.task(move || {
+                let (node_slots, pres_ok) = (node_slots_ref, pres_ok_ref);
+                crate::faults::stage(crate::faults::PLAN_STAGE);
+                // Own the previous roots first, then borrow them into
+                // the lane-batched requests.
+                let inputs: Vec<Vec<u8>> = (0..chunk.len())
+                    .map(|j| node_slots.take(base + j))
+                    .collect();
+                let reqs: Vec<hypertree::XmssVerifyRequest> = chunk
+                    .iter()
+                    .zip(&inputs)
+                    .enumerate()
+                    .map(|(j, (&i, input))| {
+                        let (tree, leaf_idx) = pres_ok[base + j].walk[layer];
+                        hypertree::XmssVerifyRequest {
+                            sig: &sigs[i].ht.layers[layer],
+                            msg: input,
+                            tree,
+                            leaf_idx,
+                        }
+                    })
+                    .collect();
+                for (off, root) in hypertree::xmss_pk_from_sig_many(ctx_ref, layer as u32, &reqs)
+                    .into_iter()
+                    .enumerate()
+                {
+                    node_slots.set(base + off, root);
+                }
+            });
+            graph.depends_on(node, prev);
+            prev = node;
+        }
+    }
+    exec.run(graph)
+        .expect("verify plan construction yields a DAG");
+
+    // Assembly: the surviving root either is the public key or the
+    // signature is a well-formed forgery.
+    for (j, &i) in live.iter().enumerate() {
+        if node_slots.take(j) != pk_root {
+            out[i] = VerifyOutcome::Invalid;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +928,55 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.evictions >= 4, "{stats:?}");
         assert_eq!(stats.resident_keys, 1);
+    }
+
+    #[test]
+    fn planned_verify_matches_scalar_verdicts() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let params = tiny_params();
+        let (sk, vk) = hero_sphincs::keygen(params, &mut rng).unwrap();
+        for batch in [1usize, 2, 5, 9] {
+            let msgs_owned: Vec<Vec<u8>> = (0..batch).map(|i| vec![i as u8; 16 + i]).collect();
+            let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+            let mut sigs: Vec<Signature> = msgs.iter().map(|m| sk.sign(m)).collect();
+            // Tamper with a spread of regions so mixed batches exercise
+            // the per-index verdicts, not just all-pass.
+            if batch > 1 {
+                sigs[1].randomizer[0] ^= 1;
+            }
+            if batch > 4 {
+                sigs[3].ht.layers[1].auth_path[0][0] ^= 1;
+                sigs[4].fors.trees.pop();
+            }
+            for workers in [1usize, 4] {
+                let exec = Executor::new(workers).unwrap();
+                let outcomes = verify_batch(&vk, &msgs, &sigs, &exec);
+                assert_eq!(outcomes.len(), batch);
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    let scalar = VerifyOutcome::from_result(vk.verify(msgs[i], &sigs[i]));
+                    assert_eq!(*outcome, scalar, "batch={batch} workers={workers} sig {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_verify_all_malformed_never_builds_a_graph() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let (sk, vk) = hero_sphincs::keygen(tiny_params(), &mut rng).unwrap();
+        let mut sig = sk.sign(b"m");
+        sig.randomizer.pop();
+        let exec = Executor::new(2).unwrap();
+        let outcomes = verify_batch(&vk, &[b"m"], std::slice::from_ref(&sig), &exec);
+        assert!(matches!(outcomes[0], VerifyOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn planned_verify_empty_batch_is_empty() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let (_, vk) = hero_sphincs::keygen(tiny_params(), &mut rng).unwrap();
+        let exec = Executor::new(2).unwrap();
+        assert!(verify_batch(&vk, &[], &[], &exec).is_empty());
     }
 
     #[test]

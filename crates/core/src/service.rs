@@ -24,12 +24,27 @@
 //! `max_wait` so batches fill (throughput mode). The decision tracks an
 //! EWMA of recent batch sizes.
 //!
+//! ## The verify lane
+//!
+//! Verification is a first-class workload on the same service: a verify
+//! request carries `(message, signature)` and redeems a
+//! [`VerifyTicket`] for a typed [`VerifyOutcome`]. The verify lane is a
+//! second instance of the *same* bounded-queue machinery — its own
+//! coalescing window and batch-size EWMA (verify batches are far
+//! cheaper than sign batches, so their adaptive signal must not mix),
+//! its own micro-batcher thread feeding the backend's planned
+//! [`Signer::verify_batch`] — while sharing the queue-depth bound,
+//! deadline expiry, ticket, and drain-on-shutdown machinery with sign
+//! traffic. Both lanes submit onto the same engine executor, so
+//! signature A's verification co-schedules with signature B's signing
+//! exactly like mixed kernels on one device.
+//!
 //! ## Deploying as a signing server — quickstart
 //!
 //! ```
 //! use hero_gpu_sim::device::rtx_4090;
 //! use hero_sign::service::{ServiceConfig, SignService};
-//! use hero_sign::{HeroSigner, Signer};
+//! use hero_sign::{HeroSigner, Signer, VerifyOutcome};
 //! use hero_sphincs::params::Params;
 //! use rand::{rngs::StdRng, SeedableRng};
 //! use std::sync::Arc;
@@ -53,10 +68,16 @@
 //! let tickets: Vec<_> = (0..8u8)
 //!     .map(|i| service.submit(vec![i; 16]))
 //!     .collect::<Result<_, _>>()?;
+//! let mut sigs = Vec::new();
 //! for (i, ticket) in tickets.into_iter().enumerate() {
 //!     let sig = ticket.wait()?;
 //!     vk.verify(&vec![i as u8; 16], &sig)?;
+//!     sigs.push(sig);
 //! }
+//!
+//! // The verify lane rides the same service: coalesced, planned, typed.
+//! let probe = service.submit_verify(vec![0u8; 16], sigs[0].clone())?;
+//! assert_eq!(probe.wait()?, VerifyOutcome::Valid);
 //!
 //! // Shutdown drains: accepted requests are answered, new ones refused.
 //! service.shutdown();
@@ -66,9 +87,10 @@
 
 use crate::engine::HeroSigner;
 use crate::error::HeroError;
+use crate::kernels::verify::VerifyOutcome;
 use crate::signer::{check_key, Signer};
 
-use hero_sphincs::sign::{Signature, SigningKey};
+use hero_sphincs::sign::{Signature, SigningKey, VerifyingKey};
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -127,7 +149,8 @@ impl From<HeroError> for ServiceError {
     }
 }
 
-/// Micro-batcher knobs.
+/// Micro-batcher knobs (applied to both the sign and verify lanes; each
+/// lane coalesces independently under the same bounds).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Most messages one coalesced batch may carry. Defaults to 64 —
@@ -138,9 +161,9 @@ pub struct ServiceConfig {
     /// of a batch arrives (throughput mode; the adaptive batcher shrinks
     /// this under lone-caller traffic).
     pub max_wait: Duration,
-    /// Bound of the pending-request queue; [`SignService::submit`]
+    /// Bound of each lane's pending-request queue; [`SignService::submit`]
     /// blocks (and [`SignService::try_submit`] returns
-    /// [`ServiceError::QueueFull`]) while the queue is at depth.
+    /// [`ServiceError::QueueFull`]) while the lane is at depth.
     pub queue_depth: usize,
 }
 
@@ -197,31 +220,43 @@ impl ServiceConfig {
     }
 }
 
-/// Counters exposed by [`SignService::stats`].
+/// Counters exposed by [`SignService::stats`]. The `verify_*` fields
+/// mirror the sign-lane fields one-for-one — the lanes share machinery
+/// but account separately.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests accepted into the queue.
+    /// Sign requests accepted into the queue.
     pub submitted: u64,
-    /// Requests answered (successfully or with an engine error).
+    /// Sign requests answered (successfully or with an engine error).
     pub completed: u64,
-    /// Coalesced batches signed.
+    /// Coalesced sign batches signed.
     pub batches: u64,
-    /// Largest batch coalesced so far.
+    /// Largest sign batch coalesced so far.
     pub max_batch_observed: u64,
-    /// Requests answered with [`ServiceError::DeadlineExceeded`] because
-    /// their deadline passed while they were queued.
+    /// Sign requests answered with [`ServiceError::DeadlineExceeded`]
+    /// because their deadline passed while they were queued.
     pub deadline_expired: u64,
+    /// Verify requests accepted into the queue.
+    pub verify_submitted: u64,
+    /// Verify requests answered.
+    pub verify_completed: u64,
+    /// Coalesced verify batches run.
+    pub verify_batches: u64,
+    /// Largest verify batch coalesced so far.
+    pub verify_max_batch_observed: u64,
+    /// Verify requests expired before verification.
+    pub verify_deadline_expired: u64,
 }
 
 /// One pending request's result slot: written exactly once by the
 /// batcher, read exactly once by the ticket holder.
-struct TicketState {
-    result: Mutex<Option<Result<Signature, ServiceError>>>,
+struct TicketState<T> {
+    result: Mutex<Option<Result<T, ServiceError>>>,
     ready: Condvar,
 }
 
-impl TicketState {
-    fn fulfill(&self, value: Result<Signature, ServiceError>) {
+impl<T> TicketState<T> {
+    fn fulfill(&self, value: Result<T, ServiceError>) {
         let mut slot = self.result.lock().expect("ticket slot");
         assert!(slot.is_none(), "request answered twice");
         *slot = Some(value);
@@ -230,30 +265,39 @@ impl TicketState {
 }
 
 /// The caller's handle to an accepted request — a plain
-/// receiver-future: hold it, do other work, [`SignTicket::wait`] when
-/// the signature is needed.
-pub struct SignTicket {
-    state: Arc<TicketState>,
+/// receiver-future: hold it, do other work, [`Ticket::wait`] when the
+/// result is needed. [`SignTicket`] redeems a [`Signature`],
+/// [`VerifyTicket`] a [`VerifyOutcome`].
+pub struct Ticket<T> {
+    state: Arc<TicketState<T>>,
 }
 
-impl fmt::Debug for SignTicket {
+/// A [`Ticket`] for a signing request.
+pub type SignTicket = Ticket<Signature>;
+
+/// A [`Ticket`] for a verification request: redeems the typed
+/// [`VerifyOutcome`] verdict (`Err` is reserved for the request path —
+/// an invalid signature is `Ok(VerifyOutcome::Invalid)`).
+pub type VerifyTicket = Ticket<VerifyOutcome>;
+
+impl<T> fmt::Debug for Ticket<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SignTicket")
+        f.debug_struct("Ticket")
             .field("ready", &self.is_ready())
             .finish()
     }
 }
 
-impl SignTicket {
+impl<T> Ticket<T> {
     /// Blocks until the request is answered.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Engine`] if the engine rejected the batch;
     /// [`ServiceError::ShuttingDown`] if the service stopped before the
-    /// request could be signed (only possible when the batcher died —
+    /// request could be served (only possible when the batcher died —
     /// orderly shutdown drains accepted requests).
-    pub fn wait(self) -> Result<Signature, ServiceError> {
+    pub fn wait(self) -> Result<T, ServiceError> {
         let mut slot = self.state.result.lock().expect("ticket slot");
         loop {
             if let Some(result) = slot.take() {
@@ -264,29 +308,33 @@ impl SignTicket {
     }
 
     /// Non-blocking probe: `true` once the request has been answered
-    /// (a subsequent [`SignTicket::wait`] returns immediately).
+    /// (a subsequent [`Ticket::wait`] returns immediately).
     pub fn is_ready(&self) -> bool {
         self.state.result.lock().expect("ticket slot").is_some()
     }
 }
 
-struct Request {
-    msg: Vec<u8>,
-    ticket: Arc<TicketState>,
-    /// Answer with [`ServiceError::DeadlineExceeded`] instead of signing
+struct Request<P, T> {
+    payload: P,
+    ticket: Arc<TicketState<T>>,
+    /// Answer with [`ServiceError::DeadlineExceeded`] instead of serving
     /// if this instant passes while the request is still queued.
     deadline: Option<Instant>,
 }
 
-struct QueueState {
-    items: VecDeque<Request>,
+struct QueueState<P, T> {
+    items: VecDeque<Request<P, T>>,
     /// Cleared on shutdown; submissions are refused afterwards and the
     /// batcher exits once the queue drains.
     open: bool,
 }
 
-struct ServiceShared {
-    queue: Mutex<QueueState>,
+/// One micro-batching lane: a bounded queue, its adaptive batch-size
+/// EWMA, and its exactly-once accounting. The sign and verify lanes are
+/// two instances of this one machine — shared deadline expiry, shared
+/// backpressure, separate coalescing signals.
+struct Lane<P, T> {
+    queue: Mutex<QueueState<P, T>>,
     not_empty: Condvar,
     not_full: Condvar,
     submitted: AtomicU64,
@@ -298,31 +346,200 @@ struct ServiceShared {
     ewma_milli: AtomicUsize,
 }
 
-impl ServiceShared {
+impl<P, T> Lane<P, T> {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_observed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            ewma_milli: AtomicUsize::new(1000),
+        }
+    }
+
     /// Answers an expired request with the typed error and books it as
-    /// completed — the exactly-once accounting is identical to a signed
+    /// completed — the exactly-once accounting is identical to a served
     /// request's.
-    fn expire(&self, req: Request) {
+    fn expire(&self, req: Request<P, T>) {
         req.ticket.fulfill(Err(ServiceError::DeadlineExceeded));
         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn enqueue(
+        &self,
+        payload: P,
+        deadline: Option<Instant>,
+        block: bool,
+        depth: usize,
+    ) -> Result<Ticket<T>, ServiceError> {
+        if deadline.is_some_and(|d| d <= Instant::now()) {
+            self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        let state = Arc::new(TicketState {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut q = self.queue.lock().expect("service queue");
+            loop {
+                if !q.open {
+                    return Err(ServiceError::ShuttingDown);
+                }
+                if q.items.len() < depth {
+                    break;
+                }
+                if !block {
+                    return Err(ServiceError::QueueFull);
+                }
+                q = self.not_full.wait(q).expect("service queue");
+            }
+            q.items.push_back(Request {
+                payload,
+                ticket: Arc::clone(&state),
+                deadline,
+            });
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_one();
+        Ok(Ticket { state })
+    }
+
+    /// Collects one batch from the lane: the first request immediately,
+    /// then stragglers until `max_batch`, the adaptive deadline, or
+    /// shutdown-with-empty-queue. Returns `None` when the service has
+    /// shut down and the queue is fully drained.
+    ///
+    /// Requests whose per-request deadline has already passed are
+    /// answered with [`ServiceError::DeadlineExceeded`] at pop time and
+    /// never join a batch — an expired request costs the lane a queue
+    /// slot, never executor time.
+    fn collect(&self, config: &ServiceConfig) -> Option<Vec<Request<P, T>>> {
+        let mut q = self.queue.lock().expect("service queue");
+        let first = loop {
+            match q.items.pop_front() {
+                Some(req) if req.deadline.is_some_and(|d| d <= Instant::now()) => {
+                    self.expire(req);
+                }
+                Some(req) => break req,
+                None => {
+                    if !q.open {
+                        return None;
+                    }
+                    q = self.not_empty.wait(q).expect("service queue");
+                }
+            }
+        };
+        let mut batch = vec![first];
+
+        // Adaptive coalescing: recent lone-request batches mean a single
+        // caller — waiting max_wait would only add latency. Recent multi-
+        // request batches mean concurrent traffic — wait the full window
+        // so the batch fills. Threshold 1.5 on the batch-size EWMA.
+        let ewma = self.ewma_milli.load(Ordering::Relaxed);
+        let wait = if ewma > 1500 {
+            config.max_wait
+        } else {
+            config.max_wait / 8
+        };
+        let deadline = Instant::now() + wait;
+        while batch.len() < config.max_batch {
+            if let Some(req) = q.items.pop_front() {
+                if req.deadline.is_some_and(|d| d <= Instant::now()) {
+                    self.expire(req);
+                } else {
+                    batch.push(req);
+                }
+                continue;
+            }
+            if !q.open {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .expect("service queue");
+            q = guard;
+        }
+        drop(q);
+        self.not_full.notify_all();
+
+        let len = batch.len();
+        let prev = self.ewma_milli.load(Ordering::Relaxed);
+        self.ewma_milli
+            .store((3 * prev + len * 1000) / 4, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch_observed
+            .fetch_max(len as u64, Ordering::Relaxed);
+        Some(batch)
+    }
+
+    /// Refuses further submissions and wakes every waiter.
+    fn close(&self) {
+        self.queue.lock().expect("service queue").open = false;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Fails any requests left in a closed queue (only possible when the
+    /// lane's batcher died abnormally) so their ticket holders don't hang.
+    fn fail_stranded(&self) {
+        let stranded: Vec<Request<P, T>> = {
+            let mut q = self.queue.lock().expect("service queue");
+            q.items.drain(..).collect()
+        };
+        for req in stranded {
+            req.ticket.fulfill(Err(ServiceError::ShuttingDown));
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.lock().expect("service queue").items.len()
+    }
 }
 
-/// A shared signing service over one engine and one signing key — see
-/// the module docs for the architecture and a deployment quickstart.
+/// Payload of one verify-lane request.
+struct VerifyItem {
+    msg: Vec<u8>,
+    sig: Signature,
+}
+
+struct ServiceShared {
+    sign: Lane<Vec<u8>, Signature>,
+    verify: Lane<VerifyItem, VerifyOutcome>,
+}
+
+/// A shared signing *and verification* service over one engine and one
+/// signing key — see the module docs for the architecture and a
+/// deployment quickstart.
 ///
 /// Thread-safe: share it behind an [`Arc`]; every clone of the handle
-/// submits into the same queue and batcher.
+/// submits into the same queues and batchers.
 pub struct SignService {
     shared: Arc<ServiceShared>,
     config: ServiceConfig,
     batcher: Mutex<Option<JoinHandle<()>>>,
+    verifier: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl SignService {
     /// Validates `config`, checks `sk` against the signer's parameter
-    /// set, and starts the batcher thread (`hero-service-batcher`).
+    /// set, and starts the lane threads (`hero-service-batcher` for the
+    /// sign lane, `hero-service-verifier` for the verify lane; the
+    /// verify lane's key is `sk.verifying_key()`).
     ///
     /// # Errors
     ///
@@ -336,31 +553,31 @@ impl SignService {
     ) -> Result<Self, HeroError> {
         config.validate()?;
         check_key(signer.params(), sk.params())?;
+        let vk = sk.verifying_key();
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                open: true,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch_observed: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            ewma_milli: AtomicUsize::new(1000),
+            sign: Lane::new(),
+            verify: Lane::new(),
         });
         let batcher = {
             let shared = Arc::clone(&shared);
+            let signer = Arc::clone(&signer);
             std::thread::Builder::new()
                 .name("hero-service-batcher".to_string())
                 .spawn(move || batcher_loop(&shared, signer.as_ref(), &sk, &config))
                 .expect("spawn service batcher thread")
         };
+        let verifier = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hero-service-verifier".to_string())
+                .spawn(move || verifier_loop(&shared, signer.as_ref(), &vk, &config))
+                .expect("spawn service verifier thread")
+        };
         Ok(Self {
             shared,
             config,
             batcher: Mutex::new(Some(batcher)),
+            verifier: Mutex::new(Some(verifier)),
         })
     }
 
@@ -378,7 +595,9 @@ impl SignService {
     /// [`ServiceError::ShuttingDown`] once [`SignService::shutdown`] has
     /// begun.
     pub fn submit(&self, msg: impl Into<Vec<u8>>) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), None, true)
+        self.shared
+            .sign
+            .enqueue(msg.into(), None, true, self.config.queue_depth)
     }
 
     /// [`SignService::submit`] with a deadline: if `deadline` passes
@@ -395,7 +614,9 @@ impl SignService {
         msg: impl Into<Vec<u8>>,
         deadline: Instant,
     ) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), Some(deadline), true)
+        self.shared
+            .sign
+            .enqueue(msg.into(), Some(deadline), true, self.config.queue_depth)
     }
 
     /// Non-blocking [`SignService::submit`].
@@ -405,7 +626,9 @@ impl SignService {
     /// [`ServiceError::QueueFull`] instead of blocking;
     /// [`ServiceError::ShuttingDown`] once shutdown has begun.
     pub fn try_submit(&self, msg: impl Into<Vec<u8>>) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), None, false)
+        self.shared
+            .sign
+            .enqueue(msg.into(), None, false, self.config.queue_depth)
     }
 
     /// Non-blocking [`SignService::submit_with_deadline`].
@@ -419,96 +642,163 @@ impl SignService {
         msg: impl Into<Vec<u8>>,
         deadline: Instant,
     ) -> Result<SignTicket, ServiceError> {
-        self.enqueue(msg.into(), Some(deadline), false)
+        self.shared
+            .sign
+            .enqueue(msg.into(), Some(deadline), false, self.config.queue_depth)
     }
 
-    fn enqueue(
+    /// Submits `(msg, sig)` for verification on the verify lane,
+    /// blocking while that lane's bounded queue is at
+    /// [`ServiceConfig::queue_depth`]. Returns a ticket redeemable for
+    /// the typed [`VerifyOutcome`] — an invalid signature is a verdict,
+    /// not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] once [`SignService::shutdown`] has
+    /// begun.
+    pub fn submit_verify(
         &self,
-        msg: Vec<u8>,
-        deadline: Option<Instant>,
-        block: bool,
-    ) -> Result<SignTicket, ServiceError> {
-        if deadline.is_some_and(|d| d <= Instant::now()) {
-            self.shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::DeadlineExceeded);
-        }
-        let state = Arc::new(TicketState {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
-        {
-            let mut q = self.shared.queue.lock().expect("service queue");
-            loop {
-                if !q.open {
-                    return Err(ServiceError::ShuttingDown);
-                }
-                if q.items.len() < self.config.queue_depth {
-                    break;
-                }
-                if !block {
-                    return Err(ServiceError::QueueFull);
-                }
-                q = self.shared.not_full.wait(q).expect("service queue");
-            }
-            q.items.push_back(Request {
-                msg,
-                ticket: Arc::clone(&state),
-                deadline,
-            });
-        }
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.not_empty.notify_one();
-        Ok(SignTicket { state })
+        msg: impl Into<Vec<u8>>,
+        sig: Signature,
+    ) -> Result<VerifyTicket, ServiceError> {
+        self.shared.verify.enqueue(
+            VerifyItem {
+                msg: msg.into(),
+                sig,
+            },
+            None,
+            true,
+            self.config.queue_depth,
+        )
     }
 
-    /// Requests currently queued and not yet claimed by the batcher
+    /// [`SignService::submit_verify`] with a deadline — expired verify
+    /// work never reaches the executor, same as the sign lane.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeadlineExceeded`] immediately when `deadline`
+    /// has already passed; otherwise as [`SignService::submit_verify`].
+    pub fn submit_verify_with_deadline(
+        &self,
+        msg: impl Into<Vec<u8>>,
+        sig: Signature,
+        deadline: Instant,
+    ) -> Result<VerifyTicket, ServiceError> {
+        self.shared.verify.enqueue(
+            VerifyItem {
+                msg: msg.into(),
+                sig,
+            },
+            Some(deadline),
+            true,
+            self.config.queue_depth,
+        )
+    }
+
+    /// Non-blocking [`SignService::submit_verify`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] instead of blocking;
+    /// [`ServiceError::ShuttingDown`] once shutdown has begun.
+    pub fn try_submit_verify(
+        &self,
+        msg: impl Into<Vec<u8>>,
+        sig: Signature,
+    ) -> Result<VerifyTicket, ServiceError> {
+        self.shared.verify.enqueue(
+            VerifyItem {
+                msg: msg.into(),
+                sig,
+            },
+            None,
+            false,
+            self.config.queue_depth,
+        )
+    }
+
+    /// Non-blocking [`SignService::submit_verify_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] instead of blocking;
+    /// [`ServiceError::DeadlineExceeded`] immediately when `deadline`
+    /// has already passed; [`ServiceError::ShuttingDown`] once shutdown
+    /// has begun.
+    pub fn try_submit_verify_with_deadline(
+        &self,
+        msg: impl Into<Vec<u8>>,
+        sig: Signature,
+        deadline: Instant,
+    ) -> Result<VerifyTicket, ServiceError> {
+        self.shared.verify.enqueue(
+            VerifyItem {
+                msg: msg.into(),
+                sig,
+            },
+            Some(deadline),
+            false,
+            self.config.queue_depth,
+        )
+    }
+
+    /// Sign requests currently queued and not yet claimed by the batcher
     /// (a live gauge for metrics surfaces; racy by nature).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("service queue").items.len()
+        self.shared.sign.depth()
     }
 
-    /// Snapshot of the service counters.
+    /// Verify requests currently queued on the verify lane.
+    pub fn verify_queue_depth(&self) -> usize {
+        self.shared.verify.depth()
+    }
+
+    /// Snapshot of the service counters, both lanes.
     pub fn stats(&self) -> ServiceStats {
+        let sign = &self.shared.sign;
+        let verify = &self.shared.verify;
         ServiceStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
-            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            submitted: sign.submitted.load(Ordering::Relaxed),
+            completed: sign.completed.load(Ordering::Relaxed),
+            batches: sign.batches.load(Ordering::Relaxed),
+            max_batch_observed: sign.max_batch_observed.load(Ordering::Relaxed),
+            deadline_expired: sign.deadline_expired.load(Ordering::Relaxed),
+            verify_submitted: verify.submitted.load(Ordering::Relaxed),
+            verify_completed: verify.completed.load(Ordering::Relaxed),
+            verify_batches: verify.batches.load(Ordering::Relaxed),
+            verify_max_batch_observed: verify.max_batch_observed.load(Ordering::Relaxed),
+            verify_deadline_expired: verify.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
-    /// Clean shutdown: refuses new submissions, drains and signs every
-    /// accepted request, then joins the batcher. Idempotent; also runs
-    /// on drop. Safe to call through a shared `Arc<SignService>` while
-    /// clients still hold tickets — each accepted request is answered
-    /// exactly once.
+    /// Clean shutdown: refuses new submissions on both lanes, drains and
+    /// answers every accepted request, then joins both lane threads.
+    /// Idempotent; also runs on drop. Safe to call through a shared
+    /// `Arc<SignService>` while clients still hold tickets — each
+    /// accepted request is answered exactly once.
     pub fn shutdown(&self) {
-        {
-            let mut q = self.shared.queue.lock().expect("service queue");
-            q.open = false;
-        }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
-        // Hold the handle lock across join *and* the stranded sweep:
+        self.shared.sign.close();
+        self.shared.verify.close();
+        // Hold the handle locks across join *and* the stranded sweep:
         // a concurrent shutdown() otherwise sees `None`, skips the
         // join, and drains requests the still-running batcher would
-        // have signed — failing accepted tickets with ShuttingDown.
-        let mut handle = self.batcher.lock().expect("batcher handle");
-        if let Some(batcher) = handle.take() {
-            let _ = batcher.join();
+        // have served — failing accepted tickets with ShuttingDown.
+        let mut batcher = self.batcher.lock().expect("batcher handle");
+        let mut verifier = self.verifier.lock().expect("verifier handle");
+        if let Some(handle) = batcher.take() {
+            let _ = handle.join();
         }
-        // Belt and braces: if the batcher died abnormally, fail any
+        if let Some(handle) = verifier.take() {
+            let _ = handle.join();
+        }
+        // Belt and braces: if a lane thread died abnormally, fail any
         // stranded requests instead of hanging their ticket holders.
-        let stranded: Vec<Request> = {
-            let mut q = self.shared.queue.lock().expect("service queue");
-            q.items.drain(..).collect()
-        };
-        for req in stranded {
-            req.ticket.fulfill(Err(ServiceError::ShuttingDown));
-            self.shared.completed.fetch_add(1, Ordering::Relaxed);
-        }
-        drop(handle);
+        self.shared.sign.fail_stranded();
+        self.shared.verify.fail_stranded();
+        drop(verifier);
+        drop(batcher);
     }
 }
 
@@ -527,81 +817,6 @@ impl fmt::Debug for SignService {
     }
 }
 
-/// Collects one batch from the queue: the first request immediately,
-/// then stragglers until `max_batch`, the adaptive deadline, or
-/// shutdown-with-empty-queue. Returns `None` when the service has shut
-/// down and the queue is fully drained.
-///
-/// Requests whose per-request deadline has already passed are answered
-/// with [`ServiceError::DeadlineExceeded`] at pop time and never join a
-/// batch — an expired request costs the service a queue slot, never
-/// executor time.
-fn collect_batch(shared: &ServiceShared, config: &ServiceConfig) -> Option<Vec<Request>> {
-    let mut q = shared.queue.lock().expect("service queue");
-    let first = loop {
-        match q.items.pop_front() {
-            Some(req) if req.deadline.is_some_and(|d| d <= Instant::now()) => {
-                shared.expire(req);
-            }
-            Some(req) => break req,
-            None => {
-                if !q.open {
-                    return None;
-                }
-                q = shared.not_empty.wait(q).expect("service queue");
-            }
-        }
-    };
-    let mut batch = vec![first];
-
-    // Adaptive coalescing: recent lone-request batches mean a single
-    // caller — waiting max_wait would only add latency. Recent multi-
-    // request batches mean concurrent traffic — wait the full window so
-    // the batch fills. Threshold 1.5 on the batch-size EWMA.
-    let ewma = shared.ewma_milli.load(Ordering::Relaxed);
-    let wait = if ewma > 1500 {
-        config.max_wait
-    } else {
-        config.max_wait / 8
-    };
-    let deadline = Instant::now() + wait;
-    while batch.len() < config.max_batch {
-        if let Some(req) = q.items.pop_front() {
-            if req.deadline.is_some_and(|d| d <= Instant::now()) {
-                shared.expire(req);
-            } else {
-                batch.push(req);
-            }
-            continue;
-        }
-        if !q.open {
-            break;
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        let (guard, _) = shared
-            .not_empty
-            .wait_timeout(q, deadline - now)
-            .expect("service queue");
-        q = guard;
-    }
-    drop(q);
-    shared.not_full.notify_all();
-
-    let len = batch.len();
-    let prev = shared.ewma_milli.load(Ordering::Relaxed);
-    shared
-        .ewma_milli
-        .store((3 * prev + len * 1000) / 4, Ordering::Relaxed);
-    shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .max_batch_observed
-        .fetch_max(len as u64, Ordering::Relaxed);
-    Some(batch)
-}
-
 fn batcher_loop(
     shared: &ServiceShared,
     signer: &(dyn Signer + Send + Sync),
@@ -613,8 +828,8 @@ fn batcher_loop(
     // Best-effort: a failed or panicking warm-up costs only the cold
     // fill the first batch would have paid anyway.
     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| signer.warm_key(sk)));
-    while let Some(batch) = collect_batch(shared, config) {
-        let msgs: Vec<&[u8]> = batch.iter().map(|r| r.msg.as_slice()).collect();
+    while let Some(batch) = shared.sign.collect(config) {
+        let msgs: Vec<&[u8]> = batch.iter().map(|r| r.payload.as_slice()).collect();
         // Panic isolation: a batch that explodes answers its own tickets
         // with an Internal error and the batcher keeps serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -640,8 +855,58 @@ fn batcher_loop(
             }
         }
         shared
+            .sign
             .completed
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+}
+
+fn verifier_loop(
+    shared: &ServiceShared,
+    signer: &(dyn Signer + Send + Sync),
+    vk: &VerifyingKey,
+    config: &ServiceConfig,
+) {
+    while let Some(batch) = shared.verify.collect(config) {
+        // Unzip into contiguous message and signature slices (the
+        // planned batch verifier wants them flat), keeping tickets
+        // index-aligned.
+        let mut msgs_owned = Vec::with_capacity(batch.len());
+        let mut sigs = Vec::with_capacity(batch.len());
+        let mut tickets = Vec::with_capacity(batch.len());
+        for req in batch {
+            msgs_owned.push(req.payload.msg);
+            sigs.push(req.payload.sig);
+            tickets.push(req.ticket);
+        }
+        let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            signer.verify_batch(vk, &msgs, &sigs)
+        }));
+        match outcome {
+            Ok(Ok(verdicts)) => {
+                debug_assert_eq!(verdicts.len(), tickets.len());
+                for (ticket, verdict) in tickets.iter().zip(verdicts) {
+                    ticket.fulfill(Ok(verdict));
+                }
+            }
+            Ok(Err(e)) => {
+                for ticket in &tickets {
+                    ticket.fulfill(Err(ServiceError::Engine(e.clone())));
+                }
+            }
+            Err(_) => {
+                for ticket in &tickets {
+                    ticket.fulfill(Err(ServiceError::Internal(
+                        "verify batch panicked".to_string(),
+                    )));
+                }
+            }
+        }
+        shared
+            .verify
+            .completed
+            .fetch_add(tickets.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -692,6 +957,66 @@ mod tests {
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.completed, 5);
         assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn verify_lane_returns_scalar_verdicts() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(31);
+        let (sk, vk) = engine.keygen(&mut rng).unwrap();
+        let service =
+            SignService::start(engine.clone(), sk.clone(), ServiceConfig::default()).unwrap();
+
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 10]).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sk.sign(m)).collect();
+        sigs[1].fors.trees[0].sk[0] ^= 1; // Invalid
+        sigs[3].ht.layers.pop(); // Malformed
+
+        let tickets: Vec<_> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| service.submit_verify(m.clone(), s.clone()).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let verdict = t.wait().unwrap();
+            let oracle = VerifyOutcome::from_result(vk.verify(&msgs[i], &sigs[i]));
+            assert_eq!(verdict, oracle, "request {i}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.verify_submitted, 4);
+        assert_eq!(stats.verify_completed, 4);
+        assert!(stats.verify_batches >= 1);
+        // Sign-lane counters untouched by verify traffic.
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn verify_lane_deadline_and_shutdown_semantics() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(32);
+        let (sk, _) = engine.keygen(&mut rng).unwrap();
+        let sig = sk.sign(b"v");
+        let service = SignService::start(engine, sk, ServiceConfig::default()).unwrap();
+        // Already-expired deadline: typed error at submit time.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            service
+                .submit_verify_with_deadline(b"v".to_vec(), sig.clone(), past)
+                .unwrap_err(),
+            ServiceError::DeadlineExceeded
+        );
+        assert_eq!(service.stats().verify_deadline_expired, 1);
+        // Accepted before shutdown: answered. After: refused.
+        let accepted = service.submit_verify(b"v".to_vec(), sig.clone()).unwrap();
+        service.shutdown();
+        assert_eq!(accepted.wait().unwrap(), VerifyOutcome::Valid);
+        assert_eq!(
+            service.submit_verify(b"v".to_vec(), sig).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        let s = service.stats();
+        assert_eq!(s.verify_submitted, s.verify_completed, "exactly-once");
     }
 
     #[test]
@@ -877,5 +1202,13 @@ mod tests {
         let service = SignService::start(signer, sk, ServiceConfig::default()).unwrap();
         let sig = service.submit(b"ref".to_vec()).unwrap().wait().unwrap();
         vk.verify(b"ref", &sig).unwrap();
+        // The verify lane rides the reference backend's default
+        // (sequential oracle) verify_batch.
+        let verdict = service
+            .submit_verify(b"ref".to_vec(), sig)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(verdict, VerifyOutcome::Valid);
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::cache::CacheStats;
 use crate::error::HeroError;
+use crate::kernels::verify::VerifyOutcome;
 
 use hero_sphincs::params::Params;
 use hero_sphincs::sign::{Signature, SigningKey, VerifyingKey};
@@ -98,6 +99,36 @@ pub trait Signer {
     fn verify(&self, vk: &VerifyingKey, msg: &[u8], sig: &Signature) -> Result<(), HeroError> {
         check_key(self.params(), vk.params())?;
         vk.verify(msg, sig).map_err(HeroError::from)
+    }
+
+    /// Verifies every `sigs[i]` over `msgs[i]`, returning one typed
+    /// [`VerifyOutcome`] per message — a mixed batch reports exactly
+    /// which indices failed, and never short-circuits. The default is
+    /// the sequential scalar oracle; engine backends override it with
+    /// the planned, lane-batched path and must agree bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`HeroError::KeyMismatch`] on a foreign key;
+    /// [`HeroError::BatchMismatch`] when `msgs.len() != sigs.len()`.
+    fn verify_batch(
+        &self,
+        vk: &VerifyingKey,
+        msgs: &[&[u8]],
+        sigs: &[Signature],
+    ) -> Result<Vec<VerifyOutcome>, HeroError> {
+        check_key(self.params(), vk.params())?;
+        if msgs.len() != sigs.len() {
+            return Err(HeroError::BatchMismatch {
+                messages: msgs.len(),
+                signatures: sigs.len(),
+            });
+        }
+        Ok(msgs
+            .iter()
+            .zip(sigs)
+            .map(|(msg, sig)| VerifyOutcome::from_result(vk.verify(msg, sig)))
+            .collect())
     }
 }
 

@@ -93,7 +93,7 @@ fn eight_threads_share_one_signer_byte_identically() {
     let results = engine
         .verify_batch(&vk, &[m0.as_slice()], &expected[0][..1])
         .unwrap();
-    assert!(results[0].is_ok());
+    assert!(results[0].is_valid());
 }
 
 #[test]

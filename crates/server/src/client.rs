@@ -100,6 +100,37 @@ pub struct KeygenReply {
     pub public_key: Vec<u8>,
 }
 
+/// Per-item verdict from [`Client::verify_batch`] (the on-wire verdict
+/// byte, decoded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyVerdict {
+    /// The signature verified under the tenant's key.
+    Valid,
+    /// Structurally fine but cryptographically invalid.
+    Invalid,
+    /// Structurally malformed (wrong lengths/shape for the tenant's
+    /// parameter set) — never reached the verifier.
+    Malformed,
+}
+
+impl VerifyVerdict {
+    /// Decodes an on-wire verdict byte (`1` valid, `0` invalid, `2`
+    /// malformed).
+    pub const fn from_wire(byte: u8) -> Option<Self> {
+        Some(match byte {
+            1 => VerifyVerdict::Valid,
+            0 => VerifyVerdict::Invalid,
+            2 => VerifyVerdict::Malformed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the signature verified.
+    pub const fn is_valid(self) -> bool {
+        matches!(self, VerifyVerdict::Valid)
+    }
+}
+
 /// Opt-in retry policy for transport failures and backpressure
 /// rejections (see the module docs for the safety argument).
 #[derive(Clone, Debug)]
@@ -403,16 +434,88 @@ impl Client {
     ///
     /// As [`Client::sign`] for non-verification failures.
     pub fn verify(&mut self, tenant: &str, msg: &[u8], sig: &[u8]) -> Result<bool, ClientError> {
+        self.verify_inner(tenant, msg, sig, None)
+    }
+
+    /// [`Client::verify`] with a relative deadline: the server sheds the
+    /// request with [`ErrorCode::DeadlineExceeded`] instead of verifying
+    /// if `deadline_ms` elapses (measured from frame receipt) before the
+    /// verify lane picks it up.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::verify`], plus the typed deadline rejection.
+    ///
+    /// [`ErrorCode::DeadlineExceeded`]: crate::error::ErrorCode::DeadlineExceeded
+    pub fn verify_with_deadline(
+        &mut self,
+        tenant: &str,
+        msg: &[u8],
+        sig: &[u8],
+        deadline_ms: u32,
+    ) -> Result<bool, ClientError> {
+        self.verify_inner(tenant, msg, sig, Some(deadline_ms))
+    }
+
+    fn verify_inner(
+        &mut self,
+        tenant: &str,
+        msg: &[u8],
+        sig: &[u8],
+        deadline_ms: Option<u32>,
+    ) -> Result<bool, ClientError> {
         let mut payload = Vec::new();
         wire::put_bytes(&mut payload, msg);
         wire::put_bytes(&mut payload, sig);
-        match self.call(tenant, Op::Verify, payload, None) {
+        match self.call(tenant, Op::Verify, payload, deadline_ms) {
             Ok(_) => Ok(true),
             Err(ClientError::Wire(e)) if e.code == crate::error::ErrorCode::VerificationFailed => {
                 Ok(false)
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Verifies a batch of `(message, signature)` pairs in one request;
+    /// returns one [`VerifyVerdict`] per item, in order. A mixed batch
+    /// is a *success* naming exactly which items failed — only
+    /// tenancy/admission/framing failures are errors.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::sign`]; the whole batch shares one admission slot
+    /// and fails as a unit.
+    pub fn verify_batch(
+        &mut self,
+        tenant: &str,
+        items: &[(&[u8], &[u8])],
+    ) -> Result<Vec<VerifyVerdict>, ClientError> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(items.len() as u32).to_be_bytes());
+        for (msg, sig) in items {
+            wire::put_bytes(&mut payload, msg);
+            wire::put_bytes(&mut payload, sig);
+        }
+        let body = self.call(tenant, Op::VerifyBatch, payload, None)?;
+        let mut at = 0;
+        let count = wire::take_u32(&body, &mut at)
+            .map_err(|e| ClientError::Protocol(e.to_string()))? as usize;
+        if count != items.len() {
+            return Err(ClientError::Protocol(format!(
+                "verify-batch reply has {count} verdicts for {} items",
+                items.len()
+            )));
+        }
+        let bytes = body.get(at..at + count).ok_or_else(|| {
+            ClientError::Protocol("verify-batch reply shorter than its count".to_string())
+        })?;
+        bytes
+            .iter()
+            .map(|&b| {
+                VerifyVerdict::from_wire(b)
+                    .ok_or_else(|| ClientError::Protocol(format!("unknown verdict byte {b}")))
+            })
+            .collect()
     }
 
     /// Generates (and registers) a key pair for a new tenant on the

@@ -57,7 +57,7 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, KeygenReply};
+pub use client::{Client, ClientError, KeygenReply, VerifyVerdict};
 pub use error::{ErrorCode, WireError};
 pub use keystore::{KeyStore, ShardedMap, TenantKey};
 pub use server::{hero_engine_factory, Server, ServerConfig, ServerError, SignerFactory};

@@ -24,6 +24,14 @@ pub struct TenantCounters {
     /// Requests rejected with a typed error (admission, queue-full,
     /// engine, verification — anything non-zero on the wire).
     pub rejected: AtomicU64,
+    /// Signatures this tenant asked the server to verify (items, not
+    /// requests: a verify-batch of 8 counts 8).
+    pub verify_requests: AtomicU64,
+    /// Verified items whose verdict was *cryptographically invalid*.
+    pub verify_invalid: AtomicU64,
+    /// Verified items whose signature bytes were structurally malformed
+    /// (wrong lengths/shape — never reached the verifier).
+    pub verify_malformed: AtomicU64,
 }
 
 /// Whole-server metrics state.
@@ -45,6 +53,10 @@ pub struct Metrics {
     pub lock_poison_recoveries: AtomicU64,
     /// Sign/sign-batch latency samples (per message, not per batch).
     latency: Mutex<LatencyWindow>,
+    /// Verify/verify-batch latency samples (per item, not per batch) —
+    /// a separate window so slow signs don't mask fast verifies and
+    /// vice versa.
+    verify_latency: Mutex<LatencyWindow>,
 }
 
 impl Metrics {
@@ -57,20 +69,24 @@ impl Metrics {
             deadline_expired: AtomicU64::new(0),
             lock_poison_recoveries: AtomicU64::new(0),
             latency: Mutex::new(LatencyWindow::new(latency_window)),
+            verify_latency: Mutex::new(LatencyWindow::new(latency_window)),
         }
     }
 
-    /// Locks the latency window, recovering a poisoned lock. Unlike the
+    /// Locks a latency window, recovering a poisoned lock. Unlike the
     /// sharded maps (whose operations are atomic), a `record` can be
     /// interrupted between the sample write and the cursor advance, so
     /// the consistency re-check after recovery is to clear the window:
     /// an empty percentile report is honest, a half-updated one lies.
-    fn latency_window(&self) -> std::sync::MutexGuard<'_, LatencyWindow> {
-        self.latency.lock().unwrap_or_else(|poisoned| {
+    fn window<'a>(
+        &self,
+        lock: &'a Mutex<LatencyWindow>,
+    ) -> std::sync::MutexGuard<'a, LatencyWindow> {
+        lock.lock().unwrap_or_else(|poisoned| {
             self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
             // Un-poison so the recovery (and the clear) happens once per
             // poisoning event, not once per subsequent access.
-            self.latency.clear_poison();
+            lock.clear_poison();
             let mut window = poisoned.into_inner();
             window.clear();
             window
@@ -79,12 +95,22 @@ impl Metrics {
 
     /// Records one end-to-end sign latency sample.
     pub fn record_latency(&self, sample: std::time::Duration) {
-        self.latency_window().record(sample);
+        self.window(&self.latency).record(sample);
     }
 
-    /// Current latency summary, if any samples exist.
+    /// Current sign latency summary, if any samples exist.
     pub fn latency_summary(&self) -> Option<LatencySummary> {
-        self.latency_window().summary()
+        self.window(&self.latency).summary()
+    }
+
+    /// Records one end-to-end verify latency sample (per item).
+    pub fn record_verify_latency(&self, sample: std::time::Duration) {
+        self.window(&self.verify_latency).record(sample);
+    }
+
+    /// Current verify latency summary, if any samples exist.
+    pub fn verify_latency_summary(&self) -> Option<LatencySummary> {
+        self.window(&self.verify_latency).summary()
     }
 }
 
@@ -102,6 +128,14 @@ pub struct TenantRow {
     pub inflight: u64,
     /// Depth of the tenant's sign-service queue (pending, uncoalesced).
     pub queue_depth: u64,
+    /// Signatures verified for this tenant (items, not requests).
+    pub verify_requests: u64,
+    /// Items with a cryptographically-invalid verdict.
+    pub verify_invalid: u64,
+    /// Items with a structurally-malformed verdict.
+    pub verify_malformed: u64,
+    /// Depth of the tenant's verify-lane queue.
+    pub verify_queue_depth: u64,
 }
 
 /// Renders the plaintext metrics page. `shard_poison_recoveries` folds
@@ -189,6 +223,26 @@ pub fn render(
             let _ = writeln!(out, "hero_server_sign_latency_samples 0");
         }
     }
+    match metrics.verify_latency_summary() {
+        Some(s) => {
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                let _ = writeln!(
+                    out,
+                    "hero_verify_latency_us{{quantile=\"{q}\"}} {:.1}",
+                    v.as_secs_f64() * 1e6
+                );
+            }
+            let _ = writeln!(
+                out,
+                "hero_verify_latency_us{{quantile=\"mean\"}} {:.1}",
+                s.mean.as_secs_f64() * 1e6
+            );
+            let _ = writeln!(out, "hero_verify_latency_samples {}", s.count);
+        }
+        None => {
+            let _ = writeln!(out, "hero_verify_latency_samples 0");
+        }
+    }
     for row in tenants {
         let t = &row.tenant;
         let _ = writeln!(
@@ -216,6 +270,26 @@ pub fn render(
             "hero_server_queue_depth{{tenant=\"{t}\"}} {}",
             row.queue_depth
         );
+        let _ = writeln!(
+            out,
+            "hero_verify_requests_total{{tenant=\"{t}\"}} {}",
+            row.verify_requests
+        );
+        let _ = writeln!(
+            out,
+            "hero_verify_invalid_total{{tenant=\"{t}\"}} {}",
+            row.verify_invalid
+        );
+        let _ = writeln!(
+            out,
+            "hero_verify_malformed_total{{tenant=\"{t}\"}} {}",
+            row.verify_malformed
+        );
+        let _ = writeln!(
+            out,
+            "hero_verify_queue_depth{{tenant=\"{t}\"}} {}",
+            row.verify_queue_depth
+        );
     }
     out
 }
@@ -234,6 +308,9 @@ mod tests {
         for us in [100u64, 200, 300, 400] {
             m.record_latency(Duration::from_micros(us));
         }
+        for us in [50u64, 60, 70, 80] {
+            m.record_verify_latency(Duration::from_micros(us));
+        }
         let rows = vec![TenantRow {
             tenant: "validator-1".into(),
             requests: 6,
@@ -241,6 +318,10 @@ mod tests {
             rejected: 1,
             inflight: 2,
             queue_depth: 3,
+            verify_requests: 12,
+            verify_invalid: 2,
+            verify_malformed: 1,
+            verify_queue_depth: 4,
         }];
         m.deadline_expired.fetch_add(4, Ordering::Relaxed);
         let cache = CacheStats {
@@ -281,6 +362,27 @@ mod tests {
             page.contains("hero_server_tenant_rejected_total{tenant=\"validator-1\"} 1"),
             "{page}"
         );
+        assert!(
+            page.contains("hero_verify_latency_us{quantile=\"0.99\"} 80.0"),
+            "{page}"
+        );
+        assert!(page.contains("hero_verify_latency_samples 4"), "{page}");
+        assert!(
+            page.contains("hero_verify_requests_total{tenant=\"validator-1\"} 12"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_verify_invalid_total{tenant=\"validator-1\"} 2"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_verify_malformed_total{tenant=\"validator-1\"} 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("hero_verify_queue_depth{tenant=\"validator-1\"} 4"),
+            "{page}"
+        );
     }
 
     #[test]
@@ -311,6 +413,7 @@ mod tests {
             page.contains("hero_server_sign_latency_samples 0"),
             "{page}"
         );
+        assert!(page.contains("hero_verify_latency_samples 0"), "{page}");
         assert!(!page.contains("quantile"), "{page}");
     }
 }

@@ -40,7 +40,7 @@ use crate::wire::{self, Frame, Op, Request, Response, DEFAULT_MAX_FRAME};
 
 use hero_gpu_sim::device::rtx_4090;
 use hero_sign::service::{ServiceConfig, SignService};
-use hero_sign::{CacheStats, HeroError, HeroSigner, Signer};
+use hero_sign::{CacheStats, HeroError, HeroSigner, Signer, VerifyOutcome};
 use hero_sphincs::params::Params;
 use hero_task_graph::Executor;
 
@@ -259,6 +259,10 @@ impl ServerShared {
                 rejected: state.counters.rejected.load(Ordering::Relaxed),
                 inflight: state.inflight.load(Ordering::Relaxed),
                 queue_depth: state.service.queue_depth() as u64,
+                verify_requests: state.counters.verify_requests.load(Ordering::Relaxed),
+                verify_invalid: state.counters.verify_invalid.load(Ordering::Relaxed),
+                verify_malformed: state.counters.verify_malformed.load(Ordering::Relaxed),
+                verify_queue_depth: state.service.verify_queue_depth() as u64,
             })
             .collect();
         let shard_recoveries = self
@@ -658,7 +662,7 @@ fn dispatch(
     match req.op {
         Op::Stats => Ok(shared.metrics_page().into_bytes()),
         Op::Keygen => op_keygen(shared, &req),
-        Op::Sign | Op::SignBatch | Op::Verify => {
+        Op::Sign | Op::SignBatch | Op::Verify | Op::VerifyBatch => {
             if req.tenant.is_empty() {
                 return Err(WireError::new(
                     ErrorCode::BadRequest,
@@ -690,7 +694,8 @@ fn dispatch(
             let result = match req.op {
                 Op::Sign => op_sign(shared, &state, &key, &req.payload, deadline),
                 Op::SignBatch => op_sign_batch(shared, &state, &key, &req.payload, deadline),
-                Op::Verify => op_verify(shared, &key, &req.payload),
+                Op::Verify => op_verify(shared, &state, &key, &req.payload, deadline),
+                Op::VerifyBatch => op_verify_batch(shared, &state, &key, &req.payload, deadline),
                 _ => unreachable!("matched above"),
             };
             state.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -783,22 +788,163 @@ fn op_sign_batch(
     Ok(out)
 }
 
+/// Submits one `(msg, sig)` pair to the tenant's verify lane. Like
+/// [`submit`], overload is a typed rejection, never a stall.
+fn submit_verify(
+    state: &TenantState,
+    msg: Vec<u8>,
+    sig: hero_sphincs::Signature,
+    deadline: Option<Instant>,
+) -> Result<hero_sign::service::VerifyTicket, WireError> {
+    match deadline {
+        Some(d) => state.service.try_submit_verify_with_deadline(msg, sig, d),
+        None => state.service.try_submit_verify(msg, sig),
+    }
+    .map_err(WireError::from)
+}
+
 fn op_verify(
     shared: &Arc<ServerShared>,
+    state: &TenantState,
     key: &TenantKey,
     payload: &[u8],
+    deadline: Option<Instant>,
 ) -> Result<Vec<u8>, WireError> {
     let mut at = 0;
     let msg = wire::take_bytes(payload, &mut at)?;
     let sig_bytes = wire::take_bytes(payload, &mut at)?;
     let params = key.vk.params();
-    let sig = hero_sphincs::Signature::from_bytes(params, &sig_bytes)
-        .map_err(|e| WireError::from(HeroError::from(e)))?;
-    let engine = shared.engine_for(*params)?;
-    engine
-        .verify(&key.vk, &msg, &sig)
-        .map_err(WireError::from)?;
-    Ok(Vec::new())
+    state
+        .counters
+        .verify_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let sig = match hero_sphincs::Signature::from_bytes(params, &sig_bytes) {
+        Ok(sig) => sig,
+        Err(e) => {
+            state
+                .counters
+                .verify_malformed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::from(HeroError::from(e)));
+        }
+    };
+    let begin = Instant::now();
+    let ticket = submit_verify(state, msg, sig, deadline)?;
+    let outcome = ticket.wait().map_err(WireError::from)?;
+    shared.metrics.record_verify_latency(begin.elapsed());
+    match outcome {
+        VerifyOutcome::Valid => Ok(Vec::new()),
+        VerifyOutcome::Invalid => {
+            state
+                .counters
+                .verify_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            Err(WireError::new(
+                ErrorCode::VerificationFailed,
+                "signature does not verify",
+            ))
+        }
+        VerifyOutcome::Malformed(what) => {
+            state
+                .counters
+                .verify_malformed
+                .fetch_add(1, Ordering::Relaxed);
+            Err(WireError::new(
+                ErrorCode::Sphincs,
+                format!("malformed signature: {what}"),
+            ))
+        }
+    }
+}
+
+/// On-wire verdict byte: the signature verified.
+const VERDICT_VALID: u8 = 1;
+/// On-wire verdict byte: structurally fine, cryptographically invalid.
+const VERDICT_INVALID: u8 = 0;
+/// On-wire verdict byte: structurally malformed (wrong lengths/shape).
+const VERDICT_MALFORMED: u8 = 2;
+
+fn op_verify_batch(
+    shared: &Arc<ServerShared>,
+    state: &TenantState,
+    key: &TenantKey,
+    payload: &[u8],
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, WireError> {
+    let mut at = 0;
+    let count = wire::take_u32(payload, &mut at)? as usize;
+    // The declared count is untrusted: every item costs at least its two
+    // 4-byte length prefixes, so a count the remaining payload cannot
+    // hold is malformed — rejected before `count` sizes any allocation.
+    if count > (payload.len() - at) / 8 {
+        return Err(WireError::new(
+            ErrorCode::Malformed,
+            format!(
+                "verify-batch count {count} exceeds what the {}-byte payload can hold",
+                payload.len()
+            ),
+        ));
+    }
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let msg = wire::take_bytes(payload, &mut at)?;
+        let sig_bytes = wire::take_bytes(payload, &mut at)?;
+        items.push((msg, sig_bytes));
+    }
+    state
+        .counters
+        .verify_requests
+        .fetch_add(count as u64, Ordering::Relaxed);
+    // Submit everything decodable before waiting on anything, so the
+    // whole batch coalesces on the verify lane; undecodable bytes get a
+    // per-item malformed verdict without costing the lane a slot.
+    let begin = Instant::now();
+    let params = key.vk.params();
+    let mut verdicts = vec![VERDICT_INVALID; count];
+    let mut tickets: Vec<Option<hero_sign::service::VerifyTicket>> = Vec::with_capacity(count);
+    for (i, (msg, sig_bytes)) in items.into_iter().enumerate() {
+        match hero_sphincs::Signature::from_bytes(params, &sig_bytes) {
+            Ok(sig) => tickets.push(Some(submit_verify(state, msg, sig, deadline)?)),
+            Err(_) => {
+                verdicts[i] = VERDICT_MALFORMED;
+                tickets.push(None);
+            }
+        }
+    }
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let Some(ticket) = ticket else { continue };
+        verdicts[i] = match ticket.wait().map_err(WireError::from)? {
+            VerifyOutcome::Valid => VERDICT_VALID,
+            VerifyOutcome::Invalid => VERDICT_INVALID,
+            VerifyOutcome::Malformed(_) => VERDICT_MALFORMED,
+        };
+    }
+    let elapsed = begin.elapsed();
+    // Per-item latency so percentiles stay comparable between verify
+    // and verify-batch traffic.
+    if count > 0 {
+        let per_item = elapsed / count as u32;
+        for _ in 0..count {
+            shared.metrics.record_verify_latency(per_item);
+        }
+    }
+    for &v in &verdicts {
+        match v {
+            VERDICT_INVALID => state
+                .counters
+                .verify_invalid
+                .fetch_add(1, Ordering::Relaxed),
+            VERDICT_MALFORMED => state
+                .counters
+                .verify_malformed
+                .fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&(count as u32).to_be_bytes());
+    out.extend_from_slice(&verdicts);
+    Ok(out)
 }
 
 fn op_keygen(shared: &Arc<ServerShared>, req: &Request) -> Result<Vec<u8>, WireError> {

@@ -51,6 +51,12 @@
 //! * [`Op::Verify`] — request: `mlen:u32`, message, `slen:u32`,
 //!   signature. Response: empty payload (valid) or
 //!   [`ErrorCode::VerificationFailed`].
+//! * [`Op::VerifyBatch`] — request: `count:u32`, then `count` ×
+//!   (`mlen:u32`, message, `slen:u32`, signature). Response:
+//!   `count:u32`, then one verdict byte per item: `1` valid, `0`
+//!   cryptographically invalid, `2` structurally malformed. A mixed
+//!   batch is a *success* response naming the failing indices; only
+//!   tenancy/admission/framing failures are error responses.
 //! * [`Op::Keygen`] — request: `plen:u16`, params label, `alen:u16`,
 //!   hash-alg label (empty = the shape's preferred primitive),
 //!   `has_seed:u8`, then `seed:u64` when `has_seed = 1`. Response:
@@ -98,6 +104,9 @@ pub enum Op {
     Verify = 4,
     /// Fetch the plaintext metrics page.
     Stats = 5,
+    /// Verify a batch of signatures under the tenant's key, answering
+    /// one verdict byte per item.
+    VerifyBatch = 6,
 }
 
 impl Op {
@@ -109,6 +118,7 @@ impl Op {
             3 => Op::SignBatch,
             4 => Op::Verify,
             5 => Op::Stats,
+            6 => Op::VerifyBatch,
             _ => return None,
         })
     }
@@ -565,10 +575,18 @@ mod tests {
 
     #[test]
     fn all_opcodes_round_trip() {
-        for op in [Op::Keygen, Op::Sign, Op::SignBatch, Op::Verify, Op::Stats] {
+        for op in [
+            Op::Keygen,
+            Op::Sign,
+            Op::SignBatch,
+            Op::Verify,
+            Op::Stats,
+            Op::VerifyBatch,
+        ] {
             assert_eq!(Op::from_u8(op as u8), Some(op));
         }
         assert_eq!(Op::from_u8(0), None);
+        assert_eq!(Op::from_u8(7), None);
         assert_eq!(Op::from_u8(99), None);
     }
 

@@ -1,7 +1,10 @@
 //! The chaos soak: the whole stack — listener, wire v2 deadlines,
 //! per-tenant services, shared executor — under a seeded fault schedule
 //! covering worker deaths, queue stalls, slow plan stages, connection
-//! drops, and partial/slow response writes.
+//! drops, and partial/slow response writes. Traffic is mixed sign +
+//! verify, so both planners (the sign stage graph, which also exercises
+//! `hypertree.cache`, and the verify stage graph under `plan.stage`)
+//! run inside the chaos window.
 //!
 //! Invariants checked per seed:
 //!
@@ -211,6 +214,49 @@ fn run_soak(seed: u64) {
                     // Every fourth request runs on a 1 ms budget (may
                     // legitimately expire); the rest get 10 s.
                     let deadline_ms = if i % 4 == 0 { 1 } else { 10_000 };
+                    // Every third request is a verify instead of a sign,
+                    // so the verify planner's stage graph runs under the
+                    // same armed plan.stage/cache/transport chaos as the
+                    // sign planner — half with a deliberately corrupted
+                    // signature that must come back *invalid*, not ok.
+                    if i % 3 == 2 {
+                        let mut sig_bytes = sk.sign(&msg).to_bytes(sk.params());
+                        let tampered = i % 6 == 5;
+                        if tampered {
+                            sig_bytes[0] ^= 1;
+                        }
+                        match client.verify_with_deadline(tenant, &msg, &sig_bytes, deadline_ms) {
+                            Ok(valid) => {
+                                assert_eq!(
+                                    valid, !tampered,
+                                    "seed {seed}: verify verdict diverged from oracle"
+                                );
+                                tally.ok += 1;
+                            }
+                            Err(ClientError::Wire(e)) => {
+                                assert!(
+                                    matches!(
+                                        e.code,
+                                        ErrorCode::DeadlineExceeded
+                                            | ErrorCode::QueueFull
+                                            | ErrorCode::TenantBusy
+                                    ),
+                                    "seed {seed}: unexpected typed error {e}"
+                                );
+                                tally.typed += 1;
+                            }
+                            Err(ClientError::Io(_)) => {
+                                tally.transport += 1;
+                                client = Client::connect(addr).unwrap();
+                            }
+                            Err(ClientError::Protocol(p)) => {
+                                panic!(
+                                    "seed {seed}: protocol violation (dropped/double answer): {p}"
+                                )
+                            }
+                        }
+                        continue;
+                    }
                     match client.sign_with_deadline(tenant, &msg, deadline_ms) {
                         Ok(sig) => {
                             assert_eq!(
@@ -289,6 +335,13 @@ fn run_soak(seed: u64) {
             .sign(tenant, &msg)
             .unwrap_or_else(|e| panic!("seed {seed}: post-fault sign {i} failed: {e}"));
         assert_eq!(sig, sk.sign(&msg).to_bytes(sk.params()));
+        // The verify lane must be healthy after the chaos window too.
+        assert!(
+            client
+                .verify(tenant, &msg, &sig)
+                .unwrap_or_else(|e| panic!("seed {seed}: post-fault verify {i} failed: {e}")),
+            "seed {seed}: post-fault verify {i} rejected an oracle signature"
+        );
     }
 
     // Server-side exactly-once: at quiescence each tenant's admitted

@@ -119,6 +119,79 @@ fn parallel_tenants_byte_identical_to_sequential_oracle() {
 }
 
 #[test]
+fn verify_batch_reports_per_item_verdicts_and_metrics() {
+    let (server, keys) = test_server(&["tenant-a"], ServerConfig::default());
+    let addr = server.local_addr();
+    let (tenant, sk, _) = &keys[0];
+    let mut client = Client::connect(addr).unwrap();
+
+    // Sign locally (deterministic oracle), then verify over the wire:
+    // one valid, one bit-flipped (invalid), one truncated (malformed),
+    // one valid again.
+    let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 12]).collect();
+    let mut sigs: Vec<Vec<u8>> = msgs
+        .iter()
+        .map(|m| sk.sign(m).to_bytes(sk.params()))
+        .collect();
+    sigs[1][0] ^= 1;
+    sigs[2].truncate(10);
+
+    let items: Vec<(&[u8], &[u8])> = msgs
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (m.as_slice(), s.as_slice()))
+        .collect();
+    let verdicts = client.verify_batch(tenant, &items).unwrap();
+    use hero_server::VerifyVerdict;
+    assert_eq!(
+        verdicts,
+        vec![
+            VerifyVerdict::Valid,
+            VerifyVerdict::Invalid,
+            VerifyVerdict::Malformed,
+            VerifyVerdict::Valid,
+        ]
+    );
+
+    // The single-verify op agrees, including under a generous deadline.
+    assert!(client.verify(tenant, &msgs[0], &sigs[0]).unwrap());
+    assert!(!client.verify(tenant, &msgs[1], &sigs[1]).unwrap());
+    assert!(client
+        .verify_with_deadline(tenant, &msgs[3], &sigs[3], 10_000)
+        .unwrap());
+
+    // A verify-batch count the payload cannot hold is rejected typed.
+    let req = Request {
+        id: 61,
+        tenant: tenant.clone(),
+        op: Op::VerifyBatch,
+        deadline_ms: None,
+        payload: u32::MAX.to_be_bytes().to_vec(),
+    };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    wire::write_frame(&mut stream, &wire::encode_request(&req)).unwrap();
+    let resp = read_response(&mut stream);
+    assert_eq!(resp.result.unwrap_err().code, ErrorCode::Malformed);
+
+    // Per-tenant verify counters and the verify latency window are live.
+    let page = client.stats().unwrap();
+    assert!(
+        page.contains("hero_verify_requests_total{tenant=\"tenant-a\"} 7"),
+        "{page}"
+    );
+    assert!(
+        page.contains("hero_verify_invalid_total{tenant=\"tenant-a\"} 2"),
+        "{page}"
+    );
+    assert!(
+        page.contains("hero_verify_malformed_total{tenant=\"tenant-a\"} 1"),
+        "{page}"
+    );
+    assert!(!page.contains("hero_verify_latency_samples 0"), "{page}");
+    server.shutdown();
+}
+
+#[test]
 fn hostile_frames_answered_typed_without_killing_the_connection() {
     let (server, keys) = test_server(
         &["tenant-a"],

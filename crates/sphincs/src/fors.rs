@@ -333,6 +333,117 @@ pub fn pk_from_sig(
     ctx.t_l(&roots_adrs, &parts)
 }
 
+/// Recomputes many FORS public keys from signatures in one batched
+/// sweep — the verification twin of [`tree_hash_many`]. All `count · k`
+/// revealed leaves hash in one [`HashCtx::f_many`] call, every tree of
+/// every signature climbs its authentication path through the combined
+/// per-level [`merkle::roots_from_auth_paths_many`] sweep (trees from
+/// different signatures share SIMD lanes), and each signature compresses
+/// its `k` roots with `T_k`.
+///
+/// Output is byte-identical to calling [`pk_from_sig`] per signature.
+///
+/// ```
+/// use hero_sphincs::{address::{Address, AddressType}, fors, hash::HashCtx, params::Params};
+///
+/// let mut params = Params::sphincs_128f();
+/// params.log_t = 4;
+/// params.k = 8;
+/// let ctx = HashCtx::new(params, &[0u8; 16]);
+/// let mut adrs = Address::new();
+/// adrs.set_type(AddressType::ForsTree);
+/// let md = [0xB1u8, 0x7f, 0x33, 0x04];
+/// let sig = fors::sign(&ctx, &md, &[1u8; 16], &adrs);
+///
+/// let pks = fors::pk_from_sig_many(&ctx, &[&sig], &[&md], &[adrs]);
+/// assert_eq!(pks[0], fors::pk_from_sig(&ctx, &sig, &md, &adrs));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or any signature's shape is
+/// malformed (the library verify path checks shapes first and returns a
+/// typed error).
+pub fn pk_from_sig_many(
+    ctx: &HashCtx,
+    sigs: &[&ForsSignature],
+    mds: &[&[u8]],
+    keypair_adrs_list: &[Address],
+) -> Vec<Vec<u8>> {
+    let params = *ctx.params();
+    let n = params.n;
+    let k = params.k;
+    let t = params.t() as u32;
+    assert_eq!(sigs.len(), mds.len(), "one digest per signature");
+    assert_eq!(
+        sigs.len(),
+        keypair_adrs_list.len(),
+        "one address per signature"
+    );
+    let count = sigs.len();
+    if count == 0 {
+        return Vec::new();
+    }
+
+    // All revealed secrets hash to leaves in one F sweep at their
+    // forest-global addresses.
+    let mut indices = Vec::with_capacity(count);
+    let mut leaf_adrs = Vec::with_capacity(count * k);
+    let mut sk_flat = vec![0u8; count * k * n];
+    for (s, (sig, md)) in sigs.iter().zip(mds).enumerate() {
+        assert_eq!(sig.trees.len(), k, "FORS signature tree count");
+        let idxs = message_to_indices(&params, md);
+        for (tree_idx, (tree_sig, &leaf_idx)) in sig.trees.iter().zip(&idxs).enumerate() {
+            assert_eq!(tree_sig.sk.len(), n, "FORS sk element must be n bytes");
+            leaf_adrs.push(leaf_adrs_for(
+                &keypair_adrs_list[s],
+                tree_idx as u32 * t + leaf_idx,
+            ));
+            sk_flat[(s * k + tree_idx) * n..(s * k + tree_idx + 1) * n]
+                .copy_from_slice(&tree_sig.sk);
+        }
+        indices.push(idxs);
+    }
+    let mut leaves = vec![0u8; count * k * n];
+    ctx.f_many(&leaf_adrs, &sk_flat, &mut leaves);
+
+    // Every tree of every signature climbs in one combined sweep.
+    let jobs: Vec<merkle::AuthPathJob> = sigs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, sig)| {
+            let node_adrs = node_adrs_for(&keypair_adrs_list[s]);
+            let leaves = &leaves;
+            let indices = &indices;
+            sig.trees
+                .iter()
+                .enumerate()
+                .map(move |(tree_idx, tree_sig)| merkle::AuthPathJob {
+                    leaf: &leaves[(s * k + tree_idx) * n..(s * k + tree_idx + 1) * n],
+                    leaf_idx: indices[s][tree_idx],
+                    auth_path: &tree_sig.auth_path,
+                    node_adrs,
+                    leaf_offset: tree_idx as u32 * t,
+                })
+        })
+        .collect();
+    let roots = merkle::roots_from_auth_paths_many(ctx, &jobs);
+
+    (0..count)
+        .map(|s| {
+            let mut roots_adrs = Address::new();
+            roots_adrs.copy_subtree_from(&keypair_adrs_list[s]);
+            roots_adrs.set_type(AddressType::ForsRoots);
+            roots_adrs.set_keypair(keypair_adrs_list[s].keypair());
+            let parts: Vec<&[u8]> = roots[s * k..(s + 1) * k]
+                .iter()
+                .map(Vec::as_slice)
+                .collect();
+            ctx.t_l(&roots_adrs, &parts)
+        })
+        .collect()
+}
+
 /// Hash-call census for one FORS signature generation (used by the GPU
 /// cost model): per tree `t` PRF + `t` F leaves and `t-1` H nodes, plus the
 /// final `T_k` roots compression.
@@ -477,6 +588,38 @@ mod tests {
             );
         }
         assert!(tree_hash_many(&ctx, &sk_seed, &[]).is_empty());
+    }
+
+    #[test]
+    fn pk_from_sig_many_matches_per_signature() {
+        // Signatures under distinct keypair addresses and digests — the
+        // cross-signature verify batch — must each recover a public key
+        // byte-identical to the scalar pk_from_sig.
+        let (params, ctx, sk_seed, _) = setup();
+        for count in [1usize, 2, 4] {
+            let sigs_md: Vec<(ForsSignature, Vec<u8>, Address)> = (0..count)
+                .map(|i| {
+                    let mut a = Address::new();
+                    a.set_tree(i as u64 * 3 + 1);
+                    a.set_keypair(i as u32);
+                    let md = digest_for(&params, 0x41 + i as u8);
+                    (sign(&ctx, &md, &sk_seed, &a), md, a)
+                })
+                .collect();
+            let sigs: Vec<&ForsSignature> = sigs_md.iter().map(|(s, ..)| s).collect();
+            let mds: Vec<&[u8]> = sigs_md.iter().map(|(_, md, _)| md.as_slice()).collect();
+            let adrs_list: Vec<Address> = sigs_md.iter().map(|(.., a)| *a).collect();
+            let batched = pk_from_sig_many(&ctx, &sigs, &mds, &adrs_list);
+            assert_eq!(batched.len(), count);
+            for (i, (sig, md, a)) in sigs_md.iter().enumerate() {
+                assert_eq!(
+                    batched[i],
+                    pk_from_sig(&ctx, sig, md, a),
+                    "count={count} signature {i}"
+                );
+            }
+        }
+        assert!(pk_from_sig_many(&ctx, &[], &[], &[]).is_empty());
     }
 
     #[test]

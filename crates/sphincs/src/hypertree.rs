@@ -140,6 +140,89 @@ pub fn xmss_pk_from_sig(
     merkle::root_from_auth_path(ctx, &leaf, leaf_idx, &sig.auth_path, &node_adrs)
 }
 
+/// One signature's share of a batched XMSS layer recomputation: its
+/// layer signature, the node it authenticates (FORS pk at layer 0, the
+/// layer below's recovered root above), and its tree/leaf coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct XmssVerifyRequest<'a> {
+    /// The layer's XMSS signature.
+    pub sig: &'a XmssSig,
+    /// The `n`-byte value the WOTS+ signature covers.
+    pub msg: &'a [u8],
+    /// Tree index within the layer.
+    pub tree: u64,
+    /// Leaf index within the tree.
+    pub leaf_idx: u32,
+}
+
+/// [`xmss_pk_from_sig`] across many signatures sharing one layer: every
+/// request's WOTS+ chains complete through one shared
+/// [`wots::pk_from_sig_many`] lane batch, then every recovered leaf
+/// climbs its authentication path in one combined
+/// [`merkle::roots_from_auth_paths_many`] sweep. This is the batched
+/// stage body the verify planner schedules per layer.
+///
+/// Output is byte-identical to calling [`xmss_pk_from_sig`] per request.
+///
+/// ```
+/// use hero_sphincs::{hash::HashCtx, hypertree, params::Params};
+///
+/// let mut params = Params::sphincs_128f();
+/// params.h = 6;
+/// params.d = 3;
+/// let ctx = HashCtx::new(params, &[0u8; 16]);
+/// let (sig, root) = hypertree::xmss_sign(&ctx, &[9u8; 16], &[1u8; 16], 0, 2, 1);
+/// let reqs = [hypertree::XmssVerifyRequest {
+///     sig: &sig,
+///     msg: &[9u8; 16],
+///     tree: 2,
+///     leaf_idx: 1,
+/// }];
+/// assert_eq!(hypertree::xmss_pk_from_sig_many(&ctx, 0, &reqs), vec![root]);
+/// ```
+pub fn xmss_pk_from_sig_many(
+    ctx: &HashCtx,
+    layer: u32,
+    reqs: &[XmssVerifyRequest],
+) -> Vec<Vec<u8>> {
+    if reqs.is_empty() {
+        return Vec::new();
+    }
+    let wots_adrs: Vec<Address> = reqs
+        .iter()
+        .map(|r| {
+            let mut a = Address::new();
+            a.set_layer(layer);
+            a.set_tree(r.tree);
+            a.set_type(AddressType::WotsHash);
+            a.set_keypair(r.leaf_idx);
+            a
+        })
+        .collect();
+    let sigs: Vec<&[Vec<u8>]> = reqs.iter().map(|r| r.sig.wots_sig.as_slice()).collect();
+    let msgs: Vec<&[u8]> = reqs.iter().map(|r| r.msg).collect();
+    let leaves = wots::pk_from_sig_many(ctx, &sigs, &msgs, &wots_adrs);
+
+    let jobs: Vec<merkle::AuthPathJob> = reqs
+        .iter()
+        .zip(&leaves)
+        .map(|(r, leaf)| {
+            let mut node_adrs = Address::new();
+            node_adrs.set_layer(layer);
+            node_adrs.set_tree(r.tree);
+            node_adrs.set_type(AddressType::Tree);
+            merkle::AuthPathJob {
+                leaf,
+                leaf_idx: r.leaf_idx,
+                auth_path: &r.sig.auth_path,
+                node_adrs,
+                leaf_offset: 0,
+            }
+        })
+        .collect();
+    merkle::roots_from_auth_paths_many(ctx, &jobs)
+}
+
 /// Signs `msg` under the full hypertree, walking from (`tree_idx`,
 /// `leaf_idx`) at layer 0 up to the top (the loop of Fig. 2 in the paper).
 pub fn sign(
@@ -251,6 +334,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn xmss_pk_from_sig_many_matches_per_request() {
+        // Requests spanning different trees and leaves of one layer —
+        // the verify planner's per-layer stage — must each recover a
+        // root byte-identical to the scalar xmss_pk_from_sig.
+        let (params, ctx, sk_seed) = setup();
+        for count in [1usize, 2, 5] {
+            let made: Vec<(XmssSig, Vec<u8>, u64, u32)> = (0..count)
+                .map(|i| {
+                    let msg: Vec<u8> = (0..params.n).map(|b| (i * 29 + b) as u8).collect();
+                    let tree = i as u64 % 4;
+                    let leaf_idx = i as u32 % params.subtree_leaves() as u32;
+                    let (sig, _) = xmss_sign(&ctx, &msg, &sk_seed, 1, tree, leaf_idx);
+                    (sig, msg, tree, leaf_idx)
+                })
+                .collect();
+            let reqs: Vec<XmssVerifyRequest> = made
+                .iter()
+                .map(|(sig, msg, tree, leaf_idx)| XmssVerifyRequest {
+                    sig,
+                    msg,
+                    tree: *tree,
+                    leaf_idx: *leaf_idx,
+                })
+                .collect();
+            let batched = xmss_pk_from_sig_many(&ctx, 1, &reqs);
+            assert_eq!(batched.len(), count);
+            for (i, (sig, msg, tree, leaf_idx)) in made.iter().enumerate() {
+                assert_eq!(
+                    batched[i],
+                    xmss_pk_from_sig(&ctx, sig, msg, 1, *tree, *leaf_idx),
+                    "count={count} request {i}"
+                );
+            }
+        }
+        assert!(xmss_pk_from_sig_many(&ctx, 0, &[]).is_empty());
     }
 
     #[test]

@@ -478,6 +478,107 @@ pub fn root_from_auth_path_with_offset(
     node
 }
 
+/// One leaf-to-root recomputation in a batched auth-path sweep: the
+/// verification-side analogue of [`TreeHashJob`]. `leaf_offset` embeds
+/// the job's tree in a forest exactly as in
+/// [`root_from_auth_path_with_offset`].
+pub struct AuthPathJob<'a> {
+    /// The recomputed leaf node (`n` bytes).
+    pub leaf: &'a [u8],
+    /// Index of the leaf within its tree.
+    pub leaf_idx: u32,
+    /// Sibling nodes from the leaf's level up (each `n` bytes).
+    pub auth_path: &'a [Vec<u8>],
+    /// Address carrying layer/tree coordinates; tree-height and
+    /// tree-index are set here per level.
+    pub node_adrs: Address,
+    /// Forest-global index of the tree's first leaf.
+    pub leaf_offset: u32,
+}
+
+/// Recomputes many Merkle roots from leaves and authentication paths in
+/// one combined sweep: all jobs climb in lockstep, each level hashing
+/// every job's (node, sibling) pair through a single batched
+/// [`HashCtx::h_many`] call — the verification twin of
+/// [`treehash_many`]. All jobs must share one auth-path height (true for
+/// both FORS forests, `log_t` per tree, and XMSS layers, `tree_height`
+/// per layer).
+///
+/// Output is byte-identical to calling [`root_from_auth_path_with_offset`]
+/// per job.
+///
+/// ```
+/// use hero_sphincs::{address::Address, hash::HashCtx, merkle, params::Params};
+///
+/// let ctx = HashCtx::new(Params::sphincs_128f(), &[0u8; 16]);
+/// let adrs = Address::new();
+/// let out = merkle::treehash(&ctx, 3, 5, &adrs, |i, slot: &mut [u8]| slot.fill(i as u8));
+/// let jobs = [merkle::AuthPathJob {
+///     leaf: &[5u8; 16],
+///     leaf_idx: 5,
+///     auth_path: &out.auth_path,
+///     node_adrs: adrs,
+///     leaf_offset: 0,
+/// }];
+/// assert_eq!(merkle::roots_from_auth_paths_many(&ctx, &jobs), vec![out.root]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if jobs disagree on auth-path height or any node is not `n`
+/// bytes (the library verify path checks shapes first and returns a
+/// typed error).
+pub fn roots_from_auth_paths_many(ctx: &HashCtx, jobs: &[AuthPathJob]) -> Vec<Vec<u8>> {
+    let n = ctx.params().n;
+    let jn = jobs.len();
+    if jn == 0 {
+        return Vec::new();
+    }
+    let height = jobs[0].auth_path.len();
+    let mut nodes = vec![0u8; jn * n];
+    let mut idxs = vec![0u32; jn];
+    for (j, job) in jobs.iter().enumerate() {
+        assert_eq!(
+            job.auth_path.len(),
+            height,
+            "all jobs must share one auth-path height"
+        );
+        assert_eq!(job.leaf.len(), n, "leaf must be n bytes");
+        nodes[j * n..(j + 1) * n].copy_from_slice(job.leaf);
+        idxs[j] = job.leaf_idx;
+    }
+
+    let mut pairs = vec![0u8; 2 * jn * n];
+    let mut out = vec![0u8; jn * n];
+    let mut adrs_buf: Vec<Address> = Vec::with_capacity(jn);
+    for level in 0..height {
+        let level_height = level as u32 + 1;
+        adrs_buf.clear();
+        for (j, job) in jobs.iter().enumerate() {
+            let sibling = &job.auth_path[level];
+            assert_eq!(sibling.len(), n, "auth-path node must be n bytes");
+            let node = &nodes[j * n..(j + 1) * n];
+            let pair = &mut pairs[j * 2 * n..(j + 1) * 2 * n];
+            // Even index: the node is a left child, sibling on the right.
+            if idxs[j] & 1 == 0 {
+                pair[..n].copy_from_slice(node);
+                pair[n..].copy_from_slice(sibling);
+            } else {
+                pair[..n].copy_from_slice(sibling);
+                pair[n..].copy_from_slice(node);
+            }
+            let mut a = job.node_adrs;
+            a.set_tree_height(level_height);
+            a.set_tree_index((job.leaf_offset >> level_height) + (idxs[j] >> 1));
+            adrs_buf.push(a);
+            idxs[j] >>= 1;
+        }
+        ctx.h_many(&adrs_buf, &pairs, &mut out);
+        std::mem::swap(&mut nodes, &mut out);
+    }
+    nodes.chunks_exact(n).map(<[u8]>::to_vec).collect()
+}
+
 /// Number of `H` calls a treehash of `height` performs: `2^height - 1`.
 pub fn internal_node_count(height: usize) -> usize {
     (1 << height) - 1
@@ -563,6 +664,57 @@ mod tests {
         let out = treehash_with_offset(&ctx, height, leaf_idx, &base, leaf_offset, leaf);
         assert_eq!(out.root, level[0]);
         assert_eq!(out.auth_path, expected_path);
+    }
+
+    #[test]
+    fn batched_auth_path_sweep_matches_scalar_climb() {
+        // Jobs spanning different trees of a forest, different leaves,
+        // and offsets — the FORS verification mix — must each be
+        // byte-identical to a lone root_from_auth_path_with_offset.
+        let ctx = ctx();
+        for jn in [1usize, 2, 5, 8] {
+            let height = 4;
+            let outs: Vec<(u32, u32, Address, TreeHashOutput)> = (0..jn)
+                .map(|t| {
+                    let mut adrs = Address::new();
+                    adrs.set_tree(t as u64);
+                    let leaf_idx = (t as u32 * 5) % (1 << height);
+                    let leaf_offset = (t as u32) << height;
+                    let out =
+                        treehash_with_offset(&ctx, height, leaf_idx, &adrs, leaf_offset, leaf);
+                    (leaf_idx, leaf_offset, adrs, out)
+                })
+                .collect();
+            let leaves: Vec<Vec<u8>> = outs.iter().map(|(idx, ..)| leaf_vec(*idx)).collect();
+            let jobs: Vec<AuthPathJob> = outs
+                .iter()
+                .zip(&leaves)
+                .map(|((leaf_idx, leaf_offset, adrs, out), leaf)| AuthPathJob {
+                    leaf,
+                    leaf_idx: *leaf_idx,
+                    auth_path: &out.auth_path,
+                    node_adrs: *adrs,
+                    leaf_offset: *leaf_offset,
+                })
+                .collect();
+            let roots = roots_from_auth_paths_many(&ctx, &jobs);
+            assert_eq!(roots.len(), jn);
+            for (j, ((leaf_idx, leaf_offset, adrs, out), root)) in
+                outs.iter().zip(&roots).enumerate()
+            {
+                assert_eq!(root, &out.root, "jn={jn} job {j} root");
+                let scalar = root_from_auth_path_with_offset(
+                    &ctx,
+                    &leaves[j],
+                    *leaf_idx,
+                    &out.auth_path,
+                    adrs,
+                    *leaf_offset,
+                );
+                assert_eq!(root, &scalar, "jn={jn} job {j} scalar");
+            }
+        }
+        assert!(roots_from_auth_paths_many(&ctx, &[]).is_empty());
     }
 
     #[test]

@@ -144,6 +144,56 @@ impl Signature {
             ht: HtSignature { layers },
         })
     }
+
+    /// Checks every dimension of the signature against `params`: the
+    /// shape gate [`VerifyingKey::verify`] applies before recomputing
+    /// any hash, split out so batched and planned verification can
+    /// pre-screen signatures without entering the lane sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::MalformedSignature`] naming the first bad field.
+    pub fn check_shape(&self, params: &Params) -> Result<(), SignError> {
+        if self.randomizer.len() != params.n {
+            return Err(SignError::MalformedSignature("randomizer length".into()));
+        }
+        if self.fors.trees.len() != params.k {
+            return Err(SignError::MalformedSignature("FORS tree count".into()));
+        }
+        if self.ht.layers.len() != params.d {
+            return Err(SignError::MalformedSignature(
+                "hypertree layer count".into(),
+            ));
+        }
+        for tree in &self.fors.trees {
+            if tree.sk.len() != params.n || tree.auth_path.len() != params.log_t {
+                return Err(SignError::MalformedSignature("FORS tree shape".into()));
+            }
+            if tree.auth_path.iter().any(|node| node.len() != params.n) {
+                return Err(SignError::MalformedSignature(
+                    "FORS auth-path node length".into(),
+                ));
+            }
+        }
+        for layer in &self.ht.layers {
+            if layer.wots_sig.len() != params.wots_len()
+                || layer.auth_path.len() != params.tree_height()
+            {
+                return Err(SignError::MalformedSignature("XMSS layer shape".into()));
+            }
+            if layer
+                .wots_sig
+                .iter()
+                .chain(layer.auth_path.iter())
+                .any(|node| node.len() != params.n)
+            {
+                return Err(SignError::MalformedSignature(
+                    "XMSS layer node length".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Generates a key pair for `params` using `rng`.
@@ -372,44 +422,7 @@ impl VerifyingKey {
     /// [`SignError::VerificationFailed`] if the root does not match.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SignError> {
         let params = &self.params;
-        if sig.randomizer.len() != params.n {
-            return Err(SignError::MalformedSignature("randomizer length".into()));
-        }
-        if sig.fors.trees.len() != params.k {
-            return Err(SignError::MalformedSignature("FORS tree count".into()));
-        }
-        if sig.ht.layers.len() != params.d {
-            return Err(SignError::MalformedSignature(
-                "hypertree layer count".into(),
-            ));
-        }
-        for tree in &sig.fors.trees {
-            if tree.sk.len() != params.n || tree.auth_path.len() != params.log_t {
-                return Err(SignError::MalformedSignature("FORS tree shape".into()));
-            }
-            if tree.auth_path.iter().any(|node| node.len() != params.n) {
-                return Err(SignError::MalformedSignature(
-                    "FORS auth-path node length".into(),
-                ));
-            }
-        }
-        for layer in &sig.ht.layers {
-            if layer.wots_sig.len() != params.wots_len()
-                || layer.auth_path.len() != params.tree_height()
-            {
-                return Err(SignError::MalformedSignature("XMSS layer shape".into()));
-            }
-            if layer
-                .wots_sig
-                .iter()
-                .chain(layer.auth_path.iter())
-                .any(|node| node.len() != params.n)
-            {
-                return Err(SignError::MalformedSignature(
-                    "XMSS layer node length".into(),
-                ));
-            }
-        }
+        sig.check_shape(params)?;
 
         let ctx = HashCtx::with_alg(*params, &self.pk_seed, self.alg);
         let digest = ctx.h_msg(&sig.randomizer, &self.pk_root, msg);
@@ -428,6 +441,108 @@ impl VerifyingKey {
         } else {
             Err(SignError::VerificationFailed)
         }
+    }
+
+    /// Verifies many signatures lane-batched: shape-invalid signatures
+    /// short-circuit to their typed error, and the rest recompute
+    /// together — all FORS roots in one [`fors::pk_from_sig_many`]
+    /// sweep, then every hypertree layer across all signatures in one
+    /// [`hypertree::xmss_pk_from_sig_many`] call, so signature A's
+    /// chains share SIMD lanes with signature B's. Verdicts are
+    /// bit-for-bit those of [`VerifyingKey::verify`] per pair, and the
+    /// batch never short-circuits on a bad signature (like a GPU batch
+    /// that always runs to completion).
+    ///
+    /// ```
+    /// use hero_sphincs::params::Params;
+    /// use hero_sphincs::sign::keygen_from_seeds;
+    ///
+    /// let mut params = Params::sphincs_128f();
+    /// params.h = 6;
+    /// params.d = 3;
+    /// params.log_t = 4;
+    /// params.k = 8;
+    /// let n = params.n;
+    /// let (sk, vk) = keygen_from_seeds(
+    ///     params,
+    ///     vec![1; n],
+    ///     vec![2; n],
+    ///     vec![3; n],
+    /// );
+    /// let sig_a = sk.sign(b"batch item a");
+    /// let mut sig_b = sk.sign(b"batch item b");
+    /// sig_b.randomizer[0] ^= 1; // tampered
+    /// let verdicts = vk.verify_many(
+    ///     &[b"batch item a", b"batch item b"],
+    ///     &[&sig_a, &sig_b],
+    /// );
+    /// assert!(verdicts[0].is_ok());
+    /// assert!(verdicts[1].is_err());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs.len() != sigs.len()`.
+    pub fn verify_many(&self, msgs: &[&[u8]], sigs: &[&Signature]) -> Vec<Result<(), SignError>> {
+        let params = &self.params;
+        assert_eq!(msgs.len(), sigs.len(), "one message per signature");
+        let count = sigs.len();
+        let mut out: Vec<Result<(), SignError>> =
+            sigs.iter().map(|sig| sig.check_shape(params)).collect();
+        // Only well-formed signatures enter the lane sweeps.
+        let live: Vec<usize> = (0..count).filter(|&i| out[i].is_ok()).collect();
+        if live.is_empty() {
+            return out;
+        }
+
+        let ctx = HashCtx::with_alg(*params, &self.pk_seed, self.alg);
+        let mut mds = Vec::with_capacity(live.len());
+        let mut tree_idxs = Vec::with_capacity(live.len());
+        let mut leaf_idxs = Vec::with_capacity(live.len());
+        let mut keypair_adrs_list = Vec::with_capacity(live.len());
+        for &i in &live {
+            let digest = ctx.h_msg(&sigs[i].randomizer, &self.pk_root, msgs[i]);
+            let (md, tree_idx, leaf_idx) = hash::split_digest(params, &digest);
+            let mut keypair_adrs = Address::new();
+            keypair_adrs.set_layer(0);
+            keypair_adrs.set_tree(tree_idx);
+            keypair_adrs.set_type(AddressType::ForsTree);
+            keypair_adrs.set_keypair(leaf_idx);
+            mds.push(md);
+            tree_idxs.push(tree_idx);
+            leaf_idxs.push(leaf_idx);
+            keypair_adrs_list.push(keypair_adrs);
+        }
+
+        let fors_sigs: Vec<&ForsSignature> = live.iter().map(|&i| &sigs[i].fors).collect();
+        let md_refs: Vec<&[u8]> = mds.iter().map(Vec::as_slice).collect();
+        let mut nodes = fors::pk_from_sig_many(&ctx, &fors_sigs, &md_refs, &keypair_adrs_list);
+
+        for layer in 0..params.d as u32 {
+            let reqs: Vec<hypertree::XmssVerifyRequest> = live
+                .iter()
+                .enumerate()
+                .map(|(j, &i)| hypertree::XmssVerifyRequest {
+                    sig: &sigs[i].ht.layers[layer as usize],
+                    msg: &nodes[j],
+                    tree: tree_idxs[j],
+                    leaf_idx: leaf_idxs[j],
+                })
+                .collect();
+            let next = hypertree::xmss_pk_from_sig_many(&ctx, layer, &reqs);
+            for j in 0..live.len() {
+                leaf_idxs[j] = (tree_idxs[j] & ((1 << params.tree_height()) - 1)) as u32;
+                tree_idxs[j] >>= params.tree_height();
+            }
+            nodes = next;
+        }
+
+        for (j, &i) in live.iter().enumerate() {
+            if nodes[j] != self.pk_root {
+                out[i] = Err(SignError::VerificationFailed);
+            }
+        }
+        out
     }
 }
 
@@ -522,6 +637,35 @@ mod tests {
             vk.verify(msg, &bad),
             Err(SignError::MalformedSignature(_))
         ));
+    }
+
+    #[test]
+    fn verify_many_matches_scalar_verdicts() {
+        // A batch mixing valid, root-mismatching, and shape-invalid
+        // signatures: every verdict must be bit-for-bit the scalar
+        // verify's, in place, with no cross-contamination.
+        let mut rng = StdRng::seed_from_u64(46);
+        let (sk, vk) = keygen(tiny_params(), &mut rng).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 11]).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sk.sign(m)).collect();
+        sigs[1].fors.trees[0].sk[0] ^= 1; // root mismatch
+        sigs[3].ht.layers.pop(); // malformed shape
+        sigs[4].randomizer[0] ^= 1; // root mismatch via digest
+
+        let msg_refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let sig_refs: Vec<&Signature> = sigs.iter().collect();
+        let batched = vk.verify_many(&msg_refs, &sig_refs);
+        assert_eq!(batched.len(), sigs.len());
+        for (i, verdict) in batched.iter().enumerate() {
+            assert_eq!(verdict, &vk.verify(&msgs[i], &sigs[i]), "index {i}");
+        }
+        assert!(batched[0].is_ok());
+        assert_eq!(batched[1], Err(SignError::VerificationFailed));
+        assert!(matches!(batched[3], Err(SignError::MalformedSignature(_))));
+
+        // All-malformed batches never touch the lane sweeps.
+        let empty: Vec<&[u8]> = Vec::new();
+        assert!(vk.verify_many(&empty, &[]).is_empty());
     }
 
     #[test]

@@ -414,6 +414,108 @@ pub fn pk_from_sig(ctx: &HashCtx, sig: &[Vec<u8>], msg: &[u8], adrs: &Address) -
     out
 }
 
+/// Recomputes many WOTS+ public keys from signatures, each under its own
+/// keypair address, with every chain of every request advancing through
+/// one shared multi-lane batch — the verification twin of [`sign_many`].
+/// Where signing runs `msg[i]` steps per chain, verification runs the
+/// complementary `w-1-msg[i]` steps from the revealed node, so chains
+/// retire at mixed lengths; batching across requests keeps the SIMD
+/// lanes full as lone chains drop out (masked retirement).
+///
+/// Output is byte-identical to calling [`pk_from_sig`] per request.
+///
+/// ```
+/// use hero_sphincs::{address::Address, hash::HashCtx, params::Params, wots};
+///
+/// let params = Params::sphincs_128f();
+/// let ctx = HashCtx::new(params, &[0u8; 16]);
+/// let sk_seed = [1u8; 16];
+/// let mut a0 = Address::new();
+/// a0.set_keypair(0);
+/// let mut a1 = Address::new();
+/// a1.set_keypair(1);
+/// let msgs: [&[u8]; 2] = [&[7u8; 16], &[8u8; 16]];
+///
+/// let sigs = wots::sign_many(&ctx, &msgs, &sk_seed, &[a0, a1]);
+/// let pks = wots::pk_from_sig_many(&ctx, &[&sigs[0], &sigs[1]], &msgs, &[a0, a1]);
+/// assert_eq!(pks[0], wots::pk_gen(&ctx, &sk_seed, &a0));
+/// assert_eq!(pks[1], wots::pk_gen(&ctx, &sk_seed, &a1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or any signature does not hold
+/// `wots_len()` nodes of `n` bytes (the library verify path checks
+/// shapes first and returns a typed error).
+pub fn pk_from_sig_many(
+    ctx: &HashCtx,
+    sigs: &[&[Vec<u8>]],
+    msgs: &[&[u8]],
+    adrs_list: &[Address],
+) -> Vec<Vec<u8>> {
+    let params = *ctx.params();
+    let len = params.wots_len();
+    let n = params.n;
+    assert_eq!(sigs.len(), msgs.len(), "one message per signature");
+    assert_eq!(sigs.len(), adrs_list.len(), "one address per signature");
+    assert!(
+        len <= MAX_LEN && n <= MAX_N,
+        "parameter set exceeds WOTS+ lane bounds"
+    );
+    let count = sigs.len();
+    if count == 0 {
+        return Vec::new();
+    }
+
+    let total = count * len;
+    let mut hash_adrs = vec![Address::new(); total];
+    let mut starts = vec![0u32; total];
+    let mut steps = vec![0u32; total];
+    let mut values = vec![0u8; total * n];
+    for (r, ((sig, msg), adrs)) in sigs.iter().zip(msgs).zip(adrs_list).enumerate() {
+        assert_eq!(sig.len(), len, "WOTS+ signature must have len nodes");
+        debug_assert_eq!(msg.len(), n);
+        let lengths = chain_lengths(&params, msg);
+        for i in 0..len {
+            hash_adrs[r * len + i] = hash_adrs_for(adrs, i as u32);
+            starts[r * len + i] = lengths[i];
+            steps[r * len + i] = params.w as u32 - 1 - lengths[i];
+        }
+        for (slot, node) in values[r * len * n..(r + 1) * len * n]
+            .chunks_exact_mut(n)
+            .zip(*sig)
+        {
+            assert_eq!(node.len(), n, "WOTS+ signature node must be n bytes");
+            slot.copy_from_slice(node);
+        }
+    }
+
+    let mut adrs_scratch = vec![Address::new(); total];
+    let mut idx_scratch = vec![0usize; total];
+    advance_chains(
+        ctx,
+        &mut values,
+        &hash_adrs,
+        &starts,
+        &steps,
+        &mut adrs_scratch,
+        &mut idx_scratch,
+    );
+
+    adrs_list
+        .iter()
+        .enumerate()
+        .map(|(r, adrs)| {
+            let mut pk_adrs = *adrs;
+            pk_adrs.set_type(AddressType::WotsPk);
+            pk_adrs.set_keypair(adrs.keypair());
+            let mut out = vec![0u8; n];
+            ctx.t_l_flat_into(&pk_adrs, &values[r * len * n..(r + 1) * len * n], &mut out);
+            out
+        })
+        .collect()
+}
+
 /// Total `F` invocations of one `wots_gen_leaf` (pk_gen): `len · (w-1)`
 /// chain hashes plus `len` PRF calls — the per-leaf workload the paper
 /// quotes as ~560 hashes for 128f (§III).
@@ -543,6 +645,46 @@ mod tests {
             }
         }
         assert!(sign_many(&ctx, &[], &sk_seed, &[]).is_empty());
+    }
+
+    #[test]
+    fn pk_from_sig_many_matches_per_request() {
+        // The verification twin of sign_many_matches_per_request_sign:
+        // mixed layers/trees/keypairs, odd group sizes, every recovered
+        // public key byte-identical to a lone pk_from_sig() call.
+        let (params, ctx, sk_seed, _) = setup();
+        for count in [1usize, 2, 5] {
+            let msgs_owned: Vec<Vec<u8>> = (0..count)
+                .map(|i| (0..params.n).map(|b| (i * 53 + b) as u8).collect())
+                .collect();
+            let msgs: Vec<&[u8]> = msgs_owned.iter().map(Vec::as_slice).collect();
+            let adrs_list: Vec<Address> = (0..count)
+                .map(|i| {
+                    let mut a = Address::new();
+                    a.set_layer(i as u32 % 3);
+                    a.set_tree(i as u64 * 7);
+                    a.set_keypair(i as u32 + 1);
+                    a
+                })
+                .collect();
+            let sigs = sign_many(&ctx, &msgs, &sk_seed, &adrs_list);
+            let sig_refs: Vec<&[Vec<u8>]> = sigs.iter().map(Vec::as_slice).collect();
+            let batched = pk_from_sig_many(&ctx, &sig_refs, &msgs, &adrs_list);
+            assert_eq!(batched.len(), count);
+            for i in 0..count {
+                assert_eq!(
+                    batched[i],
+                    pk_from_sig(&ctx, &sigs[i], msgs[i], &adrs_list[i]),
+                    "count={count} request {i}"
+                );
+                assert_eq!(
+                    batched[i],
+                    pk_gen(&ctx, &sk_seed, &adrs_list[i]),
+                    "count={count} request {i} pk"
+                );
+            }
+        }
+        assert!(pk_from_sig_many(&ctx, &[], &[], &[]).is_empty());
     }
 
     #[test]

@@ -224,6 +224,76 @@ fn pinned_signature_fixture_replays_under_forced_scalar() {
     });
 }
 
+/// Verify verdicts on the pinned fixture are identical under every
+/// supported forced tier — for the valid signature, a mismatched
+/// message, and a tampered signature, through both the scalar
+/// [`verify`](hero_sphincs::sign::VerifyingKey::verify) path and the
+/// lane-batched [`verify_many`](hero_sphincs::sign::VerifyingKey::verify_many)
+/// path. A rung may only change throughput, never a verdict.
+#[test]
+fn verify_verdicts_identical_under_every_forced_tier() {
+    use hero_sphincs::sign::SignError;
+
+    let mut params = Params::sphincs_128f();
+    params.h = 6;
+    params.d = 3;
+    params.log_t = 4;
+    params.k = 8;
+    let n = params.n;
+    for alg in [HashAlg::Sha256, HashAlg::Shake256] {
+        let (sk, vk) = keygen_from_seeds_with_alg(
+            params,
+            alg,
+            (0..n as u8).collect(),
+            (100..100 + n as u8).collect(),
+            (200..200 + n as u8).collect(),
+        );
+        let msg = b"seed-era fixture message".as_slice();
+        let sig = sk.sign(msg);
+        let mut tampered = sig.clone();
+        tampered.randomizer[0] ^= 1;
+        let wrong_msg = b"a different fixture message".as_slice();
+
+        let tiers = match alg {
+            HashAlg::Shake256 => supported_keccak_tiers(),
+            _ => supported_sha256_tiers(),
+        };
+        for tier in tiers {
+            with_forced_tier(tier, || {
+                assert_eq!(
+                    vk.verify(msg, &sig),
+                    Ok(()),
+                    "{alg:?}: valid fixture rejected under forced tier {}",
+                    tier.label()
+                );
+                assert_eq!(
+                    vk.verify(wrong_msg, &sig),
+                    Err(SignError::VerificationFailed),
+                    "{alg:?}: mismatched message accepted under forced tier {}",
+                    tier.label()
+                );
+                assert_eq!(
+                    vk.verify(msg, &tampered),
+                    Err(SignError::VerificationFailed),
+                    "{alg:?}: tampered signature accepted under forced tier {}",
+                    tier.label()
+                );
+                let verdicts = vk.verify_many(&[msg, wrong_msg, msg], &[&sig, &sig, &tampered]);
+                assert_eq!(
+                    verdicts,
+                    vec![
+                        Ok(()),
+                        Err(SignError::VerificationFailed),
+                        Err(SignError::VerificationFailed),
+                    ],
+                    "{alg:?}: batched verdicts diverged under forced tier {}",
+                    tier.label()
+                );
+            });
+        }
+    }
+}
+
 /// The ladder resolution itself: the active tiers are drawn from the
 /// supported sets, and `description` names both primitives.
 #[test]
